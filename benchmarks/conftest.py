@@ -1,0 +1,41 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Heavy artifacts (scenario, commissioned system) are session-cached so each
+figure's benchmark measures its own work, not repeated setup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import TafLoc, TafLocConfig
+from repro.sim.collector import RssCollector
+from repro.sim.scenario import build_paper_scenario
+from repro.util.rng import spawn_children
+
+#: One seed shared by every figure benchmark → a single coherent "testbed".
+BENCH_SEED = 2016  # the paper's year
+
+
+@pytest.fixture(scope="session")
+def bench_scenario():
+    return build_paper_scenario(seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_system(bench_scenario):
+    """A commissioned TafLoc system on the benchmark scenario."""
+    collector_rng, system_rng = spawn_children(BENCH_SEED, 2)
+    system = TafLoc(
+        RssCollector(bench_scenario, seed=collector_rng),
+        TafLocConfig(),
+        seed=system_rng,
+    )
+    system.commission(0.0)
+    return system
+
+
+def emit(capsys, text: str) -> None:
+    """Print a report so it lands in the captured bench output."""
+    with capsys.disabled():
+        print(f"\n{text}")

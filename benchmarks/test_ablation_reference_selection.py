@@ -1,0 +1,78 @@
+"""Ablation: reference-location count and selection strategy.
+
+The paper selects "maximum linearly independent" columns (pivoted QR here)
+and uses n = 10 for 96 cells. This benchmark sweeps both choices on the
+45-day reconstruction workload and reports mean error, justifying the
+defaults documented in EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, emit
+from repro.core.pipeline import TafLocConfig
+from repro.core.reconstruction import ReconstructionConfig
+from repro.eval.experiments import run_fig3_reconstruction_error
+from repro.eval.reporting import format_table
+from repro.sim.scenario import build_paper_scenario
+
+STRATEGIES = ("pivoted_qr", "greedy", "kmeans", "random")
+COUNTS = (5, 10, 20)
+
+
+def run_config(strategy: str, count: int, seed: int) -> float:
+    scenario = build_paper_scenario(seed=seed)
+    config = TafLocConfig(
+        reconstruction=ReconstructionConfig(
+            reference_strategy=strategy, reference_count=count
+        )
+    )
+    results = run_fig3_reconstruction_error(
+        days=(45.0,), seed=seed, scenario=scenario, config=config
+    )
+    return results[0].oracle_mean_error
+
+
+@pytest.fixture(scope="module")
+def strategy_results():
+    return {
+        strategy: run_config(strategy, 10, BENCH_SEED)
+        for strategy in STRATEGIES
+    }
+
+
+@pytest.fixture(scope="module")
+def count_results():
+    return {count: run_config("pivoted_qr", count, BENCH_SEED) for count in COUNTS}
+
+
+def test_reference_benchmark(benchmark):
+    error = benchmark.pedantic(
+        run_config, args=("pivoted_qr", 10, BENCH_SEED + 7), rounds=1,
+        iterations=1,
+    )
+    assert error > 0
+
+
+def test_reference_report(benchmark, capsys, strategy_results, count_results):
+    strategy_rows = benchmark.pedantic(
+        lambda: [[s, e] for s, e in strategy_results.items()],
+        rounds=1,
+        iterations=1,
+    )
+    count_rows = [[c, e] for c, e in count_results.items()]
+    emit(
+        capsys,
+        "[Ablation] Reference selection, 45-day reconstruction error\n"
+        + format_table(["strategy (n=10)", "mean err [dB]"], strategy_rows,
+                       precision=2)
+        + "\n\n"
+        + format_table(["n (pivoted_qr)", "mean err [dB]"], count_rows,
+                       precision=2),
+    )
+
+    # More references can't hurt much: n=20 is at least as good as n=5.
+    assert count_results[20] <= count_results[5] + 0.3
+    # The paper's criterion is competitive with the best arm.
+    best = min(strategy_results.values())
+    assert strategy_results["pivoted_qr"] <= best + 0.5

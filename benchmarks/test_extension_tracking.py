@@ -1,0 +1,57 @@
+"""Extension benchmark: continuous tracking quality vs fingerprint age.
+
+Not a figure in the poster — the poster's applications (elderly care,
+intrusion) need tracking, so this benchmark quantifies what the TafLoc
+update buys a tracker: median tracking error on a random-waypoint walk at
+30/90 days, with fingerprints refreshed by TafLoc vs left stale.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, emit
+from repro.eval.reporting import format_table
+from repro.eval.tracking_experiments import (
+    run_tracking_experiment,
+    summarize_tracking,
+)
+
+DAYS = (30.0, 90.0)
+
+
+@pytest.fixture(scope="module")
+def tracking_results():
+    return run_tracking_experiment(days=DAYS, frames=60, seed=BENCH_SEED)
+
+
+def test_tracking_benchmark(benchmark):
+    results = benchmark.pedantic(
+        run_tracking_experiment,
+        kwargs={"days": (30.0,), "frames": 30, "seed": BENCH_SEED + 1},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(results) == 2
+
+
+def test_tracking_report(benchmark, capsys, tracking_results):
+    summary = benchmark.pedantic(
+        summarize_tracking, args=(tracking_results,), rounds=1, iterations=1
+    )
+    rows = [
+        [int(day), summary["updated"][day], summary["stale"][day]]
+        for day in DAYS
+    ]
+    emit(
+        capsys,
+        "[Extension] Particle-filter tracking median error vs fingerprint "
+        "age (random-waypoint walk)\n"
+        + format_table(
+            ["day", "TafLoc-updated [m]", "stale day-0 [m]"], rows, precision=2
+        ),
+    )
+    for day in DAYS:
+        # At short gaps the stale prints are still usable, so allow a tie;
+        # the decisive win is at the long gap.
+        assert summary["updated"][day] < summary["stale"][day] + 0.25
+        assert summary["updated"][day] < 2.0
+    assert summary["updated"][90.0] < summary["stale"][90.0]

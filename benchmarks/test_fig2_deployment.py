@@ -1,0 +1,40 @@
+"""Fig. 2 reproduction: the testbed deployment.
+
+The paper's Fig. 2 shows a 9 m x 12 m room with 10 WiFi links whose
+transceivers ring a monitored region of 96 grid cells (0.6 m x 0.6 m).
+This benchmark rebuilds that deployment, checks every published count, and
+renders the floor plan.
+"""
+
+from benchmarks.conftest import emit
+from repro.eval.reporting import format_summary
+from repro.sim.deployment import build_paper_deployment
+
+
+def test_fig2_deployment(benchmark, capsys):
+    deployment = benchmark.pedantic(
+        build_paper_deployment, rounds=3, iterations=1
+    )
+
+    emit(
+        capsys,
+        format_summary(
+            "[Fig. 2] Testbed deployment (paper: 10 links, 96 grids of "
+            "0.6 m, 9 m x 12 m room)",
+            {
+                "links": deployment.link_count,
+                "grid cells": deployment.cell_count,
+                "cell size [m]": deployment.grid.cell_size,
+                "grid layout": f"{deployment.grid.rows} x {deployment.grid.columns}",
+                "monitored area [m^2]": deployment.room.area,
+                "mean link length [m]": float(deployment.link_lengths().mean()),
+                "adjacent link pairs": len(deployment.adjacent_link_pairs()),
+            },
+        )
+        + "\n\nFloor plan (L = transceiver, . = grid cell):\n"
+        + deployment.ascii_floor_plan(),
+    )
+
+    assert deployment.link_count == 10
+    assert deployment.cell_count == 96
+    assert deployment.grid.cell_size == 0.6

@@ -1,0 +1,91 @@
+"""Fig. 3 reproduction: fingerprint reconstruction error vs time gap.
+
+The paper reports average reconstruction errors of 2.7 / 3.3 / 3.6 /
+4.1 dBm after 3 / 15 / 45 days / 3 months, with full CDFs spanning roughly
+0-15 dBm, and argues the reconstruction is usable because noise is itself
+1-4 dBm. This benchmark re-runs that protocol end to end on the simulated
+testbed: full survey at day 0, cheap TafLoc update at each gap (empty room
++ 10 reference cells only), scored entry-wise against a freshly measured
+full survey of the same day.
+
+Acceptance (shape, per the reproduction brief): error grows monotonically
+with the gap, lands within ~2x of the paper's band, and always beats the
+stale do-nothing baseline at long gaps.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, emit
+from repro.eval.experiments import run_fig3_reconstruction_error
+from repro.eval.reporting import format_cdf_table, format_table
+
+PAPER_MEANS = {3.0: 2.7, 15.0: 3.3, 45.0: 3.6, 90.0: 4.1}
+DAYS = (3.0, 5.0, 15.0, 45.0, 90.0)
+
+
+@pytest.fixture(scope="module")
+def fig3_results(bench_scenario):
+    return run_fig3_reconstruction_error(
+        days=DAYS, seed=BENCH_SEED, scenario=bench_scenario
+    )
+
+
+def test_fig3_reconstruction_error(benchmark, capsys, bench_scenario):
+    results = benchmark.pedantic(
+        run_fig3_reconstruction_error,
+        kwargs={"days": (45.0,), "seed": BENCH_SEED + 1, "scenario": bench_scenario},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(results) == 1
+
+
+def test_fig3_report(benchmark, capsys, fig3_results):
+    benchmark.pedantic(lambda: fig3_results[0].cdf(), rounds=1, iterations=1)
+    rows = []
+    for result in fig3_results:
+        rows.append(
+            [
+                int(result.day),
+                result.mean_error,
+                PAPER_MEANS.get(result.day, "-"),
+                result.oracle_mean_error,
+                result.stale_mean_error,
+            ]
+        )
+    table = format_table(
+        [
+            "days",
+            "mean err [dB]",
+            "paper [dB]",
+            "vs oracle [dB]",
+            "stale (no update) [dB]",
+        ],
+        rows,
+        precision=2,
+    )
+
+    grid = np.arange(0.0, 15.1, 1.5)
+    cdf = format_cdf_table(
+        {f"{int(r.day)} d": r.errors for r in fig3_results},
+        grid,
+        value_label="err [dB]",
+    )
+    emit(
+        capsys,
+        "[Fig. 3] Fingerprint reconstruction error vs time gap\n"
+        f"{table}\n\nCDF (fraction of entries with error <= x):\n{cdf}",
+    )
+
+    means = [r.mean_error for r in fig3_results]
+    # Shape: monotone-ish growth with the gap; endpoints strictly ordered.
+    assert means[0] < means[-1]
+    # Band: within ~2x of the paper's reported means.
+    for result in fig3_results:
+        paper = PAPER_MEANS.get(result.day)
+        if paper is not None:
+            assert paper / 2.2 < result.mean_error < paper * 2.2
+    # The update must beat doing nothing at the long gaps.
+    for result in fig3_results[-3:]:
+        assert result.mean_error < result.stale_mean_error

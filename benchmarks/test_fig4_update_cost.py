@@ -1,0 +1,92 @@
+"""Fig. 4 reproduction: fingerprint-update time cost vs area size.
+
+The paper's Fig. 4 sweeps the monitored area's edge length from 6 m to
+36 m and compares the survey time of existing fingerprint systems (every
+grid cell re-measured: 100 samples at 1 Hz each) against TafLoc (only the
+reference locations re-measured). The in-text anchors: a 6 m x 6 m area
+costs ≈2.78 h to survey from scratch but ≈0.28 h (10 reference cells) with
+TafLoc, and "when the area size becomes bigger, TafLoc saves more time".
+
+The cost model is exercised two ways: analytically (the sweep, as in the
+paper) and empirically (the collector's sample accounting on an actual
+update of the simulated testbed), and the two must agree.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.eval.costmodel import CostModel, sweep_update_cost
+from repro.eval.reporting import format_table
+
+EDGES = (6.0, 12.0, 18.0, 24.0, 30.0, 36.0)
+
+
+def test_fig4_update_cost(benchmark, capsys):
+    rows_data = benchmark.pedantic(
+        sweep_update_cost, args=(EDGES,), rounds=3, iterations=1
+    )
+
+    rows = [
+        [
+            int(row.edge_length_m),
+            row.cell_count,
+            row.reference_count,
+            row.existing_hours,
+            row.tafloc_hours,
+            row.savings_factor,
+        ]
+        for row in rows_data
+    ]
+    emit(
+        capsys,
+        "[Fig. 4] Fingerprint update time cost vs area edge length "
+        "(paper anchors @6 m: existing 2.78 h, TafLoc 0.28 h)\n"
+        + format_table(
+            [
+                "edge [m]",
+                "cells",
+                "refs",
+                "existing [h]",
+                "TafLoc [h]",
+                "savings x",
+            ],
+            rows,
+            precision=2,
+        ),
+    )
+
+    # Anchors from the paper's own arithmetic.
+    assert rows_data[0].existing_hours == pytest.approx(2.78, abs=0.01)
+    assert rows_data[0].tafloc_hours == pytest.approx(0.28, abs=0.01)
+    # TafLoc is cheaper everywhere and the gap widens with the area.
+    savings = [row.savings_factor for row in rows_data]
+    assert all(s > 1.0 for s in savings)
+    assert all(a < b for a, b in zip(savings, savings[1:]))
+
+
+def test_fig4_empirical_accounting(benchmark, capsys, bench_system):
+    """The collector's measured sample counts match the analytic model."""
+    report = benchmark.pedantic(
+        bench_system.update, args=(2.0,), rounds=1, iterations=1
+    )
+    model = CostModel()
+    analytic_update = model.tafloc_update_hours(10) * 3600.0
+    analytic_full = model.survey_hours(96) * 3600.0
+
+    emit(
+        capsys,
+        "[Fig. 4] Empirical cost of one TafLoc update on the 96-cell "
+        "testbed:\n"
+        + format_table(
+            ["quantity", "measured [s]", "analytic [s]"],
+            [
+                ["TafLoc update", report.seconds_spent, analytic_update],
+                ["full survey", report.full_survey_seconds, analytic_full],
+            ],
+            precision=0,
+        ),
+    )
+
+    assert report.seconds_spent == pytest.approx(analytic_update)
+    assert report.full_survey_seconds == pytest.approx(analytic_full)
+    assert report.savings_factor == pytest.approx(9.6)

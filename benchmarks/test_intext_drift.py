@@ -1,0 +1,38 @@
+"""In-text measurement reproduction: slow RSS drift over days.
+
+The paper's introduction reports: *"even without any change in the
+environment, the RSS measurements still change slowly in the scale of days
+... the RSS values change 2.5 dBm and 6 dBm respectively after 5 and 45
+days."* This benchmark measures the same quantity on the simulated testbed
+(ensemble mean over several rooms) and checks it lands near the anchors.
+"""
+
+from benchmarks.conftest import emit
+from repro.eval.experiments import run_intext_drift
+from repro.eval.reporting import format_table
+
+PAPER_ANCHORS = {5.0: 2.5, 45.0: 6.0}
+
+
+def test_intext_drift(benchmark, capsys):
+    results = benchmark.pedantic(
+        run_intext_drift,
+        kwargs={"days": (3.0, 5.0, 15.0, 45.0, 90.0), "seeds": tuple(range(6))},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for day in sorted(results):
+        paper = PAPER_ANCHORS.get(day, "-")
+        rows.append([int(day), results[day], paper])
+    emit(
+        capsys,
+        "[In-text] Mean |empty-room RSS change| vs time gap "
+        "(paper anchors: 2.5 dBm @ 5 d, 6 dBm @ 45 d)\n"
+        + format_table(["days", "measured [dB]", "paper [dB]"], rows, precision=2),
+    )
+
+    assert abs(results[5.0] - 2.5) < 1.5
+    assert abs(results[45.0] - 6.0) < 3.0
+    assert results[45.0] > results[5.0]

@@ -1,0 +1,60 @@
+"""Robustness benchmark: sensitivity of the headline result to the
+environment (noise level, link count, reference budget).
+
+Not a figure in the poster; answers the reviewer question "does the cheap
+update still work when the deployment is noisier / sparser / stingier?".
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, emit
+from repro.eval.reporting import format_table
+from repro.eval.sensitivity import (
+    as_rows,
+    sweep_noise,
+    sweep_reference_budget,
+)
+
+
+@pytest.fixture(scope="module")
+def noise_points():
+    return sweep_noise(sigmas_db=(0.5, 1.0, 2.0, 4.0), seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="module")
+def budget_points():
+    return sweep_reference_budget(budgets=(5, 10, 20), seed=BENCH_SEED)
+
+
+def test_sensitivity_benchmark(benchmark):
+    points = benchmark.pedantic(
+        sweep_noise,
+        kwargs={"sigmas_db": (1.0,), "seed": BENCH_SEED + 1},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(points) == 1
+
+
+def test_sensitivity_report(benchmark, capsys, noise_points, budget_points):
+    noise_rows = benchmark.pedantic(
+        as_rows, args=(noise_points,), rounds=1, iterations=1
+    )
+    budget_rows = as_rows(budget_points)
+    headers = ["setting", "45-d recon err [dB]", "45-d loc median [m]"]
+    emit(
+        capsys,
+        "[Sensitivity] Measurement noise sigma (dB):\n"
+        + format_table(headers, noise_rows, precision=2)
+        + "\n\n[Sensitivity] Reference budget n:\n"
+        + format_table(headers, budget_rows, precision=2),
+    )
+
+    # The headline survives the whole swept band.
+    for p in (*noise_points, *budget_points):
+        assert p.localization_median_m < 3.0
+    # A larger reference budget does not hurt reconstruction.
+    assert (
+        budget_points[-1].reconstruction_error_db
+        <= budget_points[0].reconstruction_error_db + 0.2
+    )

@@ -1,0 +1,84 @@
+"""Office occupancy: count and localize up to two people at once.
+
+A multi-target extension demo: a meeting-room deployment wants to know how
+many people are inside and roughly where (free desk? huddle at the
+whiteboard?). The :class:`~repro.core.multi_target.MultiTargetMatcher`
+jointly decides between the 0-, 1- and 2-person hypotheses by dip
+superposition over TafLoc-maintained fingerprints.
+
+Run with:  python examples/office_occupancy.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import RssCollector, TafLoc, build_paper_scenario
+from repro.core.multi_target import MultiTargetMatcher, pairing_error
+from repro.eval.reporting import format_table
+from repro.sim.geometry import Point
+
+SCENES = [
+    ("room empty", []),
+    ("one at desk A", [14]),
+    ("one at whiteboard", [78]),
+    ("two: desks A+B", [14, 21]),
+    ("two: desk A + whiteboard", [14, 78]),
+    ("two: far corners", [1, 94]),
+]
+
+
+def main() -> None:
+    scenario = build_paper_scenario(seed=33)
+    system = TafLoc(RssCollector(scenario, seed=1))
+    system.commission(day=0.0)
+    report = system.update(day=30.0)
+    fingerprint = report.reconstruction.fingerprint
+
+    matcher = MultiTargetMatcher(
+        fingerprint,
+        scenario.deployment.grid,
+        live_empty_rss=fingerprint.empty_rss,
+    )
+    grid = scenario.deployment.grid
+    live = RssCollector(scenario, seed=9)
+
+    rows = []
+    correct_counts = 0
+    for label, cells in SCENES:
+        if not cells:
+            frame = live.live_vector(30.0, averaging=3)
+        elif len(cells) == 1:
+            frame = live.live_vector(30.0, cell=cells[0], averaging=3)
+        else:
+            frame = live.live_vector_multi(30.0, cells, averaging=3)
+        result = matcher.match(frame)
+        truth = [grid.center_of(c) for c in cells]
+        error = pairing_error(list(result.positions), truth)
+        error_text = "-" if error == float("inf") else f"{error:.2f}"
+        if result.count == len(cells):
+            correct_counts += 1
+        rows.append(
+            [
+                label,
+                len(cells),
+                result.count,
+                ", ".join(str(c) for c in result.cells) or "-",
+                error_text,
+            ]
+        )
+
+    print(
+        format_table(
+            ["scene", "true count", "est count", "est cells", "mean err [m]"],
+            rows,
+        )
+    )
+    print(
+        f"\nOccupancy count correct in {correct_counts}/{len(SCENES)} scenes "
+        f"(30-day-old deployment, fingerprints TafLoc-refreshed)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Quickstart: commission, update, localize.
+
+The 60-second tour of the library: build the paper's testbed (simulated),
+run the one expensive full survey, refresh fingerprints 45 days later by
+measuring only 10 reference cells, then localize a person standing in the
+room.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import RssCollector, TafLoc, build_paper_scenario
+from repro.eval.reporting import format_summary
+
+
+def main() -> None:
+    # A simulated 10-link / 96-cell testbed (the paper's Fig. 2 geometry).
+    scenario = build_paper_scenario(seed=7)
+    system = TafLoc(RssCollector(scenario, seed=1))
+
+    # Day 0: the one full survey (96 cells x 100 samples — the costly part).
+    fingerprint = system.commission(day=0.0)
+    print(
+        format_summary(
+            "Commissioned",
+            {
+                "links": fingerprint.link_count,
+                "cells": fingerprint.cell_count,
+                "survey cost [h]": 96 * 100 / 3600.0,
+            },
+        )
+    )
+
+    # Day 45: fingerprints have drifted. A TafLoc update visits only the 10
+    # reference cells (plus a person-free empty-room calibration).
+    report = system.update(day=45.0)
+    print(
+        format_summary(
+            "Updated at day 45",
+            {
+                "cells re-measured": len(system.reconstructor.references.cells),
+                "update cost [h]": report.seconds_spent / 3600.0,
+                "full survey would cost [h]": report.full_survey_seconds / 3600.0,
+                "savings factor": report.savings_factor,
+                "solver iterations": report.reconstruction.solver_result.iterations,
+            },
+        )
+    )
+
+    # Someone walks in and stands in cell 37; localize them.
+    live_collector = RssCollector(scenario, seed=2)
+    trace = live_collector.live_trace(45.0, [37])
+    result = system.localize(trace.rss[0], day=45.0)
+    true_x, true_y = trace.true_positions[0]
+    error = np.hypot(result.position.x - true_x, result.position.y - true_y)
+    print(
+        format_summary(
+            "Localized",
+            {
+                "estimated cell": result.cell,
+                "estimated position [m]": f"({result.position.x:.2f}, {result.position.y:.2f})",
+                "true position [m]": f"({true_x:.2f}, {true_y:.2f})",
+                "error [m]": error,
+            },
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""TafLoc reproduction: time-adaptive device-free localization.
+
+A from-scratch reproduction of *TafLoc: Time-adaptive and Fine-grained
+Device-free Localization with Little Cost* (SIGCOMM 2016), including the
+radio-testbed substrate, the fingerprint-matrix reconstruction scheme
+(LoLi-IR), the RTI and RASS comparators, and the evaluation harness that
+regenerates every figure of the paper.
+
+Quickstart::
+
+    from repro import build_paper_scenario, RssCollector, TafLoc
+
+    scenario = build_paper_scenario(seed=0)
+    system = TafLoc(RssCollector(scenario, seed=1))
+    system.commission(day=0.0)          # one full survey
+    system.update(day=45.0)             # cheap refresh: 10 cells, not 96
+    live = RssCollector(scenario, seed=2).live_vector(45.0, cell=37)
+    print(system.localize(live, day=45.0).position)
+"""
+
+from repro.baselines import RassConfig, RassLocalizer, RtiConfig, RtiLocalizer
+from repro.core import (
+    FingerprintDatabase,
+    FingerprintMatrix,
+    KnnMatcher,
+    LoliIrConfig,
+    LoliIrSolver,
+    NearestNeighborMatcher,
+    ProbabilisticMatcher,
+    ReconstructionConfig,
+    Reconstructor,
+    TafLoc,
+    TafLocConfig,
+    select_references,
+)
+from repro.sim import (
+    ChannelModel,
+    ChannelParams,
+    Deployment,
+    FingerprintSurvey,
+    KnifeEdgeShadowingModel,
+    LiveTrace,
+    RssCollector,
+    Scenario,
+    build_paper_deployment,
+    build_square_deployment,
+)
+from repro.sim.scenario import build_paper_scenario
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChannelModel",
+    "ChannelParams",
+    "Deployment",
+    "FingerprintDatabase",
+    "FingerprintMatrix",
+    "FingerprintSurvey",
+    "KnifeEdgeShadowingModel",
+    "KnnMatcher",
+    "LiveTrace",
+    "LoliIrConfig",
+    "LoliIrSolver",
+    "NearestNeighborMatcher",
+    "ProbabilisticMatcher",
+    "RassConfig",
+    "RassLocalizer",
+    "ReconstructionConfig",
+    "Reconstructor",
+    "RssCollector",
+    "RtiConfig",
+    "RtiLocalizer",
+    "Scenario",
+    "TafLoc",
+    "TafLocConfig",
+    "build_paper_deployment",
+    "build_paper_scenario",
+    "build_square_deployment",
+    "select_references",
+]

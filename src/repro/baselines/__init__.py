@@ -1,0 +1,17 @@
+"""Comparator systems from the paper's Fig. 5: RTI and RASS.
+
+Both are implemented against the same deployment/measurement abstractions as
+TafLoc so the Fig. 5 benchmark compares algorithms on identical data.
+"""
+
+from repro.baselines.base import DeviceFreeLocalizer
+from repro.baselines.rass import RassConfig, RassLocalizer
+from repro.baselines.rti import RtiConfig, RtiLocalizer
+
+__all__ = [
+    "DeviceFreeLocalizer",
+    "RassConfig",
+    "RassLocalizer",
+    "RtiConfig",
+    "RtiLocalizer",
+]

@@ -1,0 +1,35 @@
+"""Common interface of device-free localizers (TafLoc, RTI, RASS)."""
+
+from __future__ import annotations
+
+import abc
+from typing import List
+
+import numpy as np
+
+from repro.sim.geometry import Point
+from repro.sim.trace import LiveTrace
+
+
+class DeviceFreeLocalizer(abc.ABC):
+    """A system that maps one live RSS vector to a position estimate."""
+
+    @abc.abstractmethod
+    def locate(self, live_rss: np.ndarray) -> Point:
+        """Estimate the target position from a live RSS vector."""
+
+    def locate_trace(self, trace: LiveTrace) -> List[Point]:
+        """Estimate every frame of a trace."""
+        return [self.locate(frame) for frame in trace.rss]
+
+    def errors(self, trace: LiveTrace) -> np.ndarray:
+        """Per-frame Euclidean error (m) against the trace ground truth."""
+        if trace.true_positions is None:
+            raise ValueError("trace carries no ground-truth positions")
+        estimates = self.locate_trace(trace)
+        return np.array(
+            [
+                estimate.distance_to(Point(float(x), float(y)))
+                for estimate, (x, y) in zip(estimates, trace.true_positions)
+            ]
+        )

@@ -1,0 +1,222 @@
+"""Command-line interface: reproduce experiments without writing code.
+
+Usage (after ``pip install -e .``)::
+
+    tafloc-repro quickstart            # commission/update/localize demo
+    tafloc-repro drift                 # the in-text drift measurement
+    tafloc-repro fig3 --days 3 45 90   # reconstruction error vs gap
+    tafloc-repro fig4                  # update cost vs area size
+    tafloc-repro fig5 --day 90         # localization comparison
+    tafloc-repro floorplan             # render the Fig. 2 deployment
+
+or ``python -m repro.cli <command>``. Everything is seeded (``--seed``),
+so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.pipeline import TafLoc
+from repro.eval.costmodel import sweep_update_cost
+from repro.eval.experiments import (
+    run_fig3_reconstruction_error,
+    run_fig5_localization,
+    run_intext_drift,
+)
+from repro.eval.reporting import format_cdf_table, format_summary, format_table
+from repro.sim.collector import RssCollector
+from repro.sim.deployment import build_paper_deployment
+from repro.sim.scenario import build_paper_scenario
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> int:
+    scenario = build_paper_scenario(seed=args.seed)
+    system = TafLoc(RssCollector(scenario, seed=args.seed + 1))
+    system.commission(day=0.0)
+    report = system.update(day=45.0)
+    trace = RssCollector(scenario, seed=args.seed + 2).live_trace(45.0, [37])
+    result = system.localize(trace.rss[0], day=45.0)
+    true_x, true_y = trace.true_positions[0]
+    print(
+        format_summary(
+            "TafLoc quickstart (day-45 update + localization)",
+            {
+                "update cost [h]": report.seconds_spent / 3600.0,
+                "full survey cost [h]": report.full_survey_seconds / 3600.0,
+                "savings factor": report.savings_factor,
+                "estimated position [m]": f"({result.position.x:.2f}, {result.position.y:.2f})",
+                "true position [m]": f"({true_x:.2f}, {true_y:.2f})",
+                "error [m]": float(
+                    np.hypot(result.position.x - true_x, result.position.y - true_y)
+                ),
+            },
+        )
+    )
+    return 0
+
+
+def _cmd_drift(args: argparse.Namespace) -> int:
+    results = run_intext_drift(
+        days=tuple(args.days), seeds=tuple(range(args.rooms))
+    )
+    anchors = {5.0: 2.5, 45.0: 6.0}
+    rows = [
+        [int(day), results[day], anchors.get(day, "-")]
+        for day in sorted(results)
+    ]
+    print(
+        "Mean |empty-room RSS change| vs time gap\n"
+        + format_table(["days", "measured [dB]", "paper [dB]"], rows, precision=2)
+    )
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    results = run_fig3_reconstruction_error(
+        days=tuple(float(d) for d in args.days), seed=args.seed
+    )
+    paper = {3.0: 2.7, 15.0: 3.3, 45.0: 3.6, 90.0: 4.1}
+    rows = [
+        [
+            int(r.day),
+            r.mean_error,
+            paper.get(r.day, "-"),
+            r.stale_mean_error,
+        ]
+        for r in results
+    ]
+    print(
+        "[Fig. 3] Reconstruction error vs time gap\n"
+        + format_table(
+            ["days", "mean err [dB]", "paper [dB]", "stale [dB]"],
+            rows,
+            precision=2,
+        )
+    )
+    if args.cdf:
+        grid = np.arange(0.0, 15.1, 1.5)
+        print(
+            "\nCDF:\n"
+            + format_cdf_table(
+                {f"{int(r.day)} d": r.errors for r in results},
+                grid,
+                value_label="err [dB]",
+            )
+        )
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    rows_data = sweep_update_cost(tuple(float(e) for e in args.edges))
+    rows = [
+        [
+            int(row.edge_length_m),
+            row.cell_count,
+            row.reference_count,
+            row.existing_hours,
+            row.tafloc_hours,
+            row.savings_factor,
+        ]
+        for row in rows_data
+    ]
+    print(
+        "[Fig. 4] Update time cost vs area edge length\n"
+        + format_table(
+            ["edge [m]", "cells", "refs", "existing [h]", "TafLoc [h]", "savings x"],
+            rows,
+            precision=2,
+        )
+    )
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    result = run_fig5_localization(day=args.day, seed=args.seed)
+    rows = [
+        [name, float(np.median(errs)), float(np.percentile(errs, 80))]
+        for name, errs in result.errors.items()
+    ]
+    print(
+        f"[Fig. 5] Localization error at day {args.day:.0f}\n"
+        + format_table(["system", "median [m]", "80th [m]"], rows, precision=2)
+    )
+    if args.cdf:
+        grid = np.arange(0.0, 6.1, 0.5)
+        print(
+            "\nCDF:\n"
+            + format_cdf_table(result.errors, grid, value_label="err [m]")
+        )
+    return 0
+
+
+def _cmd_floorplan(args: argparse.Namespace) -> int:
+    deployment = build_paper_deployment()
+    print(
+        format_summary(
+            "[Fig. 2] Paper deployment",
+            {
+                "links": deployment.link_count,
+                "cells": deployment.cell_count,
+                "cell size [m]": deployment.grid.cell_size,
+            },
+        )
+    )
+    print(deployment.ascii_floor_plan())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tafloc-repro",
+        description="Reproduce the TafLoc (SIGCOMM'16) experiments.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("quickstart", help="commission/update/localize demo")
+
+    drift = sub.add_parser("drift", help="in-text drift measurement")
+    drift.add_argument(
+        "--days", type=float, nargs="+", default=[3, 5, 15, 45, 90]
+    )
+    drift.add_argument("--rooms", type=int, default=6, help="ensemble size")
+
+    fig3 = sub.add_parser("fig3", help="reconstruction error vs gap")
+    fig3.add_argument("--days", type=float, nargs="+", default=[3, 5, 15, 45, 90])
+    fig3.add_argument("--cdf", action="store_true", help="print the CDF table")
+
+    fig4 = sub.add_parser("fig4", help="update cost vs area size")
+    fig4.add_argument(
+        "--edges", type=float, nargs="+", default=[6, 12, 18, 24, 30, 36]
+    )
+
+    fig5 = sub.add_parser("fig5", help="localization comparison")
+    fig5.add_argument("--day", type=float, default=90.0)
+    fig5.add_argument("--cdf", action="store_true", help="print the CDF table")
+
+    sub.add_parser("floorplan", help="render the Fig. 2 deployment")
+    return parser
+
+
+_COMMANDS = {
+    "quickstart": _cmd_quickstart,
+    "drift": _cmd_drift,
+    "fig3": _cmd_fig3,
+    "fig4": _cmd_fig4,
+    "fig5": _cmd_fig5,
+    "floorplan": _cmd_floorplan,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""TafLoc core: fingerprint-matrix reconstruction and localization.
+
+The pieces follow the paper's section 2 directly:
+
+* :mod:`repro.core.fingerprint` — the fingerprint matrix abstraction (Fig. 1).
+* :mod:`repro.core.reference` — picking the n reference locations (property ii).
+* :mod:`repro.core.lrr` — the low-rank-representation correlation matrix Z.
+* :mod:`repro.core.distortion` — undistorted mask B / largely-distorted set D.
+* :mod:`repro.core.operators` — continuity (G) and similarity (H) operators.
+* :mod:`repro.core.completion` — plain rank-minimization completion (property i).
+* :mod:`repro.core.loli_ir` — the LoLi-IR alternating solver.
+* :mod:`repro.core.reconstruction` — the full objective, orchestrated.
+* :mod:`repro.core.matching` — matching live RSS vectors Y against X.
+* :mod:`repro.core.pipeline` — the deployable TafLoc system.
+* :mod:`repro.core.tracking` — particle-filter tracking on top (extension).
+"""
+
+from repro.core.completion import soft_impute, svt_complete
+from repro.core.detection import DetectionResult, PresenceDetector, roc_sweep
+from repro.core.distortion import DistortionProfile, build_distortion_profile
+from repro.core.fingerprint import FingerprintDatabase, FingerprintMatrix
+from repro.core.loli_ir import LoliIrConfig, LoliIrResult, LoliIrSolver
+from repro.core.lrr import LrrConfig, LrrModel, fit_lrr
+from repro.core.matching import (
+    KnnMatcher,
+    Matcher,
+    NearestNeighborMatcher,
+    ProbabilisticMatcher,
+)
+from repro.core.multi_target import MultiTargetMatcher, MultiTargetResult, pairing_error
+from repro.core.operators import continuity_operator, similarity_operator
+from repro.core.pipeline import TafLoc, TafLocConfig, UpdateReport
+from repro.core.reconstruction import ReconstructionConfig, Reconstructor
+from repro.core.reference import (
+    ReferenceSelection,
+    select_references,
+    select_references_greedy,
+    select_references_kmeans,
+    select_references_pivoted_qr,
+    select_references_random,
+)
+from repro.core.robustness import (
+    detect_dead_links,
+    mask_fingerprint,
+    mask_live_vector,
+    masked_matcher,
+)
+from repro.core.tracking import ParticleFilterTracker, TrackerConfig
+
+__all__ = [
+    "DetectionResult",
+    "DistortionProfile",
+    "FingerprintDatabase",
+    "FingerprintMatrix",
+    "KnnMatcher",
+    "LoliIrConfig",
+    "LoliIrResult",
+    "LoliIrSolver",
+    "LrrConfig",
+    "LrrModel",
+    "Matcher",
+    "MultiTargetMatcher",
+    "MultiTargetResult",
+    "NearestNeighborMatcher",
+    "ParticleFilterTracker",
+    "PresenceDetector",
+    "ProbabilisticMatcher",
+    "ReconstructionConfig",
+    "Reconstructor",
+    "ReferenceSelection",
+    "TafLoc",
+    "TafLocConfig",
+    "TrackerConfig",
+    "UpdateReport",
+    "build_distortion_profile",
+    "continuity_operator",
+    "detect_dead_links",
+    "fit_lrr",
+    "mask_fingerprint",
+    "mask_live_vector",
+    "masked_matcher",
+    "pairing_error",
+    "roc_sweep",
+    "select_references",
+    "select_references_greedy",
+    "select_references_kmeans",
+    "select_references_pivoted_qr",
+    "select_references_random",
+    "similarity_operator",
+    "soft_impute",
+    "svt_complete",
+]

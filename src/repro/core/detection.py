@@ -1,0 +1,201 @@
+"""Presence detection: is anyone in the monitored area at all?
+
+Both of the paper's motivating applications start with a detection
+question — an elderly-care system must notice the resident before tracking
+them, and an intruder alarm must first decide whether anyone is there.
+Detection also gates the localization pipeline in practice: matching an
+empty-room frame against the fingerprint database yields a meaningless
+"location".
+
+:class:`PresenceDetector` thresholds a per-frame *dynamics score* — the
+aggregate deviation of the live RSS vector from the empty-room calibration —
+calibrated on empty-room frames so the threshold adapts to each
+deployment's noise level. Because the calibration is exactly the same
+empty-room measurement TafLoc's update step already needs, keeping the
+detector fresh costs nothing extra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.util.validation import check_matrix, check_positive
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Outcome of scoring one live frame.
+
+    Attributes:
+        present: Whether the score exceeded the threshold.
+        score: The frame's dynamics score (dB, aggregated over links).
+        threshold: The threshold in force when the frame was scored.
+    """
+
+    present: bool
+    score: float
+    threshold: float
+
+
+class PresenceDetector:
+    """Empty-room-calibrated presence detector.
+
+    The dynamics score of a frame is ``aggregate(|rss - empty_rss|)`` where
+    the aggregate is the sum (default), mean or max across links; the
+    detection threshold is ``mean + k * std`` of the score over the
+    calibration frames.
+
+    Args:
+        calibration_frames: Empty-room RSS frames, shape
+            ``(frames, links)``; at least two frames are required to
+            estimate the score spread.
+        k: Threshold stringency in calibration standard deviations. Larger
+            values trade missed detections for fewer false alarms.
+        aggregate: ``"sum"``, ``"mean"`` or ``"max"`` across links.
+    """
+
+    def __init__(
+        self,
+        calibration_frames: np.ndarray,
+        *,
+        k: float = 4.0,
+        aggregate: str = "sum",
+    ) -> None:
+        frames = check_matrix("calibration_frames", calibration_frames)
+        if frames.shape[0] < 2:
+            raise ValueError(
+                f"need at least 2 calibration frames, got {frames.shape[0]}"
+            )
+        check_positive("k", k)
+        if aggregate not in ("sum", "mean", "max"):
+            raise ValueError(
+                f"aggregate must be sum/mean/max, got {aggregate!r}"
+            )
+        self.k = k
+        self.aggregate = aggregate
+        self._empty_rss = frames.mean(axis=0)
+        scores = np.array([self._score_against(f, self._empty_rss) for f in frames])
+        self._calibration_mean = float(scores.mean())
+        self._calibration_std = float(scores.std())
+        self.threshold = self._calibration_mean + k * self._calibration_std
+
+    @property
+    def empty_rss(self) -> np.ndarray:
+        """The empty-room reference the detector scores against."""
+        return self._empty_rss
+
+    @property
+    def link_count(self) -> int:
+        return self._empty_rss.shape[0]
+
+    def recalibrate(self, calibration_frames: np.ndarray) -> None:
+        """Re-derive the reference and threshold from fresh empty frames.
+
+        Call this whenever the TafLoc update collects its empty-room
+        calibration; drift otherwise inflates the scores of empty frames
+        until they cross the stale threshold.
+        """
+        fresh = PresenceDetector(
+            calibration_frames, k=self.k, aggregate=self.aggregate
+        )
+        if fresh.link_count != self.link_count:
+            raise ValueError(
+                f"calibration covers {fresh.link_count} links, detector has "
+                f"{self.link_count}"
+            )
+        self._empty_rss = fresh._empty_rss
+        self._calibration_mean = fresh._calibration_mean
+        self._calibration_std = fresh._calibration_std
+        self.threshold = fresh.threshold
+
+    def score(self, live_rss: np.ndarray) -> float:
+        """Dynamics score of one live frame."""
+        live = np.asarray(live_rss, dtype=float)
+        if live.shape != self._empty_rss.shape:
+            raise ValueError(
+                f"live vector shape {live.shape} must be "
+                f"{self._empty_rss.shape}"
+            )
+        return self._score_against(live, self._empty_rss)
+
+    def detect(self, live_rss: np.ndarray) -> DetectionResult:
+        """Score one frame and compare against the threshold."""
+        value = self.score(live_rss)
+        return DetectionResult(
+            present=value > self.threshold, score=value, threshold=self.threshold
+        )
+
+    def detect_trace(self, frames: np.ndarray) -> Sequence[DetectionResult]:
+        """Score every row of a ``(frames, links)`` array."""
+        array = check_matrix("frames", frames)
+        return [self.detect(frame) for frame in array]
+
+    def _score_against(self, frame: np.ndarray, reference: np.ndarray) -> float:
+        deviation = np.abs(frame - reference)
+        if self.aggregate == "sum":
+            return float(deviation.sum())
+        if self.aggregate == "mean":
+            return float(deviation.mean())
+        return float(deviation.max())
+
+
+@dataclass(frozen=True)
+class RocPoint:
+    """One operating point of a detector sweep."""
+
+    k: float
+    true_positive_rate: float
+    false_positive_rate: float
+
+
+def roc_sweep(
+    empty_frames: np.ndarray,
+    occupied_frames: np.ndarray,
+    *,
+    ks: Optional[Sequence[float]] = None,
+    calibration_split: float = 0.5,
+    aggregate: str = "sum",
+) -> list:
+    """Sweep the threshold stringency and report TPR/FPR at each point.
+
+    The empty frames are split: the first part calibrates the detector, the
+    held-out remainder measures the false-positive rate, so the ROC is not
+    evaluated on the calibration data itself.
+
+    Args:
+        empty_frames: Empty-room frames, ``(n_empty, links)``.
+        occupied_frames: Target-present frames, ``(n_occupied, links)``.
+        ks: Stringency values to sweep (default 0.5 .. 8).
+        calibration_split: Fraction of empty frames used for calibration.
+        aggregate: Score aggregation across links.
+    """
+    empty = check_matrix("empty_frames", empty_frames)
+    occupied = check_matrix("occupied_frames", occupied_frames)
+    if not 0.0 < calibration_split < 1.0:
+        raise ValueError(
+            f"calibration_split must lie in (0, 1), got {calibration_split}"
+        )
+    split = max(2, int(calibration_split * empty.shape[0]))
+    if split >= empty.shape[0]:
+        raise ValueError(
+            "not enough empty frames to both calibrate and evaluate "
+            f"(got {empty.shape[0]})"
+        )
+    calibration, holdout = empty[:split], empty[split:]
+    if ks is None:
+        ks = (0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0)
+
+    points = []
+    for k in ks:
+        detector = PresenceDetector(calibration, k=float(k), aggregate=aggregate)
+        tpr = float(
+            np.mean([detector.detect(f).present for f in occupied])
+        )
+        fpr = float(np.mean([detector.detect(f).present for f in holdout]))
+        points.append(
+            RocPoint(k=float(k), true_positive_rate=tpr, false_positive_rate=fpr)
+        )
+    return points

@@ -1,0 +1,130 @@
+"""Undistorted mask B and largely-distorted set D (the paper's Fig. 1).
+
+Two complementary subsets of fingerprint-matrix entries drive the TafLoc
+objective:
+
+* **Undistorted entries** (mask ``B``): ``x_ij`` where the target at cell
+  ``j`` leaves link ``i`` essentially unaffected, so ``x_ij`` simply equals
+  the link's empty-room RSS. After a drift period these entries are *known
+  for free* from a seconds-long empty-room calibration — nobody has to walk
+  the grid. They enter the objective as ``B ∘ X̂ = X_I``.
+* **Largely-distorted entries** (mask ``D``): the target blocks the direct
+  path and the RSS dips sharply. These are where the smoothness priors act:
+  along one link the dip varies continuously from cell to cell, and adjacent
+  links see similar dips at the same cell.
+
+Both masks are derived from the *initial* survey: geometry (who blocks whom)
+does not drift, so day-0 dip magnitudes classify entries reliably for every
+later update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fingerprint import FingerprintMatrix
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DistortionProfile:
+    """Classification of fingerprint entries by target influence.
+
+    Attributes:
+        undistorted: Boolean mask ``B``; True where the target does not
+            meaningfully affect the link.
+        largely_distorted: Boolean mask ``D``; True where the direct path is
+            blocked (large dip).
+        dips: The day-0 dip matrix the classification came from (dB).
+        undistorted_threshold_db: Dip below which an entry counts as
+            undistorted.
+        distorted_threshold_db: Dip above which an entry counts as largely
+            distorted.
+    """
+
+    undistorted: np.ndarray
+    largely_distorted: np.ndarray
+    dips: np.ndarray
+    undistorted_threshold_db: float
+    distorted_threshold_db: float
+
+    def __post_init__(self) -> None:
+        b = np.asarray(self.undistorted, dtype=bool)
+        d = np.asarray(self.largely_distorted, dtype=bool)
+        dips = np.asarray(self.dips, dtype=float)
+        if b.shape != d.shape or b.shape != dips.shape:
+            raise ValueError(
+                f"mask shapes disagree: B {b.shape}, D {d.shape}, dips {dips.shape}"
+            )
+        if np.any(b & d):
+            raise ValueError("an entry cannot be both undistorted and largely distorted")
+        object.__setattr__(self, "undistorted", b)
+        object.__setattr__(self, "largely_distorted", d)
+        object.__setattr__(self, "dips", dips)
+
+    @property
+    def shape(self):
+        return self.undistorted.shape
+
+    @property
+    def undistorted_fraction(self) -> float:
+        return float(np.mean(self.undistorted))
+
+    @property
+    def distorted_fraction(self) -> float:
+        return float(np.mean(self.largely_distorted))
+
+    def known_entries(self, empty_rss: np.ndarray) -> np.ndarray:
+        """Assemble ``X_I``: the survey-free known matrix.
+
+        Undistorted entries equal the (fresh) empty-room RSS of their link;
+        all other entries are zero and masked out by ``B`` in the objective.
+        """
+        empty = np.asarray(empty_rss, dtype=float)
+        if empty.shape != (self.shape[0],):
+            raise ValueError(
+                f"empty_rss shape {empty.shape} does not match link count "
+                f"{self.shape[0]}"
+            )
+        known = np.zeros(self.shape)
+        known[self.undistorted] = np.broadcast_to(
+            empty[:, None], self.shape
+        )[self.undistorted]
+        return known
+
+
+def build_distortion_profile(
+    fingerprint: FingerprintMatrix,
+    *,
+    undistorted_threshold_db: float = 1.0,
+    distorted_threshold_db: float = 3.0,
+) -> DistortionProfile:
+    """Classify entries of a surveyed fingerprint matrix by dip magnitude.
+
+    Args:
+        fingerprint: The day-0 surveyed matrix (with its empty-room vector).
+        undistorted_threshold_db: |dip| at or below this → undistorted.
+            The paper notes measurement noise is "within 1~4 dBm"; 1 dB keeps
+            only entries indistinguishable from the empty room.
+        distorted_threshold_db: dip at or above this → largely distorted
+            (direct path blocked).
+    """
+    check_positive("undistorted_threshold_db", undistorted_threshold_db)
+    check_positive("distorted_threshold_db", distorted_threshold_db)
+    if distorted_threshold_db <= undistorted_threshold_db:
+        raise ValueError(
+            "distorted_threshold_db must exceed undistorted_threshold_db "
+            f"({distorted_threshold_db} <= {undistorted_threshold_db})"
+        )
+    dips = fingerprint.dips()
+    undistorted = np.abs(dips) <= undistorted_threshold_db
+    largely_distorted = dips >= distorted_threshold_db
+    return DistortionProfile(
+        undistorted=undistorted,
+        largely_distorted=largely_distorted,
+        dips=dips,
+        undistorted_threshold_db=undistorted_threshold_db,
+        distorted_threshold_db=distorted_threshold_db,
+    )

@@ -1,0 +1,345 @@
+"""LoLi-IR: the alternating solver for the TafLoc objective.
+
+The paper reconstructs the fingerprint matrix as a rank-``k`` factorization
+``X̂ = L Rᵀ`` minimizing::
+
+    f(L, R) = λ (||L||_F² + ||R||_F²)                (factored rank surrogate)
+            + w_b ||B ∘ (L Rᵀ) − X_I||_F²            (known undistorted entries)
+            + μ   ||L Rᵀ − X_R Z||_F²                (low-rank representation)
+            + γ_g ||W_g ∘ ((L Rᵀ) G)||_F²            (continuity along links)
+            + γ_h ||W_h ∘ (H (L Rᵀ))||_F²            (similarity across links)
+
+``λ(||L||² + ||R||²)`` is the standard factored surrogate of the nuclear norm
+(rank minimization), so all five paper terms appear literally. The problem is
+non-convex jointly but convex in each factor, so LoLi-IR alternates: with
+``R`` fixed the stationarity condition in ``L`` is a linear system with a
+symmetric positive-definite operator, solved matrix-free by conjugate
+gradients (no normal matrix is ever formed); then symmetrically for ``R``.
+Each half-step solves its convex sub-problem, so the objective is
+monotonically non-increasing — asserted by the unit tests.
+
+Following the paper, the factors are initialized from an SVD of a rough
+completion (``X̂₀ = UΣVᵀ, L = UΣ^{1/2}, R = VΣ^{1/2}``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.completion import mean_fill
+from repro.util.linalg import balanced_factors, conjugate_gradient
+from repro.util.validation import check_matrix, check_positive
+
+
+@dataclass(frozen=True)
+class LoliIrConfig:
+    """Hyper-parameters of the LoLi-IR solve.
+
+    The poster does not publish values; these defaults were chosen by the
+    ablation benchmarks (see EXPERIMENTS.md) and are stable across the
+    deployment sizes used in the paper's figures.
+
+    Attributes:
+        rank: Factorization rank ``k``.
+        lam: Weight λ of the Frobenius (rank-surrogate) term.
+        observed_weight: Weight on the known undistorted entries (``w_b``).
+        lrr_weight: Weight μ of the low-rank-representation anchor term.
+        continuity_weight: Weight γ_g of the along-link continuity term.
+        similarity_weight: Weight γ_h of the across-link similarity term.
+        outer_iterations: Number of (L-step, R-step) sweeps.
+        tol: Relative objective-decrease tolerance for early stopping.
+        cg_tol / cg_max_iter: Inner conjugate-gradient controls.
+    """
+
+    rank: int = 6
+    lam: float = 1e-2
+    observed_weight: float = 1.0
+    lrr_weight: float = 1.0
+    continuity_weight: float = 0.3
+    similarity_weight: float = 0.1
+    outer_iterations: int = 30
+    tol: float = 1e-7
+    cg_tol: float = 1e-9
+    cg_max_iter: int = 200
+
+    def __post_init__(self) -> None:
+        if self.rank < 1:
+            raise ValueError(f"rank must be >= 1, got {self.rank}")
+        check_positive("lam", self.lam)
+        check_positive("observed_weight", self.observed_weight, strict=False)
+        check_positive("lrr_weight", self.lrr_weight, strict=False)
+        check_positive("continuity_weight", self.continuity_weight, strict=False)
+        check_positive("similarity_weight", self.similarity_weight, strict=False)
+        if self.outer_iterations < 1:
+            raise ValueError(
+                f"outer_iterations must be >= 1, got {self.outer_iterations}"
+            )
+
+
+@dataclass(frozen=True)
+class LoliIrResult:
+    """Outcome of a LoLi-IR solve.
+
+    Attributes:
+        matrix: The reconstruction ``L @ R.T``.
+        left / right: The factors.
+        objective_history: Objective value after initialization and after
+            each outer sweep (non-increasing).
+        iterations: Outer sweeps performed.
+        converged: Whether the relative-decrease tolerance was met before the
+            iteration cap.
+    """
+
+    matrix: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    objective_history: np.ndarray
+    iterations: int
+    converged: bool
+
+    @property
+    def final_objective(self) -> float:
+        return float(self.objective_history[-1])
+
+
+@dataclass
+class LoliIrProblem:
+    """The data of one reconstruction instance.
+
+    Any of the optional terms may be omitted (``None`` / zero weight), which
+    is how the objective-ablation benchmark switches terms off.
+
+    Attributes:
+        observed_mask: Boolean ``B``, shape ``(links, cells)``.
+        observed_values: ``X_I`` with valid data where ``B`` is True.
+        lrr_target: ``X_R @ Z`` transferred estimate, shape ``(links, cells)``.
+        continuity_op: ``G``, shape ``(cells, pairs_g)``.
+        continuity_weights: ``W_g``, shape ``(links, pairs_g)``.
+        similarity_op: ``H``, shape ``(pairs_h, links)``.
+        similarity_weights: ``W_h``, shape ``(pairs_h, cells)``.
+    """
+
+    observed_mask: np.ndarray
+    observed_values: np.ndarray
+    lrr_target: Optional[np.ndarray] = None
+    continuity_op: Optional[np.ndarray] = None
+    continuity_weights: Optional[np.ndarray] = None
+    similarity_op: Optional[np.ndarray] = None
+    similarity_weights: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        mask = np.asarray(self.observed_mask, dtype=bool)
+        values = check_matrix("observed_values", self.observed_values)
+        if mask.shape != values.shape:
+            raise ValueError(
+                f"observed_mask shape {mask.shape} does not match values "
+                f"shape {values.shape}"
+            )
+        self.observed_mask = mask
+        self.observed_values = values
+        links, cells = values.shape
+        if self.lrr_target is not None:
+            target = check_matrix("lrr_target", self.lrr_target)
+            if target.shape != values.shape:
+                raise ValueError(
+                    f"lrr_target shape {target.shape} must be {values.shape}"
+                )
+            self.lrr_target = target
+        if (self.continuity_op is None) != (self.continuity_weights is None):
+            raise ValueError("continuity_op and continuity_weights come together")
+        if self.continuity_op is not None:
+            g = check_matrix("continuity_op", self.continuity_op, allow_empty=True)
+            w = check_matrix(
+                "continuity_weights", self.continuity_weights, allow_empty=True
+            )
+            if g.shape[0] != cells:
+                raise ValueError(
+                    f"continuity_op has {g.shape[0]} rows, expected {cells}"
+                )
+            if w.shape != (links, g.shape[1]):
+                raise ValueError(
+                    f"continuity_weights shape {w.shape} must be "
+                    f"({links}, {g.shape[1]})"
+                )
+            self.continuity_op = g
+            self.continuity_weights = w
+        if (self.similarity_op is None) != (self.similarity_weights is None):
+            raise ValueError("similarity_op and similarity_weights come together")
+        if self.similarity_op is not None:
+            h = check_matrix("similarity_op", self.similarity_op, allow_empty=True)
+            w = check_matrix(
+                "similarity_weights", self.similarity_weights, allow_empty=True
+            )
+            if h.shape[1] != links:
+                raise ValueError(
+                    f"similarity_op has {h.shape[1]} columns, expected {links}"
+                )
+            if w.shape != (h.shape[0], cells):
+                raise ValueError(
+                    f"similarity_weights shape {w.shape} must be "
+                    f"({h.shape[0]}, {cells})"
+                )
+            self.similarity_op = h
+            self.similarity_weights = w
+
+    @property
+    def shape(self):
+        return self.observed_values.shape
+
+
+class LoliIrSolver:
+    """Alternating conjugate-gradient solver for :class:`LoliIrProblem`."""
+
+    def __init__(self, config: LoliIrConfig = LoliIrConfig()) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def solve(
+        self, problem: LoliIrProblem, *, initial: Optional[np.ndarray] = None
+    ) -> LoliIrResult:
+        """Run LoLi-IR to (local) convergence.
+
+        Args:
+            problem: The reconstruction instance.
+            initial: Optional full-matrix warm start; defaults to the LRR
+                target where available, falling back to row-mean fill of the
+                observed entries (the paper's "roughly reconstructed by
+                rank-minimization" starting point).
+        """
+        cfg = self.config
+        links, cells = problem.shape
+        rank = min(cfg.rank, links, cells)
+
+        start = self._initial_matrix(problem) if initial is None else np.asarray(
+            initial, dtype=float
+        )
+        if start.shape != problem.shape:
+            raise ValueError(
+                f"initial shape {start.shape} does not match problem shape "
+                f"{problem.shape}"
+            )
+        left, right = balanced_factors(start, rank)
+
+        history: List[float] = [self._objective(problem, left, right)]
+        converged = False
+        iterations = 0
+        for iterations in range(1, cfg.outer_iterations + 1):
+            left = self._solve_left(problem, left, right)
+            right = self._solve_right(problem, left, right)
+            objective = self._objective(problem, left, right)
+            history.append(objective)
+            previous = history[-2]
+            if previous - objective <= cfg.tol * max(1.0, abs(previous)):
+                converged = True
+                break
+
+        return LoliIrResult(
+            matrix=left @ right.T,
+            left=left,
+            right=right,
+            objective_history=np.array(history),
+            iterations=iterations,
+            converged=converged,
+        )
+
+    # ------------------------------------------------------------------
+    # objective pieces
+    # ------------------------------------------------------------------
+    def _residual_operator(self, problem: LoliIrProblem, estimate: np.ndarray) -> np.ndarray:
+        """``S(X̂)``: the PSD part of d(objective)/dX̂ (without the rhs)."""
+        cfg = self.config
+        out = cfg.observed_weight * np.where(problem.observed_mask, estimate, 0.0)
+        if problem.lrr_target is not None and cfg.lrr_weight > 0:
+            out = out + cfg.lrr_weight * estimate
+        if problem.continuity_op is not None and cfg.continuity_weight > 0:
+            weighted = problem.continuity_weights * (estimate @ problem.continuity_op)
+            out = out + cfg.continuity_weight * (
+                (problem.continuity_weights * weighted) @ problem.continuity_op.T
+            )
+        if problem.similarity_op is not None and cfg.similarity_weight > 0:
+            weighted = problem.similarity_weights * (problem.similarity_op @ estimate)
+            out = out + cfg.similarity_weight * problem.similarity_op.T @ (
+                problem.similarity_weights * weighted
+            )
+        return out
+
+    def _rhs_matrix(self, problem: LoliIrProblem) -> np.ndarray:
+        cfg = self.config
+        rhs = cfg.observed_weight * np.where(
+            problem.observed_mask, problem.observed_values, 0.0
+        )
+        if problem.lrr_target is not None and cfg.lrr_weight > 0:
+            rhs = rhs + cfg.lrr_weight * problem.lrr_target
+        return rhs
+
+    def _objective(
+        self, problem: LoliIrProblem, left: np.ndarray, right: np.ndarray
+    ) -> float:
+        cfg = self.config
+        estimate = left @ right.T
+        value = cfg.lam * (float(np.sum(left**2)) + float(np.sum(right**2)))
+        residual = np.where(
+            problem.observed_mask, estimate - problem.observed_values, 0.0
+        )
+        value += cfg.observed_weight * float(np.sum(residual**2))
+        if problem.lrr_target is not None and cfg.lrr_weight > 0:
+            value += cfg.lrr_weight * float(np.sum((estimate - problem.lrr_target) ** 2))
+        if problem.continuity_op is not None and cfg.continuity_weight > 0:
+            term = problem.continuity_weights * (estimate @ problem.continuity_op)
+            value += cfg.continuity_weight * float(np.sum(term**2))
+        if problem.similarity_op is not None and cfg.similarity_weight > 0:
+            term = problem.similarity_weights * (problem.similarity_op @ estimate)
+            value += cfg.similarity_weight * float(np.sum(term**2))
+        return value
+
+    # ------------------------------------------------------------------
+    # alternating sub-problems
+    # ------------------------------------------------------------------
+    def _solve_left(
+        self, problem: LoliIrProblem, left: np.ndarray, right: np.ndarray
+    ) -> np.ndarray:
+        cfg = self.config
+
+        def operator(candidate: np.ndarray) -> np.ndarray:
+            return cfg.lam * candidate + self._residual_operator(
+                problem, candidate @ right.T
+            ) @ right
+
+        rhs = self._rhs_matrix(problem) @ right
+        solution = conjugate_gradient(
+            operator, rhs, x0=left, tol=cfg.cg_tol, max_iter=cfg.cg_max_iter
+        )
+        return solution.solution
+
+    def _solve_right(
+        self, problem: LoliIrProblem, left: np.ndarray, right: np.ndarray
+    ) -> np.ndarray:
+        cfg = self.config
+
+        def operator(candidate: np.ndarray) -> np.ndarray:
+            return cfg.lam * candidate + self._residual_operator(
+                problem, left @ candidate.T
+            ).T @ left
+
+        rhs = self._rhs_matrix(problem).T @ left
+        solution = conjugate_gradient(
+            operator, rhs, x0=right, tol=cfg.cg_tol, max_iter=cfg.cg_max_iter
+        )
+        return solution.solution
+
+    # ------------------------------------------------------------------
+    # initialization
+    # ------------------------------------------------------------------
+    def _initial_matrix(self, problem: LoliIrProblem) -> np.ndarray:
+        if problem.lrr_target is not None:
+            start = np.array(problem.lrr_target, copy=True)
+            start[problem.observed_mask] = problem.observed_values[
+                problem.observed_mask
+            ]
+            return start
+        return mean_fill(problem.observed_values, problem.observed_mask)

@@ -1,0 +1,238 @@
+"""Fingerprint matching: estimate the target cell from a live RSS vector.
+
+After reconstruction, "the real-time RSS measurements are collected as
+``Y = (y_i)_{M×1}``; then the target location can be estimated by matching
+``Y`` with ``X``" (paper, end of section 2). Three matchers are provided:
+
+* :class:`NearestNeighborMatcher` — argmin over columns of a distance between
+  ``Y`` and ``x_j`` (Euclidean by default). The baseline rule.
+* :class:`KnnMatcher` — distance-weighted average of the K best cells'
+  centers; returns sub-grid ("fine-grained") positions.
+* :class:`ProbabilisticMatcher` — Gaussian likelihood per cell with a noise
+  scale, returning a posterior over cells; composes with the particle-filter
+  tracker.
+
+All matchers consume a :class:`~repro.core.fingerprint.FingerprintMatrix`
+and a grid so they can translate cells to coordinates.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.fingerprint import FingerprintMatrix
+from repro.sim.geometry import Grid, Point
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """A localization estimate.
+
+    Attributes:
+        cell: Most likely grid cell.
+        position: Estimated coordinates (may be off-center for KNN).
+        scores: Per-cell score; higher is better (negated distance or
+            log-likelihood, matcher-dependent).
+    """
+
+    cell: int
+    position: Point
+    scores: np.ndarray
+
+
+class Matcher(abc.ABC):
+    """Interface of fingerprint matchers."""
+
+    def __init__(self, fingerprint: FingerprintMatrix, grid: Grid) -> None:
+        if fingerprint.cell_count != grid.cell_count:
+            raise ValueError(
+                f"fingerprint covers {fingerprint.cell_count} cells, grid has "
+                f"{grid.cell_count}"
+            )
+        self.fingerprint = fingerprint
+        self.grid = grid
+
+    @abc.abstractmethod
+    def match(self, live_rss: np.ndarray) -> MatchResult:
+        """Estimate the target location from one live RSS vector."""
+
+    def _check_vector(self, live_rss: np.ndarray) -> np.ndarray:
+        vector = np.asarray(live_rss, dtype=float)
+        if vector.shape != (self.fingerprint.link_count,):
+            raise ValueError(
+                f"live vector shape {vector.shape} must be "
+                f"({self.fingerprint.link_count},)"
+            )
+        return vector
+
+
+class NearestNeighborMatcher(Matcher):
+    """Nearest column in Euclidean (or Manhattan) distance.
+
+    ``use_dips=True`` matches on attenuation relative to the empty room
+    instead of absolute dBm, which cancels any residual common drift between
+    the fingerprint's calibration and the live measurement; it requires the
+    caller to supply the live empty-room RSS estimate.
+    """
+
+    def __init__(
+        self,
+        fingerprint: FingerprintMatrix,
+        grid: Grid,
+        *,
+        metric: str = "euclidean",
+        use_dips: bool = False,
+        live_empty_rss: Optional[np.ndarray] = None,
+    ) -> None:
+        super().__init__(fingerprint, grid)
+        if metric not in ("euclidean", "manhattan"):
+            raise ValueError(f"unknown metric {metric!r}")
+        self.metric = metric
+        self.use_dips = use_dips
+        if use_dips:
+            empty = (
+                fingerprint.empty_rss if live_empty_rss is None else np.asarray(
+                    live_empty_rss, dtype=float
+                )
+            )
+            if empty.shape != (fingerprint.link_count,):
+                raise ValueError(
+                    f"live_empty_rss shape {empty.shape} must be "
+                    f"({fingerprint.link_count},)"
+                )
+            self._live_empty = empty
+            self._templates = fingerprint.dips()
+        else:
+            self._live_empty = None
+            self._templates = fingerprint.values
+
+    def match(self, live_rss: np.ndarray) -> MatchResult:
+        vector = self._check_vector(live_rss)
+        if self.use_dips:
+            vector = self._live_empty - vector
+        deltas = self._templates - vector[:, None]
+        if self.metric == "euclidean":
+            distances = np.sqrt(np.sum(deltas**2, axis=0))
+        else:
+            distances = np.sum(np.abs(deltas), axis=0)
+        cell = int(np.argmin(distances))
+        return MatchResult(
+            cell=cell, position=self.grid.center_of(cell), scores=-distances
+        )
+
+
+class KnnMatcher(Matcher):
+    """K nearest columns, inverse-distance-weighted centroid of their cells.
+
+    This is what makes the estimate "fine-grained": the returned position
+    interpolates between grid centers, so error is not floored at half a
+    cell diagonal.
+    """
+
+    def __init__(
+        self,
+        fingerprint: FingerprintMatrix,
+        grid: Grid,
+        *,
+        k: int = 3,
+        epsilon: float = 1e-6,
+    ) -> None:
+        super().__init__(fingerprint, grid)
+        if not 1 <= k <= fingerprint.cell_count:
+            raise ValueError(
+                f"k must lie in [1, {fingerprint.cell_count}], got {k}"
+            )
+        check_positive("epsilon", epsilon)
+        self.k = k
+        self.epsilon = epsilon
+
+    def match(self, live_rss: np.ndarray) -> MatchResult:
+        vector = self._check_vector(live_rss)
+        deltas = self.fingerprint.values - vector[:, None]
+        distances = np.sqrt(np.sum(deltas**2, axis=0))
+        order = np.argsort(distances)[: self.k]
+        weights = 1.0 / (distances[order] + self.epsilon)
+        weights = weights / weights.sum()
+        xs, ys = [], []
+        for cell in order:
+            center = self.grid.center_of(int(cell))
+            xs.append(center.x)
+            ys.append(center.y)
+        position = Point(
+            float(np.dot(weights, xs)), float(np.dot(weights, ys))
+        )
+        return MatchResult(
+            cell=int(order[0]), position=position, scores=-distances
+        )
+
+
+class ProbabilisticMatcher(Matcher):
+    """Per-cell Gaussian likelihood ``N(Y; x_j, sigma^2 I)``.
+
+    Returns the MAP cell; :meth:`posterior` exposes the normalized posterior
+    for consumers that need full uncertainty (e.g. the tracker).
+    """
+
+    def __init__(
+        self,
+        fingerprint: FingerprintMatrix,
+        grid: Grid,
+        *,
+        sigma_db: float = 2.0,
+        prior: Optional[np.ndarray] = None,
+    ) -> None:
+        super().__init__(fingerprint, grid)
+        check_positive("sigma_db", sigma_db)
+        self.sigma_db = sigma_db
+        if prior is None:
+            prior = np.full(fingerprint.cell_count, 1.0 / fingerprint.cell_count)
+        prior = np.asarray(prior, dtype=float)
+        if prior.shape != (fingerprint.cell_count,):
+            raise ValueError(
+                f"prior shape {prior.shape} must be ({fingerprint.cell_count},)"
+            )
+        if np.any(prior < 0) or prior.sum() <= 0:
+            raise ValueError("prior must be non-negative and not all zero")
+        self.prior = prior / prior.sum()
+
+    def log_likelihoods(self, live_rss: np.ndarray) -> np.ndarray:
+        """Unnormalized per-cell Gaussian log-likelihoods."""
+        vector = self._check_vector(live_rss)
+        deltas = self.fingerprint.values - vector[:, None]
+        return -0.5 * np.sum(deltas**2, axis=0) / self.sigma_db**2
+
+    def posterior(self, live_rss: np.ndarray) -> np.ndarray:
+        """Normalized posterior over cells given the live vector."""
+        log_like = self.log_likelihoods(live_rss) + np.log(self.prior)
+        log_like -= log_like.max()
+        weights = np.exp(log_like)
+        return weights / weights.sum()
+
+    def match(self, live_rss: np.ndarray) -> MatchResult:
+        posterior = self.posterior(live_rss)
+        cell = int(np.argmax(posterior))
+        return MatchResult(
+            cell=cell,
+            position=self.grid.center_of(cell),
+            scores=np.log(posterior + 1e-300),
+        )
+
+
+def expected_position(posterior: np.ndarray, grid: Grid) -> Point:
+    """Posterior-mean position (used by the tracker and examples)."""
+    posterior = np.asarray(posterior, dtype=float)
+    if posterior.shape != (grid.cell_count,):
+        raise ValueError(
+            f"posterior shape {posterior.shape} must be ({grid.cell_count},)"
+        )
+    total = posterior.sum()
+    if total <= 0:
+        raise ValueError("posterior sums to zero")
+    xs = np.array([grid.center_of(j).x for j in range(grid.cell_count)])
+    ys = np.array([grid.center_of(j).y for j in range(grid.cell_count)])
+    return Point(float(posterior @ xs / total), float(posterior @ ys / total))

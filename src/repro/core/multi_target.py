@@ -1,0 +1,197 @@
+"""Extension: localizing two simultaneous targets.
+
+The poster handles one target; multi-target device-free localization is the
+standing extension every DfL paper gestures at. This module implements the
+standard fingerprint-side approach for two targets:
+
+* **Signature superposition**: with two bodies in the room, each link's dip
+  is approximately the sum of the per-target dips (valid while the bodies
+  do not shadow each other's paths — the usual sparse-occupancy regime).
+* **Joint matching**: search over cell *pairs*, scoring the live dip vector
+  against the summed fingerprint dips of the pair. The search space is
+  ``N·(N-1)/2``; for the paper's 96 cells that is 4 560 pairs — trivially
+  exhaustive. A pluggable pruning radius keeps larger grids tractable by
+  discarding pairs whose single-target scores are both hopeless.
+
+The estimator also decides *how many* targets are present (0, 1 or 2) by
+comparing the best 0/1/2-target residuals with a complexity penalty —
+giving the library a primitive occupancy counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.fingerprint import FingerprintMatrix
+from repro.sim.geometry import Grid, Point
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class MultiTargetResult:
+    """Outcome of a joint multi-target match.
+
+    Attributes:
+        count: Estimated number of targets (0, 1 or 2).
+        cells: The estimated cells, length ``count``.
+        positions: Cell-center positions, length ``count``.
+        residual: RMS residual (dB) of the chosen hypothesis.
+    """
+
+    count: int
+    cells: Tuple[int, ...]
+    positions: Tuple[Point, ...]
+    residual: float
+
+
+class MultiTargetMatcher:
+    """Joint 0/1/2-target matching by dip superposition.
+
+    Args:
+        fingerprint: Fingerprint matrix (with empty-room calibration).
+        grid: The deployment grid (for cell → position mapping).
+        live_empty_rss: Fresh empty-room calibration for live dips; defaults
+            to the fingerprint's own.
+        count_penalty_db: Residual improvement (RMS dB) each extra target
+            must buy to be accepted — the model-order penalty.
+        prune_keep: For the pair search, only cells among the best
+            ``prune_keep`` single-target matches are considered as pair
+            members (the superposed best pair almost always contains a
+            decent single match). ``None`` disables pruning.
+    """
+
+    def __init__(
+        self,
+        fingerprint: FingerprintMatrix,
+        grid: Grid,
+        *,
+        live_empty_rss: Optional[np.ndarray] = None,
+        count_penalty_db: float = 0.35,
+        prune_keep: Optional[int] = 25,
+    ) -> None:
+        if fingerprint.cell_count != grid.cell_count:
+            raise ValueError(
+                f"fingerprint covers {fingerprint.cell_count} cells, grid has "
+                f"{grid.cell_count}"
+            )
+        check_positive("count_penalty_db", count_penalty_db, strict=False)
+        if prune_keep is not None and prune_keep < 2:
+            raise ValueError(f"prune_keep must be >= 2, got {prune_keep}")
+        self.fingerprint = fingerprint
+        self.grid = grid
+        self.count_penalty_db = count_penalty_db
+        self.prune_keep = prune_keep
+        if live_empty_rss is None:
+            self._live_empty = fingerprint.empty_rss
+        else:
+            live_empty = np.asarray(live_empty_rss, dtype=float)
+            if live_empty.shape != (fingerprint.link_count,):
+                raise ValueError(
+                    f"live_empty_rss shape {live_empty.shape} must be "
+                    f"({fingerprint.link_count},)"
+                )
+            self._live_empty = live_empty
+        self._templates = fingerprint.dips()  # (links, cells)
+
+    # ------------------------------------------------------------------
+    def live_dips(self, live_rss: np.ndarray) -> np.ndarray:
+        live = np.asarray(live_rss, dtype=float)
+        if live.shape != (self.fingerprint.link_count,):
+            raise ValueError(
+                f"live vector shape {live.shape} must be "
+                f"({self.fingerprint.link_count},)"
+            )
+        return self._live_empty - live
+
+    def match(self, live_rss: np.ndarray) -> MultiTargetResult:
+        """Jointly estimate target count (0/1/2) and their cells."""
+        dips = self.live_dips(live_rss)
+        links = self.fingerprint.link_count
+
+        # Hypothesis 0: nobody present.
+        residual0 = float(np.sqrt(np.mean(dips**2)))
+
+        # Hypothesis 1: single target.
+        single_residuals = np.sqrt(
+            np.mean((self._templates - dips[:, None]) ** 2, axis=0)
+        )
+        best1 = int(np.argmin(single_residuals))
+        residual1 = float(single_residuals[best1])
+
+        # Hypothesis 2: two targets, superposed dips.
+        candidates = self._pair_candidates(single_residuals)
+        best_pair, residual2 = self._best_pair(dips, candidates)
+
+        # Model-order selection: an extra target must buy at least the
+        # penalty in RMS residual.
+        if residual1 <= residual0 - self.count_penalty_db:
+            if best_pair is not None and residual2 <= residual1 - self.count_penalty_db:
+                cells = tuple(sorted(best_pair))
+                return MultiTargetResult(
+                    count=2,
+                    cells=cells,
+                    positions=tuple(self.grid.center_of(c) for c in cells),
+                    residual=residual2,
+                )
+            return MultiTargetResult(
+                count=1,
+                cells=(best1,),
+                positions=(self.grid.center_of(best1),),
+                residual=residual1,
+            )
+        del links
+        return MultiTargetResult(
+            count=0, cells=(), positions=(), residual=residual0
+        )
+
+    # ------------------------------------------------------------------
+    def _pair_candidates(self, single_residuals: np.ndarray) -> np.ndarray:
+        if self.prune_keep is None:
+            return np.arange(self.fingerprint.cell_count)
+        keep = min(self.prune_keep, self.fingerprint.cell_count)
+        return np.argsort(single_residuals)[:keep]
+
+    def _best_pair(
+        self, dips: np.ndarray, candidates: np.ndarray
+    ) -> Tuple[Optional[Tuple[int, int]], float]:
+        best: Optional[Tuple[int, int]] = None
+        best_residual = float("inf")
+        templates = self._templates
+        for i_idx in range(len(candidates)):
+            a = int(candidates[i_idx])
+            combined_a = templates[:, a]
+            for j_idx in range(i_idx + 1, len(candidates)):
+                b = int(candidates[j_idx])
+                combined = combined_a + templates[:, b]
+                residual = float(np.sqrt(np.mean((combined - dips) ** 2)))
+                if residual < best_residual:
+                    best_residual = residual
+                    best = (a, b)
+        return best, best_residual
+
+
+def pairing_error(
+    estimated: List[Point], truth: List[Point]
+) -> float:
+    """Mean error under the best assignment of estimates to true targets.
+
+    For up to two targets the optimal assignment is the cheaper of the two
+    permutations; returns infinity when the counts differ (counting errors
+    are scored separately).
+    """
+    if len(estimated) != len(truth):
+        return float("inf")
+    if not truth:
+        return 0.0
+    if len(truth) == 1:
+        return estimated[0].distance_to(truth[0])
+    direct = (
+        estimated[0].distance_to(truth[0]) + estimated[1].distance_to(truth[1])
+    ) / 2.0
+    swapped = (
+        estimated[0].distance_to(truth[1]) + estimated[1].distance_to(truth[0])
+    ) / 2.0
+    return min(direct, swapped)

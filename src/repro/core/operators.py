@@ -1,0 +1,95 @@
+"""Continuity (G) and similarity (H) operators (the paper's property iii).
+
+The TafLoc objective contains two smoothness penalties on the
+largely-distorted entries ``X_D``:
+
+* ``||X_D G||_F^2`` — **continuity along a link**: within one row (one link),
+  RSS at spatially neighboring locations should be close. ``G`` acts on the
+  right, differencing columns; but only column pairs that are spatial
+  neighbors *and* both largely distorted on that link should be penalized,
+  so our ``G`` is built per deployment grid and the mask is folded in by the
+  solver.
+* ``||H X_D||_F^2`` — **similarity across adjacent links**: within one column
+  (one location), adjacent links see similar RSS. ``H`` acts on the left,
+  differencing the rows of spatially adjacent link pairs.
+
+Both are returned as dense numpy matrices (the testbeds here are tiny:
+M ~ tens of links, N ~ hundreds to thousands of cells).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.deployment import Deployment
+from repro.sim.geometry import Grid
+
+
+def continuity_operator(grid: Grid) -> np.ndarray:
+    """Column-difference operator ``G`` of shape ``(cells, pairs)``.
+
+    ``(X @ G)[:, p]`` is the RSS difference across the ``p``-th pair of
+    4-adjacent grid cells. Penalizing its Frobenius norm pulls neighboring
+    columns of the reconstruction together, implementing "RSS measurements at
+    neighbor locations along a particular link are continuous".
+    """
+    pairs = _adjacent_cell_pairs(grid)
+    operator = np.zeros((grid.cell_count, len(pairs)))
+    for p, (a, b) in enumerate(pairs):
+        operator[a, p] = -1.0
+        operator[b, p] = 1.0
+    return operator
+
+
+def similarity_operator(
+    deployment: Deployment,
+    *,
+    pairs: Optional[Sequence[Tuple[int, int]]] = None,
+) -> np.ndarray:
+    """Row-difference operator ``H`` of shape ``(pairs, links)``.
+
+    ``(H @ X)[p, :]`` is the RSS difference between the ``p``-th pair of
+    spatially adjacent links. Penalizing it implements "measurements at a
+    specific location from adjacent links are similar". ``pairs`` overrides
+    the deployment's own adjacency (useful in tests).
+    """
+    link_pairs = list(pairs) if pairs is not None else deployment.adjacent_link_pairs()
+    operator = np.zeros((len(link_pairs), deployment.link_count))
+    for p, (a, b) in enumerate(link_pairs):
+        if not (0 <= a < deployment.link_count and 0 <= b < deployment.link_count):
+            raise ValueError(f"link pair ({a}, {b}) out of range")
+        operator[p, a] = -1.0
+        operator[p, b] = 1.0
+    return operator
+
+
+def masked_pair_weights(
+    mask: np.ndarray, grid: Grid
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Weights restricting the smoothness penalties to distorted entries.
+
+    Returns:
+        continuity_weights: shape ``(links, pairs_G)``; entry ``(i, p)`` is 1
+            when *both* cells of column pair ``p`` are largely distorted on
+            link ``i`` — only then does the paper's continuity property apply.
+        similarity_row_mask: shape ``(links, cells)`` float copy of ``mask``,
+            used by the solver to gate the H penalty per entry.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    pairs = _adjacent_cell_pairs(grid)
+    continuity_weights = np.zeros((mask.shape[0], len(pairs)))
+    for p, (a, b) in enumerate(pairs):
+        continuity_weights[:, p] = mask[:, a] & mask[:, b]
+    return continuity_weights, mask.astype(float)
+
+
+def _adjacent_cell_pairs(grid: Grid) -> list:
+    """All unordered 4-adjacent cell pairs of the grid, (low, high) order."""
+    pairs = []
+    for cell in range(grid.cell_count):
+        for neighbor in grid.neighbors_of(cell):
+            if neighbor > cell:
+                pairs.append((cell, neighbor))
+    return pairs

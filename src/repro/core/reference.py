@@ -1,0 +1,205 @@
+"""Reference-location selection (the paper's property ii).
+
+TafLoc refreshes the fingerprint database by re-measuring only ``n ≪ N``
+*reference locations*. The paper selects "locations with RSS measurements
+corresponding to the maximum linearly independent vectors" of the fingerprint
+matrix — the classical column-subset-selection problem, for which
+rank-revealing pivoted QR is the standard solution and is the default here.
+
+Alternative strategies (greedy residual, k-means in column space, uniform
+random) are provided for the ablation benchmark
+``benchmarks/test_ablation_reference_selection.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+import scipy.linalg
+
+from repro.util.rng import RandomState, as_generator
+from repro.util.validation import check_matrix
+
+
+@dataclass(frozen=True)
+class ReferenceSelection:
+    """The outcome of a reference-location selection.
+
+    Attributes:
+        cells: Selected cell indices, in selection order.
+        scores: Per-selected-cell importance score (strategy-specific;
+            pivoted QR reports the magnitude of the R diagonal).
+        strategy: Which selector produced this.
+    """
+
+    cells: np.ndarray
+    scores: np.ndarray
+    strategy: str
+
+    def __post_init__(self) -> None:
+        cells = np.asarray(self.cells, dtype=int)
+        scores = np.asarray(self.scores, dtype=float)
+        if cells.ndim != 1 or scores.shape != cells.shape:
+            raise ValueError(
+                f"cells {cells.shape} and scores {scores.shape} must be equal-length "
+                "1-D arrays"
+            )
+        if len(np.unique(cells)) != len(cells):
+            raise ValueError("selected cells contain duplicates")
+        object.__setattr__(self, "cells", cells)
+        object.__setattr__(self, "scores", scores)
+
+    @property
+    def count(self) -> int:
+        return len(self.cells)
+
+
+def select_references_pivoted_qr(matrix: np.ndarray, count: int) -> ReferenceSelection:
+    """Column subset selection via rank-revealing QR with column pivoting.
+
+    The first ``count`` pivot columns of QR-with-pivoting are a numerically
+    robust realization of "the maximum linearly independent vectors" of the
+    matrix: each pivot is the column with the largest residual norm once the
+    previously chosen columns are projected out.
+    """
+    matrix = check_matrix("matrix", matrix)
+    count = _check_count(count, matrix.shape[1])
+    # Centering removes the large common offset (all RSS near e.g. -45 dBm)
+    # so pivoting responds to fingerprint *structure*, not the shared mean.
+    centered = matrix - matrix.mean(axis=1, keepdims=True)
+    _, r, piv = scipy.linalg.qr(centered, mode="economic", pivoting=True)
+    cells = piv[:count]
+    diag = np.abs(np.diag(r))
+    scores = diag[: len(cells)] if diag.size >= len(cells) else np.pad(
+        diag, (0, len(cells) - diag.size)
+    )
+    return ReferenceSelection(cells=cells, scores=scores[:count], strategy="pivoted_qr")
+
+
+def select_references_greedy(matrix: np.ndarray, count: int) -> ReferenceSelection:
+    """Greedy column selection by maximum residual after projection.
+
+    Mathematically the same criterion as pivoted QR but implemented as an
+    explicit greedy loop; kept as an independently coded cross-check (the
+    ablation test asserts the two agree on easy instances) and as a template
+    for custom scoring rules.
+    """
+    matrix = check_matrix("matrix", matrix)
+    count = _check_count(count, matrix.shape[1])
+    residual = matrix - matrix.mean(axis=1, keepdims=True)
+    floor = 1e-9 * max(float(np.linalg.norm(residual)), 1.0)
+    chosen: list[int] = []
+    scores: list[float] = []
+    for _ in range(count):
+        norms = np.linalg.norm(residual, axis=0)
+        norms[chosen] = -1.0
+        pick = int(np.argmax(norms))
+        norm = float(norms[pick])
+        if norm <= floor:
+            # Remaining columns are numerically dependent on the chosen set.
+            break
+        chosen.append(pick)
+        scores.append(norm)
+        direction = residual[:, pick] / norm
+        residual = residual - np.outer(direction, direction @ residual)
+    return ReferenceSelection(
+        cells=np.array(chosen), scores=np.array(scores), strategy="greedy"
+    )
+
+
+def select_references_kmeans(
+    matrix: np.ndarray, count: int, *, seed: RandomState = 0, iterations: int = 50
+) -> ReferenceSelection:
+    """Cluster columns with k-means and pick the column nearest each centroid.
+
+    Spreads references across distinct fingerprint "shapes" rather than
+    maximizing independence; competitive when noise dominates.
+    """
+    matrix = check_matrix("matrix", matrix)
+    count = _check_count(count, matrix.shape[1])
+    rng = as_generator(seed)
+    columns = matrix.T  # observations are columns of the fingerprint matrix
+    n = columns.shape[0]
+    centroids = columns[rng.choice(n, size=count, replace=False)]
+    assignment = np.zeros(n, dtype=int)
+    for _ in range(iterations):
+        distances = np.linalg.norm(columns[:, None, :] - centroids[None, :, :], axis=2)
+        new_assignment = np.argmin(distances, axis=1)
+        if np.array_equal(new_assignment, assignment):
+            break
+        assignment = new_assignment
+        for k in range(count):
+            members = columns[assignment == k]
+            if len(members):
+                centroids[k] = members.mean(axis=0)
+    distances = np.linalg.norm(columns[:, None, :] - centroids[None, :, :], axis=2)
+    cells: list[int] = []
+    scores: list[float] = []
+    for k in range(count):
+        order = np.argsort(distances[:, k])
+        pick = next((int(i) for i in order if int(i) not in cells), None)
+        if pick is None:
+            continue
+        cells.append(pick)
+        scores.append(float(-distances[pick, k]))
+    return ReferenceSelection(
+        cells=np.array(cells), scores=np.array(scores), strategy="kmeans"
+    )
+
+
+def select_references_random(
+    matrix: np.ndarray, count: int, *, seed: RandomState = 0
+) -> ReferenceSelection:
+    """Uniform random selection — the ablation floor."""
+    matrix = check_matrix("matrix", matrix)
+    count = _check_count(count, matrix.shape[1])
+    rng = as_generator(seed)
+    cells = rng.choice(matrix.shape[1], size=count, replace=False)
+    return ReferenceSelection(
+        cells=np.asarray(cells, dtype=int),
+        scores=np.zeros(count),
+        strategy="random",
+    )
+
+
+_STRATEGIES: Dict[str, Callable[..., ReferenceSelection]] = {
+    "pivoted_qr": select_references_pivoted_qr,
+    "greedy": select_references_greedy,
+    "kmeans": select_references_kmeans,
+    "random": select_references_random,
+}
+
+
+def select_references(
+    matrix: np.ndarray,
+    count: int,
+    *,
+    strategy: str = "pivoted_qr",
+    seed: RandomState = 0,
+) -> ReferenceSelection:
+    """Dispatch to a named selection strategy.
+
+    Args:
+        matrix: Fingerprint matrix, shape ``(links, cells)``.
+        count: Number of reference locations to pick (the paper uses 10).
+        strategy: One of ``pivoted_qr`` (default, the paper's criterion),
+            ``greedy``, ``kmeans``, ``random``.
+        seed: Randomness for the stochastic strategies.
+    """
+    try:
+        selector = _STRATEGIES[strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; choose from {sorted(_STRATEGIES)}"
+        ) from None
+    if strategy in ("kmeans", "random"):
+        return selector(matrix, count, seed=seed)
+    return selector(matrix, count)
+
+
+def _check_count(count: int, cells: int) -> int:
+    if not 1 <= count <= cells:
+        raise ValueError(f"count must lie in [1, {cells}], got {count}")
+    return int(count)

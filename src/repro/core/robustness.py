@@ -1,0 +1,136 @@
+"""Fault tolerance: keep localizing when links die.
+
+Long-lived deployments (the whole point of TafLoc) lose links — nodes
+reboot, power bricks fail, APs get moved. This module provides the pieces a
+deployment needs to degrade gracefully instead of silently mislocating:
+
+* :func:`detect_dead_links` — flag links whose live readings are absent or
+  frozen relative to the calibration.
+* :func:`mask_fingerprint` — project a fingerprint matrix onto the healthy
+  links, yielding a reduced matrix any matcher can consume.
+* :func:`masked_matcher` — convenience: build a matcher of the requested
+  kind on the healthy-link projection.
+
+The accompanying tests measure how localization accuracy decays as links
+are removed — the deployment-planning question "how much headroom do I
+have?".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.fingerprint import FingerprintMatrix
+from repro.core.matching import (
+    KnnMatcher,
+    Matcher,
+    NearestNeighborMatcher,
+    ProbabilisticMatcher,
+)
+from repro.sim.geometry import Grid
+from repro.util.validation import check_matrix
+
+
+def detect_dead_links(
+    frames: np.ndarray,
+    empty_rss: np.ndarray,
+    *,
+    floor_dbm: float = -95.0,
+    min_std_db: float = 1e-3,
+    max_offset_db: float = 25.0,
+) -> np.ndarray:
+    """Boolean health mask per link (True = healthy) from recent frames.
+
+    A link is declared dead when its readings are pinned at the noise floor,
+    frozen (zero variance across frames — a stuck driver), or implausibly
+    far from the calibration (antenna moved / cable loose).
+
+    Args:
+        frames: Recent live frames, shape ``(frames, links)``.
+        empty_rss: The calibration vector the frames should resemble.
+        floor_dbm: Readings at/below this are treated as "no signal".
+        min_std_db: Variance below this (across >= 2 frames) means frozen.
+        max_offset_db: Mean |deviation| from calibration beyond this means
+            the link no longer measures the same channel.
+    """
+    array = check_matrix("frames", frames)
+    empty = np.asarray(empty_rss, dtype=float)
+    if empty.shape != (array.shape[1],):
+        raise ValueError(
+            f"empty_rss shape {empty.shape} does not match link count "
+            f"{array.shape[1]}"
+        )
+    healthy = np.ones(array.shape[1], dtype=bool)
+    healthy &= ~np.all(array <= floor_dbm, axis=0)
+    if array.shape[0] >= 2:
+        healthy &= array.std(axis=0) >= min_std_db
+    healthy &= np.abs(array - empty).mean(axis=0) <= max_offset_db
+    return healthy
+
+
+def mask_fingerprint(
+    fingerprint: FingerprintMatrix, link_mask: Sequence[bool]
+) -> FingerprintMatrix:
+    """Project a fingerprint matrix onto the healthy links.
+
+    Args:
+        fingerprint: The full matrix.
+        link_mask: Boolean per-link health mask (True = keep).
+    Returns:
+        A reduced :class:`FingerprintMatrix` over the surviving links.
+    """
+    mask = np.asarray(link_mask, dtype=bool)
+    if mask.shape != (fingerprint.link_count,):
+        raise ValueError(
+            f"link_mask shape {mask.shape} must be ({fingerprint.link_count},)"
+        )
+    if not mask.any():
+        raise ValueError("all links are masked out; nothing to match against")
+    return FingerprintMatrix(
+        values=fingerprint.values[mask],
+        empty_rss=fingerprint.empty_rss[mask],
+        day=fingerprint.day,
+        source=f"{fingerprint.source}+masked",
+    )
+
+
+def mask_live_vector(
+    live_rss: np.ndarray, link_mask: Sequence[bool]
+) -> np.ndarray:
+    """Project a live vector onto the healthy links (same order as the
+    masked fingerprint)."""
+    vector = np.asarray(live_rss, dtype=float)
+    mask = np.asarray(link_mask, dtype=bool)
+    if vector.shape != mask.shape:
+        raise ValueError(
+            f"live vector shape {vector.shape} must match mask shape "
+            f"{mask.shape}"
+        )
+    return vector[mask]
+
+
+def masked_matcher(
+    fingerprint: FingerprintMatrix,
+    grid: Grid,
+    link_mask: Sequence[bool],
+    *,
+    kind: str = "knn",
+    k: int = 3,
+    sigma_db: float = 2.0,
+    prior: Optional[np.ndarray] = None,
+) -> Matcher:
+    """Build a matcher over the healthy-link projection of a fingerprint.
+
+    The returned matcher expects *masked* live vectors (use
+    :func:`mask_live_vector` on each frame).
+    """
+    reduced = mask_fingerprint(fingerprint, link_mask)
+    if kind == "nn":
+        return NearestNeighborMatcher(reduced, grid)
+    if kind == "knn":
+        return KnnMatcher(reduced, grid, k=k)
+    if kind == "probabilistic":
+        return ProbabilisticMatcher(reduced, grid, sigma_db=sigma_db, prior=prior)
+    raise ValueError(f"kind must be nn/knn/probabilistic, got {kind!r}")

@@ -1,0 +1,57 @@
+"""Evaluation harness: metrics, cost model, figure experiments, reporting."""
+
+from repro.eval.costmodel import CostModel, UpdateCostRow, sweep_update_cost
+from repro.eval.experiments import (
+    Fig3Result,
+    Fig5Result,
+    run_fig3_reconstruction_error,
+    run_fig5_localization,
+    run_intext_drift,
+)
+from repro.eval.sensitivity import (
+    SensitivityPoint,
+    sweep_link_count,
+    sweep_noise,
+    sweep_reference_budget,
+)
+from repro.eval.tracking_experiments import (
+    TrackingResult,
+    run_tracking_experiment,
+    summarize_tracking,
+)
+from repro.eval.metrics import (
+    cdf_points,
+    mean_absolute_error,
+    median,
+    percentile,
+    reconstruction_error_matrix,
+    rms_error,
+)
+from repro.eval.reporting import format_cdf_table, format_series, format_table
+
+__all__ = [
+    "CostModel",
+    "Fig3Result",
+    "Fig5Result",
+    "SensitivityPoint",
+    "TrackingResult",
+    "UpdateCostRow",
+    "cdf_points",
+    "format_cdf_table",
+    "format_series",
+    "format_table",
+    "mean_absolute_error",
+    "median",
+    "percentile",
+    "reconstruction_error_matrix",
+    "rms_error",
+    "run_fig3_reconstruction_error",
+    "run_fig5_localization",
+    "run_intext_drift",
+    "run_tracking_experiment",
+    "summarize_tracking",
+    "sweep_link_count",
+    "sweep_noise",
+    "sweep_reference_budget",
+    "sweep_update_cost",
+]

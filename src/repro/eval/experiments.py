@@ -1,0 +1,194 @@
+"""Experiment runners for the paper's quantitative figures.
+
+Each runner builds its workload from a seeded scenario, executes the systems
+under test, and returns a plain-data result object that both the benchmark
+suite (which prints the paper-style rows) and the tests (which assert the
+qualitative shape) consume. Keeping the runners in the library — rather than
+inside the benchmarks — makes the experiments callable from user code and
+from the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.rass import RassConfig, RassLocalizer
+from repro.baselines.rti import RtiConfig, RtiLocalizer
+from repro.core.pipeline import TafLoc, TafLocConfig
+from repro.eval.metrics import cdf_points, mean_absolute_error, median, percentile
+from repro.sim.collector import CollectionProtocol, RssCollector
+from repro.sim.scenario import Scenario, build_paper_scenario
+from repro.util.rng import RandomState, spawn_children
+
+
+# ----------------------------------------------------------------------
+# In-text drift measurement
+# ----------------------------------------------------------------------
+def run_intext_drift(
+    *,
+    days: Sequence[float] = (3.0, 5.0, 15.0, 45.0, 90.0),
+    seeds: Sequence[int] = tuple(range(8)),
+) -> Dict[float, float]:
+    """Mean absolute empty-room RSS change after each time gap.
+
+    Reproduces the paper's in-text anchor: "the RSS values change 2.5 dBm and
+    6 dBm respectively after 5 and 45 days". Averages over independent
+    scenario realizations (the paper reports one room; we report the
+    ensemble mean so the number is seed-stable).
+    """
+    totals = {float(day): 0.0 for day in days}
+    for seed in seeds:
+        scenario = build_paper_scenario(seed=seed)
+        base = scenario.true_rss(0.0)
+        for day in days:
+            drifted = scenario.true_rss(float(day))
+            totals[float(day)] += mean_absolute_error(drifted, base)
+    return {day: total / len(seeds) for day, total in totals.items()}
+
+
+# ----------------------------------------------------------------------
+# Fig. 3: reconstruction error vs time gap
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig3Result:
+    """Reconstruction errors for one time gap.
+
+    Attributes:
+        day: Time gap (days since the full survey).
+        errors: Per-entry |reconstructed - measured| in dB, flattened. The
+            reference is a freshly *measured* full survey at ``day`` — the
+            paper's methodology (the authors have no noise-free oracle), so
+            the numbers carry the survey-vs-survey floor (intra-cell stance
+            jitter, residual noise) on top of the drift-induced part.
+        mean_error: Mean of ``errors`` (the number the paper quotes).
+        stale_mean_error: Error of *not* updating (keep the day-0 survey) —
+            the cost of doing nothing, for context.
+        oracle_mean_error: Mean |reconstructed - noise-free truth|; available
+            in simulation only, isolates the reconstruction's structural
+            error from the measurement floor.
+    """
+
+    day: float
+    errors: np.ndarray
+    mean_error: float
+    stale_mean_error: float
+    oracle_mean_error: float
+
+    def cdf(self, grid: Sequence[float] = ()):
+        return cdf_points(self.errors, grid=grid)
+
+
+def run_fig3_reconstruction_error(
+    *,
+    days: Sequence[float] = (3.0, 5.0, 15.0, 45.0, 90.0),
+    seed: RandomState = 0,
+    scenario: Optional[Scenario] = None,
+    config: Optional[TafLocConfig] = None,
+) -> List[Fig3Result]:
+    """Fig. 3 workload: survey at day 0, reconstruct at each later day.
+
+    For every gap, the TafLoc update collects only the empty room and the
+    reference cells, reconstructs the matrix, and is scored entry-wise
+    against an independently *measured* full survey of the same day (plus a
+    noise-free oracle comparison that only a simulator can provide).
+    """
+    scenario = scenario or build_paper_scenario(seed=seed)
+    collector_rng, system_rng, scoring_rng = spawn_children(seed, 3)
+    collector = RssCollector(scenario, seed=collector_rng)
+    system = TafLoc(collector, config or TafLocConfig(), seed=system_rng)
+    initial = system.commission(day=0.0)
+    scoring_collector = RssCollector(scenario, seed=scoring_rng)
+
+    results: List[Fig3Result] = []
+    for day in days:
+        report = system.update(float(day))
+        measured = scoring_collector.collect_full_survey(float(day)).survey.matrix
+        truth = scenario.true_fingerprint_matrix(float(day))
+        reconstructed = report.reconstruction.fingerprint.values
+        errors = np.abs(reconstructed - measured)
+        results.append(
+            Fig3Result(
+                day=float(day),
+                errors=errors.ravel(),
+                mean_error=float(errors.mean()),
+                stale_mean_error=mean_absolute_error(initial.values, measured),
+                oracle_mean_error=mean_absolute_error(reconstructed, truth),
+            )
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Fig. 5: localization accuracy at 3 months
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig5Result:
+    """Localization error samples per system.
+
+    Attributes:
+        day: Evaluation day (the paper: 3 months ≈ 90 days).
+        errors: Mapping from system name to per-frame error array (m).
+    """
+
+    day: float
+    errors: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def median_errors(self) -> Dict[str, float]:
+        return {name: median(errs) for name, errs in self.errors.items()}
+
+    def percentile_errors(self, q: float) -> Dict[str, float]:
+        return {name: percentile(errs, q) for name, errs in self.errors.items()}
+
+    def cdf(self, system: str, grid: Sequence[float] = ()):
+        return cdf_points(self.errors[system], grid=grid)
+
+
+def run_fig5_localization(
+    *,
+    day: float = 90.0,
+    test_cells: Optional[Sequence[int]] = None,
+    frames_per_cell: int = 3,
+    seed: RandomState = 0,
+    scenario: Optional[Scenario] = None,
+) -> Fig5Result:
+    """Fig. 5 workload: four systems localize the same targets at ``day``.
+
+    Systems:
+        * ``TafLoc`` — fingerprints reconstructed at ``day`` by LoLi-IR.
+        * ``RTI`` — model-based tomography with a fresh calibration.
+        * ``RASS w/ rec.`` — RASS consuming the reconstructed fingerprints.
+        * ``RASS w/o rec.`` — RASS consuming the stale day-0 fingerprints.
+    """
+    scenario = scenario or build_paper_scenario(seed=seed)
+    collector_rng, system_rng, trace_rng = spawn_children(seed, 3)
+    collector = RssCollector(scenario, seed=collector_rng)
+
+    system = TafLoc(collector, TafLocConfig(), seed=system_rng)
+    stale = system.commission(day=0.0)
+    report = system.update(day)
+    reconstructed = report.reconstruction.fingerprint
+    fresh_empty = reconstructed.empty_rss
+
+    deployment = scenario.deployment
+    if test_cells is None:
+        # Every 2nd cell: dense coverage of the room without re-testing the
+        # identical frame many times.
+        test_cells = list(range(0, deployment.cell_count, 2))
+    cells = [c for c in test_cells for _ in range(frames_per_cell)]
+    trace = RssCollector(scenario, seed=trace_rng).live_trace(day, cells)
+
+    rti = RtiLocalizer(deployment, fresh_empty, RtiConfig())
+    rass_fresh = RassLocalizer(
+        deployment, reconstructed, live_empty_rss=fresh_empty, config=RassConfig()
+    )
+    rass_stale = RassLocalizer(deployment, stale, config=RassConfig())
+
+    errors: Dict[str, np.ndarray] = {}
+    errors["TafLoc"] = system.localization_errors(trace)
+    errors["RTI"] = rti.errors(trace)
+    errors["RASS w/ rec."] = rass_fresh.errors(trace)
+    errors["RASS w/o rec."] = rass_stale.errors(trace)
+    return Fig5Result(day=day, errors=errors)

@@ -1,0 +1,81 @@
+"""Error metrics and CDF helpers shared by tests and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.util.validation import check_matrix
+
+
+def reconstruction_error_matrix(
+    reconstructed: np.ndarray, truth: np.ndarray
+) -> np.ndarray:
+    """Per-entry absolute error (dB) between a reconstruction and truth."""
+    reconstructed = check_matrix("reconstructed", reconstructed)
+    truth = check_matrix("truth", truth)
+    if reconstructed.shape != truth.shape:
+        raise ValueError(
+            f"shape mismatch: reconstructed {reconstructed.shape} vs truth "
+            f"{truth.shape}"
+        )
+    return np.abs(reconstructed - truth)
+
+
+def mean_absolute_error(estimate: np.ndarray, truth: np.ndarray) -> float:
+    """Mean |error| over all entries."""
+    return float(np.mean(np.abs(np.asarray(estimate) - np.asarray(truth))))
+
+
+def rms_error(estimate: np.ndarray, truth: np.ndarray) -> float:
+    """Root-mean-square error over all entries."""
+    diff = np.asarray(estimate, dtype=float) - np.asarray(truth, dtype=float)
+    return float(np.sqrt(np.mean(diff**2)))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """q-th percentile (q in [0, 100]) of a sample."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must lie in [0, 100], got {q}")
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot take a percentile of an empty sample")
+    return float(np.percentile(array, q))
+
+
+def median(values: Sequence[float]) -> float:
+    """Median of a sample."""
+    return percentile(values, 50.0)
+
+
+def cdf_points(
+    values: Sequence[float], *, grid: Sequence[float] = ()
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of a sample.
+
+    Args:
+        values: The sample.
+        grid: Evaluation abscissae; when empty, the sorted sample itself is
+            used (the standard staircase CDF).
+
+    Returns:
+        ``(x, F(x))`` arrays; ``F`` is the fraction of samples <= x.
+    """
+    array = np.sort(np.asarray(values, dtype=float))
+    if array.size == 0:
+        raise ValueError("cannot build a CDF from an empty sample")
+    if len(grid):
+        xs = np.asarray(grid, dtype=float)
+        fractions = np.searchsorted(array, xs, side="right") / array.size
+        return xs, fractions
+    fractions = np.arange(1, array.size + 1) / array.size
+    return array, fractions
+
+
+def fraction_below(values: Sequence[float], threshold: float) -> float:
+    """Fraction of the sample at or below ``threshold`` (one CDF point)."""
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ValueError("empty sample")
+    return float(np.mean(array <= threshold))

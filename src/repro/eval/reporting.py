@@ -1,0 +1,90 @@
+"""Plain-text rendering of experiment results.
+
+The benchmarks print their rows through these helpers so every figure
+reproduction emits a consistent, diff-friendly report (captured into
+``bench_output.txt`` at the end of a run).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    precision: int = 3,
+) -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    rendered_rows = [
+        [_render(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    separator = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        for row in rendered_rows
+    )
+    return f"{header_line}\n{separator}\n{body}"
+
+
+def format_series(
+    name: str, xs: Sequence[float], ys: Sequence[float], *, precision: int = 3
+) -> str:
+    """One named (x, y) series as aligned columns."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series length mismatch: {len(xs)} xs vs {len(ys)} ys")
+    pairs = "  ".join(
+        f"({_render(x, precision)}, {_render(y, precision)})"
+        for x, y in zip(xs, ys)
+    )
+    return f"{name}: {pairs}"
+
+
+def format_cdf_table(
+    samples: Mapping[str, np.ndarray],
+    grid: Sequence[float],
+    *,
+    value_label: str = "value",
+) -> str:
+    """CDF of several samples evaluated on a shared grid, one system per column."""
+    names = list(samples)
+    headers = [value_label, *names]
+    rows = []
+    for x in grid:
+        row: list = [x]
+        for name in names:
+            data = np.asarray(samples[name], dtype=float)
+            row.append(float(np.mean(data <= x)))
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def format_summary(title: str, entries: Dict[str, object], *, precision: int = 3) -> str:
+    """A titled key/value block."""
+    width = max((len(k) for k in entries), default=0)
+    lines = [title]
+    for key, value in entries.items():
+        lines.append(f"  {key.ljust(width)} : {_render(value, precision)}")
+    return "\n".join(lines)
+
+
+def _render(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    if isinstance(value, (float, np.floating)):
+        return f"{float(value):.{precision}f}"
+    return str(value)

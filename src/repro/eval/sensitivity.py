@@ -1,0 +1,184 @@
+"""Sensitivity analysis: how robust are the paper's results to the
+environment?
+
+The poster evaluates one room. A reproduction should ask how the headline
+result — cheap reconstruction keeps localization accurate — holds up as
+deployment conditions vary. This module sweeps one environmental knob at a
+time (measurement noise, link count, reference budget) and measures the
+45-day reconstruction error and localization accuracy at each setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.pipeline import TafLoc, TafLocConfig
+from repro.core.reconstruction import ReconstructionConfig
+from repro.sim.channel import ChannelModel, ChannelParams
+from repro.sim.collector import RssCollector
+from repro.sim.deployment import build_paper_deployment
+from repro.sim.drift import EntryFieldDrift, calibrated_paper_drift
+from repro.sim.scenario import Scenario
+from repro.sim.shadowing import (
+    CompositeShadowingModel,
+    HeterogeneousBlockingModel,
+    ScatteringModel,
+)
+from repro.util.rng import RandomState, spawn_children
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Outcome of one sweep setting.
+
+    Attributes:
+        knob: Which parameter was swept.
+        value: The setting.
+        reconstruction_error_db: Mean |reconstruction - truth| at 45 days.
+        localization_median_m: Median localization error at 45 days using
+            the reconstructed fingerprints.
+    """
+
+    knob: str
+    value: float
+    reconstruction_error_db: float
+    localization_median_m: float
+
+
+def _scenario_with(
+    seed: RandomState,
+    *,
+    noise_sigma_db: float = 1.0,
+    link_count: int = 10,
+) -> Scenario:
+    deployment = build_paper_deployment(link_count=link_count)
+    channel_rng, drift_rng, entry_rng, scatter_rng = spawn_children(seed, 4)
+    blocking_rng, field_rng = spawn_children(scatter_rng, 2)
+    shadowing = CompositeShadowingModel(
+        components=(
+            HeterogeneousBlockingModel(deployment.links, seed=blocking_rng),
+            ScatteringModel(
+                deployment.links,
+                amplitude_db=3.0,
+                decay_m=1.0,
+                wavelength_m=3.0,
+                seed=field_rng,
+            ),
+        )
+    )
+    return Scenario(
+        deployment=deployment,
+        channel=ChannelModel(
+            deployment.links,
+            ChannelParams(noise_sigma_db=noise_sigma_db),
+            seed=channel_rng,
+        ),
+        shadowing=shadowing,
+        drift=calibrated_paper_drift(deployment.link_count, seed=drift_rng),
+        entry_drift=EntryFieldDrift(
+            links=deployment.link_count,
+            cells=deployment.cell_count,
+            grid_rows=deployment.grid.rows,
+            grid_columns=deployment.grid.columns,
+            seed=entry_rng,
+        ),
+    )
+
+
+def _measure(
+    scenario: Scenario,
+    seed: RandomState,
+    *,
+    day: float = 45.0,
+    reference_count: int = 10,
+) -> tuple:
+    collector_rng, system_rng, trace_rng = spawn_children(seed, 3)
+    config = TafLocConfig(
+        reconstruction=ReconstructionConfig(reference_count=reference_count)
+    )
+    system = TafLoc(RssCollector(scenario, seed=collector_rng), config,
+                    seed=system_rng)
+    system.commission(0.0)
+    report = system.update(day)
+    truth = scenario.true_fingerprint_matrix(day)
+    recon_err = float(
+        np.abs(report.reconstruction.fingerprint.values - truth).mean()
+    )
+    cells = list(range(0, scenario.deployment.cell_count, 4))
+    trace = RssCollector(scenario, seed=trace_rng).live_trace(day, cells)
+    loc_median = float(np.median(system.localization_errors(trace)))
+    return recon_err, loc_median
+
+
+def sweep_noise(
+    sigmas_db: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+    *,
+    seed: RandomState = 0,
+) -> List[SensitivityPoint]:
+    """Sweep the per-sample measurement noise level."""
+    points = []
+    for sigma in sigmas_db:
+        scenario = _scenario_with(seed, noise_sigma_db=float(sigma))
+        recon, loc = _measure(scenario, seed)
+        points.append(
+            SensitivityPoint(
+                knob="noise_sigma_db",
+                value=float(sigma),
+                reconstruction_error_db=recon,
+                localization_median_m=loc,
+            )
+        )
+    return points
+
+
+def sweep_link_count(
+    link_counts: Sequence[int] = (6, 10, 16),
+    *,
+    seed: RandomState = 0,
+) -> List[SensitivityPoint]:
+    """Sweep the number of deployed links."""
+    points = []
+    for links in link_counts:
+        scenario = _scenario_with(seed, link_count=int(links))
+        recon, loc = _measure(scenario, seed)
+        points.append(
+            SensitivityPoint(
+                knob="link_count",
+                value=float(links),
+                reconstruction_error_db=recon,
+                localization_median_m=loc,
+            )
+        )
+    return points
+
+
+def sweep_reference_budget(
+    budgets: Sequence[int] = (5, 10, 20, 40),
+    *,
+    seed: RandomState = 0,
+) -> List[SensitivityPoint]:
+    """Sweep the reference-location budget n (cost vs accuracy knob)."""
+    scenario = _scenario_with(seed)
+    points = []
+    for budget in budgets:
+        recon, loc = _measure(scenario, seed, reference_count=int(budget))
+        points.append(
+            SensitivityPoint(
+                knob="reference_count",
+                value=float(budget),
+                reconstruction_error_db=recon,
+                localization_median_m=loc,
+            )
+        )
+    return points
+
+
+def as_rows(points: Sequence[SensitivityPoint]) -> List[List[float]]:
+    """Rows for :func:`repro.eval.reporting.format_table`."""
+    return [
+        [p.value, p.reconstruction_error_db, p.localization_median_m]
+        for p in points
+    ]

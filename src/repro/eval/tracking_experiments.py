@@ -1,0 +1,109 @@
+"""Extension experiment: continuous tracking quality over deployment age.
+
+The poster localizes static frames; its motivating applications (elderly
+care, intrusion) actually need *tracking*. This runner measures how the
+particle-filter tracker's accuracy ages with the fingerprint database —
+with and without TafLoc updates — over mobility-model walks. It is the
+quantitative backbone of the elderly-care example and of the tracking
+benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.matching import ProbabilisticMatcher
+from repro.core.pipeline import TafLoc, TafLocConfig
+from repro.core.tracking import ParticleFilterTracker, TrackerConfig
+from repro.sim.collector import RssCollector
+from repro.sim.geometry import Point
+from repro.sim.mobility import MobilityModel, RandomWaypointModel, collect_mobility_trace
+from repro.sim.scenario import Scenario, build_paper_scenario
+from repro.util.rng import RandomState, spawn_children
+
+
+@dataclass(frozen=True)
+class TrackingResult:
+    """Tracking errors of one arm at one evaluation day.
+
+    Attributes:
+        day: Evaluation day.
+        arm: ``"updated"`` (TafLoc refresh before tracking) or ``"stale"``.
+        errors: Per-frame Euclidean error (m), burn-in excluded.
+    """
+
+    day: float
+    arm: str
+    errors: np.ndarray
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.errors))
+
+
+def run_tracking_experiment(
+    *,
+    days: Sequence[float] = (30.0, 90.0),
+    frames: int = 60,
+    burn_in: int = 5,
+    seed: RandomState = 0,
+    scenario: Optional[Scenario] = None,
+    mobility: Optional[MobilityModel] = None,
+    tracker_config: Optional[TrackerConfig] = None,
+) -> List[TrackingResult]:
+    """Track a mobility-model walk at each day, fresh vs stale fingerprints.
+
+    Both arms share the same walk (identical RSS frames), so the comparison
+    isolates fingerprint freshness.
+    """
+    if burn_in >= frames:
+        raise ValueError(f"burn_in {burn_in} must be < frames {frames}")
+    scenario = scenario or build_paper_scenario(seed=seed)
+    collector_rng, system_rng, walk_rng, tracker_seed = spawn_children(seed, 4)
+    system = TafLoc(RssCollector(scenario, seed=collector_rng),
+                    TafLocConfig(), seed=system_rng)
+    stale = system.commission(0.0)
+
+    mobility = mobility or RandomWaypointModel(
+        scenario.deployment.room, seed=walk_rng
+    )
+    tracker_config = tracker_config or TrackerConfig(process_sigma_m=0.6)
+
+    results: List[TrackingResult] = []
+    for day in days:
+        system.update(float(day))
+        fresh = system.database.at(float(day))
+        walk_collector = RssCollector(scenario, seed=spawn_children(seed, 5)[4])
+        walk = collect_mobility_trace(
+            walk_collector, mobility, day=float(day), frames=frames
+        )
+        for arm, fingerprint in (("updated", fresh), ("stale", stale)):
+            matcher = ProbabilisticMatcher(
+                fingerprint, scenario.deployment.grid, sigma_db=3.0
+            )
+            tracker = ParticleFilterTracker(
+                matcher, scenario.deployment.room, tracker_config,
+                seed=tracker_seed,
+            )
+            estimates = tracker.run(walk.rss)
+            errors = np.array(
+                [
+                    estimate.distance_to(Point(float(x), float(y)))
+                    for estimate, (x, y) in zip(estimates, walk.true_positions)
+                ]
+            )[burn_in:]
+            results.append(
+                TrackingResult(day=float(day), arm=arm, errors=errors)
+            )
+    return results
+
+
+def summarize_tracking(results: Sequence[TrackingResult]) -> Dict[str, Dict[float, float]]:
+    """Median error per arm per day: ``{arm: {day: median}}``."""
+    summary: Dict[str, Dict[float, float]] = {}
+    for result in results:
+        summary.setdefault(result.arm, {})[result.day] = result.median
+    return summary

@@ -1,0 +1,149 @@
+"""Baseline radio channel: path loss, static multipath gain, thermal noise.
+
+The channel model produces the *empty-room* RSS of each link and the
+per-sample measurement noise. Target-induced attenuation is layered on top by
+:mod:`repro.sim.shadowing`, and slow temporal drift by :mod:`repro.sim.drift`;
+keeping the three orthogonal mirrors how the physical effects compose and
+lets tests probe each in isolation.
+
+Model per link ``i`` at time ``t`` with target at position ``p``::
+
+    rss_i(t, p) = P_tx - PL(d_i) + m_i + drift_i(t) - shadow_i(p) + noise
+
+* ``PL(d) = PL0 + 10 * eta * log10(d / d0)`` — log-distance path loss.
+* ``m_i`` — static multipath/antenna gain of the link, drawn once per
+  deployment from a spatially correlated Gaussian field so nearby links have
+  similar gains (this is what makes the fingerprint matrix approximately low
+  rank across links).
+* ``noise`` — i.i.d. Gaussian measurement noise, quantized to the RSSI
+  granularity of the NIC (whole dBm on the AR9331).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.sim.geometry import Link, Point, pairwise_distances
+from repro.util.rng import RandomState, as_generator
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ChannelParams:
+    """Physical parameters of the baseline channel.
+
+    Defaults are typical for 2.4 GHz indoor WiFi and produce empty-room RSS
+    in the -55 .. -35 dBm range over the paper's room, comparable to reported
+    AR9331 readings.
+    """
+
+    tx_power_dbm: float = 15.0
+    path_loss_exponent: float = 2.2
+    reference_distance_m: float = 1.0
+    reference_loss_db: float = 40.0
+    multipath_sigma_db: float = 2.5
+    multipath_correlation_m: float = 3.0
+    noise_sigma_db: float = 1.0
+    rssi_quantum_db: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("path_loss_exponent", self.path_loss_exponent)
+        check_positive("reference_distance_m", self.reference_distance_m)
+        check_positive("multipath_correlation_m", self.multipath_correlation_m)
+        check_positive("multipath_sigma_db", self.multipath_sigma_db, strict=False)
+        check_positive("noise_sigma_db", self.noise_sigma_db, strict=False)
+        check_positive("rssi_quantum_db", self.rssi_quantum_db, strict=False)
+
+    def with_noise_sigma(self, sigma: float) -> "ChannelParams":
+        return replace(self, noise_sigma_db=sigma)
+
+
+@dataclass
+class ChannelModel:
+    """Per-deployment channel realization.
+
+    The static multipath gains are drawn at construction from a Gaussian
+    process over link midpoints with an exponential covariance, so the
+    realization is frozen and every later query is deterministic given the
+    noise generator passed in.
+    """
+
+    links: Sequence[Link]
+    params: ChannelParams = field(default_factory=ChannelParams)
+    seed: RandomState = None
+
+    def __post_init__(self) -> None:
+        if len(self.links) == 0:
+            raise ValueError("channel needs at least one link")
+        rng = as_generator(self.seed)
+        self._multipath = self._draw_multipath(rng)
+
+    # ------------------------------------------------------------------
+    # deterministic components
+    # ------------------------------------------------------------------
+    def path_loss_db(self, distance_m: float) -> float:
+        """Log-distance path loss at ``distance_m`` meters."""
+        d = max(distance_m, self.params.reference_distance_m)
+        return self.params.reference_loss_db + 10.0 * self.params.path_loss_exponent * np.log10(
+            d / self.params.reference_distance_m
+        )
+
+    def empty_room_rss(self) -> np.ndarray:
+        """Noise-free empty-room RSS of every link, in dBm."""
+        losses = np.array([self.path_loss_db(link.length) for link in self.links])
+        return self.params.tx_power_dbm - losses + self._multipath
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def sample(
+        self,
+        *,
+        shadow_db: Optional[np.ndarray] = None,
+        drift_db: Optional[np.ndarray] = None,
+        rng: Optional[np.random.Generator] = None,
+        quantize: bool = True,
+    ) -> np.ndarray:
+        """One RSS measurement vector (dBm) across all links.
+
+        Args:
+            shadow_db: Target-induced attenuation per link (positive values
+                reduce RSS). Defaults to zero (no target).
+            drift_db: Slow environmental offset per link. Defaults to zero.
+            rng: Noise generator; when omitted, the sample is noise-free.
+            quantize: Round to the NIC's RSSI granularity.
+        """
+        rss = self.empty_room_rss()
+        if shadow_db is not None:
+            rss = rss - np.asarray(shadow_db, dtype=float)
+        if drift_db is not None:
+            rss = rss + np.asarray(drift_db, dtype=float)
+        if rng is not None and self.params.noise_sigma_db > 0:
+            rss = rss + rng.normal(0.0, self.params.noise_sigma_db, size=rss.shape)
+        if quantize and self.params.rssi_quantum_db > 0:
+            q = self.params.rssi_quantum_db
+            rss = np.round(rss / q) * q
+        return rss
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _draw_multipath(self, rng: np.random.Generator) -> np.ndarray:
+        sigma = self.params.multipath_sigma_db
+        if sigma == 0.0:
+            return np.zeros(len(self.links))
+        midpoints = [link.midpoint for link in self.links]
+        distances = pairwise_distances(midpoints)
+        covariance = sigma**2 * np.exp(-distances / self.params.multipath_correlation_m)
+        # Jitter for numerical positive definiteness.
+        covariance += 1e-9 * np.eye(len(self.links))
+        chol = np.linalg.cholesky(covariance)
+        return chol @ rng.standard_normal(len(self.links))
+
+
+def midpoint_of(point_a: Point, point_b: Point) -> Point:
+    """Convenience midpoint helper (exposed for the RASS baseline)."""
+    return Point((point_a.x + point_b.x) / 2.0, (point_a.y + point_b.y) / 2.0)

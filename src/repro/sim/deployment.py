@@ -1,0 +1,181 @@
+"""Deployment builders: place links around a gridded room.
+
+The paper's testbed (its Fig. 2) deploys 10 links "on the two sides of the
+monitoring area" of a 9 m x 12 m room and divides the monitored region into
+96 grids of 0.6 m x 0.6 m. :func:`build_paper_deployment` reproduces that
+layout; :func:`build_square_deployment` parameterizes the area size for the
+Fig. 4 cost sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.sim.geometry import Grid, Link, Point, Room
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """A monitored area: room, grid of candidate target cells, radio links."""
+
+    room: Room
+    grid: Grid
+    links: Sequence[Link]
+
+    def __post_init__(self) -> None:
+        if len(self.links) == 0:
+            raise ValueError("a deployment needs at least one link")
+        for link in self.links:
+            if not self.room.contains(link.tx) or not self.room.contains(link.rx):
+                raise ValueError(
+                    f"link {link.index} endpoints {link.tx}/{link.rx} lie outside "
+                    f"the {self.room.width} x {self.room.depth} room"
+                )
+
+    @property
+    def link_count(self) -> int:
+        return len(self.links)
+
+    @property
+    def cell_count(self) -> int:
+        return self.grid.cell_count
+
+    def link_lengths(self) -> np.ndarray:
+        return np.array([link.length for link in self.links], dtype=float)
+
+    def adjacent_link_pairs(self) -> List[tuple]:
+        """Pairs of link indices whose paths are spatially adjacent.
+
+        Links are grouped by orientation (parallel links only — a horizontal
+        and a vertical link see a target very differently, so the similarity
+        property does not relate them), each group is sorted by its
+        perpendicular offset, and consecutive links within a group are
+        paired. The similarity operator H of the TafLoc objective penalizes
+        RSS differences across these pairs.
+        """
+        groups: dict = {}
+        for i, link in enumerate(self.links):
+            dx, dy = link.rx.x - link.tx.x, link.rx.y - link.tx.y
+            angle = np.arctan2(dy, dx) % np.pi  # undirected orientation
+            key = round(angle / (np.pi / 180.0) / 5.0)  # 5-degree buckets
+            mid = link.midpoint
+            # Perpendicular offset of the midpoint along the link normal.
+            normal = (-np.sin(angle), np.cos(angle))
+            offset = mid.x * normal[0] + mid.y * normal[1]
+            groups.setdefault(key, []).append((offset, i))
+        pairs: List[tuple] = []
+        for members in groups.values():
+            members.sort()
+            pairs.extend(
+                (members[k][1], members[k + 1][1])
+                for k in range(len(members) - 1)
+            )
+        return pairs
+
+    def ascii_floor_plan(self, *, columns: int = 48) -> str:
+        """Text rendering of the room, links (L) and grid extent (.) —
+        the reproduction of the paper's Fig. 2 deployment diagram."""
+        rows = max(8, int(columns * self.room.depth / self.room.width / 2))
+        canvas = [[" " for _ in range(columns)] for _ in range(rows)]
+
+        def to_canvas(p: Point) -> tuple:
+            cx = int(round(p.x / self.room.width * (columns - 1)))
+            cy = int(round(p.y / self.room.depth * (rows - 1)))
+            return min(cx, columns - 1), min(cy, rows - 1)
+
+        for j in range(self.grid.cell_count):
+            cx, cy = to_canvas(self.grid.center_of(j))
+            canvas[cy][cx] = "."
+        for link in self.links:
+            for endpoint in (link.tx, link.rx):
+                cx, cy = to_canvas(endpoint)
+                canvas[cy][cx] = "L"
+        border = "+" + "-" * columns + "+"
+        body = "\n".join("|" + "".join(row) + "|" for row in reversed(canvas))
+        return f"{border}\n{body}\n{border}"
+
+
+def build_paper_deployment(
+    *,
+    room_width: float = 9.0,
+    room_depth: float = 12.0,
+    link_count: int = 10,
+    cell_size: float = 0.6,
+    monitored_columns: int = 12,
+    monitored_rows: int = 8,
+) -> Deployment:
+    """The testbed of the paper's Fig. 2.
+
+    9 m x 12 m room; 10 links spanning the room between transceivers on the
+    left and right walls; the monitored region is a centered
+    ``monitored_columns x monitored_rows`` patch of 0.6 m cells — with the
+    defaults, 96 cells, matching the paper.
+    """
+    room = Room(room_width, room_depth)
+    monitored_width = monitored_columns * cell_size
+    monitored_depth = monitored_rows * cell_size
+    if monitored_width > room_width or monitored_depth > room_depth:
+        raise ValueError(
+            f"monitored region {monitored_width} x {monitored_depth} does not fit "
+            f"in room {room_width} x {room_depth}"
+        )
+    # The grid models the monitored sub-region; link geometry lives in room
+    # coordinates, so we offset cell coordinates when building the grid room.
+    grid = Grid(Room(monitored_width, monitored_depth), cell_size)
+
+    # Everything in the library shares the monitored region's frame (grid
+    # origin at (0, 0)); transceivers sit on the region's perimeter.
+    links = _crossing_links(link_count, width=monitored_width, depth=monitored_depth)
+    frame = Room(monitored_width, monitored_depth)
+    return Deployment(room=frame, grid=grid, links=links)
+
+
+def build_square_deployment(
+    edge_length: float,
+    *,
+    cell_size: float = 0.6,
+    link_spacing: float = 1.2,
+) -> Deployment:
+    """A square monitored area of the given edge length, links wall-to-wall.
+
+    Used by the Fig. 4 sweep (edge length 6 m - 36 m). Link count scales with
+    the edge so that coverage density stays constant, mirroring how a real
+    deployment would grow.
+    """
+    check_positive("edge_length", edge_length)
+    check_positive("link_spacing", link_spacing)
+    room = Room(edge_length, edge_length)
+    grid = Grid(room, cell_size)
+    link_count = max(2, int(round(edge_length / link_spacing)))
+    links = _crossing_links(link_count, width=edge_length, depth=edge_length)
+    return Deployment(room=room, grid=grid, links=links)
+
+
+def _crossing_links(link_count: int, *, width: float, depth: float) -> List[Link]:
+    """A perimeter deployment: horizontal and vertical wall-to-wall links.
+
+    Horizontal links resolve the target's y coordinate, vertical links its x
+    coordinate — the standard crossing geometry of DfL testbeds (and what the
+    paper's Fig. 2 transceiver ring provides). Links are interleaved
+    horizontal-first and evenly spaced along their respective walls.
+    """
+    if link_count < 2:
+        raise ValueError(f"link_count must be >= 2 for 2-D coverage, got {link_count}")
+    horizontal_count = (link_count + 1) // 2
+    vertical_count = link_count - horizontal_count
+    ys = np.linspace(0.0, depth, horizontal_count + 2)[1:-1]
+    xs = np.linspace(0.0, width, vertical_count + 2)[1:-1]
+    links: List[Link] = []
+    for y in ys:
+        links.append(
+            Link(index=len(links), tx=Point(0.0, float(y)), rx=Point(width, float(y)))
+        )
+    for x in xs:
+        links.append(
+            Link(index=len(links), tx=Point(float(x), 0.0), rx=Point(float(x), depth))
+        )
+    return links

@@ -1,0 +1,200 @@
+"""Planar geometry primitives for the monitored area.
+
+The paper's deployment (its Fig. 2) is a rectangular room whose floor is
+divided into square grid cells, with WiFi transceivers placed around the
+perimeter forming links across the area. Everything downstream (channel
+model, shadowing, tomography baselines) works in terms of these primitives.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A point in the room's floor plane, in meters."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance in meters."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def as_array(self) -> np.ndarray:
+        return np.array([self.x, self.y], dtype=float)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        return Point(self.x + dx, self.y + dy)
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directional radio link between a transmitter and a receiver."""
+
+    index: int
+    tx: Point
+    rx: Point
+
+    @property
+    def length(self) -> float:
+        """Link length (TX-RX distance) in meters."""
+        return self.tx.distance_to(self.rx)
+
+    @property
+    def midpoint(self) -> Point:
+        return Point((self.tx.x + self.rx.x) / 2.0, (self.tx.y + self.rx.y) / 2.0)
+
+    def distance_from_path(self, point: Point) -> float:
+        """Perpendicular distance from ``point`` to the TX-RX segment."""
+        px, py = point.x - self.tx.x, point.y - self.tx.y
+        dx, dy = self.rx.x - self.tx.x, self.rx.y - self.tx.y
+        seg_sq = dx * dx + dy * dy
+        if seg_sq == 0.0:
+            return point.distance_to(self.tx)
+        t = max(0.0, min(1.0, (px * dx + py * dy) / seg_sq))
+        closest = Point(self.tx.x + t * dx, self.tx.y + t * dy)
+        return point.distance_to(closest)
+
+    def excess_path_length(self, point: Point) -> float:
+        """Extra distance of the TX → point → RX detour over the direct path.
+
+        This is the quantity that parameterizes both the ellipse weighting
+        model of radio tomography and our knife-edge shadowing model: it is
+        zero exactly on the direct path and grows with the perpendicular
+        offset.
+        """
+        detour = self.tx.distance_to(point) + point.distance_to(self.rx)
+        return max(0.0, detour - self.length)
+
+    def projection_parameter(self, point: Point) -> float:
+        """Normalized position of ``point``'s projection on the link.
+
+        0 at the transmitter, 1 at the receiver; values are clamped to
+        [0, 1] so off-segment points project onto the nearest endpoint.
+        """
+        dx, dy = self.rx.x - self.tx.x, self.rx.y - self.tx.y
+        seg_sq = dx * dx + dy * dy
+        if seg_sq == 0.0:
+            return 0.0
+        t = ((point.x - self.tx.x) * dx + (point.y - self.tx.y) * dy) / seg_sq
+        return max(0.0, min(1.0, t))
+
+
+@dataclass(frozen=True)
+class Room:
+    """A rectangular monitored area with its origin at (0, 0)."""
+
+    width: float
+    depth: float
+
+    def __post_init__(self) -> None:
+        check_positive("width", self.width)
+        check_positive("depth", self.depth)
+
+    @property
+    def area(self) -> float:
+        return self.width * self.depth
+
+    @property
+    def center(self) -> Point:
+        return Point(self.width / 2.0, self.depth / 2.0)
+
+    def contains(self, point: Point, *, tolerance: float = 1e-9) -> bool:
+        return (
+            -tolerance <= point.x <= self.width + tolerance
+            and -tolerance <= point.y <= self.depth + tolerance
+        )
+
+
+@dataclass(frozen=True)
+class Grid:
+    """A regular division of a :class:`Room` floor into square cells.
+
+    Cells are indexed row-major: cell ``j`` has column ``j % columns`` and
+    row ``j // columns``. The paper uses 0.6 m x 0.6 m cells; 96 of them
+    cover the monitored part of the 9 m x 12 m room.
+    """
+
+    room: Room
+    cell_size: float
+    columns: int = field(init=False)
+    rows: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        check_positive("cell_size", self.cell_size)
+        if self.cell_size > min(self.room.width, self.room.depth):
+            raise ValueError(
+                f"cell_size {self.cell_size} exceeds room dimensions "
+                f"{self.room.width} x {self.room.depth}"
+            )
+        # A tolerance guards against float artifacts like 7.2 // 0.6 == 11.
+        object.__setattr__(
+            self, "columns", int(np.floor(self.room.width / self.cell_size + 1e-9))
+        )
+        object.__setattr__(
+            self, "rows", int(np.floor(self.room.depth / self.cell_size + 1e-9))
+        )
+
+    @property
+    def cell_count(self) -> int:
+        return self.columns * self.rows
+
+    def center_of(self, cell: int) -> Point:
+        """Center point of cell ``cell`` (row-major index)."""
+        self._check_cell(cell)
+        col, row = cell % self.columns, cell // self.columns
+        return Point(
+            (col + 0.5) * self.cell_size,
+            (row + 0.5) * self.cell_size,
+        )
+
+    def cell_at(self, point: Point) -> int:
+        """Row-major index of the cell containing ``point``.
+
+        Points outside the gridded region are clamped to the nearest cell.
+        """
+        col = int(min(max(point.x // self.cell_size, 0), self.columns - 1))
+        row = int(min(max(point.y // self.cell_size, 0), self.rows - 1))
+        return row * self.columns + col
+
+    def neighbors_of(self, cell: int) -> List[int]:
+        """4-connected neighbor cells (used by the similarity operator)."""
+        self._check_cell(cell)
+        col, row = cell % self.columns, cell // self.columns
+        out: List[int] = []
+        for dc, dr in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            nc, nr = col + dc, row + dr
+            if 0 <= nc < self.columns and 0 <= nr < self.rows:
+                out.append(nr * self.columns + nc)
+        return out
+
+    def centers(self) -> List[Point]:
+        """Centers of all cells in row-major order."""
+        return [self.center_of(j) for j in range(self.cell_count)]
+
+    def iter_cells(self) -> Iterator[Tuple[int, Point]]:
+        for j in range(self.cell_count):
+            yield j, self.center_of(j)
+
+    def _check_cell(self, cell: int) -> None:
+        if not 0 <= cell < self.cell_count:
+            raise IndexError(
+                f"cell {cell} out of range for a {self.rows} x {self.columns} grid"
+            )
+
+
+def pairwise_distances(points: Sequence[Point]) -> np.ndarray:
+    """Dense symmetric distance matrix between a sequence of points."""
+    coords = np.array([[p.x, p.y] for p in points], dtype=float)
+    if coords.size == 0:
+        return np.zeros((0, 0))
+    deltas = coords[:, None, :] - coords[None, :, :]
+    return np.sqrt(np.sum(deltas**2, axis=-1))

@@ -1,0 +1,233 @@
+"""Mobility models: generate realistic target paths through the room.
+
+Tracking evaluations need walks, not just static stands. Three standard
+models are provided:
+
+* :class:`RandomWaypointModel` — pick a uniform destination, walk straight
+  to it at a sampled speed, pause, repeat. The classic mobility benchmark.
+* :class:`ScriptedRoute` — a fixed waypoint sequence (daily routines,
+  patrol routes); deterministic.
+* :class:`RandomWalkModel` — heading-preserving random walk with bounce at
+  walls; models aimless wandering.
+
+All produce a list of positions sampled at a fixed frame period, ready for
+:meth:`repro.sim.collector.RssCollector.walk_trace`-style collection via
+:func:`collect_mobility_trace`.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.collector import RssCollector
+from repro.sim.geometry import Point, Room
+from repro.sim.trace import LiveTrace
+from repro.util.rng import RandomState, as_generator
+from repro.util.validation import check_positive
+
+
+class MobilityModel(abc.ABC):
+    """Generates target positions sampled at a fixed frame period."""
+
+    @abc.abstractmethod
+    def positions(self, frames: int) -> List[Point]:
+        """The first ``frames`` positions of a trajectory."""
+
+
+@dataclass
+class RandomWaypointModel(MobilityModel):
+    """Random waypoint mobility inside a room.
+
+    Attributes:
+        room: The area to roam.
+        speed_range_mps: (min, max) walking speed, sampled per leg.
+        pause_range_s: (min, max) pause at each waypoint.
+        frame_period_s: Seconds between consecutive position samples.
+        margin_m: Keep-out margin from the walls (people don't hug walls).
+        seed: Randomness.
+    """
+
+    room: Room
+    speed_range_mps: tuple = (0.4, 1.2)
+    pause_range_s: tuple = (0.0, 2.0)
+    frame_period_s: float = 1.0
+    margin_m: float = 0.3
+    seed: RandomState = None
+
+    def __post_init__(self) -> None:
+        lo, hi = self.speed_range_mps
+        check_positive("speed min", lo)
+        if hi < lo:
+            raise ValueError(f"speed range inverted: {self.speed_range_mps}")
+        p_lo, p_hi = self.pause_range_s
+        if p_lo < 0 or p_hi < p_lo:
+            raise ValueError(f"pause range invalid: {self.pause_range_s}")
+        check_positive("frame_period_s", self.frame_period_s)
+        if self.margin_m < 0 or 2 * self.margin_m >= min(
+            self.room.width, self.room.depth
+        ):
+            raise ValueError(
+                f"margin {self.margin_m} leaves no roaming area in a "
+                f"{self.room.width} x {self.room.depth} room"
+            )
+        self._rng = as_generator(self.seed)
+
+    def positions(self, frames: int) -> List[Point]:
+        if frames < 1:
+            raise ValueError(f"frames must be >= 1, got {frames}")
+        rng = self._rng
+        current = self._random_point(rng)
+        out: List[Point] = []
+        target = self._random_point(rng)
+        speed = rng.uniform(*self.speed_range_mps)
+        pause_left = 0.0
+        while len(out) < frames:
+            out.append(current)
+            if pause_left > 0:
+                pause_left -= self.frame_period_s
+                continue
+            step = speed * self.frame_period_s
+            distance = current.distance_to(target)
+            if distance <= step:
+                current = target
+                target = self._random_point(rng)
+                speed = rng.uniform(*self.speed_range_mps)
+                pause_left = rng.uniform(*self.pause_range_s)
+            else:
+                t = step / distance
+                current = Point(
+                    current.x + t * (target.x - current.x),
+                    current.y + t * (target.y - current.y),
+                )
+        return out[:frames]
+
+    def _random_point(self, rng: np.random.Generator) -> Point:
+        m = self.margin_m
+        return Point(
+            rng.uniform(m, self.room.width - m),
+            rng.uniform(m, self.room.depth - m),
+        )
+
+
+@dataclass
+class ScriptedRoute(MobilityModel):
+    """Deterministic walk through fixed waypoints at constant speed."""
+
+    waypoints: Sequence[Point]
+    speed_mps: float = 0.8
+    frame_period_s: float = 1.0
+    loop: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.waypoints) < 2:
+            raise ValueError("need at least two waypoints")
+        check_positive("speed_mps", self.speed_mps)
+        check_positive("frame_period_s", self.frame_period_s)
+
+    def positions(self, frames: int) -> List[Point]:
+        if frames < 1:
+            raise ValueError(f"frames must be >= 1, got {frames}")
+        step = self.speed_mps * self.frame_period_s
+        out: List[Point] = []
+        leg = 0
+        finished = False
+        current = self.waypoints[0]
+        while len(out) < frames:
+            out.append(current)
+            if finished:
+                continue  # hold at the final waypoint
+            target = self.waypoints[(leg + 1) % len(self.waypoints)]
+            remaining = current.distance_to(target)
+            advance = step
+            while advance >= remaining and not finished:
+                advance -= remaining
+                current = target
+                leg += 1
+                if leg >= len(self.waypoints) - 1 and not self.loop:
+                    finished = True
+                    break
+                target = self.waypoints[(leg + 1) % len(self.waypoints)]
+                remaining = current.distance_to(target)
+            if not finished and advance > 0 and remaining > 0:
+                t = advance / remaining
+                current = Point(
+                    current.x + t * (target.x - current.x),
+                    current.y + t * (target.y - current.y),
+                )
+        return out[:frames]
+
+
+@dataclass
+class RandomWalkModel(MobilityModel):
+    """Heading-preserving random walk with reflection at the walls."""
+
+    room: Room
+    speed_mps: float = 0.6
+    heading_sigma_rad: float = 0.5
+    frame_period_s: float = 1.0
+    margin_m: float = 0.2
+    seed: RandomState = None
+
+    def __post_init__(self) -> None:
+        check_positive("speed_mps", self.speed_mps)
+        check_positive("heading_sigma_rad", self.heading_sigma_rad, strict=False)
+        check_positive("frame_period_s", self.frame_period_s)
+        self._rng = as_generator(self.seed)
+
+    def positions(self, frames: int) -> List[Point]:
+        if frames < 1:
+            raise ValueError(f"frames must be >= 1, got {frames}")
+        rng = self._rng
+        m = self.margin_m
+        x = rng.uniform(m, self.room.width - m)
+        y = rng.uniform(m, self.room.depth - m)
+        heading = rng.uniform(0, 2 * math.pi)
+        out: List[Point] = []
+        step = self.speed_mps * self.frame_period_s
+        for _ in range(frames):
+            out.append(Point(x, y))
+            heading += rng.normal(0.0, self.heading_sigma_rad)
+            x += step * math.cos(heading)
+            y += step * math.sin(heading)
+            # Reflect off the keep-out boundary.
+            if x < m or x > self.room.width - m:
+                heading = math.pi - heading
+                x = min(max(x, m), self.room.width - m)
+            if y < m or y > self.room.depth - m:
+                heading = -heading
+                y = min(max(y, m), self.room.depth - m)
+        return out
+
+
+def collect_mobility_trace(
+    collector: RssCollector,
+    model: MobilityModel,
+    *,
+    day: float,
+    frames: int,
+    averaging: int = 1,
+) -> LiveTrace:
+    """Sample RSS along a mobility model's trajectory.
+
+    Returns a :class:`LiveTrace` whose ground truth is the model's exact
+    positions (and their containing cells).
+    """
+    positions = model.positions(frames)
+    grid = collector.scenario.deployment.grid
+    rss = np.vstack(
+        [
+            collector.live_vector(day, point=p, averaging=averaging)
+            for p in positions
+        ]
+    )
+    return LiveTrace(
+        day=day,
+        rss=rss,
+        true_cells=np.array([grid.cell_at(p) for p in positions]),
+        true_positions=np.array([[p.x, p.y] for p in positions]),
+    )

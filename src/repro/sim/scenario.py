@@ -1,0 +1,261 @@
+"""Scenario: a deployment plus everything that happens to it over time.
+
+A :class:`Scenario` binds together the deployment geometry, the channel
+realization, the target shadowing model, the slow drift process, and discrete
+*structural events* (furniture moved, door opened) that add step changes to
+particular links. It exposes one query — the noise-free RSS of every link at
+a given day with a target at a given cell (or absent) — which the collector
+turns into noisy measurement streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.channel import ChannelModel, ChannelParams
+from repro.sim.deployment import Deployment, build_paper_deployment
+from repro.sim.drift import DriftProcess, EntryFieldDrift, calibrated_paper_drift
+from repro.sim.geometry import Point
+from repro.sim.shadowing import (
+    CompositeShadowingModel,
+    HeterogeneousBlockingModel,
+    KnifeEdgeShadowingModel,
+    ScatteringModel,
+    ShadowingModel,
+)
+from repro.util.rng import RandomState, spawn_children
+
+
+@dataclass(frozen=True)
+class StructuralEvent:
+    """A persistent environmental change beginning at ``day``.
+
+    ``link_offsets_db`` adds a constant per-link offset from ``day`` onward —
+    the signature of moved furniture or a door left open, which shifts the
+    multipath of nearby links but not the geometry of target blocking.
+    """
+
+    day: float
+    link_offsets_db: np.ndarray
+    label: str = "structural-change"
+
+    def __post_init__(self) -> None:
+        if self.day < 0:
+            raise ValueError(f"event day must be >= 0, got {self.day}")
+        offsets = np.asarray(self.link_offsets_db, dtype=float)
+        object.__setattr__(self, "link_offsets_db", offsets)
+
+
+@dataclass
+class Scenario:
+    """The simulated world an experiment runs against.
+
+    Attributes:
+        deployment: Geometry (room, grid, links).
+        channel: Empty-room channel realization.
+        shadowing: Target-induced attenuation model.
+        drift: Per-link slow environmental drift (affects everything, target
+            or not — recoverable from a fresh empty-room calibration).
+        entry_drift: Optional per-(link, cell) drift of the *target-present*
+            RSS — the component a cheap recalibration cannot recover. Scaled
+            per entry by how strongly the target at that cell interacts with
+            that link (see :meth:`entry_drift_weights`).
+        events: Persistent structural changes (furniture, doors).
+    """
+
+    deployment: Deployment
+    channel: ChannelModel
+    shadowing: ShadowingModel
+    drift: DriftProcess
+    entry_drift: Optional[EntryFieldDrift] = None
+    events: List[StructuralEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._entry_weights: Optional[np.ndarray] = None
+        if self.entry_drift is not None and (
+            self.entry_drift.links != self.deployment.link_count
+            or self.entry_drift.cells != self.deployment.cell_count
+        ):
+            raise ValueError(
+                f"entry_drift shape ({self.entry_drift.links}, "
+                f"{self.entry_drift.cells}) does not match deployment "
+                f"({self.deployment.link_count}, {self.deployment.cell_count})"
+            )
+        if self.drift.link_count != self.deployment.link_count:
+            raise ValueError(
+                f"drift covers {self.drift.link_count} links but deployment has "
+                f"{self.deployment.link_count}"
+            )
+        for event in self.events:
+            if event.link_offsets_db.shape != (self.deployment.link_count,):
+                raise ValueError(
+                    f"event {event.label!r} offsets shape "
+                    f"{event.link_offsets_db.shape} does not match link count "
+                    f"{self.deployment.link_count}"
+                )
+
+    # ------------------------------------------------------------------
+    # world state queries
+    # ------------------------------------------------------------------
+    def environment_offsets(self, day: float) -> np.ndarray:
+        """Total slow-drift + structural offset per link at ``day``."""
+        offsets = self.drift.offsets(day)
+        for event in self.events:
+            if day >= event.day:
+                offsets = offsets + event.link_offsets_db
+        return offsets
+
+    def shadow_at_cell(self, cell: int) -> np.ndarray:
+        """Target-induced attenuation per link with the target at ``cell``."""
+        target = self.deployment.grid.center_of(cell)
+        return self.shadowing.attenuation_vector(self.deployment.links, target)
+
+    def shadow_at_point(self, point: Point) -> np.ndarray:
+        """Target-induced attenuation per link with the target at ``point``."""
+        return self.shadowing.attenuation_vector(self.deployment.links, point)
+
+    def entry_drift_weights(self) -> np.ndarray:
+        """Per-entry scale of the target-multipath drift, in [floor, 1].
+
+        An entry where the target barely interacts with the link (tiny
+        noise-free dip) keeps its RSS pinned to the empty-room value even as
+        the environment drifts, so its entry drift is scaled down to a small
+        floor; strongly blocked entries get the full drift. This preserves
+        the paper's observation that undistorted entries stay (approximately)
+        equal to the fresh empty-room RSS.
+        """
+        if self._entry_weights is None:
+            dips = np.column_stack(
+                [
+                    self.shadow_at_cell(j)
+                    for j in range(self.deployment.cell_count)
+                ]
+            )
+            floor = 0.15
+            interaction = np.minimum(np.abs(dips) / 6.0, 1.0)
+            self._entry_weights = floor + (1.0 - floor) * interaction
+        return self._entry_weights
+
+    def entry_drift_at(self, day: float, cell: int) -> np.ndarray:
+        """Per-link target-present drift with the target at ``cell``."""
+        if self.entry_drift is None:
+            return np.zeros(self.deployment.link_count)
+        weights = self.entry_drift_weights()
+        return weights[:, cell] * self.entry_drift.offsets(day)[:, cell]
+
+    def true_rss(
+        self, day: float, *, cell: Optional[int] = None, point: Optional[Point] = None
+    ) -> np.ndarray:
+        """Noise-free RSS vector at ``day`` (target at cell/point, or absent)."""
+        if cell is not None and point is not None:
+            raise ValueError("pass at most one of cell/point")
+        shadow = None
+        extra_drift = np.zeros(self.deployment.link_count)
+        if cell is not None:
+            shadow = self.shadow_at_cell(cell)
+            extra_drift = self.entry_drift_at(day, cell)
+        elif point is not None:
+            shadow = self.shadow_at_point(point)
+            extra_drift = self.entry_drift_at(
+                day, self.deployment.grid.cell_at(point)
+            )
+        return self.channel.sample(
+            shadow_db=shadow,
+            drift_db=self.environment_offsets(day) + extra_drift,
+            rng=None,
+            quantize=False,
+        )
+
+    def true_rss_multi(self, day: float, cells: Sequence[int]) -> np.ndarray:
+        """Noise-free RSS with several targets present simultaneously.
+
+        Per-target shadows and entry drifts superpose — the first-order
+        model valid while the bodies do not shadow each other's dominant
+        paths (the sparse-occupancy regime multi-target DfL assumes).
+        """
+        shadow = np.zeros(self.deployment.link_count)
+        extra_drift = np.zeros(self.deployment.link_count)
+        for cell in cells:
+            shadow = shadow + self.shadow_at_cell(int(cell))
+            extra_drift = extra_drift + self.entry_drift_at(day, int(cell))
+        return self.channel.sample(
+            shadow_db=shadow,
+            drift_db=self.environment_offsets(day) + extra_drift,
+            rng=None,
+            quantize=False,
+        )
+
+    def true_fingerprint_matrix(self, day: float) -> np.ndarray:
+        """Noise-free fingerprint matrix (links x cells) at ``day``.
+
+        This is the ground truth the reconstruction benchmarks score against.
+        """
+        n = self.deployment.cell_count
+        columns = [self.true_rss(day, cell=j) for j in range(n)]
+        return np.column_stack(columns)
+
+    def add_event(self, event: StructuralEvent) -> None:
+        if event.link_offsets_db.shape != (self.deployment.link_count,):
+            raise ValueError(
+                f"event offsets shape {event.link_offsets_db.shape} does not match "
+                f"link count {self.deployment.link_count}"
+            )
+        self.events.append(event)
+
+
+def build_paper_scenario(
+    *,
+    seed: RandomState = 0,
+    deployment: Optional[Deployment] = None,
+    shadowing: Optional[ShadowingModel] = None,
+    channel_params: Optional[ChannelParams] = None,
+    events: Optional[Sequence[StructuralEvent]] = None,
+) -> Scenario:
+    """The default simulated version of the paper's testbed.
+
+    10 links / 96 cells / 0.6 m grid (Fig. 2 geometry), calibrated drift
+    (2.5 dB @ 5 d, 6 dB @ 45 d ensemble means), knife-edge body shadowing.
+    All randomness derives from ``seed``.
+    """
+    deployment = deployment or build_paper_deployment()
+    channel_rng, drift_rng, entry_rng, scatter_rng = spawn_children(seed, 4)
+    channel = ChannelModel(
+        links=deployment.links,
+        params=channel_params or ChannelParams(),
+        seed=channel_rng,
+    )
+    drift = calibrated_paper_drift(deployment.link_count, seed=drift_rng)
+    entry_drift = EntryFieldDrift(
+        links=deployment.link_count,
+        cells=deployment.cell_count,
+        grid_rows=deployment.grid.rows,
+        grid_columns=deployment.grid.columns,
+        seed=entry_rng,
+    )
+    if shadowing is None:
+        blocking_rng, field_rng = spawn_children(scatter_rng, 2)
+        shadowing = CompositeShadowingModel(
+            components=(
+                HeterogeneousBlockingModel(deployment.links, seed=blocking_rng),
+                ScatteringModel(
+                    deployment.links,
+                    amplitude_db=3.0,
+                    decay_m=1.0,
+                    # ~5 cells: neighboring cells see correlated scattering,
+                    # preserving the paper's continuity property (iii).
+                    wavelength_m=3.0,
+                    seed=field_rng,
+                ),
+            )
+        )
+    return Scenario(
+        deployment=deployment,
+        channel=channel,
+        shadowing=shadowing,
+        drift=drift,
+        entry_drift=entry_drift,
+        events=list(events or []),
+    )

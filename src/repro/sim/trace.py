@@ -1,0 +1,204 @@
+"""Dataset containers: fingerprint surveys and live RSS traces.
+
+These are the interchange objects between the simulator (or, in principle, a
+real testbed log) and the TafLoc core. They serialize to ``.npz`` so surveys
+can be captured once and replayed by tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.util.validation import check_finite, check_matrix
+
+
+@dataclass(frozen=True)
+class FingerprintSurvey:
+    """A full fingerprint survey: per-cell averaged RSS plus raw samples.
+
+    Attributes:
+        day: Day offset (from deployment time) at which the survey ran.
+        matrix: Averaged fingerprint matrix, shape ``(links, cells)``.
+        empty_rss: Empty-room calibration vector, shape ``(links,)``.
+        samples_per_cell: How many raw RSS samples were averaged per cell.
+        sample_period_s: Seconds between consecutive samples (1.0 in the
+            paper's protocol: "100 continuous RSS are collected one per
+            second").
+        cells: Cell indices actually surveyed, in column order of ``matrix``.
+            ``None`` means all cells 0..N-1 in order.
+    """
+
+    day: float
+    matrix: np.ndarray
+    empty_rss: np.ndarray
+    samples_per_cell: int = 100
+    sample_period_s: float = 1.0
+    cells: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        matrix = check_finite("matrix", check_matrix("matrix", self.matrix))
+        empty = check_finite("empty_rss", np.asarray(self.empty_rss, dtype=float))
+        if empty.shape != (matrix.shape[0],):
+            raise ValueError(
+                f"empty_rss shape {empty.shape} does not match link count "
+                f"{matrix.shape[0]}"
+            )
+        object.__setattr__(self, "matrix", matrix)
+        object.__setattr__(self, "empty_rss", empty)
+        if self.cells is not None:
+            cells = np.asarray(self.cells, dtype=int)
+            if cells.shape != (matrix.shape[1],):
+                raise ValueError(
+                    f"cells shape {cells.shape} does not match column count "
+                    f"{matrix.shape[1]}"
+                )
+            object.__setattr__(self, "cells", cells)
+        if self.samples_per_cell < 1:
+            raise ValueError(
+                f"samples_per_cell must be >= 1, got {self.samples_per_cell}"
+            )
+
+    @property
+    def link_count(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def cell_count(self) -> int:
+        return self.matrix.shape[1]
+
+    @property
+    def collection_seconds(self) -> float:
+        """Wall-clock time the survey took under the sampling protocol."""
+        return self.cell_count * self.samples_per_cell * self.sample_period_s
+
+    def column_for_cell(self, cell: int) -> np.ndarray:
+        """Fingerprint column of a given cell index."""
+        if self.cells is None:
+            if not 0 <= cell < self.cell_count:
+                raise IndexError(f"cell {cell} not in survey")
+            return self.matrix[:, cell]
+        matches = np.flatnonzero(self.cells == cell)
+        if matches.size == 0:
+            raise IndexError(f"cell {cell} not in survey")
+        return self.matrix[:, matches[0]]
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist to ``.npz``."""
+        payload: Dict[str, np.ndarray] = {
+            "day": np.array(self.day),
+            "matrix": self.matrix,
+            "empty_rss": self.empty_rss,
+            "samples_per_cell": np.array(self.samples_per_cell),
+            "sample_period_s": np.array(self.sample_period_s),
+        }
+        if self.cells is not None:
+            payload["cells"] = self.cells
+        np.savez(Path(path), **payload)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FingerprintSurvey":
+        """Load a survey previously written by :meth:`save`."""
+        with np.load(Path(path)) as data:
+            return cls(
+                day=float(data["day"]),
+                matrix=data["matrix"],
+                empty_rss=data["empty_rss"],
+                samples_per_cell=int(data["samples_per_cell"]),
+                sample_period_s=float(data["sample_period_s"]),
+                cells=data["cells"] if "cells" in data else None,
+            )
+
+
+@dataclass(frozen=True)
+class LiveTrace:
+    """A sequence of live RSS vectors with (optional) ground-truth positions.
+
+    Attributes:
+        day: Day offset of the trace.
+        rss: Measurements, shape ``(frames, links)``.
+        true_cells: Ground-truth cell per frame (or -1 when absent/unknown).
+        true_positions: Ground-truth (x, y) per frame, shape ``(frames, 2)``;
+            NaN rows mean unknown.
+    """
+
+    day: float
+    rss: np.ndarray
+    true_cells: Optional[np.ndarray] = None
+    true_positions: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        rss = check_finite("rss", check_matrix("rss", self.rss))
+        object.__setattr__(self, "rss", rss)
+        if self.true_cells is not None:
+            cells = np.asarray(self.true_cells, dtype=int)
+            if cells.shape != (rss.shape[0],):
+                raise ValueError(
+                    f"true_cells shape {cells.shape} does not match frame count "
+                    f"{rss.shape[0]}"
+                )
+            object.__setattr__(self, "true_cells", cells)
+        if self.true_positions is not None:
+            pos = np.asarray(self.true_positions, dtype=float)
+            if pos.shape != (rss.shape[0], 2):
+                raise ValueError(
+                    f"true_positions shape {pos.shape} must be "
+                    f"({rss.shape[0]}, 2)"
+                )
+            object.__setattr__(self, "true_positions", pos)
+
+    @property
+    def frame_count(self) -> int:
+        return self.rss.shape[0]
+
+    @property
+    def link_count(self) -> int:
+        return self.rss.shape[1]
+
+    def frame(self, index: int) -> np.ndarray:
+        return self.rss[index]
+
+    def save(self, path: Union[str, Path]) -> None:
+        payload: Dict[str, np.ndarray] = {"day": np.array(self.day), "rss": self.rss}
+        if self.true_cells is not None:
+            payload["true_cells"] = self.true_cells
+        if self.true_positions is not None:
+            payload["true_positions"] = self.true_positions
+        np.savez(Path(path), **payload)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "LiveTrace":
+        with np.load(Path(path)) as data:
+            return cls(
+                day=float(data["day"]),
+                rss=data["rss"],
+                true_cells=data["true_cells"] if "true_cells" in data else None,
+                true_positions=(
+                    data["true_positions"] if "true_positions" in data else None
+                ),
+            )
+
+
+def concatenate_traces(traces: Sequence[LiveTrace]) -> LiveTrace:
+    """Concatenate traces frame-wise (they must share day and link count)."""
+    if len(traces) == 0:
+        raise ValueError("need at least one trace")
+    days = {t.day for t in traces}
+    if len(days) != 1:
+        raise ValueError(f"traces span multiple days: {sorted(days)}")
+    links = {t.link_count for t in traces}
+    if len(links) != 1:
+        raise ValueError(f"traces disagree on link count: {sorted(links)}")
+    rss = np.vstack([t.rss for t in traces])
+    cells: Optional[np.ndarray] = None
+    if all(t.true_cells is not None for t in traces):
+        cells = np.concatenate([t.true_cells for t in traces])
+    positions: Optional[np.ndarray] = None
+    if all(t.true_positions is not None for t in traces):
+        positions = np.vstack([t.true_positions for t in traces])
+    return LiveTrace(
+        day=traces[0].day, rss=rss, true_cells=cells, true_positions=positions
+    )

@@ -1,0 +1,35 @@
+"""Shared utilities: linear algebra helpers, RNG plumbing, validation."""
+
+from repro.util.linalg import (
+    conjugate_gradient,
+    nuclear_norm,
+    soft_threshold,
+    stable_rank,
+    svd_shrink,
+    truncated_svd,
+)
+from repro.util.rng import RandomState, as_generator, spawn_children
+from repro.util.validation import (
+    check_finite,
+    check_matrix,
+    check_positive,
+    check_probability,
+    check_shape,
+)
+
+__all__ = [
+    "RandomState",
+    "as_generator",
+    "check_finite",
+    "check_matrix",
+    "check_positive",
+    "check_probability",
+    "check_shape",
+    "conjugate_gradient",
+    "nuclear_norm",
+    "soft_threshold",
+    "spawn_children",
+    "stable_rank",
+    "svd_shrink",
+    "truncated_svd",
+]

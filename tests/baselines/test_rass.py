@@ -1,0 +1,130 @@
+"""Unit tests for the RASS dynamic-fingerprint baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rass import RassConfig, RassLocalizer
+from repro.core.fingerprint import FingerprintMatrix
+from repro.sim.collector import CollectionProtocol, RssCollector
+from repro.sim.geometry import Point
+from repro.sim.scenario import build_paper_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_paper_scenario(seed=600)
+
+
+@pytest.fixture(scope="module")
+def fingerprint(scenario):
+    return FingerprintMatrix(
+        values=scenario.true_fingerprint_matrix(0.0),
+        empty_rss=scenario.true_rss(0.0),
+        day=0.0,
+    )
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"affected_threshold_db": 0.0},
+        {"k": 0},
+        {"geometric_weight": 1.5},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            RassConfig(**kwargs)
+
+
+class TestConstruction:
+    def test_cell_count_mismatch_rejected(self, scenario, fingerprint):
+        truncated = FingerprintMatrix(
+            values=fingerprint.values[:, :50], empty_rss=fingerprint.empty_rss
+        )
+        with pytest.raises(ValueError, match="cells"):
+            RassLocalizer(scenario.deployment, truncated)
+
+    def test_live_empty_shape_validated(self, scenario, fingerprint):
+        with pytest.raises(ValueError, match="live_empty_rss"):
+            RassLocalizer(
+                scenario.deployment, fingerprint, live_empty_rss=np.zeros(3)
+            )
+
+
+class TestDynamics:
+    def test_live_dynamics_sign(self, scenario, fingerprint):
+        rass = RassLocalizer(scenario.deployment, fingerprint)
+        live = scenario.true_rss(0.0, cell=40)
+        dynamics = rass.live_dynamics(live)
+        # The target attenuates at least one link → positive dynamics there.
+        assert dynamics.max() > 1.0
+
+    def test_live_vector_shape_validated(self, scenario, fingerprint):
+        rass = RassLocalizer(scenario.deployment, fingerprint)
+        with pytest.raises(ValueError, match="live vector"):
+            rass.live_dynamics(np.zeros(4))
+
+
+class TestLocate:
+    def test_exact_fingerprint_frames_localize_well(self, scenario, fingerprint):
+        rass = RassLocalizer(scenario.deployment, fingerprint)
+        grid = scenario.deployment.grid
+        errors = []
+        for cell in range(0, 96, 5):
+            estimate = rass.locate(scenario.true_rss(0.0, cell=cell))
+            errors.append(estimate.distance_to(grid.center_of(cell)))
+        assert np.median(errors) < 1.0
+
+    def test_estimates_inside_room(self, scenario, fingerprint):
+        rass = RassLocalizer(scenario.deployment, fingerprint)
+        collector = RssCollector(scenario, seed=1)
+        trace = collector.live_trace(0.0, list(range(0, 96, 9)))
+        for frame in trace.rss:
+            assert scenario.deployment.room.contains(rass.locate(frame))
+
+    def test_no_geometric_blend(self, scenario, fingerprint):
+        config = RassConfig(geometric_weight=0.0)
+        rass = RassLocalizer(scenario.deployment, fingerprint, config=config)
+        estimate = rass.locate(scenario.true_rss(0.0, cell=40))
+        assert scenario.deployment.room.contains(estimate)
+
+    def test_reconstructed_beats_stale_at_long_gap(self, scenario):
+        """The poster's plug-in experiment: RASS with reconstructed (fresh)
+        fingerprints beats RASS with the stale day-0 matrix at 90 days."""
+        day = 90.0
+        stale = FingerprintMatrix(
+            values=scenario.true_fingerprint_matrix(0.0),
+            empty_rss=scenario.true_rss(0.0),
+            day=0.0,
+        )
+        fresh = FingerprintMatrix(
+            values=scenario.true_fingerprint_matrix(day),
+            empty_rss=scenario.true_rss(day),
+            day=day,
+        )
+        grid = scenario.deployment.grid
+        collector = RssCollector(scenario, seed=2)
+        trace = collector.live_trace(day, [c for c in range(0, 96, 3)])
+
+        rass_stale = RassLocalizer(scenario.deployment, stale)
+        rass_fresh = RassLocalizer(
+            scenario.deployment, fresh, live_empty_rss=fresh.empty_rss
+        )
+        err_stale = np.median(rass_stale.errors(trace))
+        err_fresh = np.median(rass_fresh.errors(trace))
+        assert err_fresh < err_stale
+
+    def test_errors_interface(self, scenario, fingerprint):
+        rass = RassLocalizer(scenario.deployment, fingerprint)
+        collector = RssCollector(scenario, seed=3)
+        trace = collector.live_trace(0.0, [10, 20, 30])
+        errors = rass.errors(trace)
+        assert errors.shape == (3,)
+        assert np.all(errors >= 0)
+
+    def test_errors_require_ground_truth(self, scenario, fingerprint):
+        from repro.sim.trace import LiveTrace
+
+        rass = RassLocalizer(scenario.deployment, fingerprint)
+        bare = LiveTrace(day=0.0, rss=np.zeros((2, 10)))
+        with pytest.raises(ValueError, match="ground-truth"):
+            rass.errors(bare)

@@ -1,0 +1,135 @@
+"""Unit tests for the Radio Tomographic Imaging baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rti import RtiConfig, RtiLocalizer
+from repro.sim.collector import RssCollector
+from repro.sim.geometry import Point
+from repro.sim.scenario import build_paper_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_paper_scenario(seed=500)
+
+
+@pytest.fixture(scope="module")
+def rti(scenario):
+    calibration = scenario.true_rss(0.0)
+    return RtiLocalizer(scenario.deployment, calibration, RtiConfig())
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"lambda_m": 0.0},
+        {"regularization": -1.0},
+        {"peak_fraction": 0.0},
+        {"peak_fraction": 1.5},
+        {"min_change_db": -0.1},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            RtiConfig(**kwargs)
+
+
+class TestImage:
+    def test_image_shape(self, rti, scenario):
+        image = rti.attenuation_image(scenario.true_rss(0.0, cell=40))
+        assert image.shape == (scenario.deployment.cell_count,)
+
+    def test_empty_room_gives_flat_image(self, rti, scenario):
+        image = rti.attenuation_image(scenario.true_rss(0.0))
+        assert np.abs(image).max() < 0.5
+
+    def test_image_peaks_near_target(self, rti, scenario):
+        grid = scenario.deployment.grid
+        target_cell = 40
+        image = rti.attenuation_image(scenario.true_rss(0.0, cell=target_cell))
+        peak_cell = int(np.argmax(image))
+        distance = grid.center_of(peak_cell).distance_to(grid.center_of(target_cell))
+        assert distance < 1.5
+
+    def test_live_vector_shape_validated(self, rti):
+        with pytest.raises(ValueError, match="live vector"):
+            rti.attenuation_image(np.zeros(3))
+
+
+class TestLocate:
+    def test_no_attenuation_returns_center(self, rti, scenario):
+        estimate = rti.locate(scenario.true_rss(0.0))
+        center = scenario.deployment.grid.room.center
+        assert estimate.distance_to(center) < 1e-9
+
+    def test_median_error_with_fresh_calibration(self, scenario):
+        """Noise-free RTI on the paper deployment localizes within ~1.5 m."""
+        rti = RtiLocalizer(
+            scenario.deployment, scenario.true_rss(0.0), RtiConfig()
+        )
+        grid = scenario.deployment.grid
+        errors = []
+        for cell in range(0, scenario.deployment.cell_count, 5):
+            estimate = rti.locate(scenario.true_rss(0.0, cell=cell))
+            errors.append(estimate.distance_to(grid.center_of(cell)))
+        assert np.median(errors) < 1.5
+
+    def test_still_usable_after_long_gap_with_recalibration(self, scenario):
+        """RTI recalibrated at day 60 remains usable (the property that makes
+        it the paper's no-survey baseline). It does degrade somewhat — the
+        target-present multipath drifts even though the empty room is
+        re-measured — but stays within a sane band."""
+        grid = scenario.deployment.grid
+        rti = RtiLocalizer(
+            scenario.deployment, scenario.true_rss(60.0), RtiConfig()
+        )
+        errors = []
+        for cell in range(0, scenario.deployment.cell_count, 5):
+            estimate = rti.locate(scenario.true_rss(60.0, cell=cell))
+            errors.append(estimate.distance_to(grid.center_of(cell)))
+        assert np.median(errors) < 2.5
+
+    def test_corrupted_calibration_degrades(self, scenario):
+        """A calibration that is badly off (e.g. months of unaccounted
+        drift) corrupts the change vector and the image."""
+        grid = scenario.deployment.grid
+
+        def median_error(calibration):
+            rti = RtiLocalizer(scenario.deployment, calibration, RtiConfig())
+            errors = []
+            for cell in range(0, scenario.deployment.cell_count, 5):
+                estimate = rti.locate(scenario.true_rss(0.0, cell=cell))
+                errors.append(estimate.distance_to(grid.center_of(cell)))
+            return np.median(errors)
+
+        fresh = median_error(scenario.true_rss(0.0))
+        rng = np.random.default_rng(0)
+        corrupted = scenario.true_rss(0.0) + rng.normal(
+            0.0, 6.0, size=scenario.deployment.link_count
+        )
+        assert median_error(corrupted) > fresh
+
+    def test_recalibrate(self, scenario):
+        rti = RtiLocalizer(scenario.deployment, scenario.true_rss(0.0))
+        rti.recalibrate(scenario.true_rss(30.0))
+        np.testing.assert_array_equal(rti.calibration, scenario.true_rss(30.0))
+        with pytest.raises(ValueError):
+            rti.recalibrate(np.zeros(3))
+
+    def test_noisy_measurements(self, scenario):
+        """With live measurement noise the estimate stays in the room and
+        lands within 2.5 m median."""
+        collector = RssCollector(scenario, seed=0)
+        calibration = collector.collect_empty_room(0.0)
+        rti = RtiLocalizer(scenario.deployment, calibration)
+        grid = scenario.deployment.grid
+        errors = []
+        trace = collector.live_trace(0.0, list(range(0, 96, 7)))
+        for frame, (x, y) in zip(trace.rss, trace.true_positions):
+            estimate = rti.locate(frame)
+            assert scenario.deployment.room.contains(estimate)
+            errors.append(estimate.distance_to(Point(float(x), float(y))))
+        assert np.median(errors) < 2.5
+
+    def test_calibration_shape_validated(self, scenario):
+        with pytest.raises(ValueError, match="calibration"):
+            RtiLocalizer(scenario.deployment, np.zeros(3))

@@ -1,0 +1,56 @@
+"""Shared fixtures: small, fast scenario variants for unit tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fingerprint import FingerprintMatrix
+from repro.sim.collector import CollectionProtocol, RssCollector
+from repro.sim.deployment import Deployment, build_paper_deployment
+from repro.sim.scenario import Scenario, build_paper_scenario
+
+
+@pytest.fixture(scope="session")
+def paper_deployment() -> Deployment:
+    """The Fig. 2 deployment (10 links, 96 cells)."""
+    return build_paper_deployment()
+
+
+@pytest.fixture(scope="session")
+def paper_scenario() -> Scenario:
+    """One frozen realization of the paper testbed."""
+    return build_paper_scenario(seed=1234)
+
+
+@pytest.fixture()
+def fast_protocol() -> CollectionProtocol:
+    """Few samples per cell: keeps survey-heavy tests quick."""
+    return CollectionProtocol(samples_per_cell=5, empty_room_samples=10)
+
+
+@pytest.fixture()
+def collector(paper_scenario, fast_protocol) -> RssCollector:
+    return RssCollector(paper_scenario, fast_protocol, seed=7)
+
+
+@pytest.fixture(scope="session")
+def surveyed_fingerprint(paper_scenario) -> FingerprintMatrix:
+    """A day-0 full survey of the paper scenario (session-cached)."""
+    coll = RssCollector(
+        paper_scenario,
+        CollectionProtocol(samples_per_cell=5, empty_room_samples=10),
+        seed=99,
+    )
+    result = coll.collect_full_survey(0.0)
+    return FingerprintMatrix(
+        values=result.survey.matrix,
+        empty_rss=result.survey.empty_rss,
+        day=0.0,
+        source="survey",
+    )
+
+
+def assert_deterministic(first: np.ndarray, second: np.ndarray) -> None:
+    """Helper used by reproducibility tests."""
+    np.testing.assert_array_equal(first, second)

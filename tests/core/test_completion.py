@@ -1,0 +1,92 @@
+"""Unit tests for the rank-minimization completion baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.completion import mean_fill, soft_impute, svt_complete
+
+
+def completion_instance(links=12, cells=40, rank=3, observe=0.6, seed=0, noise=0.0):
+    rng = np.random.default_rng(seed)
+    truth = rng.normal(size=(links, rank)) @ rng.normal(size=(rank, cells))
+    mask = rng.random((links, cells)) < observe
+    observed = truth + (noise * rng.standard_normal(truth.shape) if noise else 0.0)
+    return truth, np.where(mask, observed, 0.0), mask
+
+
+class TestSvt:
+    def test_recovers_low_rank_matrix(self):
+        truth, observed, mask = completion_instance()
+        result = svt_complete(observed, mask)
+        error = np.abs(result.matrix - truth)[~mask].mean()
+        scale = np.abs(truth).mean()
+        assert error < 0.3 * scale
+
+    def test_fits_observed_entries(self):
+        truth, observed, mask = completion_instance()
+        result = svt_complete(observed, mask)
+        assert np.abs(result.matrix - observed)[mask].mean() < 0.3
+
+    def test_result_is_approximately_low_rank(self):
+        _, observed, mask = completion_instance()
+        result = svt_complete(observed, mask)
+        # The top 3 singular values must dominate the spectrum.
+        sigma = np.linalg.svd(result.matrix, compute_uv=False)
+        assert sigma[:3].sum() / sigma.sum() > 0.9
+
+    def test_iteration_cap(self):
+        _, observed, mask = completion_instance()
+        result = svt_complete(observed, mask, max_iter=3, tol=1e-15)
+        assert result.iterations == 3
+        assert not result.converged
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError, match="mask shape"):
+            svt_complete(np.zeros((2, 2)), np.zeros((3, 3), dtype=bool))
+        with pytest.raises(ValueError):
+            svt_complete(np.zeros((2, 2)), np.zeros((2, 2), dtype=bool), step=0.0)
+
+
+class TestSoftImpute:
+    def test_recovers_low_rank_matrix(self):
+        truth, observed, mask = completion_instance(seed=2)
+        result = soft_impute(observed, mask, shrinkage=0.1, max_iter=500)
+        error = np.abs(result.matrix - truth)[~mask].mean()
+        scale = np.abs(truth).mean()
+        assert error < 0.35 * scale
+
+    def test_tolerates_noise(self):
+        truth, observed, mask = completion_instance(seed=3, noise=0.1)
+        result = soft_impute(observed, mask, shrinkage=0.5, max_iter=500)
+        error = np.abs(result.matrix - truth)[~mask].mean()
+        scale = np.abs(truth).mean()
+        assert error < 0.4 * scale
+
+    def test_default_shrinkage_runs(self):
+        _, observed, mask = completion_instance(seed=4)
+        result = soft_impute(observed, mask)
+        assert result.matrix.shape == observed.shape
+
+    def test_convergence_flag(self):
+        _, observed, mask = completion_instance(seed=5)
+        result = soft_impute(observed, mask, shrinkage=0.2, max_iter=1000)
+        assert result.converged
+
+
+class TestMeanFill:
+    def test_observed_entries_kept(self):
+        observed = np.array([[1.0, 0.0], [3.0, 4.0]])
+        mask = np.array([[True, False], [True, True]])
+        filled = mean_fill(observed, mask)
+        assert filled[0, 0] == 1.0
+        assert filled[0, 1] == 1.0  # row mean of observed row-0 entries
+
+    def test_empty_row_uses_global_mean(self):
+        observed = np.array([[0.0, 0.0], [2.0, 4.0]])
+        mask = np.array([[False, False], [True, True]])
+        filled = mean_fill(observed, mask)
+        np.testing.assert_allclose(filled[0], [3.0, 3.0])
+
+    def test_nothing_observed(self):
+        filled = mean_fill(np.zeros((2, 2)), np.zeros((2, 2), dtype=bool))
+        np.testing.assert_array_equal(filled, np.zeros((2, 2)))

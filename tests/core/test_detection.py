@@ -1,0 +1,122 @@
+"""Unit tests for presence detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.detection import PresenceDetector, roc_sweep
+from repro.sim.collector import RssCollector
+from repro.sim.scenario import build_paper_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_paper_scenario(seed=777)
+
+
+@pytest.fixture(scope="module")
+def frames(scenario):
+    """(empty_frames, occupied_frames) at day 0."""
+    collector = RssCollector(scenario, seed=0)
+    empty = np.vstack([collector.live_vector(0.0) for _ in range(40)])
+    occupied = np.vstack(
+        [collector.live_vector(0.0, cell=c) for c in range(0, 96, 3)]
+    )
+    return empty, occupied
+
+
+class TestPresenceDetector:
+    def test_detects_target_misses_empty(self, frames):
+        empty, occupied = frames
+        detector = PresenceDetector(empty[:20], k=4.0)
+        false_alarms = sum(detector.detect(f).present for f in empty[20:])
+        detections = sum(detector.detect(f).present for f in occupied)
+        assert false_alarms <= 2
+        assert detections >= 0.8 * len(occupied)
+
+    def test_score_increases_with_target(self, frames):
+        empty, occupied = frames
+        detector = PresenceDetector(empty[:20])
+        empty_scores = [detector.score(f) for f in empty[20:]]
+        occupied_scores = [detector.score(f) for f in occupied]
+        assert np.median(occupied_scores) > np.median(empty_scores)
+
+    @pytest.mark.parametrize("aggregate", ["sum", "mean", "max"])
+    def test_aggregates_work(self, frames, aggregate):
+        empty, occupied = frames
+        detector = PresenceDetector(empty[:20], aggregate=aggregate)
+        # A well-covered interior cell (index 14 → cell 42): corner cells are
+        # legitimately hard and are covered by the rate test above.
+        assert detector.detect(occupied[14]).present
+
+    def test_higher_k_raises_threshold(self, frames):
+        empty, _ = frames
+        lenient = PresenceDetector(empty[:20], k=1.0)
+        strict = PresenceDetector(empty[:20], k=8.0)
+        assert strict.threshold > lenient.threshold
+
+    def test_detect_trace(self, frames):
+        empty, occupied = frames
+        detector = PresenceDetector(empty[:20])
+        results = detector.detect_trace(occupied[:5])
+        assert len(results) == 5
+        assert all(r.threshold == detector.threshold for r in results)
+
+    def test_recalibrate_follows_drift(self, scenario):
+        """After 60 days of drift, a stale detector fires on empty frames;
+        recalibration silences it."""
+        collector = RssCollector(scenario, seed=1)
+        day0 = np.vstack([collector.live_vector(0.0) for _ in range(20)])
+        day60 = np.vstack([collector.live_vector(60.0) for _ in range(20)])
+        detector = PresenceDetector(day0, k=4.0)
+        stale_false_alarms = sum(detector.detect(f).present for f in day60)
+        detector.recalibrate(day60[:10])
+        fresh_false_alarms = sum(detector.detect(f).present for f in day60[10:])
+        assert fresh_false_alarms <= stale_false_alarms
+        assert fresh_false_alarms <= 2
+
+    def test_recalibrate_validates_links(self, frames):
+        empty, _ = frames
+        detector = PresenceDetector(empty[:10])
+        with pytest.raises(ValueError, match="links"):
+            detector.recalibrate(np.zeros((5, 3)))
+
+    def test_validation(self, frames):
+        empty, _ = frames
+        with pytest.raises(ValueError, match="2 calibration"):
+            PresenceDetector(empty[:1])
+        with pytest.raises(ValueError):
+            PresenceDetector(empty[:5], k=0.0)
+        with pytest.raises(ValueError, match="aggregate"):
+            PresenceDetector(empty[:5], aggregate="median")
+        detector = PresenceDetector(empty[:5])
+        with pytest.raises(ValueError, match="live vector"):
+            detector.score(np.zeros(3))
+
+
+class TestRocSweep:
+    def test_tpr_fpr_tradeoff(self, frames):
+        empty, occupied = frames
+        points = roc_sweep(empty, occupied, ks=(0.5, 2.0, 8.0))
+        # Stricter thresholds can only reduce both rates.
+        tprs = [p.true_positive_rate for p in points]
+        fprs = [p.false_positive_rate for p in points]
+        assert all(a >= b - 1e-9 for a, b in zip(tprs, tprs[1:]))
+        assert all(a >= b - 1e-9 for a, b in zip(fprs, fprs[1:]))
+
+    def test_rates_in_unit_interval(self, frames):
+        empty, occupied = frames
+        for p in roc_sweep(empty, occupied):
+            assert 0.0 <= p.true_positive_rate <= 1.0
+            assert 0.0 <= p.false_positive_rate <= 1.0
+
+    def test_good_detector_dominates_chance(self, frames):
+        empty, occupied = frames
+        points = roc_sweep(empty, occupied, ks=(3.0,))
+        assert points[0].true_positive_rate > points[0].false_positive_rate
+
+    def test_validation(self, frames):
+        empty, occupied = frames
+        with pytest.raises(ValueError, match="calibration_split"):
+            roc_sweep(empty, occupied, calibration_split=1.0)
+        with pytest.raises(ValueError, match="not enough"):
+            roc_sweep(empty[:2], occupied, calibration_split=0.9)

@@ -1,0 +1,97 @@
+"""Unit tests for undistorted/largely-distorted entry classification."""
+
+import numpy as np
+import pytest
+
+from repro.core.distortion import DistortionProfile, build_distortion_profile
+from repro.core.fingerprint import FingerprintMatrix
+
+
+def fingerprint_with_dips(dips):
+    """Build a fingerprint whose dips() equal the given matrix."""
+    dips = np.asarray(dips, dtype=float)
+    empty = np.full(dips.shape[0], -45.0)
+    return FingerprintMatrix(values=empty[:, None] - dips, empty_rss=empty)
+
+
+class TestBuildProfile:
+    def test_classification_thresholds(self):
+        fp = fingerprint_with_dips([[0.5, 2.0, 5.0, -0.5, -4.0]])
+        profile = build_distortion_profile(
+            fp, undistorted_threshold_db=1.0, distorted_threshold_db=3.0
+        )
+        np.testing.assert_array_equal(
+            profile.undistorted, [[True, False, False, True, False]]
+        )
+        np.testing.assert_array_equal(
+            profile.largely_distorted, [[False, False, True, False, False]]
+        )
+
+    def test_negative_dips_never_largely_distorted(self):
+        """RSS *increases* (scattering) are not blocking events."""
+        fp = fingerprint_with_dips([[-10.0]])
+        profile = build_distortion_profile(fp)
+        assert not profile.largely_distorted[0, 0]
+        assert not profile.undistorted[0, 0]
+
+    def test_fraction_properties(self):
+        fp = fingerprint_with_dips([[0.0, 0.0, 5.0, 5.0]])
+        profile = build_distortion_profile(fp)
+        assert profile.undistorted_fraction == pytest.approx(0.5)
+        assert profile.distorted_fraction == pytest.approx(0.5)
+
+    def test_threshold_ordering_enforced(self):
+        fp = fingerprint_with_dips([[1.0]])
+        with pytest.raises(ValueError, match="must exceed"):
+            build_distortion_profile(
+                fp, undistorted_threshold_db=3.0, distorted_threshold_db=2.0
+            )
+
+    def test_paper_scenario_produces_both_classes(self, surveyed_fingerprint):
+        profile = build_distortion_profile(surveyed_fingerprint)
+        assert profile.undistorted_fraction > 0.05
+        assert profile.distorted_fraction > 0.05
+        # The two classes are disjoint by construction; most entries belong
+        # to one of them.
+        assert profile.undistorted_fraction + profile.distorted_fraction <= 1.0
+
+
+class TestKnownEntries:
+    def test_undistorted_entries_take_empty_rss(self):
+        fp = fingerprint_with_dips([[0.0, 5.0], [5.0, 0.0]])
+        profile = build_distortion_profile(fp)
+        fresh_empty = np.array([-40.0, -42.0])
+        known = profile.known_entries(fresh_empty)
+        assert known[0, 0] == pytest.approx(-40.0)
+        assert known[1, 1] == pytest.approx(-42.0)
+        # Distorted entries carry no information (masked anyway).
+        assert known[0, 1] == 0.0
+        assert known[1, 0] == 0.0
+
+    def test_empty_shape_validated(self):
+        fp = fingerprint_with_dips([[0.0, 5.0]])
+        profile = build_distortion_profile(fp)
+        with pytest.raises(ValueError, match="empty_rss"):
+            profile.known_entries(np.zeros(3))
+
+
+class TestProfileValidation:
+    def test_overlapping_masks_rejected(self):
+        with pytest.raises(ValueError, match="both"):
+            DistortionProfile(
+                undistorted=np.array([[True]]),
+                largely_distorted=np.array([[True]]),
+                dips=np.zeros((1, 1)),
+                undistorted_threshold_db=1.0,
+                distorted_threshold_db=3.0,
+            )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="disagree"):
+            DistortionProfile(
+                undistorted=np.zeros((2, 2), dtype=bool),
+                largely_distorted=np.zeros((2, 3), dtype=bool),
+                dips=np.zeros((2, 2)),
+                undistorted_threshold_db=1.0,
+                distorted_threshold_db=3.0,
+            )

@@ -1,0 +1,133 @@
+"""Unit tests for the low-rank-representation (Z) fitting and transfer."""
+
+import numpy as np
+import pytest
+
+from repro.core.lrr import LrrConfig, LrrModel, fit_lrr, fit_lrr_nuclear
+
+
+def make_instance(links=8, cells=30, rank=4, seed=0, noise=0.0):
+    """A rank-limited matrix plus a reference set that spans it."""
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=(links, rank)) @ rng.normal(size=(rank, cells))
+    matrix = base - 50.0  # dBm-like offset
+    if noise:
+        matrix = matrix + noise * rng.standard_normal(matrix.shape)
+    references = np.arange(rank + 2)  # a few spares beyond the rank
+    return matrix, references
+
+
+class TestFitLrr:
+    def test_training_fit_is_tight_on_low_rank_data(self):
+        matrix, refs = make_instance()
+        model = fit_lrr(matrix, refs, LrrConfig(ridge=1e-8))
+        assert model.training_residual < 1e-6
+
+    def test_prediction_recovers_training_matrix(self):
+        matrix, refs = make_instance()
+        model = fit_lrr(matrix, refs, LrrConfig(ridge=1e-8))
+        predicted = model.predict(matrix[:, refs])
+        np.testing.assert_allclose(predicted, matrix, atol=1e-5)
+
+    def test_transfer_under_per_link_drift(self):
+        """The paper's core trick: Z learned at day 0 transfers fresh
+        reference measurements under per-link gain drift."""
+        matrix, refs = make_instance()
+        model = fit_lrr(matrix, refs, LrrConfig(ridge=1e-8, center=True))
+        drift = np.linspace(-3.0, 4.0, matrix.shape[0])[:, None]
+        drifted = matrix + drift
+        predicted = model.predict(drifted[:, refs])
+        np.testing.assert_allclose(predicted, drifted, atol=1e-4)
+
+    def test_uncentered_fit_does_not_transfer_drift(self):
+        """Without centering, a common drift leaks through Z; this documents
+        why centering is the default."""
+        matrix, refs = make_instance()
+        centered = fit_lrr(matrix, refs, LrrConfig(ridge=1e-8, center=True))
+        uncentered = fit_lrr(matrix, refs, LrrConfig(ridge=1e-8, center=False))
+        drift = np.full((matrix.shape[0], 1), 5.0)
+        drifted = matrix + drift
+        err_centered = np.abs(centered.predict(drifted[:, refs]) - drifted).mean()
+        err_uncentered = np.abs(
+            uncentered.predict(drifted[:, refs]) - drifted
+        ).mean()
+        assert err_centered <= err_uncentered + 1e-9
+
+    def test_ridge_shrinks_correlation(self):
+        matrix, refs = make_instance(noise=0.1)
+        small = fit_lrr(matrix, refs, LrrConfig(ridge=1e-6))
+        large = fit_lrr(matrix, refs, LrrConfig(ridge=100.0))
+        assert np.linalg.norm(large.correlation) < np.linalg.norm(
+            small.correlation
+        )
+
+    def test_model_shape_properties(self):
+        matrix, refs = make_instance()
+        model = fit_lrr(matrix, refs)
+        assert model.reference_count == len(refs)
+        assert model.cell_count == matrix.shape[1]
+        assert model.correlation.shape == (len(refs), matrix.shape[1])
+
+    def test_invalid_reference_cells(self):
+        matrix, _ = make_instance(cells=10)
+        with pytest.raises(ValueError):
+            fit_lrr(matrix, np.array([0, 10]))
+        with pytest.raises(ValueError, match="duplicates"):
+            fit_lrr(matrix, np.array([0, 0]))
+        with pytest.raises(ValueError):
+            fit_lrr(matrix, np.array([], dtype=int))
+
+    def test_predict_validates_shape(self):
+        matrix, refs = make_instance()
+        model = fit_lrr(matrix, refs)
+        with pytest.raises(ValueError, match="columns"):
+            model.predict(matrix[:, : len(refs) - 1])
+
+
+class TestFitLrrNuclear:
+    def test_fits_low_rank_data(self):
+        matrix, refs = make_instance()
+        model = fit_lrr_nuclear(
+            matrix, refs, nuclear_weight=1e-4, ridge=1e-8
+        )
+        assert model.training_residual < 0.5
+
+    def test_nuclear_weight_reduces_rank_of_z(self):
+        matrix, refs = make_instance(noise=0.2)
+        light = fit_lrr_nuclear(matrix, refs, nuclear_weight=1e-6)
+        heavy = fit_lrr_nuclear(matrix, refs, nuclear_weight=50.0)
+        rank_light = np.linalg.matrix_rank(light.correlation, tol=1e-6)
+        rank_heavy = np.linalg.matrix_rank(heavy.correlation, tol=1e-6)
+        assert rank_heavy <= rank_light
+
+    def test_extreme_weight_zeroes_z(self):
+        matrix, refs = make_instance()
+        model = fit_lrr_nuclear(matrix, refs, nuclear_weight=1e9)
+        np.testing.assert_allclose(model.correlation, 0.0, atol=1e-9)
+
+
+class TestLrrModelValidation:
+    def test_row_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="rows"):
+            LrrModel(
+                reference_cells=np.array([0, 1]),
+                correlation=np.zeros((3, 5)),
+                reference_mean_offset=None,
+                training_residual=0.0,
+            )
+
+    def test_centered_property(self):
+        model = LrrModel(
+            reference_cells=np.array([0, 1]),
+            correlation=np.zeros((2, 5)),
+            reference_mean_offset=np.zeros(4),
+            training_residual=0.0,
+        )
+        assert model.centered
+        bare = LrrModel(
+            reference_cells=np.array([0, 1]),
+            correlation=np.zeros((2, 5)),
+            reference_mean_offset=None,
+            training_residual=0.0,
+        )
+        assert not bare.centered

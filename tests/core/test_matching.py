@@ -1,0 +1,170 @@
+"""Unit tests for fingerprint matchers."""
+
+import numpy as np
+import pytest
+
+from repro.core.fingerprint import FingerprintMatrix
+from repro.core.matching import (
+    KnnMatcher,
+    NearestNeighborMatcher,
+    ProbabilisticMatcher,
+    expected_position,
+)
+from repro.sim.geometry import Grid, Room
+
+
+@pytest.fixture()
+def grid():
+    # 4 columns x 3 rows = 12 cells.
+    return Grid(Room(2.4, 1.8), 0.6)
+
+
+@pytest.fixture()
+def fingerprint(grid):
+    """Distinct, well-separated columns: matching must be unambiguous."""
+    rng = np.random.default_rng(0)
+    values = rng.normal(-50.0, 6.0, size=(6, grid.cell_count))
+    return FingerprintMatrix(values=values, empty_rss=np.full(6, -45.0))
+
+
+class TestNearestNeighbor:
+    def test_exact_column_matches_itself(self, fingerprint, grid):
+        matcher = NearestNeighborMatcher(fingerprint, grid)
+        for cell in (0, 5, 11):
+            result = matcher.match(fingerprint.column(cell))
+            assert result.cell == cell
+            assert result.position == grid.center_of(cell)
+
+    def test_robust_to_small_noise(self, fingerprint, grid):
+        matcher = NearestNeighborMatcher(fingerprint, grid)
+        rng = np.random.default_rng(1)
+        correct = 0
+        for cell in range(grid.cell_count):
+            noisy = fingerprint.column(cell) + rng.normal(0, 0.5, size=6)
+            if matcher.match(noisy).cell == cell:
+                correct += 1
+        assert correct >= 10
+
+    def test_manhattan_metric(self, fingerprint, grid):
+        matcher = NearestNeighborMatcher(fingerprint, grid, metric="manhattan")
+        assert matcher.match(fingerprint.column(3)).cell == 3
+
+    def test_unknown_metric_rejected(self, fingerprint, grid):
+        with pytest.raises(ValueError, match="metric"):
+            NearestNeighborMatcher(fingerprint, grid, metric="cosine")
+
+    def test_dips_mode_cancels_common_drift(self, fingerprint, grid):
+        """Matching on dips with a fresh live calibration is invariant to a
+        common per-link RSS shift between survey time and query time."""
+        drift = np.linspace(-4.0, 3.0, 6)
+        live = fingerprint.column(7) + drift
+        live_empty = fingerprint.empty_rss + drift
+        matcher = NearestNeighborMatcher(
+            fingerprint, grid, use_dips=True, live_empty_rss=live_empty
+        )
+        assert matcher.match(live).cell == 7
+
+    def test_scores_ordering(self, fingerprint, grid):
+        matcher = NearestNeighborMatcher(fingerprint, grid)
+        result = matcher.match(fingerprint.column(4))
+        assert np.argmax(result.scores) == 4
+
+    def test_vector_shape_validated(self, fingerprint, grid):
+        matcher = NearestNeighborMatcher(fingerprint, grid)
+        with pytest.raises(ValueError, match="live vector"):
+            matcher.match(np.zeros(5))
+
+    def test_grid_fingerprint_mismatch(self, fingerprint):
+        other = Grid(Room(1.2, 1.2), 0.6)
+        with pytest.raises(ValueError, match="cells"):
+            NearestNeighborMatcher(fingerprint, other)
+
+
+class TestKnn:
+    def test_exact_match_best_cell(self, fingerprint, grid):
+        matcher = KnnMatcher(fingerprint, grid, k=3)
+        assert matcher.match(fingerprint.column(6)).cell == 6
+
+    def test_position_interpolates(self, fingerprint, grid):
+        """A vector exactly between two columns lands between their cells."""
+        matcher = KnnMatcher(fingerprint, grid, k=2)
+        blend = 0.5 * (fingerprint.column(0) + fingerprint.column(1))
+        position = matcher.match(blend).position
+        a, b = grid.center_of(0), grid.center_of(1)
+        assert min(a.x, b.x) - 1e-9 <= position.x <= max(a.x, b.x) + 1e-9
+        assert min(a.y, b.y) - 1e-9 <= position.y <= max(a.y, b.y) + 1e-9
+
+    def test_k_one_equals_nn(self, fingerprint, grid):
+        knn = KnnMatcher(fingerprint, grid, k=1)
+        nn = NearestNeighborMatcher(fingerprint, grid)
+        vector = fingerprint.column(9) + 0.3
+        assert knn.match(vector).cell == nn.match(vector).cell
+
+    def test_invalid_k(self, fingerprint, grid):
+        with pytest.raises(ValueError):
+            KnnMatcher(fingerprint, grid, k=0)
+        with pytest.raises(ValueError):
+            KnnMatcher(fingerprint, grid, k=13)
+
+
+class TestProbabilistic:
+    def test_map_matches_exact_column(self, fingerprint, grid):
+        matcher = ProbabilisticMatcher(fingerprint, grid, sigma_db=2.0)
+        assert matcher.match(fingerprint.column(2)).cell == 2
+
+    def test_posterior_normalized(self, fingerprint, grid):
+        matcher = ProbabilisticMatcher(fingerprint, grid)
+        posterior = matcher.posterior(fingerprint.column(5))
+        assert posterior.sum() == pytest.approx(1.0)
+        assert np.all(posterior >= 0)
+
+    def test_posterior_peaks_at_truth(self, fingerprint, grid):
+        matcher = ProbabilisticMatcher(fingerprint, grid, sigma_db=1.0)
+        posterior = matcher.posterior(fingerprint.column(5))
+        assert np.argmax(posterior) == 5
+
+    def test_wider_sigma_flattens_posterior(self, fingerprint, grid):
+        narrow = ProbabilisticMatcher(fingerprint, grid, sigma_db=1.0)
+        wide = ProbabilisticMatcher(fingerprint, grid, sigma_db=20.0)
+        vector = fingerprint.column(5)
+        assert narrow.posterior(vector).max() > wide.posterior(vector).max()
+
+    def test_prior_shifts_map(self, fingerprint, grid):
+        """A prior that forbids the true cell moves the MAP elsewhere."""
+        prior = np.ones(grid.cell_count)
+        prior[5] = 1e-30
+        matcher = ProbabilisticMatcher(
+            fingerprint, grid, sigma_db=20.0, prior=prior
+        )
+        assert matcher.match(fingerprint.column(5)).cell != 5
+
+    def test_invalid_prior(self, fingerprint, grid):
+        with pytest.raises(ValueError):
+            ProbabilisticMatcher(fingerprint, grid, prior=np.zeros(12))
+        with pytest.raises(ValueError):
+            ProbabilisticMatcher(fingerprint, grid, prior=np.ones(5))
+
+    def test_invalid_sigma(self, fingerprint, grid):
+        with pytest.raises(ValueError):
+            ProbabilisticMatcher(fingerprint, grid, sigma_db=0.0)
+
+
+class TestExpectedPosition:
+    def test_point_mass(self, grid):
+        posterior = np.zeros(grid.cell_count)
+        posterior[7] = 1.0
+        assert expected_position(posterior, grid) == grid.center_of(7)
+
+    def test_uniform_is_room_center(self, grid):
+        posterior = np.full(grid.cell_count, 1.0 / grid.cell_count)
+        center = expected_position(posterior, grid)
+        assert center.x == pytest.approx(grid.room.width / 2)
+        assert center.y == pytest.approx(grid.room.depth / 2)
+
+    def test_zero_posterior_rejected(self, grid):
+        with pytest.raises(ValueError, match="zero"):
+            expected_position(np.zeros(grid.cell_count), grid)
+
+    def test_shape_validated(self, grid):
+        with pytest.raises(ValueError):
+            expected_position(np.ones(5), grid)

@@ -1,0 +1,153 @@
+"""Unit tests for the multi-target extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.fingerprint import FingerprintMatrix
+from repro.core.multi_target import MultiTargetMatcher, pairing_error
+from repro.sim.collector import RssCollector
+from repro.sim.geometry import Point
+from repro.sim.scenario import build_paper_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_paper_scenario(seed=444)
+
+
+@pytest.fixture(scope="module")
+def fingerprint(scenario):
+    return FingerprintMatrix(
+        values=scenario.true_fingerprint_matrix(0.0),
+        empty_rss=scenario.true_rss(0.0),
+        day=0.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def matcher(scenario, fingerprint):
+    return MultiTargetMatcher(fingerprint, scenario.deployment.grid)
+
+
+class TestCounting:
+    def test_empty_room_counts_zero(self, scenario, matcher):
+        result = matcher.match(scenario.true_rss(0.0))
+        assert result.count == 0
+        assert result.cells == ()
+
+    def test_single_target_counts_one(self, scenario, matcher):
+        hits = 0
+        probe_cells = list(range(10, 90, 11))
+        for cell in probe_cells:
+            result = matcher.match(scenario.true_rss(0.0, cell=cell))
+            if result.count == 1:
+                hits += 1
+        assert hits >= len(probe_cells) - 1
+
+    def test_two_separated_targets_count_two(self, scenario, matcher):
+        pairs = [(10, 85), (3, 70), (25, 92)]
+        hits = sum(
+            matcher.match(scenario.true_rss_multi(0.0, pair)).count == 2
+            for pair in pairs
+        )
+        assert hits >= 2
+
+
+class TestLocalization:
+    def test_single_target_cell_accuracy(self, scenario, matcher):
+        grid = scenario.deployment.grid
+        errors = []
+        for cell in range(5, 96, 10):
+            result = matcher.match(scenario.true_rss(0.0, cell=cell))
+            if result.count >= 1:
+                best = min(
+                    p.distance_to(grid.center_of(cell)) for p in result.positions
+                )
+                errors.append(best)
+        assert np.median(errors) < 1.0
+
+    def test_two_target_pairing_accuracy(self, scenario, matcher):
+        grid = scenario.deployment.grid
+        errors = []
+        for pair in [(10, 85), (3, 70), (25, 92), (40, 55)]:
+            result = matcher.match(scenario.true_rss_multi(0.0, pair))
+            if result.count == 2:
+                truth = [grid.center_of(c) for c in pair]
+                errors.append(pairing_error(list(result.positions), truth))
+        assert errors, "no pair was ever detected"
+        assert np.median(errors) < 1.5
+
+    def test_noisy_frames_still_work(self, scenario, fingerprint):
+        matcher = MultiTargetMatcher(fingerprint, scenario.deployment.grid)
+        collector = RssCollector(scenario, seed=3)
+        frame = collector.live_vector_multi(0.0, [10, 85], averaging=5)
+        result = matcher.match(frame)
+        assert result.count in (1, 2)  # never zero with two bodies present
+
+
+class TestModelOrderPenalty:
+    def test_higher_penalty_is_more_conservative(self, scenario, fingerprint):
+        lenient = MultiTargetMatcher(
+            fingerprint, scenario.deployment.grid, count_penalty_db=0.0
+        )
+        strict = MultiTargetMatcher(
+            fingerprint, scenario.deployment.grid, count_penalty_db=3.0
+        )
+        frame = scenario.true_rss(0.0, cell=40)
+        assert strict.match(frame).count <= lenient.match(frame).count
+
+
+class TestPruning:
+    def test_pruned_matches_exhaustive_on_clean_frames(self, scenario, fingerprint):
+        exhaustive = MultiTargetMatcher(
+            fingerprint, scenario.deployment.grid, prune_keep=None
+        )
+        pruned = MultiTargetMatcher(
+            fingerprint, scenario.deployment.grid, prune_keep=25
+        )
+        frame = scenario.true_rss_multi(0.0, (10, 85))
+        a, b = exhaustive.match(frame), pruned.match(frame)
+        if a.count == b.count == 2:
+            assert set(a.cells) == set(b.cells)
+
+    def test_prune_keep_validated(self, scenario, fingerprint):
+        with pytest.raises(ValueError):
+            MultiTargetMatcher(
+                fingerprint, scenario.deployment.grid, prune_keep=1
+            )
+
+
+class TestValidation:
+    def test_grid_mismatch(self, scenario, fingerprint):
+        from repro.sim.geometry import Grid, Room
+
+        with pytest.raises(ValueError, match="cells"):
+            MultiTargetMatcher(fingerprint, Grid(Room(1.2, 1.2), 0.6))
+
+    def test_live_vector_shape(self, matcher):
+        with pytest.raises(ValueError, match="live vector"):
+            matcher.match(np.zeros(3))
+
+    def test_live_empty_shape(self, scenario, fingerprint):
+        with pytest.raises(ValueError, match="live_empty_rss"):
+            MultiTargetMatcher(
+                fingerprint,
+                scenario.deployment.grid,
+                live_empty_rss=np.zeros(2),
+            )
+
+
+class TestPairingError:
+    def test_count_mismatch_is_infinite(self):
+        assert pairing_error([Point(0, 0)], []) == float("inf")
+
+    def test_empty_is_zero(self):
+        assert pairing_error([], []) == 0.0
+
+    def test_single(self):
+        assert pairing_error([Point(0, 0)], [Point(3, 4)]) == pytest.approx(5.0)
+
+    def test_best_permutation_chosen(self):
+        estimated = [Point(0, 0), Point(10, 0)]
+        truth = [Point(10, 0), Point(0, 0)]
+        assert pairing_error(estimated, truth) == pytest.approx(0.0)

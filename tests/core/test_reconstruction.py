@@ -1,0 +1,165 @@
+"""Unit tests for the high-level Reconstructor (the TafLoc update step)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fingerprint import FingerprintMatrix
+from repro.core.reconstruction import ReconstructionConfig, Reconstructor
+from repro.sim.collector import CollectionProtocol, RssCollector
+from repro.sim.scenario import build_paper_scenario
+
+
+@pytest.fixture(scope="module")
+def setup():
+    """Scenario + day-0 survey + reconstructor (module-cached for speed)."""
+    scenario = build_paper_scenario(seed=77)
+    protocol = CollectionProtocol(samples_per_cell=5, empty_room_samples=10)
+    collector = RssCollector(scenario, protocol, seed=1)
+    result = collector.collect_full_survey(0.0)
+    fingerprint = FingerprintMatrix(
+        values=result.survey.matrix,
+        empty_rss=result.survey.empty_rss,
+        day=0.0,
+    )
+    reconstructor = Reconstructor(
+        scenario.deployment, fingerprint, ReconstructionConfig(), seed=0
+    )
+    return scenario, collector, fingerprint, reconstructor
+
+
+def fresh_inputs(setup, day):
+    scenario, collector, _, reconstructor = setup
+    empty = collector.collect_empty_room(day)
+    refs = collector.collect_survey(day, reconstructor.references.cells)
+    return refs.survey.matrix, empty
+
+
+class TestConstruction:
+    def test_reference_count_default_is_papers(self, setup):
+        _, _, _, reconstructor = setup
+        assert reconstructor.references.count == 10
+
+    def test_shape_mismatch_rejected(self, setup):
+        scenario, _, fingerprint, _ = setup
+        bad = FingerprintMatrix(
+            values=fingerprint.values[:, :50], empty_rss=fingerprint.empty_rss
+        )
+        with pytest.raises(ValueError, match="cells"):
+            Reconstructor(scenario.deployment, bad)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ReconstructionConfig(reference_count=0)
+
+
+class TestReconstruct:
+    def test_output_shape_and_provenance(self, setup):
+        scenario, _, _, reconstructor = setup
+        refs, empty = fresh_inputs(setup, 10.0)
+        report = reconstructor.reconstruct(refs, empty, day=10.0)
+        fp = report.fingerprint
+        assert fp.shape == (10, 96)
+        assert fp.source == "reconstruction"
+        assert fp.day == 10.0
+
+    def test_reference_columns_trusted_exactly(self, setup):
+        _, _, _, reconstructor = setup
+        refs, empty = fresh_inputs(setup, 10.0)
+        report = reconstructor.reconstruct(refs, empty, day=10.0)
+        np.testing.assert_array_equal(
+            report.fingerprint.values[:, reconstructor.references.cells], refs
+        )
+
+    def test_beats_stale_fingerprints(self, setup):
+        """The core claim: a cheap reconstruction at day t tracks the true
+        day-t matrix better than the stale day-0 survey does."""
+        scenario, _, fingerprint, reconstructor = setup
+        day = 60.0
+        refs, empty = fresh_inputs(setup, day)
+        report = reconstructor.reconstruct(refs, empty, day=day)
+        truth = scenario.true_fingerprint_matrix(day)
+        recon_err = np.abs(report.fingerprint.values - truth).mean()
+        stale_err = np.abs(fingerprint.values - truth).mean()
+        assert recon_err < stale_err
+
+    def test_solver_objective_monotone(self, setup):
+        _, _, _, reconstructor = setup
+        refs, empty = fresh_inputs(setup, 5.0)
+        report = reconstructor.reconstruct(refs, empty, day=5.0)
+        history = report.solver_result.objective_history
+        assert np.all(np.diff(history) <= 1e-6 * np.maximum(1.0, history[:-1]))
+
+    def test_observed_fraction_sensible(self, setup):
+        _, _, _, reconstructor = setup
+        refs, empty = fresh_inputs(setup, 5.0)
+        report = reconstructor.reconstruct(refs, empty, day=5.0)
+        assert 0.05 < report.observed_fraction < 1.0
+
+    def test_input_shape_validation(self, setup):
+        _, _, _, reconstructor = setup
+        refs, empty = fresh_inputs(setup, 5.0)
+        with pytest.raises(ValueError, match="reference_matrix"):
+            reconstructor.reconstruct(refs[:, :-1], empty)
+        with pytest.raises(ValueError, match="empty_rss"):
+            reconstructor.reconstruct(refs, empty[:-1])
+
+
+class TestAblationSwitches:
+    def test_lrr_disabled_still_runs(self, setup):
+        scenario, _, fingerprint, _ = setup
+        config = ReconstructionConfig(use_lrr=False)
+        reconstructor = Reconstructor(
+            scenario.deployment, fingerprint, config, seed=0
+        )
+        # Build inputs with a private collector to avoid fixture coupling.
+        protocol = CollectionProtocol(samples_per_cell=5, empty_room_samples=10)
+        collector = RssCollector(scenario, protocol, seed=5)
+        empty = collector.collect_empty_room(5.0)
+        refs = collector.collect_survey(5.0, reconstructor.references.cells).survey.matrix
+        report = reconstructor.reconstruct(refs, empty, day=5.0)
+        assert report.fingerprint.shape == (10, 96)
+
+    def test_smoothness_disabled_still_runs(self, setup):
+        scenario, _, fingerprint, _ = setup
+        config = ReconstructionConfig(use_smoothness=False)
+        reconstructor = Reconstructor(
+            scenario.deployment, fingerprint, config, seed=0
+        )
+        protocol = CollectionProtocol(samples_per_cell=5, empty_room_samples=10)
+        collector = RssCollector(scenario, protocol, seed=6)
+        empty = collector.collect_empty_room(5.0)
+        refs = collector.collect_survey(5.0, reconstructor.references.cells).survey.matrix
+        report = reconstructor.reconstruct(refs, empty, day=5.0)
+        assert report.fingerprint.shape == (10, 96)
+
+    def test_full_objective_beats_rank_only_at_long_gap(self, setup):
+        """Ablation shape: LRR + smoothness reduce long-gap error vs the
+        rank-minimization-only arm (the paper's motivation for the extra
+        terms)."""
+        scenario, _, fingerprint, _ = setup
+        day = 60.0
+        protocol = CollectionProtocol(samples_per_cell=5, empty_room_samples=10)
+
+        def error_for(config, seed):
+            reconstructor = Reconstructor(
+                scenario.deployment, fingerprint, config, seed=0
+            )
+            collector = RssCollector(scenario, protocol, seed=seed)
+            empty = collector.collect_empty_room(day)
+            refs = collector.collect_survey(
+                day, reconstructor.references.cells
+            ).survey.matrix
+            report = reconstructor.reconstruct(refs, empty, day=day)
+            truth = scenario.true_fingerprint_matrix(day)
+            return np.abs(report.fingerprint.values - truth).mean()
+
+        full = np.mean([error_for(ReconstructionConfig(), s) for s in (11, 12)])
+        rank_only = np.mean(
+            [
+                error_for(
+                    ReconstructionConfig(use_lrr=False, use_smoothness=False), s
+                )
+                for s in (11, 12)
+            ]
+        )
+        assert full < rank_only

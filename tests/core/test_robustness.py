@@ -1,0 +1,160 @@
+"""Unit tests for link-failure robustness."""
+
+import numpy as np
+import pytest
+
+from repro.core.fingerprint import FingerprintMatrix
+from repro.core.robustness import (
+    detect_dead_links,
+    mask_fingerprint,
+    mask_live_vector,
+    masked_matcher,
+)
+from repro.sim.collector import RssCollector
+from repro.sim.geometry import Point
+from repro.sim.scenario import build_paper_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_paper_scenario(seed=888)
+
+
+@pytest.fixture(scope="module")
+def fingerprint(scenario):
+    return FingerprintMatrix(
+        values=scenario.true_fingerprint_matrix(0.0),
+        empty_rss=scenario.true_rss(0.0),
+        day=0.0,
+    )
+
+
+class TestDetectDeadLinks:
+    def make_frames(self, scenario, seed=0, count=10):
+        collector = RssCollector(scenario, seed=seed)
+        return np.vstack([collector.live_vector(0.0) for _ in range(count)])
+
+    def test_all_healthy_on_clean_frames(self, scenario):
+        frames = self.make_frames(scenario)
+        healthy = detect_dead_links(frames, scenario.true_rss(0.0))
+        assert healthy.all()
+
+    def test_floor_pinned_link_flagged(self, scenario):
+        frames = self.make_frames(scenario)
+        frames[:, 3] = -100.0
+        healthy = detect_dead_links(frames, scenario.true_rss(0.0))
+        assert not healthy[3]
+        assert healthy.sum() == frames.shape[1] - 1
+
+    def test_frozen_link_flagged(self, scenario):
+        frames = self.make_frames(scenario)
+        frames[:, 5] = frames[0, 5]  # stuck driver: identical readings
+        healthy = detect_dead_links(frames, scenario.true_rss(0.0))
+        assert not healthy[5]
+
+    def test_wildly_offset_link_flagged(self, scenario):
+        frames = self.make_frames(scenario)
+        frames[:, 7] += 40.0
+        healthy = detect_dead_links(frames, scenario.true_rss(0.0))
+        assert not healthy[7]
+
+    def test_empty_rss_shape_validated(self, scenario):
+        frames = self.make_frames(scenario)
+        with pytest.raises(ValueError, match="empty_rss"):
+            detect_dead_links(frames, np.zeros(3))
+
+
+class TestMaskFingerprint:
+    def test_projection_shapes(self, fingerprint):
+        mask = np.ones(10, dtype=bool)
+        mask[2] = mask[7] = False
+        reduced = mask_fingerprint(fingerprint, mask)
+        assert reduced.link_count == 8
+        assert reduced.cell_count == fingerprint.cell_count
+        assert "masked" in reduced.source
+
+    def test_rows_match_source(self, fingerprint):
+        mask = np.zeros(10, dtype=bool)
+        mask[[0, 4, 9]] = True
+        reduced = mask_fingerprint(fingerprint, mask)
+        np.testing.assert_array_equal(
+            reduced.values, fingerprint.values[[0, 4, 9]]
+        )
+
+    def test_all_masked_rejected(self, fingerprint):
+        with pytest.raises(ValueError, match="nothing to match"):
+            mask_fingerprint(fingerprint, np.zeros(10, dtype=bool))
+
+    def test_shape_validated(self, fingerprint):
+        with pytest.raises(ValueError, match="link_mask"):
+            mask_fingerprint(fingerprint, np.ones(5, dtype=bool))
+
+    def test_mask_live_vector(self):
+        mask = np.array([True, False, True])
+        out = mask_live_vector(np.array([1.0, 2.0, 3.0]), mask)
+        np.testing.assert_array_equal(out, [1.0, 3.0])
+        with pytest.raises(ValueError):
+            mask_live_vector(np.zeros(2), mask)
+
+
+class TestGracefulDegradation:
+    def median_error(self, scenario, fingerprint, dead_links, seed):
+        mask = np.ones(scenario.deployment.link_count, dtype=bool)
+        mask[list(dead_links)] = False
+        matcher = masked_matcher(
+            fingerprint, scenario.deployment.grid, mask, kind="knn"
+        )
+        trace = RssCollector(scenario, seed=seed).live_trace(
+            0.0, list(range(0, 96, 5))
+        )
+        errors = []
+        for frame, (x, y) in zip(trace.rss, trace.true_positions):
+            estimate = matcher.match(mask_live_vector(frame, mask)).position
+            errors.append(estimate.distance_to(Point(float(x), float(y))))
+        return float(np.median(errors))
+
+    def test_one_dead_link_small_impact(self, scenario, fingerprint):
+        baseline = self.median_error(scenario, fingerprint, [], seed=9)
+        degraded = self.median_error(scenario, fingerprint, [4], seed=9)
+        assert degraded < baseline + 1.0
+
+    def test_half_dead_links_still_functional(self, scenario, fingerprint):
+        degraded = self.median_error(
+            scenario, fingerprint, [0, 2, 4, 6, 8], seed=9
+        )
+        # Random guessing in this room gives ~3 m; stay clearly better.
+        assert degraded < 2.5
+
+    def test_degradation_monotone_in_expectation(self, scenario, fingerprint):
+        few = np.mean(
+            [self.median_error(scenario, fingerprint, [1], seed=s) for s in (9, 10)]
+        )
+        many = np.mean(
+            [
+                self.median_error(scenario, fingerprint, [1, 3, 5, 7], seed=s)
+                for s in (9, 10)
+            ]
+        )
+        assert many >= few - 0.3  # allow noise, forbid absurd inversions
+
+
+class TestMaskedMatcherKinds:
+    @pytest.mark.parametrize("kind", ["nn", "knn", "probabilistic"])
+    def test_kinds_build_and_match(self, scenario, fingerprint, kind):
+        mask = np.ones(10, dtype=bool)
+        mask[0] = False
+        matcher = masked_matcher(
+            fingerprint, scenario.deployment.grid, mask, kind=kind
+        )
+        frame = scenario.true_rss(0.0, cell=40)
+        result = matcher.match(mask_live_vector(frame, mask))
+        assert 0 <= result.cell < 96
+
+    def test_unknown_kind_rejected(self, scenario, fingerprint):
+        with pytest.raises(ValueError, match="kind"):
+            masked_matcher(
+                fingerprint,
+                scenario.deployment.grid,
+                np.ones(10, dtype=bool),
+                kind="oracle",
+            )

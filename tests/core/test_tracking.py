@@ -1,0 +1,107 @@
+"""Unit tests for the particle-filter tracker."""
+
+import numpy as np
+import pytest
+
+from repro.core.fingerprint import FingerprintMatrix
+from repro.core.matching import ProbabilisticMatcher
+from repro.core.tracking import ParticleFilterTracker, TrackerConfig
+from repro.sim.geometry import Grid, Point, Room
+
+
+@pytest.fixture()
+def room():
+    return Room(3.0, 3.0)
+
+
+@pytest.fixture()
+def grid(room):
+    return Grid(room, 0.6)  # 5x5 = 25 cells
+
+
+@pytest.fixture()
+def matcher(grid):
+    rng = np.random.default_rng(0)
+    values = rng.normal(-50.0, 6.0, size=(8, grid.cell_count))
+    fingerprint = FingerprintMatrix(values=values, empty_rss=np.full(8, -45.0))
+    return ProbabilisticMatcher(fingerprint, grid, sigma_db=2.0)
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"particle_count": 0},
+        {"process_sigma_m": 0.0},
+        {"resample_threshold": 1.5},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            TrackerConfig(**kwargs)
+
+
+class TestTracker:
+    def test_estimates_stay_in_room(self, matcher, room):
+        tracker = ParticleFilterTracker(matcher, room, seed=0)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            estimate = tracker.step(rng.normal(-50, 5, size=8))
+            assert room.contains(estimate)
+
+    def test_converges_to_static_target(self, matcher, room, grid):
+        """Repeated observations of one cell pull the estimate to it."""
+        target_cell = 12  # center of the 5x5 grid
+        observation = matcher.fingerprint.column(target_cell)
+        tracker = ParticleFilterTracker(
+            matcher, room, TrackerConfig(process_sigma_m=0.2), seed=0
+        )
+        estimate = None
+        for _ in range(15):
+            estimate = tracker.step(observation)
+        assert estimate.distance_to(grid.center_of(target_cell)) < 0.8
+
+    def test_tracks_moving_target(self, matcher, room, grid):
+        """Track a target stepping through a row of cells; late estimates
+        follow it to the far side of the room."""
+        path = [10, 11, 12, 13, 14]  # middle row, left to right
+        tracker = ParticleFilterTracker(
+            matcher, room, TrackerConfig(process_sigma_m=0.7), seed=0
+        )
+        estimates = []
+        for cell in path:
+            for _ in range(4):
+                estimates.append(tracker.step(matcher.fingerprint.column(cell)))
+        final_target = grid.center_of(path[-1])
+        assert estimates[-1].distance_to(final_target) < 1.0
+
+    def test_run_convenience(self, matcher, room):
+        tracker = ParticleFilterTracker(matcher, room, seed=0)
+        frames = np.tile(matcher.fingerprint.column(12), (5, 1))
+        estimates = tracker.run(frames)
+        assert len(estimates) == 5
+        assert len(tracker.history) == 5
+
+    def test_run_validates_shape(self, matcher, room):
+        tracker = ParticleFilterTracker(matcher, room, seed=0)
+        with pytest.raises(ValueError, match="2-D"):
+            tracker.run(np.zeros(8))
+
+    def test_deterministic_per_seed(self, matcher, room):
+        frames = np.tile(matcher.fingerprint.column(7), (6, 1))
+        a = ParticleFilterTracker(matcher, room, seed=5).run(frames)
+        b = ParticleFilterTracker(matcher, room, seed=5).run(frames)
+        assert [(p.x, p.y) for p in a] == [(p.x, p.y) for p in b]
+
+    def test_effective_sample_size_bounds(self, matcher, room):
+        config = TrackerConfig(particle_count=200)
+        tracker = ParticleFilterTracker(matcher, room, config, seed=0)
+        assert tracker.effective_sample_size == pytest.approx(200.0)
+        tracker.step(matcher.fingerprint.column(3))
+        assert 1.0 <= tracker.effective_sample_size <= 200.0
+
+    def test_resampling_restores_ess(self, matcher, room):
+        config = TrackerConfig(particle_count=300, resample_threshold=0.9)
+        tracker = ParticleFilterTracker(matcher, room, config, seed=0)
+        for _ in range(5):
+            tracker.step(matcher.fingerprint.column(3))
+        # With an aggressive threshold the filter must have resampled, so the
+        # ESS cannot be tiny.
+        assert tracker.effective_sample_size > 30

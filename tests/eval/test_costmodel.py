@@ -1,0 +1,94 @@
+"""Unit tests for the Fig. 4 cost model."""
+
+import pytest
+
+from repro.eval.costmodel import (
+    CostModel,
+    UpdateCostRow,
+    reference_count_for_area,
+    sweep_update_cost,
+)
+
+
+class TestCostModel:
+    def test_paper_full_survey_example(self):
+        """Paper: 6 m x 6 m area costs 100 * (6/0.6)^2 / 3600 ≈ 2.78 h."""
+        model = CostModel()
+        assert model.full_survey_hours(6.0) == pytest.approx(2.78, abs=0.01)
+
+    def test_paper_tafloc_example(self):
+        """Paper: 10 reference locations cost 100 * 10 / 3600 ≈ 0.28 h."""
+        model = CostModel()
+        assert model.tafloc_update_hours(10) == pytest.approx(0.28, abs=0.01)
+
+    def test_cells_in_square(self):
+        model = CostModel()
+        assert model.cells_in_square(6.0) == 100
+        assert model.cells_in_square(36.0) == 3600
+
+    def test_survey_hours_linear_in_cells(self):
+        model = CostModel()
+        assert model.survey_hours(200) == pytest.approx(2 * model.survey_hours(100))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(samples_per_cell=0)
+        with pytest.raises(ValueError):
+            CostModel().survey_hours(-1)
+        with pytest.raises(ValueError):
+            CostModel().cells_in_square(0.0)
+
+
+class TestReferenceScaling:
+    def test_paper_testbed_floor(self):
+        assert reference_count_for_area(96) == 10
+
+    def test_sublinear_growth(self):
+        small = reference_count_for_area(100)
+        large = reference_count_for_area(3600)
+        assert large > small
+        assert large < 36 * small / (100 / 100)  # far below linear scaling
+
+    def test_sqrt_scaling(self):
+        base = reference_count_for_area(96)
+        quadrupled = reference_count_for_area(4 * 96)
+        assert quadrupled == pytest.approx(2 * base, abs=1)
+
+    def test_invalid_cells(self):
+        with pytest.raises(ValueError):
+            reference_count_for_area(0)
+
+
+class TestSweep:
+    def test_fig4_sweep_shape(self):
+        """The Fig. 4 qualitative claims: TafLoc is always cheaper, and the
+        gap widens as the area grows (paper: "when the area size becomes
+        bigger, TafLoc saves more time")."""
+        rows = sweep_update_cost([6.0, 12.0, 18.0, 24.0, 30.0, 36.0])
+        assert len(rows) == 6
+        for row in rows:
+            assert row.tafloc_hours < row.existing_hours
+        savings = [row.savings_factor for row in rows]
+        assert all(a < b for a, b in zip(savings, savings[1:]))
+
+    def test_fig4_anchor_values(self):
+        rows = sweep_update_cost([6.0])
+        row = rows[0]
+        assert row.existing_hours == pytest.approx(2.78, abs=0.01)
+        assert row.tafloc_hours == pytest.approx(0.28, abs=0.01)
+
+    def test_existing_cost_grows_quadratically(self):
+        rows = sweep_update_cost([6.0, 12.0])
+        assert rows[1].existing_hours == pytest.approx(
+            4 * rows[0].existing_hours
+        )
+
+    def test_savings_factor_infinite_when_free(self):
+        row = UpdateCostRow(
+            edge_length_m=1.0,
+            cell_count=1,
+            reference_count=0,
+            existing_hours=1.0,
+            tafloc_hours=0.0,
+        )
+        assert row.savings_factor == float("inf")

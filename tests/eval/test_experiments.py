@@ -1,0 +1,90 @@
+"""Tests for the figure experiment runners (fast, reduced workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import (
+    run_fig3_reconstruction_error,
+    run_fig5_localization,
+    run_intext_drift,
+)
+
+
+class TestIntextDrift:
+    def test_growth_with_gap(self):
+        results = run_intext_drift(days=(5.0, 45.0), seeds=(0, 1, 2))
+        assert results[45.0] > results[5.0]
+
+    def test_anchor_band(self):
+        """Ensemble drift magnitudes must be near the paper's anchors
+        (2.5 dBm @ 5 days, 6 dBm @ 45 days)."""
+        results = run_intext_drift(days=(5.0, 45.0), seeds=tuple(range(6)))
+        assert results[5.0] == pytest.approx(2.5, abs=1.5)
+        assert results[45.0] == pytest.approx(6.0, abs=3.0)
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_fig3_reconstruction_error(days=(3.0, 45.0, 90.0), seed=0)
+
+    def test_one_result_per_day(self, results):
+        assert [r.day for r in results] == [3.0, 45.0, 90.0]
+
+    def test_errors_grow_with_gap(self, results):
+        means = [r.mean_error for r in results]
+        assert means[0] < means[-1]
+
+    def test_reconstruction_beats_stale_at_long_gap(self, results):
+        last = results[-1]
+        assert last.mean_error < last.stale_mean_error
+
+    def test_mean_error_in_paper_band(self, results):
+        """Paper band: 2.7 dB (3 days) to 4.1 dB (3 months). Shape tolerance
+        of roughly 2x either way."""
+        for result in results:
+            assert 0.8 < result.mean_error < 8.0
+
+    def test_cdf_accessible(self, results):
+        xs, fs = results[0].cdf(grid=np.linspace(0, 15, 16))
+        assert fs[-1] == pytest.approx(1.0, abs=0.01)
+
+    def test_errors_flattened(self, results):
+        assert results[0].errors.ndim == 1
+        assert results[0].errors.size == 10 * 96
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig5_localization(
+            day=90.0, test_cells=list(range(0, 96, 4)), frames_per_cell=2, seed=0
+        )
+
+    def test_all_four_systems_present(self, result):
+        assert set(result.errors) == {
+            "TafLoc",
+            "RTI",
+            "RASS w/ rec.",
+            "RASS w/o rec.",
+        }
+
+    def test_reconstruction_helps_rass(self, result):
+        medians = result.median_errors()
+        assert medians["RASS w/ rec."] < medians["RASS w/o rec."]
+
+    def test_tafloc_beats_stale_rass(self, result):
+        medians = result.median_errors()
+        assert medians["TafLoc"] < medians["RASS w/o rec."]
+
+    def test_errors_positive(self, result):
+        for errors in result.errors.values():
+            assert np.all(errors >= 0)
+
+    def test_percentiles_and_cdf(self, result):
+        p80 = result.percentile_errors(80.0)
+        medians = result.median_errors()
+        for name in result.errors:
+            assert p80[name] >= medians[name]
+        xs, fs = result.cdf("TafLoc", grid=np.linspace(0, 6, 7))
+        assert np.all(np.diff(fs) >= 0)

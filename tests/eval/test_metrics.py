@@ -1,0 +1,78 @@
+"""Unit tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    cdf_points,
+    fraction_below,
+    mean_absolute_error,
+    median,
+    percentile,
+    reconstruction_error_matrix,
+    rms_error,
+)
+
+
+class TestErrorMatrices:
+    def test_reconstruction_error_matrix(self):
+        a = np.array([[1.0, 2.0]])
+        b = np.array([[3.0, 1.0]])
+        np.testing.assert_allclose(
+            reconstruction_error_matrix(a, b), [[2.0, 1.0]]
+        )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            reconstruction_error_matrix(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_mean_absolute_error(self):
+        assert mean_absolute_error([1, 2, 3], [2, 2, 2]) == pytest.approx(2 / 3)
+
+    def test_rms_error(self):
+        assert rms_error([0, 0], [3, 4]) == pytest.approx(np.sqrt(12.5))
+
+
+class TestPercentiles:
+    def test_median_odd(self):
+        assert median([3, 1, 2]) == 2.0
+
+    def test_percentile_bounds(self):
+        data = list(range(101))
+        assert percentile(data, 0) == 0
+        assert percentile(data, 100) == 100
+
+    def test_percentile_validates_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestCdf:
+    def test_staircase_cdf(self):
+        xs, fs = cdf_points([3.0, 1.0, 2.0])
+        np.testing.assert_allclose(xs, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(fs, [1 / 3, 2 / 3, 1.0])
+
+    def test_cdf_on_grid(self):
+        xs, fs = cdf_points([1.0, 2.0, 3.0, 4.0], grid=[0.0, 2.5, 10.0])
+        np.testing.assert_allclose(xs, [0.0, 2.5, 10.0])
+        np.testing.assert_allclose(fs, [0.0, 0.5, 1.0])
+
+    def test_monotone(self):
+        rng = np.random.default_rng(0)
+        _, fs = cdf_points(rng.normal(size=50))
+        assert np.all(np.diff(fs) >= 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_points([])
+
+    def test_fraction_below(self):
+        assert fraction_below([1, 2, 3, 4], 2.5) == pytest.approx(0.5)
+        assert fraction_below([1, 2], 2.0) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            fraction_below([], 1.0)

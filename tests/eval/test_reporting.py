@@ -1,0 +1,70 @@
+"""Unit tests for the text reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.eval.reporting import (
+    format_cdf_table,
+    format_series,
+    format_summary,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["name", "value"], [["a", 1.5], ["bb", 20]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert "name" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_numeric_precision(self):
+        out = format_table(["x"], [[1.23456]], precision=2)
+        assert "1.23" in out
+        assert "1.235" not in out
+
+    def test_integers_rendered_plain(self):
+        out = format_table(["n"], [[42]])
+        assert "42" in out
+        assert "42.0" not in out
+
+    def test_row_length_validated(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+
+class TestFormatSeries:
+    def test_pairs(self):
+        out = format_series("cost", [1, 2], [10.0, 20.0])
+        assert out.startswith("cost:")
+        assert "(1, 10.000)" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            format_series("s", [1], [1, 2])
+
+
+class TestFormatCdfTable:
+    def test_columns_per_system(self):
+        samples = {"A": np.array([1.0, 2.0]), "B": np.array([2.0, 4.0])}
+        out = format_cdf_table(samples, grid=[1.5, 3.0], value_label="err")
+        lines = out.splitlines()
+        assert "err" in lines[0] and "A" in lines[0] and "B" in lines[0]
+        # At 1.5: A has 1/2 below, B has 0.
+        assert "0.500" in lines[2]
+        assert "0.000" in lines[2]
+
+    def test_fractions_monotone(self):
+        samples = {"A": np.random.default_rng(0).normal(size=30)}
+        out = format_cdf_table(samples, grid=[-1.0, 0.0, 1.0])
+        values = [float(line.split()[-1]) for line in out.splitlines()[2:]]
+        assert values == sorted(values)
+
+
+class TestFormatSummary:
+    def test_key_alignment(self):
+        out = format_summary("Title", {"a": 1, "longer_key": 2.5})
+        lines = out.splitlines()
+        assert lines[0] == "Title"
+        assert lines[1].index(":") == lines[2].index(":")

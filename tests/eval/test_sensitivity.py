@@ -1,0 +1,66 @@
+"""Tests for the sensitivity-analysis sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.eval.sensitivity import (
+    as_rows,
+    sweep_link_count,
+    sweep_noise,
+    sweep_reference_budget,
+)
+
+
+@pytest.fixture(scope="module")
+def noise_points():
+    return sweep_noise(sigmas_db=(0.5, 4.0), seed=5)
+
+
+@pytest.fixture(scope="module")
+def budget_points():
+    return sweep_reference_budget(budgets=(5, 20), seed=5)
+
+
+class TestSweepNoise:
+    def test_point_structure(self, noise_points):
+        assert [p.value for p in noise_points] == [0.5, 4.0]
+        for p in noise_points:
+            assert p.knob == "noise_sigma_db"
+            assert p.reconstruction_error_db > 0
+            assert p.localization_median_m > 0
+
+    def test_more_noise_not_better(self, noise_points):
+        low, high = noise_points
+        assert high.localization_median_m >= low.localization_median_m - 0.3
+
+    def test_system_usable_across_band(self, noise_points):
+        for p in noise_points:
+            assert p.localization_median_m < 3.0  # far better than chance
+
+
+class TestSweepReferenceBudget:
+    def test_bigger_budget_reconstructs_better(self, budget_points):
+        small, large = budget_points
+        assert (
+            large.reconstruction_error_db
+            <= small.reconstruction_error_db + 0.2
+        )
+
+    def test_knob_labelled(self, budget_points):
+        assert all(p.knob == "reference_count" for p in budget_points)
+
+
+class TestSweepLinkCount:
+    def test_runs_and_labels(self):
+        points = sweep_link_count(link_counts=(6, 10), seed=5)
+        assert [int(p.value) for p in points] == [6, 10]
+        for p in points:
+            assert p.knob == "link_count"
+            assert np.isfinite(p.localization_median_m)
+
+
+class TestAsRows:
+    def test_row_shape(self, noise_points):
+        rows = as_rows(noise_points)
+        assert len(rows) == 2
+        assert len(rows[0]) == 3

@@ -1,0 +1,44 @@
+"""Tests for the tracking-over-time extension experiment."""
+
+import numpy as np
+import pytest
+
+from repro.eval.tracking_experiments import (
+    run_tracking_experiment,
+    summarize_tracking,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_tracking_experiment(days=(60.0,), frames=40, seed=3)
+
+
+class TestRunTrackingExperiment:
+    def test_both_arms_present(self, results):
+        arms = {r.arm for r in results}
+        assert arms == {"updated", "stale"}
+
+    def test_error_arrays_shaped(self, results):
+        for r in results:
+            assert r.errors.shape == (35,)  # frames - burn_in
+            assert np.all(r.errors >= 0)
+
+    def test_updated_beats_stale(self, results):
+        summary = summarize_tracking(results)
+        assert summary["updated"][60.0] < summary["stale"][60.0]
+
+    def test_updated_accuracy_reasonable(self, results):
+        summary = summarize_tracking(results)
+        assert summary["updated"][60.0] < 2.0
+
+    def test_burn_in_validated(self):
+        with pytest.raises(ValueError, match="burn_in"):
+            run_tracking_experiment(days=(5.0,), frames=5, burn_in=5)
+
+
+class TestSummarize:
+    def test_structure(self, results):
+        summary = summarize_tracking(results)
+        assert set(summary) == {"updated", "stale"}
+        assert set(summary["updated"]) == {60.0}

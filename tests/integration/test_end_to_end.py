@@ -1,0 +1,159 @@
+"""Integration tests: the whole system working together across modules."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rass import RassLocalizer
+from repro.baselines.rti import RtiLocalizer
+from repro.core.matching import ProbabilisticMatcher
+from repro.core.pipeline import TafLoc, TafLocConfig
+from repro.core.tracking import ParticleFilterTracker, TrackerConfig
+from repro.sim.collector import CollectionProtocol, RssCollector
+from repro.sim.geometry import Point
+from repro.sim.scenario import StructuralEvent, build_paper_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_paper_scenario(seed=900)
+
+
+@pytest.fixture(scope="module")
+def commissioned(scenario):
+    protocol = CollectionProtocol(samples_per_cell=5, empty_room_samples=10)
+    system = TafLoc(RssCollector(scenario, protocol, seed=1), TafLocConfig(), seed=2)
+    system.commission(0.0)
+    return system
+
+
+class TestFullLifecycle:
+    def test_commission_update_localize_cycle(self, scenario, commissioned):
+        """Commission at day 0, update at 30/60/90, localize after each."""
+        for day in (30.0, 60.0, 90.0):
+            report = commissioned.update(day)
+            assert report.savings_factor > 5.0
+            trace = RssCollector(scenario, seed=int(day)).live_trace(
+                day, [8, 40, 77]
+            )
+            errors = commissioned.localization_errors(trace)
+            assert np.all(errors < 8.0)  # never absurd
+        assert commissioned.database.epoch_count == 4
+
+    def test_update_cheaper_than_commission(self, scenario):
+        protocol = CollectionProtocol(samples_per_cell=5, empty_room_samples=10)
+        collector = RssCollector(scenario, protocol, seed=3)
+        system = TafLoc(collector, TafLocConfig(), seed=4)
+        before = collector.samples_taken
+        system.commission(0.0)
+        commission_cost = collector.samples_taken - before
+        before = collector.samples_taken
+        system.update(10.0)
+        update_cost = collector.samples_taken - before
+        assert update_cost < commission_cost / 5
+
+
+class TestCrossSystemComparison:
+    def test_same_trace_feeds_all_systems(self, scenario, commissioned):
+        """All localizers consume identical frames (the Fig. 5 setup)."""
+        day = 60.0
+        report = commissioned.update(day)
+        reconstructed = report.reconstruction.fingerprint
+        stale = commissioned.database.initial()
+        trace = RssCollector(scenario, seed=61).live_trace(
+            day, list(range(0, 96, 6))
+        )
+
+        rti = RtiLocalizer(scenario.deployment, reconstructed.empty_rss)
+        rass_fresh = RassLocalizer(
+            scenario.deployment,
+            reconstructed,
+            live_empty_rss=reconstructed.empty_rss,
+        )
+        rass_stale = RassLocalizer(scenario.deployment, stale)
+
+        taf = np.median(commissioned.localization_errors(trace))
+        results = {
+            "rti": np.median(rti.errors(trace)),
+            "rass_fresh": np.median(rass_fresh.errors(trace)),
+            "rass_stale": np.median(rass_stale.errors(trace)),
+        }
+        # Reconstruction must help RASS, and TafLoc must beat stale RASS.
+        assert results["rass_fresh"] < results["rass_stale"]
+        assert taf < results["rass_stale"]
+
+
+class TestTrackingIntegration:
+    def test_track_walk_through_room(self, scenario, commissioned):
+        """Particle filter follows a walking target using reconstructed
+        fingerprints."""
+        day = 30.0
+        commissioned.update(day)
+        fingerprint = commissioned.database.at(day)
+        matcher = ProbabilisticMatcher(
+            fingerprint, scenario.deployment.grid, sigma_db=3.0
+        )
+        tracker = ParticleFilterTracker(
+            matcher,
+            scenario.deployment.room,
+            TrackerConfig(process_sigma_m=0.5),
+            seed=5,
+        )
+        # An interior path: the perimeter-link geometry (like any DfL
+        # testbed) has weak coverage within half a cell of the walls.
+        walk = RssCollector(scenario, seed=31).walk_trace(
+            day,
+            [
+                Point(1.2, 1.2),
+                Point(6.0, 1.2),
+                Point(6.0, 3.6),
+                Point(1.8, 3.6),
+            ],
+            step_m=0.4,
+        )
+        estimates = tracker.run(walk.rss)
+        errors = [
+            est.distance_to(Point(float(x), float(y)))
+            for est, (x, y) in zip(estimates, walk.true_positions)
+        ]
+        # Skip the filter's burn-in frames, then demand decent tracking.
+        settled = np.array(errors[5:])
+        assert np.median(settled) < 2.0
+
+
+class TestStructuralEvents:
+    def test_event_degrades_then_update_recovers(self):
+        """A furniture move mid-deployment hurts stale fingerprints; a TafLoc
+        update afterwards restores accuracy (the 'changes in environment'
+        story of the paper's introduction)."""
+        scenario = build_paper_scenario(seed=901)
+        rng = np.random.default_rng(0)
+        offsets = rng.normal(0.0, 3.0, size=scenario.deployment.link_count)
+        scenario.add_event(
+            StructuralEvent(day=20.0, link_offsets_db=offsets, label="sofa moved")
+        )
+        protocol = CollectionProtocol(samples_per_cell=5, empty_room_samples=10)
+        system = TafLoc(
+            RssCollector(scenario, protocol, seed=6), TafLocConfig(), seed=7
+        )
+        system.commission(0.0)
+
+        cells = list(range(0, 96, 4))
+        trace = RssCollector(scenario, seed=21).live_trace(25.0, cells)
+        stale_errors = np.median(system.localization_errors(trace))
+        system.update(25.0)
+        updated_errors = np.median(system.localization_errors(trace))
+        assert updated_errors < stale_errors
+
+
+class TestReproducibility:
+    def test_full_pipeline_bitwise_reproducible(self, scenario):
+        def run():
+            protocol = CollectionProtocol(samples_per_cell=3, empty_room_samples=5)
+            system = TafLoc(
+                RssCollector(scenario, protocol, seed=8), TafLocConfig(), seed=9
+            )
+            system.commission(0.0)
+            report = system.update(15.0)
+            return report.reconstruction.fingerprint.values
+
+        np.testing.assert_array_equal(run(), run())

@@ -1,0 +1,128 @@
+"""Property-based tests for the extension modules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.detection import PresenceDetector
+from repro.core.multi_target import pairing_error
+from repro.sim.geometry import Point, Room
+from repro.sim.interference import BurstyInterferenceModel
+from repro.sim.mobility import RandomWalkModel, RandomWaypointModel, ScriptedRoute
+
+
+class TestDetectorProperties:
+    @given(st.integers(0, 10_000), st.floats(1.0, 8.0))
+    @settings(max_examples=30, deadline=None)
+    def test_threshold_above_calibration_mean(self, seed, k):
+        rng = np.random.default_rng(seed)
+        frames = rng.normal(-50.0, 1.0, size=(20, 6))
+        detector = PresenceDetector(frames, k=k)
+        scores = [detector.score(f) for f in frames]
+        assert detector.threshold >= np.mean(scores) - 1e-9
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_score_nonnegative_and_zero_at_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        frames = rng.normal(-50.0, 1.0, size=(10, 4))
+        detector = PresenceDetector(frames)
+        assert detector.score(detector.empty_rss) == pytest.approx(0.0)
+        assert detector.score(frames[0]) >= 0.0
+
+    @given(st.integers(0, 10_000), st.floats(0.5, 20.0))
+    @settings(max_examples=30, deadline=None)
+    def test_score_monotone_in_perturbation(self, seed, magnitude):
+        rng = np.random.default_rng(seed)
+        frames = rng.normal(-50.0, 0.5, size=(10, 4))
+        detector = PresenceDetector(frames)
+        base = detector.empty_rss
+        small = detector.score(base - magnitude / 2)
+        large = detector.score(base - magnitude)
+        assert large >= small
+
+
+class TestMobilityProperties:
+    @given(st.integers(0, 10_000), st.integers(1, 80))
+    @settings(max_examples=25, deadline=None)
+    def test_waypoint_positions_in_bounds(self, seed, frames):
+        room = Room(6.0, 4.0)
+        model = RandomWaypointModel(room, margin_m=0.2, seed=seed)
+        for p in model.positions(frames):
+            assert room.contains(p)
+
+    @given(st.integers(0, 10_000), st.integers(1, 80))
+    @settings(max_examples=25, deadline=None)
+    def test_random_walk_in_bounds(self, seed, frames):
+        room = Room(5.0, 5.0)
+        model = RandomWalkModel(room, seed=seed)
+        for p in model.positions(frames):
+            assert room.contains(p)
+
+    @given(st.integers(1, 60), st.floats(0.1, 2.0))
+    @settings(max_examples=25, deadline=None)
+    def test_scripted_step_bound(self, frames, speed):
+        route = ScriptedRoute(
+            [Point(0, 0), Point(3, 0), Point(3, 3)], speed_mps=speed
+        )
+        positions = route.positions(frames)
+        for a, b in zip(positions, positions[1:]):
+            assert a.distance_to(b) <= speed + 1e-9
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_prefix_consistency(self, seed):
+        """Asking for fewer frames yields a prefix of the longer trajectory."""
+        room = Room(6.0, 4.0)
+        short = RandomWaypointModel(room, seed=seed).positions(10)
+        long = RandomWaypointModel(room, seed=seed).positions(25)
+        assert [(p.x, p.y) for p in short] == [(p.x, p.y) for p in long[:10]]
+
+
+class TestInterferenceProperties:
+    @given(
+        st.integers(0, 10_000),
+        st.floats(0.0, 1.0),
+        st.floats(0.0, 5.0),
+        st.floats(0.0, 10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_offsets_within_magnitude_band(self, seed, prob, low, extra):
+        model = BurstyInterferenceModel(
+            links=6,
+            burst_probability=prob,
+            magnitude_db=(low, low + extra),
+            seed=seed,
+        )
+        offsets = model.sample_offsets()
+        nonzero = offsets[offsets != 0.0]
+        if nonzero.size:
+            assert np.all(np.abs(nonzero) >= low - 1e-12)
+            assert np.all(np.abs(nonzero) <= low + extra + 1e-12)
+
+
+class TestPairingErrorProperties:
+    coords = st.floats(-10.0, 10.0)
+
+    @given(coords, coords, coords, coords)
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry_under_swap(self, ax, ay, bx, by):
+        estimated = [Point(ax, ay), Point(bx, by)]
+        truth = [Point(1.0, 1.0), Point(-1.0, 2.0)]
+        assert pairing_error(estimated, truth) == pytest.approx(
+            pairing_error(list(reversed(estimated)), truth)
+        )
+
+    @given(coords, coords, coords, coords)
+    @settings(max_examples=40, deadline=None)
+    def test_perfect_match_is_zero(self, ax, ay, bx, by):
+        points = [Point(ax, ay), Point(bx, by)]
+        assert pairing_error(points, list(points)) == pytest.approx(0.0)
+
+    @given(coords, coords, coords, coords)
+    @settings(max_examples=40, deadline=None)
+    def test_nonnegative(self, ax, ay, bx, by):
+        estimated = [Point(ax, ay), Point(bx, by)]
+        truth = [Point(0.0, 0.0), Point(2.0, 2.0)]
+        assert pairing_error(estimated, truth) >= 0.0

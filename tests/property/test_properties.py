@@ -1,0 +1,181 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.completion import mean_fill
+from repro.core.fingerprint import FingerprintMatrix
+from repro.core.loli_ir import LoliIrConfig, LoliIrProblem, LoliIrSolver
+from repro.core.lrr import LrrConfig, fit_lrr
+from repro.core.reference import select_references_pivoted_qr
+from repro.eval.metrics import cdf_points, percentile
+from repro.sim.geometry import Grid, Link, Point, Room
+from repro.util.linalg import (
+    conjugate_gradient,
+    first_difference_matrix,
+    soft_threshold,
+    svd_shrink,
+)
+
+finite_floats = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+
+def small_matrices(min_rows=2, max_rows=6, min_cols=2, max_cols=10):
+    return st.integers(min_rows, max_rows).flatmap(
+        lambda m: st.integers(min_cols, max_cols).flatmap(
+            lambda n: arrays(np.float64, (m, n), elements=finite_floats)
+        )
+    )
+
+
+class TestLinalgProperties:
+    @given(small_matrices(), st.floats(0.0, 100.0))
+    @settings(max_examples=50, deadline=None)
+    def test_soft_threshold_shrinks_magnitude(self, matrix, threshold):
+        out = soft_threshold(matrix, threshold)
+        assert np.all(np.abs(out) <= np.abs(matrix) + 1e-12)
+
+    @given(small_matrices(), st.floats(0.01, 50.0))
+    @settings(max_examples=30, deadline=None)
+    def test_svd_shrink_reduces_nuclear_norm(self, matrix, threshold):
+        shrunk, _ = svd_shrink(matrix, threshold)
+        before = np.linalg.svd(matrix, compute_uv=False).sum()
+        after = np.linalg.svd(shrunk, compute_uv=False).sum()
+        assert after <= before + 1e-8
+
+    @given(st.integers(2, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_first_difference_annihilates_constants(self, size):
+        d = first_difference_matrix(size)
+        np.testing.assert_allclose(d @ np.full(size, 2.5), 0.0, atol=1e-12)
+
+    @given(st.integers(2, 10), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_cg_solves_random_spd(self, size, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((size, size))
+        spd = a @ a.T + size * np.eye(size)
+        x = rng.standard_normal(size)
+        result = conjugate_gradient(lambda v: spd @ v, spd @ x, tol=1e-12,
+                                    max_iter=500)
+        np.testing.assert_allclose(result.solution, x, atol=1e-6)
+
+
+class TestGeometryProperties:
+    @given(
+        st.floats(0.1, 50.0),
+        st.floats(0.1, 50.0),
+        st.floats(-100.0, 100.0),
+        st.floats(-100.0, 100.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_excess_path_length_nonnegative(self, w, d, px, py):
+        link = Link(index=0, tx=Point(0, 0), rx=Point(w, d))
+        assert link.excess_path_length(Point(px, py)) >= 0.0
+
+    @given(st.floats(1.0, 30.0), st.floats(1.0, 30.0), st.floats(0.2, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_grid_roundtrip(self, width, depth, cell):
+        room = Room(width, depth)
+        if cell > min(width, depth):
+            return
+        grid = Grid(room, cell)
+        for index in range(0, grid.cell_count, max(1, grid.cell_count // 7)):
+            assert grid.cell_at(grid.center_of(index)) == index
+
+    @given(
+        st.floats(-10.0, 10.0),
+        st.floats(-10.0, 10.0),
+        st.floats(-10.0, 10.0),
+        st.floats(-10.0, 10.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_distance_symmetry(self, ax, ay, bx, by):
+        a, b = Point(ax, ay), Point(bx, by)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+        assert a.distance_to(a) == 0.0
+
+
+class TestMetricsProperties:
+    @given(st.lists(finite_floats, min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_cdf_is_monotone_and_ends_at_one(self, values):
+        _, fs = cdf_points(values)
+        assert np.all(np.diff(fs) >= -1e-12)
+        assert fs[-1] == pytest.approx(1.0)
+
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=50),
+        st.floats(0.0, 100.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_percentile_within_sample_range(self, values, q):
+        p = percentile(values, q)
+        assert min(values) - 1e-9 <= p <= max(values) + 1e-9
+
+
+class TestCompletionProperties:
+    @given(small_matrices(), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_mean_fill_keeps_observed(self, matrix, seed):
+        rng = np.random.default_rng(seed)
+        mask = rng.random(matrix.shape) < 0.5
+        filled = mean_fill(matrix, mask)
+        np.testing.assert_array_equal(filled[mask], matrix[mask])
+        assert np.all(np.isfinite(filled))
+
+
+class TestLrrProperties:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_transfer_exactness_on_rank_limited_data(self, seed):
+        """For any rank-r matrix and r spanning references, LRR transfer
+        under arbitrary per-link offsets is exact (the paper's property ii
+        in its idealized form)."""
+        rng = np.random.default_rng(seed)
+        links, cells, rank = 6, 15, 3
+        matrix = rng.normal(size=(links, rank)) @ rng.normal(size=(rank, cells))
+        refs = select_references_pivoted_qr(matrix, rank + 1).cells
+        model = fit_lrr(matrix, refs, LrrConfig(ridge=1e-10))
+        drift = rng.normal(0, 3, size=(links, 1))
+        predicted = model.predict((matrix + drift)[:, refs])
+        np.testing.assert_allclose(predicted, matrix + drift, atol=1e-4)
+
+
+class TestLoliIrProperties:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_objective_never_increases(self, seed):
+        rng = np.random.default_rng(seed)
+        links, cells, rank = 6, 12, 2
+        truth = rng.normal(size=(links, rank)) @ rng.normal(size=(rank, cells))
+        mask = rng.random((links, cells)) < 0.6
+        if not mask.any():
+            return
+        problem = LoliIrProblem(
+            observed_mask=mask,
+            observed_values=np.where(mask, truth, 0.0),
+            lrr_target=truth + 0.1 * rng.standard_normal(truth.shape),
+        )
+        result = LoliIrSolver(
+            LoliIrConfig(rank=rank, outer_iterations=8)
+        ).solve(problem)
+        history = result.objective_history
+        assert np.all(
+            np.diff(history) <= 1e-6 * np.maximum(1.0, np.abs(history[:-1]))
+        )
+
+
+class TestFingerprintProperties:
+    @given(small_matrices(min_rows=2, max_rows=5, min_cols=2, max_cols=8))
+    @settings(max_examples=30, deadline=None)
+    def test_dips_roundtrip(self, values):
+        empty = values.max(axis=1) + 1.0
+        fp = FingerprintMatrix(values=values, empty_rss=empty)
+        reconstructed = empty[:, None] - fp.dips()
+        np.testing.assert_allclose(reconstructed, values, atol=1e-9)

@@ -1,0 +1,134 @@
+"""Unit tests for the baseline channel model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.channel import ChannelModel, ChannelParams, midpoint_of
+from repro.sim.geometry import Link, Point
+
+
+@pytest.fixture()
+def links():
+    return [
+        Link(index=0, tx=Point(0, 1), rx=Point(8, 1)),
+        Link(index=1, tx=Point(0, 2), rx=Point(8, 2)),
+        Link(index=2, tx=Point(0, 6), rx=Point(8, 6)),
+    ]
+
+
+class TestChannelParams:
+    def test_defaults_valid(self):
+        ChannelParams()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("path_loss_exponent", 0.0),
+            ("reference_distance_m", -1.0),
+            ("noise_sigma_db", -0.5),
+            ("multipath_correlation_m", 0.0),
+        ],
+    )
+    def test_invalid_params(self, field, value):
+        with pytest.raises(ValueError):
+            ChannelParams(**{field: value})
+
+    def test_with_noise_sigma(self):
+        params = ChannelParams().with_noise_sigma(0.0)
+        assert params.noise_sigma_db == 0.0
+
+
+class TestChannelModel:
+    def test_path_loss_monotone_in_distance(self, links):
+        channel = ChannelModel(links, seed=0)
+        assert channel.path_loss_db(10.0) > channel.path_loss_db(2.0)
+
+    def test_path_loss_clamped_below_reference(self, links):
+        channel = ChannelModel(links, seed=0)
+        assert channel.path_loss_db(0.01) == channel.path_loss_db(1.0)
+
+    def test_empty_room_rss_plausible_range(self, links):
+        channel = ChannelModel(links, seed=0)
+        rss = channel.empty_room_rss()
+        assert rss.shape == (3,)
+        assert np.all(rss < 0)  # indoor WiFi RSS is negative dBm
+        assert np.all(rss > -90)
+
+    def test_realization_frozen(self, links):
+        channel = ChannelModel(links, seed=0)
+        np.testing.assert_array_equal(
+            channel.empty_room_rss(), channel.empty_room_rss()
+        )
+
+    def test_seed_determinism(self, links):
+        a = ChannelModel(links, seed=5).empty_room_rss()
+        b = ChannelModel(links, seed=5).empty_room_rss()
+        np.testing.assert_array_equal(a, b)
+
+    def test_seeds_differ(self, links):
+        a = ChannelModel(links, seed=1).empty_room_rss()
+        b = ChannelModel(links, seed=2).empty_room_rss()
+        assert not np.array_equal(a, b)
+
+    def test_nearby_links_correlated_multipath(self):
+        """Links 0/1 are 1 m apart, link 2 is 4+ m away: the multipath gains
+        of the close pair should correlate more strongly across seeds."""
+        close_deltas, far_deltas = [], []
+        for seed in range(200):
+            links = [
+                Link(index=0, tx=Point(0, 1), rx=Point(8, 1)),
+                Link(index=1, tx=Point(0, 1.5), rx=Point(8, 1.5)),
+                Link(index=2, tx=Point(0, 7), rx=Point(8, 7)),
+            ]
+            channel = ChannelModel(links, seed=seed)
+            gains = channel._multipath
+            close_deltas.append(gains[0] - gains[1])
+            far_deltas.append(gains[0] - gains[2])
+        assert np.std(close_deltas) < np.std(far_deltas)
+
+    def test_sample_no_rng_is_deterministic(self, links):
+        channel = ChannelModel(links, seed=0)
+        a = channel.sample(quantize=False)
+        b = channel.sample(quantize=False)
+        np.testing.assert_array_equal(a, b)
+
+    def test_sample_shadow_reduces_rss(self, links):
+        channel = ChannelModel(links, seed=0)
+        base = channel.sample(quantize=False)
+        shadowed = channel.sample(shadow_db=np.array([5.0, 0.0, 0.0]), quantize=False)
+        assert shadowed[0] == pytest.approx(base[0] - 5.0)
+        assert shadowed[1] == pytest.approx(base[1])
+
+    def test_sample_drift_adds(self, links):
+        channel = ChannelModel(links, seed=0)
+        base = channel.sample(quantize=False)
+        drifted = channel.sample(drift_db=np.array([1.0, -2.0, 0.5]), quantize=False)
+        np.testing.assert_allclose(drifted - base, [1.0, -2.0, 0.5])
+
+    def test_quantization_grid(self, links):
+        channel = ChannelModel(links, seed=0)
+        rss = channel.sample(rng=np.random.default_rng(0), quantize=True)
+        np.testing.assert_allclose(rss, np.round(rss))
+
+    def test_noise_varies_between_samples(self, links):
+        channel = ChannelModel(links, seed=0)
+        rng = np.random.default_rng(0)
+        a = channel.sample(rng=rng, quantize=False)
+        b = channel.sample(rng=rng, quantize=False)
+        assert not np.array_equal(a, b)
+
+    def test_zero_noise_params(self, links):
+        params = ChannelParams(noise_sigma_db=0.0, multipath_sigma_db=0.0)
+        channel = ChannelModel(links, params=params, seed=0)
+        rng = np.random.default_rng(0)
+        a = channel.sample(rng=rng, quantize=False)
+        b = channel.sample(rng=rng, quantize=False)
+        np.testing.assert_array_equal(a, b)
+
+    def test_requires_links(self):
+        with pytest.raises(ValueError):
+            ChannelModel([], seed=0)
+
+
+def test_midpoint_of():
+    assert midpoint_of(Point(0, 0), Point(2, 4)) == Point(1, 2)

@@ -1,0 +1,167 @@
+"""Unit tests for the RSS collector and its protocol accounting."""
+
+import numpy as np
+import pytest
+
+from repro.sim.collector import CollectionProtocol, RssCollector
+from repro.sim.geometry import Point
+
+
+class TestProtocol:
+    def test_defaults_are_papers(self):
+        protocol = CollectionProtocol()
+        assert protocol.samples_per_cell == 100
+        assert protocol.sample_period_s == 1.0
+
+    def test_survey_seconds_matches_paper_example(self):
+        """Paper: 100 samples at 1 Hz for (6/0.6)^2 = 100 grids ≈ 2.78 h."""
+        protocol = CollectionProtocol()
+        hours = protocol.survey_seconds(100) / 3600.0
+        assert hours == pytest.approx(2.78, abs=0.01)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"samples_per_cell": 0},
+        {"sample_period_s": 0.0},
+        {"empty_room_samples": 0},
+        {"survey_jitter": 1.5},
+        {"live_jitter": -0.1},
+    ])
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ValueError):
+            CollectionProtocol(**kwargs)
+
+
+class TestEmptyRoom:
+    def test_vector_shape(self, collector, paper_scenario):
+        empty = collector.collect_empty_room(0.0)
+        assert empty.shape == (paper_scenario.deployment.link_count,)
+
+    def test_close_to_true_empty_rss(self, collector, paper_scenario):
+        empty = collector.collect_empty_room(0.0)
+        truth = paper_scenario.true_rss(0.0)
+        np.testing.assert_allclose(empty, truth, atol=1.5)
+
+
+class TestSurveys:
+    def test_full_survey_shape(self, collector, paper_scenario):
+        result = collector.collect_full_survey(0.0)
+        assert result.survey.matrix.shape == (
+            paper_scenario.deployment.link_count,
+            paper_scenario.deployment.cell_count,
+        )
+
+    def test_survey_cost_accounting(self, collector, paper_scenario, fast_protocol):
+        result = collector.collect_full_survey(0.0)
+        cells = paper_scenario.deployment.cell_count
+        assert result.samples_taken == cells * fast_protocol.samples_per_cell
+        assert result.seconds_spent == pytest.approx(
+            cells * fast_protocol.samples_per_cell * fast_protocol.sample_period_s
+        )
+
+    def test_partial_survey(self, collector):
+        result = collector.collect_survey(0.0, [3, 17, 42])
+        assert result.survey.matrix.shape[1] == 3
+        np.testing.assert_array_equal(result.survey.cells, [3, 17, 42])
+
+    def test_partial_survey_cheaper(self, collector):
+        partial = collector.collect_survey(0.0, [0, 1])
+        full = collector.collect_full_survey(0.0)
+        assert partial.seconds_spent < full.seconds_spent
+
+    def test_survey_columns_near_truth(self, paper_scenario, fast_protocol):
+        collector = RssCollector(paper_scenario, fast_protocol, seed=0)
+        result = collector.collect_survey(0.0, [40])
+        truth = paper_scenario.true_rss(0.0, cell=40)
+        # Stance jitter + noise allow a few dB; structure must match.
+        np.testing.assert_allclose(result.survey.matrix[:, 0], truth, atol=5.0)
+
+    def test_invalid_cells_rejected(self, collector):
+        with pytest.raises(ValueError):
+            collector.collect_survey(0.0, [0, 9999])
+
+    def test_samples_taken_accumulates(self, collector):
+        before = collector.samples_taken
+        collector.collect_survey(0.0, [0])
+        assert collector.samples_taken > before
+
+
+class TestLiveMeasurement:
+    def test_live_vector_shape(self, collector, paper_scenario):
+        vector = collector.live_vector(0.0, cell=10)
+        assert vector.shape == (paper_scenario.deployment.link_count,)
+
+    def test_live_vector_point(self, collector):
+        vector = collector.live_vector(0.0, point=Point(1.0, 1.0))
+        assert np.all(np.isfinite(vector))
+
+    def test_averaging_reduces_noise(self, paper_scenario):
+        protocol = CollectionProtocol(samples_per_cell=5, live_jitter=0.0)
+        single, averaged = [], []
+        truth = paper_scenario.true_rss(0.0, cell=20)
+        for seed in range(30):
+            coll = RssCollector(paper_scenario, protocol, seed=seed)
+            single.append(np.abs(coll.live_vector(0.0, cell=20) - truth).mean())
+            coll2 = RssCollector(paper_scenario, protocol, seed=1000 + seed)
+            averaged.append(
+                np.abs(coll2.live_vector(0.0, cell=20, averaging=25) - truth).mean()
+            )
+        assert np.mean(averaged) < np.mean(single)
+
+    def test_invalid_averaging(self, collector):
+        with pytest.raises(ValueError):
+            collector.live_vector(0.0, cell=0, averaging=0)
+
+    def test_cell_and_point_mutually_exclusive(self, collector):
+        with pytest.raises(ValueError, match="at most one"):
+            collector.live_vector(0.0, cell=0, point=Point(0, 0))
+
+
+class TestTraces:
+    def test_live_trace_fields(self, collector):
+        trace = collector.live_trace(0.0, [1, 2, 3, 2])
+        assert trace.frame_count == 4
+        np.testing.assert_array_equal(trace.true_cells, [1, 2, 3, 2])
+        assert trace.true_positions.shape == (4, 2)
+
+    def test_live_trace_positions_inside_cells(self, collector, paper_scenario):
+        grid = paper_scenario.deployment.grid
+        trace = collector.live_trace(0.0, list(range(10)))
+        for cell, (x, y) in zip(trace.true_cells, trace.true_positions):
+            assert grid.cell_at(Point(float(x), float(y))) == cell
+
+    def test_walk_trace(self, collector, paper_scenario):
+        room = paper_scenario.deployment.room
+        waypoints = [Point(0.5, 0.5), Point(room.width - 0.5, room.depth - 0.5)]
+        trace = collector.walk_trace(0.0, waypoints, step_m=0.5)
+        assert trace.frame_count >= 2
+        # Path endpoints respected.
+        np.testing.assert_allclose(trace.true_positions[0], [0.5, 0.5])
+        np.testing.assert_allclose(
+            trace.true_positions[-1], [room.width - 0.5, room.depth - 0.5]
+        )
+
+    def test_walk_requires_two_waypoints(self, collector):
+        with pytest.raises(ValueError, match="two waypoints"):
+            collector.walk_trace(0.0, [Point(0, 0)])
+
+    def test_walk_step_validated(self, collector):
+        with pytest.raises(ValueError):
+            collector.walk_trace(0.0, [Point(0, 0), Point(1, 1)], step_m=0.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_survey(self, paper_scenario, fast_protocol):
+        a = RssCollector(paper_scenario, fast_protocol, seed=11)
+        b = RssCollector(paper_scenario, fast_protocol, seed=11)
+        np.testing.assert_array_equal(
+            a.collect_full_survey(0.0).survey.matrix,
+            b.collect_full_survey(0.0).survey.matrix,
+        )
+
+    def test_different_seed_different_survey(self, paper_scenario, fast_protocol):
+        a = RssCollector(paper_scenario, fast_protocol, seed=11)
+        b = RssCollector(paper_scenario, fast_protocol, seed=12)
+        assert not np.array_equal(
+            a.collect_full_survey(0.0).survey.matrix,
+            b.collect_full_survey(0.0).survey.matrix,
+        )

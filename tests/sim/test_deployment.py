@@ -1,0 +1,107 @@
+"""Unit tests for deployment builders."""
+
+import numpy as np
+import pytest
+
+from repro.sim.deployment import (
+    Deployment,
+    build_paper_deployment,
+    build_square_deployment,
+)
+from repro.sim.geometry import Grid, Link, Point, Room
+
+
+class TestPaperDeployment:
+    @pytest.fixture(scope="class")
+    def deployment(self):
+        return build_paper_deployment()
+
+    def test_paper_counts(self, deployment):
+        """Fig. 2: 10 links, 96 grids of 0.6 m x 0.6 m."""
+        assert deployment.link_count == 10
+        assert deployment.cell_count == 96
+        assert deployment.grid.cell_size == pytest.approx(0.6)
+
+    def test_grid_dimensions(self, deployment):
+        assert deployment.grid.columns == 12
+        assert deployment.grid.rows == 8
+
+    def test_links_span_monitored_region(self, deployment):
+        room = deployment.room
+        for link in deployment.links:
+            assert room.contains(link.tx)
+            assert room.contains(link.rx)
+            assert link.length > 0
+
+    def test_crossing_orientations(self, deployment):
+        """Both horizontal and vertical links exist (2-D resolution)."""
+        horizontals = [
+            l for l in deployment.links if abs(l.tx.y - l.rx.y) < 1e-9
+        ]
+        verticals = [
+            l for l in deployment.links if abs(l.tx.x - l.rx.x) < 1e-9
+        ]
+        assert len(horizontals) == 5
+        assert len(verticals) == 5
+
+    def test_link_indices_sequential(self, deployment):
+        assert [l.index for l in deployment.links] == list(range(10))
+
+    def test_adjacent_pairs_same_orientation(self, deployment):
+        pairs = deployment.adjacent_link_pairs()
+        assert len(pairs) == 8  # 4 within each 5-link orientation group
+        for a, b in pairs:
+            la, lb = deployment.links[a], deployment.links[b]
+            a_horizontal = abs(la.tx.y - la.rx.y) < 1e-9
+            b_horizontal = abs(lb.tx.y - lb.rx.y) < 1e-9
+            assert a_horizontal == b_horizontal
+
+    def test_link_lengths_vector(self, deployment):
+        lengths = deployment.link_lengths()
+        assert lengths.shape == (10,)
+        assert np.all(lengths > 0)
+
+    def test_ascii_floor_plan_renders(self, deployment):
+        plan = deployment.ascii_floor_plan()
+        assert "L" in plan
+        assert "." in plan
+        assert plan.startswith("+")
+
+    def test_monitored_region_must_fit(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            build_paper_deployment(room_width=3.0, monitored_columns=12)
+
+
+class TestSquareDeployment:
+    def test_cell_count_scales_with_edge(self):
+        small = build_square_deployment(6.0)
+        large = build_square_deployment(12.0)
+        assert small.cell_count == 100  # (6 / 0.6)^2
+        assert large.cell_count == 400
+
+    def test_link_count_scales(self):
+        small = build_square_deployment(6.0)
+        large = build_square_deployment(24.0)
+        assert large.link_count > small.link_count
+
+    def test_paper_fig4_sizes_buildable(self):
+        for edge in (6.0, 12.0, 18.0, 24.0, 30.0, 36.0):
+            deployment = build_square_deployment(edge)
+            assert deployment.cell_count == int(edge / 0.6) ** 2
+
+    def test_invalid_edge(self):
+        with pytest.raises(ValueError):
+            build_square_deployment(0.0)
+
+
+class TestDeploymentValidation:
+    def test_rejects_empty_links(self):
+        room = Room(2.0, 2.0)
+        with pytest.raises(ValueError, match="at least one link"):
+            Deployment(room=room, grid=Grid(room, 0.5), links=[])
+
+    def test_rejects_links_outside_room(self):
+        room = Room(2.0, 2.0)
+        bad = Link(index=0, tx=Point(0, 0), rx=Point(5.0, 0))
+        with pytest.raises(ValueError, match="outside"):
+            Deployment(room=room, grid=Grid(room, 0.5), links=[bad])

@@ -1,0 +1,149 @@
+"""Unit tests for planar geometry primitives."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.geometry import Grid, Link, Point, Room, pairwise_distances
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_as_array(self):
+        np.testing.assert_array_equal(Point(1.5, -2.0).as_array(), [1.5, -2.0])
+
+    def test_translated(self):
+        moved = Point(1, 2).translated(0.5, -1.0)
+        assert moved == Point(1.5, 1.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 1.0
+
+
+class TestLink:
+    @pytest.fixture()
+    def link(self):
+        return Link(index=0, tx=Point(0, 0), rx=Point(10, 0))
+
+    def test_length_and_midpoint(self, link):
+        assert link.length == pytest.approx(10.0)
+        assert link.midpoint == Point(5.0, 0.0)
+
+    def test_distance_from_path_on_segment(self, link):
+        assert link.distance_from_path(Point(5, 2)) == pytest.approx(2.0)
+
+    def test_distance_from_path_beyond_endpoint(self, link):
+        # Past the RX the distance is to the endpoint, not the infinite line.
+        assert link.distance_from_path(Point(13, 4)) == pytest.approx(5.0)
+
+    def test_excess_zero_on_path(self, link):
+        assert link.excess_path_length(Point(4, 0)) == pytest.approx(0.0)
+
+    def test_excess_positive_off_path(self, link):
+        excess = link.excess_path_length(Point(5, 1))
+        expected = 2 * math.hypot(5, 1) - 10
+        assert excess == pytest.approx(expected)
+
+    def test_excess_grows_with_offset(self, link):
+        near = link.excess_path_length(Point(5, 0.5))
+        far = link.excess_path_length(Point(5, 2.0))
+        assert far > near
+
+    def test_projection_parameter(self, link):
+        assert link.projection_parameter(Point(0, 3)) == pytest.approx(0.0)
+        assert link.projection_parameter(Point(5, 3)) == pytest.approx(0.5)
+        assert link.projection_parameter(Point(20, 3)) == pytest.approx(1.0)
+
+    def test_degenerate_link(self):
+        dot = Link(index=0, tx=Point(1, 1), rx=Point(1, 1))
+        assert dot.length == 0.0
+        assert dot.distance_from_path(Point(4, 5)) == pytest.approx(5.0)
+        assert dot.projection_parameter(Point(0, 0)) == 0.0
+
+
+class TestRoom:
+    def test_area_and_center(self):
+        room = Room(4.0, 6.0)
+        assert room.area == pytest.approx(24.0)
+        assert room.center == Point(2.0, 3.0)
+
+    def test_contains(self):
+        room = Room(4.0, 6.0)
+        assert room.contains(Point(0, 0))
+        assert room.contains(Point(4, 6))
+        assert not room.contains(Point(4.1, 3))
+
+    @pytest.mark.parametrize("w,d", [(0, 1), (1, 0), (-1, 1)])
+    def test_invalid_dimensions(self, w, d):
+        with pytest.raises(ValueError):
+            Room(w, d)
+
+
+class TestGrid:
+    @pytest.fixture()
+    def grid(self):
+        return Grid(Room(3.0, 1.8), 0.6)
+
+    def test_dimensions(self, grid):
+        assert grid.columns == 5
+        assert grid.rows == 3
+        assert grid.cell_count == 15
+
+    def test_float_artifact_resistant(self):
+        # 7.2 / 0.6 is not exactly 12 in floating point.
+        grid = Grid(Room(7.2, 4.8), 0.6)
+        assert grid.columns == 12
+        assert grid.rows == 8
+
+    def test_center_roundtrip(self, grid):
+        for cell in range(grid.cell_count):
+            assert grid.cell_at(grid.center_of(cell)) == cell
+
+    def test_center_of_first_cell(self, grid):
+        assert grid.center_of(0) == Point(0.3, 0.3)
+
+    def test_center_out_of_range(self, grid):
+        with pytest.raises(IndexError):
+            grid.center_of(15)
+        with pytest.raises(IndexError):
+            grid.center_of(-1)
+
+    def test_cell_at_clamps_outside(self, grid):
+        assert grid.cell_at(Point(-1.0, -1.0)) == 0
+        assert grid.cell_at(Point(99.0, 99.0)) == grid.cell_count - 1
+
+    def test_neighbors_interior(self, grid):
+        # Cell 7 is at column 2, row 1 — fully interior in a 5x3 grid.
+        assert sorted(grid.neighbors_of(7)) == [2, 6, 8, 12]
+
+    def test_neighbors_corner(self, grid):
+        assert sorted(grid.neighbors_of(0)) == [1, 5]
+
+    def test_centers_count(self, grid):
+        assert len(grid.centers()) == grid.cell_count
+
+    def test_iter_cells(self, grid):
+        items = list(grid.iter_cells())
+        assert items[0][0] == 0
+        assert items[-1][0] == grid.cell_count - 1
+
+    def test_cell_too_large(self):
+        with pytest.raises(ValueError):
+            Grid(Room(1.0, 1.0), 2.0)
+
+
+class TestPairwiseDistances:
+    def test_symmetry_and_zero_diagonal(self):
+        points = [Point(0, 0), Point(3, 4), Point(-1, 1)]
+        d = pairwise_distances(points)
+        assert d.shape == (3, 3)
+        np.testing.assert_allclose(d, d.T)
+        np.testing.assert_allclose(np.diag(d), 0.0)
+        assert d[0, 1] == pytest.approx(5.0)
+
+    def test_empty(self):
+        assert pairwise_distances([]).shape == (0, 0)

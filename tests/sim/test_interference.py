@@ -1,0 +1,128 @@
+"""Unit tests for interference injection (failure injection)."""
+
+import numpy as np
+import pytest
+
+from repro.core.detection import PresenceDetector
+from repro.sim.collector import RssCollector
+from repro.sim.interference import BurstyInterferenceModel
+from repro.sim.scenario import build_paper_scenario
+
+
+class TestBurstyInterferenceModel:
+    def test_offsets_shape(self):
+        model = BurstyInterferenceModel(links=8, seed=0)
+        assert model.sample_offsets().shape == (8,)
+
+    def test_hit_rate_matches_probability(self):
+        model = BurstyInterferenceModel(links=4, burst_probability=0.2, seed=1)
+        hits = sum(
+            np.count_nonzero(model.sample_offsets()) for _ in range(500)
+        )
+        rate = hits / (500 * 4)
+        assert rate == pytest.approx(0.2, abs=0.05)
+
+    def test_zero_probability_silent(self):
+        model = BurstyInterferenceModel(links=4, burst_probability=0.0, seed=0)
+        for _ in range(20):
+            np.testing.assert_array_equal(model.sample_offsets(), np.zeros(4))
+
+    def test_negative_direction(self):
+        model = BurstyInterferenceModel(
+            links=6, burst_probability=1.0, direction="negative", seed=2
+        )
+        assert np.all(model.sample_offsets() < 0)
+
+    def test_positive_direction(self):
+        model = BurstyInterferenceModel(
+            links=6, burst_probability=1.0, direction="positive", seed=2
+        )
+        assert np.all(model.sample_offsets() > 0)
+
+    def test_both_directions_mix(self):
+        model = BurstyInterferenceModel(
+            links=50, burst_probability=1.0, direction="both", seed=3
+        )
+        offsets = model.sample_offsets()
+        assert (offsets > 0).any() and (offsets < 0).any()
+
+    def test_magnitude_band(self):
+        model = BurstyInterferenceModel(
+            links=20, burst_probability=1.0, magnitude_db=(2.0, 5.0), seed=4
+        )
+        magnitudes = np.abs(model.sample_offsets())
+        assert magnitudes.min() >= 2.0
+        assert magnitudes.max() <= 5.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"links": 0},
+        {"links": 2, "burst_probability": 1.5},
+        {"links": 2, "magnitude_db": (5.0, 2.0)},
+        {"links": 2, "direction": "sideways"},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            BurstyInterferenceModel(**kwargs)
+
+
+class TestCollectorIntegration:
+    def test_link_count_validated(self):
+        scenario = build_paper_scenario(seed=60)
+        with pytest.raises(ValueError, match="interference covers"):
+            RssCollector(
+                scenario,
+                seed=0,
+                interference=BurstyInterferenceModel(links=3, seed=0),
+            )
+
+    def test_interference_perturbs_samples(self):
+        scenario = build_paper_scenario(seed=61)
+        clean = RssCollector(scenario, seed=5)
+        noisy = RssCollector(
+            scenario,
+            seed=5,
+            interference=BurstyInterferenceModel(
+                links=scenario.deployment.link_count,
+                burst_probability=0.5,
+                seed=9,
+            ),
+        )
+        clean_frames = np.vstack([clean.live_vector(0.0) for _ in range(20)])
+        noisy_frames = np.vstack([noisy.live_vector(0.0) for _ in range(20)])
+        assert np.abs(noisy_frames - clean_frames).max() > 2.0
+
+    def test_survey_averaging_suppresses_interference(self):
+        """Averaged 100-sample surveys tolerate moderate burst rates: the
+        corrupted survey stays within ~a couple dB of the clean one."""
+        scenario = build_paper_scenario(seed=62)
+        clean = RssCollector(scenario, seed=7)
+        noisy = RssCollector(
+            scenario,
+            seed=7,
+            interference=BurstyInterferenceModel(
+                links=scenario.deployment.link_count,
+                burst_probability=0.05,
+                seed=11,
+            ),
+        )
+        clean_col = clean.collect_survey(0.0, [40]).survey.matrix[:, 0]
+        noisy_col = noisy.collect_survey(0.0, [40]).survey.matrix[:, 0]
+        assert np.abs(noisy_col - clean_col).mean() < 2.0
+
+    def test_detector_survives_interference_calibration(self):
+        """Calibrating the presence detector *under* interference widens its
+        threshold so interference alone does not fire it constantly."""
+        scenario = build_paper_scenario(seed=63)
+        collector = RssCollector(
+            scenario,
+            seed=8,
+            interference=BurstyInterferenceModel(
+                links=scenario.deployment.link_count,
+                burst_probability=0.1,
+                seed=13,
+            ),
+        )
+        frames = np.vstack([collector.live_vector(0.0) for _ in range(40)])
+        detector = PresenceDetector(frames[:20], k=4.0)
+        false_alarms = sum(detector.detect(f).present for f in frames[20:])
+        assert false_alarms <= 4

@@ -1,0 +1,124 @@
+"""Unit tests for mobility models."""
+
+import numpy as np
+import pytest
+
+from repro.sim.collector import RssCollector
+from repro.sim.geometry import Point, Room
+from repro.sim.mobility import (
+    RandomWalkModel,
+    RandomWaypointModel,
+    ScriptedRoute,
+    collect_mobility_trace,
+)
+from repro.sim.scenario import build_paper_scenario
+
+
+@pytest.fixture()
+def room():
+    return Room(7.2, 4.8)
+
+
+class TestRandomWaypoint:
+    def test_positions_stay_inside_margin(self, room):
+        model = RandomWaypointModel(room, margin_m=0.3, seed=0)
+        for p in model.positions(100):
+            assert 0.3 - 1e-9 <= p.x <= room.width - 0.3 + 1e-9
+            assert 0.3 - 1e-9 <= p.y <= room.depth - 0.3 + 1e-9
+
+    def test_speed_respected(self, room):
+        model = RandomWaypointModel(
+            room, speed_range_mps=(0.5, 1.0), pause_range_s=(0.0, 0.0), seed=1
+        )
+        positions = model.positions(60)
+        steps = [
+            positions[i].distance_to(positions[i + 1])
+            for i in range(len(positions) - 1)
+        ]
+        assert max(steps) <= 1.0 + 1e-6
+
+    def test_deterministic_per_seed(self, room):
+        a = RandomWaypointModel(room, seed=5).positions(30)
+        b = RandomWaypointModel(room, seed=5).positions(30)
+        assert [(p.x, p.y) for p in a] == [(p.x, p.y) for p in b]
+
+    def test_moves_around(self, room):
+        positions = RandomWaypointModel(room, seed=2).positions(200)
+        xs = [p.x for p in positions]
+        assert max(xs) - min(xs) > 1.0
+
+    def test_validation(self, room):
+        with pytest.raises(ValueError):
+            RandomWaypointModel(room, speed_range_mps=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            RandomWaypointModel(room, margin_m=3.0)
+        with pytest.raises(ValueError):
+            RandomWaypointModel(room, seed=0).positions(0)
+
+
+class TestScriptedRoute:
+    def test_starts_at_first_waypoint(self):
+        route = ScriptedRoute([Point(1, 1), Point(4, 1)], speed_mps=1.0)
+        positions = route.positions(5)
+        assert positions[0] == Point(1, 1)
+
+    def test_constant_speed(self):
+        route = ScriptedRoute([Point(0, 0), Point(10, 0)], speed_mps=0.5)
+        positions = route.positions(10)
+        for a, b in zip(positions, positions[1:]):
+            assert a.distance_to(b) == pytest.approx(0.5, abs=1e-9)
+
+    def test_holds_at_end_without_loop(self):
+        route = ScriptedRoute([Point(0, 0), Point(1, 0)], speed_mps=1.0)
+        positions = route.positions(6)
+        assert positions[-1] == positions[-2] == Point(1, 0)
+
+    def test_loop_returns_to_start(self):
+        square = [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)]
+        route = ScriptedRoute(square, speed_mps=2.0, loop=True)
+        positions = route.positions(30)
+        xs = {round(p.x, 6) for p in positions}
+        assert len(xs) > 1  # keeps moving, does not park
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="two waypoints"):
+            ScriptedRoute([Point(0, 0)])
+        with pytest.raises(ValueError):
+            ScriptedRoute([Point(0, 0), Point(1, 1)], speed_mps=0.0)
+
+
+class TestRandomWalk:
+    def test_stays_inside(self, room):
+        model = RandomWalkModel(room, seed=3)
+        for p in model.positions(300):
+            assert 0.0 <= p.x <= room.width
+            assert 0.0 <= p.y <= room.depth
+
+    def test_step_size(self, room):
+        model = RandomWalkModel(room, speed_mps=0.4, seed=4)
+        positions = model.positions(50)
+        steps = [
+            positions[i].distance_to(positions[i + 1])
+            for i in range(len(positions) - 1)
+        ]
+        # Reflection can shorten a step; it can never lengthen it.
+        assert max(steps) <= 0.4 + 1e-6
+
+    def test_deterministic(self, room):
+        a = RandomWalkModel(room, seed=6).positions(20)
+        b = RandomWalkModel(room, seed=6).positions(20)
+        assert [(p.x, p.y) for p in a] == [(p.x, p.y) for p in b]
+
+
+class TestCollectMobilityTrace:
+    def test_trace_fields(self):
+        scenario = build_paper_scenario(seed=50)
+        collector = RssCollector(scenario, seed=1)
+        model = RandomWaypointModel(scenario.deployment.room, seed=2)
+        trace = collect_mobility_trace(collector, model, day=5.0, frames=12)
+        assert trace.frame_count == 12
+        assert trace.rss.shape == (12, scenario.deployment.link_count)
+        assert trace.true_positions.shape == (12, 2)
+        grid = scenario.deployment.grid
+        for cell, (x, y) in zip(trace.true_cells, trace.true_positions):
+            assert grid.cell_at(Point(float(x), float(y))) == cell

@@ -1,0 +1,166 @@
+"""Unit tests for the Scenario composition layer."""
+
+import numpy as np
+import pytest
+
+from repro.sim.channel import ChannelModel
+from repro.sim.deployment import build_paper_deployment
+from repro.sim.drift import EntryFieldDrift, LinearDrift
+from repro.sim.geometry import Point
+from repro.sim.scenario import Scenario, StructuralEvent, build_paper_scenario
+from repro.sim.shadowing import KnifeEdgeShadowingModel
+
+
+@pytest.fixture()
+def simple_scenario():
+    deployment = build_paper_deployment()
+    return Scenario(
+        deployment=deployment,
+        channel=ChannelModel(deployment.links, seed=0),
+        shadowing=KnifeEdgeShadowingModel(),
+        drift=LinearDrift(links=deployment.link_count, slope_db_per_day=0.1),
+    )
+
+
+class TestScenarioConstruction:
+    def test_drift_link_mismatch_rejected(self):
+        deployment = build_paper_deployment()
+        with pytest.raises(ValueError, match="drift covers"):
+            Scenario(
+                deployment=deployment,
+                channel=ChannelModel(deployment.links, seed=0),
+                shadowing=KnifeEdgeShadowingModel(),
+                drift=LinearDrift(links=3),
+            )
+
+    def test_entry_drift_shape_mismatch_rejected(self):
+        deployment = build_paper_deployment()
+        with pytest.raises(ValueError, match="entry_drift shape"):
+            Scenario(
+                deployment=deployment,
+                channel=ChannelModel(deployment.links, seed=0),
+                shadowing=KnifeEdgeShadowingModel(),
+                drift=LinearDrift(links=deployment.link_count),
+                entry_drift=EntryFieldDrift(links=2, cells=5),
+            )
+
+    def test_event_shape_validated(self, simple_scenario):
+        with pytest.raises(ValueError):
+            simple_scenario.add_event(
+                StructuralEvent(day=1.0, link_offsets_db=np.zeros(3))
+            )
+
+
+class TestEnvironmentOffsets:
+    def test_linear_drift_passthrough(self, simple_scenario):
+        np.testing.assert_allclose(
+            simple_scenario.environment_offsets(10.0),
+            np.full(simple_scenario.deployment.link_count, 1.0),
+        )
+
+    def test_event_applies_from_its_day(self, simple_scenario):
+        links = simple_scenario.deployment.link_count
+        offsets = np.zeros(links)
+        offsets[0] = -3.0
+        simple_scenario.add_event(
+            StructuralEvent(day=5.0, link_offsets_db=offsets, label="sofa")
+        )
+        before = simple_scenario.environment_offsets(4.9)
+        after = simple_scenario.environment_offsets(5.1)
+        assert after[0] - before[0] == pytest.approx(-3.0, abs=0.05)
+
+    def test_negative_event_day_rejected(self):
+        with pytest.raises(ValueError):
+            StructuralEvent(day=-1.0, link_offsets_db=np.zeros(2))
+
+
+class TestShadowQueries:
+    def test_cell_and_point_agree_at_center(self, simple_scenario):
+        grid = simple_scenario.deployment.grid
+        cell = 17
+        np.testing.assert_allclose(
+            simple_scenario.shadow_at_cell(cell),
+            simple_scenario.shadow_at_point(grid.center_of(cell)),
+        )
+
+    def test_true_rss_rejects_both_cell_and_point(self, simple_scenario):
+        with pytest.raises(ValueError, match="at most one"):
+            simple_scenario.true_rss(0.0, cell=0, point=Point(1, 1))
+
+    def test_target_presence_changes_rss(self, simple_scenario):
+        empty = simple_scenario.true_rss(0.0)
+        occupied = simple_scenario.true_rss(0.0, cell=40)
+        assert not np.allclose(empty, occupied)
+
+
+class TestEntryDriftIntegration:
+    def test_no_entry_drift_returns_zero(self, simple_scenario):
+        np.testing.assert_array_equal(
+            simple_scenario.entry_drift_at(10.0, 3),
+            np.zeros(simple_scenario.deployment.link_count),
+        )
+
+    def test_weights_bounded(self):
+        scenario = build_paper_scenario(seed=0)
+        weights = scenario.entry_drift_weights()
+        assert weights.shape == (
+            scenario.deployment.link_count,
+            scenario.deployment.cell_count,
+        )
+        assert np.all(weights >= 0.15 - 1e-9)
+        assert np.all(weights <= 1.0 + 1e-9)
+
+    def test_strong_interaction_gets_higher_weight(self):
+        scenario = build_paper_scenario(seed=0)
+        weights = scenario.entry_drift_weights()
+        dips = np.abs(
+            np.column_stack(
+                [
+                    scenario.shadow_at_cell(j)
+                    for j in range(scenario.deployment.cell_count)
+                ]
+            )
+        )
+        strongest = np.unravel_index(np.argmax(dips), dips.shape)
+        weakest = np.unravel_index(np.argmin(dips), dips.shape)
+        assert weights[strongest] > weights[weakest]
+
+
+class TestTrueFingerprintMatrix:
+    def test_shape_and_determinism(self, simple_scenario):
+        matrix = simple_scenario.true_fingerprint_matrix(0.0)
+        assert matrix.shape == (
+            simple_scenario.deployment.link_count,
+            simple_scenario.deployment.cell_count,
+        )
+        np.testing.assert_array_equal(
+            matrix, simple_scenario.true_fingerprint_matrix(0.0)
+        )
+
+    def test_columns_match_per_cell_queries(self, simple_scenario):
+        matrix = simple_scenario.true_fingerprint_matrix(2.0)
+        for cell in (0, 13, 95):
+            np.testing.assert_allclose(
+                matrix[:, cell], simple_scenario.true_rss(2.0, cell=cell)
+            )
+
+
+class TestBuildPaperScenario:
+    def test_reproducible(self):
+        a = build_paper_scenario(seed=5)
+        b = build_paper_scenario(seed=5)
+        np.testing.assert_array_equal(
+            a.true_fingerprint_matrix(10.0), b.true_fingerprint_matrix(10.0)
+        )
+
+    def test_seeds_differ(self):
+        a = build_paper_scenario(seed=5)
+        b = build_paper_scenario(seed=6)
+        assert not np.array_equal(
+            a.true_fingerprint_matrix(10.0), b.true_fingerprint_matrix(10.0)
+        )
+
+    def test_default_geometry_is_papers(self):
+        scenario = build_paper_scenario(seed=0)
+        assert scenario.deployment.link_count == 10
+        assert scenario.deployment.cell_count == 96

@@ -1,0 +1,179 @@
+"""Unit tests for target-shadowing models."""
+
+import numpy as np
+import pytest
+
+from repro.sim.geometry import Link, Point
+from repro.sim.shadowing import (
+    CompositeShadowingModel,
+    EllipseShadowingModel,
+    HeterogeneousBlockingModel,
+    KnifeEdgeShadowingModel,
+    ScatteringModel,
+)
+
+
+@pytest.fixture()
+def link():
+    return Link(index=0, tx=Point(0, 0), rx=Point(6, 0))
+
+
+@pytest.fixture()
+def links():
+    return [
+        Link(index=0, tx=Point(0, 0), rx=Point(6, 0)),
+        Link(index=1, tx=Point(0, 1), rx=Point(6, 1)),
+    ]
+
+
+class TestKnifeEdge:
+    def test_peak_at_midpath(self, link):
+        model = KnifeEdgeShadowingModel(peak_db=9.0, endpoint_taper=0.0)
+        assert model.attenuation(link, Point(3, 0)) == pytest.approx(9.0)
+
+    def test_decays_off_path(self, link):
+        model = KnifeEdgeShadowingModel(endpoint_taper=0.0)
+        on = model.attenuation(link, Point(3, 0))
+        near = model.attenuation(link, Point(3, 0.5))
+        far = model.attenuation(link, Point(3, 2.0))
+        assert on > near > far >= 0
+
+    def test_endpoint_taper_reduces_edges(self, link):
+        model = KnifeEdgeShadowingModel(endpoint_taper=1.0)
+        mid = model.attenuation(link, Point(3, 0))
+        edge = model.attenuation(link, Point(0.01, 0))
+        assert edge < 0.1 * mid
+
+    def test_non_negative_everywhere(self, link):
+        model = KnifeEdgeShadowingModel()
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            p = Point(rng.uniform(-2, 8), rng.uniform(-3, 3))
+            assert model.attenuation(link, p) >= 0
+
+    def test_attenuation_vector(self, links):
+        model = KnifeEdgeShadowingModel()
+        vec = model.attenuation_vector(links, Point(3, 0))
+        assert vec.shape == (2,)
+        assert vec[0] > vec[1]  # target on link 0's path
+
+    @pytest.mark.parametrize("kwargs", [
+        {"peak_db": 0.0},
+        {"decay_m": 0.0},
+        {"endpoint_taper": 1.5},
+    ])
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ValueError):
+            KnifeEdgeShadowingModel(**kwargs)
+
+
+class TestEllipse:
+    def test_inside_is_peak(self, link):
+        model = EllipseShadowingModel(peak_db=8.0, lambda_m=0.3)
+        assert model.attenuation(link, Point(3, 0)) == pytest.approx(8.0)
+
+    def test_outside_rolloff_is_zero(self, link):
+        model = EllipseShadowingModel(lambda_m=0.2, rolloff_m=0.1)
+        assert model.attenuation(link, Point(3, 3)) == 0.0
+
+    def test_hard_edge_when_no_rolloff(self, link):
+        model = EllipseShadowingModel(lambda_m=0.2, rolloff_m=0.0)
+        values = {model.attenuation(link, Point(3, y)) for y in (0.0, 3.0)}
+        assert values == {model.peak_db, 0.0}
+
+    def test_rolloff_is_linear_band(self, link):
+        model = EllipseShadowingModel(peak_db=8.0, lambda_m=0.2, rolloff_m=1.0)
+        inside = model.attenuation(link, Point(3, 0))
+        # A point whose excess length falls inside the rolloff band.
+        band = model.attenuation(link, Point(3, 1.0))
+        assert 0.0 < band < inside
+
+
+class TestHeterogeneousBlocking:
+    def test_peaks_within_range(self, links):
+        model = HeterogeneousBlockingModel(links, peak_range_db=(4, 12), seed=0)
+        for link in links:
+            assert 4.0 <= model.peak_for(link) <= 12.0
+
+    def test_peaks_differ_between_links(self):
+        many = [
+            Link(index=i, tx=Point(0, i), rx=Point(6, i)) for i in range(8)
+        ]
+        model = HeterogeneousBlockingModel(many, seed=0)
+        peaks = {model.peak_for(l) for l in many}
+        assert len(peaks) > 1
+
+    def test_deterministic_per_seed(self, links):
+        a = HeterogeneousBlockingModel(links, seed=3)
+        b = HeterogeneousBlockingModel(links, seed=3)
+        for link in links:
+            assert a.peak_for(link) == b.peak_for(link)
+
+    def test_unknown_link_rejected(self, links):
+        model = HeterogeneousBlockingModel(links, seed=0)
+        stranger = Link(index=99, tx=Point(0, 0), rx=Point(1, 1))
+        with pytest.raises(ValueError, match="not part"):
+            model.attenuation(stranger, Point(0, 0))
+
+    def test_invalid_range(self, links):
+        with pytest.raises(ValueError):
+            HeterogeneousBlockingModel(links, peak_range_db=(5, 3), seed=0)
+
+
+class TestScattering:
+    def test_signed_output(self, links):
+        model = ScatteringModel(links, amplitude_db=3.0, seed=0)
+        values = [
+            model.attenuation(links[0], Point(x, 0.2))
+            for x in np.linspace(0.5, 5.5, 40)
+        ]
+        assert min(values) < 0 < max(values)
+
+    def test_deterministic(self, links):
+        a = ScatteringModel(links, seed=4)
+        b = ScatteringModel(links, seed=4)
+        p = Point(2.3, 0.7)
+        assert a.attenuation(links[0], p) == b.attenuation(links[0], p)
+
+    def test_decay_with_excess_path(self, links):
+        model = ScatteringModel(links, amplitude_db=3.0, decay_m=0.3, seed=0)
+        near = abs(model.attenuation(links[0], Point(3, 0.1)))
+        far = abs(model.attenuation(links[0], Point(3, 4.0)))
+        # The envelope must suppress the far value strongly (field values
+        # vary, so compare against the theoretical envelope bound).
+        assert far <= 3.0 * np.exp(-links[0].excess_path_length(Point(3, 4.0)) / 0.3) + 1e-9
+        assert near <= 3.0 + 1e-9
+
+    def test_amplitude_bound(self, links):
+        model = ScatteringModel(links, amplitude_db=2.0, components=3, seed=1)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            p = Point(rng.uniform(0, 6), rng.uniform(-1, 2))
+            value = model.attenuation(links[0], p)
+            # |sum of sines| <= sum |amplitudes| <= sqrt(2 * components) after
+            # RMS normalization.
+            assert abs(value) <= 2.0 * np.sqrt(2 * 3) + 1e-9
+
+    def test_unknown_link_rejected(self, links):
+        model = ScatteringModel(links, seed=0)
+        stranger = Link(index=42, tx=Point(0, 0), rx=Point(1, 0))
+        with pytest.raises(ValueError, match="not part"):
+            model.attenuation(stranger, Point(0, 0))
+
+    def test_zero_amplitude(self, links):
+        model = ScatteringModel(links, amplitude_db=0.0, seed=0)
+        assert model.attenuation(links[0], Point(3, 0)) == 0.0
+
+
+class TestComposite:
+    def test_sums_components(self, link):
+        base = KnifeEdgeShadowingModel(peak_db=5.0, endpoint_taper=0.0)
+        double = CompositeShadowingModel(components=(base, base))
+        p = Point(3, 0.2)
+        assert double.attenuation(link, p) == pytest.approx(
+            2 * base.attenuation(link, p)
+        )
+
+    def test_requires_components(self):
+        with pytest.raises(ValueError):
+            CompositeShadowingModel(components=())

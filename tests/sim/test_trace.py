@@ -1,0 +1,166 @@
+"""Unit tests for survey/trace containers and their serialization."""
+
+import numpy as np
+import pytest
+
+from repro.sim.trace import FingerprintSurvey, LiveTrace, concatenate_traces
+
+
+@pytest.fixture()
+def survey():
+    rng = np.random.default_rng(0)
+    return FingerprintSurvey(
+        day=3.0,
+        matrix=rng.normal(-50, 3, size=(4, 12)),
+        empty_rss=rng.normal(-45, 2, size=4),
+        samples_per_cell=10,
+        sample_period_s=0.5,
+    )
+
+
+@pytest.fixture()
+def trace():
+    rng = np.random.default_rng(1)
+    return LiveTrace(
+        day=5.0,
+        rss=rng.normal(-50, 3, size=(6, 4)),
+        true_cells=np.arange(6),
+        true_positions=rng.uniform(0, 5, size=(6, 2)),
+    )
+
+
+class TestFingerprintSurvey:
+    def test_shape_properties(self, survey):
+        assert survey.link_count == 4
+        assert survey.cell_count == 12
+
+    def test_collection_seconds(self, survey):
+        assert survey.collection_seconds == pytest.approx(12 * 10 * 0.5)
+
+    def test_column_for_cell_without_cells_array(self, survey):
+        np.testing.assert_array_equal(survey.column_for_cell(3), survey.matrix[:, 3])
+        with pytest.raises(IndexError):
+            survey.column_for_cell(12)
+
+    def test_column_for_cell_with_cells_array(self):
+        matrix = np.arange(8, dtype=float).reshape(2, 4)
+        survey = FingerprintSurvey(
+            day=0.0,
+            matrix=matrix,
+            empty_rss=np.zeros(2),
+            cells=np.array([5, 9, 2, 7]),
+        )
+        np.testing.assert_array_equal(survey.column_for_cell(9), matrix[:, 1])
+        with pytest.raises(IndexError):
+            survey.column_for_cell(0)
+
+    def test_save_load_roundtrip(self, survey, tmp_path):
+        path = tmp_path / "survey.npz"
+        survey.save(path)
+        loaded = FingerprintSurvey.load(path)
+        np.testing.assert_array_equal(loaded.matrix, survey.matrix)
+        np.testing.assert_array_equal(loaded.empty_rss, survey.empty_rss)
+        assert loaded.day == survey.day
+        assert loaded.samples_per_cell == survey.samples_per_cell
+
+    def test_save_load_with_cells(self, tmp_path):
+        survey = FingerprintSurvey(
+            day=1.0,
+            matrix=np.zeros((2, 3)),
+            empty_rss=np.zeros(2),
+            cells=np.array([4, 8, 15]),
+        )
+        path = tmp_path / "s.npz"
+        survey.save(path)
+        np.testing.assert_array_equal(
+            FingerprintSurvey.load(path).cells, [4, 8, 15]
+        )
+
+    def test_empty_rss_shape_validated(self):
+        with pytest.raises(ValueError, match="empty_rss"):
+            FingerprintSurvey(day=0.0, matrix=np.zeros((3, 4)), empty_rss=np.zeros(2))
+
+    def test_cells_shape_validated(self):
+        with pytest.raises(ValueError, match="cells shape"):
+            FingerprintSurvey(
+                day=0.0,
+                matrix=np.zeros((3, 4)),
+                empty_rss=np.zeros(3),
+                cells=np.array([1, 2]),
+            )
+
+    def test_non_finite_rejected(self):
+        matrix = np.zeros((2, 2))
+        matrix[0, 0] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            FingerprintSurvey(day=0.0, matrix=matrix, empty_rss=np.zeros(2))
+
+    def test_samples_per_cell_validated(self):
+        with pytest.raises(ValueError):
+            FingerprintSurvey(
+                day=0.0,
+                matrix=np.zeros((2, 2)),
+                empty_rss=np.zeros(2),
+                samples_per_cell=0,
+            )
+
+
+class TestLiveTrace:
+    def test_shape_properties(self, trace):
+        assert trace.frame_count == 6
+        assert trace.link_count == 4
+
+    def test_frame_access(self, trace):
+        np.testing.assert_array_equal(trace.frame(2), trace.rss[2])
+
+    def test_save_load_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = LiveTrace.load(path)
+        np.testing.assert_array_equal(loaded.rss, trace.rss)
+        np.testing.assert_array_equal(loaded.true_cells, trace.true_cells)
+        np.testing.assert_array_equal(loaded.true_positions, trace.true_positions)
+
+    def test_save_load_minimal(self, tmp_path):
+        minimal = LiveTrace(day=0.0, rss=np.zeros((2, 3)))
+        path = tmp_path / "m.npz"
+        minimal.save(path)
+        loaded = LiveTrace.load(path)
+        assert loaded.true_cells is None
+        assert loaded.true_positions is None
+
+    def test_cells_shape_validated(self):
+        with pytest.raises(ValueError, match="true_cells"):
+            LiveTrace(day=0.0, rss=np.zeros((3, 2)), true_cells=np.arange(2))
+
+    def test_positions_shape_validated(self):
+        with pytest.raises(ValueError, match="true_positions"):
+            LiveTrace(
+                day=0.0, rss=np.zeros((3, 2)), true_positions=np.zeros((3, 3))
+            )
+
+
+class TestConcatenate:
+    def test_concatenates(self, trace):
+        combined = concatenate_traces([trace, trace])
+        assert combined.frame_count == 12
+        np.testing.assert_array_equal(combined.rss[:6], trace.rss)
+
+    def test_day_mismatch_rejected(self, trace):
+        other = LiveTrace(day=9.0, rss=trace.rss)
+        with pytest.raises(ValueError, match="multiple days"):
+            concatenate_traces([trace, other])
+
+    def test_link_mismatch_rejected(self, trace):
+        other = LiveTrace(day=5.0, rss=np.zeros((2, 7)))
+        with pytest.raises(ValueError, match="link count"):
+            concatenate_traces([trace, other])
+
+    def test_partial_ground_truth_dropped(self, trace):
+        bare = LiveTrace(day=5.0, rss=trace.rss)
+        combined = concatenate_traces([trace, bare])
+        assert combined.true_cells is None
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concatenate_traces([])

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["quickstart"],
+            ["drift", "--days", "5", "45"],
+            ["fig3", "--days", "3", "--cdf"],
+            ["fig4", "--edges", "6", "12"],
+            ["fig5", "--day", "30"],
+            ["floorplan"],
+        ],
+    )
+    def test_commands_parse(self, argv):
+        args = build_parser().parse_args(argv)
+        assert args.command == argv[0]
+
+    def test_seed_flag(self):
+        args = build_parser().parse_args(["--seed", "99", "floorplan"])
+        assert args.seed == 99
+
+
+class TestCommands:
+    def test_floorplan(self, capsys):
+        assert main(["floorplan"]) == 0
+        out = capsys.readouterr().out
+        assert "10" in out
+        assert "L" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4", "--edges", "6", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "2.78" in out  # the paper's 6 m anchor
+
+    def test_drift(self, capsys):
+        assert main(["drift", "--days", "5", "--rooms", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "measured" in out
+
+    def test_fig3_smoke(self, capsys):
+        assert main(["fig3", "--days", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out
+
+    def test_fig5_smoke(self, capsys):
+        assert main(["--seed", "1", "fig5", "--day", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "TafLoc" in out
+        assert "RASS" in out
+
+    def test_quickstart_smoke(self, capsys):
+        assert main(["quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "savings factor" in out

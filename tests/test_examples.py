@@ -1,0 +1,68 @@
+"""Smoke tests for the example scripts.
+
+Full example runs take minutes (they use the paper's 100-sample protocol),
+so these tests compile each script and execute its importable pieces; the
+end-to-end behaviour the examples demonstrate is covered by the integration
+tests with reduced protocols.
+"""
+
+import ast
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLE_SCRIPTS}
+    assert "quickstart.py" in names
+    assert len(names) >= 3  # the deliverable floor
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=lambda p: p.name
+)
+def test_example_compiles(script, tmp_path):
+    py_compile.compile(str(script), cfile=str(tmp_path / "out.pyc"), doraise=True)
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=lambda p: p.name
+)
+def test_example_structure(script):
+    """Every example has a module docstring, a main(), and a run guard."""
+    tree = ast.parse(script.read_text())
+    assert ast.get_docstring(tree), f"{script.name} lacks a docstring"
+    functions = {
+        node.name for node in tree.body if isinstance(node, ast.FunctionDef)
+    }
+    assert "main" in functions, f"{script.name} lacks a main()"
+    has_guard = any(
+        isinstance(node, ast.If)
+        and isinstance(node.test, ast.Compare)
+        and getattr(node.test.left, "id", "") == "__name__"
+        for node in tree.body
+    )
+    assert has_guard, f"{script.name} lacks an __main__ guard"
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=lambda p: p.name
+)
+def test_example_imports_resolve(script):
+    """Every repro import the example makes actually exists."""
+    import importlib
+
+    tree = ast.parse(script.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and (
+            node.module == "repro" or node.module.startswith("repro.")
+        ):
+            module = importlib.import_module(node.module)
+            for alias in node.names:
+                assert hasattr(module, alias.name), (
+                    f"{script.name}: {node.module} has no {alias.name}"
+                )

@@ -1,0 +1,173 @@
+"""Unit tests for the linear-algebra helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.linalg import (
+    balanced_factors,
+    conjugate_gradient,
+    effective_rank,
+    first_difference_matrix,
+    nuclear_norm,
+    soft_threshold,
+    stable_rank,
+    svd_shrink,
+    truncated_svd,
+)
+
+
+class TestConjugateGradient:
+    def test_solves_spd_system(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((8, 8))
+        spd = a @ a.T + 8 * np.eye(8)
+        x_true = rng.standard_normal(8)
+        rhs = spd @ x_true
+        result = conjugate_gradient(lambda v: spd @ v, rhs, tol=1e-12)
+        assert result.converged
+        np.testing.assert_allclose(result.solution, x_true, atol=1e-8)
+
+    def test_matrix_valued_unknown(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((6, 6))
+        spd = a @ a.T + 6 * np.eye(6)
+        x_true = rng.standard_normal((6, 3))
+        rhs = spd @ x_true
+        result = conjugate_gradient(lambda v: spd @ v, rhs, tol=1e-12)
+        assert result.converged
+        np.testing.assert_allclose(result.solution, x_true, atol=1e-8)
+
+    def test_warm_start_accepted(self):
+        spd = 4.0 * np.eye(5)
+        rhs = np.ones(5)
+        result = conjugate_gradient(lambda v: spd @ v, rhs, x0=np.full(5, 0.25))
+        assert result.converged
+        assert result.iterations <= 1
+        np.testing.assert_allclose(result.solution, np.full(5, 0.25))
+
+    def test_zero_rhs_returns_zero(self):
+        result = conjugate_gradient(lambda v: 2.0 * v, np.zeros(4))
+        np.testing.assert_array_equal(result.solution, np.zeros(4))
+        assert result.converged
+
+    def test_iteration_cap_reported(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((30, 30))
+        spd = a @ a.T + 1e-3 * np.eye(30)
+        rhs = rng.standard_normal(30)
+        result = conjugate_gradient(lambda v: spd @ v, rhs, tol=1e-14, max_iter=2)
+        assert not result.converged
+        assert result.iterations == 2
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="x0 shape"):
+            conjugate_gradient(lambda v: v, np.ones(3), x0=np.ones(4))
+
+    def test_monotone_residual_on_psd(self):
+        """CG residual norms are not guaranteed monotone but the solution
+        error in the A-norm is; check the final residual beats the start."""
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((12, 4))
+        psd = a @ a.T  # rank-deficient PSD
+        rhs = psd @ rng.standard_normal(12)
+        result = conjugate_gradient(lambda v: psd @ v, rhs, max_iter=50)
+        assert result.residual_norm <= np.linalg.norm(rhs)
+
+
+class TestShrinkage:
+    def test_soft_threshold_basic(self):
+        values = np.array([-3.0, -0.5, 0.0, 0.5, 3.0])
+        out = soft_threshold(values, 1.0)
+        np.testing.assert_allclose(out, [-2.0, 0.0, 0.0, 0.0, 2.0])
+
+    def test_soft_threshold_zero_is_identity(self):
+        values = np.array([1.0, -2.0])
+        np.testing.assert_array_equal(soft_threshold(values, 0.0), values)
+
+    def test_soft_threshold_negative_rejected(self):
+        with pytest.raises(ValueError):
+            soft_threshold(np.ones(2), -0.1)
+
+    def test_svd_shrink_reduces_rank(self):
+        rng = np.random.default_rng(4)
+        low = rng.standard_normal((10, 3)) @ rng.standard_normal((3, 8))
+        noisy = low + 0.01 * rng.standard_normal((10, 8))
+        shrunk, rank = svd_shrink(noisy, 0.5)
+        assert rank <= 3
+        assert np.linalg.matrix_rank(shrunk, tol=1e-9) == rank
+
+    def test_svd_shrink_huge_threshold_gives_zero(self):
+        matrix = np.eye(4)
+        shrunk, rank = svd_shrink(matrix, 10.0)
+        assert rank == 0
+        np.testing.assert_array_equal(shrunk, np.zeros((4, 4)))
+
+
+class TestFactorizations:
+    def test_truncated_svd_reconstructs_low_rank(self):
+        rng = np.random.default_rng(5)
+        exact = rng.standard_normal((7, 4)) @ rng.standard_normal((4, 9))
+        u, s, vt = truncated_svd(exact, 4)
+        np.testing.assert_allclose((u * s) @ vt, exact, atol=1e-10)
+
+    def test_truncated_svd_clips_rank(self):
+        u, s, vt = truncated_svd(np.eye(3), 10)
+        assert len(s) == 3
+
+    def test_truncated_svd_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            truncated_svd(np.eye(3), 0)
+
+    def test_balanced_factors_product(self):
+        rng = np.random.default_rng(6)
+        exact = rng.standard_normal((6, 3)) @ rng.standard_normal((3, 5))
+        left, right = balanced_factors(exact, 3)
+        np.testing.assert_allclose(left @ right.T, exact, atol=1e-10)
+
+    def test_balanced_factors_are_balanced(self):
+        rng = np.random.default_rng(7)
+        exact = rng.standard_normal((6, 3)) @ rng.standard_normal((3, 5))
+        left, right = balanced_factors(exact, 3)
+        assert np.linalg.norm(left) == pytest.approx(np.linalg.norm(right), rel=1e-9)
+
+
+class TestRankMeasures:
+    def test_nuclear_norm_of_identity(self):
+        assert nuclear_norm(np.eye(5)) == pytest.approx(5.0)
+
+    def test_stable_rank_bounds(self):
+        rng = np.random.default_rng(8)
+        matrix = rng.standard_normal((10, 10))
+        sr = stable_rank(matrix)
+        assert 1.0 <= sr <= 10.0
+
+    def test_stable_rank_zero_matrix(self):
+        assert stable_rank(np.zeros((3, 3))) == 0.0
+
+    def test_effective_rank_exact_low_rank(self):
+        rng = np.random.default_rng(9)
+        exact = rng.standard_normal((12, 2)) @ rng.standard_normal((2, 15))
+        assert effective_rank(exact, 0.999) <= 2
+
+    def test_effective_rank_full(self):
+        assert effective_rank(np.eye(6), 1.0) == 6
+
+    def test_effective_rank_rejects_bad_energy(self):
+        with pytest.raises(ValueError):
+            effective_rank(np.eye(2), 0.0)
+
+
+class TestFirstDifference:
+    def test_shape_and_action(self):
+        d = first_difference_matrix(5)
+        assert d.shape == (4, 5)
+        x = np.array([1.0, 3.0, 6.0, 10.0, 15.0])
+        np.testing.assert_allclose(d @ x, [2.0, 3.0, 4.0, 5.0])
+
+    def test_constant_in_null_space(self):
+        d = first_difference_matrix(7)
+        np.testing.assert_allclose(d @ np.full(7, 3.3), np.zeros(6), atol=1e-12)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            first_difference_matrix(1)

@@ -1,0 +1,114 @@
+"""Unit tests for validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    check_finite,
+    check_index_array,
+    check_matrix,
+    check_positive,
+    check_probability,
+    check_shape,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0.0)
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive("x", 0.0, strict=False) == 0.0
+
+    def test_rejects_negative_always(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0, strict=False)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability("p", value) == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            check_probability("p", value)
+
+
+class TestCheckMatrix:
+    def test_coerces_lists(self):
+        out = check_matrix("m", [[1, 2], [3, 4]])
+        assert out.dtype == float
+        assert out.shape == (2, 2)
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_matrix("m", np.zeros(3))
+
+    def test_rejects_empty_by_default(self):
+        with pytest.raises(ValueError, match="empty"):
+            check_matrix("m", np.zeros((0, 3)))
+
+    def test_allows_empty_when_asked(self):
+        out = check_matrix("m", np.zeros((0, 3)), allow_empty=True)
+        assert out.shape == (0, 3)
+
+
+class TestCheckFinite:
+    def test_accepts_finite(self):
+        arr = np.array([1.0, 2.0])
+        assert check_finite("a", arr) is arr
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_finite("a", np.array([1.0, bad]))
+
+
+class TestCheckShape:
+    def test_exact_match(self):
+        arr = np.zeros((2, 3))
+        assert check_shape("a", arr, (2, 3)) is arr
+
+    def test_wildcard(self):
+        arr = np.zeros((5, 3))
+        assert check_shape("a", arr, (None, 3)) is arr
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError, match="axis 1"):
+            check_shape("a", np.zeros((2, 4)), (2, 3))
+
+    def test_rejects_ndim_mismatch(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            check_shape("a", np.zeros(4), (2, 2))
+
+
+class TestCheckIndexArray:
+    def test_valid_indices(self):
+        out = check_index_array("i", [0, 2, 4], upper=5)
+        np.testing.assert_array_equal(out, [0, 2, 4])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="must lie in"):
+            check_index_array("i", [0, 5], upper=5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_index_array("i", [-1, 2], upper=5)
+
+    def test_rejects_duplicates_by_default(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            check_index_array("i", [1, 1], upper=5)
+
+    def test_allows_duplicates_when_asked(self):
+        out = check_index_array("i", [1, 1], upper=5, allow_duplicates=True)
+        assert list(out) == [1, 1]
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            check_index_array("i", np.zeros((2, 2), dtype=int), upper=5)
