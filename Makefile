@@ -1,0 +1,15 @@
+# Developer entry points. `make test` is the tier-1 gate; `make bench`
+# produces the committed perf-trajectory point (BENCH_PR1.json).
+
+PYTHON ?= python
+
+.PHONY: test bench bench-figures
+
+test:
+	$(PYTHON) -m pytest -q
+
+bench:
+	$(PYTHON) benchmarks/bench_perf.py --out BENCH_PR1.json
+
+bench-figures:
+	$(PYTHON) -m pytest benchmarks -q -p no:cacheprovider

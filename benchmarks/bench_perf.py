@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Run the batch-hot-path performance benchmark and write BENCH_PR1.json.
+
+Usage::
+
+    python benchmarks/bench_perf.py [--out BENCH_PR1.json]
+        [--sizes paper square-6m square-12m] [--frames 500] [--repeat 3]
+
+Times commissioning surveys, LoLi-IR updates (cold vs warm-started) and
+trace-level matching, batch vs loop, on several deployment sizes. See
+EXPERIMENTS.md for the recorded trajectory and how to read the numbers.
+The file name is intentionally ``bench_*`` (not ``test_*``) so pytest's
+benchmark collection does not pick it up.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+# Allow running straight from a checkout without installing the package.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.eval.benchmark import (  # noqa: E402
+    DEFAULT_SIZES,
+    format_bench_report,
+    run_perf_bench,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default="BENCH_PR1.json",
+        help="output JSON path (default: BENCH_PR1.json)",
+    )
+    parser.add_argument(
+        "--sizes",
+        nargs="+",
+        default=list(DEFAULT_SIZES),
+        help="deployment sizes: 'paper' or 'square-<edge>m'",
+    )
+    parser.add_argument("--frames", type=int, default=500)
+    parser.add_argument("--samples-per-cell", type=int, default=10)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=2016)
+    args = parser.parse_args(argv)
+
+    report = run_perf_bench(
+        sizes=args.sizes,
+        frames=args.frames,
+        samples_per_cell=args.samples_per_cell,
+        repeat=args.repeat,
+        seed=args.seed,
+        out_path=args.out,
+    )
+    print(format_bench_report(report))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

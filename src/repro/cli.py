@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``)::
     tafloc-repro fig4                  # update cost vs area size
     tafloc-repro fig5 --day 90         # localization comparison
     tafloc-repro floorplan             # render the Fig. 2 deployment
+    tafloc-repro bench                 # batch-vs-loop performance benchmark
 
 or ``python -m repro.cli <command>``. Everything is seeded (``--seed``),
 so runs are reproducible.
@@ -22,6 +23,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.pipeline import TafLoc
+from repro.eval.benchmark import DEFAULT_SIZES, format_bench_report, run_perf_bench
 from repro.eval.costmodel import sweep_update_cost
 from repro.eval.experiments import (
     run_fig3_reconstruction_error,
@@ -154,6 +156,20 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    report = run_perf_bench(
+        sizes=tuple(args.sizes),
+        frames=args.frames,
+        repeat=args.repeat,
+        seed=args.seed,
+        out_path=args.out,
+    )
+    print(format_bench_report(report))
+    if args.out:
+        print(f"\nwrote {args.out}")
+    return 0
+
+
 def _cmd_floorplan(args: argparse.Namespace) -> int:
     deployment = build_paper_deployment()
     print(
@@ -200,6 +216,15 @@ def build_parser() -> argparse.ArgumentParser:
     fig5.add_argument("--cdf", action="store_true", help="print the CDF table")
 
     sub.add_parser("floorplan", help="render the Fig. 2 deployment")
+
+    bench = sub.add_parser("bench", help="batch-vs-loop performance benchmark")
+    bench.add_argument(
+        "--sizes", nargs="+", default=list(DEFAULT_SIZES),
+        help="deployment sizes: 'paper' or 'square-<edge>m'",
+    )
+    bench.add_argument("--frames", type=int, default=500)
+    bench.add_argument("--repeat", type=int, default=3)
+    bench.add_argument("--out", default=None, help="optional JSON output path")
     return parser
 
 
@@ -210,6 +235,7 @@ _COMMANDS = {
     "fig4": _cmd_fig4,
     "fig5": _cmd_fig5,
     "floorplan": _cmd_floorplan,
+    "bench": _cmd_bench,
 }
 
 

@@ -25,13 +25,18 @@ completion (``X̂₀ = UΣVᵀ, L = UΣ^{1/2}, R = VΣ^{1/2}``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.completion import mean_fill
 from repro.util.linalg import balanced_factors, conjugate_gradient
 from repro.util.validation import check_matrix, check_positive
+
+try:  # scipy is optional: the dense fallback is exact, just slower.
+    from scipy.sparse import csr_array as _csr_array
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _csr_array = None
 
 
 @dataclass(frozen=True)
@@ -52,6 +57,11 @@ class LoliIrConfig:
         outer_iterations: Number of (L-step, R-step) sweeps.
         tol: Relative objective-decrease tolerance for early stopping.
         cg_tol / cg_max_iter: Inner conjugate-gradient controls.
+        dtype: Arithmetic precision of the solve: ``"float64"`` (default) or
+            ``"float32"``. Single precision halves memory traffic in the CG
+            inner loop — worthwhile on large deployments — at the cost of a
+            coarser attainable tolerance; the objective bookkeeping always
+            accumulates in float64.
     """
 
     rank: int = 6
@@ -64,10 +74,15 @@ class LoliIrConfig:
     tol: float = 1e-7
     cg_tol: float = 1e-9
     cg_max_iter: int = 200
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if self.rank < 1:
             raise ValueError(f"rank must be >= 1, got {self.rank}")
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError(
+                f"dtype must be float32 or float64, got {self.dtype!r}"
+            )
         check_positive("lam", self.lam)
         check_positive("observed_weight", self.observed_weight, strict=False)
         check_positive("lrr_weight", self.lrr_weight, strict=False)
@@ -190,6 +205,81 @@ class LoliIrProblem:
         return self.observed_values.shape
 
 
+class _CompiledProblem:
+    """Per-solve cache of everything the CG inner loop touches repeatedly.
+
+    The raw :class:`LoliIrProblem` stores the smoothness operators as dense
+    matrices. Applied densely, the ``G`` term alone costs
+    ``O(links · cells · pairs)`` per CG iteration; since both ``G`` and ``H``
+    are sparse difference operators (two nonzeros per pair), compiling them
+    to CSR once per solve turns every application into
+    ``O(links · pairs)``. The right-hand-side matrix and the weighted masks
+    are likewise computed once here instead of once per half-step, and all
+    arrays are cast to the configured dtype so a float32 solve never mixes
+    precisions inside the hot loop.
+    """
+
+    def __init__(self, problem: LoliIrProblem, config: LoliIrConfig) -> None:
+        dtype = np.dtype(config.dtype)
+        self.shape = problem.shape
+        self.dtype = dtype
+        self.observed_mask = problem.observed_mask
+        self.observed_values = problem.observed_values.astype(dtype)
+        self.observed_scaled = (
+            config.observed_weight
+            * np.where(problem.observed_mask, problem.observed_values, 0.0)
+        ).astype(dtype)
+
+        self.lrr_target: Optional[np.ndarray] = None
+        if problem.lrr_target is not None and config.lrr_weight > 0:
+            self.lrr_target = problem.lrr_target.astype(dtype)
+
+        self.continuity_weights: Optional[np.ndarray] = None
+        if problem.continuity_op is not None and config.continuity_weight > 0:
+            self.continuity_weights = problem.continuity_weights.astype(dtype)
+            self._g = self._sparsify(problem.continuity_op.astype(dtype))
+            self._gt = self._sparsify(problem.continuity_op.T.astype(dtype))
+
+        self.similarity_weights: Optional[np.ndarray] = None
+        if problem.similarity_op is not None and config.similarity_weight > 0:
+            self.similarity_weights = problem.similarity_weights.astype(dtype)
+            self._h = self._sparsify(problem.similarity_op.astype(dtype))
+            self._ht = self._sparsify(problem.similarity_op.T.astype(dtype))
+
+        # d(objective)/dX̂ right-hand side, computed once per solve.
+        rhs = self.observed_scaled
+        if self.lrr_target is not None:
+            rhs = rhs + config.lrr_weight * self.lrr_target
+        self.rhs = rhs.astype(dtype)
+
+    @staticmethod
+    def _sparsify(operator: np.ndarray):
+        if _csr_array is None or operator.size == 0:
+            return operator
+        return _csr_array(operator)
+
+    # -- operator applications (CSR-aware) -----------------------------
+    def apply_g(self, matrix: np.ndarray) -> np.ndarray:
+        """``matrix @ G`` (column differences across cell pairs)."""
+        if _csr_array is not None and not isinstance(self._g, np.ndarray):
+            return (self._gt @ matrix.T).T
+        return matrix @ self._g
+
+    def apply_gt(self, matrix: np.ndarray) -> np.ndarray:
+        """``matrix @ G.T`` (adjoint scatter back onto cells)."""
+        if _csr_array is not None and not isinstance(self._g, np.ndarray):
+            return (self._g @ matrix.T).T
+        return matrix @ self._gt
+
+    def apply_h(self, matrix: np.ndarray) -> np.ndarray:
+        """``H @ matrix`` (row differences across link pairs)."""
+        return self._h @ matrix
+
+    def apply_ht(self, matrix: np.ndarray) -> np.ndarray:
+        """``H.T @ matrix``."""
+        return self._ht @ matrix
+
+
 class LoliIrSolver:
     """Alternating conjugate-gradient solver for :class:`LoliIrProblem`."""
 
@@ -200,7 +290,11 @@ class LoliIrSolver:
     # public API
     # ------------------------------------------------------------------
     def solve(
-        self, problem: LoliIrProblem, *, initial: Optional[np.ndarray] = None
+        self,
+        problem: LoliIrProblem,
+        *,
+        initial: Optional[np.ndarray] = None,
+        warm_factors: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ) -> LoliIrResult:
         """Run LoLi-IR to (local) convergence.
 
@@ -210,28 +304,45 @@ class LoliIrSolver:
                 target where available, falling back to row-mean fill of the
                 observed entries (the paper's "roughly reconstructed by
                 rank-minimization" starting point).
+            warm_factors: Optional ``(left, right)`` factors from a previous
+                solve of a related instance (e.g. the previous update day).
+                Skips the SVD initialization entirely and typically leaves
+                only a few outer sweeps to convergence; ignored when the
+                shapes do not fit this problem.
         """
         cfg = self.config
         links, cells = problem.shape
         rank = min(cfg.rank, links, cells)
+        compiled = _CompiledProblem(problem, cfg)
 
-        start = self._initial_matrix(problem) if initial is None else np.asarray(
-            initial, dtype=float
-        )
-        if start.shape != problem.shape:
-            raise ValueError(
-                f"initial shape {start.shape} does not match problem shape "
-                f"{problem.shape}"
+        left = right = None
+        if warm_factors is not None and initial is None:
+            warm_left, warm_right = warm_factors
+            if warm_left.shape == (links, rank) and warm_right.shape == (cells, rank):
+                left = np.array(warm_left, dtype=compiled.dtype, copy=True)
+                right = np.array(warm_right, dtype=compiled.dtype, copy=True)
+        if left is None:
+            start = (
+                self._initial_matrix(problem)
+                if initial is None
+                else np.asarray(initial, dtype=float)
             )
-        left, right = balanced_factors(start, rank)
+            if start.shape != problem.shape:
+                raise ValueError(
+                    f"initial shape {start.shape} does not match problem shape "
+                    f"{problem.shape}"
+                )
+            left, right = balanced_factors(start, rank)
+            left = left.astype(compiled.dtype)
+            right = right.astype(compiled.dtype)
 
-        history: List[float] = [self._objective(problem, left, right)]
+        history: List[float] = [self._objective(compiled, left, right)]
         converged = False
         iterations = 0
         for iterations in range(1, cfg.outer_iterations + 1):
-            left = self._solve_left(problem, left, right)
-            right = self._solve_right(problem, left, right)
-            objective = self._objective(problem, left, right)
+            left = self._solve_left(compiled, left, right)
+            right = self._solve_right(compiled, left, right)
+            objective = self._objective(compiled, left, right)
             history.append(objective)
             previous = history[-2]
             if previous - objective <= cfg.tol * max(1.0, abs(previous)):
@@ -250,83 +361,85 @@ class LoliIrSolver:
     # ------------------------------------------------------------------
     # objective pieces
     # ------------------------------------------------------------------
-    def _residual_operator(self, problem: LoliIrProblem, estimate: np.ndarray) -> np.ndarray:
+    def _residual_operator(
+        self, compiled: _CompiledProblem, estimate: np.ndarray
+    ) -> np.ndarray:
         """``S(X̂)``: the PSD part of d(objective)/dX̂ (without the rhs)."""
         cfg = self.config
-        out = cfg.observed_weight * np.where(problem.observed_mask, estimate, 0.0)
-        if problem.lrr_target is not None and cfg.lrr_weight > 0:
+        out = cfg.observed_weight * np.where(compiled.observed_mask, estimate, 0.0)
+        if compiled.lrr_target is not None:
             out = out + cfg.lrr_weight * estimate
-        if problem.continuity_op is not None and cfg.continuity_weight > 0:
-            weighted = problem.continuity_weights * (estimate @ problem.continuity_op)
-            out = out + cfg.continuity_weight * (
-                (problem.continuity_weights * weighted) @ problem.continuity_op.T
+        if compiled.continuity_weights is not None:
+            weighted = compiled.continuity_weights * compiled.apply_g(estimate)
+            out = out + cfg.continuity_weight * compiled.apply_gt(
+                compiled.continuity_weights * weighted
             )
-        if problem.similarity_op is not None and cfg.similarity_weight > 0:
-            weighted = problem.similarity_weights * (problem.similarity_op @ estimate)
-            out = out + cfg.similarity_weight * problem.similarity_op.T @ (
-                problem.similarity_weights * weighted
+        if compiled.similarity_weights is not None:
+            weighted = compiled.similarity_weights * compiled.apply_h(estimate)
+            out = out + cfg.similarity_weight * compiled.apply_ht(
+                compiled.similarity_weights * weighted
             )
         return out
 
-    def _rhs_matrix(self, problem: LoliIrProblem) -> np.ndarray:
-        cfg = self.config
-        rhs = cfg.observed_weight * np.where(
-            problem.observed_mask, problem.observed_values, 0.0
-        )
-        if problem.lrr_target is not None and cfg.lrr_weight > 0:
-            rhs = rhs + cfg.lrr_weight * problem.lrr_target
-        return rhs
-
     def _objective(
-        self, problem: LoliIrProblem, left: np.ndarray, right: np.ndarray
+        self, compiled: _CompiledProblem, left: np.ndarray, right: np.ndarray
     ) -> float:
         cfg = self.config
         estimate = left @ right.T
-        value = cfg.lam * (float(np.sum(left**2)) + float(np.sum(right**2)))
+
+        def sumsq(array: np.ndarray) -> float:
+            # Accumulate in float64 even for float32 solves, so the
+            # convergence test is not at the mercy of single-precision
+            # reduction error.
+            return float(np.sum(np.square(array, dtype=np.float64)))
+
+        value = cfg.lam * (sumsq(left) + sumsq(right))
         residual = np.where(
-            problem.observed_mask, estimate - problem.observed_values, 0.0
+            compiled.observed_mask, estimate - compiled.observed_values, 0.0
         )
-        value += cfg.observed_weight * float(np.sum(residual**2))
-        if problem.lrr_target is not None and cfg.lrr_weight > 0:
-            value += cfg.lrr_weight * float(np.sum((estimate - problem.lrr_target) ** 2))
-        if problem.continuity_op is not None and cfg.continuity_weight > 0:
-            term = problem.continuity_weights * (estimate @ problem.continuity_op)
-            value += cfg.continuity_weight * float(np.sum(term**2))
-        if problem.similarity_op is not None and cfg.similarity_weight > 0:
-            term = problem.similarity_weights * (problem.similarity_op @ estimate)
-            value += cfg.similarity_weight * float(np.sum(term**2))
+        value += cfg.observed_weight * sumsq(residual)
+        if compiled.lrr_target is not None:
+            value += cfg.lrr_weight * sumsq(estimate - compiled.lrr_target)
+        if compiled.continuity_weights is not None:
+            value += cfg.continuity_weight * sumsq(
+                compiled.continuity_weights * compiled.apply_g(estimate)
+            )
+        if compiled.similarity_weights is not None:
+            value += cfg.similarity_weight * sumsq(
+                compiled.similarity_weights * compiled.apply_h(estimate)
+            )
         return value
 
     # ------------------------------------------------------------------
     # alternating sub-problems
     # ------------------------------------------------------------------
     def _solve_left(
-        self, problem: LoliIrProblem, left: np.ndarray, right: np.ndarray
+        self, compiled: _CompiledProblem, left: np.ndarray, right: np.ndarray
     ) -> np.ndarray:
         cfg = self.config
 
         def operator(candidate: np.ndarray) -> np.ndarray:
             return cfg.lam * candidate + self._residual_operator(
-                problem, candidate @ right.T
+                compiled, candidate @ right.T
             ) @ right
 
-        rhs = self._rhs_matrix(problem) @ right
+        rhs = compiled.rhs @ right
         solution = conjugate_gradient(
             operator, rhs, x0=left, tol=cfg.cg_tol, max_iter=cfg.cg_max_iter
         )
         return solution.solution
 
     def _solve_right(
-        self, problem: LoliIrProblem, left: np.ndarray, right: np.ndarray
+        self, compiled: _CompiledProblem, left: np.ndarray, right: np.ndarray
     ) -> np.ndarray:
         cfg = self.config
 
         def operator(candidate: np.ndarray) -> np.ndarray:
             return cfg.lam * candidate + self._residual_operator(
-                problem, left @ candidate.T
+                compiled, left @ candidate.T
             ).T @ left
 
-        rhs = self._rhs_matrix(problem).T @ left
+        rhs = compiled.rhs.T @ left
         solution = conjugate_gradient(
             operator, rhs, x0=right, tol=cfg.cg_tol, max_iter=cfg.cg_max_iter
         )

@@ -29,6 +29,11 @@ from repro.core.fingerprint import FingerprintMatrix
 from repro.sim.geometry import Grid, Point
 from repro.util.validation import check_positive
 
+#: Cap on the elements of the broadcasted (links, K, K) pair tensor; larger
+#: (unpruned) searches fall back to a row-at-a-time sweep in O(links * K)
+#: memory.
+_PAIR_BLOCK_ELEMENTS = 4_000_000
+
 
 @dataclass(frozen=True)
 class MultiTargetResult:
@@ -109,15 +114,50 @@ class MultiTargetMatcher:
     def match(self, live_rss: np.ndarray) -> MultiTargetResult:
         """Jointly estimate target count (0/1/2) and their cells."""
         dips = self.live_dips(live_rss)
-        links = self.fingerprint.link_count
-
-        # Hypothesis 0: nobody present.
-        residual0 = float(np.sqrt(np.mean(dips**2)))
-
-        # Hypothesis 1: single target.
         single_residuals = np.sqrt(
             np.mean((self._templates - dips[:, None]) ** 2, axis=0)
         )
+        return self._select_hypotheses(
+            dips, float(np.sqrt(np.mean(dips**2))), single_residuals
+        )
+
+    def match_batch(self, frames: np.ndarray) -> List[MultiTargetResult]:
+        """Jointly estimate target counts and cells for a whole trace.
+
+        The 0- and 1-target hypotheses of every frame are scored in one
+        broadcasted pass (the single-target residuals via the Gram
+        expansion, one BLAS matmul for the whole trace); the pair search —
+        the dominant cost — still runs per frame on the vectorized pair
+        kernel.
+        """
+        live = np.asarray(frames, dtype=float)
+        if live.ndim != 2 or live.shape[1] != self.fingerprint.link_count:
+            raise ValueError(
+                f"frames shape {live.shape} must be "
+                f"(n_frames, {self.fingerprint.link_count})"
+            )
+        dips = self._live_empty[None, :] - live
+        links = self.fingerprint.link_count
+        residual0 = np.sqrt(np.mean(dips**2, axis=1))
+        # ||t_j - d||^2 = ||t_j||^2 - 2 d.t_j + ||d||^2, batched over frames.
+        squared = (
+            np.sum(self._templates**2, axis=0)[None, :]
+            - 2.0 * (dips @ self._templates)
+            + np.sum(dips**2, axis=1)[:, None]
+        )
+        singles = np.sqrt(np.maximum(squared, 0.0) / links)
+        return [
+            self._select_hypotheses(dips[t], float(residual0[t]), singles[t])
+            for t in range(len(dips))
+        ]
+
+    # ------------------------------------------------------------------
+    def _select_hypotheses(
+        self,
+        dips: np.ndarray,
+        residual0: float,
+        single_residuals: np.ndarray,
+    ) -> MultiTargetResult:
         best1 = int(np.argmin(single_residuals))
         residual1 = float(single_residuals[best1])
 
@@ -142,7 +182,6 @@ class MultiTargetMatcher:
                 positions=(self.grid.center_of(best1),),
                 residual=residual1,
             )
-        del links
         return MultiTargetResult(
             count=0, cells=(), positions=(), residual=residual0
         )
@@ -157,20 +196,41 @@ class MultiTargetMatcher:
     def _best_pair(
         self, dips: np.ndarray, candidates: np.ndarray
     ) -> Tuple[Optional[Tuple[int, int]], float]:
-        best: Optional[Tuple[int, int]] = None
+        count = len(candidates)
+        if count < 2:
+            return None, float("inf")
+        selected = self._templates[:, candidates]  # (links, K)
+        links = selected.shape[0]
+        if links * count * count <= _PAIR_BLOCK_ELEMENTS:
+            # Residuals of every unordered candidate pair in one broadcast:
+            # combined[:, i, j] = template_i + template_j.
+            combined = selected[:, :, None] + selected[:, None, :]
+            residuals = np.sqrt(
+                np.mean((combined - dips[:, None, None]) ** 2, axis=0)
+            )
+            upper_i, upper_j = np.triu_indices(count, k=1)
+            flat = residuals[upper_i, upper_j]
+            # triu_indices enumerates i<j pairs in the same row-major order
+            # as a nested i<j loop, so ties resolve identically.
+            best = int(np.argmin(flat))
+            return (
+                int(candidates[upper_i[best]]),
+                int(candidates[upper_j[best]]),
+            ), float(flat[best])
+        # Unpruned search on a large grid: vectorize one candidate row at a
+        # time, keeping memory at O(links * K) instead of O(links * K^2).
+        best_pair: Optional[Tuple[int, int]] = None
         best_residual = float("inf")
-        templates = self._templates
-        for i_idx in range(len(candidates)):
-            a = int(candidates[i_idx])
-            combined_a = templates[:, a]
-            for j_idx in range(i_idx + 1, len(candidates)):
-                b = int(candidates[j_idx])
-                combined = combined_a + templates[:, b]
-                residual = float(np.sqrt(np.mean((combined - dips) ** 2)))
-                if residual < best_residual:
-                    best_residual = residual
-                    best = (a, b)
-        return best, best_residual
+        for i in range(count - 1):
+            combined = selected[:, i][:, None] + selected[:, i + 1 :]
+            residuals = np.sqrt(
+                np.mean((combined - dips[:, None]) ** 2, axis=0)
+            )
+            j = int(np.argmin(residuals))
+            if residuals[j] < best_residual:
+                best_residual = float(residuals[j])
+                best_pair = (int(candidates[i]), int(candidates[i + 1 + j]))
+        return best_pair, best_residual
 
 
 def pairing_error(

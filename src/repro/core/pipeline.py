@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.fingerprint import FingerprintDatabase, FingerprintMatrix
 from repro.core.matching import (
+    BatchMatchResult,
     KnnMatcher,
     Matcher,
     MatchResult,
@@ -38,7 +39,6 @@ from repro.core.reconstruction import (
     Reconstructor,
 )
 from repro.sim.collector import RssCollector
-from repro.sim.geometry import Point
 from repro.sim.trace import LiveTrace
 from repro.util.rng import RandomState
 
@@ -183,22 +183,25 @@ class TafLoc:
         self._require_commissioned()
         return self.matcher_for_day(day).match(live_rss)
 
-    def localize_trace(self, trace: LiveTrace) -> List[MatchResult]:
-        """Localize every frame of a trace against its day's fingerprints."""
+    def localize_trace(self, trace: LiveTrace) -> BatchMatchResult:
+        """Localize every frame of a trace against its day's fingerprints.
+
+        The whole trace is scored in one :meth:`Matcher.match_batch` pass;
+        the result behaves as a sequence of per-frame
+        :class:`~repro.core.matching.MatchResult` objects while exposing the
+        columnar arrays for batch consumers.
+        """
         self._require_commissioned()
         matcher = self.matcher_for_day(trace.day)
-        return [matcher.match(frame) for frame in trace.rss]
+        return matcher.match_batch(trace.rss)
 
     def localization_errors(self, trace: LiveTrace) -> np.ndarray:
         """Per-frame Euclidean error (m) against the trace's ground truth."""
         if trace.true_positions is None:
             raise ValueError("trace carries no ground-truth positions")
         results = self.localize_trace(trace)
-        errors = [
-            result.position.distance_to(Point(float(x), float(y)))
-            for result, (x, y) in zip(results, trace.true_positions)
-        ]
-        return np.array(errors)
+        deltas = results.positions - trace.true_positions
+        return np.hypot(deltas[:, 0], deltas[:, 1])
 
     # ------------------------------------------------------------------
     def _require_commissioned(self) -> Reconstructor:

@@ -106,9 +106,32 @@ class ParticleFilterTracker:
 
     def step(self, live_rss: np.ndarray) -> Point:
         """Advance one frame: predict, inject, weight by likelihood, estimate."""
+        return self._step_from_log_likelihoods(
+            self.matcher.log_likelihoods(live_rss)
+        )
+
+    def run(self, rss_frames: np.ndarray) -> List[Point]:
+        """Track through a whole trace; returns one estimate per frame.
+
+        The per-cell likelihoods of every frame are computed in a single
+        :meth:`~repro.core.matching.ProbabilisticMatcher.log_likelihoods_batch`
+        pass up front; only the (inherently sequential) particle recursion
+        then runs per frame.
+        """
+        frames = np.asarray(rss_frames, dtype=float)
+        if frames.ndim != 2:
+            raise ValueError(f"rss_frames must be 2-D, got shape {frames.shape}")
+        log_likes = self.matcher.log_likelihoods_batch(frames)
+        return [
+            self._step_from_log_likelihoods(log_likes[index])
+            for index in range(len(frames))
+        ]
+
+    # ------------------------------------------------------------------
+    def _step_from_log_likelihoods(self, log_like_cells: np.ndarray) -> Point:
         self._predict()
-        self._inject_map_particles(live_rss)
-        self._update(live_rss)
+        self._inject_map_particles(log_like_cells)
+        self._update(log_like_cells)
         if self.effective_sample_size < (
             self.config.resample_threshold * self.config.particle_count
         ):
@@ -120,15 +143,7 @@ class ParticleFilterTracker:
         self.history.append(estimate)
         return estimate
 
-    def run(self, rss_frames: np.ndarray) -> List[Point]:
-        """Track through a whole trace; returns one estimate per frame."""
-        frames = np.asarray(rss_frames, dtype=float)
-        if frames.ndim != 2:
-            raise ValueError(f"rss_frames must be 2-D, got shape {frames.shape}")
-        return [self.step(frame) for frame in frames]
-
-    # ------------------------------------------------------------------
-    def _inject_map_particles(self, live_rss: np.ndarray) -> None:
+    def _inject_map_particles(self, log_like: np.ndarray) -> None:
         """Respawn a fraction of particles near the frame's best cell.
 
         A diffusion-only motion model cannot recover once the cloud drifts
@@ -140,7 +155,6 @@ class ParticleFilterTracker:
         count = int(self.config.map_injection * self.config.particle_count)
         if count == 0:
             return
-        log_like = self.matcher.log_likelihoods(live_rss)
         best = self.matcher.grid.center_of(int(np.argmax(log_like)))
         order = np.argsort(self._weights)[:count]  # replace the weakest
         spread = self.matcher.grid.cell_size
@@ -163,15 +177,10 @@ class ParticleFilterTracker:
         self._positions[:, 0] = np.clip(self._positions[:, 0], 0.0, self.room.width)
         self._positions[:, 1] = np.clip(self._positions[:, 1], 0.0, self.room.depth)
 
-    def _update(self, live_rss: np.ndarray) -> None:
+    def _update(self, raw_log_like: np.ndarray) -> None:
         grid = self.matcher.grid
-        log_like_cells = (
-            self.config.likelihood_tempering
-            * self.matcher.log_likelihoods(live_rss)
-        )
-        cells = np.array(
-            [grid.cell_at(Point(x, y)) for x, y in self._positions], dtype=int
-        )
+        log_like_cells = self.config.likelihood_tempering * raw_log_like
+        cells = grid.cells_at(self._positions)
         log_weights = np.log(self._weights + 1e-300) + log_like_cells[cells]
         log_weights -= log_weights.max()
         weights = np.exp(log_weights)

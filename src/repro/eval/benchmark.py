@@ -1,0 +1,243 @@
+"""Performance benchmark harness for the batched hot paths.
+
+Times the three production-critical operations — commissioning survey
+(simulation), LoLi-IR solve (reconstruction), and trace-level matching
+(serving) — on several deployment sizes, comparing the vectorized batch
+implementations against their per-frame/per-cell loop references. The
+results feed ``BENCH_PR1.json`` (committed trajectory point; see
+``EXPERIMENTS.md``) and the ``tafloc-repro bench`` CLI command.
+
+Run via ``make bench`` or ``python benchmarks/bench_perf.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.fingerprint import FingerprintMatrix
+from repro.core.matching import KnnMatcher
+from repro.core.pipeline import TafLoc, TafLocConfig
+from repro.core.reconstruction import ReconstructionConfig
+from repro.sim.collector import CollectionProtocol, RssCollector
+from repro.sim.deployment import (
+    Deployment,
+    build_paper_deployment,
+    build_square_deployment,
+)
+from repro.sim.scenario import build_paper_scenario
+from repro.util.rng import counter_stream
+
+#: Deployment sizes benchmarked by default; the 6 m square is the 100-cell
+#: grid of the PR-1 acceptance criterion.
+DEFAULT_SIZES = ("paper", "square-6m", "square-12m")
+
+_BENCH_SEED = 2016
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """Batch-vs-loop wall time of one benchmark stage."""
+
+    batch_s: float
+    loop_s: float
+
+    @property
+    def speedup(self) -> float:
+        if self.batch_s <= 0:
+            return float("inf")
+        return self.loop_s / self.batch_s
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "batch_s": self.batch_s,
+            "loop_s": self.loop_s,
+            "speedup": self.speedup,
+        }
+
+
+def build_bench_deployment(size: str) -> Deployment:
+    """Deployment for a named benchmark size."""
+    if size == "paper":
+        return build_paper_deployment()
+    if size.startswith("square-") and size.endswith("m"):
+        edge = float(size[len("square-") : -1])
+        return build_square_deployment(edge)
+    raise ValueError(
+        f"unknown benchmark size {size!r}; use 'paper' or 'square-<edge>m'"
+    )
+
+
+def _best_of(fn: Callable[[], object], repeat: int) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_size(
+    size: str,
+    *,
+    frames: int = 500,
+    samples_per_cell: int = 10,
+    repeat: int = 3,
+    seed: int = _BENCH_SEED,
+) -> Dict[str, object]:
+    """Benchmark one deployment size; returns a plain-data record."""
+    deployment = build_bench_deployment(size)
+    scenario = build_paper_scenario(seed=seed, deployment=deployment)
+    protocol = CollectionProtocol(
+        samples_per_cell=samples_per_cell, empty_room_samples=10
+    )
+
+    # --- simulation: full commissioning survey, batch vs per-cell loop ---
+    # Both sides get the same best-of treatment so warm-up noise cannot
+    # inflate the reported speedup.
+    survey = StageTiming(
+        batch_s=_best_of(
+            lambda: RssCollector(
+                scenario, protocol, seed=1, vectorized=True
+            ).collect_full_survey(0.0),
+            repeat,
+        ),
+        loop_s=_best_of(
+            lambda: RssCollector(
+                scenario, protocol, seed=1, vectorized=False
+            ).collect_full_survey(0.0),
+            repeat,
+        ),
+    )
+
+    # --- reconstruction: LoLi-IR update, cold vs warm-started factors ---
+    def updates(warm_start: bool) -> List[int]:
+        config = TafLocConfig(
+            reconstruction=ReconstructionConfig(warm_start=warm_start)
+        )
+        system = TafLoc(
+            RssCollector(scenario, protocol, seed=2), config, seed=3
+        )
+        system.commission(0.0)
+        iterations = []
+        # A high-frequency refresh loop: 6-hourly updates, the regime the
+        # warm start is built for.
+        for step in range(4):
+            report = system.update(30.0 + 0.25 * step)
+            iterations.append(report.reconstruction.solver_result.iterations)
+        return iterations
+
+    start = time.perf_counter()
+    cold_iterations = updates(False)
+    cold_s = time.perf_counter() - start
+    start = time.perf_counter()
+    warm_iterations = updates(True)
+    warm_s = time.perf_counter() - start
+
+    # --- serving: trace-level matching, batch vs per-frame loop ---------
+    workload_rng = counter_stream(seed, 1)
+    cells = workload_rng.integers(0, deployment.cell_count, size=frames)
+    collector = RssCollector(scenario, protocol, seed=4)
+    result = collector.collect_full_survey(0.0)
+    fingerprint = FingerprintMatrix(
+        values=result.survey.matrix, empty_rss=result.survey.empty_rss
+    )
+    trace = collector.live_trace(0.0, cells)
+    matcher = KnnMatcher(fingerprint, deployment.grid)
+    batch_out = matcher.match_batch(trace.rss)
+    loop_out = [matcher.match(frame) for frame in trace.rss]
+    for index, single in enumerate(loop_out):
+        if int(batch_out.cells[index]) == single.cell:
+            continue
+        # Quantized RSS makes exact distance ties possible; batch-of-N and
+        # batch-of-1 BLAS rounding may break such a tie differently. Either
+        # winner is correct — only a genuine score gap is a disagreement.
+        gap = abs(
+            batch_out.scores[index][int(batch_out.cells[index])]
+            - batch_out.scores[index][single.cell]
+        )
+        if gap > 1e-6:
+            raise AssertionError(
+                f"batch and per-frame matching disagree on frame {index}"
+            )
+    matching = StageTiming(
+        batch_s=_best_of(lambda: matcher.match_batch(trace.rss), repeat),
+        loop_s=_best_of(
+            lambda: [matcher.match(frame) for frame in trace.rss], repeat
+        ),
+    )
+
+    return {
+        "links": deployment.link_count,
+        "cells": deployment.cell_count,
+        "frames": int(frames),
+        "samples_per_cell": int(samples_per_cell),
+        "survey": survey.as_dict(),
+        "solve": {
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "cold_iterations": cold_iterations,
+            "warm_iterations": warm_iterations,
+        },
+        "match_trace": matching.as_dict(),
+    }
+
+
+def run_perf_bench(
+    *,
+    sizes: Sequence[str] = DEFAULT_SIZES,
+    frames: int = 500,
+    samples_per_cell: int = 10,
+    repeat: int = 3,
+    seed: int = _BENCH_SEED,
+    out_path: Optional[Union[str, Path]] = None,
+) -> Dict[str, object]:
+    """Run the benchmark over ``sizes``; optionally write the JSON report."""
+    report: Dict[str, object] = {
+        "benchmark": "bench_perf",
+        "seed": int(seed),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "sizes": {},
+    }
+    for size in sizes:
+        report["sizes"][size] = bench_size(
+            size,
+            frames=frames,
+            samples_per_cell=samples_per_cell,
+            repeat=repeat,
+            seed=seed,
+        )
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def format_bench_report(report: Dict[str, object]) -> str:
+    """Human-readable summary of a :func:`run_perf_bench` report."""
+    lines = ["bench_perf: batch vs loop wall time (best-of runs)"]
+    header = (
+        f"{'size':<12} {'links':>5} {'cells':>6} "
+        f"{'survey x':>9} {'match x':>8} {'solve cold/warm [s]':>20}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for size, record in report["sizes"].items():
+        survey = record["survey"]
+        match = record["match_trace"]
+        solve = record["solve"]
+        lines.append(
+            f"{size:<12} {record['links']:>5} {record['cells']:>6} "
+            f"{survey['speedup']:>9.1f} {match['speedup']:>8.1f} "
+            f"{solve['cold_s']:>9.2f}/{solve['warm_s']:.2f}"
+        )
+    return "\n".join(lines)

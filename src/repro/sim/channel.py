@@ -80,6 +80,8 @@ class ChannelModel:
             raise ValueError("channel needs at least one link")
         rng = as_generator(self.seed)
         self._multipath = self._draw_multipath(rng)
+        losses = np.array([self.path_loss_db(link.length) for link in self.links])
+        self._empty_rss = self.params.tx_power_dbm - losses + self._multipath
 
     # ------------------------------------------------------------------
     # deterministic components
@@ -93,8 +95,7 @@ class ChannelModel:
 
     def empty_room_rss(self) -> np.ndarray:
         """Noise-free empty-room RSS of every link, in dBm."""
-        losses = np.array([self.path_loss_db(link.length) for link in self.links])
-        return self.params.tx_power_dbm - losses + self._multipath
+        return self._empty_rss.copy()
 
     # ------------------------------------------------------------------
     # sampling
@@ -116,13 +117,49 @@ class ChannelModel:
             rng: Noise generator; when omitted, the sample is noise-free.
             quantize: Round to the NIC's RSSI granularity.
         """
-        rss = self.empty_room_rss()
+        rss = self._empty_rss
         if shadow_db is not None:
             rss = rss - np.asarray(shadow_db, dtype=float)
         if drift_db is not None:
             rss = rss + np.asarray(drift_db, dtype=float)
         if rng is not None and self.params.noise_sigma_db > 0:
             rss = rss + rng.normal(0.0, self.params.noise_sigma_db, size=rss.shape)
+        if quantize and self.params.rssi_quantum_db > 0:
+            q = self.params.rssi_quantum_db
+            rss = np.round(rss / q) * q
+        return rss if rss is not self._empty_rss else rss.copy()
+
+    def sample_batch(
+        self,
+        count: int,
+        *,
+        shadow_db: Optional[np.ndarray] = None,
+        drift_db: Optional[np.ndarray] = None,
+        rng: Optional[np.random.Generator] = None,
+        quantize: bool = True,
+    ) -> np.ndarray:
+        """``count`` RSS measurement vectors in one array op.
+
+        ``shadow_db`` / ``drift_db`` may be per-link ``(links,)`` vectors or
+        anything broadcastable against ``(count, links)`` (e.g. per-sample
+        shadows). With a per-link shadow/drift, the result is bit-identical
+        to ``count`` successive :meth:`sample` calls on the same generator:
+        the noise is drawn as one ``(count, links)`` block, which consumes
+        the generator's stream in the same order as per-sample draws.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        rss = np.broadcast_to(
+            self._empty_rss, (count, len(self.links))
+        ).astype(float)
+        if shadow_db is not None:
+            rss = rss - np.asarray(shadow_db, dtype=float)
+        if drift_db is not None:
+            rss = rss + np.asarray(drift_db, dtype=float)
+        if rng is not None and self.params.noise_sigma_db > 0:
+            rss = rss + rng.normal(
+                0.0, self.params.noise_sigma_db, size=(count, len(self.links))
+            )
         if quantize and self.params.rssi_quantum_db > 0:
             q = self.params.rssi_quantum_db
             rss = np.round(rss / q) * q

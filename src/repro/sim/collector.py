@@ -4,6 +4,16 @@ The collector implements the paper's measurement protocol — "for each grid,
 100 continuous RSS are collected one per second" — and keeps an account of
 every sample taken, so the Fig. 4 labor-cost numbers fall straight out of the
 recorded sample counts instead of being asserted separately.
+
+The hot paths (:meth:`RssCollector.collect_survey`,
+:meth:`RssCollector.live_vector_multi`, :meth:`RssCollector.walk_trace`,
+:meth:`RssCollector.live_trace`) are *batched*: all randomness for an
+operation is drawn up front in a fixed layout, and the physics — shadowing
+geometry, channel gain, quantization — runs as broadcasted array ops over
+every (cell, link, sample) triple at once. A reference loop implementation
+(``vectorized=False``) consumes the identical pre-drawn randomness and
+applies the scalar physics APIs cell by cell; the equivalence tests assert
+both paths agree, which pins the batched math to the original semantics.
 """
 
 from __future__ import annotations
@@ -81,12 +91,19 @@ class RssCollector:
     call sequence. An optional :class:`BurstyInterferenceModel` injects
     co-channel disturbance into every sample drawn (failure-injection for
     robustness tests).
+
+    ``vectorized`` selects between the batched physics implementation
+    (default; one broadcasted pass over all cells/frames) and the reference
+    per-cell loop. Both consume the exact same random draws, so they produce
+    the same measurements — the loop exists as the executable specification
+    the batch path is tested against.
     """
 
     scenario: Scenario
     protocol: CollectionProtocol = field(default_factory=CollectionProtocol)
     seed: RandomState = None
     interference: Optional[BurstyInterferenceModel] = None
+    vectorized: bool = True
 
     def __post_init__(self) -> None:
         self._rng = as_generator(self.seed)
@@ -122,31 +139,39 @@ class RssCollector:
         cell_indices = check_index_array(
             "cells", cells, upper=self.scenario.deployment.cell_count
         )
-        before = self._samples_taken
         empty = self.collect_empty_room(day)
-        columns: List[np.ndarray] = []
-        for cell in cell_indices:
-            samples = self._draw_samples(
-                day, cell=int(cell), count=self.protocol.samples_per_cell
-            )
-            columns.append(samples.mean(axis=0))
-        matrix = np.column_stack(columns) if columns else np.zeros(
-            (self.scenario.deployment.link_count, 0)
-        )
+        link_count = self.scenario.deployment.link_count
+        count = len(cell_indices)
+        samples_per_cell = self.protocol.samples_per_cell
+        if count == 0:
+            matrix = np.zeros((link_count, 0))
+        else:
+            spots, noise = self._survey_draws(cell_indices)
+            offsets = self._interference_offsets(count * samples_per_cell)
+            if offsets is not None:
+                offsets = offsets.reshape(count, samples_per_cell, link_count)
+            if self.vectorized:
+                matrix = self._survey_matrix_batch(
+                    day, cell_indices, spots, noise, offsets
+                )
+            else:
+                matrix = self._survey_matrix_loop(
+                    day, cell_indices, spots, noise, offsets
+                )
+            self._samples_taken += count * samples_per_cell
         survey = FingerprintSurvey(
             day=day,
             matrix=matrix,
             empty_rss=empty,
-            samples_per_cell=self.protocol.samples_per_cell,
+            samples_per_cell=samples_per_cell,
             sample_period_s=self.protocol.sample_period_s,
             cells=cell_indices,
         )
-        survey_samples = len(cell_indices) * self.protocol.samples_per_cell
+        survey_samples = count * samples_per_cell
         seconds = survey_samples * self.protocol.sample_period_s
         # Cost accounting counts the person-time of walking the grid; the
         # empty-room calibration needs nobody in the room and is excluded,
         # matching the paper's 100*N/3600 accounting.
-        del before
         return SurveyResult(
             survey=survey, samples_taken=survey_samples, seconds_spent=seconds
         )
@@ -186,24 +211,34 @@ class RssCollector:
         cell_array = check_index_array(
             "cells", cells, upper=self.scenario.deployment.cell_count
         )
-        shadow = np.zeros(self.scenario.deployment.link_count)
-        drift = self.scenario.environment_offsets(day)
-        for cell in cell_array:
-            spot = self._jittered_point(int(cell), self.protocol.live_jitter)
-            shadow = shadow + self.scenario.shadowing.attenuation_vector(
-                self.scenario.deployment.links, spot
+        spots = np.array(
+            [
+                self._jittered_point_xy(int(cell), self.protocol.live_jitter)
+                for cell in cell_array
+            ]
+        ).reshape(len(cell_array), 2)
+        if self.vectorized:
+            shadow = self.scenario.shadow_matrix(spots).sum(axis=0)
+            drift = self.scenario.environment_offsets(day)
+            drift = drift + self.scenario.entry_drift_matrix(day, cell_array).sum(
+                axis=0
             )
-            drift = drift + self.scenario.entry_drift_at(day, int(cell))
-        rows = []
-        for _ in range(averaging):
-            sample = self.scenario.channel.sample(
-                shadow_db=shadow, drift_db=drift, rng=self._rng
-            )
-            if self.interference is not None:
-                sample = sample + self.interference.sample_offsets()
-            rows.append(sample)
+        else:
+            shadow = np.zeros(self.scenario.deployment.link_count)
+            drift = self.scenario.environment_offsets(day)
+            for index, cell in enumerate(cell_array):
+                shadow = shadow + self.scenario.shadow_at_point(
+                    Point(*spots[index])
+                )
+                drift = drift + self.scenario.entry_drift_at(day, int(cell))
+        rows = self.scenario.channel.sample_batch(
+            averaging, shadow_db=shadow, drift_db=drift, rng=self._noise_rng()
+        )
+        offsets = self._interference_offsets(averaging)
+        if offsets is not None:
+            rows = rows + offsets
         self._samples_taken += averaging
-        return np.vstack(rows).mean(axis=0)
+        return rows.mean(axis=0)
 
     def live_trace(
         self,
@@ -219,25 +254,37 @@ class RssCollector:
         localization errors are measured against where the person really
         stood, not an idealized cell center.
         """
+        if averaging < 1:
+            raise ValueError(f"averaging must be >= 1, got {averaging}")
         cell_array = check_index_array(
             "cells",
             cells,
             upper=self.scenario.deployment.cell_count,
             allow_duplicates=True,
         )
-        frames: List[np.ndarray] = []
-        positions: List[List[float]] = []
-        for c in cell_array:
-            spot = self._jittered_point(int(c), self.protocol.live_jitter)
-            frames.append(
-                self.live_vector(day, point=spot, averaging=averaging)
+        frames = len(cell_array)
+        link_count = self.scenario.deployment.link_count
+        sigma = self.scenario.channel.params.noise_sigma_db
+        spots = np.empty((frames, 2))
+        noise = None
+        if sigma > 0:
+            noise = np.empty((frames, averaging, link_count))
+        # Jitter and noise interleave frame by frame, exactly like repeated
+        # live_vector() calls, so traces replay identically per seed.
+        for index, cell in enumerate(cell_array):
+            spots[index] = self._jittered_point_xy(
+                int(cell), self.protocol.live_jitter
             )
-            positions.append([spot.x, spot.y])
+            if noise is not None:
+                noise[index] = self._rng.normal(
+                    0.0, sigma, size=(averaging, link_count)
+                )
+        rss = self._frames_at_points(day, spots, noise, cell_array, averaging)
         return LiveTrace(
             day=day,
-            rss=np.vstack(frames),
+            rss=rss,
             true_cells=cell_array,
-            true_positions=np.array(positions),
+            true_positions=spots.copy(),
         )
 
     def walk_trace(
@@ -255,28 +302,39 @@ class RssCollector:
         "fine-grained" (off-grid-center) localization regime.
         """
         check_positive("step_m", step_m)
+        if averaging < 1:
+            raise ValueError(f"averaging must be >= 1, got {averaging}")
         if len(waypoints) < 2:
             raise ValueError("need at least two waypoints to walk")
-        path_points: List[Point] = []
+        path_points: List[List[float]] = []
         for start, end in zip(waypoints[:-1], waypoints[1:]):
             span = start.distance_to(end)
             steps = max(1, int(np.ceil(span / step_m)))
             for k in range(steps):
                 t = k / steps
                 path_points.append(
-                    Point(start.x + t * (end.x - start.x), start.y + t * (end.y - start.y))
+                    [start.x + t * (end.x - start.x), start.y + t * (end.y - start.y)]
                 )
-        path_points.append(waypoints[-1])
+        path_points.append([waypoints[-1].x, waypoints[-1].y])
+        points = np.array(path_points)
 
-        grid = self.scenario.deployment.grid
-        frames = [
-            self.live_vector(day, point=p, averaging=averaging) for p in path_points
-        ]
+        sigma = self.scenario.channel.params.noise_sigma_db
+        noise = None
+        if sigma > 0:
+            # One array op over every (frame, sample, link) triple; fills the
+            # generator's stream in the same order as per-frame draws.
+            noise = self._rng.normal(
+                0.0,
+                sigma,
+                size=(len(points), averaging, self.scenario.deployment.link_count),
+            )
+        cells = self.scenario.deployment.grid.cells_at(points)
+        rss = self._frames_at_points(day, points, noise, cells, averaging)
         return LiveTrace(
             day=day,
-            rss=np.vstack(frames),
-            true_cells=np.array([grid.cell_at(p) for p in path_points]),
-            true_positions=np.array([[p.x, p.y] for p in path_points]),
+            rss=rss,
+            true_cells=cells,
+            true_positions=points,
         )
 
     # ------------------------------------------------------------------
@@ -293,6 +351,143 @@ class RssCollector:
             center.x + self._rng.uniform(-half, half),
             center.y + self._rng.uniform(-half, half),
         )
+
+    def _jittered_point_xy(self, cell: int, jitter: float) -> List[float]:
+        point = self._jittered_point(cell, jitter)
+        return [point.x, point.y]
+
+    def _noise_rng(self) -> Optional[np.random.Generator]:
+        """The generator channel sampling should draw noise from."""
+        return self._rng
+
+    def _interference_offsets(self, count: int) -> Optional[np.ndarray]:
+        if self.interference is None:
+            return None
+        return self.interference.sample_offsets_batch(count)
+
+    def _survey_draws(self, cell_indices: np.ndarray):
+        """Pre-draw all survey randomness in the canonical per-cell order."""
+        link_count = self.scenario.deployment.link_count
+        samples_per_cell = self.protocol.samples_per_cell
+        sigma = self.scenario.channel.params.noise_sigma_db
+        spots = np.empty((len(cell_indices), 2))
+        noise = None
+        if sigma > 0:
+            noise = np.empty((len(cell_indices), samples_per_cell, link_count))
+        for index, cell in enumerate(cell_indices):
+            spots[index] = self._jittered_point_xy(
+                int(cell), self.protocol.survey_jitter
+            )
+            if noise is not None:
+                noise[index] = self._rng.normal(
+                    0.0, sigma, size=(samples_per_cell, link_count)
+                )
+        return spots, noise
+
+    def _survey_matrix_batch(
+        self,
+        day: float,
+        cell_indices: np.ndarray,
+        spots: np.ndarray,
+        noise: Optional[np.ndarray],
+        offsets: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """All survey physics as one broadcasted (cell, sample, link) pass."""
+        scenario = self.scenario
+        shadows = scenario.shadow_matrix(spots)  # (cells, links)
+        drift = scenario.environment_offsets(day)[None, :]
+        drift = drift + scenario.entry_drift_matrix(day, cell_indices)
+        base = scenario.channel.empty_room_rss()[None, :] - shadows + drift
+        frames = base[:, None, :]
+        if noise is not None:
+            frames = frames + noise
+        frames = self._quantize(frames)
+        if offsets is not None:
+            frames = frames + offsets
+        return frames.mean(axis=1).T
+
+    def _survey_matrix_loop(
+        self,
+        day: float,
+        cell_indices: np.ndarray,
+        spots: np.ndarray,
+        noise: Optional[np.ndarray],
+        offsets: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Reference per-cell loop over the scalar physics APIs."""
+        scenario = self.scenario
+        columns: List[np.ndarray] = []
+        for index, cell in enumerate(cell_indices):
+            shadow = scenario.shadow_at_point(Point(*spots[index]))
+            drift = scenario.environment_offsets(day)
+            drift = drift + scenario.entry_drift_at(day, int(cell))
+            rows = []
+            for s in range(self.protocol.samples_per_cell):
+                sample = scenario.channel.sample(
+                    shadow_db=shadow, drift_db=drift, rng=None, quantize=False
+                )
+                if noise is not None:
+                    sample = sample + noise[index, s]
+                sample = self._quantize(sample)
+                if offsets is not None:
+                    sample = sample + offsets[index, s]
+                rows.append(sample)
+            columns.append(np.vstack(rows).mean(axis=0))
+        return np.column_stack(columns)
+
+    def _frames_at_points(
+        self,
+        day: float,
+        points: np.ndarray,
+        noise: Optional[np.ndarray],
+        cells: np.ndarray,
+        averaging: int,
+    ) -> np.ndarray:
+        """Measured frames at ``points`` from pre-drawn noise, batched."""
+        frames = len(points)
+        offsets = self._interference_offsets(frames * averaging)
+        if self.vectorized:
+            scenario = self.scenario
+            shadows = scenario.shadow_matrix(points)  # (frames, links)
+            drift = scenario.environment_offsets(day)[None, :]
+            drift = drift + scenario.entry_drift_matrix(day, cells)
+            base = scenario.channel.empty_room_rss()[None, :] - shadows + drift
+            stack = base[:, None, :]
+            if noise is not None:
+                stack = stack + noise
+            else:
+                stack = np.repeat(stack, averaging, axis=1)
+            stack = self._quantize(stack)
+            if offsets is not None:
+                stack = stack + offsets.reshape(frames, averaging, -1)
+            rss = stack.mean(axis=1)
+        else:
+            rows = []
+            for index in range(len(points)):
+                shadow = self.scenario.shadow_at_point(Point(*points[index]))
+                drift = self.scenario.environment_offsets(day)
+                drift = drift + self.scenario.entry_drift_at(day, int(cells[index]))
+                samples = []
+                for s in range(averaging):
+                    sample = self.scenario.channel.sample(
+                        shadow_db=shadow, drift_db=drift, rng=None, quantize=False
+                    )
+                    if noise is not None:
+                        sample = sample + noise[index, s]
+                    sample = self._quantize(sample)
+                    if offsets is not None:
+                        sample = sample + offsets[index * averaging + s]
+                    samples.append(sample)
+                rows.append(np.vstack(samples).mean(axis=0))
+            rss = np.vstack(rows)
+        self._samples_taken += len(points) * averaging
+        return rss
+
+    def _quantize(self, rss: np.ndarray) -> np.ndarray:
+        quantum = self.scenario.channel.params.rssi_quantum_db
+        if quantum > 0:
+            return np.round(rss / quantum) * quantum
+        return rss
 
     def _draw_samples(
         self,
@@ -317,13 +512,11 @@ class RssCollector:
             drift = drift + self.scenario.entry_drift_at(
                 day, self.scenario.deployment.grid.cell_at(point)
             )
-        rows = []
-        for _ in range(count):
-            sample = self.scenario.channel.sample(
-                shadow_db=shadow, drift_db=drift, rng=self._rng
-            )
-            if self.interference is not None:
-                sample = sample + self.interference.sample_offsets()
-            rows.append(sample)
+        samples = self.scenario.channel.sample_batch(
+            count, shadow_db=shadow, drift_db=drift, rng=self._noise_rng()
+        )
+        offsets = self._interference_offsets(count)
+        if offsets is not None:
+            samples = samples + offsets
         self._samples_taken += count
-        return np.vstack(rows)
+        return samples

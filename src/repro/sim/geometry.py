@@ -156,6 +156,27 @@ class Grid:
             (row + 0.5) * self.cell_size,
         )
 
+    def centers_array(self) -> np.ndarray:
+        """Centers of all cells as a ``(cell_count, 2)`` array, row-major."""
+        cells = np.arange(self.cell_count)
+        cols = cells % self.columns
+        rows = cells // self.columns
+        return np.column_stack(
+            ((cols + 0.5) * self.cell_size, (rows + 0.5) * self.cell_size)
+        )
+
+    def cells_at(self, points_xy: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`cell_at`: ``(n, 2)`` coordinates to cell indices.
+
+        Matches the scalar method's clamping of out-of-grid points.
+        """
+        xy = np.asarray(points_xy, dtype=float)
+        if xy.ndim != 2 or xy.shape[1] != 2:
+            raise ValueError(f"points_xy must have shape (n, 2), got {xy.shape}")
+        cols = np.clip(xy[:, 0] // self.cell_size, 0, self.columns - 1).astype(int)
+        rows = np.clip(xy[:, 1] // self.cell_size, 0, self.rows - 1).astype(int)
+        return rows * self.columns + cols
+
     def cell_at(self, point: Point) -> int:
         """Row-major index of the cell containing ``point``.
 
@@ -189,6 +210,53 @@ class Grid:
             raise IndexError(
                 f"cell {cell} out of range for a {self.rows} x {self.columns} grid"
             )
+
+
+def link_endpoint_arrays(links: Sequence[Link]) -> Tuple[np.ndarray, np.ndarray]:
+    """TX and RX coordinates of ``links`` as two ``(n_links, 2)`` arrays."""
+    tx = np.array([[link.tx.x, link.tx.y] for link in links], dtype=float)
+    rx = np.array([[link.rx.x, link.rx.y] for link in links], dtype=float)
+    return tx.reshape(-1, 2), rx.reshape(-1, 2)
+
+
+def excess_path_lengths(
+    links: Sequence[Link], points_xy: np.ndarray
+) -> np.ndarray:
+    """Vectorized :meth:`Link.excess_path_length` over points x links.
+
+    Args:
+        links: The links.
+        points_xy: Target coordinates, shape ``(n_points, 2)``.
+    Returns:
+        Excess detour lengths, shape ``(n_points, n_links)``. Uses
+        ``np.hypot`` so each entry matches the scalar method bit for bit.
+    """
+    tx, rx = link_endpoint_arrays(links)
+    xy = np.asarray(points_xy, dtype=float).reshape(-1, 2)
+    to_tx = np.hypot(xy[:, None, 0] - tx[None, :, 0], xy[:, None, 1] - tx[None, :, 1])
+    to_rx = np.hypot(xy[:, None, 0] - rx[None, :, 0], xy[:, None, 1] - rx[None, :, 1])
+    lengths = np.hypot(rx[:, 0] - tx[:, 0], rx[:, 1] - tx[:, 1])
+    return np.maximum(0.0, to_tx + to_rx - lengths[None, :])
+
+
+def projection_parameters(
+    links: Sequence[Link], points_xy: np.ndarray
+) -> np.ndarray:
+    """Vectorized :meth:`Link.projection_parameter` over points x links.
+
+    Returns ``(n_points, n_links)`` values clamped to [0, 1]; degenerate
+    (zero-length) links map to 0 like the scalar method.
+    """
+    tx, rx = link_endpoint_arrays(links)
+    xy = np.asarray(points_xy, dtype=float).reshape(-1, 2)
+    seg = rx - tx
+    seg_sq = np.sum(seg**2, axis=1)
+    numerator = (xy[:, None, 0] - tx[None, :, 0]) * seg[None, :, 0] + (
+        xy[:, None, 1] - tx[None, :, 1]
+    ) * seg[None, :, 1]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t = np.where(seg_sq[None, :] > 0.0, numerator / seg_sq[None, :], 0.0)
+    return np.clip(t, 0.0, 1.0)
 
 
 def pairwise_distances(points: Sequence[Point]) -> np.ndarray:

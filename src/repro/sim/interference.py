@@ -68,3 +68,25 @@ class BurstyInterferenceModel:
         else:
             signs = self._rng.choice((-1.0, 1.0), size=self.links)
         return np.where(hit, signs * magnitudes, 0.0)
+
+    def sample_offsets_batch(self, count: int) -> np.ndarray:
+        """Offsets for ``count`` consecutive samples, shape ``(count, links)``.
+
+        Statistically identical to ``count`` :meth:`sample_offsets` calls but
+        drawn as whole arrays (burst indicators first, then magnitudes), so
+        the exact realization for a given seed differs from the one-by-one
+        sequence; batch consumers should draw all their interference through
+        this method.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        shape = (count, self.links)
+        hit = self._rng.random(shape) < self.burst_probability
+        magnitudes = self._rng.uniform(*self.magnitude_db, size=shape)
+        if self.direction == "negative":
+            signs = -1.0
+        elif self.direction == "positive":
+            signs = 1.0
+        else:
+            signs = self._rng.choice((-1.0, 1.0), size=shape)
+        return np.where(hit, signs * magnitudes, 0.0)

@@ -117,6 +117,17 @@ class Scenario:
         """Target-induced attenuation per link with the target at ``point``."""
         return self.shadowing.attenuation_vector(self.deployment.links, point)
 
+    def shadow_matrix(self, points_xy: np.ndarray) -> np.ndarray:
+        """Per-link attenuation for many target positions at once.
+
+        Args:
+            points_xy: Target coordinates, shape ``(n_points, 2)``.
+        Returns:
+            Array of shape ``(n_points, links)`` — the batched counterpart
+            of :meth:`shadow_at_point`, computed in one broadcasted pass.
+        """
+        return self.shadowing.attenuation_matrix(self.deployment.links, points_xy)
+
     def entry_drift_weights(self) -> np.ndarray:
         """Per-entry scale of the target-multipath drift, in [floor, 1].
 
@@ -128,12 +139,7 @@ class Scenario:
         equal to the fresh empty-room RSS.
         """
         if self._entry_weights is None:
-            dips = np.column_stack(
-                [
-                    self.shadow_at_cell(j)
-                    for j in range(self.deployment.cell_count)
-                ]
-            )
+            dips = self.shadow_matrix(self.deployment.grid.centers_array()).T
             floor = 0.15
             interaction = np.minimum(np.abs(dips) / 6.0, 1.0)
             self._entry_weights = floor + (1.0 - floor) * interaction
@@ -145,6 +151,24 @@ class Scenario:
             return np.zeros(self.deployment.link_count)
         weights = self.entry_drift_weights()
         return weights[:, cell] * self.entry_drift.offsets(day)[:, cell]
+
+    def entry_drift_matrix(self, day: float, cells: np.ndarray) -> np.ndarray:
+        """Per-link target-present drift for many target cells at once.
+
+        Args:
+            day: Query day.
+            cells: Target cell per row, shape ``(n,)``.
+        Returns:
+            Array of shape ``(n, links)`` whose row ``i`` equals
+            :meth:`entry_drift_at` ``(day, cells[i])`` — but the underlying
+            drift field is evaluated once instead of once per row.
+        """
+        cells = np.asarray(cells, dtype=int)
+        if self.entry_drift is None:
+            return np.zeros((len(cells), self.deployment.link_count))
+        weights = self.entry_drift_weights()
+        offsets = self.entry_drift.offsets(day)
+        return (weights[:, cells] * offsets[:, cells]).T
 
     def true_rss(
         self, day: float, *, cell: Optional[int] = None, point: Optional[Point] = None
@@ -193,9 +217,19 @@ class Scenario:
 
         This is the ground truth the reconstruction benchmarks score against.
         """
-        n = self.deployment.cell_count
-        columns = [self.true_rss(day, cell=j) for j in range(n)]
-        return np.column_stack(columns)
+        centers = self.deployment.grid.centers_array()
+        shadows = self.shadow_matrix(centers)  # (cells, links)
+        drift = self.environment_offsets(day)[None, :] + self.entry_drift_matrix(
+            day, np.arange(self.deployment.cell_count)
+        )
+        batch = self.channel.sample_batch(
+            self.deployment.cell_count,
+            shadow_db=shadows,
+            drift_db=drift,
+            rng=None,
+            quantize=False,
+        )
+        return batch.T
 
     def add_event(self, event: StructuralEvent) -> None:
         if event.link_offsets_db.shape != (self.deployment.link_count,):

@@ -28,7 +28,12 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.sim.geometry import Link, Point
+from repro.sim.geometry import (
+    Link,
+    Point,
+    excess_path_lengths,
+    projection_parameters,
+)
 from repro.util.validation import check_positive
 
 
@@ -48,6 +53,29 @@ class ShadowingModel(abc.ABC):
     def attenuation_vector(self, links: Sequence[Link], target: Point) -> np.ndarray:
         """Perturbation across a sequence of links."""
         return np.array([self.attenuation(link, target) for link in links])
+
+    def attenuation_matrix(
+        self, links: Sequence[Link], points_xy: np.ndarray
+    ) -> np.ndarray:
+        """Perturbation for many target positions at once.
+
+        Args:
+            links: The links.
+            points_xy: Target coordinates, shape ``(n_points, 2)``.
+        Returns:
+            Array of shape ``(n_points, n_links)``. The base implementation
+            loops over :meth:`attenuation`; the concrete models override it
+            with broadcasted array math (identical values up to float
+            associativity), which is what the batched collector hot path
+            relies on.
+        """
+        xy = np.asarray(points_xy, dtype=float).reshape(-1, 2)
+        return np.array(
+            [
+                [self.attenuation(link, Point(float(x), float(y))) for link in links]
+                for x, y in xy
+            ]
+        ).reshape(len(xy), len(links))
 
 
 @dataclass(frozen=True)
@@ -91,6 +119,13 @@ class KnifeEdgeShadowingModel(ShadowingModel):
         taper = 1.0 - self.endpoint_taper * (1.0 - 4.0 * t * (1.0 - t))
         return base * taper
 
+    def attenuation_matrix(
+        self, links: Sequence[Link], points_xy: np.ndarray
+    ) -> np.ndarray:
+        return _knife_edge_matrix(
+            links, points_xy, self.peak_db, self.decay_m, self.endpoint_taper
+        )
+
 
 @dataclass(frozen=True)
 class EllipseShadowingModel(ShadowingModel):
@@ -123,6 +158,16 @@ class EllipseShadowingModel(ShadowingModel):
             return 0.0
         return self.peak_db * (1.0 - over / self.rolloff_m)
 
+    def attenuation_matrix(
+        self, links: Sequence[Link], points_xy: np.ndarray
+    ) -> np.ndarray:
+        excess = excess_path_lengths(links, points_xy)
+        if self.rolloff_m == 0.0:
+            return np.where(excess <= self.lambda_m, self.peak_db, 0.0)
+        over = excess - self.lambda_m
+        fade = np.clip(1.0 - over / self.rolloff_m, 0.0, None) * self.peak_db
+        return np.where(excess <= self.lambda_m, self.peak_db, fade)
+
 
 @dataclass(frozen=True)
 class CompositeShadowingModel(ShadowingModel):
@@ -136,6 +181,14 @@ class CompositeShadowingModel(ShadowingModel):
 
     def attenuation(self, link: Link, target: Point) -> float:
         return float(sum(c.attenuation(link, target) for c in self.components))
+
+    def attenuation_matrix(
+        self, links: Sequence[Link], points_xy: np.ndarray
+    ) -> np.ndarray:
+        total = self.components[0].attenuation_matrix(links, points_xy)
+        for component in self.components[1:]:
+            total = total + component.attenuation_matrix(links, points_xy)
+        return total
 
 
 class HeterogeneousBlockingModel(ShadowingModel):
@@ -174,6 +227,8 @@ class HeterogeneousBlockingModel(ShadowingModel):
             raise ValueError(f"peak_range_db must be (low, high), got {peak_range_db}")
         rng = as_generator(seed)
         self.peak_range_db = (float(low), float(high))
+        self.decay_m = decay_m
+        self.endpoint_taper = endpoint_taper
         self._models = {
             link.index: KnifeEdgeShadowingModel(
                 peak_db=float(rng.uniform(low, high)),
@@ -189,6 +244,14 @@ class HeterogeneousBlockingModel(ShadowingModel):
 
     def attenuation(self, link: Link, target: Point) -> float:
         return self._model_for(link).attenuation(link, target)
+
+    def attenuation_matrix(
+        self, links: Sequence[Link], points_xy: np.ndarray
+    ) -> np.ndarray:
+        peaks = np.array([self._model_for(link).peak_db for link in links])
+        return _knife_edge_matrix(
+            links, points_xy, peaks, self.decay_m, self.endpoint_taper
+        )
 
     def _model_for(self, link: Link) -> KnifeEdgeShadowingModel:
         try:
@@ -274,3 +337,44 @@ class ScatteringModel(ShadowingModel):
         )
         field = float(np.dot(amplitudes, np.sin(arguments)))
         return self.amplitude_db * field * envelope
+
+    def attenuation_matrix(
+        self, links: Sequence[Link], points_xy: np.ndarray
+    ) -> np.ndarray:
+        xy = np.asarray(points_xy, dtype=float).reshape(-1, 2)
+        coefficients = []
+        for link in links:
+            try:
+                coefficients.append(self._fields[link.index])
+            except KeyError:
+                raise ValueError(
+                    f"link {link.index} was not part of this scattering model"
+                ) from None
+        directions = np.stack([c[0] for c in coefficients])  # (L, K, 2)
+        phases = np.stack([c[1] for c in coefficients])  # (L, K)
+        amplitudes = np.stack([c[2] for c in coefficients])  # (L, K)
+        envelope = np.exp(-excess_path_lengths(links, xy) / self.decay_m)
+        arguments = (
+            2.0 * np.pi * np.einsum("lkd,pd->plk", directions, xy)
+            / self.wavelength_m
+            + phases[None, :, :]
+        )
+        field = np.einsum("lk,plk->pl", amplitudes, np.sin(arguments))
+        return self.amplitude_db * field * envelope
+
+
+def _knife_edge_matrix(
+    links: Sequence[Link],
+    points_xy: np.ndarray,
+    peak_db,
+    decay_m: float,
+    endpoint_taper: float,
+) -> np.ndarray:
+    """Broadcasted knife-edge attenuation; ``peak_db`` is scalar or per-link."""
+    excess = excess_path_lengths(links, points_xy)
+    base = peak_db * np.exp(-excess / decay_m)
+    if endpoint_taper == 0.0:
+        return base
+    t = projection_parameters(links, points_xy)
+    taper = 1.0 - endpoint_taper * (1.0 - 4.0 * t * (1.0 - t))
+    return base * taper

@@ -61,8 +61,14 @@ def conjugate_gradient(
     Returns:
         A :class:`CgResult`; ``converged`` is False if the cap was hit first.
     """
-    rhs = np.asarray(rhs, dtype=float)
-    x = np.zeros_like(rhs) if x0 is None else np.array(x0, dtype=float, copy=True)
+    rhs = np.asarray(rhs)
+    if not np.issubdtype(rhs.dtype, np.floating):
+        rhs = rhs.astype(float)
+    x = (
+        np.zeros_like(rhs)
+        if x0 is None
+        else np.array(x0, dtype=rhs.dtype, copy=True)
+    )
     if x.shape != rhs.shape:
         raise ValueError(f"x0 shape {x.shape} does not match rhs shape {rhs.shape}")
     check_positive("tol", tol)

@@ -5,6 +5,17 @@ Every stochastic component in the library accepts either an integer seed, a
 all three into a generator so call sites never touch global numpy state.
 Experiments spawn independent child streams with :func:`spawn_children` so
 that adding a new consumer of randomness does not perturb existing results.
+
+For vectorized batch code paths, :func:`counter_stream` provides
+*counter-based* streams (Philox keyed by a seed plus integer counters): the
+stream for ``(seed, op, cell)`` is the same whether its draws are taken one
+at a time in a loop or as one big array op, and distinct counters yield
+statistically independent streams. The batched collector currently keeps
+its sequential per-seed draw order (pre-drawing each operation's randomness
+in a canonical layout); counter streams are used by the benchmark workload
+generator and are the addressing scheme a future sharded/multi-worker
+collector should adopt, since they make streams independent of call
+interleaving.
 """
 
 from __future__ import annotations
@@ -78,6 +89,51 @@ def hash_label(label: str) -> int:
         value ^= byte
         value = (value * 16777619) & 0xFFFFFFFF
     return value
+
+
+def stream_key(seed: RandomState) -> int:
+    """Collapse ``seed`` into a stable 64-bit key for counter-based streams.
+
+    Generators are keyed by one draw from their own bit stream (advancing
+    them, like :func:`spawn_children` does); ints/None map deterministically.
+    """
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, 2**63 - 1))
+    if isinstance(seed, np.random.SeedSequence):
+        # Fold the full entropy (which may be a list) and the spawn key so
+        # spawned children map to distinct stream keys.
+        mixed = 0
+        entropy = seed.entropy
+        words = entropy if isinstance(entropy, (list, tuple)) else [entropy or 0]
+        for word in [*words, *seed.spawn_key]:
+            mixed = _splitmix64(mixed ^ (int(word) & 0xFFFFFFFFFFFFFFFF))
+        return mixed
+    if seed is None:
+        return 0
+    return int(seed) & 0xFFFFFFFFFFFFFFFF
+
+
+def counter_stream(key: int, *counters: int) -> np.random.Generator:
+    """A counter-based random stream: Philox keyed by ``(key, *counters)``.
+
+    The returned generator depends only on the integer tuple — not on how
+    many draws any other stream has taken — so batched and looped
+    implementations that address their randomness by the same counters
+    produce bit-identical values. Distinct counter tuples give independent
+    streams (distinct Philox keys).
+    """
+    mixed = _splitmix64(key & 0xFFFFFFFFFFFFFFFF)
+    for counter in counters:
+        mixed = _splitmix64(mixed ^ (int(counter) & 0xFFFFFFFFFFFFFFFF))
+    return np.random.Generator(np.random.Philox(key=mixed))
+
+
+def _splitmix64(value: int) -> int:
+    """One splitmix64 mixing round (the standard 64-bit finalizer)."""
+    value = (value + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return value ^ (value >> 31)
 
 
 def permutation_without_replacement(

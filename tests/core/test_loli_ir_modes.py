@@ -1,0 +1,102 @@
+"""Float32 mode and warm-started solves of LoLi-IR."""
+
+import numpy as np
+import pytest
+
+from repro.core.loli_ir import LoliIrConfig, LoliIrProblem, LoliIrSolver
+from repro.core.reconstruction import ReconstructionConfig, Reconstructor
+from repro.core.fingerprint import FingerprintMatrix
+from repro.sim.collector import CollectionProtocol, RssCollector
+from repro.sim.scenario import build_paper_scenario
+
+
+def make_problem(links=8, cells=24, rank=3, observe=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    truth = rng.normal(0, 1, size=(links, rank)) @ rng.normal(
+        0, 1, size=(rank, cells)
+    )
+    mask = rng.random((links, cells)) < observe
+    mask[:, 0] = True  # keep at least one fully observed column
+    return truth, LoliIrProblem(
+        observed_mask=mask,
+        observed_values=np.where(mask, truth, 0.0),
+        lrr_target=truth + rng.normal(0, 0.05, size=truth.shape),
+    )
+
+
+class TestFloat32Mode:
+    def test_dtype_validated(self):
+        with pytest.raises(ValueError, match="dtype"):
+            LoliIrConfig(dtype="float16")
+
+    def test_float32_solution_close_to_float64(self):
+        truth, problem = make_problem()
+        result64 = LoliIrSolver(LoliIrConfig(rank=3)).solve(problem)
+        result32 = LoliIrSolver(LoliIrConfig(rank=3, dtype="float32")).solve(problem)
+        assert result32.matrix.dtype == np.float32
+        np.testing.assert_allclose(
+            result32.matrix, result64.matrix, atol=5e-2, rtol=5e-2
+        )
+
+    def test_float32_objective_monotone(self):
+        _, problem = make_problem()
+        result = LoliIrSolver(
+            LoliIrConfig(rank=3, dtype="float32", outer_iterations=10)
+        ).solve(problem)
+        history = result.objective_history
+        assert np.all(np.diff(history) <= 1e-3 * np.maximum(1.0, history[:-1]))
+
+
+class TestWarmFactors:
+    def test_warm_factors_reused(self):
+        _, problem = make_problem()
+        solver = LoliIrSolver(LoliIrConfig(rank=3))
+        cold = solver.solve(problem)
+        warm = solver.solve(problem, warm_factors=(cold.left, cold.right))
+        # Restarting at the optimum must terminate almost immediately…
+        assert warm.iterations <= 3
+        # …without degrading the solution.
+        assert warm.final_objective <= cold.final_objective * (1 + 1e-6)
+
+    def test_mismatched_warm_factors_ignored(self):
+        _, problem = make_problem()
+        solver = LoliIrSolver(LoliIrConfig(rank=3))
+        bad = (np.zeros((2, 3)), np.zeros((5, 3)))
+        result = solver.solve(problem, warm_factors=bad)
+        assert result.objective_history[-1] <= result.objective_history[0]
+
+    def test_reconstructor_warm_start_quality(self):
+        scenario = build_paper_scenario(seed=77)
+        protocol = CollectionProtocol(samples_per_cell=5, empty_room_samples=8)
+        collector = RssCollector(scenario, protocol, seed=1)
+        survey = collector.collect_full_survey(0.0)
+        initial = FingerprintMatrix(
+            values=survey.survey.matrix, empty_rss=survey.survey.empty_rss
+        )
+
+        def run(warm_start):
+            reconstructor = Reconstructor(
+                scenario.deployment,
+                initial,
+                ReconstructionConfig(warm_start=warm_start),
+                seed=2,
+            )
+            errors = []
+            probe = RssCollector(scenario, protocol, seed=3)
+            for day in (30.0, 30.25, 30.5):
+                refs = probe.collect_survey(day, reconstructor.references.cells)
+                empty = probe.collect_empty_room(day)
+                report = reconstructor.reconstruct(
+                    refs.survey.matrix, empty, day=day
+                )
+                truth = scenario.true_fingerprint_matrix(day)
+                errors.append(
+                    float(np.abs(report.fingerprint.values - truth).mean())
+                )
+            return errors
+
+        cold = run(False)
+        warm = run(True)
+        # Warm starting must not cost reconstruction quality.
+        for c, w in zip(cold, warm):
+            assert w <= c + 0.25

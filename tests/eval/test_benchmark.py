@@ -1,0 +1,53 @@
+"""Smoke tests for the perf benchmark harness (kept tiny — the real run is
+``make bench``)."""
+
+import json
+
+import pytest
+
+from repro.eval.benchmark import (
+    build_bench_deployment,
+    format_bench_report,
+    run_perf_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_report(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "bench.json"
+    report = run_perf_bench(
+        sizes=("square-3m",),
+        frames=24,
+        samples_per_cell=2,
+        repeat=1,
+        out_path=out,
+    )
+    return report, out
+
+
+def test_deployment_sizes():
+    paper = build_bench_deployment("paper")
+    assert paper.cell_count == 96
+    square = build_bench_deployment("square-6m")
+    assert square.cell_count == 100
+    with pytest.raises(ValueError, match="unknown benchmark size"):
+        build_bench_deployment("mega")
+
+
+def test_report_structure(tiny_report):
+    report, out = tiny_report
+    record = report["sizes"]["square-3m"]
+    for stage in ("survey", "match_trace"):
+        assert record[stage]["batch_s"] > 0
+        assert record[stage]["loop_s"] > 0
+        assert record[stage]["speedup"] > 0
+    assert len(record["solve"]["cold_iterations"]) == 4
+    persisted = json.loads(out.read_text())
+    assert persisted["sizes"]["square-3m"]["frames"] == 24
+
+
+def test_format_report(tiny_report):
+    report, _ = tiny_report
+    text = format_bench_report(report)
+    assert "square-3m" in text
+    assert "survey x" in text

@@ -1,0 +1,234 @@
+"""Vectorized-vs-loop equivalence for the simulation hot paths.
+
+The collector pre-draws all randomness in a canonical order and then runs
+either the broadcasted batch physics or the reference per-cell loop over the
+scalar APIs; both must produce the same measurements bit for bit. The same
+discipline applies one layer down (vectorized geometry and shadowing versus
+their scalar counterparts) and to the counter-based RNG streams.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.collector import CollectionProtocol, RssCollector
+from repro.sim.geometry import (
+    Grid,
+    Point,
+    Room,
+    excess_path_lengths,
+    projection_parameters,
+)
+from repro.sim.interference import BurstyInterferenceModel
+from repro.sim.scenario import build_paper_scenario
+from repro.util.rng import counter_stream, stream_key
+
+
+@pytest.fixture()
+def scenario():
+    return build_paper_scenario(seed=2024)
+
+
+def make_pair(scenario, *, seed=31, interference=False):
+    protocol = CollectionProtocol(samples_per_cell=4, empty_room_samples=6)
+    def build(vectorized):
+        interf = (
+            BurstyInterferenceModel(
+                links=scenario.deployment.link_count,
+                burst_probability=0.25,
+                seed=9,
+            )
+            if interference
+            else None
+        )
+        return RssCollector(
+            scenario, protocol, seed=seed, vectorized=vectorized, interference=interf
+        )
+    return build(True), build(False)
+
+
+class TestCollectorEquivalence:
+    @pytest.mark.parametrize("interference", [False, True])
+    def test_survey_identical(self, scenario, interference):
+        batch, loop = make_pair(scenario, interference=interference)
+        a = batch.collect_full_survey(0.0)
+        b = loop.collect_full_survey(0.0)
+        np.testing.assert_array_equal(a.survey.matrix, b.survey.matrix)
+        np.testing.assert_array_equal(a.survey.empty_rss, b.survey.empty_rss)
+        assert batch.samples_taken == loop.samples_taken
+
+    def test_partial_survey_identical(self, scenario):
+        batch, loop = make_pair(scenario)
+        cells = [3, 40, 77]
+        np.testing.assert_array_equal(
+            batch.collect_survey(5.0, cells).survey.matrix,
+            loop.collect_survey(5.0, cells).survey.matrix,
+        )
+
+    @pytest.mark.parametrize("interference", [False, True])
+    def test_walk_trace_identical(self, scenario, interference):
+        batch, loop = make_pair(scenario, interference=interference)
+        waypoints = [Point(0.5, 0.5), Point(5.0, 4.0), Point(1.0, 3.5)]
+        a = batch.walk_trace(10.0, waypoints, step_m=0.4, averaging=2)
+        b = loop.walk_trace(10.0, waypoints, step_m=0.4, averaging=2)
+        np.testing.assert_array_equal(a.rss, b.rss)
+        np.testing.assert_array_equal(a.true_cells, b.true_cells)
+        np.testing.assert_array_equal(a.true_positions, b.true_positions)
+
+    def test_live_trace_identical(self, scenario):
+        batch, loop = make_pair(scenario)
+        cells = [1, 50, 50, 93]
+        a = batch.live_trace(7.0, cells, averaging=3)
+        b = loop.live_trace(7.0, cells, averaging=3)
+        np.testing.assert_array_equal(a.rss, b.rss)
+        np.testing.assert_array_equal(a.true_positions, b.true_positions)
+
+    def test_live_vector_multi_identical(self, scenario):
+        batch, loop = make_pair(scenario)
+        np.testing.assert_array_equal(
+            batch.live_vector_multi(3.0, [10, 60], averaging=2),
+            loop.live_vector_multi(3.0, [10, 60], averaging=2),
+        )
+
+    def test_vectorized_replays_per_seed(self, scenario):
+        protocol = CollectionProtocol(samples_per_cell=3, empty_room_samples=5)
+        a = RssCollector(scenario, protocol, seed=5).collect_full_survey(0.0)
+        b = RssCollector(scenario, protocol, seed=5).collect_full_survey(0.0)
+        np.testing.assert_array_equal(a.survey.matrix, b.survey.matrix)
+
+
+class TestChannelBatch:
+    def test_sample_batch_matches_sequential_samples(self, scenario):
+        shadow = np.linspace(0.0, 3.0, scenario.deployment.link_count)
+        drift = np.linspace(-1.0, 1.0, scenario.deployment.link_count)
+        batch = scenario.channel.sample_batch(
+            7, shadow_db=shadow, drift_db=drift, rng=np.random.default_rng(3)
+        )
+        rng = np.random.default_rng(3)
+        singles = np.vstack(
+            [
+                scenario.channel.sample(shadow_db=shadow, drift_db=drift, rng=rng)
+                for _ in range(7)
+            ]
+        )
+        np.testing.assert_array_equal(batch, singles)
+
+    def test_count_validated(self, scenario):
+        with pytest.raises(ValueError, match="count"):
+            scenario.channel.sample_batch(0)
+
+
+class TestShadowingMatrix:
+    def test_matrix_matches_vector_loop(self, scenario):
+        links = scenario.deployment.links
+        points = np.random.default_rng(0).uniform(0.0, 6.0, size=(25, 2))
+        matrix = scenario.shadowing.attenuation_matrix(links, points)
+        loop = np.vstack(
+            [
+                scenario.shadowing.attenuation_vector(links, Point(*p))
+                for p in points
+            ]
+        )
+        np.testing.assert_allclose(matrix, loop, rtol=1e-12, atol=1e-12)
+
+    def test_base_class_fallback_used_by_custom_models(self, scenario):
+        from repro.sim.shadowing import ShadowingModel
+
+        class Constant(ShadowingModel):
+            def attenuation(self, link, target):
+                return 2.0
+
+        matrix = Constant().attenuation_matrix(
+            scenario.deployment.links, np.zeros((3, 2))
+        )
+        np.testing.assert_array_equal(
+            matrix, np.full((3, scenario.deployment.link_count), 2.0)
+        )
+
+
+class TestVectorizedGeometry:
+    def test_excess_path_lengths(self, scenario):
+        links = scenario.deployment.links
+        points = np.random.default_rng(1).uniform(-1.0, 7.0, size=(17, 2))
+        matrix = excess_path_lengths(links, points)
+        for i, point in enumerate(points):
+            for j, link in enumerate(links):
+                assert matrix[i, j] == pytest.approx(
+                    link.excess_path_length(Point(*point)), abs=1e-12
+                )
+
+    def test_projection_parameters(self, scenario):
+        links = scenario.deployment.links
+        points = np.random.default_rng(2).uniform(-1.0, 7.0, size=(9, 2))
+        matrix = projection_parameters(links, points)
+        for i, point in enumerate(points):
+            for j, link in enumerate(links):
+                assert matrix[i, j] == pytest.approx(
+                    link.projection_parameter(Point(*point)), abs=1e-12
+                )
+
+    def test_grid_cells_at_matches_scalar(self):
+        grid = Grid(Room(4.2, 3.0), 0.6)
+        points = np.random.default_rng(3).uniform(-0.5, 4.5, size=(50, 2))
+        vector = grid.cells_at(points)
+        for point, cell in zip(points, vector):
+            assert cell == grid.cell_at(Point(*point))
+        with pytest.raises(ValueError, match=r"\(n, 2\)"):
+            grid.cells_at(points[:, 0])
+
+    def test_grid_centers_array_matches_scalar(self):
+        grid = Grid(Room(4.2, 3.0), 0.6)
+        centers = grid.centers_array()
+        assert centers.shape == (grid.cell_count, 2)
+        for j in range(grid.cell_count):
+            center = grid.center_of(j)
+            np.testing.assert_array_equal(centers[j], [center.x, center.y])
+
+
+class TestCounterStreams:
+    def test_same_counters_same_stream(self):
+        a = counter_stream(123, 4, 5).normal(size=8)
+        b = counter_stream(123, 4, 5).normal(size=8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_distinct_counters_distinct_streams(self):
+        a = counter_stream(123, 4, 5).normal(size=8)
+        b = counter_stream(123, 4, 6).normal(size=8)
+        c = counter_stream(124, 4, 5).normal(size=8)
+        assert not np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_batched_draws_match_looped_draws(self):
+        batch = counter_stream(7, 0).normal(size=(4, 3))
+        loop_rng = counter_stream(7, 0)
+        loop = np.vstack([loop_rng.normal(size=3) for _ in range(4)])
+        np.testing.assert_array_equal(batch, loop)
+
+    def test_stream_key_stability(self):
+        assert stream_key(99) == stream_key(99)
+        assert stream_key(None) == 0
+        gen_key = stream_key(np.random.default_rng(0))
+        assert isinstance(gen_key, int)
+
+    def test_stream_key_distinguishes_seed_sequences(self):
+        root = np.random.SeedSequence(42)
+        child_a, child_b = root.spawn(2)
+        keys = {stream_key(root), stream_key(child_a), stream_key(child_b)}
+        assert len(keys) == 3
+        assert stream_key(np.random.SeedSequence([1, 2, 3])) != stream_key(
+            np.random.SeedSequence([9, 9, 9])
+        )
+
+
+class TestInterferenceBatch:
+    def test_batch_shape_and_distribution_flags(self):
+        model = BurstyInterferenceModel(
+            links=6, burst_probability=1.0, magnitude_db=(2.0, 2.0), seed=0
+        )
+        offsets = model.sample_offsets_batch(5)
+        assert offsets.shape == (5, 6)
+        np.testing.assert_allclose(offsets, -2.0)
+
+    def test_count_validated(self):
+        model = BurstyInterferenceModel(links=3, seed=0)
+        with pytest.raises(ValueError, match="count"):
+            model.sample_offsets_batch(0)

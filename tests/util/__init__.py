@@ -1,0 +1,1 @@
+"""Test package (explicit packages keep basenames unique across suites)."""
