@@ -1,15 +1,18 @@
 # Developer entry points. `make test` is the tier-1 gate; `make bench`
-# produces the committed perf-trajectory point (BENCH_PR1.json).
+# produces the committed perf-trajectory point (BENCH_PR2.json).
 
 PYTHON ?= python
 
-.PHONY: test bench bench-figures
+.PHONY: test bench bench-smoke bench-figures
 
 test:
 	$(PYTHON) -m pytest -q
 
 bench:
-	$(PYTHON) benchmarks/bench_perf.py --out BENCH_PR1.json
+	$(PYTHON) benchmarks/bench_perf.py --out BENCH_PR2.json
+
+bench-smoke:
+	$(PYTHON) benchmarks/bench_perf.py --smoke
 
 bench-figures:
 	$(PYTHON) -m pytest benchmarks -q -p no:cacheprovider

@@ -1,16 +1,20 @@
 #!/usr/bin/env python
-"""Run the batch-hot-path performance benchmark and write BENCH_PR1.json.
+"""Run the performance benchmark and write BENCH_PR2.json.
 
 Usage::
 
-    python benchmarks/bench_perf.py [--out BENCH_PR1.json]
+    python benchmarks/bench_perf.py [--out BENCH_PR2.json]
         [--sizes paper square-6m square-12m] [--frames 500] [--repeat 3]
+        [--jobs 2] [--smoke]
 
-Times commissioning surveys, LoLi-IR updates (cold vs warm-started) and
-trace-level matching, batch vs loop, on several deployment sizes. See
-EXPERIMENTS.md for the recorded trajectory and how to read the numbers.
-The file name is intentionally ``bench_*`` (not ``test_*``) so pytest's
-benchmark collection does not pick it up.
+Times commissioning surveys, LoLi-IR updates (legacy matrix-free CG vs the
+Gram fast path, cold vs warm-started) and trace-level matching on several
+deployment sizes, plus the Fig. 3/Fig. 5 experiments end-to-end through the
+parallel experiment engine (with a serial-vs-parallel bit-identity check).
+``--smoke`` runs a seconds-scale subset for CI. See EXPERIMENTS.md for the
+recorded trajectory and how to read the numbers. The file name is
+intentionally ``bench_*`` (not ``test_*``) so pytest's benchmark collection
+does not pick it up.
 """
 
 from __future__ import annotations
@@ -35,8 +39,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--out",
-        default="BENCH_PR1.json",
-        help="output JSON path (default: BENCH_PR1.json)",
+        default="BENCH_PR2.json",
+        help="output JSON path (default: BENCH_PR2.json)",
     )
     parser.add_argument(
         "--sizes",
@@ -48,7 +52,32 @@ def main(argv=None) -> int:
     parser.add_argument("--samples-per-cell", type=int, default=10)
     parser.add_argument("--repeat", type=int, default=3)
     parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument(
+        "--jobs", type=int, default=2,
+        help="worker count for the engine benchmark section",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-scale subset for CI: one tiny size, no JSON output",
+    )
     args = parser.parse_args(argv)
+
+    if args.smoke:
+        report = run_perf_bench(
+            sizes=("square-3m",),
+            frames=24,
+            samples_per_cell=2,
+            repeat=1,
+            seed=args.seed,
+            out_path=None,
+            engine_jobs=args.jobs,
+        )
+        print(format_bench_report(report))
+        engine = report["engine"]
+        if not all(engine[f]["bit_identical"] for f in ("fig3", "fig5")):
+            print("FAIL: parallel results differ from serial", file=sys.stderr)
+            return 1
+        return 0
 
     report = run_perf_bench(
         sizes=args.sizes,
@@ -57,6 +86,7 @@ def main(argv=None) -> int:
         repeat=args.repeat,
         seed=args.seed,
         out_path=args.out,
+        engine_jobs=args.jobs,
     )
     print(format_bench_report(report))
     print(f"\nwrote {args.out}")

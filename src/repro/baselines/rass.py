@@ -84,8 +84,9 @@ class RassLocalizer(DeviceFreeLocalizer):
         fingerprint: FingerprintMatrix,
         *,
         live_empty_rss: Optional[np.ndarray] = None,
-        config: RassConfig = RassConfig(),
+        config: Optional[RassConfig] = None,
     ) -> None:
+        config = config if config is not None else RassConfig()
         if fingerprint.cell_count != deployment.cell_count:
             raise ValueError(
                 f"fingerprint covers {fingerprint.cell_count} cells, deployment "

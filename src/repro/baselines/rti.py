@@ -77,10 +77,10 @@ class RtiLocalizer(DeviceFreeLocalizer):
         self,
         deployment: Deployment,
         calibration_rss: np.ndarray,
-        config: RtiConfig = RtiConfig(),
+        config: Optional[RtiConfig] = None,
     ) -> None:
         self.deployment = deployment
-        self.config = config
+        self.config = config if config is not None else RtiConfig()
         calibration = np.asarray(calibration_rss, dtype=float)
         if calibration.shape != (deployment.link_count,):
             raise ValueError(

@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.pipeline import TafLoc
 from repro.eval.benchmark import DEFAULT_SIZES, format_bench_report, run_perf_bench
 from repro.eval.costmodel import sweep_update_cost
+from repro.eval.engine import ExperimentEngine
 from repro.eval.experiments import (
     run_fig3_reconstruction_error,
     run_fig5_localization,
@@ -62,9 +63,14 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
     return 0
 
 
+def _engine(args: argparse.Namespace) -> ExperimentEngine:
+    return ExperimentEngine(jobs=args.jobs)
+
+
 def _cmd_drift(args: argparse.Namespace) -> int:
     results = run_intext_drift(
-        days=tuple(args.days), seeds=tuple(range(args.rooms))
+        days=tuple(args.days), seeds=tuple(range(args.rooms)),
+        engine=_engine(args),
     )
     anchors = {5.0: 2.5, 45.0: 6.0}
     rows = [
@@ -80,7 +86,8 @@ def _cmd_drift(args: argparse.Namespace) -> int:
 
 def _cmd_fig3(args: argparse.Namespace) -> int:
     results = run_fig3_reconstruction_error(
-        days=tuple(float(d) for d in args.days), seed=args.seed
+        days=tuple(float(d) for d in args.days), seed=args.seed,
+        engine=_engine(args),
     )
     paper = {3.0: 2.7, 15.0: 3.3, 45.0: 3.6, 90.0: 4.1}
     rows = [
@@ -138,7 +145,9 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig5(args: argparse.Namespace) -> int:
-    result = run_fig5_localization(day=args.day, seed=args.seed)
+    result = run_fig5_localization(
+        day=args.day, seed=args.seed, engine=_engine(args)
+    )
     rows = [
         [name, float(np.median(errs)), float(np.percentile(errs, 80))]
         for name, errs in result.errors.items()
@@ -163,6 +172,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         repeat=args.repeat,
         seed=args.seed,
         out_path=args.out,
+        engine_jobs=args.jobs,
     )
     print(format_bench_report(report))
     if args.out:
@@ -192,6 +202,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce the TafLoc (SIGCOMM'16) experiments.",
     )
     parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the experiment engine (results are "
+        "bit-identical for any value)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("quickstart", help="commission/update/localize demo")

@@ -123,12 +123,13 @@ class LrrModel:
 def fit_lrr(
     matrix: np.ndarray,
     reference_cells: np.ndarray,
-    config: LrrConfig = LrrConfig(),
+    config: Optional[LrrConfig] = None,
 ) -> LrrModel:
     """Fit ``Z`` by ridge regression: ``min_Z ||X - X_R Z||_F^2 + r||Z||_F^2``.
 
     Closed form: ``Z = (X_R' X_R + r I)^{-1} X_R' X``.
     """
+    config = config if config is not None else LrrConfig()
     matrix = check_matrix("matrix", matrix)
     cells = np.asarray(reference_cells, dtype=int)
     _check_cells(cells, matrix.shape[1])

@@ -101,12 +101,12 @@ class TafLoc:
     def __init__(
         self,
         collector: RssCollector,
-        config: TafLocConfig = TafLocConfig(),
+        config: Optional[TafLocConfig] = None,
         *,
         seed: RandomState = 0,
     ) -> None:
         self.collector = collector
-        self.config = config
+        self.config = config if config is not None else TafLocConfig()
         self._seed = seed
         self.database = FingerprintDatabase()
         self.reconstructor: Optional[Reconstructor] = None

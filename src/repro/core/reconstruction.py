@@ -78,6 +78,17 @@ class ReconstructionReport:
     lrr_residual: float
     observed_fraction: float
 
+    @property
+    def solve_seconds(self) -> float:
+        """Wall time of the LoLi-IR solve — the compute part of the paper's
+        Fig. 4 update cost (the labor part lives in eval.costmodel)."""
+        return self.solver_result.solve_seconds
+
+    @property
+    def sweep_seconds(self) -> np.ndarray:
+        """Per-sweep convergence cost of the solve."""
+        return self.solver_result.sweep_seconds
+
 
 class Reconstructor:
     """Learns the time-stable structure once; reconstructs cheaply forever.
@@ -93,10 +104,11 @@ class Reconstructor:
         self,
         deployment: Deployment,
         initial: FingerprintMatrix,
-        config: ReconstructionConfig = ReconstructionConfig(),
+        config: Optional[ReconstructionConfig] = None,
         *,
         seed: RandomState = 0,
     ) -> None:
+        config = config if config is not None else ReconstructionConfig()
         if initial.cell_count != deployment.cell_count:
             raise ValueError(
                 f"survey covers {initial.cell_count} cells, deployment has "

@@ -80,10 +80,11 @@ class ParticleFilterTracker:
         self,
         matcher: ProbabilisticMatcher,
         room: Room,
-        config: TrackerConfig = TrackerConfig(),
+        config: Optional[TrackerConfig] = None,
         *,
         seed: RandomState = None,
     ) -> None:
+        config = config if config is not None else TrackerConfig()
         self.matcher = matcher
         self.room = room
         self.config = config

@@ -1,6 +1,7 @@
 """Evaluation harness: metrics, cost model, figure experiments, reporting."""
 
 from repro.eval.costmodel import CostModel, UpdateCostRow, sweep_update_cost
+from repro.eval.engine import EngineStats, ExperimentEngine
 from repro.eval.experiments import (
     Fig3Result,
     Fig5Result,
@@ -31,6 +32,8 @@ from repro.eval.reporting import format_cdf_table, format_series, format_table
 
 __all__ = [
     "CostModel",
+    "EngineStats",
+    "ExperimentEngine",
     "Fig3Result",
     "Fig5Result",
     "SensitivityPoint",

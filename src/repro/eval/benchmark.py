@@ -2,9 +2,12 @@
 
 Times the three production-critical operations — commissioning survey
 (simulation), LoLi-IR solve (reconstruction), and trace-level matching
-(serving) — on several deployment sizes, comparing the vectorized batch
-implementations against their per-frame/per-cell loop references. The
-results feed ``BENCH_PR1.json`` (committed trajectory point; see
+(serving) — on several deployment sizes, comparing the fast implementations
+against their reference counterparts (per-frame/per-cell loops; the
+matrix-free CG solver), plus the figure experiments end-to-end through the
+parallel experiment engine (legacy solver + serial loop vs fast solver with
+``--jobs`` workers, with a serial-vs-parallel bit-identity check). The
+results feed ``BENCH_PR2.json`` (committed trajectory point; see
 ``EXPERIMENTS.md``) and the ``tafloc-repro bench`` CLI command.
 
 Run via ``make bench`` or ``python benchmarks/bench_perf.py``.
@@ -22,9 +25,15 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.core.fingerprint import FingerprintMatrix
+from repro.core.loli_ir import LoliIrConfig
 from repro.core.matching import KnnMatcher
 from repro.core.pipeline import TafLoc, TafLocConfig
 from repro.core.reconstruction import ReconstructionConfig
+from repro.eval.engine import ExperimentEngine
+from repro.eval.experiments import (
+    run_fig3_reconstruction_error,
+    run_fig5_localization,
+)
 from repro.sim.collector import CollectionProtocol, RssCollector
 from repro.sim.deployment import (
     Deployment,
@@ -33,6 +42,13 @@ from repro.sim.deployment import (
 )
 from repro.sim.scenario import build_paper_scenario
 from repro.util.rng import counter_stream
+
+#: The PR-1 solver configuration: matrix-free CG half-steps, no outer
+#: extrapolation, tight inner tolerance — the baseline every fast-path
+#: speedup in the committed benchmarks is measured against.
+LEGACY_SOLVER = LoliIrConfig(
+    method="cg", accelerate=False, cg_tol=1e-9, tol=1e-7
+)
 
 #: Deployment sizes benchmarked by default; the 6 m square is the 100-cell
 #: grid of the PR-1 acceptance criterion.
@@ -116,10 +132,13 @@ def bench_size(
         ),
     )
 
-    # --- reconstruction: LoLi-IR update, cold vs warm-started factors ---
-    def updates(warm_start: bool) -> List[int]:
+    # --- reconstruction: LoLi-IR update, legacy vs fast, cold vs warm ---
+    def updates(warm_start: bool, solver: Optional[LoliIrConfig] = None) -> List[int]:
         config = TafLocConfig(
-            reconstruction=ReconstructionConfig(warm_start=warm_start)
+            reconstruction=ReconstructionConfig(
+                warm_start=warm_start,
+                solver=solver if solver is not None else LoliIrConfig(),
+            )
         )
         system = TafLoc(
             RssCollector(scenario, protocol, seed=2), config, seed=3
@@ -133,6 +152,9 @@ def bench_size(
             iterations.append(report.reconstruction.solver_result.iterations)
         return iterations
 
+    start = time.perf_counter()
+    legacy_iterations = updates(False, LEGACY_SOLVER)
+    legacy_cold_s = time.perf_counter() - start
     start = time.perf_counter()
     cold_iterations = updates(False)
     cold_s = time.perf_counter() - start
@@ -182,11 +204,94 @@ def bench_size(
         "solve": {
             "cold_s": cold_s,
             "warm_s": warm_s,
+            "legacy_cold_s": legacy_cold_s,
+            "speedup": legacy_cold_s / cold_s if cold_s > 0 else float("inf"),
             "cold_iterations": cold_iterations,
             "warm_iterations": warm_iterations,
+            "legacy_iterations": legacy_iterations,
+            "warm_le_cold": all(
+                w <= c for w, c in zip(warm_iterations, cold_iterations)
+            ),
         },
         "match_trace": matching.as_dict(),
     }
+
+
+def _fig3_identical(a, b) -> bool:
+    return all(
+        x.day == y.day
+        and np.array_equal(x.errors, y.errors)
+        and x.mean_error == y.mean_error
+        and x.stale_mean_error == y.stale_mean_error
+        and x.oracle_mean_error == y.oracle_mean_error
+        for x, y in zip(a, b)
+    )
+
+
+def _fig5_identical(a, b) -> bool:
+    return set(a.errors) == set(b.errors) and all(
+        np.array_equal(a.errors[name], b.errors[name]) for name in a.errors
+    )
+
+
+def bench_engine(
+    *,
+    jobs: int = 2,
+    seed: int = _BENCH_SEED,
+    fig3_days: Sequence[float] = (3.0, 15.0, 45.0, 90.0),
+    fig5_day: float = 90.0,
+) -> Dict[str, object]:
+    """Benchmark the figure experiments end-to-end through the engine.
+
+    Three configurations per figure, at paper sizes:
+
+    * ``legacy_s`` — the PR-1 code path: matrix-free CG solver, serial loop.
+    * ``serial_s`` — fast solver, engine with ``jobs=1``.
+    * ``parallel_s`` — fast solver, engine with ``jobs`` workers (pool
+      startup included; on a single-core host this measures overhead, on a
+      multi-core host it scales with the core count).
+
+    ``speedup`` is what a PR-1 user gains by upgrading and passing
+    ``--jobs``: ``legacy_s / parallel_s``. ``bit_identical`` asserts the
+    acceptance contract that parallel results equal serial results exactly.
+    Caching is disabled so every configuration does full work.
+    """
+    legacy_config = TafLocConfig(
+        reconstruction=ReconstructionConfig(solver=LEGACY_SOLVER)
+    )
+
+    def run_fig3(engine, config=None):
+        return run_fig3_reconstruction_error(
+            days=fig3_days, seed=seed, config=config, engine=engine
+        )
+
+    def run_fig5(engine, config=None):
+        return run_fig5_localization(
+            day=fig5_day, seed=seed, config=config, engine=engine
+        )
+
+    record: Dict[str, object] = {"jobs": int(jobs)}
+    for name, runner, legacy_kwargs, identical in (
+        ("fig3", run_fig3, {"config": legacy_config}, _fig3_identical),
+        ("fig5", run_fig5, {"config": legacy_config}, _fig5_identical),
+    ):
+        start = time.perf_counter()
+        runner(ExperimentEngine(jobs=1, cache=False), **legacy_kwargs)
+        legacy_s = time.perf_counter() - start
+        start = time.perf_counter()
+        serial = runner(ExperimentEngine(jobs=1, cache=False))
+        serial_s = time.perf_counter() - start
+        start = time.perf_counter()
+        parallel = runner(ExperimentEngine(jobs=jobs, cache=False))
+        parallel_s = time.perf_counter() - start
+        record[name] = {
+            "legacy_s": legacy_s,
+            "serial_s": serial_s,
+            "parallel_s": parallel_s,
+            "speedup": legacy_s / parallel_s if parallel_s > 0 else float("inf"),
+            "bit_identical": bool(identical(serial, parallel)),
+        }
+    return record
 
 
 def run_perf_bench(
@@ -197,8 +302,13 @@ def run_perf_bench(
     repeat: int = 3,
     seed: int = _BENCH_SEED,
     out_path: Optional[Union[str, Path]] = None,
+    engine_jobs: Optional[int] = None,
 ) -> Dict[str, object]:
-    """Run the benchmark over ``sizes``; optionally write the JSON report."""
+    """Run the benchmark over ``sizes``; optionally write the JSON report.
+
+    ``engine_jobs`` additionally runs the end-to-end figure/engine benchmark
+    with that worker count (``None`` skips it — the unit-test path).
+    """
     report: Dict[str, object] = {
         "benchmark": "bench_perf",
         "seed": int(seed),
@@ -217,6 +327,8 @@ def run_perf_bench(
             repeat=repeat,
             seed=seed,
         )
+    if engine_jobs is not None:
+        report["engine"] = bench_engine(jobs=engine_jobs, seed=seed)
     if out_path is not None:
         Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
     return report
@@ -224,10 +336,11 @@ def run_perf_bench(
 
 def format_bench_report(report: Dict[str, object]) -> str:
     """Human-readable summary of a :func:`run_perf_bench` report."""
-    lines = ["bench_perf: batch vs loop wall time (best-of runs)"]
+    lines = ["bench_perf: fast vs reference wall time (best-of runs)"]
     header = (
         f"{'size':<12} {'links':>5} {'cells':>6} "
-        f"{'survey x':>9} {'match x':>8} {'solve cold/warm [s]':>20}"
+        f"{'survey x':>9} {'match x':>8} {'solve x':>8} "
+        f"{'cold/warm [s]':>14}"
     )
     lines.append(header)
     lines.append("-" * len(header))
@@ -238,6 +351,21 @@ def format_bench_report(report: Dict[str, object]) -> str:
         lines.append(
             f"{size:<12} {record['links']:>5} {record['cells']:>6} "
             f"{survey['speedup']:>9.1f} {match['speedup']:>8.1f} "
-            f"{solve['cold_s']:>9.2f}/{solve['warm_s']:.2f}"
+            f"{solve.get('speedup', float('nan')):>8.1f} "
+            f"{solve['cold_s']:>7.2f}/{solve['warm_s']:.2f}"
         )
+    engine = report.get("engine")
+    if engine:
+        lines.append("")
+        lines.append(
+            f"figure experiments through the engine (jobs={engine['jobs']}):"
+        )
+        for name in ("fig3", "fig5"):
+            record = engine[name]
+            identical = "bit-identical" if record["bit_identical"] else "MISMATCH"
+            lines.append(
+                f"  {name}: legacy {record['legacy_s']:.2f}s -> serial "
+                f"{record['serial_s']:.2f}s -> parallel {record['parallel_s']:.2f}s "
+                f"({record['speedup']:.1f}x vs legacy, {identical})"
+            )
     return "\n".join(lines)

@@ -11,7 +11,7 @@ reproduces the figure's sweep over edge lengths.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 from repro.util.validation import check_positive
 
@@ -61,19 +61,31 @@ class CostModel:
 
 @dataclass(frozen=True)
 class UpdateCostRow:
-    """One row of the Fig. 4 sweep."""
+    """One row of the Fig. 4 sweep.
+
+    ``solver_seconds`` optionally carries the *measured* LoLi-IR compute time
+    at this size (e.g. from ``LoliIrResult.solve_seconds`` or the perf
+    benchmark), making :attr:`total_update_hours` the true update cost —
+    labor plus compute — rather than the paper's labor-only account.
+    """
 
     edge_length_m: float
     cell_count: int
     reference_count: int
     existing_hours: float
     tafloc_hours: float
+    solver_seconds: float = 0.0
 
     @property
     def savings_factor(self) -> float:
         if self.tafloc_hours == 0:
             return float("inf")
         return self.existing_hours / self.tafloc_hours
+
+    @property
+    def total_update_hours(self) -> float:
+        """Labor plus measured reconstruction compute."""
+        return self.tafloc_hours + self.solver_seconds / 3600.0
 
 
 def reference_count_for_area(
@@ -98,9 +110,15 @@ def sweep_update_cost(
     *,
     model: Optional[CostModel] = None,
     base_references: int = 10,
+    solver_seconds_by_edge: Optional[Mapping[float, float]] = None,
 ) -> List[UpdateCostRow]:
-    """Reproduce the Fig. 4 sweep: update cost vs area edge length."""
+    """Reproduce the Fig. 4 sweep: update cost vs area edge length.
+
+    ``solver_seconds_by_edge`` optionally attaches measured LoLi-IR compute
+    time per edge length (see :attr:`UpdateCostRow.solver_seconds`).
+    """
     model = model or CostModel()
+    measured = solver_seconds_by_edge or {}
     rows: List[UpdateCostRow] = []
     for edge in edge_lengths_m:
         cells = model.cells_in_square(edge)
@@ -114,6 +132,7 @@ def sweep_update_cost(
                 reference_count=references,
                 existing_hours=model.survey_hours(cells),
                 tafloc_hours=model.survey_hours(references),
+                solver_seconds=float(measured.get(float(edge), 0.0)),
             )
         )
     return rows

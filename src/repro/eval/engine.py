@@ -1,0 +1,273 @@
+"""Parallel deterministic experiment engine.
+
+The figure/sensitivity experiments all share one shape: a sweep over
+independent settings (days, seeds, systems, knob values), each of which runs
+the same simulate→reconstruct→score pipeline. This module turns that shape
+into an explicit contract so the sweeps can run on worker processes without
+changing a single bit of the results:
+
+* **Tasks are pure.** A task is a module-level function applied to a
+  plain-data payload. It must derive *all* of its randomness from the integer
+  Philox keys embedded in the payload (:func:`repro.util.rng.task_key` +
+  :func:`repro.util.rng.counter_stream`) and must not mutate shared objects.
+  Under that contract the same payload produces the same bits whether the
+  task runs in-process (``jobs=1``) or on any worker — so parallel results
+  are bit-identical to serial ones by construction, which the test suite
+  asserts on the Fig. 3 / Fig. 5 workloads.
+
+* **Results are cached.** Each (function, payload) pair is fingerprinted
+  with a canonical structural hash (:func:`task_fingerprint`); repeated
+  figure runs against the same engine return the cached result objects
+  without recomputing. Payloads carrying live objects (e.g. a caller-supplied
+  :class:`~repro.sim.scenario.Scenario`) are not fingerprintable and simply
+  bypass the cache.
+
+* **Scenarios are cached per process.** Building a scenario realization is
+  pure given its spec, so workers memoize scenarios by spec fingerprint
+  (:func:`cached_scenario`) — each worker pays the construction cost once
+  per spec, not once per task.
+
+* **Scheduling is chunked.** Tasks are shipped to workers in contiguous
+  chunks (default: ~4 chunks per worker) to amortize pickling overhead while
+  keeping the pool load-balanced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, fields, is_dataclass
+from multiprocessing import get_all_start_methods, get_context
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ExperimentEngine",
+    "EngineStats",
+    "cached_scenario",
+    "task_fingerprint",
+]
+
+
+# ----------------------------------------------------------------------
+# canonical fingerprints
+# ----------------------------------------------------------------------
+def task_fingerprint(value: Any) -> Optional[str]:
+    """Canonical structural hash of a plain-data value, or ``None``.
+
+    Covers the payload vocabulary of the experiment runners: primitives,
+    (nested) sequences and string-keyed mappings, numpy scalars/arrays, and
+    frozen config dataclasses. Anything else (live simulator objects, open
+    generators) makes the value unhashable and returns ``None`` — callers
+    treat that as "run it, don't cache it".
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    if not _feed(value, digest):
+        return None
+    return digest.hexdigest()
+
+
+def _feed(value: Any, digest) -> bool:
+    """Serialize ``value`` into ``digest`` canonically; False if unhashable."""
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        digest.update(f"{type(value).__name__}:{value!r};".encode())
+        return True
+    if isinstance(value, (np.bool_, np.integer, np.floating)):
+        digest.update(f"np:{value!r};".encode())
+        return True
+    if isinstance(value, np.ndarray):
+        digest.update(f"ndarray:{value.dtype}:{value.shape};".encode())
+        digest.update(np.ascontiguousarray(value).tobytes())
+        return True
+    if isinstance(value, (tuple, list)):
+        digest.update(f"{type(value).__name__}[{len(value)}](".encode())
+        for item in value:
+            if not _feed(item, digest):
+                return False
+        digest.update(b");")
+        return True
+    if isinstance(value, dict):
+        try:
+            items = sorted(value.items())
+        except TypeError:
+            return False
+        digest.update(f"dict[{len(items)}](".encode())
+        for key, item in items:
+            if not isinstance(key, str):
+                return False
+            digest.update(f"{key}=".encode())
+            if not _feed(item, digest):
+                return False
+        digest.update(b");")
+        return True
+    if is_dataclass(value) and not isinstance(value, type):
+        # Only frozen dataclasses (configs) are safe to hash by field
+        # values: an unfrozen one (e.g. a mobility model) may carry live
+        # state outside its fields, and two field-equal instances are not
+        # interchangeable results.
+        if not type(value).__dataclass_params__.frozen:
+            return False
+        digest.update(
+            f"{type(value).__module__}.{type(value).__qualname__}(".encode()
+        )
+        for field in fields(value):
+            digest.update(f"{field.name}=".encode())
+            if not _feed(getattr(value, field.name), digest):
+                return False
+        digest.update(b");")
+        return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# process-local scenario cache
+# ----------------------------------------------------------------------
+_SCENARIO_CACHE: Dict[str, Any] = {}
+
+
+def cached_scenario(spec: Any, builder: Callable[[Any], Any]) -> Any:
+    """Build-or-reuse a scenario realization for ``spec``.
+
+    ``builder(spec)`` must be pure (all randomness derived from the spec), so
+    memoizing by the spec's fingerprint returns an object bit-identical to a
+    fresh build. The cache is per process: the parent and every pool worker
+    each materialize a spec at most once, no matter how many tasks share it.
+    Specs that cannot be fingerprinted are built fresh each call.
+    """
+    key = task_fingerprint(spec)
+    if key is None:
+        return builder(spec)
+    if key not in _SCENARIO_CACHE:
+        _SCENARIO_CACHE[key] = builder(spec)
+    return _SCENARIO_CACHE[key]
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+@dataclass
+class EngineStats:
+    """Counters for one engine's lifetime (all map() calls)."""
+
+    tasks_run: int = 0
+    cache_hits: int = 0
+    parallel_batches: int = 0
+
+
+class ExperimentEngine:
+    """Runs experiment tasks serially or on a process pool.
+
+    Args:
+        jobs: Worker processes; ``1`` (default) runs everything in-process.
+        cache: Memoize task results by payload fingerprint. Cached payloads
+            return the *same* result objects on repeated runs.
+        chunk_size: Tasks per scheduled chunk; defaults to
+            ``ceil(pending / (4 * jobs))`` so each worker sees ~4 chunks.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        *,
+        cache: bool = True,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.jobs = jobs
+        self.cache_enabled = cache
+        self.chunk_size = chunk_size
+        self.stats = EngineStats()
+        self._cache: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        fn: Callable[[dict], Any],
+        payloads: Sequence[dict],
+        *,
+        label: str = "",
+    ) -> List[Any]:
+        """Apply ``fn`` to every payload; results in payload order.
+
+        ``fn`` must be a module-level (picklable) function obeying the purity
+        contract in the module docstring. ``label`` namespaces the cache so
+        two runners sharing a payload shape cannot collide.
+        """
+        payloads = list(payloads)
+        results: List[Any] = [None] * len(payloads)
+        keys = [self._cache_key(fn, label, payload) for payload in payloads]
+
+        to_run: List[int] = []
+        owner: Dict[str, int] = {}  # key -> payload index that computes it
+        duplicate_of: Dict[int, int] = {}
+        for index, key in enumerate(keys):
+            if key is not None and key in self._cache:
+                results[index] = self._cache[key]
+                self.stats.cache_hits += 1
+            elif key is not None and key in owner:
+                # Duplicate payload within this batch: compute once, share.
+                duplicate_of[index] = owner[key]
+            else:
+                if key is not None:
+                    owner[key] = index
+                to_run.append(index)
+
+        if self.jobs == 1 or len(to_run) <= 1:
+            outputs = [fn(payloads[index]) for index in to_run]
+        else:
+            outputs = self._map_parallel(fn, [payloads[i] for i in to_run])
+        self.stats.tasks_run += len(to_run)
+
+        for index, output in zip(to_run, outputs):
+            results[index] = output
+            if keys[index] is not None and self.cache_enabled:
+                self._cache[keys[index]] = output
+        for index, source in duplicate_of.items():
+            results[index] = results[source]
+        return results
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    def _cache_key(
+        self, fn: Callable, label: str, payload: dict
+    ) -> Optional[str]:
+        if not self.cache_enabled:
+            return None
+        body = task_fingerprint(payload)
+        if body is None:
+            return None
+        return f"{fn.__module__}.{fn.__qualname__}:{label}:{body}"
+
+    def _map_parallel(
+        self, fn: Callable[[dict], Any], payloads: List[dict]
+    ) -> List[Any]:
+        workers = min(self.jobs, len(payloads))
+        chunk = self.chunk_size or max(
+            1, math.ceil(len(payloads) / (4 * workers))
+        )
+        # On Linux, fork keeps workers importing nothing: they inherit the
+        # parent's modules (and its scenario cache), which matters both for
+        # startup latency and for running under pytest, whose __main__ must
+        # not be re-executed by a spawn. Elsewhere (notably macOS, where
+        # forking a process with live BLAS/Obj-C state is unsafe) the
+        # platform default start method is used; tasks are module-level, so
+        # they survive a spawn.
+        context = (
+            get_context("fork")
+            if sys.platform.startswith("linux")
+            and "fork" in get_all_start_methods()
+            else get_context()
+        )
+        self.stats.parallel_batches += 1
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as executor:
+            return list(executor.map(fn, payloads, chunksize=chunk))

@@ -6,6 +6,16 @@ suite (which prints the paper-style rows) and the tests (which assert the
 qualitative shape) consume. Keeping the runners in the library — rather than
 inside the benchmarks — makes the experiments callable from user code and
 from the examples.
+
+Every runner decomposes into self-contained *tasks* executed through the
+:class:`~repro.eval.engine.ExperimentEngine` (pass ``engine=`` to share a
+pool and its result cache across figure runs; the default is an in-process
+engine). Tasks address all randomness with deterministic Philox keys derived
+from the runner seed (:func:`repro.util.rng.task_key`), so results do not
+depend on execution order or worker count: ``jobs=8`` is bit-identical to
+serial — asserted by the engine tests. Streams shared by design (e.g. the
+day-0 commissioning survey that all Fig. 3 gaps reconstruct against) use the
+same key in every task and replay identically.
 """
 
 from __future__ import annotations
@@ -18,34 +28,93 @@ import numpy as np
 from repro.baselines.rass import RassConfig, RassLocalizer
 from repro.baselines.rti import RtiConfig, RtiLocalizer
 from repro.core.pipeline import TafLoc, TafLocConfig
+from repro.eval.engine import ExperimentEngine, cached_scenario
 from repro.eval.metrics import cdf_points, mean_absolute_error, median, percentile
-from repro.sim.collector import CollectionProtocol, RssCollector
+from repro.sim.collector import RssCollector
 from repro.sim.scenario import Scenario, build_paper_scenario
-from repro.util.rng import RandomState, spawn_children
+from repro.util.rng import RandomState, counter_stream, task_key
+
+#: Stream slots within one task key (never renumber: results are pinned by
+#: the committed figure numbers and the bit-identity tests).
+_STREAM_COMMISSION = 0
+_STREAM_SYSTEM = 1
+_STREAM_UPDATE = 2
+_STREAM_SCORE = 3
+_STREAM_TRACE = 4
+_STREAM_WALK = 5
+_STREAM_TRACKER = 6
+
+
+def _day_token(day: float) -> int:
+    """Stable integer label for a day stamp (ms resolution)."""
+    return int(round(float(day) * 1000.0))
+
+
+def _build_paper_scenario_from_spec(spec: dict) -> Scenario:
+    return build_paper_scenario(seed=spec["seed"])
+
+
+def _scenario_payload(scenario: Optional[Scenario], seed: RandomState) -> dict:
+    """Payload fragment naming the scenario, by spec when possible.
+
+    Integer (or absent) seeds travel as plain specs — hashable, rebuilt and
+    memoized inside each worker. A caller-supplied scenario object (or a
+    stateful generator seed) is materialized here and shipped by value; it
+    bypasses the result cache but parallelizes fine because scenarios are
+    read-only after construction.
+    """
+    if scenario is not None:
+        return {"scenario_obj": scenario}
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return {"scenario_spec": {"seed": int(seed or 0)}}
+    return {"scenario_obj": build_paper_scenario(seed=seed)}
+
+
+def _resolve_scenario(payload: dict) -> Scenario:
+    if "scenario_obj" in payload:
+        return payload["scenario_obj"]
+    return cached_scenario(
+        payload["scenario_spec"], _build_paper_scenario_from_spec
+    )
 
 
 # ----------------------------------------------------------------------
 # In-text drift measurement
 # ----------------------------------------------------------------------
+def _drift_task(payload: dict) -> Dict[float, float]:
+    scenario = cached_scenario(
+        {"seed": payload["seed"]}, _build_paper_scenario_from_spec
+    )
+    base = scenario.true_rss(0.0)
+    return {
+        float(day): mean_absolute_error(scenario.true_rss(float(day)), base)
+        for day in payload["days"]
+    }
+
+
 def run_intext_drift(
     *,
     days: Sequence[float] = (3.0, 5.0, 15.0, 45.0, 90.0),
     seeds: Sequence[int] = tuple(range(8)),
+    engine: Optional[ExperimentEngine] = None,
 ) -> Dict[float, float]:
     """Mean absolute empty-room RSS change after each time gap.
 
     Reproduces the paper's in-text anchor: "the RSS values change 2.5 dBm and
     6 dBm respectively after 5 and 45 days". Averages over independent
     scenario realizations (the paper reports one room; we report the
-    ensemble mean so the number is seed-stable).
+    ensemble mean so the number is seed-stable). One task per room.
     """
+    engine = engine or ExperimentEngine()
+    payloads = [
+        {"seed": int(seed), "days": tuple(float(day) for day in days)}
+        for seed in seeds
+    ]
+    per_room = engine.map(_drift_task, payloads, label="drift")
     totals = {float(day): 0.0 for day in days}
-    for seed in seeds:
-        scenario = build_paper_scenario(seed=seed)
-        base = scenario.true_rss(0.0)
-        for day in days:
-            drifted = scenario.true_rss(float(day))
-            totals[float(day)] += mean_absolute_error(drifted, base)
+    for room in per_room:
+        for day, value in room.items():
+            totals[day] += value
     return {day: total / len(seeds) for day, total in totals.items()}
 
 
@@ -81,44 +150,73 @@ class Fig3Result:
         return cdf_points(self.errors, grid=grid)
 
 
+def _fig3_task(payload: dict) -> Fig3Result:
+    """One Fig. 3 gap: commission at day 0 (shared stream), update, score."""
+    scenario = _resolve_scenario(payload)
+    config = payload["config"] or TafLocConfig()
+    base = payload["base_key"]
+    day = payload["day"]
+    day_key = task_key(base, "day", _day_token(day))
+
+    system = TafLoc(
+        RssCollector(scenario, seed=counter_stream(base, _STREAM_COMMISSION)),
+        config,
+        seed=counter_stream(base, _STREAM_SYSTEM),
+    )
+    initial = system.commission(day=0.0)
+    # Fresh per-day measurement stream: the update draws must not depend on
+    # which other gaps ran (or on what core they ran on).
+    system.collector = RssCollector(
+        scenario, seed=counter_stream(day_key, _STREAM_UPDATE)
+    )
+    report = system.update(day)
+    measured = (
+        RssCollector(scenario, seed=counter_stream(day_key, _STREAM_SCORE))
+        .collect_full_survey(day)
+        .survey.matrix
+    )
+    truth = scenario.true_fingerprint_matrix(day)
+    reconstructed = report.reconstruction.fingerprint.values
+    errors = np.abs(reconstructed - measured)
+    return Fig3Result(
+        day=day,
+        errors=errors.ravel(),
+        mean_error=float(errors.mean()),
+        stale_mean_error=mean_absolute_error(initial.values, measured),
+        oracle_mean_error=mean_absolute_error(reconstructed, truth),
+    )
+
+
 def run_fig3_reconstruction_error(
     *,
     days: Sequence[float] = (3.0, 5.0, 15.0, 45.0, 90.0),
     seed: RandomState = 0,
     scenario: Optional[Scenario] = None,
     config: Optional[TafLocConfig] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> List[Fig3Result]:
     """Fig. 3 workload: survey at day 0, reconstruct at each later day.
 
     For every gap, the TafLoc update collects only the empty room and the
     reference cells, reconstructs the matrix, and is scored entry-wise
     against an independently *measured* full survey of the same day (plus a
-    noise-free oracle comparison that only a simulator can provide).
+    noise-free oracle comparison that only a simulator can provide). One
+    task per gap; the day-0 commissioning stream is shared, so every gap
+    reconstructs against the same initial survey.
     """
-    scenario = scenario or build_paper_scenario(seed=seed)
-    collector_rng, system_rng, scoring_rng = spawn_children(seed, 3)
-    collector = RssCollector(scenario, seed=collector_rng)
-    system = TafLoc(collector, config or TafLocConfig(), seed=system_rng)
-    initial = system.commission(day=0.0)
-    scoring_collector = RssCollector(scenario, seed=scoring_rng)
-
-    results: List[Fig3Result] = []
-    for day in days:
-        report = system.update(float(day))
-        measured = scoring_collector.collect_full_survey(float(day)).survey.matrix
-        truth = scenario.true_fingerprint_matrix(float(day))
-        reconstructed = report.reconstruction.fingerprint.values
-        errors = np.abs(reconstructed - measured)
-        results.append(
-            Fig3Result(
-                day=float(day),
-                errors=errors.ravel(),
-                mean_error=float(errors.mean()),
-                stale_mean_error=mean_absolute_error(initial.values, measured),
-                oracle_mean_error=mean_absolute_error(reconstructed, truth),
-            )
-        )
-    return results
+    engine = engine or ExperimentEngine()
+    base = task_key(seed, "fig3")
+    scenario_part = _scenario_payload(scenario, seed)
+    payloads = [
+        {
+            **scenario_part,
+            "config": config,
+            "day": float(day),
+            "base_key": base,
+        }
+        for day in days
+    ]
+    return engine.map(_fig3_task, payloads, label="fig3")
 
 
 # ----------------------------------------------------------------------
@@ -146,6 +244,67 @@ class Fig5Result:
         return cdf_points(self.errors[system], grid=grid)
 
 
+#: Fig. 5 systems, in presentation order.
+FIG5_SYSTEMS = ("TafLoc", "RTI", "RASS w/ rec.", "RASS w/o rec.")
+
+
+def _fig5_task(payload: dict) -> np.ndarray:
+    """Score one Fig. 5 system.
+
+    Every system task replays the same commissioning/update/trace streams
+    (same keys), so all four systems face the identical world state and the
+    identical live trace — the figure's controlled comparison — while each
+    task stays independently schedulable.
+    """
+    scenario = _resolve_scenario(payload)
+    base = payload["base_key"]
+    day = payload["day"]
+    name = payload["system"]
+
+    system = TafLoc(
+        RssCollector(scenario, seed=counter_stream(base, _STREAM_COMMISSION)),
+        payload["config"] or TafLocConfig(),
+        seed=counter_stream(base, _STREAM_SYSTEM),
+    )
+    stale = system.commission(day=0.0)
+
+    cells = [
+        cell
+        for cell in payload["test_cells"]
+        for _ in range(payload["frames_per_cell"])
+    ]
+    trace = RssCollector(
+        scenario, seed=counter_stream(base, _STREAM_TRACE)
+    ).live_trace(day, cells)
+
+    if name == "RASS w/o rec.":
+        # The stale arm never updates — that is the point of the arm.
+        return RassLocalizer(
+            scenario.deployment, stale, config=RassConfig()
+        ).errors(trace)
+
+    system.collector = RssCollector(
+        scenario, seed=counter_stream(base, _STREAM_UPDATE)
+    )
+    report = system.update(day)
+    reconstructed = report.reconstruction.fingerprint
+    fresh_empty = reconstructed.empty_rss
+    if name == "TafLoc":
+        return system.localization_errors(trace)
+    if name == "RTI":
+        return RtiLocalizer(scenario.deployment, fresh_empty, RtiConfig()).errors(
+            trace
+        )
+    if name == "RASS w/ rec.":
+        return RassLocalizer(
+            scenario.deployment,
+            reconstructed,
+            live_empty_rss=fresh_empty,
+            config=RassConfig(),
+        ).errors(trace)
+    raise ValueError(f"unknown Fig. 5 system {name!r}")
+
+
 def run_fig5_localization(
     *,
     day: float = 90.0,
@@ -153,6 +312,8 @@ def run_fig5_localization(
     frames_per_cell: int = 3,
     seed: RandomState = 0,
     scenario: Optional[Scenario] = None,
+    config: Optional[TafLocConfig] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Fig5Result:
     """Fig. 5 workload: four systems localize the same targets at ``day``.
 
@@ -161,34 +322,32 @@ def run_fig5_localization(
         * ``RTI`` — model-based tomography with a fresh calibration.
         * ``RASS w/ rec.`` — RASS consuming the reconstructed fingerprints.
         * ``RASS w/o rec.`` — RASS consuming the stale day-0 fingerprints.
+
+    One task per system; all four share the same measurement streams.
     """
-    scenario = scenario or build_paper_scenario(seed=seed)
-    collector_rng, system_rng, trace_rng = spawn_children(seed, 3)
-    collector = RssCollector(scenario, seed=collector_rng)
-
-    system = TafLoc(collector, TafLocConfig(), seed=system_rng)
-    stale = system.commission(day=0.0)
-    report = system.update(day)
-    reconstructed = report.reconstruction.fingerprint
-    fresh_empty = reconstructed.empty_rss
-
-    deployment = scenario.deployment
+    engine = engine or ExperimentEngine()
+    base = task_key(seed, "fig5", _day_token(day))
+    scenario_part = _scenario_payload(scenario, seed)
     if test_cells is None:
+        deployment_cells = _resolve_scenario(
+            {**scenario_part}
+        ).deployment.cell_count
         # Every 2nd cell: dense coverage of the room without re-testing the
         # identical frame many times.
-        test_cells = list(range(0, deployment.cell_count, 2))
-    cells = [c for c in test_cells for _ in range(frames_per_cell)]
-    trace = RssCollector(scenario, seed=trace_rng).live_trace(day, cells)
-
-    rti = RtiLocalizer(deployment, fresh_empty, RtiConfig())
-    rass_fresh = RassLocalizer(
-        deployment, reconstructed, live_empty_rss=fresh_empty, config=RassConfig()
+        test_cells = list(range(0, deployment_cells, 2))
+    payloads = [
+        {
+            **scenario_part,
+            "day": float(day),
+            "base_key": base,
+            "system": name,
+            "config": config,
+            "test_cells": tuple(int(cell) for cell in test_cells),
+            "frames_per_cell": int(frames_per_cell),
+        }
+        for name in FIG5_SYSTEMS
+    ]
+    outputs = engine.map(_fig5_task, payloads, label="fig5")
+    return Fig5Result(
+        day=float(day), errors=dict(zip(FIG5_SYSTEMS, outputs))
     )
-    rass_stale = RassLocalizer(deployment, stale, config=RassConfig())
-
-    errors: Dict[str, np.ndarray] = {}
-    errors["TafLoc"] = system.localization_errors(trace)
-    errors["RTI"] = rti.errors(trace)
-    errors["RASS w/ rec."] = rass_fresh.errors(trace)
-    errors["RASS w/o rec."] = rass_stale.errors(trace)
-    return Fig5Result(day=day, errors=errors)

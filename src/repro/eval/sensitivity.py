@@ -6,17 +6,23 @@ result — cheap reconstruction keeps localization accurate — holds up as
 deployment conditions vary. This module sweeps one environmental knob at a
 time (measurement noise, link count, reference budget) and measures the
 45-day reconstruction error and localization accuracy at each setting.
+
+Each sweep setting is one :class:`~repro.eval.engine.ExperimentEngine` task
+(pass ``engine=`` to parallelize and to share the scenario/result caches
+across sweeps); settings are independent and fully keyed by plain data, so
+results are identical for any job count and cached across repeated runs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.pipeline import TafLoc, TafLocConfig
 from repro.core.reconstruction import ReconstructionConfig
+from repro.eval.engine import ExperimentEngine, cached_scenario
 from repro.sim.channel import ChannelModel, ChannelParams
 from repro.sim.collector import RssCollector
 from repro.sim.deployment import build_paper_deployment
@@ -27,7 +33,7 @@ from repro.sim.shadowing import (
     HeterogeneousBlockingModel,
     ScatteringModel,
 )
-from repro.util.rng import RandomState, spawn_children
+from repro.util.rng import RandomState, spawn_children, stream_key
 
 
 @dataclass(frozen=True)
@@ -113,67 +119,121 @@ def _measure(
     return recon_err, loc_median
 
 
+def _build_sweep_scenario(spec: dict) -> Scenario:
+    return _scenario_with(
+        spec["seed"],
+        noise_sigma_db=spec["noise_sigma_db"],
+        link_count=spec["link_count"],
+    )
+
+
+def _sensitivity_task(payload: dict) -> SensitivityPoint:
+    scenario = cached_scenario(payload["scenario"], _build_sweep_scenario)
+    recon, loc = _measure(
+        scenario,
+        payload["scenario"]["seed"],
+        reference_count=payload["reference_count"],
+    )
+    return SensitivityPoint(
+        knob=payload["knob"],
+        value=payload["value"],
+        reconstruction_error_db=recon,
+        localization_median_m=loc,
+    )
+
+
+def _as_int_seed(seed: RandomState) -> int:
+    """Sweep seeds must be plain data (task payloads cross processes)."""
+    if seed is None:
+        return 0
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    return stream_key(seed)
+
+
+def _run_sweep(
+    payloads: Sequence[dict], engine: Optional[ExperimentEngine]
+) -> List[SensitivityPoint]:
+    engine = engine or ExperimentEngine()
+    return engine.map(_sensitivity_task, list(payloads), label="sensitivity")
+
+
 def sweep_noise(
     sigmas_db: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
     *,
     seed: RandomState = 0,
+    engine: Optional[ExperimentEngine] = None,
 ) -> List[SensitivityPoint]:
     """Sweep the per-sample measurement noise level."""
-    points = []
-    for sigma in sigmas_db:
-        scenario = _scenario_with(seed, noise_sigma_db=float(sigma))
-        recon, loc = _measure(scenario, seed)
-        points.append(
-            SensitivityPoint(
-                knob="noise_sigma_db",
-                value=float(sigma),
-                reconstruction_error_db=recon,
-                localization_median_m=loc,
-            )
-        )
-    return points
+    seed = _as_int_seed(seed)
+    return _run_sweep(
+        [
+            {
+                "knob": "noise_sigma_db",
+                "value": float(sigma),
+                "scenario": {
+                    "seed": seed,
+                    "noise_sigma_db": float(sigma),
+                    "link_count": 10,
+                },
+                "reference_count": 10,
+            }
+            for sigma in sigmas_db
+        ],
+        engine,
+    )
 
 
 def sweep_link_count(
     link_counts: Sequence[int] = (6, 10, 16),
     *,
     seed: RandomState = 0,
+    engine: Optional[ExperimentEngine] = None,
 ) -> List[SensitivityPoint]:
     """Sweep the number of deployed links."""
-    points = []
-    for links in link_counts:
-        scenario = _scenario_with(seed, link_count=int(links))
-        recon, loc = _measure(scenario, seed)
-        points.append(
-            SensitivityPoint(
-                knob="link_count",
-                value=float(links),
-                reconstruction_error_db=recon,
-                localization_median_m=loc,
-            )
-        )
-    return points
+    seed = _as_int_seed(seed)
+    return _run_sweep(
+        [
+            {
+                "knob": "link_count",
+                "value": float(links),
+                "scenario": {
+                    "seed": seed,
+                    "noise_sigma_db": 1.0,
+                    "link_count": int(links),
+                },
+                "reference_count": 10,
+            }
+            for links in link_counts
+        ],
+        engine,
+    )
 
 
 def sweep_reference_budget(
     budgets: Sequence[int] = (5, 10, 20, 40),
     *,
     seed: RandomState = 0,
+    engine: Optional[ExperimentEngine] = None,
 ) -> List[SensitivityPoint]:
     """Sweep the reference-location budget n (cost vs accuracy knob)."""
-    scenario = _scenario_with(seed)
-    points = []
-    for budget in budgets:
-        recon, loc = _measure(scenario, seed, reference_count=int(budget))
-        points.append(
-            SensitivityPoint(
-                knob="reference_count",
-                value=float(budget),
-                reconstruction_error_db=recon,
-                localization_median_m=loc,
-            )
-        )
-    return points
+    seed = _as_int_seed(seed)
+    return _run_sweep(
+        [
+            {
+                "knob": "reference_count",
+                "value": float(budget),
+                "scenario": {
+                    "seed": seed,
+                    "noise_sigma_db": 1.0,
+                    "link_count": 10,
+                },
+                "reference_count": int(budget),
+            }
+            for budget in budgets
+        ],
+        engine,
+    )
 
 
 def as_rows(points: Sequence[SensitivityPoint]) -> List[List[float]]:

@@ -6,10 +6,15 @@ particle-filter tracker's accuracy ages with the fingerprint database —
 with and without TafLoc updates — over mobility-model walks. It is the
 quantitative backbone of the elderly-care example and of the tracking
 benchmark.
+
+Each evaluation day is one :class:`~repro.eval.engine.ExperimentEngine`
+task (both arms share the task, and the walk, so the comparison stays
+controlled); pass ``engine=`` to parallelize over days.
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -18,11 +23,23 @@ import numpy as np
 from repro.core.matching import ProbabilisticMatcher
 from repro.core.pipeline import TafLoc, TafLocConfig
 from repro.core.tracking import ParticleFilterTracker, TrackerConfig
+from repro.eval.engine import ExperimentEngine
 from repro.sim.collector import RssCollector
 from repro.sim.geometry import Point
 from repro.sim.mobility import MobilityModel, RandomWaypointModel, collect_mobility_trace
-from repro.sim.scenario import Scenario, build_paper_scenario
-from repro.util.rng import RandomState, spawn_children
+from repro.sim.scenario import Scenario
+from repro.util.rng import RandomState, counter_stream, task_key
+
+from repro.eval.experiments import (  # shared stream-slot conventions
+    _STREAM_COMMISSION,
+    _STREAM_SYSTEM,
+    _STREAM_TRACKER,
+    _STREAM_UPDATE,
+    _STREAM_WALK,
+    _day_token,
+    _resolve_scenario,
+    _scenario_payload,
+)
 
 
 @dataclass(frozen=True)
@@ -44,6 +61,72 @@ class TrackingResult:
         return float(np.median(self.errors))
 
 
+def _tracking_task(payload: dict) -> List[TrackingResult]:
+    """Track one evaluation day, fresh vs stale fingerprints."""
+    scenario = _resolve_scenario(payload)
+    base = payload["base_key"]
+    day = payload["day"]
+    day_key = task_key(base, "day", _day_token(day))
+    frames = payload["frames"]
+    burn_in = payload["burn_in"]
+
+    system = TafLoc(
+        RssCollector(scenario, seed=counter_stream(base, _STREAM_COMMISSION)),
+        TafLocConfig(),
+        seed=counter_stream(base, _STREAM_SYSTEM),
+    )
+    stale = system.commission(0.0)
+    system.collector = RssCollector(
+        scenario, seed=counter_stream(day_key, _STREAM_UPDATE)
+    )
+    system.update(day)
+    fresh = system.database.at(day)
+
+    if payload["mobility"] is not None:
+        # A caller-supplied model is stateful; copy it so this task cannot
+        # leak draws into other days (or other engine workers), and re-key
+        # the copy's stream per day so each evaluation day gets its own walk
+        # (the model supplies the motion parameters, the engine supplies the
+        # randomness). Deterministic models (scripted routes) have no stream
+        # and replay their route unchanged.
+        mobility = copy.deepcopy(payload["mobility"])
+        if isinstance(getattr(mobility, "_rng", None), np.random.Generator):
+            mobility._rng = counter_stream(day_key, _STREAM_WALK)
+    else:
+        mobility = RandomWaypointModel(
+            scenario.deployment.room,
+            seed=counter_stream(day_key, _STREAM_WALK),
+        )
+    walk_collector = RssCollector(
+        scenario, seed=counter_stream(day_key, _STREAM_WALK, 1)
+    )
+    walk = collect_mobility_trace(walk_collector, mobility, day=day, frames=frames)
+
+    tracker_config = payload["tracker_config"] or TrackerConfig(
+        process_sigma_m=0.6
+    )
+    results: List[TrackingResult] = []
+    for arm, fingerprint in (("updated", fresh), ("stale", stale)):
+        matcher = ProbabilisticMatcher(
+            fingerprint, scenario.deployment.grid, sigma_db=3.0
+        )
+        tracker = ParticleFilterTracker(
+            matcher,
+            scenario.deployment.room,
+            tracker_config,
+            seed=counter_stream(base, _STREAM_TRACKER),
+        )
+        estimates = tracker.run(walk.rss)
+        errors = np.array(
+            [
+                estimate.distance_to(Point(float(x), float(y)))
+                for estimate, (x, y) in zip(estimates, walk.true_positions)
+            ]
+        )[burn_in:]
+        results.append(TrackingResult(day=day, arm=arm, errors=errors))
+    return results
+
+
 def run_tracking_experiment(
     *,
     days: Sequence[float] = (30.0, 90.0),
@@ -53,52 +136,32 @@ def run_tracking_experiment(
     scenario: Optional[Scenario] = None,
     mobility: Optional[MobilityModel] = None,
     tracker_config: Optional[TrackerConfig] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> List[TrackingResult]:
     """Track a mobility-model walk at each day, fresh vs stale fingerprints.
 
     Both arms share the same walk (identical RSS frames), so the comparison
-    isolates fingerprint freshness.
+    isolates fingerprint freshness. One engine task per day.
     """
     if burn_in >= frames:
         raise ValueError(f"burn_in {burn_in} must be < frames {frames}")
-    scenario = scenario or build_paper_scenario(seed=seed)
-    collector_rng, system_rng, walk_rng, tracker_seed = spawn_children(seed, 4)
-    system = TafLoc(RssCollector(scenario, seed=collector_rng),
-                    TafLocConfig(), seed=system_rng)
-    stale = system.commission(0.0)
-
-    mobility = mobility or RandomWaypointModel(
-        scenario.deployment.room, seed=walk_rng
-    )
-    tracker_config = tracker_config or TrackerConfig(process_sigma_m=0.6)
-
-    results: List[TrackingResult] = []
-    for day in days:
-        system.update(float(day))
-        fresh = system.database.at(float(day))
-        walk_collector = RssCollector(scenario, seed=spawn_children(seed, 5)[4])
-        walk = collect_mobility_trace(
-            walk_collector, mobility, day=float(day), frames=frames
-        )
-        for arm, fingerprint in (("updated", fresh), ("stale", stale)):
-            matcher = ProbabilisticMatcher(
-                fingerprint, scenario.deployment.grid, sigma_db=3.0
-            )
-            tracker = ParticleFilterTracker(
-                matcher, scenario.deployment.room, tracker_config,
-                seed=tracker_seed,
-            )
-            estimates = tracker.run(walk.rss)
-            errors = np.array(
-                [
-                    estimate.distance_to(Point(float(x), float(y)))
-                    for estimate, (x, y) in zip(estimates, walk.true_positions)
-                ]
-            )[burn_in:]
-            results.append(
-                TrackingResult(day=float(day), arm=arm, errors=errors)
-            )
-    return results
+    engine = engine or ExperimentEngine()
+    base = task_key(seed, "tracking")
+    scenario_part = _scenario_payload(scenario, seed)
+    payloads = [
+        {
+            **scenario_part,
+            "day": float(day),
+            "base_key": base,
+            "frames": int(frames),
+            "burn_in": int(burn_in),
+            "mobility": mobility,
+            "tracker_config": tracker_config,
+        }
+        for day in days
+    ]
+    per_day = engine.map(_tracking_task, payloads, label="tracking")
+    return [result for day_results in per_day for result in day_results]
 
 
 def summarize_tracking(results: Sequence[TrackingResult]) -> Dict[str, Dict[float, float]]:

@@ -113,6 +113,27 @@ def stream_key(seed: RandomState) -> int:
     return int(seed) & 0xFFFFFFFFFFFFFFFF
 
 
+def task_key(seed: RandomState, *labels: Union[int, str]) -> int:
+    """Deterministic 64-bit Philox key for one experiment task.
+
+    Collapses ``seed`` through :func:`stream_key` and folds each label
+    (string labels via the stable FNV-1a hash, ints directly) with splitmix64
+    rounds, so ``task_key(seed, "fig3", 2)`` names the same stream in every
+    process and on every run — the addressing scheme the parallel experiment
+    engine uses to make worker results bit-identical to serial execution.
+    Pass the result to :func:`counter_stream` (optionally with further
+    counters) to obtain the actual generator.
+    """
+    mixed = stream_key(seed)
+    for label in labels:
+        if isinstance(label, (int, np.integer)):
+            token = int(label)
+        else:
+            token = hash_label(str(label))
+        mixed = _splitmix64(mixed ^ (token & 0xFFFFFFFFFFFFFFFF))
+    return mixed
+
+
 def counter_stream(key: int, *counters: int) -> np.random.Generator:
     """A counter-based random stream: Philox keyed by ``(key, *counters)``.
 

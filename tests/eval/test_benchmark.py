@@ -6,6 +6,7 @@ import json
 import pytest
 
 from repro.eval.benchmark import (
+    bench_engine,
     build_bench_deployment,
     format_bench_report,
     run_perf_bench,
@@ -41,9 +42,22 @@ def test_report_structure(tiny_report):
         assert record[stage]["batch_s"] > 0
         assert record[stage]["loop_s"] > 0
         assert record[stage]["speedup"] > 0
-    assert len(record["solve"]["cold_iterations"]) == 4
+    solve = record["solve"]
+    assert len(solve["cold_iterations"]) == 4
+    assert solve["legacy_cold_s"] > 0
+    assert solve["speedup"] > 0
+    assert isinstance(solve["warm_le_cold"], bool)
     persisted = json.loads(out.read_text())
     assert persisted["sizes"]["square-3m"]["frames"] == 24
+
+
+def test_engine_section_bit_identical():
+    record = bench_engine(jobs=2, seed=99, fig3_days=(3.0,), fig5_day=30.0)
+    for name in ("fig3", "fig5"):
+        assert record[name]["bit_identical"] is True
+        assert record[name]["legacy_s"] > 0
+        assert record[name]["serial_s"] > 0
+        assert record[name]["parallel_s"] > 0
 
 
 def test_format_report(tiny_report):

@@ -1,0 +1,183 @@
+"""Tests for the parallel deterministic experiment engine."""
+
+import numpy as np
+import pytest
+
+from repro.eval.engine import (
+    ExperimentEngine,
+    cached_scenario,
+    task_fingerprint,
+)
+from repro.eval.experiments import (
+    _build_paper_scenario_from_spec,
+    run_fig3_reconstruction_error,
+    run_fig5_localization,
+    run_intext_drift,
+)
+from repro.util.rng import task_key
+
+
+def _square(payload):
+    return payload["value"] ** 2
+
+
+def _boxed(payload):
+    return [payload["value"]]
+
+
+class TestTaskFingerprint:
+    def test_plain_data_hashable_and_stable(self):
+        payload = {
+            "day": 3.0,
+            "cells": (1, 2, 3),
+            "nested": {"a": None, "b": True},
+            "array": np.arange(4.0),
+        }
+        first = task_fingerprint(payload)
+        second = task_fingerprint(
+            {
+                "array": np.arange(4.0),
+                "nested": {"b": True, "a": None},
+                "cells": (1, 2, 3),
+                "day": 3.0,
+            }
+        )
+        assert first is not None
+        assert first == second
+
+    def test_distinguishes_values_and_shapes(self):
+        assert task_fingerprint({"v": 1}) != task_fingerprint({"v": 2})
+        assert task_fingerprint({"v": 1}) != task_fingerprint({"v": 1.0})
+        assert task_fingerprint({"v": np.zeros(4)}) != task_fingerprint(
+            {"v": np.zeros((2, 2))}
+        )
+
+    def test_live_objects_unhashable(self):
+        assert task_fingerprint({"rng": np.random.default_rng(0)}) is None
+        assert task_fingerprint({"fn": _square}) is None
+
+
+class TestTaskKey:
+    def test_deterministic_and_label_sensitive(self):
+        assert task_key(7, "fig3", 2) == task_key(7, "fig3", 2)
+        assert task_key(7, "fig3", 2) != task_key(7, "fig3", 3)
+        assert task_key(7, "fig3", 2) != task_key(7, "fig5", 2)
+        assert task_key(7, "fig3", 2) != task_key(8, "fig3", 2)
+
+
+class TestEngineMap:
+    def test_order_preserved_serial_and_parallel(self):
+        payloads = [{"value": v} for v in range(7)]
+        serial = ExperimentEngine(jobs=1).map(_square, payloads)
+        parallel = ExperimentEngine(jobs=2, chunk_size=2).map(_square, payloads)
+        assert serial == [v**2 for v in range(7)]
+        assert parallel == serial
+
+    def test_cache_returns_identical_objects(self):
+        engine = ExperimentEngine(jobs=1)
+        payloads = [{"value": 3}]
+        first = engine.map(_boxed, payloads)
+        second = engine.map(_boxed, payloads)
+        assert first[0] is second[0]
+        assert engine.stats.cache_hits == 1
+        assert engine.stats.tasks_run == 1
+
+    def test_duplicate_payloads_computed_once(self):
+        engine = ExperimentEngine(jobs=1)
+        results = engine.map(_boxed, [{"value": 1}, {"value": 1}])
+        assert results[0] is results[1]
+        assert engine.stats.tasks_run == 1
+
+    def test_cache_disabled(self):
+        engine = ExperimentEngine(jobs=1, cache=False)
+        first = engine.map(_boxed, [{"value": 1}])
+        second = engine.map(_boxed, [{"value": 1}])
+        assert first[0] is not second[0]
+
+    def test_label_namespaces_cache(self):
+        engine = ExperimentEngine(jobs=1)
+        engine.map(_boxed, [{"value": 1}], label="a")
+        engine.map(_boxed, [{"value": 1}], label="b")
+        assert engine.stats.tasks_run == 2
+
+    def test_jobs_validated(self):
+        with pytest.raises(ValueError, match="jobs"):
+            ExperimentEngine(jobs=0)
+        with pytest.raises(ValueError, match="chunk_size"):
+            ExperimentEngine(jobs=2, chunk_size=0)
+
+
+class TestScenarioCache:
+    def test_identical_objects_across_runs(self):
+        spec = {"seed": 123454321}
+        first = cached_scenario(spec, _build_paper_scenario_from_spec)
+        second = cached_scenario(spec, _build_paper_scenario_from_spec)
+        assert first is second
+
+    def test_distinct_specs_distinct_scenarios(self):
+        a = cached_scenario({"seed": 1}, _build_paper_scenario_from_spec)
+        b = cached_scenario({"seed": 2}, _build_paper_scenario_from_spec)
+        assert a is not b
+
+
+def _fig3_equal(a, b):
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        assert x.day == y.day
+        np.testing.assert_array_equal(x.errors, y.errors)
+        assert x.mean_error == y.mean_error
+        assert x.stale_mean_error == y.stale_mean_error
+        assert x.oracle_mean_error == y.oracle_mean_error
+
+
+class TestParallelBitIdentity:
+    """The acceptance contract: jobs=2 results equal jobs=1 results exactly."""
+
+    def test_fig3_parallel_identical_to_serial(self):
+        kwargs = dict(days=(3.0, 45.0), seed=11)
+        serial = run_fig3_reconstruction_error(
+            engine=ExperimentEngine(jobs=1), **kwargs
+        )
+        parallel = run_fig3_reconstruction_error(
+            engine=ExperimentEngine(jobs=2), **kwargs
+        )
+        _fig3_equal(serial, parallel)
+
+    def test_fig5_parallel_identical_to_serial(self):
+        kwargs = dict(
+            day=45.0, test_cells=list(range(0, 96, 8)), frames_per_cell=1, seed=11
+        )
+        serial = run_fig5_localization(engine=ExperimentEngine(jobs=1), **kwargs)
+        parallel = run_fig5_localization(
+            engine=ExperimentEngine(jobs=2), **kwargs
+        )
+        assert set(serial.errors) == set(parallel.errors)
+        for name in serial.errors:
+            np.testing.assert_array_equal(
+                serial.errors[name], parallel.errors[name]
+            )
+
+    def test_drift_parallel_identical_to_serial(self):
+        kwargs = dict(days=(5.0, 45.0), seeds=(0, 1, 2))
+        serial = run_intext_drift(engine=ExperimentEngine(jobs=1), **kwargs)
+        parallel = run_intext_drift(engine=ExperimentEngine(jobs=2), **kwargs)
+        assert serial == parallel
+
+
+class TestFigureRunCache:
+    def test_repeated_fig3_runs_reuse_results(self):
+        engine = ExperimentEngine(jobs=1)
+        first = run_fig3_reconstruction_error(
+            days=(3.0,), seed=5, engine=engine
+        )
+        second = run_fig3_reconstruction_error(
+            days=(3.0,), seed=5, engine=engine
+        )
+        assert first[0] is second[0]
+        assert engine.stats.cache_hits == 1
+
+    def test_different_days_not_conflated(self):
+        engine = ExperimentEngine(jobs=1)
+        a = run_fig3_reconstruction_error(days=(3.0,), seed=5, engine=engine)
+        b = run_fig3_reconstruction_error(days=(45.0,), seed=5, engine=engine)
+        assert a[0].day != b[0].day
