@@ -1,5 +1,5 @@
 # Developer entry points. `make test` is the tier-1 gate; `make bench`
-# produces the committed perf-trajectory point (BENCH_PR2.json).
+# produces the committed perf-trajectory point (BENCH_PR3.json).
 
 PYTHON ?= python
 
@@ -9,10 +9,10 @@ test:
 	$(PYTHON) -m pytest -q
 
 bench:
-	$(PYTHON) benchmarks/bench_perf.py --out BENCH_PR2.json
+	$(PYTHON) benchmarks/bench_perf.py --out BENCH_PR3.json
 
 bench-smoke:
-	$(PYTHON) benchmarks/bench_perf.py --smoke
+	$(PYTHON) benchmarks/bench_perf.py --smoke --jobs 2 --out BENCH_SMOKE.json
 
 bench-figures:
 	$(PYTHON) -m pytest benchmarks -q -p no:cacheprovider

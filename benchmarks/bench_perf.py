@@ -1,20 +1,24 @@
 #!/usr/bin/env python
-"""Run the performance benchmark and write BENCH_PR2.json.
+"""Run the performance benchmark and write BENCH_PR3.json.
 
 Usage::
 
-    python benchmarks/bench_perf.py [--out BENCH_PR2.json]
-        [--sizes paper square-6m square-12m] [--frames 500] [--repeat 3]
-        [--jobs 2] [--smoke]
+    python benchmarks/bench_perf.py [--out BENCH_PR3.json]
+        [--sizes paper square-6m square-12m warehouse ...] [--frames 500]
+        [--repeat 3] [--jobs 2] [--scenario paper] [--smoke]
 
 Times commissioning surveys, LoLi-IR updates (legacy matrix-free CG vs the
-Gram fast path, cold vs warm-started) and trace-level matching on several
-deployment sizes, plus the Fig. 3/Fig. 5 experiments end-to-end through the
-parallel experiment engine (with a serial-vs-parallel bit-identity check).
-``--smoke`` runs a seconds-scale subset for CI. See EXPERIMENTS.md for the
-recorded trajectory and how to read the numbers. The file name is
-intentionally ``bench_*`` (not ``test_*``) so pytest's benchmark collection
-does not pick it up.
+Gram fast path, cold vs warm-started, PCG vs cached-splu coupled backend)
+and trace-level matching on several deployment sizes — ``--sizes`` accepts
+any scenario registry name, and every row records its scenario — plus the
+Fig. 3/Fig. 5 experiments end-to-end through the parallel experiment engine
+(one persistent pool shared across both figures, with a serial-vs-parallel
+bit-identity check; ``--scenario`` selects the environment). ``--smoke``
+runs a seconds-scale subset for CI and honors ``--out`` so the workflow can
+upload the JSON as an artifact. See EXPERIMENTS.md for the recorded
+trajectory and how to read the numbers. The file name is intentionally
+``bench_*`` (not ``test_*``) so pytest's benchmark collection does not pick
+it up.
 """
 
 from __future__ import annotations
@@ -39,14 +43,15 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--out",
-        default="BENCH_PR2.json",
-        help="output JSON path (default: BENCH_PR2.json)",
+        default=None,
+        help="output JSON path (default: BENCH_PR3.json; with --smoke, no "
+        "file is written unless --out is given)",
     )
     parser.add_argument(
         "--sizes",
         nargs="+",
         default=list(DEFAULT_SIZES),
-        help="deployment sizes: 'paper' or 'square-<edge>m'",
+        help="scenario names ('paper', 'warehouse', ...) or 'square-<edge>m'",
     )
     parser.add_argument("--frames", type=int, default=500)
     parser.add_argument("--samples-per-cell", type=int, default=10)
@@ -57,8 +62,13 @@ def main(argv=None) -> int:
         help="worker count for the engine benchmark section",
     )
     parser.add_argument(
+        "--scenario", default="paper",
+        help="scenario for the engine benchmark section",
+    )
+    parser.add_argument(
         "--smoke", action="store_true",
-        help="seconds-scale subset for CI: one tiny size, no JSON output",
+        help="seconds-scale subset for CI: one tiny size (JSON still "
+        "written to --out when given)",
     )
     args = parser.parse_args(argv)
 
@@ -69,8 +79,9 @@ def main(argv=None) -> int:
             samples_per_cell=2,
             repeat=1,
             seed=args.seed,
-            out_path=None,
+            out_path=args.out,
             engine_jobs=args.jobs,
+            engine_scenario=args.scenario,
         )
         print(format_bench_report(report))
         engine = report["engine"]
@@ -79,17 +90,19 @@ def main(argv=None) -> int:
             return 1
         return 0
 
+    out = args.out or "BENCH_PR3.json"
     report = run_perf_bench(
         sizes=args.sizes,
         frames=args.frames,
         samples_per_cell=args.samples_per_cell,
         repeat=args.repeat,
         seed=args.seed,
-        out_path=args.out,
+        out_path=out,
         engine_jobs=args.jobs,
+        engine_scenario=args.scenario,
     )
     print(format_bench_report(report))
-    print(f"\nwrote {args.out}")
+    print(f"\nwrote {out}")
     return 0
 
 

@@ -42,8 +42,13 @@ from repro.sim import (
     LiveTrace,
     RssCollector,
     Scenario,
+    ScenarioSpec,
     build_paper_deployment,
+    build_scenario,
     build_square_deployment,
+    get_scenario_spec,
+    list_scenarios,
+    scenario_names,
 )
 from repro.sim.scenario import build_paper_scenario
 
@@ -71,10 +76,15 @@ __all__ = [
     "RtiConfig",
     "RtiLocalizer",
     "Scenario",
+    "ScenarioSpec",
     "TafLoc",
     "TafLocConfig",
     "build_paper_deployment",
     "build_paper_scenario",
+    "build_scenario",
     "build_square_deployment",
+    "get_scenario_spec",
+    "list_scenarios",
+    "scenario_names",
     "select_references",
 ]

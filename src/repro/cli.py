@@ -7,11 +7,21 @@ Usage (after ``pip install -e .``)::
     tafloc-repro fig3 --days 3 45 90   # reconstruction error vs gap
     tafloc-repro fig4                  # update cost vs area size
     tafloc-repro fig5 --day 90         # localization comparison
-    tafloc-repro floorplan             # render the Fig. 2 deployment
+    tafloc-repro floorplan             # render the deployment geometry
+    tafloc-repro scenarios             # list the scenario registry
     tafloc-repro bench                 # batch-vs-loop performance benchmark
 
 or ``python -m repro.cli <command>``. Everything is seeded (``--seed``),
-so runs are reproducible.
+so runs are reproducible, and every experiment runs on any environment:
+``--scenario NAME`` selects a registered scenario (``paper``, ``warehouse``,
+``corridor``, ``atrium``, ``dense-office``, ``square-<edge>m``, …; see
+``tafloc-repro scenarios``), ``--scenario-file spec.json`` loads a
+user-supplied :class:`~repro.sim.specs.ScenarioSpec` JSON file, and
+``--jobs N`` parallelizes the experiment engine (bit-identical results for
+any job count). Example::
+
+    tafloc-repro --scenario warehouse fig3 --days 5 45
+    tafloc-repro --scenario-file my_site.json --jobs 4 fig5
 """
 
 from __future__ import annotations
@@ -24,7 +34,7 @@ import numpy as np
 
 from repro.core.pipeline import TafLoc
 from repro.eval.benchmark import DEFAULT_SIZES, format_bench_report, run_perf_bench
-from repro.eval.costmodel import sweep_update_cost
+from repro.eval.costmodel import CostModel, sweep_update_cost
 from repro.eval.engine import ExperimentEngine
 from repro.eval.experiments import (
     run_fig3_reconstruction_error,
@@ -33,16 +43,31 @@ from repro.eval.experiments import (
 )
 from repro.eval.reporting import format_cdf_table, format_summary, format_table
 from repro.sim.collector import RssCollector
-from repro.sim.deployment import build_paper_deployment
-from repro.sim.scenario import build_paper_scenario
+from repro.sim.specs import (
+    ScenarioSpec,
+    build_deployment,
+    build_scenario,
+    get_scenario_spec,
+    list_scenarios,
+)
+
+
+def _spec(args: argparse.Namespace) -> ScenarioSpec:
+    """Resolve the global --scenario / --scenario-file selection."""
+    if args.scenario_file:
+        return ScenarioSpec.from_file(args.scenario_file)
+    return get_scenario_spec(args.scenario)
 
 
 def _cmd_quickstart(args: argparse.Namespace) -> int:
-    scenario = build_paper_scenario(seed=args.seed)
+    scenario = build_scenario(_spec(args), seed=args.seed)
     system = TafLoc(RssCollector(scenario, seed=args.seed + 1))
     system.commission(day=0.0)
     report = system.update(day=45.0)
-    trace = RssCollector(scenario, seed=args.seed + 2).live_trace(45.0, [37])
+    test_cell = scenario.deployment.cell_count // 2
+    trace = RssCollector(scenario, seed=args.seed + 2).live_trace(
+        45.0, [test_cell]
+    )
     result = system.localize(trace.rss[0], day=45.0)
     true_x, true_y = trace.true_positions[0]
     print(
@@ -70,7 +95,7 @@ def _engine(args: argparse.Namespace) -> ExperimentEngine:
 def _cmd_drift(args: argparse.Namespace) -> int:
     results = run_intext_drift(
         days=tuple(args.days), seeds=tuple(range(args.rooms)),
-        engine=_engine(args),
+        scenario_spec=_spec(args), engine=_engine(args),
     )
     anchors = {5.0: 2.5, 45.0: 6.0}
     rows = [
@@ -87,7 +112,7 @@ def _cmd_drift(args: argparse.Namespace) -> int:
 def _cmd_fig3(args: argparse.Namespace) -> int:
     results = run_fig3_reconstruction_error(
         days=tuple(float(d) for d in args.days), seed=args.seed,
-        engine=_engine(args),
+        scenario_spec=_spec(args), engine=_engine(args),
     )
     paper = {3.0: 2.7, 15.0: 3.3, 45.0: 3.6, 90.0: 4.1}
     rows = [
@@ -121,7 +146,12 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig4(args: argparse.Namespace) -> int:
-    rows_data = sweep_update_cost(tuple(float(e) for e in args.edges))
+    # Fig. 4 is the labor cost model (geometry only); the scenario supplies
+    # its grid resolution so the sweep matches the selected environment.
+    model = CostModel(cell_size_m=_spec(args).geometry.cell_size_m)
+    rows_data = sweep_update_cost(
+        tuple(float(e) for e in args.edges), model=model
+    )
     rows = [
         [
             int(row.edge_length_m),
@@ -146,7 +176,8 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
 
 def _cmd_fig5(args: argparse.Namespace) -> int:
     result = run_fig5_localization(
-        day=args.day, seed=args.seed, engine=_engine(args)
+        day=args.day, seed=args.seed, scenario_spec=_spec(args),
+        engine=_engine(args),
     )
     rows = [
         [name, float(np.median(errs)), float(np.percentile(errs, 80))]
@@ -173,6 +204,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         out_path=args.out,
         engine_jobs=args.jobs,
+        # Resolve through _spec so --scenario-file reaches the engine
+        # section too (the per-size rows are named by --sizes).
+        engine_scenario=_spec(args),
     )
     print(format_bench_report(report))
     if args.out:
@@ -181,10 +215,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_floorplan(args: argparse.Namespace) -> int:
-    deployment = build_paper_deployment()
+    spec = _spec(args)
+    deployment = build_deployment(spec.geometry)
     print(
         format_summary(
-            "[Fig. 2] Paper deployment",
+            f"[Fig. 2] Deployment: {spec.name}",
             {
                 "links": deployment.link_count,
                 "cells": deployment.cell_count,
@@ -193,6 +228,39 @@ def _cmd_floorplan(args: argparse.Namespace) -> int:
         )
     )
     print(deployment.ascii_floor_plan())
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    rows = []
+    for name, spec in list_scenarios().items():
+        deployment = build_deployment(spec.geometry)
+        extras = []
+        if spec.interference is not None:
+            extras.append("interference")
+        if spec.events:
+            extras.append(f"{len(spec.events)} event(s)")
+        rows.append(
+            [
+                name,
+                deployment.link_count,
+                deployment.cell_count,
+                f"{spec.geometry.width_m:g}x{spec.geometry.depth_m:g}",
+                spec.drift.model,
+                ", ".join(extras) or "-",
+            ]
+        )
+    print(
+        "Registered scenarios (use --scenario NAME, or --scenario-file "
+        "spec.json for your own):\n"
+        + format_table(
+            ["name", "links", "cells", "area [m]", "drift", "extras"], rows
+        )
+    )
+    if args.describe:
+        print()
+        for name, spec in list_scenarios().items():
+            print(f"{name}: {spec.description}")
     return 0
 
 
@@ -206,6 +274,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes for the experiment engine (results are "
         "bit-identical for any value)",
+    )
+    scenario_group = parser.add_mutually_exclusive_group()
+    scenario_group.add_argument(
+        "--scenario", default="paper",
+        help="registered scenario name (see `tafloc-repro scenarios`) or "
+        "'square-<edge>m'",
+    )
+    scenario_group.add_argument(
+        "--scenario-file", default=None,
+        help="path to a ScenarioSpec JSON file (a user-supplied environment)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -230,12 +308,17 @@ def build_parser() -> argparse.ArgumentParser:
     fig5.add_argument("--day", type=float, default=90.0)
     fig5.add_argument("--cdf", action="store_true", help="print the CDF table")
 
-    sub.add_parser("floorplan", help="render the Fig. 2 deployment")
+    sub.add_parser("floorplan", help="render the selected deployment")
+
+    scenarios = sub.add_parser("scenarios", help="list the scenario registry")
+    scenarios.add_argument(
+        "--describe", action="store_true", help="print full descriptions"
+    )
 
     bench = sub.add_parser("bench", help="batch-vs-loop performance benchmark")
     bench.add_argument(
         "--sizes", nargs="+", default=list(DEFAULT_SIZES),
-        help="deployment sizes: 'paper' or 'square-<edge>m'",
+        help="scenario names ('paper', 'warehouse', ...) or 'square-<edge>m'",
     )
     bench.add_argument("--frames", type=int, default=500)
     bench.add_argument("--repeat", type=int, default=3)
@@ -250,6 +333,7 @@ _COMMANDS = {
     "fig4": _cmd_fig4,
     "fig5": _cmd_fig5,
     "floorplan": _cmd_floorplan,
+    "scenarios": _cmd_scenarios,
     "bench": _cmd_bench,
 }
 

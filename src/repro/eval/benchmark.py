@@ -4,11 +4,14 @@ Times the three production-critical operations — commissioning survey
 (simulation), LoLi-IR solve (reconstruction), and trace-level matching
 (serving) — on several deployment sizes, comparing the fast implementations
 against their reference counterparts (per-frame/per-cell loops; the
-matrix-free CG solver), plus the figure experiments end-to-end through the
-parallel experiment engine (legacy solver + serial loop vs fast solver with
-``--jobs`` workers, with a serial-vs-parallel bit-identity check). The
-results feed ``BENCH_PR2.json`` (committed trajectory point; see
-``EXPERIMENTS.md``) and the ``tafloc-repro bench`` CLI command.
+matrix-free CG solver; the cached-splu coupled backend), plus the figure
+experiments end-to-end through the parallel experiment engine (legacy solver
++ serial loop vs fast solver with ``--jobs`` workers sharing one persistent
+pool, with a serial-vs-parallel bit-identity check). Sizes are scenario
+registry names (any registered environment benchmarks directly), and every
+row records its scenario. The results feed ``BENCH_PR3.json`` (committed
+trajectory point; see ``EXPERIMENTS.md``) and the ``tafloc-repro bench``
+CLI command.
 
 Run via ``make bench`` or ``python benchmarks/bench_perf.py``.
 """
@@ -35,12 +38,14 @@ from repro.eval.experiments import (
     run_fig5_localization,
 )
 from repro.sim.collector import CollectionProtocol, RssCollector
-from repro.sim.deployment import (
-    Deployment,
-    build_paper_deployment,
-    build_square_deployment,
+from repro.sim.deployment import Deployment
+from repro.sim.scenario import Scenario
+from repro.sim.specs import (
+    ScenarioSpec,
+    build_deployment,
+    build_scenario,
+    get_scenario_spec,
 )
-from repro.sim.scenario import build_paper_scenario
 from repro.util.rng import counter_stream
 
 #: The PR-1 solver configuration: matrix-free CG half-steps, no outer
@@ -78,16 +83,22 @@ class StageTiming:
         }
 
 
+def bench_spec(size: str) -> ScenarioSpec:
+    """Scenario spec for a named benchmark size.
+
+    Any registered scenario name works (``warehouse``, ``atrium``, …), plus
+    the generic ``square-<edge>m`` pattern — the bench rows carry the
+    resolved scenario name so cross-environment runs stay attributable.
+    """
+    try:
+        return get_scenario_spec(size)
+    except KeyError as error:
+        raise ValueError(str(error)) from None
+
+
 def build_bench_deployment(size: str) -> Deployment:
     """Deployment for a named benchmark size."""
-    if size == "paper":
-        return build_paper_deployment()
-    if size.startswith("square-") and size.endswith("m"):
-        edge = float(size[len("square-") : -1])
-        return build_square_deployment(edge)
-    raise ValueError(
-        f"unknown benchmark size {size!r}; use 'paper' or 'square-<edge>m'"
-    )
+    return build_deployment(bench_spec(size).geometry)
 
 
 def _best_of(fn: Callable[[], object], repeat: int) -> float:
@@ -107,9 +118,10 @@ def bench_size(
     repeat: int = 3,
     seed: int = _BENCH_SEED,
 ) -> Dict[str, object]:
-    """Benchmark one deployment size; returns a plain-data record."""
-    deployment = build_bench_deployment(size)
-    scenario = build_paper_scenario(seed=seed, deployment=deployment)
+    """Benchmark one scenario/size; returns a plain-data record."""
+    spec = bench_spec(size)
+    scenario: Scenario = build_scenario(spec.with_seed(seed))
+    deployment = scenario.deployment
     protocol = CollectionProtocol(
         samples_per_cell=samples_per_cell, empty_room_samples=10
     )
@@ -161,6 +173,13 @@ def bench_size(
     start = time.perf_counter()
     warm_iterations = updates(True)
     warm_s = time.perf_counter() - start
+    # Coupled-solver cross-check: the cached-splu direct backend vs the
+    # default PCG on the same refresh loop (the PR-3 measurement that
+    # settled "auto" on PCG — keep recording both so a future structural
+    # change that flips the balance shows up in the committed numbers).
+    start = time.perf_counter()
+    updates(False, LoliIrConfig(coupled_solver="direct"))
+    direct_cold_s = time.perf_counter() - start
 
     # --- serving: trace-level matching, batch vs per-frame loop ---------
     workload_rng = counter_stream(seed, 1)
@@ -196,6 +215,7 @@ def bench_size(
     )
 
     return {
+        "scenario": spec.name,
         "links": deployment.link_count,
         "cells": deployment.cell_count,
         "frames": int(frames),
@@ -205,6 +225,7 @@ def bench_size(
             "cold_s": cold_s,
             "warm_s": warm_s,
             "legacy_cold_s": legacy_cold_s,
+            "coupled_direct_s": direct_cold_s,
             "speedup": legacy_cold_s / cold_s if cold_s > 0 else float("inf"),
             "cold_iterations": cold_iterations,
             "warm_iterations": warm_iterations,
@@ -240,16 +261,21 @@ def bench_engine(
     seed: int = _BENCH_SEED,
     fig3_days: Sequence[float] = (3.0, 15.0, 45.0, 90.0),
     fig5_day: float = 90.0,
+    scenario: Union[str, ScenarioSpec] = "paper",
 ) -> Dict[str, object]:
     """Benchmark the figure experiments end-to-end through the engine.
 
-    Three configurations per figure, at paper sizes:
+    Three configurations per figure, on ``scenario`` (a registry name or a
+    :class:`~repro.sim.specs.ScenarioSpec`, e.g. one loaded from a user's
+    ``--scenario-file``):
 
     * ``legacy_s`` — the PR-1 code path: matrix-free CG solver, serial loop.
     * ``serial_s`` — fast solver, engine with ``jobs=1``.
-    * ``parallel_s`` — fast solver, engine with ``jobs`` workers (pool
-      startup included; on a single-core host this measures overhead, on a
-      multi-core host it scales with the core count).
+    * ``parallel_s`` — fast solver, engine with ``jobs`` workers. One
+      persistent engine serves *both* figures, so the pool starts once and
+      the second figure measures the amortized regime; on a single-core
+      host this is serial time plus residual overhead, on a multi-core
+      host it scales with the core count.
 
     ``speedup`` is what a PR-1 user gains by upgrading and passing
     ``--jobs``: ``legacy_s / parallel_s``. ``bit_identical`` asserts the
@@ -262,35 +288,42 @@ def bench_engine(
 
     def run_fig3(engine, config=None):
         return run_fig3_reconstruction_error(
-            days=fig3_days, seed=seed, config=config, engine=engine
+            days=fig3_days, seed=seed, config=config, engine=engine,
+            scenario_spec=scenario,
         )
 
     def run_fig5(engine, config=None):
         return run_fig5_localization(
-            day=fig5_day, seed=seed, config=config, engine=engine
+            day=fig5_day, seed=seed, config=config, engine=engine,
+            scenario_spec=scenario,
         )
 
-    record: Dict[str, object] = {"jobs": int(jobs)}
-    for name, runner, legacy_kwargs, identical in (
-        ("fig3", run_fig3, {"config": legacy_config}, _fig3_identical),
-        ("fig5", run_fig5, {"config": legacy_config}, _fig5_identical),
-    ):
-        start = time.perf_counter()
-        runner(ExperimentEngine(jobs=1, cache=False), **legacy_kwargs)
-        legacy_s = time.perf_counter() - start
-        start = time.perf_counter()
-        serial = runner(ExperimentEngine(jobs=1, cache=False))
-        serial_s = time.perf_counter() - start
-        start = time.perf_counter()
-        parallel = runner(ExperimentEngine(jobs=jobs, cache=False))
-        parallel_s = time.perf_counter() - start
-        record[name] = {
-            "legacy_s": legacy_s,
-            "serial_s": serial_s,
-            "parallel_s": parallel_s,
-            "speedup": legacy_s / parallel_s if parallel_s > 0 else float("inf"),
-            "bit_identical": bool(identical(serial, parallel)),
-        }
+    scenario_name = (
+        scenario if isinstance(scenario, str) else scenario.name
+    )
+    record: Dict[str, object] = {"jobs": int(jobs), "scenario": scenario_name}
+    with ExperimentEngine(jobs=jobs, cache=False) as parallel_engine:
+        for name, runner, legacy_kwargs, identical in (
+            ("fig3", run_fig3, {"config": legacy_config}, _fig3_identical),
+            ("fig5", run_fig5, {"config": legacy_config}, _fig5_identical),
+        ):
+            start = time.perf_counter()
+            runner(ExperimentEngine(jobs=1, cache=False), **legacy_kwargs)
+            legacy_s = time.perf_counter() - start
+            start = time.perf_counter()
+            serial = runner(ExperimentEngine(jobs=1, cache=False))
+            serial_s = time.perf_counter() - start
+            start = time.perf_counter()
+            parallel = runner(parallel_engine)
+            parallel_s = time.perf_counter() - start
+            record[name] = {
+                "legacy_s": legacy_s,
+                "serial_s": serial_s,
+                "parallel_s": parallel_s,
+                "speedup": legacy_s / parallel_s if parallel_s > 0 else float("inf"),
+                "bit_identical": bool(identical(serial, parallel)),
+            }
+        record["pools_created"] = parallel_engine.stats.pools_created
     return record
 
 
@@ -303,11 +336,14 @@ def run_perf_bench(
     seed: int = _BENCH_SEED,
     out_path: Optional[Union[str, Path]] = None,
     engine_jobs: Optional[int] = None,
+    engine_scenario: Union[str, ScenarioSpec] = "paper",
 ) -> Dict[str, object]:
     """Run the benchmark over ``sizes``; optionally write the JSON report.
 
-    ``engine_jobs`` additionally runs the end-to-end figure/engine benchmark
-    with that worker count (``None`` skips it — the unit-test path).
+    ``sizes`` accepts any registered scenario name (plus ``square-<edge>m``),
+    and each row records the resolved scenario. ``engine_jobs`` additionally
+    runs the end-to-end figure/engine benchmark with that worker count on
+    ``engine_scenario`` (``None`` skips it — the unit-test path).
     """
     report: Dict[str, object] = {
         "benchmark": "bench_perf",
@@ -328,7 +364,9 @@ def run_perf_bench(
             seed=seed,
         )
     if engine_jobs is not None:
-        report["engine"] = bench_engine(jobs=engine_jobs, seed=seed)
+        report["engine"] = bench_engine(
+            jobs=engine_jobs, seed=seed, scenario=engine_scenario
+        )
     if out_path is not None:
         Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
     return report
@@ -358,7 +396,8 @@ def format_bench_report(report: Dict[str, object]) -> str:
     if engine:
         lines.append("")
         lines.append(
-            f"figure experiments through the engine (jobs={engine['jobs']}):"
+            f"figure experiments through the engine (jobs={engine['jobs']}, "
+            f"scenario={engine.get('scenario', 'paper')}, one shared pool):"
         )
         for name in ("fig3", "fig5"):
             record = engine[name]

@@ -37,6 +37,7 @@ from __future__ import annotations
 import hashlib
 import math
 import sys
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, fields, is_dataclass
 from multiprocessing import get_all_start_methods, get_context
@@ -155,10 +156,22 @@ class EngineStats:
     tasks_run: int = 0
     cache_hits: int = 0
     parallel_batches: int = 0
+    pools_created: int = 0
+
+
+def _shutdown_executor(executor: ProcessPoolExecutor) -> None:
+    executor.shutdown(wait=False, cancel_futures=True)
 
 
 class ExperimentEngine:
     """Runs experiment tasks serially or on a process pool.
+
+    The pool is **persistent**: it is created lazily on the first parallel
+    ``map()`` and reused by every later one, so a CLI invocation (or a
+    benchmark) that runs several figure experiments through one engine pays
+    worker startup once, not once per figure. Call :meth:`shutdown` (or use
+    the engine as a context manager) to release the workers eagerly; a
+    garbage-collected engine tears its pool down via a finalizer.
 
     Args:
         jobs: Worker processes; ``1`` (default) runs everything in-process.
@@ -184,6 +197,23 @@ class ExperimentEngine:
         self.chunk_size = chunk_size
         self.stats = EngineStats()
         self._cache: Dict[str, Any] = {}
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._finalizer: Optional[weakref.finalize] = None
+
+    def __enter__(self) -> "ExperimentEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Release the persistent worker pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
 
     # ------------------------------------------------------------------
     def map(
@@ -253,21 +283,32 @@ class ExperimentEngine:
         chunk = self.chunk_size or max(
             1, math.ceil(len(payloads) / (4 * workers))
         )
-        # On Linux, fork keeps workers importing nothing: they inherit the
-        # parent's modules (and its scenario cache), which matters both for
-        # startup latency and for running under pytest, whose __main__ must
-        # not be re-executed by a spawn. Elsewhere (notably macOS, where
-        # forking a process with live BLAS/Obj-C state is unsafe) the
-        # platform default start method is used; tasks are module-level, so
-        # they survive a spawn.
-        context = (
-            get_context("fork")
-            if sys.platform.startswith("linux")
-            and "fork" in get_all_start_methods()
-            else get_context()
-        )
         self.stats.parallel_batches += 1
-        with ProcessPoolExecutor(
-            max_workers=workers, mp_context=context
-        ) as executor:
-            return list(executor.map(fn, payloads, chunksize=chunk))
+        return list(
+            self._ensure_executor().map(fn, payloads, chunksize=chunk)
+        )
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        """The persistent pool, created on first parallel use."""
+        if self._executor is None:
+            # On Linux, fork keeps workers importing nothing: they inherit
+            # the parent's modules (and its scenario cache), which matters
+            # both for startup latency and for running under pytest, whose
+            # __main__ must not be re-executed by a spawn. Elsewhere
+            # (notably macOS, where forking a process with live BLAS/Obj-C
+            # state is unsafe) the platform default start method is used;
+            # tasks are module-level, so they survive a spawn.
+            context = (
+                get_context("fork")
+                if sys.platform.startswith("linux")
+                and "fork" in get_all_start_methods()
+                else get_context()
+            )
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=context
+            )
+            self.stats.pools_created += 1
+            self._finalizer = weakref.finalize(
+                self, _shutdown_executor, self._executor
+            )
+        return self._executor

@@ -21,7 +21,7 @@ same key in every task and replay identically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -31,8 +31,13 @@ from repro.core.pipeline import TafLoc, TafLocConfig
 from repro.eval.engine import ExperimentEngine, cached_scenario
 from repro.eval.metrics import cdf_points, mean_absolute_error, median, percentile
 from repro.sim.collector import RssCollector
-from repro.sim.scenario import Scenario, build_paper_scenario
+from repro.sim.scenario import Scenario
+from repro.sim.specs import ScenarioSpec, as_scenario_spec, build_scenario
 from repro.util.rng import RandomState, counter_stream, task_key
+
+#: Anything a runner accepts as its environment: a spec object, a registry
+#: name, or a plain spec dict (e.g. parsed from ``--scenario-file`` JSON).
+SpecLike = Union[ScenarioSpec, str, dict]
 
 #: Stream slots within one task key (never renumber: results are pinned by
 #: the committed figure numbers and the bit-identity tests).
@@ -50,41 +55,48 @@ def _day_token(day: float) -> int:
     return int(round(float(day) * 1000.0))
 
 
-def _build_paper_scenario_from_spec(spec: dict) -> Scenario:
-    return build_paper_scenario(seed=spec["seed"])
-
-
-def _scenario_payload(scenario: Optional[Scenario], seed: RandomState) -> dict:
+def _scenario_payload(
+    scenario: Optional[Scenario],
+    seed: RandomState,
+    spec: Optional[SpecLike] = None,
+) -> dict:
     """Payload fragment naming the scenario, by spec when possible.
 
-    Integer (or absent) seeds travel as plain specs — hashable, rebuilt and
-    memoized inside each worker. A caller-supplied scenario object (or a
-    stateful generator seed) is materialized here and shipped by value; it
-    bypasses the result cache but parallelizes fine because scenarios are
-    read-only after construction.
+    ``spec`` selects the environment (default: the ``paper`` registry
+    entry); the runner ``seed`` pins the realization (overriding the spec's
+    own ``seed`` field, so one knob seeds measurement streams and world
+    alike). Integer (or absent) seeds travel as frozen specs — hashable,
+    rebuilt and memoized inside each worker. A caller-supplied scenario
+    object (or a stateful generator seed) is materialized here and shipped
+    by value; it bypasses the result cache but parallelizes fine because
+    scenarios are read-only after construction.
     """
     if scenario is not None:
         return {"scenario_obj": scenario}
+    resolved = as_scenario_spec(spec) if spec is not None else as_scenario_spec("paper")
     if seed is None or isinstance(seed, (int, np.integer)):
-        return {"scenario_spec": {"seed": int(seed or 0)}}
-    return {"scenario_obj": build_paper_scenario(seed=seed)}
+        return {"scenario_spec": resolved.with_seed(int(seed or 0))}
+    # A live-generator seed cannot travel as plain data; ship the realized
+    # world by value but keep the spec alongside it, so spec-declared
+    # behavior (e.g. the tracking mobility regime) does not depend on the
+    # seed's type. _resolve_scenario prefers the object.
+    return {
+        "scenario_obj": build_scenario(resolved, seed=seed),
+        "scenario_spec": resolved,
+    }
 
 
 def _resolve_scenario(payload: dict) -> Scenario:
     if "scenario_obj" in payload:
         return payload["scenario_obj"]
-    return cached_scenario(
-        payload["scenario_spec"], _build_paper_scenario_from_spec
-    )
+    return cached_scenario(payload["scenario_spec"], build_scenario)
 
 
 # ----------------------------------------------------------------------
 # In-text drift measurement
 # ----------------------------------------------------------------------
 def _drift_task(payload: dict) -> Dict[float, float]:
-    scenario = cached_scenario(
-        {"seed": payload["seed"]}, _build_paper_scenario_from_spec
-    )
+    scenario = _resolve_scenario(payload)
     base = scenario.true_rss(0.0)
     return {
         float(day): mean_absolute_error(scenario.true_rss(float(day)), base)
@@ -96,18 +108,23 @@ def run_intext_drift(
     *,
     days: Sequence[float] = (3.0, 5.0, 15.0, 45.0, 90.0),
     seeds: Sequence[int] = tuple(range(8)),
+    scenario_spec: Optional[SpecLike] = None,
     engine: Optional[ExperimentEngine] = None,
 ) -> Dict[float, float]:
     """Mean absolute empty-room RSS change after each time gap.
 
     Reproduces the paper's in-text anchor: "the RSS values change 2.5 dBm and
     6 dBm respectively after 5 and 45 days". Averages over independent
-    scenario realizations (the paper reports one room; we report the
-    ensemble mean so the number is seed-stable). One task per room.
+    realizations of ``scenario_spec`` (default: the paper room; the paper
+    reports one room, we report the ensemble mean so the number is
+    seed-stable). One task per room.
     """
     engine = engine or ExperimentEngine()
     payloads = [
-        {"seed": int(seed), "days": tuple(float(day) for day in days)}
+        {
+            **_scenario_payload(None, int(seed), scenario_spec),
+            "days": tuple(float(day) for day in days),
+        }
         for seed in seeds
     ]
     per_room = engine.map(_drift_task, payloads, label="drift")
@@ -192,6 +209,7 @@ def run_fig3_reconstruction_error(
     days: Sequence[float] = (3.0, 5.0, 15.0, 45.0, 90.0),
     seed: RandomState = 0,
     scenario: Optional[Scenario] = None,
+    scenario_spec: Optional[SpecLike] = None,
     config: Optional[TafLocConfig] = None,
     engine: Optional[ExperimentEngine] = None,
 ) -> List[Fig3Result]:
@@ -202,11 +220,13 @@ def run_fig3_reconstruction_error(
     against an independently *measured* full survey of the same day (plus a
     noise-free oracle comparison that only a simulator can provide). One
     task per gap; the day-0 commissioning stream is shared, so every gap
-    reconstructs against the same initial survey.
+    reconstructs against the same initial survey. ``scenario_spec`` selects
+    the environment (registry name, spec object, or spec dict; default the
+    paper room).
     """
     engine = engine or ExperimentEngine()
     base = task_key(seed, "fig3")
-    scenario_part = _scenario_payload(scenario, seed)
+    scenario_part = _scenario_payload(scenario, seed, scenario_spec)
     payloads = [
         {
             **scenario_part,
@@ -312,6 +332,7 @@ def run_fig5_localization(
     frames_per_cell: int = 3,
     seed: RandomState = 0,
     scenario: Optional[Scenario] = None,
+    scenario_spec: Optional[SpecLike] = None,
     config: Optional[TafLocConfig] = None,
     engine: Optional[ExperimentEngine] = None,
 ) -> Fig5Result:
@@ -324,10 +345,11 @@ def run_fig5_localization(
         * ``RASS w/o rec.`` — RASS consuming the stale day-0 fingerprints.
 
     One task per system; all four share the same measurement streams.
+    ``scenario_spec`` selects the environment (default: the paper room).
     """
     engine = engine or ExperimentEngine()
     base = task_key(seed, "fig5", _day_token(day))
-    scenario_part = _scenario_payload(scenario, seed)
+    scenario_part = _scenario_payload(scenario, seed, scenario_spec)
     if test_cells is None:
         deployment_cells = _resolve_scenario(
             {**scenario_part}

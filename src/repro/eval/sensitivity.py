@@ -15,7 +15,7 @@ results are identical for any job count and cached across repeated runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -23,16 +23,10 @@ import numpy as np
 from repro.core.pipeline import TafLoc, TafLocConfig
 from repro.core.reconstruction import ReconstructionConfig
 from repro.eval.engine import ExperimentEngine, cached_scenario
-from repro.sim.channel import ChannelModel, ChannelParams
+from repro.eval.experiments import SpecLike
 from repro.sim.collector import RssCollector
-from repro.sim.deployment import build_paper_deployment
-from repro.sim.drift import EntryFieldDrift, calibrated_paper_drift
 from repro.sim.scenario import Scenario
-from repro.sim.shadowing import (
-    CompositeShadowingModel,
-    HeterogeneousBlockingModel,
-    ScatteringModel,
-)
+from repro.sim.specs import ScenarioSpec, as_scenario_spec, build_scenario
 from repro.util.rng import RandomState, spawn_children, stream_key
 
 
@@ -54,44 +48,24 @@ class SensitivityPoint:
     localization_median_m: float
 
 
-def _scenario_with(
-    seed: RandomState,
+def _sweep_spec(
+    base: Optional[SpecLike],
+    seed: int,
     *,
-    noise_sigma_db: float = 1.0,
-    link_count: int = 10,
-) -> Scenario:
-    deployment = build_paper_deployment(link_count=link_count)
-    channel_rng, drift_rng, entry_rng, scatter_rng = spawn_children(seed, 4)
-    blocking_rng, field_rng = spawn_children(scatter_rng, 2)
-    shadowing = CompositeShadowingModel(
-        components=(
-            HeterogeneousBlockingModel(deployment.links, seed=blocking_rng),
-            ScatteringModel(
-                deployment.links,
-                amplitude_db=3.0,
-                decay_m=1.0,
-                wavelength_m=3.0,
-                seed=field_rng,
-            ),
+    noise_sigma_db: Optional[float] = None,
+    link_count: Optional[int] = None,
+) -> ScenarioSpec:
+    """The base spec (default: paper) with one environmental knob replaced."""
+    spec = as_scenario_spec(base) if base is not None else as_scenario_spec("paper")
+    if noise_sigma_db is not None:
+        spec = replace(
+            spec, channel=spec.channel.with_noise_sigma(float(noise_sigma_db))
         )
-    )
-    return Scenario(
-        deployment=deployment,
-        channel=ChannelModel(
-            deployment.links,
-            ChannelParams(noise_sigma_db=noise_sigma_db),
-            seed=channel_rng,
-        ),
-        shadowing=shadowing,
-        drift=calibrated_paper_drift(deployment.link_count, seed=drift_rng),
-        entry_drift=EntryFieldDrift(
-            links=deployment.link_count,
-            cells=deployment.cell_count,
-            grid_rows=deployment.grid.rows,
-            grid_columns=deployment.grid.columns,
-            seed=entry_rng,
-        ),
-    )
+    if link_count is not None:
+        spec = replace(
+            spec, geometry=replace(spec.geometry, link_count=int(link_count))
+        )
+    return spec.with_seed(seed)
 
 
 def _measure(
@@ -119,20 +93,11 @@ def _measure(
     return recon_err, loc_median
 
 
-def _build_sweep_scenario(spec: dict) -> Scenario:
-    return _scenario_with(
-        spec["seed"],
-        noise_sigma_db=spec["noise_sigma_db"],
-        link_count=spec["link_count"],
-    )
-
-
 def _sensitivity_task(payload: dict) -> SensitivityPoint:
-    scenario = cached_scenario(payload["scenario"], _build_sweep_scenario)
+    spec = payload["scenario_spec"]
+    scenario = cached_scenario(spec, build_scenario)
     recon, loc = _measure(
-        scenario,
-        payload["scenario"]["seed"],
-        reference_count=payload["reference_count"],
+        scenario, spec.seed, reference_count=payload["reference_count"]
     )
     return SensitivityPoint(
         knob=payload["knob"],
@@ -162,6 +127,7 @@ def sweep_noise(
     sigmas_db: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
     *,
     seed: RandomState = 0,
+    scenario_spec: Optional[SpecLike] = None,
     engine: Optional[ExperimentEngine] = None,
 ) -> List[SensitivityPoint]:
     """Sweep the per-sample measurement noise level."""
@@ -171,11 +137,9 @@ def sweep_noise(
             {
                 "knob": "noise_sigma_db",
                 "value": float(sigma),
-                "scenario": {
-                    "seed": seed,
-                    "noise_sigma_db": float(sigma),
-                    "link_count": 10,
-                },
+                "scenario_spec": _sweep_spec(
+                    scenario_spec, seed, noise_sigma_db=float(sigma)
+                ),
                 "reference_count": 10,
             }
             for sigma in sigmas_db
@@ -188,6 +152,7 @@ def sweep_link_count(
     link_counts: Sequence[int] = (6, 10, 16),
     *,
     seed: RandomState = 0,
+    scenario_spec: Optional[SpecLike] = None,
     engine: Optional[ExperimentEngine] = None,
 ) -> List[SensitivityPoint]:
     """Sweep the number of deployed links."""
@@ -197,11 +162,9 @@ def sweep_link_count(
             {
                 "knob": "link_count",
                 "value": float(links),
-                "scenario": {
-                    "seed": seed,
-                    "noise_sigma_db": 1.0,
-                    "link_count": int(links),
-                },
+                "scenario_spec": _sweep_spec(
+                    scenario_spec, seed, link_count=int(links)
+                ),
                 "reference_count": 10,
             }
             for links in link_counts
@@ -214,6 +177,7 @@ def sweep_reference_budget(
     budgets: Sequence[int] = (5, 10, 20, 40),
     *,
     seed: RandomState = 0,
+    scenario_spec: Optional[SpecLike] = None,
     engine: Optional[ExperimentEngine] = None,
 ) -> List[SensitivityPoint]:
     """Sweep the reference-location budget n (cost vs accuracy knob)."""
@@ -223,11 +187,7 @@ def sweep_reference_budget(
             {
                 "knob": "reference_count",
                 "value": float(budget),
-                "scenario": {
-                    "seed": seed,
-                    "noise_sigma_db": 1.0,
-                    "link_count": 10,
-                },
+                "scenario_spec": _sweep_spec(scenario_spec, seed),
                 "reference_count": int(budget),
             }
             for budget in budgets

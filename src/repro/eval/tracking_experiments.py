@@ -36,6 +36,7 @@ from repro.eval.experiments import (  # shared stream-slot conventions
     _STREAM_TRACKER,
     _STREAM_UPDATE,
     _STREAM_WALK,
+    SpecLike,
     _day_token,
     _resolve_scenario,
     _scenario_payload,
@@ -82,6 +83,7 @@ def _tracking_task(payload: dict) -> List[TrackingResult]:
     system.update(day)
     fresh = system.database.at(day)
 
+    spec = payload.get("scenario_spec")
     if payload["mobility"] is not None:
         # A caller-supplied model is stateful; copy it so this task cannot
         # leak draws into other days (or other engine workers), and re-key
@@ -92,6 +94,13 @@ def _tracking_task(payload: dict) -> List[TrackingResult]:
         mobility = copy.deepcopy(payload["mobility"])
         if isinstance(getattr(mobility, "_rng", None), np.random.Generator):
             mobility._rng = counter_stream(day_key, _STREAM_WALK)
+    elif spec is not None and spec.mobility is not None:
+        # The scenario declares how its occupants move (a warehouse picker
+        # is not an office worker); realize that model on this day's stream.
+        mobility = spec.mobility.build(
+            scenario.deployment.room,
+            seed=counter_stream(day_key, _STREAM_WALK),
+        )
     else:
         mobility = RandomWaypointModel(
             scenario.deployment.room,
@@ -134,6 +143,7 @@ def run_tracking_experiment(
     burn_in: int = 5,
     seed: RandomState = 0,
     scenario: Optional[Scenario] = None,
+    scenario_spec: Optional[SpecLike] = None,
     mobility: Optional[MobilityModel] = None,
     tracker_config: Optional[TrackerConfig] = None,
     engine: Optional[ExperimentEngine] = None,
@@ -141,13 +151,15 @@ def run_tracking_experiment(
     """Track a mobility-model walk at each day, fresh vs stale fingerprints.
 
     Both arms share the same walk (identical RSS frames), so the comparison
-    isolates fingerprint freshness. One engine task per day.
+    isolates fingerprint freshness. One engine task per day. When no
+    ``mobility`` model is passed, the spec's declared mobility regime (if
+    any) is used, falling back to a random-waypoint walk.
     """
     if burn_in >= frames:
         raise ValueError(f"burn_in {burn_in} must be < frames {frames}")
     engine = engine or ExperimentEngine()
     base = task_key(seed, "tracking")
-    scenario_part = _scenario_payload(scenario, seed)
+    scenario_part = _scenario_payload(scenario, seed, scenario_spec)
     payloads = [
         {
             **scenario_part,

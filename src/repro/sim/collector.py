@@ -108,6 +108,13 @@ class RssCollector:
     def __post_init__(self) -> None:
         self._rng = as_generator(self.seed)
         self._samples_taken = 0
+        if self.interference is None and self.scenario.interference_spec is not None:
+            # The scenario declares its interference regime; materialize it
+            # on this collector's stream so the realization replays with the
+            # collector seed like every other draw.
+            self.interference = self.scenario.interference_spec.build(
+                self.scenario.deployment.link_count, seed=self._rng
+            )
         if self.interference is not None and (
             self.interference.links != self.scenario.deployment.link_count
         ):

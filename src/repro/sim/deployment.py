@@ -148,10 +148,34 @@ def build_square_deployment(
     """
     check_positive("edge_length", edge_length)
     check_positive("link_spacing", link_spacing)
-    room = Room(edge_length, edge_length)
+    return build_perimeter_deployment(
+        edge_length,
+        edge_length,
+        cell_size=cell_size,
+        link_count=max(2, int(round(edge_length / link_spacing))),
+    )
+
+
+def build_perimeter_deployment(
+    width: float,
+    depth: float,
+    *,
+    cell_size: float = 0.6,
+    link_count: int = 10,
+) -> Deployment:
+    """A rectangular monitored area fully gridded, links on the perimeter.
+
+    The general-geometry builder behind the scenario registry: the grid
+    covers the whole ``width x depth`` room, and ``link_count`` crossing
+    links (interleaved horizontal/vertical, evenly spaced) span it
+    wall-to-wall. A 1 m x 24 m corridor and a 20 m x 5 m warehouse aisle
+    block are both just parameter choices here.
+    """
+    check_positive("width", width)
+    check_positive("depth", depth)
+    room = Room(width, depth)
     grid = Grid(room, cell_size)
-    link_count = max(2, int(round(edge_length / link_spacing)))
-    links = _crossing_links(link_count, width=edge_length, depth=edge_length)
+    links = _crossing_links(link_count, width=width, depth=depth)
     return Deployment(room=room, grid=grid, links=links)
 
 

@@ -23,6 +23,43 @@ from repro.util.rng import RandomState, as_generator
 from repro.util.validation import check_positive, check_probability
 
 
+@dataclass(frozen=True)
+class InterferenceSpec:
+    """Declarative (serializable) description of the interference regime.
+
+    A :class:`~repro.sim.scenario.Scenario` may carry one of these; any
+    :class:`~repro.sim.collector.RssCollector` built on such a scenario
+    materializes a :class:`BurstyInterferenceModel` from it automatically,
+    so high-interference environments (e.g. the ``atrium`` registry
+    scenario) disturb every measurement stream without call sites opting
+    in. All fields are plain data — the spec travels through engine task
+    payloads and JSON scenario files.
+    """
+
+    burst_probability: float = 0.05
+    magnitude_low_db: float = 3.0
+    magnitude_high_db: float = 10.0
+    direction: str = "negative"
+
+    def __post_init__(self) -> None:
+        check_probability("burst_probability", self.burst_probability)
+        if self.magnitude_high_db < self.magnitude_low_db:
+            raise ValueError(
+                f"magnitude range inverted: ({self.magnitude_low_db}, "
+                f"{self.magnitude_high_db})"
+            )
+
+    def build(self, links: int, *, seed: RandomState = None) -> "BurstyInterferenceModel":
+        """Materialize the model for a deployment of ``links`` links."""
+        return BurstyInterferenceModel(
+            links=links,
+            burst_probability=self.burst_probability,
+            magnitude_db=(self.magnitude_low_db, self.magnitude_high_db),
+            direction=self.direction,
+            seed=seed,
+        )
+
+
 @dataclass
 class BurstyInterferenceModel:
     """Per-sample bursty RSS offsets.

@@ -39,6 +39,57 @@ class MobilityModel(abc.ABC):
         """The first ``frames`` positions of a trajectory."""
 
 
+@dataclass(frozen=True)
+class MobilitySpec:
+    """Declarative (serializable) description of how targets move.
+
+    Scenario specs carry one of these so tracking experiments can default
+    to environment-appropriate motion (a warehouse picker walks faster and
+    straighter than an office worker) without the caller wiring a model.
+    ``model`` selects :class:`RandomWaypointModel` (``"waypoint"``) or
+    :class:`RandomWalkModel` (``"walk"``).
+    """
+
+    model: str = "waypoint"
+    speed_min_mps: float = 0.4
+    speed_max_mps: float = 1.2
+    pause_min_s: float = 0.0
+    pause_max_s: float = 2.0
+    heading_sigma_rad: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.model not in ("waypoint", "walk"):
+            raise ValueError(
+                f"model must be waypoint or walk, got {self.model!r}"
+            )
+        check_positive("speed_min_mps", self.speed_min_mps)
+        if self.speed_max_mps < self.speed_min_mps:
+            raise ValueError(
+                f"speed range inverted: ({self.speed_min_mps}, "
+                f"{self.speed_max_mps})"
+            )
+        if self.pause_min_s < 0 or self.pause_max_s < self.pause_min_s:
+            raise ValueError(
+                f"pause range invalid: ({self.pause_min_s}, {self.pause_max_s})"
+            )
+
+    def build(self, room: Room, *, seed: RandomState = None) -> MobilityModel:
+        """Materialize the model for ``room``."""
+        if self.model == "walk":
+            return RandomWalkModel(
+                room,
+                speed_mps=0.5 * (self.speed_min_mps + self.speed_max_mps),
+                heading_sigma_rad=self.heading_sigma_rad,
+                seed=seed,
+            )
+        return RandomWaypointModel(
+            room,
+            speed_range_mps=(self.speed_min_mps, self.speed_max_mps),
+            pause_range_s=(self.pause_min_s, self.pause_max_s),
+            seed=seed,
+        )
+
+
 @dataclass
 class RandomWaypointModel(MobilityModel):
     """Random waypoint mobility inside a room.

@@ -16,17 +16,12 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.sim.channel import ChannelModel, ChannelParams
-from repro.sim.deployment import Deployment, build_paper_deployment
-from repro.sim.drift import DriftProcess, EntryFieldDrift, calibrated_paper_drift
+from repro.sim.deployment import Deployment
+from repro.sim.drift import DriftProcess, EntryFieldDrift
 from repro.sim.geometry import Point
-from repro.sim.shadowing import (
-    CompositeShadowingModel,
-    HeterogeneousBlockingModel,
-    KnifeEdgeShadowingModel,
-    ScatteringModel,
-    ShadowingModel,
-)
-from repro.util.rng import RandomState, spawn_children
+from repro.sim.interference import InterferenceSpec
+from repro.sim.shadowing import ShadowingModel
+from repro.util.rng import RandomState
 
 
 @dataclass(frozen=True)
@@ -64,6 +59,11 @@ class Scenario:
             per entry by how strongly the target at that cell interacts with
             that link (see :meth:`entry_drift_weights`).
         events: Persistent structural changes (furniture, doors).
+        interference_spec: Optional declarative interference regime
+            (:class:`~repro.sim.interference.InterferenceSpec`). Collectors
+            built on this scenario materialize it automatically, so
+            high-interference environments disturb every measurement stream
+            without call sites opting in.
     """
 
     deployment: Deployment
@@ -72,6 +72,7 @@ class Scenario:
     drift: DriftProcess
     entry_drift: Optional[EntryFieldDrift] = None
     events: List[StructuralEvent] = field(default_factory=list)
+    interference_spec: Optional[InterferenceSpec] = None
 
     def __post_init__(self) -> None:
         self._entry_weights: Optional[np.ndarray] = None
@@ -252,44 +253,17 @@ def build_paper_scenario(
 
     10 links / 96 cells / 0.6 m grid (Fig. 2 geometry), calibrated drift
     (2.5 dB @ 5 d, 6 dB @ 45 d ensemble means), knife-edge body shadowing.
-    All randomness derives from ``seed``.
+    All randomness derives from ``seed``. A thin wrapper over the ``paper``
+    entry of the scenario registry (:mod:`repro.sim.specs`) — the generic
+    spec compiler is the single implementation.
     """
-    deployment = deployment or build_paper_deployment()
-    channel_rng, drift_rng, entry_rng, scatter_rng = spawn_children(seed, 4)
-    channel = ChannelModel(
-        links=deployment.links,
-        params=channel_params or ChannelParams(),
-        seed=channel_rng,
-    )
-    drift = calibrated_paper_drift(deployment.link_count, seed=drift_rng)
-    entry_drift = EntryFieldDrift(
-        links=deployment.link_count,
-        cells=deployment.cell_count,
-        grid_rows=deployment.grid.rows,
-        grid_columns=deployment.grid.columns,
-        seed=entry_rng,
-    )
-    if shadowing is None:
-        blocking_rng, field_rng = spawn_children(scatter_rng, 2)
-        shadowing = CompositeShadowingModel(
-            components=(
-                HeterogeneousBlockingModel(deployment.links, seed=blocking_rng),
-                ScatteringModel(
-                    deployment.links,
-                    amplitude_db=3.0,
-                    decay_m=1.0,
-                    # ~5 cells: neighboring cells see correlated scattering,
-                    # preserving the paper's continuity property (iii).
-                    wavelength_m=3.0,
-                    seed=field_rng,
-                ),
-            )
-        )
-    return Scenario(
+    from repro.sim.specs import build_scenario, get_scenario_spec
+
+    return build_scenario(
+        get_scenario_spec("paper"),
+        seed=seed,
         deployment=deployment,
-        channel=channel,
         shadowing=shadowing,
-        drift=drift,
-        entry_drift=entry_drift,
-        events=list(events or []),
+        channel_params=channel_params,
+        events=events,
     )

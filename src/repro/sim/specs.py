@@ -1,0 +1,618 @@
+"""Declarative scenario specs and the named-scenario registry.
+
+The paper evaluates one office room; the reproduction's north star is to run
+every experiment on *any* environment. This module is the layer that makes
+that possible:
+
+* :class:`ScenarioSpec` — a frozen, fully serializable (dict / JSON)
+  description of a simulated world: deployment geometry, channel physics,
+  body shadowing, the drift regime, interference, mobility, and structural
+  events. A spec plus its integer ``seed`` determines a
+  :class:`~repro.sim.scenario.Scenario` realization bit for bit, which is
+  what lets the experiment engine ship specs through process pools and
+  memoize realizations by structural fingerprint
+  (:func:`repro.eval.engine.cached_scenario`).
+* :func:`build_scenario` — the single spec-to-world compiler every library
+  call site goes through (``build_paper_scenario`` is now a thin wrapper
+  over the ``paper`` spec).
+* The **registry** — named spec builders (``paper``, ``square-6m``,
+  ``warehouse``, ``corridor``, ``atrium``, ``dense-office``, …) plus the
+  generic ``square-<edge>m`` pattern, resolvable by name from the CLI
+  (``--scenario``), the benchmark harness, and user code. User-supplied
+  environments load from JSON files (``--scenario-file``) via
+  :meth:`ScenarioSpec.from_json`.
+
+Randomness layout: :func:`build_scenario` spawns five child streams from the
+seed — channel, drift, entry drift, shadowing, events — in a fixed order, so
+adding spec features never perturbs existing realizations, and the ``paper``
+spec reproduces the pre-registry ``build_paper_scenario`` output exactly
+(asserted by ``tests/sim/test_specs.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.sim.channel import ChannelModel, ChannelParams
+from repro.sim.deployment import (
+    Deployment,
+    build_paper_deployment,
+    build_perimeter_deployment,
+)
+from repro.sim.drift import (
+    DriftProcess,
+    EntryFieldDrift,
+    GaussMarkovDrift,
+    LinearDrift,
+    RandomWalkDrift,
+)
+from repro.sim.interference import InterferenceSpec
+from repro.sim.mobility import MobilitySpec
+from repro.sim.scenario import Scenario, StructuralEvent
+from repro.sim.shadowing import (
+    CompositeShadowingModel,
+    HeterogeneousBlockingModel,
+    ScatteringModel,
+    ShadowingModel,
+)
+from repro.util.rng import RandomState, spawn_children
+from repro.util.validation import check_positive
+
+__all__ = [
+    "DriftSpec",
+    "EntryDriftSpec",
+    "EventSpec",
+    "GeometrySpec",
+    "ScenarioSpec",
+    "ShadowingSpec",
+    "as_scenario_spec",
+    "build_deployment",
+    "build_scenario",
+    "get_scenario_spec",
+    "list_scenarios",
+    "register_scenario",
+    "scenario_names",
+]
+
+
+# ----------------------------------------------------------------------
+# component specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GeometrySpec:
+    """Deployment geometry.
+
+    ``kind="paper"`` reproduces the testbed of the paper's Fig. 2 (room with
+    a centered monitored sub-region); ``kind="perimeter"`` grids the whole
+    ``width x depth`` area with crossing wall-to-wall links — the general
+    builder behind squares, corridors and warehouse blocks.
+    """
+
+    kind: str = "paper"
+    width_m: float = 9.0
+    depth_m: float = 12.0
+    cell_size_m: float = 0.6
+    link_count: int = 10
+    monitored_columns: int = 12
+    monitored_rows: int = 8
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("paper", "perimeter"):
+            raise ValueError(f"kind must be paper or perimeter, got {self.kind!r}")
+        check_positive("width_m", self.width_m)
+        check_positive("depth_m", self.depth_m)
+        check_positive("cell_size_m", self.cell_size_m)
+        if self.link_count < 2:
+            raise ValueError(f"link_count must be >= 2, got {self.link_count}")
+
+
+@dataclass(frozen=True)
+class DriftSpec:
+    """Per-link slow drift regime (the paper's 2.5 dB @ 5 d / 6 dB @ 45 d).
+
+    ``model`` selects :class:`~repro.sim.drift.GaussMarkovDrift`
+    (``"gauss-markov"``, mean-reverting — calm environments),
+    :class:`~repro.sim.drift.RandomWalkDrift` (``"random-walk"``, unbounded —
+    structurally unstable environments like an atrium under renovation), or
+    :class:`~repro.sim.drift.LinearDrift` (``"linear"``, deterministic — unit
+    tests). The defaults are the calibrated paper values.
+    """
+
+    model: str = "gauss-markov"
+    sigma_daily: float = 1.35
+    rho: float = 0.988
+    link_correlation: float = 0.6
+    slope_db_per_day: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.model not in ("gauss-markov", "random-walk", "linear"):
+            raise ValueError(
+                f"model must be gauss-markov, random-walk or linear, "
+                f"got {self.model!r}"
+            )
+
+    def build(self, links: int, *, seed: RandomState = None) -> DriftProcess:
+        if self.model == "random-walk":
+            return RandomWalkDrift(
+                links=links,
+                sigma_daily=self.sigma_daily,
+                link_correlation=self.link_correlation,
+                seed=seed,
+            )
+        if self.model == "linear":
+            return LinearDrift(links=links, slope_db_per_day=self.slope_db_per_day)
+        return GaussMarkovDrift(
+            links=links,
+            sigma_daily=self.sigma_daily,
+            rho=self.rho,
+            link_correlation=self.link_correlation,
+            seed=seed,
+        )
+
+
+@dataclass(frozen=True)
+class EntryDriftSpec:
+    """Per-(link, cell) target-present drift (see
+    :class:`~repro.sim.drift.EntryFieldDrift`). Defaults are the paper
+    calibration."""
+
+    fast_stat_std: float = 3.6
+    fast_rho: float = 0.6
+    slow_stat_std: float = 10.0
+    slow_rho: float = 0.99
+    slow_smooth_sigma_cells: float = 1.5
+
+    def build(
+        self, deployment: Deployment, *, seed: RandomState = None
+    ) -> EntryFieldDrift:
+        return EntryFieldDrift(
+            links=deployment.link_count,
+            cells=deployment.cell_count,
+            fast_stat_std=self.fast_stat_std,
+            fast_rho=self.fast_rho,
+            slow_stat_std=self.slow_stat_std,
+            slow_rho=self.slow_rho,
+            grid_rows=deployment.grid.rows,
+            grid_columns=deployment.grid.columns,
+            slow_smooth_sigma_cells=self.slow_smooth_sigma_cells,
+            seed=seed,
+        )
+
+
+@dataclass(frozen=True)
+class ShadowingSpec:
+    """Body-shadowing model: heterogeneous knife-edge blocking plus a frozen
+    multipath-scattering field. Defaults are the paper composite."""
+
+    blocking_peak_low_db: float = 4.0
+    blocking_peak_high_db: float = 12.0
+    blocking_decay_m: float = 0.35
+    endpoint_taper: float = 0.5
+    scatter_amplitude_db: float = 3.0
+    scatter_decay_m: float = 1.0
+    scatter_wavelength_m: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.blocking_peak_high_db < self.blocking_peak_low_db:
+            raise ValueError(
+                f"blocking peak range inverted: ({self.blocking_peak_low_db}, "
+                f"{self.blocking_peak_high_db})"
+            )
+
+    def build(
+        self,
+        deployment: Deployment,
+        *,
+        blocking_seed: RandomState = None,
+        field_seed: RandomState = None,
+    ) -> ShadowingModel:
+        return CompositeShadowingModel(
+            components=(
+                HeterogeneousBlockingModel(
+                    deployment.links,
+                    peak_range_db=(
+                        self.blocking_peak_low_db,
+                        self.blocking_peak_high_db,
+                    ),
+                    decay_m=self.blocking_decay_m,
+                    endpoint_taper=self.endpoint_taper,
+                    seed=blocking_seed,
+                ),
+                ScatteringModel(
+                    deployment.links,
+                    amplitude_db=self.scatter_amplitude_db,
+                    decay_m=self.scatter_decay_m,
+                    wavelength_m=self.scatter_wavelength_m,
+                    seed=field_seed,
+                ),
+            )
+        )
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """A seeded structural change: at ``day``, a ``link_fraction`` subset of
+    links shifts by a uniform ±``magnitude_db`` offset (moved furniture,
+    re-racked pallets). Offsets are drawn from the scenario's event stream,
+    so the realization is pinned by the scenario seed."""
+
+    day: float
+    magnitude_db: float = 3.0
+    link_fraction: float = 0.5
+    label: str = "structural-change"
+
+    def __post_init__(self) -> None:
+        if self.day < 0:
+            raise ValueError(f"day must be >= 0, got {self.day}")
+        check_positive("magnitude_db", self.magnitude_db)
+        if not 0.0 < self.link_fraction <= 1.0:
+            raise ValueError(
+                f"link_fraction must lie in (0, 1], got {self.link_fraction}"
+            )
+
+    def build(self, links: int, rng: np.random.Generator) -> StructuralEvent:
+        hit = rng.random(links) < self.link_fraction
+        offsets = rng.uniform(-self.magnitude_db, self.magnitude_db, size=links)
+        return StructuralEvent(
+            day=self.day,
+            link_offsets_db=np.where(hit, offsets, 0.0),
+            label=self.label,
+        )
+
+
+# ----------------------------------------------------------------------
+# the scenario spec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Everything needed to realize a simulated deployment environment.
+
+    Frozen and built from plain data only, so a spec can travel through
+    process-pool task payloads (fingerprintable by
+    :func:`repro.eval.engine.task_fingerprint`), be committed as JSON, and
+    be diffed meaningfully. ``seed`` pins the realization; experiment
+    runners fold their own seed in via :meth:`with_seed`.
+    """
+
+    name: str = "custom"
+    description: str = ""
+    seed: int = 0
+    geometry: GeometrySpec = field(default_factory=GeometrySpec)
+    channel: ChannelParams = field(default_factory=ChannelParams)
+    drift: DriftSpec = field(default_factory=DriftSpec)
+    entry_drift: Optional[EntryDriftSpec] = field(default_factory=EntryDriftSpec)
+    shadowing: ShadowingSpec = field(default_factory=ShadowingSpec)
+    interference: Optional[InterferenceSpec] = None
+    mobility: Optional[MobilitySpec] = None
+    events: Tuple[EventSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        # JSON round-trips hand back lists; normalize so equality and
+        # fingerprinting see one canonical form.
+        object.__setattr__(self, "events", tuple(self.events))
+        object.__setattr__(self, "seed", int(self.seed))
+
+    def with_seed(self, seed: int) -> "ScenarioSpec":
+        """The same environment, realized from a different seed."""
+        return replace(self, seed=int(seed))
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        out["events"] = [asdict(event) for event in self.events]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        payload = dict(data)
+
+        def sub(key: str, klass, optional: bool = False):
+            value = payload.get(key)
+            if value is None:
+                return None if optional else klass()
+            return value if isinstance(value, klass) else klass(**value)
+
+        payload["geometry"] = sub("geometry", GeometrySpec)
+        payload["channel"] = sub("channel", ChannelParams)
+        payload["drift"] = sub("drift", DriftSpec)
+        payload["entry_drift"] = sub("entry_drift", EntryDriftSpec, optional=True)
+        payload["shadowing"] = sub("shadowing", ShadowingSpec)
+        payload["interference"] = sub("interference", InterferenceSpec, optional=True)
+        payload["mobility"] = sub("mobility", MobilitySpec, optional=True)
+        payload["events"] = tuple(
+            event if isinstance(event, EventSpec) else EventSpec(**event)
+            for event in payload.get("events", ())
+        )
+        return cls(**payload)
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "ScenarioSpec":
+        return cls.from_json(Path(path).read_text())
+
+
+# ----------------------------------------------------------------------
+# spec -> world compilation
+# ----------------------------------------------------------------------
+def build_deployment(geometry: GeometrySpec) -> Deployment:
+    """Materialize the deployment geometry of a spec."""
+    if geometry.kind == "paper":
+        return build_paper_deployment(
+            room_width=geometry.width_m,
+            room_depth=geometry.depth_m,
+            link_count=geometry.link_count,
+            cell_size=geometry.cell_size_m,
+            monitored_columns=geometry.monitored_columns,
+            monitored_rows=geometry.monitored_rows,
+        )
+    return build_perimeter_deployment(
+        geometry.width_m,
+        geometry.depth_m,
+        cell_size=geometry.cell_size_m,
+        link_count=geometry.link_count,
+    )
+
+
+def build_scenario(
+    spec: Union["ScenarioSpec", dict, str],
+    *,
+    seed: RandomState = None,
+    deployment: Optional[Deployment] = None,
+    shadowing: Optional[ShadowingModel] = None,
+    channel_params: Optional[ChannelParams] = None,
+    events: Optional[Sequence[StructuralEvent]] = None,
+) -> Scenario:
+    """Realize a :class:`Scenario` from a spec (object, dict, or name).
+
+    Pure in ``(spec, seed)``: the same inputs produce a bit-identical world,
+    which is the contract :func:`repro.eval.engine.cached_scenario` memoizes
+    on. ``seed`` overrides ``spec.seed`` (and may be a live generator, in
+    which case the result is not cacheable but still deterministic in the
+    generator state). The keyword overrides exist for harnesses that swap
+    one live component (e.g. the benchmark's pre-built deployments) while
+    keeping the rest of the recipe.
+    """
+    spec = as_scenario_spec(spec)
+    if seed is None:
+        seed = spec.seed
+    deployment = deployment or build_deployment(spec.geometry)
+    # Fixed spawn order; the trailing events stream leaves the first four
+    # children — hence every event-free realization — byte-stable.
+    channel_rng, drift_rng, entry_rng, scatter_rng, events_rng = spawn_children(
+        seed, 5
+    )
+    channel = ChannelModel(
+        links=deployment.links,
+        params=channel_params or spec.channel,
+        seed=channel_rng,
+    )
+    drift = spec.drift.build(deployment.link_count, seed=drift_rng)
+    entry_drift = (
+        spec.entry_drift.build(deployment, seed=entry_rng)
+        if spec.entry_drift is not None
+        else None
+    )
+    if shadowing is None:
+        blocking_rng, field_rng = spawn_children(scatter_rng, 2)
+        shadowing = spec.shadowing.build(
+            deployment, blocking_seed=blocking_rng, field_seed=field_rng
+        )
+    if events is None:
+        events = [
+            event.build(deployment.link_count, events_rng) for event in spec.events
+        ]
+    return Scenario(
+        deployment=deployment,
+        channel=channel,
+        shadowing=shadowing,
+        drift=drift,
+        entry_drift=entry_drift,
+        events=list(events),
+        interference_spec=spec.interference,
+    )
+
+
+# ----------------------------------------------------------------------
+# the registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Callable[[], ScenarioSpec]] = {}
+
+
+def register_scenario(name: str):
+    """Decorator registering a zero-argument :class:`ScenarioSpec` builder."""
+
+    def wrap(builder: Callable[[], ScenarioSpec]):
+        _REGISTRY[name] = builder
+        return builder
+
+    return wrap
+
+
+def scenario_names() -> List[str]:
+    """Registered scenario names, in registration order."""
+    return list(_REGISTRY)
+
+
+def list_scenarios() -> Dict[str, ScenarioSpec]:
+    """Name -> spec for every registered scenario (seed 0)."""
+    return {name: builder() for name, builder in _REGISTRY.items()}
+
+
+def get_scenario_spec(name: str, *, seed: int = 0) -> ScenarioSpec:
+    """Resolve a registered name (or ``square-<edge>m`` pattern) to a spec."""
+    if name in _REGISTRY:
+        spec = _REGISTRY[name]()
+    elif name.startswith("square-") and name.endswith("m"):
+        try:
+            edge = float(name[len("square-") : -1])
+        except ValueError:
+            raise KeyError(
+                f"unknown scenario {name!r}; known: {', '.join(_REGISTRY)}"
+            ) from None
+        spec = _square_spec(edge)
+    else:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {', '.join(_REGISTRY)} "
+            f"(or the pattern 'square-<edge>m')"
+        )
+    return spec.with_seed(seed) if seed else spec
+
+
+def as_scenario_spec(value: Union[ScenarioSpec, dict, str]) -> ScenarioSpec:
+    """Normalize a spec object / dict / registry name into a spec."""
+    if isinstance(value, ScenarioSpec):
+        return value
+    if isinstance(value, str):
+        return get_scenario_spec(value)
+    if isinstance(value, dict):
+        return ScenarioSpec.from_dict(value)
+    raise TypeError(
+        f"expected ScenarioSpec, dict, or registry name, got {type(value).__name__}"
+    )
+
+
+@register_scenario("paper")
+def _paper_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="paper",
+        description=(
+            "The paper's Fig. 2 office testbed: 9 m x 12 m room, 10 links, "
+            "96 cells of 0.6 m, calibrated Gauss-Markov drift."
+        ),
+    )
+
+
+def _square_spec(edge: float) -> ScenarioSpec:
+    check_positive("edge", edge)
+    return ScenarioSpec(
+        name=f"square-{edge:g}m",
+        description=(
+            f"A {edge:g} m x {edge:g} m open square with paper physics; "
+            "link count scales with the edge (Fig. 4 regime)."
+        ),
+        geometry=GeometrySpec(
+            kind="perimeter",
+            width_m=edge,
+            depth_m=edge,
+            link_count=max(2, int(round(edge / 1.2))),
+        ),
+    )
+
+
+@register_scenario("square-6m")
+def _square_6m_spec() -> ScenarioSpec:
+    return _square_spec(6.0)
+
+
+@register_scenario("square-12m")
+def _square_12m_spec() -> ScenarioSpec:
+    return _square_spec(12.0)
+
+
+@register_scenario("warehouse")
+def _warehouse_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="warehouse",
+        description=(
+            "Long-aisle storage block: 19.2 m x 4.8 m, sparse links "
+            "(6 across 256 cells), aisle waveguiding, strong pallet "
+            "blocking, livelier drift, and a mid-life re-racking event."
+        ),
+        geometry=GeometrySpec(
+            kind="perimeter", width_m=19.2, depth_m=4.8, link_count=6
+        ),
+        channel=ChannelParams(
+            path_loss_exponent=1.9,
+            multipath_sigma_db=3.5,
+            multipath_correlation_m=5.0,
+            noise_sigma_db=1.2,
+        ),
+        drift=DriftSpec(sigma_daily=1.6, rho=0.985),
+        shadowing=ShadowingSpec(
+            blocking_peak_low_db=6.0,
+            blocking_peak_high_db=14.0,
+            scatter_amplitude_db=4.0,
+            scatter_wavelength_m=2.0,
+        ),
+        mobility=MobilitySpec(
+            model="waypoint", speed_min_mps=0.6, speed_max_mps=1.6, pause_max_s=4.0
+        ),
+        events=(EventSpec(day=40.0, magnitude_db=3.0, label="re-racking"),),
+    )
+
+
+@register_scenario("corridor")
+def _corridor_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="corridor",
+        description=(
+            "1-D dense grid: a 14.4 m x 1.2 m hallway (48 cells) saturated "
+            "with 8 links, waveguide propagation, gentle drift."
+        ),
+        geometry=GeometrySpec(
+            kind="perimeter", width_m=14.4, depth_m=1.2, link_count=8
+        ),
+        channel=ChannelParams(
+            path_loss_exponent=1.7,
+            multipath_sigma_db=2.0,
+            multipath_correlation_m=4.0,
+        ),
+        drift=DriftSpec(sigma_daily=1.0, rho=0.99),
+        shadowing=ShadowingSpec(
+            blocking_peak_low_db=6.0,
+            blocking_peak_high_db=12.0,
+            scatter_amplitude_db=2.0,
+            scatter_wavelength_m=1.5,
+        ),
+        mobility=MobilitySpec(model="walk", heading_sigma_rad=0.2),
+    )
+
+
+@register_scenario("atrium")
+def _atrium_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="atrium",
+        description=(
+            "9.6 m x 9.6 m open atrium (256 cells, 8 links) under heavy "
+            "co-channel interference, unbounded random-walk drift, and two "
+            "furniture-shift events — the stress regime for detection and "
+            "robustness."
+        ),
+        geometry=GeometrySpec(
+            kind="perimeter", width_m=9.6, depth_m=9.6, link_count=8
+        ),
+        channel=ChannelParams(noise_sigma_db=1.5, multipath_sigma_db=3.0),
+        drift=DriftSpec(model="random-walk", sigma_daily=0.5),
+        shadowing=ShadowingSpec(scatter_amplitude_db=3.5),
+        interference=InterferenceSpec(
+            burst_probability=0.15, magnitude_low_db=3.0, magnitude_high_db=12.0
+        ),
+        mobility=MobilitySpec(model="waypoint", pause_max_s=6.0),
+        events=(
+            EventSpec(day=20.0, magnitude_db=3.0, label="kiosk-moved"),
+            EventSpec(day=60.0, magnitude_db=4.0, label="exhibit-installed"),
+        ),
+    )
+
+
+@register_scenario("dense-office")
+def _dense_office_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="dense-office",
+        description=(
+            "The paper office at double link density (20 links over the "
+            "same 96 cells) — the over-provisioned deployment regime."
+        ),
+        geometry=GeometrySpec(kind="paper", link_count=20),
+    )

@@ -31,7 +31,10 @@ def test_deployment_sizes():
     assert paper.cell_count == 96
     square = build_bench_deployment("square-6m")
     assert square.cell_count == 100
-    with pytest.raises(ValueError, match="unknown benchmark size"):
+    # Any registered scenario benchmarks directly.
+    warehouse = build_bench_deployment("warehouse")
+    assert warehouse.link_count == 6
+    with pytest.raises(ValueError, match="unknown scenario"):
         build_bench_deployment("mega")
 
 

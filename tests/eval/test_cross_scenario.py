@@ -1,0 +1,94 @@
+"""Cross-scenario smoke: every registered environment runs every figure.
+
+The acceptance contract of the scenario registry: the figure experiments
+run end-to-end on *any* registered spec, and the engine's parallel results
+stay bit-identical to serial execution on every one of them. Workloads are
+kept at reduced size (few days, thinned test cells) so the whole sweep
+stays seconds-scale; correctness of the full-size workloads is covered by
+the paper-scenario tests and the tier-2 benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.engine import ExperimentEngine
+from repro.eval.experiments import (
+    run_fig3_reconstruction_error,
+    run_fig5_localization,
+)
+from repro.eval.tracking_experiments import run_tracking_experiment
+from repro.sim.specs import build_scenario, get_scenario_spec, scenario_names
+
+ALL_SCENARIOS = scenario_names()
+
+
+def _thinned_cells(name, step=12):
+    cells = build_scenario(get_scenario_spec(name)).deployment.cell_count
+    return list(range(0, cells, step))
+
+
+@pytest.mark.parametrize("name", ALL_SCENARIOS)
+class TestParallelBitIdentityEverywhere:
+    """jobs=2 equals jobs=1 exactly, on every registered scenario."""
+
+    def test_fig3(self, name):
+        kwargs = dict(days=(5.0, 45.0), seed=23, scenario_spec=name)
+        serial = run_fig3_reconstruction_error(
+            engine=ExperimentEngine(jobs=1), **kwargs
+        )
+        parallel = run_fig3_reconstruction_error(
+            engine=ExperimentEngine(jobs=2), **kwargs
+        )
+        assert len(serial) == len(parallel) == 2
+        for a, b in zip(serial, parallel):
+            assert a.day == b.day
+            np.testing.assert_array_equal(a.errors, b.errors)
+            assert a.mean_error == b.mean_error
+            assert a.stale_mean_error == b.stale_mean_error
+            assert a.oracle_mean_error == b.oracle_mean_error
+
+    def test_fig5(self, name):
+        kwargs = dict(
+            day=45.0,
+            test_cells=_thinned_cells(name),
+            frames_per_cell=1,
+            seed=23,
+            scenario_spec=name,
+        )
+        serial = run_fig5_localization(engine=ExperimentEngine(jobs=1), **kwargs)
+        parallel = run_fig5_localization(
+            engine=ExperimentEngine(jobs=2), **kwargs
+        )
+        assert set(serial.errors) == set(parallel.errors)
+        for system in serial.errors:
+            np.testing.assert_array_equal(
+                serial.errors[system], parallel.errors[system]
+            )
+
+
+@pytest.mark.parametrize("name", ALL_SCENARIOS)
+def test_fig3_update_beats_staleness(name):
+    """The reconstruction is sane in every environment: reconstructed
+    fingerprints track the drifted world better than the stale day-0 survey
+    at a long gap."""
+    engine = ExperimentEngine(jobs=1)
+    (result,) = run_fig3_reconstruction_error(
+        days=(45.0,), seed=23, scenario_spec=name, engine=engine
+    )
+    assert np.isfinite(result.mean_error)
+    assert result.mean_error < result.stale_mean_error
+
+
+def test_tracking_runs_on_spec_with_declared_mobility():
+    """Tracking consumes the spec's mobility regime (warehouse: waypoint)."""
+    results = run_tracking_experiment(
+        days=(30.0,),
+        frames=12,
+        burn_in=2,
+        seed=5,
+        scenario_spec="warehouse",
+        engine=ExperimentEngine(jobs=1),
+    )
+    assert {r.arm for r in results} == {"updated", "stale"}
+    for result in results:
+        assert np.isfinite(result.errors).all()

@@ -9,11 +9,11 @@ from repro.eval.engine import (
     task_fingerprint,
 )
 from repro.eval.experiments import (
-    _build_paper_scenario_from_spec,
     run_fig3_reconstruction_error,
     run_fig5_localization,
     run_intext_drift,
 )
+from repro.sim.specs import build_scenario, get_scenario_spec
 from repro.util.rng import task_key
 
 
@@ -109,15 +109,56 @@ class TestEngineMap:
 
 class TestScenarioCache:
     def test_identical_objects_across_runs(self):
-        spec = {"seed": 123454321}
-        first = cached_scenario(spec, _build_paper_scenario_from_spec)
-        second = cached_scenario(spec, _build_paper_scenario_from_spec)
+        spec = get_scenario_spec("paper", seed=123454321)
+        first = cached_scenario(spec, build_scenario)
+        second = cached_scenario(spec, build_scenario)
         assert first is second
 
     def test_distinct_specs_distinct_scenarios(self):
-        a = cached_scenario({"seed": 1}, _build_paper_scenario_from_spec)
-        b = cached_scenario({"seed": 2}, _build_paper_scenario_from_spec)
+        a = cached_scenario(get_scenario_spec("paper", seed=1), build_scenario)
+        b = cached_scenario(get_scenario_spec("paper", seed=2), build_scenario)
         assert a is not b
+
+    def test_distinct_environments_distinct_scenarios(self):
+        a = cached_scenario(get_scenario_spec("paper", seed=1), build_scenario)
+        b = cached_scenario(get_scenario_spec("corridor", seed=1), build_scenario)
+        assert a is not b
+        assert a.deployment.cell_count != b.deployment.cell_count
+
+
+def _pid_task(payload):
+    import os
+
+    return os.getpid()
+
+
+class TestPersistentPool:
+    def test_pool_reused_across_maps(self):
+        """Two parallel maps share one pool (workers started once)."""
+        with ExperimentEngine(jobs=2, cache=False) as engine:
+            first = engine.map(_pid_task, [{"v": i} for i in range(6)])
+            second = engine.map(_pid_task, [{"v": i} for i in range(6, 12)])
+            assert engine.stats.pools_created == 1
+            assert engine.stats.parallel_batches == 2
+            # Both batches were served by the same (single) pool of at most
+            # `jobs` workers — a fresh pool per map would have spawned new
+            # processes with new pids.
+            assert len(set(first) | set(second)) <= 2
+
+    def test_shutdown_idempotent_and_restartable(self):
+        engine = ExperimentEngine(jobs=2, cache=False)
+        engine.map(_pid_task, [{"v": i} for i in range(4)])
+        engine.shutdown()
+        engine.shutdown()
+        # A fresh pool is created on demand after shutdown.
+        engine.map(_pid_task, [{"v": i} for i in range(4)])
+        assert engine.stats.pools_created == 2
+        engine.shutdown()
+
+    def test_serial_engine_never_creates_a_pool(self):
+        engine = ExperimentEngine(jobs=1)
+        engine.map(_square, [{"value": v} for v in range(4)])
+        assert engine.stats.pools_created == 0
 
 
 def _fig3_equal(a, b):

@@ -1,0 +1,186 @@
+"""Tests for the declarative scenario specs and the registry."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.sim.collector import CollectionProtocol, RssCollector
+from repro.sim.scenario import build_paper_scenario
+from repro.sim.specs import (
+    DriftSpec,
+    EventSpec,
+    GeometrySpec,
+    ScenarioSpec,
+    as_scenario_spec,
+    build_deployment,
+    build_scenario,
+    get_scenario_spec,
+    list_scenarios,
+    scenario_names,
+)
+
+EXPECTED_NAMES = {
+    "paper",
+    "square-6m",
+    "square-12m",
+    "warehouse",
+    "corridor",
+    "atrium",
+    "dense-office",
+}
+
+
+class TestRegistry:
+    def test_expected_scenarios_registered(self):
+        assert EXPECTED_NAMES <= set(scenario_names())
+
+    def test_square_pattern_resolves(self):
+        spec = get_scenario_spec("square-9m")
+        assert spec.geometry.width_m == 9.0
+        assert spec.geometry.kind == "perimeter"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario_spec("submarine")
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario_spec("square-xlm")
+
+    def test_list_scenarios_matches_names(self):
+        specs = list_scenarios()
+        assert list(specs) == scenario_names()
+        for name, spec in specs.items():
+            assert spec.name == name
+            assert spec.description
+
+    def test_every_registered_spec_builds(self):
+        for name in scenario_names():
+            scenario = build_scenario(get_scenario_spec(name, seed=1))
+            assert scenario.deployment.link_count >= 2
+            assert scenario.deployment.cell_count >= 4
+            # The world answers the core query on day 0 and a later day.
+            assert scenario.true_rss(0.0).shape == (
+                scenario.deployment.link_count,
+            )
+            assert np.isfinite(scenario.true_rss(33.5)).all()
+
+    def test_as_scenario_spec_accepts_all_forms(self):
+        by_name = as_scenario_spec("corridor")
+        by_obj = as_scenario_spec(by_name)
+        by_dict = as_scenario_spec(by_name.to_dict())
+        assert by_obj == by_name == by_dict
+        with pytest.raises(TypeError, match="expected ScenarioSpec"):
+            as_scenario_spec(3.14)
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("name", sorted(EXPECTED_NAMES))
+    def test_round_trip_equality(self, name):
+        spec = get_scenario_spec(name, seed=42)
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_round_trip_scenario_bit_identical(self):
+        """Spec -> dict -> JSON -> spec must realize the identical world."""
+        for name in ("paper", "warehouse", "atrium"):
+            spec = get_scenario_spec(name, seed=7)
+            rebuilt = ScenarioSpec.from_json(spec.to_json())
+            original = build_scenario(spec)
+            clone = build_scenario(rebuilt)
+            np.testing.assert_array_equal(
+                original.true_fingerprint_matrix(45.0),
+                clone.true_fingerprint_matrix(45.0),
+            )
+            survey_a = RssCollector(
+                original, CollectionProtocol(samples_per_cell=3), seed=5
+            ).collect_full_survey(10.0)
+            survey_b = RssCollector(
+                clone, CollectionProtocol(samples_per_cell=3), seed=5
+            ).collect_full_survey(10.0)
+            np.testing.assert_array_equal(
+                survey_a.survey.matrix, survey_b.survey.matrix
+            )
+
+    def test_from_file(self, tmp_path):
+        spec = get_scenario_spec("corridor", seed=3)
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        assert ScenarioSpec.from_file(path) == spec
+
+    def test_with_seed(self):
+        spec = get_scenario_spec("paper")
+        assert spec.with_seed(9).seed == 9
+        assert spec.seed == 0  # frozen: the original is untouched
+
+
+class TestBuildScenario:
+    def test_paper_spec_matches_build_paper_scenario(self):
+        """The registry `paper` entry realizes the exact pre-registry world."""
+        via_spec = build_scenario(get_scenario_spec("paper", seed=77))
+        via_wrapper = build_paper_scenario(seed=77)
+        np.testing.assert_array_equal(
+            via_spec.true_fingerprint_matrix(45.0),
+            via_wrapper.true_fingerprint_matrix(45.0),
+        )
+
+    def test_seed_changes_realization(self):
+        spec = get_scenario_spec("warehouse")
+        a = build_scenario(spec.with_seed(1))
+        b = build_scenario(spec.with_seed(2))
+        assert not np.array_equal(a.true_rss(0.0), b.true_rss(0.0))
+
+    def test_events_realized_from_spec(self):
+        spec = get_scenario_spec("atrium", seed=5)
+        scenario = build_scenario(spec)
+        assert len(scenario.events) == len(spec.events) == 2
+        # The first event perturbs offsets from its day onward.
+        before = scenario.environment_offsets(scenario.events[0].day - 1.0)
+        after = scenario.environment_offsets(scenario.events[0].day + 1e-6)
+        assert not np.array_equal(before, after)
+
+    def test_interference_spec_reaches_collectors(self):
+        scenario = build_scenario(get_scenario_spec("atrium", seed=1))
+        collector = RssCollector(scenario, seed=2)
+        assert collector.interference is not None
+        assert (
+            collector.interference.links == scenario.deployment.link_count
+        )
+        # Quiet scenarios keep interference off.
+        quiet = build_scenario(get_scenario_spec("paper", seed=1))
+        assert RssCollector(quiet, seed=2).interference is None
+
+    def test_dense_office_doubles_link_density(self):
+        paper = build_deployment(get_scenario_spec("paper").geometry)
+        dense = build_deployment(get_scenario_spec("dense-office").geometry)
+        assert dense.link_count == 2 * paper.link_count
+        assert dense.cell_count == paper.cell_count
+
+
+class TestComponentValidation:
+    def test_geometry_validated(self):
+        with pytest.raises(ValueError, match="kind"):
+            GeometrySpec(kind="donut")
+        with pytest.raises(ValueError, match="link_count"):
+            GeometrySpec(link_count=1)
+
+    def test_drift_validated(self):
+        with pytest.raises(ValueError, match="model"):
+            DriftSpec(model="brownian-bridge")
+
+    def test_event_validated(self):
+        with pytest.raises(ValueError, match="link_fraction"):
+            EventSpec(day=1.0, link_fraction=0.0)
+        with pytest.raises(ValueError, match="day"):
+            EventSpec(day=-1.0)
+
+    def test_custom_spec_replace(self):
+        spec = dataclasses.replace(
+            get_scenario_spec("paper"),
+            name="tiny",
+            geometry=GeometrySpec(
+                kind="perimeter", width_m=3.0, depth_m=3.0, link_count=4
+            ),
+        )
+        scenario = build_scenario(spec.with_seed(4))
+        assert scenario.deployment.cell_count == 25
+        assert scenario.deployment.link_count == 4

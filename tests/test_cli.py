@@ -23,6 +23,8 @@ class TestParser:
             ["fig4", "--edges", "6", "12"],
             ["fig5", "--day", "30"],
             ["floorplan"],
+            ["scenarios"],
+            ["scenarios", "--describe"],
         ],
     )
     def test_commands_parse(self, argv):
@@ -32,6 +34,16 @@ class TestParser:
     def test_seed_flag(self):
         args = build_parser().parse_args(["--seed", "99", "floorplan"])
         assert args.seed == 99
+
+    def test_scenario_flag(self):
+        args = build_parser().parse_args(["--scenario", "warehouse", "fig3"])
+        assert args.scenario == "warehouse"
+
+    def test_scenario_and_file_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["--scenario", "atrium", "--scenario-file", "x.json", "fig3"]
+            )
 
 
 class TestCommands:
@@ -66,3 +78,28 @@ class TestCommands:
         assert main(["quickstart"]) == 0
         out = capsys.readouterr().out
         assert "savings factor" in out
+
+    def test_scenarios_listing(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("paper", "warehouse", "corridor", "atrium"):
+            assert name in out
+
+    def test_fig3_on_named_scenario(self, capsys):
+        assert main(["--scenario", "corridor", "fig3", "--days", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out
+
+    def test_floorplan_on_named_scenario(self, capsys):
+        assert main(["--scenario", "corridor", "floorplan"]) == 0
+        out = capsys.readouterr().out
+        assert "corridor" in out
+
+    def test_fig5_on_scenario_file(self, capsys, tmp_path):
+        from repro.sim.specs import get_scenario_spec
+
+        path = tmp_path / "site.json"
+        path.write_text(get_scenario_spec("corridor").to_json())
+        assert main(["--scenario-file", str(path), "fig5", "--day", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "TafLoc" in out
