@@ -1,5 +1,6 @@
 # Developer entry points. `make test` is the tier-1 gate; `make bench`
-# produces the committed perf-trajectory point (BENCH_PR3.json).
+# produces the committed perf-trajectory point (BENCH_PR4.json, which now
+# includes the multi-site serving section).
 
 PYTHON ?= python
 
@@ -9,8 +10,11 @@ test:
 	$(PYTHON) -m pytest -q
 
 bench:
-	$(PYTHON) benchmarks/bench_perf.py --out BENCH_PR3.json
+	$(PYTHON) benchmarks/bench_perf.py --out BENCH_PR4.json
 
+# Writes to BENCH_SMOKE.json (gitignored territory) so a local smoke run
+# never clobbers the committed full-bench BENCH_PR4.json; CI uses its own
+# --out for the artifact upload.
 bench-smoke:
 	$(PYTHON) benchmarks/bench_perf.py --smoke --jobs 2 --out BENCH_SMOKE.json
 

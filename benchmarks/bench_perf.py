@@ -1,9 +1,9 @@
 #!/usr/bin/env python
-"""Run the performance benchmark and write BENCH_PR3.json.
+"""Run the performance benchmark and write BENCH_PR4.json.
 
 Usage::
 
-    python benchmarks/bench_perf.py [--out BENCH_PR3.json]
+    python benchmarks/bench_perf.py [--out BENCH_PR4.json]
         [--sizes paper square-6m square-12m warehouse ...] [--frames 500]
         [--repeat 3] [--jobs 2] [--scenario paper] [--smoke]
 
@@ -13,7 +13,9 @@ and trace-level matching on several deployment sizes — ``--sizes`` accepts
 any scenario registry name, and every row records its scenario — plus the
 Fig. 3/Fig. 5 experiments end-to-end through the parallel experiment engine
 (one persistent pool shared across both figures, with a serial-vs-parallel
-bit-identity check; ``--scenario`` selects the environment). ``--smoke``
+bit-identity check; ``--scenario`` selects the environment), plus the
+multi-site serving layer (cold vs warm, single vs batch, matcher-cache
+speedup, queries/sec across all ``--sizes`` in one process). ``--smoke``
 runs a seconds-scale subset for CI and honors ``--out`` so the workflow can
 upload the JSON as an artifact. See EXPERIMENTS.md for the recorded
 trajectory and how to read the numbers. The file name is intentionally
@@ -44,7 +46,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out",
         default=None,
-        help="output JSON path (default: BENCH_PR3.json; with --smoke, no "
+        help="output JSON path (default: BENCH_PR4.json; with --smoke, no "
         "file is written unless --out is given)",
     )
     parser.add_argument(
@@ -82,15 +84,23 @@ def main(argv=None) -> int:
             out_path=args.out,
             engine_jobs=args.jobs,
             engine_scenario=args.scenario,
+            serving_sites=("square-3m", "square-4m"),
         )
         print(format_bench_report(report))
         engine = report["engine"]
         if not all(engine[f]["bit_identical"] for f in ("fig3", "fig5")):
             print("FAIL: parallel results differ from serial", file=sys.stderr)
             return 1
+        serving = report["serving"]["per_site"]
+        if not all(row["bit_identical"] for row in serving.values()):
+            print(
+                "FAIL: serving answers differ from direct TafLoc calls",
+                file=sys.stderr,
+            )
+            return 1
         return 0
 
-    out = args.out or "BENCH_PR3.json"
+    out = args.out or "BENCH_PR4.json"
     report = run_perf_bench(
         sizes=args.sizes,
         frames=args.frames,
@@ -100,6 +110,7 @@ def main(argv=None) -> int:
         out_path=out,
         engine_jobs=args.jobs,
         engine_scenario=args.scenario,
+        serving_sites=tuple(args.sizes),
     )
     print(format_bench_report(report))
     print(f"\nwrote {out}")

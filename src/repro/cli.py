@@ -10,6 +10,20 @@ Usage (after ``pip install -e .``)::
     tafloc-repro floorplan             # render the deployment geometry
     tafloc-repro scenarios             # list the scenario registry
     tafloc-repro bench                 # batch-vs-loop performance benchmark
+    tafloc-repro serve ...             # multi-site serving demo + throughput
+    tafloc-repro query ...             # route one query batch through serving
+
+Serving (the multi-site layer in :mod:`repro.serve`): ``serve`` stands up a
+:class:`~repro.serve.service.LocalizationService` over several sites in one
+process, optionally refreshes their fingerprints, and reports warm
+queries/sec per site; ``query`` routes a live query batch for the selected
+scenario through the same layer and prints per-frame estimates against
+ground truth. Examples::
+
+    tafloc-repro serve --sites paper warehouse corridor --frames 400
+    tafloc-repro serve --sites paper --update-days 30 60 --day 60
+    tafloc-repro query --day 45 --frames 5
+    tafloc-repro --scenario warehouse query --cells 3 17 42 --day 30
 
 or ``python -m repro.cli <command>``. Everything is seeded (``--seed``),
 so runs are reproducible, and every experiment runs on any environment:
@@ -28,20 +42,22 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+import time
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.core.pipeline import TafLoc
 from repro.eval.benchmark import DEFAULT_SIZES, format_bench_report, run_perf_bench
 from repro.eval.costmodel import CostModel, sweep_update_cost
-from repro.eval.engine import ExperimentEngine
+from repro.eval.engine import ExperimentEngine, cached_scenario
 from repro.eval.experiments import (
     run_fig3_reconstruction_error,
     run_fig5_localization,
     run_intext_drift,
 )
 from repro.eval.reporting import format_cdf_table, format_summary, format_table
+from repro.serve import LocalizationService
 from repro.sim.collector import RssCollector
 from repro.sim.specs import (
     ScenarioSpec,
@@ -50,6 +66,7 @@ from repro.sim.specs import (
     get_scenario_spec,
     list_scenarios,
 )
+from repro.util.rng import task_key
 
 
 def _spec(args: argparse.Namespace) -> ScenarioSpec:
@@ -59,15 +76,28 @@ def _spec(args: argparse.Namespace) -> ScenarioSpec:
     return get_scenario_spec(args.scenario)
 
 
+def _sub_seed(seed: int, *labels) -> int:
+    """Derive a named collector sub-seed from the master ``--seed``.
+
+    Routed through :func:`repro.util.rng.task_key` so streams are keyed by
+    (seed, label) rather than by ``seed + offset`` — with the offset scheme,
+    sweeping adjacent ``--seed`` values made one run's trace collector
+    collide with the next run's system collector.
+    """
+    return task_key(seed, "cli", *labels)
+
+
 def _cmd_quickstart(args: argparse.Namespace) -> int:
     scenario = build_scenario(_spec(args), seed=args.seed)
-    system = TafLoc(RssCollector(scenario, seed=args.seed + 1))
+    system = TafLoc(
+        RssCollector(scenario, seed=_sub_seed(args.seed, "quickstart-system"))
+    )
     system.commission(day=0.0)
     report = system.update(day=45.0)
     test_cell = scenario.deployment.cell_count // 2
-    trace = RssCollector(scenario, seed=args.seed + 2).live_trace(
-        45.0, [test_cell]
-    )
+    trace = RssCollector(
+        scenario, seed=_sub_seed(args.seed, "quickstart-trace")
+    ).live_trace(45.0, [test_cell])
     result = system.localize(trace.rss[0], day=45.0)
     true_x, true_y = trace.true_positions[0]
     print(
@@ -207,10 +237,135 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         # Resolve through _spec so --scenario-file reaches the engine
         # section too (the per-size rows are named by --sizes).
         engine_scenario=_spec(args),
+        serving_sites=tuple(args.sizes),
     )
     print(format_bench_report(report))
     if args.out:
         print(f"\nwrote {args.out}")
+    return 0
+
+
+def _serve_specs(args: argparse.Namespace) -> Dict[str, ScenarioSpec]:
+    """Site name -> spec for the ``serve`` command.
+
+    ``--sites`` names resolve through the registry; ``--scenario-file``
+    additionally serves the user-supplied environment under its spec name.
+    Without ``--sites``, the global ``--scenario`` selection is served (so
+    ``--scenario warehouse serve`` does what it says).
+    """
+    specs: Dict[str, ScenarioSpec] = {}
+    if args.scenario_file:
+        spec = ScenarioSpec.from_file(args.scenario_file)
+        specs[spec.name] = spec
+    for name in args.sites or ([] if specs else [args.scenario]):
+        specs[name] = get_scenario_spec(name)
+    return specs
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    specs = _serve_specs(args)
+    service = LocalizationService.from_specs(specs, seed=args.seed)
+    rows = []
+    for site in service.sites():
+        start = time.perf_counter()
+        service.warm([site])
+        commission_s = time.perf_counter() - start
+        for day in args.update_days:
+            service.update(site, float(day))
+        system = service.pipeline(site)
+        scenario = system.collector.scenario
+        workload = RssCollector(
+            scenario, seed=_sub_seed(args.seed, "serve-workload", site)
+        )
+        cells = np.random.default_rng(
+            _sub_seed(args.seed, "serve-cells", site)
+        ).integers(0, scenario.deployment.cell_count, size=args.frames)
+        trace = workload.live_trace(args.day, cells)
+        service.query_batch(site, trace.rss, args.day)  # matcher warm-up
+        start = time.perf_counter()
+        batch = service.query_batch(site, trace.rss, args.day)
+        batch_s = time.perf_counter() - start
+        singles = min(args.frames, 100)
+        start = time.perf_counter()
+        for frame in trace.rss[:singles]:
+            service.query(site, frame, args.day)
+        single_s = time.perf_counter() - start
+        deltas = batch.positions - trace.true_positions
+        rows.append(
+            [
+                site,
+                specs[site].name,
+                system.deployment.link_count,
+                system.deployment.cell_count,
+                system.database.epoch_count,
+                commission_s,
+                args.frames / batch_s if batch_s > 0 else float("inf"),
+                singles / single_s if single_s > 0 else float("inf"),
+                float(np.median(np.hypot(deltas[:, 0], deltas[:, 1]))),
+            ]
+        )
+    print(
+        f"Multi-site serving ({len(rows)} site(s), one process, "
+        f"{args.frames} warm frames/site at day {args.day:g})\n"
+        + format_table(
+            [
+                "site", "scenario", "links", "cells", "epochs",
+                "commission [s]", "batch q/s", "single q/s", "median err [m]",
+            ],
+            rows,
+            precision=2,
+        )
+    )
+    built = service.manager.stats.pipelines_built
+    print(
+        f"\npipelines built: {built} (distinct environments; "
+        f"{service.stats.frames} frames served)"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    spec = _spec(args)
+    service = LocalizationService.from_specs(
+        {spec.name: spec}, seed=args.seed
+    )
+    for day in args.update_days:
+        service.update(spec.name, float(day))
+    scenario = cached_scenario(spec, build_scenario)
+    if args.cells:
+        cells = [int(cell) for cell in args.cells]
+    else:
+        cells = np.random.default_rng(
+            _sub_seed(args.seed, "query-cells")
+        ).integers(0, scenario.deployment.cell_count, size=args.frames).tolist()
+    trace = RssCollector(
+        scenario, seed=_sub_seed(args.seed, "query-trace")
+    ).live_trace(args.day, cells)
+    result = service.query_trace(spec.name, trace)
+    deltas = result.positions - trace.true_positions
+    errors = np.hypot(deltas[:, 0], deltas[:, 1])
+    rows = [
+        [
+            index,
+            int(trace.true_cells[index]),
+            int(result.cells[index]),
+            f"({result.positions[index, 0]:.2f}, {result.positions[index, 1]:.2f})",
+            f"({trace.true_positions[index, 0]:.2f}, {trace.true_positions[index, 1]:.2f})",
+            float(errors[index]),
+        ]
+        for index in range(result.frame_count)
+    ]
+    print(
+        f"Serving query: site {spec.name!r}, day {args.day:g}, "
+        f"{result.frame_count} frame(s)\n"
+        + format_table(
+            ["frame", "true cell", "est cell", "est pos [m]", "true pos [m]",
+             "err [m]"],
+            rows,
+            precision=2,
+        )
+    )
+    print(f"\nmedian error: {float(np.median(errors)):.2f} m")
     return 0
 
 
@@ -323,6 +478,43 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--frames", type=int, default=500)
     bench.add_argument("--repeat", type=int, default=3)
     bench.add_argument("--out", default=None, help="optional JSON output path")
+
+    serve = sub.add_parser(
+        "serve", help="multi-site serving demo: commission, route, measure"
+    )
+    serve.add_argument(
+        "--sites", nargs="+", default=None,
+        help="site scenario names (default: paper, or the --scenario-file "
+        "spec when given)",
+    )
+    serve.add_argument(
+        "--frames", type=int, default=200,
+        help="warm workload frames per site",
+    )
+    serve.add_argument(
+        "--update-days", type=float, nargs="*", default=[],
+        help="run a fingerprint refresh at each day before serving",
+    )
+    serve.add_argument(
+        "--day", type=float, default=0.0, help="query day for the workload"
+    )
+
+    query = sub.add_parser(
+        "query", help="route a live query batch through the serving layer"
+    )
+    query.add_argument("--day", type=float, default=0.0, help="query day")
+    query.add_argument(
+        "--frames", type=int, default=3,
+        help="random ground-truth frames to query (ignored with --cells)",
+    )
+    query.add_argument(
+        "--cells", type=int, nargs="+", default=None,
+        help="explicit ground-truth cells for the query frames",
+    )
+    query.add_argument(
+        "--update-days", type=float, nargs="*", default=[],
+        help="run a fingerprint refresh at each day before querying",
+    )
     return parser
 
 
@@ -335,6 +527,8 @@ _COMMANDS = {
     "floorplan": _cmd_floorplan,
     "scenarios": _cmd_scenarios,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
+    "query": _cmd_query,
 }
 
 

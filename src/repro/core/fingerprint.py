@@ -120,9 +120,16 @@ class FingerprintDatabase:
 
     _epochs: List[FingerprintMatrix] = field(default_factory=list)
     _days: List[float] = field(default_factory=list)
+    _version: int = 0
 
     def add(self, matrix: FingerprintMatrix) -> None:
-        """Insert an epoch, keeping the database sorted by day."""
+        """Insert an epoch, keeping the database sorted by day.
+
+        Every insertion bumps :attr:`version`, which is how downstream
+        caches keyed on day→epoch resolution (e.g. the
+        :class:`~repro.core.pipeline.TafLoc` matcher cache) learn that
+        their lookups may now resolve differently.
+        """
         if self._epochs and matrix.shape != self._epochs[0].shape:
             raise ValueError(
                 f"epoch shape {matrix.shape} does not match database shape "
@@ -131,6 +138,12 @@ class FingerprintDatabase:
         position = bisect.bisect_right(self._days, matrix.day)
         self._days.insert(position, matrix.day)
         self._epochs.insert(position, matrix)
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter of mutations; bumped by every :meth:`add`."""
+        return self._version
 
     def at(self, day: float) -> FingerprintMatrix:
         """Most recent epoch whose day is <= ``day``."""

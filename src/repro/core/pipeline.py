@@ -20,7 +20,7 @@ real testbed log only means implementing that interface.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -111,6 +111,9 @@ class TafLoc:
         self.database = FingerprintDatabase()
         self.reconstructor: Optional[Reconstructor] = None
         self.update_reports: List[UpdateReport] = []
+        # Matchers cached per resolved epoch; see matcher_for_day().
+        self._matcher_cache: Dict[int, Matcher] = {}
+        self._matcher_cache_version: int = -1
 
     @property
     def deployment(self):
@@ -166,9 +169,29 @@ class TafLoc:
     # ------------------------------------------------------------------
     # localization
     # ------------------------------------------------------------------
-    def matcher_for_day(self, day: float) -> Matcher:
-        """Build the configured matcher on the freshest epoch for ``day``."""
+    def matcher_for_day(self, day: float, *, refresh: bool = False) -> Matcher:
+        """The configured matcher on the freshest epoch for ``day``, cached.
+
+        Matchers are cached per resolved epoch and invalidated whenever
+        :meth:`FingerprintDatabase.add` bumps the database version (a new
+        epoch can change which fingerprint serves a given day), so the
+        steady-state query path — many localizations against the same
+        epoch — allocates nothing per call. ``refresh=True`` forces a
+        rebuild (the pre-cache behavior, kept for benchmarking the rebuild
+        cost and for callers that mutate matcher state).
+        """
+        if self._matcher_cache_version != self.database.version:
+            self._matcher_cache.clear()
+            self._matcher_cache_version = self.database.version
         fingerprint = self.database.at(day)
+        # Epochs are immutable and stay referenced by the database for its
+        # lifetime, so id() is a stable key within one cache generation.
+        key = id(fingerprint)
+        if refresh or key not in self._matcher_cache:
+            self._matcher_cache[key] = self._build_matcher(fingerprint)
+        return self._matcher_cache[key]
+
+    def _build_matcher(self, fingerprint) -> Matcher:
         grid = self.deployment.grid
         if self.config.matcher == "nn":
             return NearestNeighborMatcher(fingerprint, grid)
@@ -182,6 +205,16 @@ class TafLoc:
         """Localize one live RSS vector measured at ``day``."""
         self._require_commissioned()
         return self.matcher_for_day(day).match(live_rss)
+
+    def localize_batch(self, frames: np.ndarray, day: float) -> BatchMatchResult:
+        """Localize a ``(frames, links)`` RSS batch measured at ``day``.
+
+        The batch analogue of :meth:`localize` for callers (e.g. the
+        serving layer) that hold raw frame arrays rather than a
+        :class:`~repro.sim.trace.LiveTrace`.
+        """
+        self._require_commissioned()
+        return self.matcher_for_day(day).match_batch(frames)
 
     def localize_trace(self, trace: LiveTrace) -> BatchMatchResult:
         """Localize every frame of a trace against its day's fingerprints.

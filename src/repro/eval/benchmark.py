@@ -9,9 +9,11 @@ experiments end-to-end through the parallel experiment engine (legacy solver
 + serial loop vs fast solver with ``--jobs`` workers sharing one persistent
 pool, with a serial-vs-parallel bit-identity check). Sizes are scenario
 registry names (any registered environment benchmarks directly), and every
-row records its scenario. The results feed ``BENCH_PR3.json`` (committed
-trajectory point; see ``EXPERIMENTS.md``) and the ``tafloc-repro bench``
-CLI command.
+row records its scenario. :func:`bench_serving` additionally measures the
+multi-site serving layer (cold vs warm, single vs batch, matcher-cache
+speedup, queries/sec with many sites in one process). The results feed
+``BENCH_PR4.json`` (committed trajectory point; see ``EXPERIMENTS.md``)
+and the ``tafloc-repro bench`` CLI command.
 
 Run via ``make bench`` or ``python benchmarks/bench_perf.py``.
 """
@@ -32,11 +34,12 @@ from repro.core.loli_ir import LoliIrConfig
 from repro.core.matching import KnnMatcher
 from repro.core.pipeline import TafLoc, TafLocConfig
 from repro.core.reconstruction import ReconstructionConfig
-from repro.eval.engine import ExperimentEngine
+from repro.eval.engine import ExperimentEngine, cached_scenario
 from repro.eval.experiments import (
     run_fig3_reconstruction_error,
     run_fig5_localization,
 )
+from repro.serve import LocalizationService, pipeline_seed, reconstructor_seed
 from repro.sim.collector import CollectionProtocol, RssCollector
 from repro.sim.deployment import Deployment
 from repro.sim.scenario import Scenario
@@ -46,7 +49,7 @@ from repro.sim.specs import (
     build_scenario,
     get_scenario_spec,
 )
-from repro.util.rng import counter_stream
+from repro.util.rng import counter_stream, task_key
 
 #: The PR-1 solver configuration: matrix-free CG half-steps, no outer
 #: extrapolation, tight inner tolerance — the baseline every fast-path
@@ -327,6 +330,148 @@ def bench_engine(
     return record
 
 
+def bench_serving(
+    *,
+    sites: Sequence[str] = DEFAULT_SIZES,
+    frames: int = 500,
+    samples_per_cell: int = 10,
+    repeat: int = 3,
+    seed: int = _BENCH_SEED,
+) -> Dict[str, object]:
+    """Benchmark the multi-site serving layer (queries/sec).
+
+    One :class:`~repro.serve.service.LocalizationService` holds every site.
+    Per site:
+
+    * ``cold_first_query_s`` — a fresh service answering its first query:
+      pipeline materialization + commissioning survey + matcher build.
+    * ``warm_batch_qps`` / ``warm_single_qps`` — steady-state throughput of
+      the batch entry point and of the per-query path (which rides the
+      epoch-keyed matcher cache).
+    * ``rebuild_single_qps`` — the per-query path with
+      ``matcher_for_day(refresh=True)``, i.e. the pre-PR4 behavior of
+      rebuilding the matcher on every call; ``matcher_cache_speedup`` is
+      what the cache bugfix buys on the warm single-query path.
+    * ``bit_identical`` — service answers equal a standalone
+      :class:`~repro.core.pipeline.TafLoc` built with the same derived
+      seeds (:func:`repro.serve.manager.pipeline_seed` /
+      :func:`~repro.serve.manager.reconstructor_seed`).
+
+    ``multi_site`` then measures one process serving *all* sites: a
+    round-robin single-query mix and per-site batches back to back.
+    """
+    protocol = CollectionProtocol(
+        samples_per_cell=samples_per_cell, empty_room_samples=10
+    )
+    specs = {name: bench_spec(name) for name in sites}
+    service = LocalizationService.from_specs(
+        specs, protocol=protocol, seed=seed
+    )
+    record: Dict[str, object] = {
+        "sites": list(sites),
+        "frames": int(frames),
+        "samples_per_cell": int(samples_per_cell),
+        "per_site": {},
+    }
+    traces = {}
+    for index, (site, spec) in enumerate(specs.items()):
+        # Cold start: a fresh single-site service timed through its first
+        # query (materialize + commission + matcher build).
+        fresh = LocalizationService.from_specs(
+            {site: spec}, protocol=protocol, seed=seed
+        )
+        scenario = cached_scenario(spec, build_scenario)
+        workload_cells = counter_stream(seed, 100 + index).integers(
+            0, scenario.deployment.cell_count, size=frames
+        )
+        trace = RssCollector(
+            scenario, protocol, seed=task_key(seed, "serving-workload", site)
+        ).live_trace(0.0, workload_cells)
+        traces[site] = trace
+        start = time.perf_counter()
+        fresh.query(site, trace.rss[0], 0.0)
+        cold_first_query_s = time.perf_counter() - start
+
+        service.warm([site])
+        system = service.pipeline(site)
+        direct = TafLoc(
+            RssCollector(
+                cached_scenario(spec, build_scenario),
+                protocol,
+                seed=pipeline_seed(spec, seed),
+            ),
+            seed=reconstructor_seed(spec, seed),
+        )
+        direct.commission(0.0)
+        served = service.query_batch(site, trace.rss, 0.0)
+        reference = direct.localize_trace(trace)
+        bit_identical = bool(
+            np.array_equal(served.cells, reference.cells)
+            and np.array_equal(served.positions, reference.positions)
+        )
+
+        batch_s = _best_of(
+            lambda: service.query_batch(site, trace.rss, 0.0), repeat
+        )
+        singles = trace.rss[: min(frames, 200)]
+        single_s = _best_of(
+            lambda: [service.query(site, frame, 0.0) for frame in singles],
+            repeat,
+        )
+        rebuild_s = _best_of(
+            lambda: [
+                system.matcher_for_day(0.0, refresh=True).match(frame)
+                for frame in singles
+            ],
+            repeat,
+        )
+        record["per_site"][site] = {
+            "scenario": spec.name,
+            "links": scenario.deployment.link_count,
+            "cells": scenario.deployment.cell_count,
+            "cold_first_query_s": cold_first_query_s,
+            "warm_batch_qps": frames / batch_s if batch_s > 0 else float("inf"),
+            "warm_single_qps": (
+                len(singles) / single_s if single_s > 0 else float("inf")
+            ),
+            "rebuild_single_qps": (
+                len(singles) / rebuild_s if rebuild_s > 0 else float("inf")
+            ),
+            "matcher_cache_speedup": (
+                rebuild_s / single_s if single_s > 0 else float("inf")
+            ),
+            "bit_identical": bit_identical,
+        }
+
+    # One process, every site: round-robin singles and back-to-back batches.
+    site_list = list(specs)
+    mix = []
+    for index in range(min(frames, 200)):
+        site = site_list[index % len(site_list)]
+        trace = traces[site]
+        mix.append((site, trace.rss[index % trace.frame_count]))
+    mixed_s = _best_of(
+        lambda: [service.query(site, frame, 0.0) for site, frame in mix],
+        repeat,
+    )
+    batches_s = _best_of(
+        lambda: [
+            service.query_batch(site, traces[site].rss, 0.0)
+            for site in site_list
+        ],
+        repeat,
+    )
+    total_frames = sum(traces[site].frame_count for site in site_list)
+    record["multi_site"] = {
+        "interleaved_single_qps": (
+            len(mix) / mixed_s if mixed_s > 0 else float("inf")
+        ),
+        "batch_qps": total_frames / batches_s if batches_s > 0 else float("inf"),
+        "pipelines_built": service.manager.stats.pipelines_built,
+    }
+    return record
+
+
 def run_perf_bench(
     *,
     sizes: Sequence[str] = DEFAULT_SIZES,
@@ -337,6 +482,7 @@ def run_perf_bench(
     out_path: Optional[Union[str, Path]] = None,
     engine_jobs: Optional[int] = None,
     engine_scenario: Union[str, ScenarioSpec] = "paper",
+    serving_sites: Optional[Sequence[str]] = None,
 ) -> Dict[str, object]:
     """Run the benchmark over ``sizes``; optionally write the JSON report.
 
@@ -344,6 +490,8 @@ def run_perf_bench(
     and each row records the resolved scenario. ``engine_jobs`` additionally
     runs the end-to-end figure/engine benchmark with that worker count on
     ``engine_scenario`` (``None`` skips it — the unit-test path).
+    ``serving_sites`` additionally runs the multi-site serving benchmark
+    over those scenario names (``None`` skips it).
     """
     report: Dict[str, object] = {
         "benchmark": "bench_perf",
@@ -366,6 +514,14 @@ def run_perf_bench(
     if engine_jobs is not None:
         report["engine"] = bench_engine(
             jobs=engine_jobs, seed=seed, scenario=engine_scenario
+        )
+    if serving_sites is not None:
+        report["serving"] = bench_serving(
+            sites=serving_sites,
+            frames=frames,
+            samples_per_cell=samples_per_cell,
+            repeat=repeat,
+            seed=seed,
         )
     if out_path is not None:
         Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
@@ -407,4 +563,27 @@ def format_bench_report(report: Dict[str, object]) -> str:
                 f"{record['serial_s']:.2f}s -> parallel {record['parallel_s']:.2f}s "
                 f"({record['speedup']:.1f}x vs legacy, {identical})"
             )
+    serving = report.get("serving")
+    if serving:
+        lines.append("")
+        lines.append(
+            f"serving layer ({len(serving['sites'])} site(s), "
+            f"{serving['frames']} frames/site, warm queries/sec):"
+        )
+        for site, row in serving["per_site"].items():
+            identical = "bit-identical" if row["bit_identical"] else "MISMATCH"
+            lines.append(
+                f"  {site:<12} cold {row['cold_first_query_s']:.2f}s | "
+                f"batch {row['warm_batch_qps']:,.0f} q/s | "
+                f"single {row['warm_single_qps']:,.0f} q/s "
+                f"(rebuild {row['rebuild_single_qps']:,.0f} q/s, "
+                f"cache {row['matcher_cache_speedup']:.1f}x, {identical})"
+            )
+        multi = serving["multi_site"]
+        lines.append(
+            f"  all sites, one process: interleaved "
+            f"{multi['interleaved_single_qps']:,.0f} q/s | batch "
+            f"{multi['batch_qps']:,.0f} q/s "
+            f"({multi['pipelines_built']} pipeline(s) built)"
+        )
     return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Multi-site serving layer: many scenario realizations, one process.
+
+:class:`~repro.serve.manager.SiteManager` registers named sites and lazily
+materializes one commissioned :class:`~repro.core.pipeline.TafLoc` pipeline
+per distinct scenario spec (shared by fingerprint);
+:class:`~repro.serve.service.LocalizationService` routes
+``(site, day, RSS)`` queries to the right pipeline and answers them through
+the batch matching kernels. See ``tafloc-repro serve`` / ``query`` for the
+CLI surface and ``benchmarks/bench_perf.py`` for throughput numbers.
+"""
+
+from repro.serve.manager import (
+    SiteManager,
+    SiteManagerStats,
+    pipeline_seed,
+    reconstructor_seed,
+)
+from repro.serve.service import LocalizationService, ServiceStats
+
+__all__ = [
+    "LocalizationService",
+    "ServiceStats",
+    "SiteManager",
+    "SiteManagerStats",
+    "pipeline_seed",
+    "reconstructor_seed",
+]

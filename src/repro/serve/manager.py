@@ -1,0 +1,226 @@
+"""Multi-site pipeline management: one process, many scenario realizations.
+
+The registry (PR 3) made every experiment runnable on any environment; this
+module is the serving-side counterpart: a :class:`SiteManager` holds a fleet
+of named *sites*, each bound to a :class:`~repro.sim.specs.ScenarioSpec`
+(registered name, dict, JSON file — anything
+:func:`~repro.sim.specs.as_scenario_spec` accepts), and lazily materializes
+one commissioned :class:`~repro.core.pipeline.TafLoc` pipeline per distinct
+spec.
+
+Materialization is deterministic and shared:
+
+* Scenario realizations go through
+  :func:`repro.eval.engine.cached_scenario`, so a spec's world is built at
+  most once per process no matter how many sites or services reference it.
+* Pipelines are cached by the spec's structural fingerprint
+  (:func:`repro.eval.engine.task_fingerprint`), so two sites registered
+  with byte-identical specs share one commissioned pipeline — commissioning
+  (the expensive full survey) runs once per distinct environment.
+* Collector and reconstructor seeds derive from ``(manager seed, spec
+  fingerprint)`` via :func:`repro.util.rng.task_key` (see
+  :func:`pipeline_seed` / :func:`reconstructor_seed`), so a manager-built
+  pipeline is bit-identical to a standalone
+  :class:`~repro.core.pipeline.TafLoc` constructed with the same derived
+  seeds — the contract the serving tests assert, including for stochastic
+  reference-selection strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.core.pipeline import TafLoc, TafLocConfig, UpdateReport
+from repro.eval.engine import cached_scenario, task_fingerprint
+from repro.sim.collector import CollectionProtocol, RssCollector
+from repro.sim.specs import ScenarioSpec, as_scenario_spec, build_scenario
+from repro.util.rng import task_key
+
+__all__ = [
+    "SiteManager",
+    "SiteManagerStats",
+    "pipeline_seed",
+    "reconstructor_seed",
+]
+
+
+def _spec_fingerprint(spec: ScenarioSpec) -> str:
+    fingerprint = task_fingerprint(spec)
+    if fingerprint is None:  # pragma: no cover - specs are always plain data
+        raise ValueError(f"scenario spec {spec.name!r} is not fingerprintable")
+    return fingerprint
+
+
+def pipeline_seed(spec: ScenarioSpec, seed: int = 0) -> int:
+    """Deterministic collector seed for the pipeline serving ``spec``.
+
+    Keyed by the spec's structural fingerprint rather than its name, so the
+    stream follows the environment (two sites sharing a spec share the
+    stream along with the pipeline) and never collides across distinct
+    environments or adjacent manager seeds.
+    """
+    return task_key(seed, "serve-pipeline", _spec_fingerprint(spec))
+
+
+def reconstructor_seed(spec: ScenarioSpec, seed: int = 0) -> int:
+    """Deterministic reconstructor seed for the pipeline serving ``spec``.
+
+    The second half of the bit-identity recipe: a standalone pipeline
+    equal to the manager's is
+    ``TafLoc(RssCollector(scenario, protocol, seed=pipeline_seed(spec, s)),
+    config, seed=reconstructor_seed(spec, s))``. The reconstructor seed
+    only matters for stochastic reference-selection strategies; deriving
+    it per spec keeps those streams independent across environments.
+    """
+    return task_key(seed, "serve-reconstructor", _spec_fingerprint(spec))
+
+
+@dataclass
+class SiteManagerStats:
+    """Counters for one manager's lifetime."""
+
+    pipelines_built: int = 0
+    pipelines_shared: int = 0
+
+
+class SiteManager:
+    """Registry of sites and lazy cache of their commissioned pipelines.
+
+    Args:
+        config: :class:`~repro.core.pipeline.TafLocConfig` applied to every
+            materialized pipeline.
+        protocol: Collection protocol for the commissioning survey (and any
+            later :meth:`update` calls).
+        commission_day: Day at which lazily materialized pipelines run
+            their commissioning survey.
+        seed: Master seed; per-pipeline collector streams derive from it
+            via :func:`pipeline_seed`.
+        auto_commission: When ``False``, materialized pipelines are *not*
+            commissioned — queries against them raise ``RuntimeError``
+            until the caller commissions explicitly (the staged-rollout /
+            real-testbed path).
+
+    Error contract: any site-keyed lookup against an unregistered name
+    raises :class:`KeyError`; registering a duplicate name raises
+    :class:`ValueError`.
+    """
+
+    def __init__(
+        self,
+        *,
+        config: Optional[TafLocConfig] = None,
+        protocol: Optional[CollectionProtocol] = None,
+        commission_day: float = 0.0,
+        seed: int = 0,
+        auto_commission: bool = True,
+    ) -> None:
+        self.config = config if config is not None else TafLocConfig()
+        self.protocol = (
+            protocol if protocol is not None else CollectionProtocol()
+        )
+        self.commission_day = float(commission_day)
+        self.seed = int(seed)
+        self.auto_commission = auto_commission
+        self.stats = SiteManagerStats()
+        self._specs: Dict[str, ScenarioSpec] = {}
+        self._attached: Dict[str, TafLoc] = {}
+        self._pipelines: Dict[str, TafLoc] = {}  # spec fingerprint -> pipeline
+        self._by_site: Dict[str, TafLoc] = {}  # resolved site -> pipeline
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(
+        self, site: str, spec: Union[ScenarioSpec, dict, str]
+    ) -> ScenarioSpec:
+        """Bind ``site`` to a scenario spec (object, dict, or registry name)."""
+        if site in self._specs or site in self._attached:
+            raise ValueError(f"site {site!r} is already registered")
+        resolved = as_scenario_spec(spec)
+        self._specs[site] = resolved
+        return resolved
+
+    def attach(self, site: str, system: TafLoc) -> None:
+        """Bind ``site`` to an existing pipeline (e.g. a real testbed).
+
+        The pipeline is served as-is: if it has not been commissioned,
+        queries raise ``RuntimeError`` until it is.
+        """
+        if site in self._specs or site in self._attached:
+            raise ValueError(f"site {site!r} is already registered")
+        self._attached[site] = system
+
+    def sites(self) -> List[str]:
+        """Registered site names, in registration order."""
+        return [*self._specs, *self._attached]
+
+    def __contains__(self, site: str) -> bool:
+        return site in self._specs or site in self._attached
+
+    def spec(self, site: str) -> Optional[ScenarioSpec]:
+        """The site's spec (``None`` for attached pipelines)."""
+        if site in self._specs:
+            return self._specs[site]
+        if site in self._attached:
+            return None
+        raise KeyError(self._unknown(site))
+
+    # ------------------------------------------------------------------
+    # materialization
+    # ------------------------------------------------------------------
+    def pipeline(self, site: str) -> TafLoc:
+        """The (lazily materialized, fingerprint-cached) pipeline for ``site``.
+
+        The first lookup per site fingerprints its spec to find (or build)
+        the shared pipeline; later lookups are a plain dict hit, keeping
+        the steady-state routing path allocation-free.
+        """
+        resolved = self._by_site.get(site)
+        if resolved is not None:
+            return resolved
+        if site in self._attached:
+            resolved = self._attached[site]
+        elif site in self._specs:
+            spec = self._specs[site]
+            key = task_fingerprint(spec)
+            if key not in self._pipelines:
+                self._pipelines[key] = self._materialize(spec)
+                self.stats.pipelines_built += 1
+            else:
+                self.stats.pipelines_shared += 1
+            resolved = self._pipelines[key]
+        else:
+            raise KeyError(self._unknown(site))
+        self._by_site[site] = resolved
+        return resolved
+
+    def materialized(self, site: str) -> bool:
+        """Whether the site's pipeline has been built (never builds one)."""
+        if site in self._attached:
+            return True
+        if site not in self._specs:
+            raise KeyError(self._unknown(site))
+        return task_fingerprint(self._specs[site]) in self._pipelines
+
+    def update(self, site: str, day: float) -> UpdateReport:
+        """Run a cheap fingerprint refresh on the site's pipeline."""
+        return self.pipeline(site).update(day)
+
+    # ------------------------------------------------------------------
+    def _materialize(self, spec: ScenarioSpec) -> TafLoc:
+        scenario = cached_scenario(spec, build_scenario)
+        system = TafLoc(
+            RssCollector(
+                scenario, self.protocol, seed=pipeline_seed(spec, self.seed)
+            ),
+            self.config,
+            seed=reconstructor_seed(spec, self.seed),
+        )
+        if self.auto_commission:
+            system.commission(self.commission_day)
+        return system
+
+    def _unknown(self, site: str) -> str:
+        known = ", ".join(self.sites()) or "<none>"
+        return f"unknown site {site!r}; registered: {known}"

@@ -1,0 +1,152 @@
+"""The query front-end: route ``(site, day, RSS)`` to the right pipeline.
+
+:class:`LocalizationService` is the serving layer's public surface. It owns a
+:class:`~repro.serve.manager.SiteManager` and answers localization queries by
+routing them to the site's commissioned pipeline, whose epoch-keyed matcher
+cache (see :meth:`repro.core.pipeline.TafLoc.matcher_for_day`) makes the warm
+query path allocation-free: a steady stream of same-day queries reuses one
+matcher object and runs straight through the batch matching kernels.
+
+Error contract (what a front-end can rely on for input validation):
+
+* unknown site → :class:`KeyError` (from the manager);
+* queries against a site whose pipeline is not commissioned →
+  :class:`RuntimeError` (from :class:`~repro.core.pipeline.TafLoc`);
+* a query day before the site's first fingerprint epoch, or an empty
+  database → :class:`LookupError` (from
+  :meth:`repro.core.fingerprint.FingerprintDatabase.at`);
+* malformed RSS vectors → :class:`ValueError` (from the matcher).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.matching import BatchMatchResult, MatchResult
+from repro.core.pipeline import TafLoc, UpdateReport
+from repro.serve.manager import SiteManager
+from repro.sim.specs import ScenarioSpec
+from repro.sim.trace import LiveTrace
+
+__all__ = ["LocalizationService", "ServiceStats"]
+
+
+@dataclass
+class ServiceStats:
+    """Per-service query accounting (what the bench reports qps from)."""
+
+    queries: int = 0
+    frames: int = 0
+    frames_by_site: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, site: str, frames: int) -> None:
+        self.queries += 1
+        self.frames += frames
+        self.frames_by_site[site] = self.frames_by_site.get(site, 0) + frames
+
+
+class LocalizationService:
+    """Routes localization queries across the manager's sites.
+
+    Construct over an existing manager, or use :meth:`from_specs` to stand
+    up a service from a plain ``{site: spec}`` mapping in one call. All
+    query entry points resolve the site through the manager (materializing
+    its pipeline on first touch) and answer through the batch matcher
+    kernels; results are bit-identical to calling the site's
+    :class:`~repro.core.pipeline.TafLoc` directly.
+    """
+
+    def __init__(self, manager: Optional[SiteManager] = None, **manager_kwargs) -> None:
+        if manager is not None and manager_kwargs:
+            raise ValueError(
+                "pass either a manager or manager kwargs, not both"
+            )
+        self.manager = manager if manager is not None else SiteManager(**manager_kwargs)
+        self.stats = ServiceStats()
+
+    @classmethod
+    def from_specs(
+        cls,
+        specs: Mapping[str, Union[ScenarioSpec, dict, str]],
+        **manager_kwargs,
+    ) -> "LocalizationService":
+        """Build a service serving every ``{site: spec}`` entry."""
+        service = cls(**manager_kwargs)
+        for site, spec in specs.items():
+            service.manager.register(site, spec)
+        return service
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def sites(self) -> List[str]:
+        return self.manager.sites()
+
+    def pipeline(self, site: str) -> TafLoc:
+        return self.manager.pipeline(site)
+
+    def warm(self, sites: Optional[Iterable[str]] = None) -> List[str]:
+        """Materialize (and commission) pipelines ahead of traffic.
+
+        Returns the warmed site names — the cold-start control for the
+        serving benchmark's cold-vs-warm comparison.
+        """
+        names = list(sites) if sites is not None else self.manager.sites()
+        for site in names:
+            self.manager.pipeline(site)
+        return names
+
+    def update(self, site: str, day: float) -> UpdateReport:
+        """Refresh the site's fingerprints (appends an epoch; the site's
+        matcher cache invalidates automatically)."""
+        return self.manager.update(site, day)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self, site: str, live_rss: np.ndarray, day: float) -> MatchResult:
+        """Localize one live RSS vector measured at ``site`` on ``day``."""
+        result = self.pipeline(site).localize(live_rss, day)
+        self.stats.record(site, 1)
+        return result
+
+    def query_batch(
+        self, site: str, frames: np.ndarray, day: float
+    ) -> BatchMatchResult:
+        """Localize a whole ``(frames, links)`` RSS batch in one pass."""
+        result = self.pipeline(site).localize_batch(frames, day)
+        self.stats.record(site, result.frame_count)
+        return result
+
+    def query_trace(self, site: str, trace: LiveTrace) -> BatchMatchResult:
+        """Localize every frame of a live trace (uses the trace's day)."""
+        result = self.pipeline(site).localize_trace(trace)
+        self.stats.record(site, result.frame_count)
+        return result
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def site_summary(self, site: str) -> Dict[str, object]:
+        """Small status record for one site (CLI ``serve`` table rows)."""
+        materialized = self.manager.materialized(site)
+        record: Dict[str, object] = {
+            "site": site,
+            "materialized": materialized,
+        }
+        spec = self.manager.spec(site)
+        if spec is not None:
+            record["scenario"] = spec.name
+        if materialized:
+            system = self.manager.pipeline(site)
+            record["commissioned"] = system.commissioned
+            record["links"] = system.deployment.link_count
+            record["cells"] = system.deployment.cell_count
+            record["epochs"] = system.database.epoch_count
+        return record
+
+    def summary(self) -> List[Dict[str, object]]:
+        return [self.site_summary(site) for site in self.sites()]

@@ -32,6 +32,7 @@ spec reproduces the pre-registry ``build_paper_scenario`` output exactly
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -450,7 +451,13 @@ def list_scenarios() -> Dict[str, ScenarioSpec]:
 
 
 def get_scenario_spec(name: str, *, seed: int = 0) -> ScenarioSpec:
-    """Resolve a registered name (or ``square-<edge>m`` pattern) to a spec."""
+    """Resolve a registered name (or ``square-<edge>m`` pattern) to a spec.
+
+    Error contract (relied on by the serving layer's input validation):
+    every failure is a :class:`KeyError` (unresolvable name) or a
+    :class:`ValueError` (resolvable pattern with an unusable edge) — never
+    anything else, for any string input.
+    """
     if name in _REGISTRY:
         spec = _REGISTRY[name]()
     elif name.startswith("square-") and name.endswith("m"):
@@ -460,6 +467,14 @@ def get_scenario_spec(name: str, *, seed: int = 0) -> ScenarioSpec:
             raise KeyError(
                 f"unknown scenario {name!r}; known: {', '.join(_REGISTRY)}"
             ) from None
+        # Reject non-finite edges here: 'square-infm' would otherwise leak
+        # an OverflowError out of geometry construction, breaking the
+        # KeyError/ValueError contract above.
+        if not math.isfinite(edge):
+            raise ValueError(
+                f"square edge must be finite and positive, got {edge!r} "
+                f"(from scenario name {name!r})"
+            )
         spec = _square_spec(edge)
     else:
         raise KeyError(

@@ -88,7 +88,7 @@ class TestFingerprintDatabase:
 
     def test_empty_lookups_raise(self):
         db = FingerprintDatabase()
-        with pytest.raises(LookupError):
+        with pytest.raises(LookupError, match="empty"):
             db.at(0.0)
         with pytest.raises(LookupError):
             db.latest()
@@ -109,6 +109,31 @@ class TestFingerprintDatabase:
         db.add(self.make(5.0))
         with pytest.raises(LookupError, match="earliest"):
             db.at(4.0)
+        # The boundary day itself resolves.
+        assert db.at(5.0).day == 5.0
+
+    def test_version_bumps_on_every_add(self):
+        db = FingerprintDatabase()
+        assert db.version == 0
+        db.add(self.make(0.0))
+        assert db.version == 1
+        db.add(self.make(10.0))
+        assert db.version == 2
+        # Lookups never change the version (it tracks mutations only).
+        db.at(5.0)
+        db.latest()
+        assert db.version == 2
+
+    def test_out_of_order_add_changes_resolution_and_version(self):
+        """Why caches key on the version: a new epoch can change which
+        fingerprint serves an *old* query day."""
+        db = FingerprintDatabase()
+        db.add(self.make(0.0))
+        assert db.at(40.0).day == 0.0
+        before = db.version
+        db.add(self.make(30.0))
+        assert db.version == before + 1
+        assert db.at(40.0).day == 30.0
 
     def test_out_of_order_insertion(self):
         db = FingerprintDatabase()

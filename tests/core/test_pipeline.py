@@ -76,6 +76,51 @@ class TestConfig:
         assert built.fingerprint.day == 0.0
 
 
+class TestMatcherCache:
+    def test_same_day_queries_reuse_one_matcher(self, system):
+        """The PR-4 bugfix: repeated same-day queries must not rebuild the
+        matcher (object identity, not just equality)."""
+        system.commission(0.0)
+        first = system.matcher_for_day(0.0)
+        assert system.matcher_for_day(0.0) is first
+        assert system.matcher_for_day(15.0) is first  # same resolved epoch
+
+    def test_update_invalidates_the_cache(self, system):
+        system.commission(0.0)
+        stale = system.matcher_for_day(40.0)
+        system.update(30.0)
+        fresh = system.matcher_for_day(40.0)
+        assert fresh is not stale
+        assert fresh.fingerprint.day == 30.0
+        # Steady state again: the new matcher is reused.
+        assert system.matcher_for_day(40.0) is fresh
+
+    def test_epochs_cache_independently(self, system):
+        system.commission(0.0)
+        system.update(30.0)
+        early = system.matcher_for_day(10.0)
+        late = system.matcher_for_day(45.0)
+        assert early is not late
+        assert system.matcher_for_day(10.0) is early
+        assert system.matcher_for_day(45.0) is late
+
+    def test_refresh_forces_rebuild(self, system):
+        system.commission(0.0)
+        cached = system.matcher_for_day(0.0)
+        rebuilt = system.matcher_for_day(0.0, refresh=True)
+        assert rebuilt is not cached
+        # The rebuild replaces the cache entry.
+        assert system.matcher_for_day(0.0) is rebuilt
+
+    def test_cached_matcher_answers_match_fresh_build(self, system, scenario):
+        system.commission(0.0)
+        trace = RssCollector(scenario, seed=12).live_trace(0.0, [4, 44, 84])
+        cached = system.matcher_for_day(0.0).match_batch(trace.rss)
+        fresh = system.matcher_for_day(0.0, refresh=True).match_batch(trace.rss)
+        np.testing.assert_array_equal(cached.cells, fresh.cells)
+        np.testing.assert_array_equal(cached.positions, fresh.positions)
+
+
 class TestLocalization:
     def test_localize_returns_result(self, system, scenario):
         system.commission(0.0)
@@ -97,6 +142,20 @@ class TestLocalization:
         trace = RssCollector(scenario, seed=10).live_trace(0.0, [5, 20, 60])
         results = system.localize_trace(trace)
         assert len(results) == 3
+
+    def test_localize_batch_matches_trace_path(self, system, scenario):
+        system.commission(0.0)
+        trace = RssCollector(scenario, seed=10).live_trace(0.0, [5, 20, 60])
+        from_trace = system.localize_trace(trace)
+        from_batch = system.localize_batch(trace.rss, 0.0)
+        np.testing.assert_array_equal(from_batch.cells, from_trace.cells)
+        np.testing.assert_array_equal(
+            from_batch.positions, from_trace.positions
+        )
+
+    def test_localize_batch_requires_commissioning(self, system):
+        with pytest.raises(RuntimeError, match="commission"):
+            system.localize_batch(np.zeros((2, 10)), 0.0)
 
     def test_localization_errors_reasonable_at_day_zero(self, system, scenario):
         system.commission(0.0)

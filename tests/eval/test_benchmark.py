@@ -22,6 +22,7 @@ def tiny_report(tmp_path_factory):
         samples_per_cell=2,
         repeat=1,
         out_path=out,
+        serving_sites=("square-3m", "square-4m"),
     )
     return report, out
 
@@ -52,6 +53,30 @@ def test_report_structure(tiny_report):
     assert isinstance(solve["warm_le_cold"], bool)
     persisted = json.loads(out.read_text())
     assert persisted["sizes"]["square-3m"]["frames"] == 24
+
+
+def test_serving_section_structure(tiny_report):
+    report, out = tiny_report
+    serving = report["serving"]
+    assert serving["sites"] == ["square-3m", "square-4m"]
+    assert serving["multi_site"]["pipelines_built"] == 2
+    for row in serving["per_site"].values():
+        assert row["bit_identical"] is True
+        assert row["cold_first_query_s"] > 0
+        for key in ("warm_batch_qps", "warm_single_qps", "rebuild_single_qps",
+                    "matcher_cache_speedup"):
+            assert row[key] > 0
+    assert serving["multi_site"]["interleaved_single_qps"] > 0
+    assert serving["multi_site"]["batch_qps"] > 0
+    persisted = json.loads(out.read_text())
+    assert set(persisted["serving"]["per_site"]) == {"square-3m", "square-4m"}
+
+
+def test_report_formatting_includes_serving(tiny_report):
+    report, _ = tiny_report
+    text = format_bench_report(report)
+    assert "serving layer" in text
+    assert "bit-identical" in text
 
 
 def test_engine_section_bit_identical():

@@ -1,0 +1,48 @@
+"""Property test for the scenario-registry error contract.
+
+The serving layer validates site names by calling
+:func:`repro.sim.specs.get_scenario_spec` and translating its documented
+failures; that only works if the registry never leaks anything *but*
+``KeyError`` / ``ValueError`` — for any string whatsoever. The PR-4 bug
+("square-infm" → ``OverflowError`` from deep inside geometry construction)
+is exactly the kind of leak this pins down.
+"""
+
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.sim.specs import ScenarioSpec, get_scenario_spec
+
+
+@given(name=st.text(max_size=40))
+@example(name="square-infm")
+@example(name="square-+infm")
+@example(name="square--infm")
+@example(name="square-nanm")
+@example(name="square-1e400m")
+@example(name="square-1e-400m")
+@example(name="square-m")
+@example(name="square-0m")
+@example(name="square--0.0m")
+@example(name="square-_m")
+@example(name="paper")
+@settings(max_examples=300, deadline=None)
+def test_get_scenario_spec_raises_only_documented_errors(name):
+    try:
+        spec = get_scenario_spec(name)
+    except (KeyError, ValueError):
+        return
+    assert isinstance(spec, ScenarioSpec)
+
+
+@given(
+    edge=st.floats(min_value=1.0, max_value=1e6, allow_nan=False,
+                   allow_infinity=False),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_finite_square_edges_resolve(edge, seed):
+    spec = get_scenario_spec(f"square-{edge}m", seed=seed)
+    assert spec.geometry.width_m == spec.geometry.depth_m
+    assert spec.geometry.link_count >= 2
+    assert spec.seed == seed

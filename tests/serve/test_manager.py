@@ -1,0 +1,162 @@
+"""Unit tests for the multi-site pipeline manager."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import TafLoc, TafLocConfig
+from repro.core.reconstruction import ReconstructionConfig
+from repro.serve import SiteManager, pipeline_seed, reconstructor_seed
+from repro.sim.collector import CollectionProtocol, RssCollector
+from repro.sim.specs import get_scenario_spec
+
+PROTOCOL = CollectionProtocol(samples_per_cell=3, empty_room_samples=5)
+
+
+@pytest.fixture()
+def manager():
+    return SiteManager(protocol=PROTOCOL, seed=11)
+
+
+class TestRegistration:
+    def test_register_resolves_names_dicts_and_specs(self, manager):
+        by_name = manager.register("hq", "paper")
+        by_spec = manager.register("lab", get_scenario_spec("square-6m"))
+        by_dict = manager.register(
+            "annex", get_scenario_spec("corridor").to_dict()
+        )
+        assert by_name.name == "paper"
+        assert by_spec.name == "square-6m"
+        assert by_dict.name == "corridor"
+        assert manager.sites() == ["hq", "lab", "annex"]
+        assert "hq" in manager and "nowhere" not in manager
+
+    def test_duplicate_site_rejected(self, manager):
+        manager.register("hq", "paper")
+        with pytest.raises(ValueError, match="already registered"):
+            manager.register("hq", "warehouse")
+
+    def test_unknown_site_raises_keyerror(self, manager):
+        manager.register("hq", "paper")
+        with pytest.raises(KeyError, match="unknown site"):
+            manager.pipeline("branch")
+        with pytest.raises(KeyError, match="unknown site"):
+            manager.spec("branch")
+        with pytest.raises(KeyError, match="unknown site"):
+            manager.materialized("branch")
+
+    def test_unknown_scenario_name_raises_keyerror(self, manager):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            manager.register("hq", "submarine")
+
+
+class TestMaterialization:
+    def test_lazy_until_first_pipeline_access(self, manager):
+        manager.register("hq", "paper")
+        assert not manager.materialized("hq")
+        assert manager.stats.pipelines_built == 0
+        system = manager.pipeline("hq")
+        assert manager.materialized("hq")
+        assert manager.stats.pipelines_built == 1
+        assert system.commissioned
+        assert system.database.epoch_count == 1
+
+    def test_repeated_access_returns_same_pipeline(self, manager):
+        manager.register("hq", "paper")
+        assert manager.pipeline("hq") is manager.pipeline("hq")
+        assert manager.stats.pipelines_built == 1
+
+    def test_sites_sharing_a_spec_share_one_pipeline(self, manager):
+        manager.register("hq", "paper")
+        manager.register("mirror", get_scenario_spec("paper"))
+        assert manager.pipeline("hq") is manager.pipeline("mirror")
+        assert manager.stats.pipelines_built == 1
+        assert manager.stats.pipelines_shared == 1
+
+    def test_distinct_seeds_are_distinct_environments(self, manager):
+        manager.register("a", get_scenario_spec("paper", seed=1))
+        manager.register("b", get_scenario_spec("paper", seed=2))
+        assert manager.pipeline("a") is not manager.pipeline("b")
+        assert manager.stats.pipelines_built == 2
+
+    def test_manager_pipeline_matches_standalone_tafloc(self, manager):
+        """The determinism contract: a manager-built pipeline equals a
+        standalone TafLoc constructed with the derived seeds, bit for bit."""
+        manager.register("hq", "paper")
+        spec = get_scenario_spec("paper")
+        scenario = manager.pipeline("hq").collector.scenario
+        direct = TafLoc(
+            RssCollector(scenario, PROTOCOL, seed=pipeline_seed(spec, 11)),
+            seed=reconstructor_seed(spec, 11),
+        )
+        direct.commission(0.0)
+        served = manager.pipeline("hq").database.latest()
+        np.testing.assert_array_equal(
+            served.values, direct.database.latest().values
+        )
+        np.testing.assert_array_equal(
+            served.empty_rss, direct.database.latest().empty_rss
+        )
+
+    def test_identity_contract_holds_for_stochastic_reference_strategy(self):
+        """Regression: the bit-identity recipe must also cover strategies
+        whose reference selection consumes the reconstructor seed (the
+        manager used to derive a seed the documented recipe left at 0)."""
+        config = TafLocConfig(
+            reconstruction=ReconstructionConfig(reference_strategy="random")
+        )
+        manager = SiteManager(protocol=PROTOCOL, config=config, seed=11)
+        manager.register("hq", "paper")
+        served = manager.pipeline("hq")
+        manager.update("hq", 30.0)
+        spec = get_scenario_spec("paper")
+        direct = TafLoc(
+            RssCollector(
+                served.collector.scenario,
+                PROTOCOL,
+                seed=pipeline_seed(spec, 11),
+            ),
+            config,
+            seed=reconstructor_seed(spec, 11),
+        )
+        direct.commission(0.0)
+        direct.update(30.0)
+        np.testing.assert_array_equal(
+            served.database.latest().values, direct.database.latest().values
+        )
+
+    def test_pipeline_seed_keyed_by_structure_not_name(self):
+        paper = get_scenario_spec("paper")
+        assert pipeline_seed(paper, 0) == pipeline_seed(
+            get_scenario_spec("paper"), 0
+        )
+        assert pipeline_seed(paper, 0) != pipeline_seed(paper.with_seed(1), 0)
+        assert pipeline_seed(paper, 0) != pipeline_seed(paper, 1)
+
+
+class TestAttachAndUpdate:
+    def test_attach_serves_existing_pipeline(self, manager):
+        manager.register("hq", "paper")
+        scenario = manager.pipeline("hq").collector.scenario
+        testbed_system = TafLoc(RssCollector(scenario, PROTOCOL, seed=5))
+        manager.attach("testbed", testbed_system)
+        assert manager.pipeline("testbed") is testbed_system
+        assert manager.spec("testbed") is None
+        assert manager.materialized("testbed")
+        with pytest.raises(ValueError, match="already registered"):
+            manager.attach("testbed", testbed_system)
+
+    def test_auto_commission_off_leaves_pipeline_raw(self):
+        manager = SiteManager(
+            protocol=PROTOCOL, auto_commission=False, seed=3
+        )
+        manager.register("hq", "paper")
+        system = manager.pipeline("hq")
+        assert not system.commissioned
+        with pytest.raises(RuntimeError, match="commission"):
+            system.localize(np.zeros(10), 0.0)
+
+    def test_update_appends_epoch(self, manager):
+        manager.register("hq", "paper")
+        report = manager.update("hq", 30.0)
+        assert report.day == 30.0
+        assert manager.pipeline("hq").database.epoch_count == 2

@@ -46,6 +46,22 @@ class TestRegistry:
         with pytest.raises(KeyError, match="unknown scenario"):
             get_scenario_spec("square-xlm")
 
+    @pytest.mark.parametrize(
+        "name", ["square-infm", "square-+infm", "square--infm", "square-nanm",
+                 "square-1e400m"]
+    )
+    def test_non_finite_square_edge_rejected_with_valueerror(self, name):
+        # The PR-4 bugfix: these used to leak OverflowError (or a cryptic
+        # NaN-conversion error) out of geometry construction, breaking the
+        # registry's documented KeyError/ValueError contract.
+        with pytest.raises(ValueError, match="finite"):
+            get_scenario_spec(name)
+
+    @pytest.mark.parametrize("name", ["square-0m", "square--5m"])
+    def test_non_positive_square_edge_rejected_with_valueerror(self, name):
+        with pytest.raises(ValueError):
+            get_scenario_spec(name)
+
     def test_list_scenarios_matches_names(self):
         specs = list_scenarios()
         assert list(specs) == scenario_names()

@@ -1,8 +1,10 @@
 """Tests for the command-line interface."""
 
+import itertools
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _sub_seed, build_parser, main
 
 
 class TestParser:
@@ -25,6 +27,10 @@ class TestParser:
             ["floorplan"],
             ["scenarios"],
             ["scenarios", "--describe"],
+            ["serve", "--sites", "paper", "warehouse", "--frames", "50"],
+            ["serve", "--update-days", "30", "60", "--day", "60"],
+            ["query", "--day", "45", "--cells", "3", "17"],
+            ["query", "--frames", "2", "--update-days", "30"],
         ],
     )
     def test_commands_parse(self, argv):
@@ -103,3 +109,81 @@ class TestCommands:
         assert main(["--scenario-file", str(path), "fig5", "--day", "30"]) == 0
         out = capsys.readouterr().out
         assert "TafLoc" in out
+
+    def test_serve_multi_site(self, capsys):
+        assert main(
+            ["serve", "--sites", "paper", "square-3m", "--frames", "20"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 site(s)" in out
+        assert "paper" in out and "square-3m" in out
+        assert "pipelines built: 2" in out
+
+    def test_serve_with_updates(self, capsys):
+        assert main(
+            ["serve", "--sites", "square-3m", "--frames", "10",
+             "--update-days", "30", "--day", "30"]
+        ) == 0
+        out = capsys.readouterr().out
+        # commissioning epoch + one refresh
+        assert " 2 " in out
+
+    def test_serve_honors_global_scenario_flag(self, capsys):
+        assert main(
+            ["--scenario", "square-3m", "serve", "--frames", "10"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "square-3m" in out
+        assert "paper" not in out
+
+    def test_serve_scenario_file_site(self, capsys, tmp_path):
+        from repro.sim.specs import get_scenario_spec
+
+        path = tmp_path / "site.json"
+        path.write_text(get_scenario_spec("square-3m").to_json())
+        assert main(
+            ["--scenario-file", str(path), "serve", "--frames", "10"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "square-3m" in out
+
+    def test_query_explicit_cells(self, capsys):
+        assert main(
+            ["--scenario", "square-3m", "query", "--cells", "0", "7",
+             "--day", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 frame(s)" in out
+        assert "median error" in out
+
+    def test_query_random_frames_with_update(self, capsys):
+        assert main(
+            ["--scenario", "square-3m", "query", "--frames", "2",
+             "--update-days", "20", "--day", "20"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "day 20" in out
+
+    def test_query_unknown_scenario_fails_cleanly(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            main(["--scenario", "submarine", "query"])
+
+
+class TestSubSeeds:
+    def test_adjacent_master_seeds_cannot_collide(self):
+        """The PR-4 bugfix: with the old ``seed + 1`` / ``seed + 2`` scheme,
+        sweeping adjacent --seed values reused collector streams (seed 0's
+        trace collector == seed 1's system collector). task_key-derived
+        sub-seeds are distinct across both label and master seed."""
+        labels = ("quickstart-system", "quickstart-trace")
+        derived = [
+            _sub_seed(seed, label)
+            for seed, label in itertools.product(range(8), labels)
+        ]
+        assert len(set(derived)) == len(derived)
+
+    def test_sub_seed_is_deterministic(self):
+        assert _sub_seed(3, "quickstart-system") == _sub_seed(
+            3, "quickstart-system"
+        )
+        assert _sub_seed(3, "a") != _sub_seed(3, "b")
