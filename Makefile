@@ -1,22 +1,37 @@
 # Developer entry points. `make test` is the tier-1 gate; `make bench`
-# produces the committed perf-trajectory point (BENCH_PR4.json, which now
-# includes the multi-site serving section).
+# produces the committed perf-trajectory point (BENCH_PR5.json, which now
+# includes the serving, wire-frontend and shard sections). CI runs
+# `make bench-smoke` (writes BENCH_SMOKE.json — PR-agnostic, never
+# clobbers a committed BENCH_PR*.json) and `make frontend-smoke` (the
+# wire/shard bit-identity gate).
 
 PYTHON ?= python
+PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-figures
+.PHONY: test lint bench bench-smoke bench-figures frontend-smoke
 
 test:
 	$(PYTHON) -m pytest -q
 
+# Mirrors CI's lint job (requires ruff; `pip install -r requirements-dev.txt`).
+lint:
+	ruff check .
+	ruff format --check .
+
 bench:
-	$(PYTHON) benchmarks/bench_perf.py --out BENCH_PR4.json
+	$(PYTHON) benchmarks/bench_perf.py --out BENCH_PR5.json
 
 # Writes to BENCH_SMOKE.json (gitignored territory) so a local smoke run
-# never clobbers the committed full-bench BENCH_PR4.json; CI uses its own
-# --out for the artifact upload.
+# never clobbers the committed full-bench BENCH_PR5.json; CI uploads the
+# same file under the PR-agnostic `bench-smoke` artifact name.
 bench-smoke:
 	$(PYTHON) benchmarks/bench_perf.py --smoke --jobs 2 --out BENCH_SMOKE.json
+
+# Start a wire server + sharded workers at toy scale and assert the
+# answers are bit-identical to the in-process service (CI's guard on the
+# serving front-end).
+frontend-smoke:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.serve.check
 
 bench-figures:
 	$(PYTHON) -m pytest benchmarks -q -p no:cacheprovider

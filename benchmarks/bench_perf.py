@@ -1,9 +1,9 @@
 #!/usr/bin/env python
-"""Run the performance benchmark and write BENCH_PR4.json.
+"""Run the performance benchmark and write BENCH_PR5.json.
 
 Usage::
 
-    python benchmarks/bench_perf.py [--out BENCH_PR4.json]
+    python benchmarks/bench_perf.py [--out BENCH_PR5.json]
         [--sizes paper square-6m square-12m warehouse ...] [--frames 500]
         [--repeat 3] [--jobs 2] [--scenario paper] [--smoke]
 
@@ -15,12 +15,15 @@ Fig. 3/Fig. 5 experiments end-to-end through the parallel experiment engine
 (one persistent pool shared across both figures, with a serial-vs-parallel
 bit-identity check; ``--scenario`` selects the environment), plus the
 multi-site serving layer (cold vs warm, single vs batch, matcher-cache
-speedup, queries/sec across all ``--sizes`` in one process). ``--smoke``
+speedup, queries/sec across all ``--sizes`` in one process), plus the wire
+front-end and shard layer (HTTP / unix-socket round-trip latency and q/s
+vs in-process, shard fan-out scaling, all bit-identity-gated). ``--smoke``
 runs a seconds-scale subset for CI and honors ``--out`` so the workflow can
-upload the JSON as an artifact. See EXPERIMENTS.md for the recorded
-trajectory and how to read the numbers. The file name is intentionally
-``bench_*`` (not ``test_*``) so pytest's benchmark collection does not pick
-it up.
+upload the JSON as an artifact (the CI convention is ``make bench-smoke``
+→ ``BENCH_SMOKE.json``; the committed full run is ``BENCH_PR5.json``). See
+EXPERIMENTS.md for the recorded trajectory and how to read the numbers.
+The file name is intentionally ``bench_*`` (not ``test_*``) so pytest's
+benchmark collection does not pick it up.
 """
 
 from __future__ import annotations
@@ -46,7 +49,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out",
         default=None,
-        help="output JSON path (default: BENCH_PR4.json; with --smoke, no "
+        help="output JSON path (default: BENCH_PR5.json; with --smoke, no "
         "file is written unless --out is given)",
     )
     parser.add_argument(
@@ -85,6 +88,8 @@ def main(argv=None) -> int:
             engine_jobs=args.jobs,
             engine_scenario=args.scenario,
             serving_sites=("square-3m", "square-4m"),
+            frontend_sites=("square-3m", "square-4m"),
+            frontend_shards=(1, 2),
         )
         print(format_bench_report(report))
         engine = report["engine"]
@@ -98,9 +103,23 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 1
+        frontend = report["frontend"]
+        wire_ok = all(
+            row["http_bit_identical"] and row["unix_bit_identical"]
+            for row in frontend["per_site"].values()
+        )
+        shard_ok = all(
+            row["bit_identical"] for row in frontend["shards"].values()
+        )
+        if not (wire_ok and shard_ok):
+            print(
+                "FAIL: wire/shard answers differ from in-process service",
+                file=sys.stderr,
+            )
+            return 1
         return 0
 
-    out = args.out or "BENCH_PR4.json"
+    out = args.out or "BENCH_PR5.json"
     report = run_perf_bench(
         sizes=args.sizes,
         frames=args.frames,
@@ -111,6 +130,7 @@ def main(argv=None) -> int:
         engine_jobs=args.jobs,
         engine_scenario=args.scenario,
         serving_sites=tuple(args.sizes),
+        frontend_sites=tuple(args.sizes),
     )
     print(format_bench_report(report))
     print(f"\nwrote {out}")

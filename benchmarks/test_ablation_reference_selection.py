@@ -6,7 +6,6 @@ and uses n = 10 for 96 cells. This benchmark sweeps both choices on the
 defaults documented in EXPERIMENTS.md.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import BENCH_SEED, emit

@@ -11,12 +11,10 @@ Run with:  python examples/office_occupancy.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import RssCollector, TafLoc, build_paper_scenario
 from repro.core.multi_target import MultiTargetMatcher, pairing_error
 from repro.eval.reporting import format_table
-from repro.sim.geometry import Point
 
 SCENES = [
     ("room empty", []),

@@ -25,6 +25,20 @@ ground truth. Examples::
     tafloc-repro query --day 45 --frames 5
     tafloc-repro --scenario warehouse query --cells 3 17 42 --day 30
 
+``serve --listen`` turns the demo into a real network service: an HTTP
+(and/or unix-socket) front-end speaking the JSON protocol of
+:mod:`repro.serve.protocol`, optionally sharded across worker processes
+(``--shards``) and kept fresh by the staleness-driven update scheduler
+(``--refresh-policy`` + ``--days-per-second`` simulation clock); ``query
+--connect`` routes the same query batch through a running server instead
+of an in-process service (answers are bit-identical either way)::
+
+    tafloc-repro serve --sites paper warehouse --listen 127.0.0.1:8970
+    tafloc-repro serve --sites paper warehouse corridor --shards 2 \
+        --listen 127.0.0.1:8970 --refresh-policy interval \
+        --refresh-interval-days 30 --days-per-second 10
+    tafloc-repro query --connect http://127.0.0.1:8970 --frames 5
+
 or ``python -m repro.cli <command>``. Everything is seeded (``--seed``),
 so runs are reproducible, and every experiment runs on any environment:
 ``--scenario NAME`` selects a registered scenario (``paper``, ``warehouse``,
@@ -57,7 +71,16 @@ from repro.eval.experiments import (
     run_intext_drift,
 )
 from repro.eval.reporting import format_cdf_table, format_summary, format_table
-from repro.serve import LocalizationService
+from repro.serve import (
+    HttpFrontend,
+    LocalizationService,
+    SchedulerConfig,
+    ServiceClient,
+    ShardedService,
+    SimClock,
+    UnixFrontend,
+    UpdateScheduler,
+)
 from repro.sim.collector import RssCollector
 from repro.sim.specs import (
     ScenarioSpec,
@@ -262,8 +285,82 @@ def _serve_specs(args: argparse.Namespace) -> Dict[str, ScenarioSpec]:
     return specs
 
 
+def _serve_listen(args: argparse.Namespace, specs: Dict[str, ScenarioSpec]) -> int:
+    """The ``serve --listen`` path: wire front-end(s) over the site fleet."""
+    if args.shards:
+        backend = ShardedService(specs, shards=args.shards, seed=args.seed)
+    else:
+        backend = LocalizationService.from_specs(specs, seed=args.seed)
+    start = time.perf_counter()
+    backend.warm()
+    print(
+        f"warmed {len(specs)} site(s) in {time.perf_counter() - start:.2f}s"
+        + (f" across {args.shards} shard worker(s)" if args.shards else "")
+    )
+    for day in args.update_days:
+        for site in specs:
+            backend.update(site, float(day))
+    frontends = []
+    if args.listen:
+        host, _, port = args.listen.rpartition(":")
+        frontends.append(
+            HttpFrontend(backend, host or "127.0.0.1", int(port))
+        )
+    if args.unix_socket:
+        frontends.append(UnixFrontend(backend, args.unix_socket))
+    scheduler = None
+    if args.refresh_policy != "off":
+        scheduler = UpdateScheduler(
+            backend,
+            SchedulerConfig(
+                policy=args.refresh_policy,
+                interval_days=args.refresh_interval_days,
+                budget=args.refresh_budget,
+            ),
+        ).start(
+            SimClock(args.day, args.days_per_second),
+            period_seconds=args.refresh_period_seconds,
+        )
+        print(
+            f"refresh scheduler: {args.refresh_policy}, threshold "
+            f"{args.refresh_interval_days:g} d, budget "
+            f"{args.refresh_budget or 'unlimited'}, clock "
+            f"{args.days_per_second:g} d/s from day {args.day:g}"
+        )
+    try:
+        for frontend in frontends:
+            frontend.start()
+            # Flushed eagerly: supervisors (and the CLI test) read the
+            # address from a pipe while the server is still running.
+            print(f"listening at {frontend.address}", flush=True)
+        print("serving (Ctrl-C to stop)", flush=True)
+        if args.max_seconds is not None:
+            time.sleep(args.max_seconds)
+        else:  # pragma: no cover - interactive path
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        if scheduler is not None:
+            scheduler.stop()
+        for frontend in frontends:
+            frontend.close()
+        if args.shards:
+            backend.close()
+    if scheduler is not None:
+        print(
+            f"scheduler ran {scheduler.stats.ticks} tick(s): "
+            f"{scheduler.stats.updates} update(s), "
+            f"{scheduler.stats.commissions} commission(s)"
+        )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     specs = _serve_specs(args)
+    if args.listen or args.unix_socket:
+        return _serve_listen(args, specs)
     service = LocalizationService.from_specs(specs, seed=args.seed)
     rows = []
     for site in service.sites():
@@ -326,11 +423,6 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     spec = _spec(args)
-    service = LocalizationService.from_specs(
-        {spec.name: spec}, seed=args.seed
-    )
-    for day in args.update_days:
-        service.update(spec.name, float(day))
     scenario = cached_scenario(spec, build_scenario)
     if args.cells:
         cells = [int(cell) for cell in args.cells]
@@ -341,7 +433,22 @@ def _cmd_query(args: argparse.Namespace) -> int:
     trace = RssCollector(
         scenario, seed=_sub_seed(args.seed, "query-trace")
     ).live_trace(args.day, cells)
-    result = service.query_trace(spec.name, trace)
+    if args.connect:
+        # Route through a running wire front-end (`serve --listen`); the
+        # server must be serving a site named after the selected scenario.
+        with ServiceClient(args.connect) as client:
+            for day in args.update_days:
+                client.update(spec.name, float(day))
+            result = client.query_trace(spec.name, trace)
+    else:
+        service = LocalizationService.from_specs(
+            {spec.name: spec}, seed=args.seed
+        )
+        # Warm before updating: update() refuses cold sites by contract.
+        service.warm()
+        for day in args.update_days:
+            service.update(spec.name, float(day))
+        result = service.query_trace(spec.name, trace)
     deltas = result.positions - trace.true_positions
     errors = np.hypot(deltas[:, 0], deltas[:, 1])
     rows = [
@@ -498,6 +605,45 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--day", type=float, default=0.0, help="query day for the workload"
     )
+    serve.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="serve the JSON protocol over HTTP instead of running the "
+        "demo (port 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--unix", dest="unix_socket", default=None, metavar="PATH",
+        help="also (or instead) serve over a unix domain socket",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="partition sites across N worker processes (0 = in-process; "
+        "answers are bit-identical for any value)",
+    )
+    serve.add_argument(
+        "--refresh-policy", default="off",
+        choices=["off", "interval", "round-robin", "priority"],
+        help="background fingerprint refresh policy (with --listen)",
+    )
+    serve.add_argument(
+        "--refresh-interval-days", type=float, default=30.0,
+        help="staleness threshold before a site is eligible for refresh",
+    )
+    serve.add_argument(
+        "--refresh-budget", type=int, default=None,
+        help="max refresh actions per scheduler tick",
+    )
+    serve.add_argument(
+        "--refresh-period-seconds", type=float, default=1.0,
+        help="wall seconds between scheduler ticks",
+    )
+    serve.add_argument(
+        "--days-per-second", type=float, default=1.0,
+        help="simulation-day clock rate driving the refresh scheduler",
+    )
+    serve.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="stop serving after this many seconds (smoke tests/demos)",
+    )
 
     query = sub.add_parser(
         "query", help="route a live query batch through the serving layer"
@@ -514,6 +660,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--update-days", type=float, nargs="*", default=[],
         help="run a fingerprint refresh at each day before querying",
+    )
+    query.add_argument(
+        "--connect", default=None, metavar="URL",
+        help="route the batch through a running `serve --listen` server "
+        "(http://host:port or unix:///path) instead of in-process",
     )
     return parser
 

@@ -179,6 +179,12 @@ class TafLoc:
         epoch — allocates nothing per call. ``refresh=True`` forces a
         rebuild (the pre-cache behavior, kept for benchmarking the rebuild
         cost and for callers that mutate matcher state).
+
+        The lookup tolerates a concurrent :meth:`update` (e.g. the serving
+        layer's background refresh scheduler appending an epoch while query
+        threads run): a query never sees a half-built cache entry — it
+        either reuses a complete matcher or builds its own — at worst
+        rebuilding one matcher redundantly around the epoch flip.
         """
         if self._matcher_cache_version != self.database.version:
             self._matcher_cache.clear()
@@ -187,9 +193,11 @@ class TafLoc:
         # Epochs are immutable and stay referenced by the database for its
         # lifetime, so id() is a stable key within one cache generation.
         key = id(fingerprint)
-        if refresh or key not in self._matcher_cache:
-            self._matcher_cache[key] = self._build_matcher(fingerprint)
-        return self._matcher_cache[key]
+        matcher = None if refresh else self._matcher_cache.get(key)
+        if matcher is None:
+            matcher = self._build_matcher(fingerprint)
+            self._matcher_cache[key] = matcher
+        return matcher
 
     def _build_matcher(self, fingerprint) -> Matcher:
         grid = self.deployment.grid

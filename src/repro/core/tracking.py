@@ -15,7 +15,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.matching import ProbabilisticMatcher
-from repro.sim.geometry import Grid, Point, Room
+from repro.sim.geometry import Point, Room
 from repro.util.rng import RandomState, as_generator
 from repro.util.validation import check_positive
 

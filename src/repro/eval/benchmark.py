@@ -13,7 +13,10 @@ row records its scenario. :func:`bench_serving` additionally measures the
 multi-site serving layer (cold vs warm, single vs batch, matcher-cache
 speedup, queries/sec with many sites in one process). The results feed
 ``BENCH_PR4.json`` (committed trajectory point; see ``EXPERIMENTS.md``)
-and the ``tafloc-repro bench`` CLI command.
+and the ``tafloc-repro bench`` CLI command. :func:`bench_frontend` measures
+the wire front-ends (HTTP / unix-socket round-trip latency and queries/sec
+vs in-process calls) and the shard layer's fan-out scaling, all gated on
+bit-identity with the in-process service.
 
 Run via ``make bench`` or ``python benchmarks/bench_perf.py``.
 """
@@ -22,6 +25,7 @@ from __future__ import annotations
 
 import json
 import platform
+import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -39,7 +43,15 @@ from repro.eval.experiments import (
     run_fig3_reconstruction_error,
     run_fig5_localization,
 )
-from repro.serve import LocalizationService, pipeline_seed, reconstructor_seed
+from repro.serve import (
+    HttpFrontend,
+    LocalizationService,
+    ServiceClient,
+    ShardedService,
+    UnixFrontend,
+    pipeline_seed,
+    reconstructor_seed,
+)
 from repro.sim.collector import CollectionProtocol, RssCollector
 from repro.sim.deployment import Deployment
 from repro.sim.scenario import Scenario
@@ -472,6 +484,165 @@ def bench_serving(
     return record
 
 
+def bench_frontend(
+    *,
+    sites: Sequence[str] = ("paper", "square-6m"),
+    frames: int = 500,
+    samples_per_cell: int = 10,
+    repeat: int = 3,
+    seed: int = _BENCH_SEED,
+    shard_counts: Sequence[int] = (1, 2),
+    singles: int = 100,
+) -> Dict[str, object]:
+    """Benchmark the wire front-end and the shard layer.
+
+    Three comparisons, all on the same per-site workloads:
+
+    * **wire vs in-process** — the HTTP and unix-socket transports answer
+      the same single queries and batches as direct
+      :class:`~repro.serve.service.LocalizationService` calls;
+      ``wire_overhead_x`` is in-process single-query throughput over HTTP
+      single-query throughput (i.e. what one JSON round trip costs), and
+      ``http_roundtrip_ms`` is the measured per-query wire latency.
+    * **shard scaling** — a :class:`~repro.serve.shard.ShardedService`
+      fans per-site batches out to ``n`` worker processes
+      (:meth:`~repro.serve.shard.ShardedService.map_query_batch`);
+      ``scaling_x`` is the fan-out throughput of ``n`` workers over 1
+      worker (≈1 on a single core, → min(shards, cores, sites) on a
+      multi-core host because workers own disjoint site sets).
+    * **bit-identity** — every transport and every shard count must
+      reproduce the in-process answers exactly; the smoke run gates CI
+      on these flags.
+    """
+    protocol = CollectionProtocol(
+        samples_per_cell=samples_per_cell, empty_room_samples=10
+    )
+    specs = {name: bench_spec(name) for name in sites}
+    service = LocalizationService.from_specs(
+        specs, protocol=protocol, seed=seed
+    )
+    service.warm()
+    workloads: Dict[str, np.ndarray] = {}
+    for index, (site, spec) in enumerate(specs.items()):
+        scenario = cached_scenario(spec, build_scenario)
+        cells = counter_stream(seed, 300 + index).integers(
+            0, scenario.deployment.cell_count, size=frames
+        )
+        workloads[site] = RssCollector(
+            scenario, protocol, seed=task_key(seed, "frontend-workload", site)
+        ).live_trace(0.0, cells).rss
+    reference = {
+        site: service.query_batch(site, rss, 0.0)
+        for site, rss in workloads.items()
+    }
+
+    record: Dict[str, object] = {
+        "sites": list(sites),
+        "frames": int(frames),
+        "singles": int(singles),
+        "per_site": {},
+        "shards": {},
+    }
+
+    def wire_rates(client) -> Dict[str, Dict[str, float]]:
+        rates: Dict[str, Dict[str, float]] = {}
+        for site, rss in workloads.items():
+            wire = client.query_batch(site, rss, 0.0)  # warm-up + identity
+            identical = bool(
+                np.array_equal(wire.cells, reference[site].cells)
+                and np.array_equal(wire.positions, reference[site].positions)
+            )
+            batch_s = _best_of(
+                lambda: client.query_batch(site, rss, 0.0), repeat
+            )
+            head = rss[: min(frames, singles)]
+            single_s = _best_of(
+                lambda: [client.query(site, frame, 0.0) for frame in head],
+                repeat,
+            )
+            rates[site] = {
+                "batch_qps": frames / batch_s if batch_s > 0 else float("inf"),
+                "single_qps": (
+                    len(head) / single_s if single_s > 0 else float("inf")
+                ),
+                "roundtrip_ms": 1000.0 * single_s / len(head),
+                "bit_identical": identical,
+            }
+        return rates
+
+    # In-process baseline on identical workloads.
+    for site, rss in workloads.items():
+        batch_s = _best_of(lambda: service.query_batch(site, rss, 0.0), repeat)
+        head = rss[: min(frames, singles)]
+        single_s = _best_of(
+            lambda: [service.query(site, frame, 0.0) for frame in head],
+            repeat,
+        )
+        record["per_site"][site] = {
+            "inproc_batch_qps": (
+                frames / batch_s if batch_s > 0 else float("inf")
+            ),
+            "inproc_single_qps": (
+                len(head) / single_s if single_s > 0 else float("inf")
+            ),
+        }
+
+    with HttpFrontend(service) as frontend:
+        with ServiceClient(frontend.address) as client:
+            for site, rates in wire_rates(client).items():
+                row = record["per_site"][site]
+                row["http_batch_qps"] = rates["batch_qps"]
+                row["http_single_qps"] = rates["single_qps"]
+                row["http_roundtrip_ms"] = rates["roundtrip_ms"]
+                row["http_bit_identical"] = rates["bit_identical"]
+                row["wire_overhead_x"] = (
+                    row["inproc_single_qps"] / rates["single_qps"]
+                    if rates["single_qps"] > 0
+                    else float("inf")
+                )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        with UnixFrontend(service, str(Path(tmp) / "bench.sock")) as frontend:
+            with ServiceClient(frontend.address) as client:
+                for site, rates in wire_rates(client).items():
+                    row = record["per_site"][site]
+                    row["unix_batch_qps"] = rates["batch_qps"]
+                    row["unix_single_qps"] = rates["single_qps"]
+                    row["unix_roundtrip_ms"] = rates["roundtrip_ms"]
+                    row["unix_bit_identical"] = rates["bit_identical"]
+
+    # Shard scaling: fan the per-site batches out to n worker processes.
+    requests = [(site, rss, 0.0) for site, rss in workloads.items()]
+    total_frames = frames * len(workloads)
+    base_qps: Optional[float] = None
+    for count in shard_counts:
+        with ShardedService(
+            specs, shards=count, protocol=protocol, seed=seed
+        ) as sharded:
+            start = time.perf_counter()
+            sharded.warm()
+            warm_s = time.perf_counter() - start
+            results = sharded.map_query_batch(requests)  # warm-up + identity
+            identical = all(
+                np.array_equal(result.cells, reference[site].cells)
+                and np.array_equal(result.positions, reference[site].positions)
+                for (site, _, _), result in zip(requests, results)
+            )
+            fanout_s = _best_of(
+                lambda: sharded.map_query_batch(requests), repeat
+            )
+            qps = total_frames / fanout_s if fanout_s > 0 else float("inf")
+            if base_qps is None:
+                base_qps = qps
+            record["shards"][str(count)] = {
+                "warm_s": warm_s,
+                "fanout_batch_qps": qps,
+                "scaling_x": qps / base_qps if base_qps > 0 else float("inf"),
+                "bit_identical": bool(identical),
+            }
+    return record
+
+
 def run_perf_bench(
     *,
     sizes: Sequence[str] = DEFAULT_SIZES,
@@ -483,6 +654,8 @@ def run_perf_bench(
     engine_jobs: Optional[int] = None,
     engine_scenario: Union[str, ScenarioSpec] = "paper",
     serving_sites: Optional[Sequence[str]] = None,
+    frontend_sites: Optional[Sequence[str]] = None,
+    frontend_shards: Sequence[int] = (1, 2),
 ) -> Dict[str, object]:
     """Run the benchmark over ``sizes``; optionally write the JSON report.
 
@@ -491,7 +664,10 @@ def run_perf_bench(
     runs the end-to-end figure/engine benchmark with that worker count on
     ``engine_scenario`` (``None`` skips it — the unit-test path).
     ``serving_sites`` additionally runs the multi-site serving benchmark
-    over those scenario names (``None`` skips it).
+    over those scenario names (``None`` skips it). ``frontend_sites``
+    additionally runs the wire/shard front-end benchmark
+    (:func:`bench_frontend`) over those names with ``frontend_shards``
+    worker counts (``None`` skips it).
     """
     report: Dict[str, object] = {
         "benchmark": "bench_perf",
@@ -522,6 +698,15 @@ def run_perf_bench(
             samples_per_cell=samples_per_cell,
             repeat=repeat,
             seed=seed,
+        )
+    if frontend_sites is not None:
+        report["frontend"] = bench_frontend(
+            sites=frontend_sites,
+            frames=frames,
+            samples_per_cell=samples_per_cell,
+            repeat=repeat,
+            seed=seed,
+            shard_counts=frontend_shards,
         )
     if out_path is not None:
         Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
@@ -586,4 +771,34 @@ def format_bench_report(report: Dict[str, object]) -> str:
             f"{multi['batch_qps']:,.0f} q/s "
             f"({multi['pipelines_built']} pipeline(s) built)"
         )
+    frontend = report.get("frontend")
+    if frontend:
+        lines.append("")
+        lines.append(
+            f"wire front-end ({len(frontend['sites'])} site(s), "
+            f"{frontend['frames']} frames/batch, "
+            f"{frontend['singles']} single round trips):"
+        )
+        for site, row in frontend["per_site"].items():
+            identical = (
+                "bit-identical"
+                if row.get("http_bit_identical")
+                and row.get("unix_bit_identical")
+                else "MISMATCH"
+            )
+            lines.append(
+                f"  {site:<12} in-proc {row['inproc_single_qps']:,.0f} q/s | "
+                f"http {row['http_single_qps']:,.0f} q/s "
+                f"({row['http_roundtrip_ms']:.2f} ms/rt, "
+                f"{row['wire_overhead_x']:.1f}x overhead) | "
+                f"unix {row['unix_single_qps']:,.0f} q/s | "
+                f"http batch {row['http_batch_qps']:,.0f} q/s ({identical})"
+            )
+        for count, row in frontend["shards"].items():
+            identical = "bit-identical" if row["bit_identical"] else "MISMATCH"
+            lines.append(
+                f"  shards={count}: warm {row['warm_s']:.2f}s | fan-out "
+                f"{row['fanout_batch_qps']:,.0f} q/s "
+                f"({row['scaling_x']:.2f}x vs 1 worker, {identical})"
+            )
     return "\n".join(lines)

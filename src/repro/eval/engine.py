@@ -50,7 +50,25 @@ __all__ = [
     "EngineStats",
     "cached_scenario",
     "task_fingerprint",
+    "worker_context",
 ]
+
+
+def worker_context():
+    """The multiprocessing context for long-lived worker processes.
+
+    On Linux, fork keeps workers importing nothing: they inherit the
+    parent's modules (and its scenario cache), which matters both for
+    startup latency and for running under pytest, whose ``__main__`` must
+    not be re-executed by a spawn. Elsewhere (notably macOS, where forking
+    a process with live BLAS/Obj-C state is unsafe) the platform default
+    start method is used; worker entry points are module-level functions,
+    so they survive a spawn. Shared by the engine's process pool and the
+    serving layer's shard workers (:mod:`repro.serve.shard`).
+    """
+    if sys.platform.startswith("linux") and "fork" in get_all_start_methods():
+        return get_context("fork")
+    return get_context()
 
 
 # ----------------------------------------------------------------------
@@ -291,21 +309,8 @@ class ExperimentEngine:
     def _ensure_executor(self) -> ProcessPoolExecutor:
         """The persistent pool, created on first parallel use."""
         if self._executor is None:
-            # On Linux, fork keeps workers importing nothing: they inherit
-            # the parent's modules (and its scenario cache), which matters
-            # both for startup latency and for running under pytest, whose
-            # __main__ must not be re-executed by a spawn. Elsewhere
-            # (notably macOS, where forking a process with live BLAS/Obj-C
-            # state is unsafe) the platform default start method is used;
-            # tasks are module-level, so they survive a spawn.
-            context = (
-                get_context("fork")
-                if sys.platform.startswith("linux")
-                and "fork" in get_all_start_methods()
-                else get_context()
-            )
             self._executor = ProcessPoolExecutor(
-                max_workers=self.jobs, mp_context=context
+                max_workers=self.jobs, mp_context=worker_context()
             )
             self.stats.pools_created += 1
             self._finalizer = weakref.finalize(

@@ -1,27 +1,64 @@
-"""Multi-site serving layer: many scenario realizations, one process.
+"""Serving layer: many scenario realizations behind one query surface.
 
 :class:`~repro.serve.manager.SiteManager` registers named sites and lazily
 materializes one commissioned :class:`~repro.core.pipeline.TafLoc` pipeline
 per distinct scenario spec (shared by fingerprint);
 :class:`~repro.serve.service.LocalizationService` routes
 ``(site, day, RSS)`` queries to the right pipeline and answers them through
-the batch matching kernels. See ``tafloc-repro serve`` / ``query`` for the
-CLI surface and ``benchmarks/bench_perf.py`` for throughput numbers.
+the batch matching kernels. On top of the in-process service sit the
+deployment pieces:
+
+* :mod:`repro.serve.frontend` — the wire front-ends (HTTP and unix-socket
+  JSON protocol) plus :class:`~repro.serve.frontend.ServiceClient`;
+* :mod:`repro.serve.scheduler` — staleness-driven background fingerprint
+  refresh (interval / round-robin / priority policies);
+* :mod:`repro.serve.shard` — site partitioning across worker processes
+  with a pure-routing front-end, bit-identical for any shard count;
+* :mod:`repro.serve.check` — the CI smoke gate asserting wire and shard
+  answers equal the in-process service bit for bit.
+
+See ``tafloc-repro serve --listen`` / ``query --connect`` for the CLI
+surface and ``benchmarks/bench_perf.py`` for throughput numbers.
 """
 
+from repro.serve.frontend import (
+    HttpFrontend,
+    RemoteBatchResult,
+    RemoteMatchResult,
+    ServiceClient,
+    UnixFrontend,
+)
 from repro.serve.manager import (
     SiteManager,
     SiteManagerStats,
     pipeline_seed,
     reconstructor_seed,
 )
+from repro.serve.scheduler import (
+    SchedulerConfig,
+    SimClock,
+    UpdateAction,
+    UpdateScheduler,
+)
 from repro.serve.service import LocalizationService, ServiceStats
+from repro.serve.shard import ShardedService, shard_for_site
 
 __all__ = [
+    "HttpFrontend",
     "LocalizationService",
+    "RemoteBatchResult",
+    "RemoteMatchResult",
+    "SchedulerConfig",
+    "ServiceClient",
     "ServiceStats",
+    "ShardedService",
+    "SimClock",
     "SiteManager",
     "SiteManagerStats",
+    "UnixFrontend",
+    "UpdateAction",
+    "UpdateScheduler",
     "pipeline_seed",
     "reconstructor_seed",
+    "shard_for_site",
 ]

@@ -1,0 +1,168 @@
+"""The frontend smoke gate: wire and shard serving must not change bits.
+
+``python -m repro.serve.check`` (CI's ``frontend-smoke`` step, also
+``make frontend-smoke``) stands up the full serving stack at toy scale
+and asserts the one contract everything in this package is built around:
+
+1. **Wire identity** — a query batch routed through a live HTTP server
+   (and through the unix-socket transport) returns cells/positions/scores
+   bit-identical to an in-process
+   :class:`~repro.serve.service.LocalizationService` built with the same
+   seeds. JSON floats round-trip exactly; this gate notices if that, the
+   encoding, or the routing ever stops being true.
+2. **Shard identity** — a :class:`~repro.serve.shard.ShardedService` with
+   N >= 2 workers answers the same query stream bit-identically to N = 1
+   and to the in-process service.
+3. **Error contract** — a wrong-site query comes back as 404/KeyError
+   through the wire, matching the in-process contract.
+
+Exit code 0 means every identity held; 1 names what broke.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.eval.engine import cached_scenario
+from repro.serve.frontend import HttpFrontend, ServiceClient, UnixFrontend
+from repro.serve.service import LocalizationService
+from repro.serve.shard import ShardedService
+from repro.sim.collector import CollectionProtocol, RssCollector
+from repro.sim.specs import build_scenario, get_scenario_spec
+from repro.util.rng import counter_stream, task_key
+
+__all__ = ["main", "run_check"]
+
+_DEFAULT_SITES = ("square-3m", "square-4m")
+
+
+def _workloads(
+    specs: Dict[str, object],
+    protocol: CollectionProtocol,
+    frames: int,
+    seed: int,
+) -> Dict[str, np.ndarray]:
+    out = {}
+    for index, (site, spec) in enumerate(specs.items()):
+        scenario = cached_scenario(spec, build_scenario)
+        cells = counter_stream(seed, 500 + index).integers(
+            0, scenario.deployment.cell_count, size=frames
+        )
+        out[site] = RssCollector(
+            scenario, protocol, seed=task_key(seed, "frontend-check", site)
+        ).live_trace(0.0, cells).rss
+    return out
+
+
+def _identical(wire, reference) -> bool:
+    return bool(
+        np.array_equal(wire.cells, reference.cells)
+        and np.array_equal(wire.positions, reference.positions)
+        and (
+            wire.scores is None
+            or np.array_equal(wire.scores, reference.scores)
+        )
+    )
+
+
+def run_check(
+    *,
+    sites: Tuple[str, ...] = _DEFAULT_SITES,
+    frames: int = 16,
+    shards: int = 2,
+    samples_per_cell: int = 2,
+    seed: int = 2016,
+) -> List[Tuple[str, bool, str]]:
+    """Run every gate; returns ``(name, passed, detail)`` rows."""
+    protocol = CollectionProtocol(
+        samples_per_cell=samples_per_cell, empty_room_samples=5
+    )
+    specs = {name: get_scenario_spec(name) for name in sites}
+    service = LocalizationService.from_specs(specs, protocol=protocol, seed=seed)
+    service.warm()
+    workloads = _workloads(specs, protocol, frames, seed)
+    reference = {
+        site: service.query_batch(site, rss, 0.0)
+        for site, rss in workloads.items()
+    }
+    rows: List[Tuple[str, bool, str]] = []
+
+    # 1. HTTP wire identity (+ error contract through the wire).
+    with HttpFrontend(service) as frontend:
+        with ServiceClient(frontend.address) as client:
+            for site, rss in workloads.items():
+                wire = client.query_batch(site, rss, 0.0, include_scores=True)
+                rows.append(
+                    (
+                        f"http:{site}",
+                        _identical(wire, reference[site]),
+                        f"{frontend.address} {wire.frame_count} frames",
+                    )
+                )
+            try:
+                client.query_batch("nowhere", workloads[sites[0]], 0.0)
+                rows.append(("http:error-contract", False, "no KeyError"))
+            except KeyError:
+                rows.append(("http:error-contract", True, "404 -> KeyError"))
+
+    # 2. Unix-socket wire identity.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = str(Path(tmp) / "serve.sock")
+        with UnixFrontend(service, path) as frontend:
+            with ServiceClient(frontend.address) as client:
+                for site, rss in workloads.items():
+                    wire = client.query_batch(
+                        site, rss, 0.0, include_scores=True
+                    )
+                    rows.append(
+                        (
+                            f"unix:{site}",
+                            _identical(wire, reference[site]),
+                            f"{frames} frames",
+                        )
+                    )
+
+    # 3. Shard identity: N workers vs one worker vs in-process.
+    for count in sorted({1, shards}):
+        with ShardedService(
+            specs, shards=count, protocol=protocol, seed=seed
+        ) as sharded:
+            sharded.warm()
+            results = sharded.map_query_batch(
+                [(site, rss, 0.0) for site, rss in workloads.items()]
+            )
+            for (site, _), result in zip(workloads.items(), results):
+                rows.append(
+                    (
+                        f"shards={count}:{site}",
+                        _identical(result, reference[site]),
+                        "worker process" if count == 1 else "fan-out",
+                    )
+                )
+    return rows
+
+
+def main(argv=None) -> int:
+    rows = run_check()
+    width = max(len(name) for name, _, _ in rows)
+    for name, passed, detail in rows:
+        print(f"{name:<{width}}  {'ok' if passed else 'MISMATCH'}  {detail}")
+    failed = [name for name, passed, _ in rows if not passed]
+    if failed:
+        print(
+            f"FAIL: {len(failed)} identity check(s) broke: "
+            + ", ".join(failed),
+            file=sys.stderr,
+        )
+        return 1
+    print(f"frontend smoke: all {len(rows)} identity checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

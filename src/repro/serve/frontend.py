@@ -1,0 +1,545 @@
+"""Wire front-ends for the serving layer, stdlib only.
+
+Two transports carry the JSON protocol of :mod:`repro.serve.protocol`:
+
+* :class:`HttpFrontend` — a threaded HTTP server
+  (:class:`http.server.ThreadingHTTPServer`): ``POST /<method>`` with a
+  JSON params body, status codes per the serving error contract, HTTP/1.1
+  keep-alive so a steady client pays one TCP handshake, not one per query.
+  Parameterless read-only methods are also reachable as ``GET`` (handy for
+  ``curl http://host:port/health``).
+* :class:`UnixFrontend` — newline-delimited JSON over a unix domain
+  socket: one ``{"method", "params"}`` line in, one ``{"status", "body"}``
+  line out, persistent connections. The lower-overhead local transport.
+
+:class:`ServiceClient` speaks both (``http://host:port`` or
+``unix:///path``) and reverses the status mapping, so remote errors arrive
+as the same exception types the in-process
+:class:`~repro.serve.service.LocalizationService` raises, and batch
+results come back as numpy arrays that are bit-identical to the
+in-process answers (float64 survives JSON round-trip exactly; the CI
+frontend smoke gate in :mod:`repro.serve.check` asserts it).
+
+Both servers serve requests on handler threads; the backend's warm query
+path is read-only and the matcher cache tolerates a concurrent scheduler
+update (see :meth:`repro.core.pipeline.TafLoc.matcher_for_day`), so
+queries never block behind a background refresh.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import socket
+import socketserver
+import threading
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from urllib.parse import parse_qsl, urlsplit
+
+import numpy as np
+
+from repro.serve.protocol import ERROR_TYPES, decode, dispatch, encode
+from repro.sim.trace import LiveTrace
+
+__all__ = [
+    "HttpFrontend",
+    "RemoteBatchResult",
+    "RemoteMatchResult",
+    "ServiceClient",
+    "UnixFrontend",
+]
+
+#: Methods reachable via GET (no body, optional query-string params).
+_GET_METHODS = ("health", "sites", "summary", "stats", "site_summary",
+                "staleness")
+
+#: Methods the client may transparently re-send after a stale-connection
+#: failure. update/commission are deliberately absent: re-sending one
+#: whose first copy may still execute could append a duplicate epoch (or
+#: turn a succeeded commission into an "already commissioned" error).
+_IDEMPOTENT_METHODS = frozenset(
+    {
+        "query",
+        "query_batch",
+        "query_trace",
+        "site_summary",
+        "summary",
+        "sites",
+        "warm",
+        "staleness",
+        "stats",
+        "health",
+    }
+)
+
+
+# ----------------------------------------------------------------------
+# HTTP transport
+# ----------------------------------------------------------------------
+class _HttpHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "tafloc-serve"
+    # Small request/response pairs on a keep-alive connection hit the
+    # Nagle + delayed-ACK interaction (~40 ms per round trip) unless
+    # TCP_NODELAY is set on both ends; see also _HttpTransport._connect.
+    disable_nagle_algorithm = True
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request logging is the caller's business, not stderr's
+
+    def _respond(self, status: int, body: Dict[str, Any]) -> None:
+        payload = encode(body)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _method(self) -> Tuple[str, Dict[str, Any]]:
+        parts = urlsplit(self.path)
+        return parts.path.strip("/"), dict(parse_qsl(parts.query))
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib dispatch-by-name
+        method, params = self._method()
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            body = decode(raw) if raw.strip() else {}
+        except ValueError as error:
+            self._respond(400, {"error": "ValueError", "message": str(error)})
+            return
+        body_params = body.get("params", body) or {}
+        if not isinstance(body_params, dict):
+            self._respond(
+                400,
+                {
+                    "error": "ValueError",
+                    "message": "params must be a JSON object, got "
+                    f"{type(body_params).__name__}",
+                },
+            )
+            return
+        params.update(body_params)
+        self._respond(*dispatch(self.server.backend, method, params))
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib dispatch-by-name
+        method, params = self._method()
+        if method not in _GET_METHODS:
+            self._respond(
+                404,
+                {
+                    "error": "KeyError",
+                    "message": f"GET {self.path!r} is not routable; POST "
+                    f"/<method> (GET serves: {', '.join(_GET_METHODS)})",
+                },
+            )
+            return
+        self._respond(*dispatch(self.server.backend, method, params))
+
+
+class _HttpServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, backend) -> None:
+        super().__init__(address, _HttpHandler)
+        self.backend = backend
+
+
+class _Frontend:
+    """Start/stop plumbing shared by the HTTP and unix front-ends."""
+
+    _server: socketserver.BaseServer
+
+    def __init__(self) -> None:
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "_Frontend":
+        """Serve on a daemon thread; returns self (so ``with X().start()``)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                kwargs={"poll_interval": 0.05},
+                daemon=True,
+                name=f"{type(self).__name__}",
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI ``serve --listen`` path)."""
+        self._server.serve_forever(poll_interval=0.5)
+
+    def close(self) -> None:
+        self._server.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "_Frontend":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class HttpFrontend(_Frontend):
+    """HTTP front-end over a service backend (in-process or sharded).
+
+    ``port=0`` binds an ephemeral port; read :attr:`address` after
+    construction. The server runs on daemon handler threads — call
+    :meth:`start` for a background server (tests, benchmarks) or
+    :meth:`serve_forever` to donate the calling thread (the CLI).
+    """
+
+    def __init__(self, backend, host: str = "127.0.0.1", port: int = 0) -> None:
+        super().__init__()
+        self._server = _HttpServer((host, port), backend)
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+
+# ----------------------------------------------------------------------
+# unix-socket transport
+# ----------------------------------------------------------------------
+class _UnixHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        for line in self.rfile:
+            if not line.strip():
+                continue
+            try:
+                request = decode(line)
+            except ValueError as error:
+                status, body = 400, {
+                    "error": "ValueError",
+                    "message": str(error),
+                }
+            else:
+                status, body = dispatch(
+                    self.server.backend,
+                    str(request.get("method", "")),
+                    request.get("params"),
+                )
+            self.wfile.write(encode({"status": status, "body": body}))
+            self.wfile.flush()
+
+
+class UnixFrontend(_Frontend):
+    """Unix-domain-socket front-end: NDJSON requests over ``path``."""
+
+    def __init__(self, backend, path: str) -> None:
+        if not hasattr(socketserver, "ThreadingUnixStreamServer"):
+            raise RuntimeError(
+                "unix-socket serving requires AF_UNIX support (POSIX)"
+            )
+        super().__init__()
+        self.path = str(path)
+        if os.path.exists(self.path):
+            os.unlink(self.path)
+
+        class _Server(socketserver.ThreadingUnixStreamServer):
+            daemon_threads = True
+
+        self._server = _Server(self.path, _UnixHandler)
+        self._server.backend = backend
+
+    @property
+    def address(self) -> str:
+        return f"unix://{self.path}"
+
+    def close(self) -> None:
+        super().close()
+        if os.path.exists(self.path):
+            os.unlink(self.path)
+
+
+# ----------------------------------------------------------------------
+# client
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RemoteMatchResult:
+    """One localization answer received over the wire."""
+
+    cell: int
+    position: Tuple[float, float]
+    score: float
+
+
+@dataclass(frozen=True)
+class RemoteBatchResult:
+    """A batch of localization answers received over the wire.
+
+    Mirrors the columnar fields of
+    :class:`~repro.core.matching.BatchMatchResult` so bit-identity checks
+    can compare ``cells``/``positions`` (and ``scores`` when requested)
+    directly with ``np.array_equal``.
+    """
+
+    cells: np.ndarray
+    positions: np.ndarray
+    scores: Optional[np.ndarray] = None
+
+    @property
+    def frame_count(self) -> int:
+        return int(self.cells.shape[0])
+
+
+class _HttpTransport:
+    def __init__(self, host: str, port: int, timeout: float) -> None:
+        self._host, self._port, self._timeout = host, port, timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+            self._connection.connect()
+            # The server's half is disable_nagle_algorithm; without the
+            # client half, every query pays a ~40 ms Nagle/delayed-ACK
+            # stall instead of a sub-millisecond round trip.
+            self._connection.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+        return self._connection
+
+    def call(
+        self, method: str, params: Dict[str, Any], *, retry: bool
+    ) -> Tuple[int, Dict]:
+        payload = json.dumps({"params": params})
+        headers = {"Content-Type": "application/json"}
+        for attempt in (0, 1):
+            connection = self._connect()
+            try:
+                connection.request("POST", f"/{method}", payload, headers)
+                response = connection.getresponse()
+                return response.status, json.loads(response.read() or b"{}")
+            except TimeoutError:
+                # The request may still be executing server-side; never
+                # re-send on a timeout, even for idempotent methods.
+                self.close()
+                raise
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # Stale keep-alive connection: reconnect and re-send once,
+                # but only when a duplicate execution is harmless.
+                self.close()
+                if attempt or not retry:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+
+class _UnixTransport:
+    def __init__(self, path: str, timeout: float) -> None:
+        self._path, self._timeout = path, timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+
+    def _connect(self):
+        if self._sock is None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(self._timeout)
+            self._sock.connect(self._path)
+            self._file = self._sock.makefile("rb")
+        return self._sock, self._file
+
+    def call(
+        self, method: str, params: Dict[str, Any], *, retry: bool
+    ) -> Tuple[int, Dict]:
+        for attempt in (0, 1):
+            sock, reader = self._connect()
+            try:
+                sock.sendall(encode({"method": method, "params": params}))
+                line = reader.readline()
+                if not line:
+                    raise ConnectionError("server closed the connection")
+                response = decode(line)
+                return int(response["status"]), response.get("body", {})
+            except TimeoutError:
+                self.close()  # may still execute server-side: never re-send
+                raise
+            except (ConnectionError, OSError):
+                self.close()
+                if attempt or not retry:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+
+class ServiceClient:
+    """Client for a serving front-end; mirrors the in-process contract.
+
+    ``address`` is ``"http://host:port"`` or ``"unix:///path"``. The
+    connection is persistent (keep-alive / stream) and guarded by a lock,
+    so one client may be shared across threads; per-thread clients avoid
+    the lock when throughput matters. Contract errors raised by the remote
+    service re-raise locally as their original types (``KeyError`` for an
+    unknown site, ``ValueError`` for malformed RSS, ...), which is what
+    makes swapping :class:`~repro.serve.service.LocalizationService` for a
+    client a one-line change.
+    """
+
+    def __init__(self, address: str, *, timeout: float = 30.0) -> None:
+        self.address = str(address)
+        parts = urlsplit(self.address)
+        if parts.scheme == "http":
+            if parts.hostname is None or parts.port is None:
+                raise ValueError(
+                    f"http address must be http://host:port, got {address!r}"
+                )
+            self._transport = _HttpTransport(
+                parts.hostname, parts.port, timeout
+            )
+        elif parts.scheme == "unix":
+            path = parts.path or parts.netloc
+            if not path:
+                raise ValueError(
+                    f"unix address must be unix:///path, got {address!r}"
+                )
+            self._transport = _UnixTransport(path, timeout)
+        else:
+            raise ValueError(
+                f"unsupported address {address!r} (use http:// or unix://)"
+            )
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def call(self, method: str, params: Optional[Dict[str, Any]] = None):
+        """One raw protocol round trip; raises mapped contract errors.
+
+        Read-only/idempotent methods transparently survive one stale
+        keep-alive connection (e.g. a server restart between calls);
+        ``update``/``commission`` never re-send — a duplicate execution
+        would not be harmless — so a transport error there surfaces to
+        the caller, who knows whether repeating is safe.
+        """
+        with self._lock:
+            status, body = self._transport.call(
+                method, params or {}, retry=method in _IDEMPOTENT_METHODS
+            )
+        if status >= 400:
+            error = ERROR_TYPES.get(body.get("error", ""), RuntimeError)
+            raise error(body.get("message", f"server returned {status}"))
+        return body
+
+    def close(self) -> None:
+        self._transport.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # the service surface
+    # ------------------------------------------------------------------
+    def query(
+        self, site: str, rss: Sequence[float], day: float
+    ) -> RemoteMatchResult:
+        body = self.call(
+            "query",
+            {"site": site, "rss": np.asarray(rss).tolist(), "day": day},
+        )
+        return RemoteMatchResult(
+            cell=int(body["cell"]),
+            position=(body["position"][0], body["position"][1]),
+            score=float(body["score"]),
+        )
+
+    def _batch(
+        self, method: str, site: str, frames, day: float, include_scores: bool
+    ) -> RemoteBatchResult:
+        body = self.call(
+            method,
+            {
+                "site": site,
+                "frames": np.asarray(frames).tolist(),
+                "day": day,
+                "include_scores": include_scores,
+            },
+        )
+        return RemoteBatchResult(
+            cells=np.asarray(body["cells"], dtype=int),
+            positions=np.asarray(body["positions"], dtype=float),
+            scores=(
+                np.asarray(body["scores"], dtype=float)
+                if "scores" in body
+                else None
+            ),
+        )
+
+    def query_batch(
+        self, site: str, frames, day: float, *, include_scores: bool = False
+    ) -> RemoteBatchResult:
+        return self._batch("query_batch", site, frames, day, include_scores)
+
+    def query_trace(
+        self,
+        site: str,
+        trace: Union[LiveTrace, np.ndarray],
+        day: Optional[float] = None,
+        *,
+        include_scores: bool = False,
+    ) -> RemoteBatchResult:
+        """Localize a live trace (its own day) or a frames array at ``day``."""
+        if isinstance(trace, LiveTrace):
+            frames, day = trace.rss, trace.day
+        elif day is None:
+            raise ValueError("day is required when trace is a frames array")
+        else:
+            frames = trace
+        return self._batch("query_trace", site, frames, day, include_scores)
+
+    def warm(self, sites: Optional[Iterable[str]] = None) -> List[str]:
+        params = {} if sites is None else {"sites": list(sites)}
+        return list(self.call("warm", params)["warmed"])
+
+    def update(self, site: str, day: float, *, cold: str = "raise") -> Dict:
+        return self.call("update", {"site": site, "day": day, "cold": cold})
+
+    def commission(self, site: str, day: float) -> Dict:
+        return self.call("commission", {"site": site, "day": day})
+
+    def staleness(self, site: str, day: float) -> Optional[float]:
+        return self.call("staleness", {"site": site, "day": day})["staleness"]
+
+    def site_summary(self, site: str) -> Dict[str, Any]:
+        return self.call("site_summary", {"site": site})
+
+    def summary(self) -> List[Dict[str, Any]]:
+        return self.call("summary")["sites"]
+
+    def sites(self) -> List[str]:
+        return self.call("sites")["sites"]
+
+    def stats(self) -> Dict[str, Any]:
+        return self.call("stats")
+
+    def health(self) -> Dict[str, Any]:
+        return self.call("health")

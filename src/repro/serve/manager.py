@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
+from repro.core.fingerprint import FingerprintMatrix
 from repro.core.pipeline import TafLoc, TafLocConfig, UpdateReport
 from repro.eval.engine import cached_scenario, task_fingerprint
 from repro.sim.collector import CollectionProtocol, RssCollector
@@ -176,6 +177,14 @@ class SiteManager:
         the shared pipeline; later lookups are a plain dict hit, keeping
         the steady-state routing path allocation-free.
         """
+        return self._resolve(site)
+
+    def _resolve(self, site: str, *, commission: Optional[bool] = None) -> TafLoc:
+        """Shared site→pipeline resolution behind :meth:`pipeline` and
+        :meth:`_resolve_raw`; ``commission`` only applies when this call
+        is the one that materializes (``None`` = the manager's
+        ``auto_commission`` policy, ``False`` = leave it raw for an
+        explicit lifecycle caller)."""
         resolved = self._by_site.get(site)
         if resolved is not None:
             return resolved
@@ -185,7 +194,9 @@ class SiteManager:
             spec = self._specs[site]
             key = task_fingerprint(spec)
             if key not in self._pipelines:
-                self._pipelines[key] = self._materialize(spec)
+                self._pipelines[key] = self._materialize(
+                    spec, commission=commission
+                )
                 self.stats.pipelines_built += 1
             else:
                 self.stats.pipelines_shared += 1
@@ -203,12 +214,82 @@ class SiteManager:
             raise KeyError(self._unknown(site))
         return task_fingerprint(self._specs[site]) in self._pipelines
 
-    def update(self, site: str, day: float) -> UpdateReport:
-        """Run a cheap fingerprint refresh on the site's pipeline."""
-        return self.pipeline(site).update(day)
+    def commission(self, site: str, day: float) -> FingerprintMatrix:
+        """Run the site's commissioning survey at ``day``, explicitly.
+
+        Materializes the pipeline if needed — *without* the lazy path's
+        implicit ``commission_day`` survey — and commissions it at ``day``,
+        so a cold site's first epoch lands exactly where the caller (e.g.
+        the update scheduler catching up a site registered mid-flight)
+        says it does. Raises :class:`RuntimeError` if the site is already
+        commissioned: re-surveying is not a refresh, it would shadow the
+        learned time-stable structure — call :meth:`update` instead.
+        """
+        system = self._resolve_raw(site)
+        if system.commissioned:
+            raise RuntimeError(
+                f"site {site!r} is already commissioned (epoch days: "
+                f"{system.database.days}); use update() to refresh it"
+            )
+        return system.commission(day)
+
+    def update(
+        self, site: str, day: float, *, cold: str = "raise"
+    ) -> Optional[UpdateReport]:
+        """Run a cheap fingerprint refresh on the site's pipeline.
+
+        The **cold-update contract**: updating a site whose pipeline was
+        never materialized (or never commissioned) is ambiguous — there is
+        no reference structure to reconstruct against, and silently
+        commissioning first would plant a surprise epoch at
+        ``commission_day`` next to the requested one. ``cold`` selects the
+        behavior explicitly:
+
+        * ``"raise"`` (default) — raise :class:`RuntimeError`; the caller
+          decides between :meth:`commission` and :meth:`pipeline`/warm.
+        * ``"commission"`` — run the commissioning survey at ``day``
+          instead (the refresh *is* the survey) and return ``None``: the
+          site ends up with exactly one epoch, at ``day``, and later
+          updates reconstruct against it.
+
+        Returns the :class:`~repro.core.pipeline.UpdateReport` for a warm
+        update, ``None`` when ``cold="commission"`` commissioned instead.
+        """
+        if cold not in ("raise", "commission"):
+            raise ValueError(
+                f"cold must be 'raise' or 'commission', got {cold!r}"
+            )
+        if site not in self:
+            raise KeyError(self._unknown(site))
+        if self.materialized(site):
+            system = self.pipeline(site)
+            if system.commissioned:
+                return system.update(day)
+        if cold == "raise":
+            # Deliberately does not materialize anything: a refused cold
+            # update must leave the site exactly as lazy as it found it.
+            raise RuntimeError(
+                f"cold update: site {site!r} has no commissioned pipeline "
+                f"to refresh at day {day:g}; call commission(site, day) "
+                "(or warm the site) first, or pass cold='commission' to "
+                "survey at the update day"
+            )
+        self._resolve_raw(site).commission(day)
+        return None
 
     # ------------------------------------------------------------------
-    def _materialize(self, spec: ScenarioSpec) -> TafLoc:
+    def _resolve_raw(self, site: str) -> TafLoc:
+        """The site's pipeline, materialized *without* auto-commissioning.
+
+        The commission/update entry points use this so lifecycle decisions
+        (when and whether to survey) stay theirs; the returned pipeline is
+        the same shared object :meth:`pipeline` would serve.
+        """
+        return self._resolve(site, commission=False)
+
+    def _materialize(
+        self, spec: ScenarioSpec, *, commission: Optional[bool] = None
+    ) -> TafLoc:
         scenario = cached_scenario(spec, build_scenario)
         system = TafLoc(
             RssCollector(
@@ -217,7 +298,7 @@ class SiteManager:
             self.config,
             seed=reconstructor_seed(spec, self.seed),
         )
-        if self.auto_commission:
+        if self.auto_commission if commission is None else commission:
             system.commission(self.commission_day)
         return system
 

@@ -1,0 +1,309 @@
+"""The serving wire protocol: JSON methods over any byte transport.
+
+One request is ``{"method": <name>, "params": {...}}``; one response is a
+JSON object plus an HTTP-style status code. The protocol is deliberately
+transport-agnostic: the HTTP front-end carries the status in the response
+line and the body as JSON, the unix-socket front-end carries both in one
+newline-delimited JSON object (``{"status": ..., "body": ...}``) — either
+way :func:`dispatch` is the single implementation, so the two transports
+cannot drift apart.
+
+**Bit-identity over the wire.** Results are encoded with :mod:`json`,
+whose float serialization is ``repr``-based shortest round-trip: a float64
+survives encode→decode exactly. That is what lets the CI frontend smoke
+gate (:mod:`repro.serve.check`) assert that wire answers equal in-process
+:class:`~repro.serve.service.LocalizationService` answers bit for bit.
+
+**Error contract → status codes.** The PR-4 serving error contract maps
+onto HTTP-style statuses (the order matters: ``KeyError`` is a
+``LookupError`` subclass):
+
+==================================  ======  =============================
+exception                           status  meaning
+==================================  ======  =============================
+``ValueError`` / ``TypeError``      400     malformed request or RSS
+``KeyError``                        404     unknown site / method
+``LookupError`` (other)             409     no epoch serving that day
+``RuntimeError``                    503     pipeline not commissioned yet
+anything else                       500     bug — reported, not masked
+==================================  ======  =============================
+
+Clients reverse the mapping (:data:`ERROR_TYPES`), so an exception thrown
+by a remote service arrives as the *same type* the in-process service
+would raise — code written against the in-process contract works unchanged
+against :class:`~repro.serve.frontend.ServiceClient`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.trace import LiveTrace
+
+__all__ = [
+    "ERROR_TYPES",
+    "METHODS",
+    "decode",
+    "dispatch",
+    "encode",
+    "error_body",
+    "error_status",
+]
+
+#: Methods a front-end accepts, i.e. the service surface that is routable.
+METHODS = (
+    "query",
+    "query_batch",
+    "query_trace",
+    "site_summary",
+    "summary",
+    "sites",
+    "warm",
+    "update",
+    "commission",
+    "staleness",
+    "stats",
+    "health",
+)
+
+#: Status → exception type, the client-side inverse of :func:`error_status`.
+ERROR_TYPES = {
+    "ValueError": ValueError,
+    "TypeError": TypeError,
+    "KeyError": KeyError,
+    "LookupError": LookupError,
+    "IndexError": IndexError,
+    "RuntimeError": RuntimeError,
+}
+
+
+def error_status(error: BaseException) -> int:
+    """HTTP-style status code for one serving-contract exception."""
+    if isinstance(error, (ValueError, TypeError)):
+        return 400
+    if isinstance(error, KeyError):
+        return 404
+    if isinstance(error, LookupError):
+        return 409
+    if isinstance(error, RuntimeError):
+        return 503
+    return 500
+
+
+def error_body(error: BaseException) -> Dict[str, str]:
+    """JSON body describing ``error`` (type name + message, no traceback)."""
+    message = error.args[0] if error.args else str(error)
+    return {"error": type(error).__name__, "message": str(message)}
+
+
+def encode(body: Dict[str, Any]) -> bytes:
+    """Canonical wire bytes for one JSON object (newline-terminated)."""
+    return (json.dumps(body) + "\n").encode("utf-8")
+
+
+def decode(data: bytes) -> Dict[str, Any]:
+    """Parse one wire JSON object; raises ``ValueError`` on junk."""
+    try:
+        body = json.loads(data.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as err:
+        raise ValueError(f"malformed JSON request: {err}") from None
+    if not isinstance(body, dict):
+        raise ValueError(
+            f"request must be a JSON object, got {type(body).__name__}"
+        )
+    return body
+
+
+def dispatch(
+    backend, method: str, params: Optional[Dict[str, Any]]
+) -> Tuple[int, Dict[str, Any]]:
+    """Apply one wire request to ``backend``; returns ``(status, body)``.
+
+    ``backend`` is anything with the :class:`LocalizationService` query
+    surface — the in-process service itself or a
+    :class:`~repro.serve.shard.ShardedService` router. Never raises for
+    contract errors: they come back as ``(status, error_body)`` so every
+    transport reports them the same way.
+    """
+    params = params if params is not None else {}
+    try:
+        if method not in METHODS:
+            raise KeyError(
+                f"unknown method {method!r}; known: {', '.join(METHODS)}"
+            )
+        if not isinstance(params, dict):
+            raise TypeError(
+                f"params must be a JSON object, got {type(params).__name__}"
+            )
+        return 200, _HANDLERS[method](backend, params)
+    except Exception as error:  # noqa: BLE001 - the protocol boundary
+        return error_status(error), error_body(error)
+
+
+# ----------------------------------------------------------------------
+# per-method handlers (wire params -> service call -> JSON body)
+# ----------------------------------------------------------------------
+def _require(params: Dict[str, Any], *names: str) -> list:
+    missing = [name for name in names if name not in params]
+    if missing:
+        raise ValueError(f"missing required param(s): {', '.join(missing)}")
+    return [params[name] for name in names]
+
+
+def _as_day(value: Any) -> float:
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"day must be a number, got {value!r}") from None
+
+
+def _as_frames(value: Any) -> np.ndarray:
+    try:
+        frames = np.asarray(value, dtype=float)
+    except (TypeError, ValueError):
+        raise ValueError("frames must be a numeric array") from None
+    if frames.ndim != 2:
+        raise ValueError(
+            f"frames must be a (frames, links) array, got shape {frames.shape}"
+        )
+    return frames
+
+
+def _as_rss(value: Any) -> np.ndarray:
+    try:
+        rss = np.asarray(value, dtype=float)
+    except (TypeError, ValueError):
+        raise ValueError("rss must be a numeric vector") from None
+    if rss.ndim != 1:
+        raise ValueError(f"rss must be a vector, got shape {rss.shape}")
+    return rss
+
+
+def _batch_body(site: str, day: float, result, include_scores: bool) -> Dict:
+    body = {
+        "site": site,
+        "day": day,
+        "frame_count": int(result.cells.shape[0]),
+        "cells": result.cells.tolist(),
+        "positions": result.positions.tolist(),
+    }
+    if include_scores:
+        body["scores"] = result.scores.tolist()
+    return body
+
+
+def _handle_query(backend, params):
+    site, rss, day = _require(params, "site", "rss", "day")
+    result = backend.query(str(site), _as_rss(rss), _as_day(day))
+    cell = int(result.cell)
+    return {
+        "site": site,
+        "day": _as_day(day),
+        "cell": cell,
+        "position": [float(result.position.x), float(result.position.y)],
+        "score": float(result.scores[cell]),
+    }
+
+
+def _handle_query_batch(backend, params):
+    site, frames, day = _require(params, "site", "frames", "day")
+    day = _as_day(day)
+    result = backend.query_batch(str(site), _as_frames(frames), day)
+    return _batch_body(site, day, result, bool(params.get("include_scores")))
+
+
+def _handle_query_trace(backend, params):
+    site, frames, day = _require(params, "site", "frames", "day")
+    day = _as_day(day)
+    trace = LiveTrace(day=day, rss=_as_frames(frames))
+    result = backend.query_trace(str(site), trace)
+    return _batch_body(site, day, result, bool(params.get("include_scores")))
+
+
+def _handle_site_summary(backend, params):
+    (site,) = _require(params, "site")
+    return dict(backend.site_summary(str(site)))
+
+
+def _handle_summary(backend, params):
+    return {"sites": [dict(row) for row in backend.summary()]}
+
+
+def _handle_sites(backend, params):
+    return {"sites": list(backend.sites())}
+
+
+def _handle_warm(backend, params):
+    sites = params.get("sites")
+    if sites is not None and not isinstance(sites, (list, tuple)):
+        raise ValueError("sites must be a list of site names")
+    warmed = backend.warm(None if sites is None else [str(s) for s in sites])
+    return {"warmed": list(warmed)}
+
+
+def _handle_update(backend, params):
+    site, day = _require(params, "site", "day")
+    day = _as_day(day)
+    cold = str(params.get("cold", "raise"))
+    report = backend.update(str(site), day, cold=cold)
+    if report is None:
+        return {"site": site, "day": day, "action": "commissioned"}
+    return {
+        "site": site,
+        "day": day,
+        "action": "updated",
+        "samples_taken": int(report.samples_taken),
+        "seconds_spent": float(report.seconds_spent),
+        "full_survey_seconds": float(report.full_survey_seconds),
+        "savings_factor": float(report.savings_factor),
+    }
+
+
+def _handle_commission(backend, params):
+    site, day = _require(params, "site", "day")
+    day = _as_day(day)
+    backend.commission(str(site), day)
+    return {"site": site, "day": day, "action": "commissioned"}
+
+
+def _handle_staleness(backend, params):
+    site, day = _require(params, "site", "day")
+    day = _as_day(day)
+    staleness = backend.staleness(str(site), day)
+    return {
+        "site": site,
+        "day": day,
+        "staleness": None if staleness is None else float(staleness),
+    }
+
+
+def _handle_stats(backend, params):
+    stats = backend.service_stats()
+    return {
+        "queries": int(stats.queries),
+        "frames": int(stats.frames),
+        "frames_by_site": dict(stats.frames_by_site),
+    }
+
+
+def _handle_health(backend, params):
+    return {"status": "ok", "sites": len(backend.sites())}
+
+
+_HANDLERS = {
+    "query": _handle_query,
+    "query_batch": _handle_query_batch,
+    "query_trace": _handle_query_trace,
+    "site_summary": _handle_site_summary,
+    "summary": _handle_summary,
+    "sites": _handle_sites,
+    "warm": _handle_warm,
+    "update": _handle_update,
+    "commission": _handle_commission,
+    "staleness": _handle_staleness,
+    "stats": _handle_stats,
+    "health": _handle_health,
+}

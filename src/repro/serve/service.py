@@ -15,13 +15,21 @@ Error contract (what a front-end can rely on for input validation):
 * a query day before the site's first fingerprint epoch, or an empty
   database → :class:`LookupError` (from
   :meth:`repro.core.fingerprint.FingerprintDatabase.at`);
-* malformed RSS vectors → :class:`ValueError` (from the matcher).
+* malformed RSS vectors → :class:`ValueError` (from the matcher);
+* :meth:`LocalizationService.update` on a *cold* site (pipeline never
+  materialized/commissioned) → :class:`RuntimeError` unless the caller
+  opts into ``cold="commission"`` (the cold-update contract; see
+  :meth:`repro.serve.manager.SiteManager.update`).
+
+The wire front-end (:mod:`repro.serve.frontend`) maps this contract onto
+HTTP-style status codes: ``ValueError``/``TypeError`` → 400, ``KeyError``
+→ 404, other ``LookupError`` → 409, ``RuntimeError`` → 503.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Union
 
 import numpy as np
 
@@ -99,10 +107,49 @@ class LocalizationService:
             self.manager.pipeline(site)
         return names
 
-    def update(self, site: str, day: float) -> UpdateReport:
+    def update(
+        self, site: str, day: float, *, cold: str = "raise"
+    ) -> Optional[UpdateReport]:
         """Refresh the site's fingerprints (appends an epoch; the site's
-        matcher cache invalidates automatically)."""
-        return self.manager.update(site, day)
+        matcher cache invalidates automatically).
+
+        Follows the manager's cold-update contract: a site with no
+        commissioned pipeline raises :class:`RuntimeError` by default, or
+        is commissioned at ``day`` (returning ``None``) with
+        ``cold="commission"`` — see :meth:`SiteManager.update
+        <repro.serve.manager.SiteManager.update>`.
+        """
+        return self.manager.update(site, day, cold=cold)
+
+    def commission(self, site: str, day: float) -> None:
+        """Run the site's commissioning survey at ``day`` (cold sites only;
+        an already-commissioned site raises ``RuntimeError``)."""
+        self.manager.commission(site, day)
+
+    def staleness(self, site: str, day: float) -> Optional[float]:
+        """Days since the epoch serving queries at ``day``, or ``None``.
+
+        ``None`` means the site is *cold* — its pipeline was never
+        materialized or never commissioned — so there is nothing to
+        refresh, only to commission. A site whose epochs all lie after
+        ``day`` reports ``0.0`` (nothing older to refresh). This is the
+        signal the update scheduler ranks sites by; it never materializes
+        a pipeline.
+        """
+        if not self.manager.materialized(site):  # KeyError for unknown site
+            return None
+        system = self.manager.pipeline(site)
+        if not system.commissioned or system.database.epoch_count == 0:
+            return None
+        try:
+            return system.database.staleness(day)
+        except LookupError:
+            return 0.0
+
+    def service_stats(self) -> ServiceStats:
+        """The query counters (one method shared with the sharded router,
+        whose counters live in its worker processes)."""
+        return self.stats
 
     # ------------------------------------------------------------------
     # queries

@@ -1,0 +1,376 @@
+"""Sharding: partition sites across worker processes, route in-process.
+
+A multi-core host serves disjoint site sets concurrently:
+:class:`ShardedService` starts ``shards`` long-lived worker processes
+(via :func:`repro.eval.engine.worker_context`, the same fork-first policy
+as the experiment engine's pool), each holding a full
+:class:`~repro.serve.service.LocalizationService` over *its* sites, and
+routes every call from the parent process to the owning worker over a
+pipe. The router exposes the same surface as the in-process service, so
+the wire front-ends (:mod:`repro.serve.frontend`) and the update
+scheduler (:mod:`repro.serve.scheduler`) run unchanged on top of either.
+
+**Routing is a pure function of the site name.** :func:`shard_for_site`
+is a jump consistent hash over the site's stable 64-bit
+:func:`~repro.util.rng.task_key`: deterministic across processes and
+runs, uniform over shards, and *minimally disruptive* under re-sharding —
+growing ``n → m`` shards moves a site only if its new shard is one of the
+added ones (``shard >= n``), never between surviving shards. The
+hypothesis suite (``tests/property/test_shard_routing.py``) pins all
+three properties.
+
+**Bit-identity for any shard count.** Worker services derive every
+pipeline seed from ``(manager seed, spec fingerprint)`` — not from the
+shard layout — so the same site answers with the same bits whether it is
+served in-process, by one worker, or by one of sixteen (asserted in
+``tests/serve/test_shard.py`` and the CI frontend smoke gate). Sites
+sharing a spec fingerprint share one pipeline *within* a worker; twins
+split across shards rebuild the same bits independently.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.core.matching import BatchMatchResult, MatchResult
+from repro.core.pipeline import UpdateReport
+from repro.eval.engine import worker_context
+from repro.serve.service import LocalizationService, ServiceStats
+from repro.sim.specs import ScenarioSpec, as_scenario_spec
+from repro.sim.trace import LiveTrace
+from repro.util.rng import task_key
+
+__all__ = ["ShardedService", "shard_for_site"]
+
+_JUMP_LCG = 2862933555777941757
+_MASK64 = (1 << 64) - 1
+
+
+def shard_for_site(site: str, shard_count: int) -> int:
+    """The shard owning ``site`` — a pure function of ``(site, count)``.
+
+    Jump consistent hash (Lamping & Veach) over the site name's stable
+    64-bit key (:func:`~repro.util.rng.task_key`, which folds a
+    process-independent FNV-1a of the name through splitmix64). Same
+    inputs, same shard, in every process on every run — the property that
+    lets a router and its workers agree on ownership without ever
+    exchanging an assignment table.
+    """
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+    key = task_key(0, "serve-shard", str(site))
+    shard, candidate = 0, 0
+    while candidate < shard_count:
+        shard = candidate
+        key = (key * _JUMP_LCG + 1) & _MASK64
+        candidate = int((shard + 1) * ((1 << 31) / ((key >> 33) + 1)))
+    return shard
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+def _shard_worker_main(connection, specs: Dict[str, dict], kwargs) -> None:
+    """Worker loop: one LocalizationService, request/reply over the pipe.
+
+    Module-level so it survives a spawn start method. Replies are
+    ``(True, result)`` or ``(False, exception)`` — the router re-raises
+    the exception in the parent, preserving the serving error contract
+    across the process boundary.
+    """
+    service = LocalizationService.from_specs(specs, **kwargs)
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        method, args, call_kwargs = message
+        try:
+            result = getattr(service, method)(*args, **call_kwargs)
+            connection.send((True, result))
+        except Exception as error:  # noqa: BLE001 - forwarded to the router
+            connection.send((False, error))
+    connection.close()
+
+
+class _Shard:
+    """Parent-side handle: one worker process, its pipe, and a call lock."""
+
+    def __init__(
+        self, index: int, context, specs: Dict[str, ScenarioSpec], kwargs
+    ) -> None:
+        self.index = index
+        self.connection, child = context.Pipe()
+        self.sites = list(specs)
+        self.process = context.Process(
+            target=_shard_worker_main,
+            args=(child, specs, kwargs),
+            daemon=True,
+        )
+        self.process.start()
+        child.close()
+        self.lock = threading.Lock()
+
+    def call(self, method: str, *args, **kwargs) -> Any:
+        with self.lock:
+            self.connection.send((method, args, kwargs))
+            ok, result = self.connection.recv()
+        if not ok:
+            raise result
+        return result
+
+    def send(self, method: str, *args, **kwargs) -> None:
+        """Fire one request without waiting (pair with :meth:`receive`)."""
+        self.connection.send((method, args, kwargs))
+
+    def receive(self) -> Any:
+        ok, result = self.connection.recv()
+        if not ok:
+            raise result
+        return result
+
+    def close(self, timeout: float = 5.0) -> None:
+        try:
+            self.connection.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=timeout)
+        if self.process.is_alive():  # pragma: no cover - defensive
+            self.process.terminate()
+            self.process.join(timeout=timeout)
+        self.connection.close()
+
+
+def _close_shards(shards: List[_Shard]) -> None:
+    for shard in shards:
+        shard.close()
+
+
+class ShardedService:
+    """Route a site fleet across worker processes, one service per worker.
+
+    Args:
+        specs: ``{site: spec}`` (anything
+            :func:`~repro.sim.specs.as_scenario_spec` accepts). Resolved
+            eagerly so registration errors surface in the parent, not as
+            worker crashes.
+        shards: Worker process count (>= 1). Workers without sites are
+            still started — a router is free to re-register later.
+        mp_context: Multiprocessing context override; defaults to
+            :func:`repro.eval.engine.worker_context`.
+        **manager_kwargs: Forwarded to every worker's
+            :class:`~repro.serve.manager.SiteManager` (``seed``,
+            ``protocol``, ``config``, ...) — identical kwargs are what
+            makes the shard layout invisible in the answers.
+
+    The router is thread-safe (per-shard pipe locks), so a threaded wire
+    front-end can fan queries out to all workers concurrently. For batch
+    fan-out from one thread, :meth:`map_query_batch` pipelines requests —
+    every shard computes while the others do.
+    """
+
+    def __init__(
+        self,
+        specs: Mapping[str, Union[ScenarioSpec, dict, str]],
+        shards: int = 2,
+        *,
+        mp_context=None,
+        **manager_kwargs,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        resolved = {
+            site: as_scenario_spec(spec) for site, spec in specs.items()
+        }
+        self.shard_count = int(shards)
+        self.assignment: Dict[str, int] = {
+            site: shard_for_site(site, shards) for site in resolved
+        }
+        context = mp_context if mp_context is not None else worker_context()
+        by_shard: List[Dict[str, ScenarioSpec]] = [{} for _ in range(shards)]
+        for site, spec in resolved.items():
+            by_shard[self.assignment[site]][site] = spec
+        self._site_order = list(resolved)
+        self._shards = [
+            _Shard(index, context, shard_specs, dict(manager_kwargs))
+            for index, shard_specs in enumerate(by_shard)
+        ]
+        self._finalizer = weakref.finalize(self, _close_shards, self._shards)
+
+    # ------------------------------------------------------------------
+    def _shard(self, site: str) -> _Shard:
+        shard = self.assignment.get(site)
+        if shard is None:
+            known = ", ".join(self._site_order) or "<none>"
+            raise KeyError(f"unknown site {site!r}; registered: {known}")
+        return self._shards[shard]
+
+    def close(self) -> None:
+        """Stop every worker (idempotent; also runs at garbage collection)."""
+        if self._finalizer.detach() is not None:
+            _close_shards(self._shards)
+
+    def __enter__(self) -> "ShardedService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # the service surface (same names the protocol dispatches on)
+    # ------------------------------------------------------------------
+    def sites(self) -> List[str]:
+        return list(self._site_order)
+
+    def _pipelined(self, calls: Sequence[Tuple[_Shard, str, tuple]]) -> List[Any]:
+        """Fan ``(shard, method, args)`` calls out, replies in call order.
+
+        The careful part is failure behavior: locks are acquired in shard
+        index order (so two concurrent multi-shard fan-outs cannot
+        deadlock on lock-order inversion), every request is sent before
+        any reply is awaited (shards overlap compute), and when one call
+        fails every *other* healthy reply is still drained before the
+        first failure is raised — otherwise a stale reply would desync
+        the pipe and every later call on that shard would return the
+        previous call's result. A shard whose pipe breaks mid-fan-out is
+        marked dead and skipped for the rest of the round.
+        """
+        involved = sorted(
+            {shard.index: shard for shard, _, _ in calls}.values(),
+            key=lambda shard: shard.index,
+        )
+        for shard in involved:
+            shard.lock.acquire()
+        try:
+            failure: Optional[BaseException] = None
+            dead: set = set()
+            pending: List[Optional[_Shard]] = []
+            for shard, method, args in calls:
+                if shard.index in dead:
+                    pending.append(None)
+                    continue
+                try:
+                    shard.send(method, *args)
+                    pending.append(shard)
+                except OSError as error:
+                    dead.add(shard.index)
+                    failure = failure if failure is not None else error
+                    pending.append(None)
+            results: List[Any] = []
+            for shard in pending:
+                if shard is None or shard.index in dead:
+                    results.append(None)
+                    continue
+                try:
+                    results.append(shard.receive())
+                except (EOFError, OSError) as error:
+                    # Broken pipe: the shard's remaining replies will
+                    # never arrive — stop waiting for them.
+                    dead.add(shard.index)
+                    failure = failure if failure is not None else error
+                    results.append(None)
+                except Exception as error:  # noqa: BLE001 - drain first
+                    failure = failure if failure is not None else error
+                    results.append(None)
+            if failure is not None:
+                raise failure
+            return results
+        finally:
+            for shard in involved:
+                shard.lock.release()
+
+    def warm(self, sites: Optional[Iterable[str]] = None) -> List[str]:
+        """Materialize pipelines on every owning worker, concurrently.
+
+        Requests are pipelined — each shard commissions its own sites
+        while the others do the same — so warm-up wall time scales with
+        the busiest shard, not the site count (the shard scaling lever
+        the benchmark measures).
+        """
+        names = list(sites) if sites is not None else self.sites()
+        per_shard: Dict[int, List[str]] = {}
+        for site in names:
+            shard = self._shard(site)  # raises KeyError for unknown sites
+            per_shard.setdefault(shard.index, []).append(site)
+        self._pipelined(
+            [
+                (self._shards[index], "warm", (batch,))
+                for index, batch in sorted(per_shard.items())
+            ]
+        )
+        return names
+
+    def query(self, site: str, live_rss: np.ndarray, day: float) -> MatchResult:
+        return self._shard(site).call("query", site, live_rss, day)
+
+    def query_batch(
+        self, site: str, frames: np.ndarray, day: float
+    ) -> BatchMatchResult:
+        return self._shard(site).call("query_batch", site, frames, day)
+
+    def query_trace(self, site: str, trace: LiveTrace) -> BatchMatchResult:
+        return self._shard(site).call("query_trace", site, trace)
+
+    def map_query_batch(
+        self, requests: Sequence[Tuple[str, np.ndarray, float]]
+    ) -> List[BatchMatchResult]:
+        """Answer many ``(site, frames, day)`` batches, shards in parallel.
+
+        Requests are sent to every owning worker before any reply is
+        awaited, so shards overlap their compute; within one shard,
+        requests keep their relative order. Results come back in request
+        order. One bad request raises after every shard has drained (see
+        :meth:`_pipelined`), so the pipes stay in sync.
+        """
+        return self._pipelined(
+            [
+                (self._shard(site), "query_batch", (site, frames, day))
+                for site, frames, day in requests
+            ]
+        )
+
+    def update(
+        self, site: str, day: float, *, cold: str = "raise"
+    ) -> Optional[UpdateReport]:
+        return self._shard(site).call("update", site, day, cold=cold)
+
+    def commission(self, site: str, day: float) -> None:
+        return self._shard(site).call("commission", site, day)
+
+    def staleness(self, site: str, day: float) -> Optional[float]:
+        return self._shard(site).call("staleness", site, day)
+
+    def site_summary(self, site: str) -> Dict[str, object]:
+        return self._shard(site).call("site_summary", site)
+
+    def summary(self) -> List[Dict[str, object]]:
+        return [self.site_summary(site) for site in self.sites()]
+
+    def service_stats(self) -> ServiceStats:
+        """Aggregated query counters across every worker."""
+        totals = ServiceStats()
+        for shard in self._shards:
+            stats = shard.call("service_stats")
+            totals.queries += stats.queries
+            totals.frames += stats.frames
+            for site, frames in stats.frames_by_site.items():
+                totals.frames_by_site[site] = (
+                    totals.frames_by_site.get(site, 0) + frames
+                )
+        return totals

@@ -115,7 +115,7 @@ def build_paper_deployment(
     ``monitored_columns x monitored_rows`` patch of 0.6 m cells — with the
     defaults, 96 cells, matching the paper.
     """
-    room = Room(room_width, room_depth)
+    Room(room_width, room_depth)  # rejects non-positive dimensions early
     monitored_width = monitored_columns * cell_size
     monitored_depth = monitored_rows * cell_size
     if monitored_width > room_width or monitored_depth > room_depth:

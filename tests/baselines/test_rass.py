@@ -5,8 +5,7 @@ import pytest
 
 from repro.baselines.rass import RassConfig, RassLocalizer
 from repro.core.fingerprint import FingerprintMatrix
-from repro.sim.collector import CollectionProtocol, RssCollector
-from repro.sim.geometry import Point
+from repro.sim.collector import RssCollector
 from repro.sim.scenario import build_paper_scenario
 
 
@@ -101,7 +100,6 @@ class TestLocate:
             empty_rss=scenario.true_rss(day),
             day=day,
         )
-        grid = scenario.deployment.grid
         collector = RssCollector(scenario, seed=2)
         trace = collector.live_trace(day, [c for c in range(0, 96, 3)])
 

@@ -43,8 +43,8 @@ class TestImage:
         assert np.abs(image).max() < 0.5
 
     def test_image_peaks_near_target(self, rti, scenario):
-        grid = scenario.deployment.grid
         target_cell = 40
+        grid = scenario.deployment.grid
         image = rti.attenuation_image(scenario.true_rss(0.0, cell=target_cell))
         peak_cell = int(np.argmax(image))
         distance = grid.center_of(peak_cell).distance_to(grid.center_of(target_cell))
@@ -121,7 +121,6 @@ class TestLocate:
         collector = RssCollector(scenario, seed=0)
         calibration = collector.collect_empty_room(0.0)
         rti = RtiLocalizer(scenario.deployment, calibration)
-        grid = scenario.deployment.grid
         errors = []
         trace = collector.live_trace(0.0, list(range(0, 96, 7)))
         for frame, (x, y) in zip(trace.rss, trace.true_positions):

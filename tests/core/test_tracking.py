@@ -6,7 +6,7 @@ import pytest
 from repro.core.fingerprint import FingerprintMatrix
 from repro.core.matching import ProbabilisticMatcher
 from repro.core.tracking import ParticleFilterTracker, TrackerConfig
-from repro.sim.geometry import Grid, Point, Room
+from repro.sim.geometry import Grid, Room
 
 
 @pytest.fixture()

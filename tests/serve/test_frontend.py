@@ -1,0 +1,366 @@
+"""Unit tests for the wire front-ends (HTTP + unix socket + client)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    HttpFrontend,
+    LocalizationService,
+    ServiceClient,
+    UnixFrontend,
+)
+from repro.serve.protocol import METHODS, dispatch, error_status
+from repro.sim.collector import CollectionProtocol, RssCollector
+from repro.sim.specs import get_scenario_spec
+
+PROTOCOL = CollectionProtocol(samples_per_cell=2, empty_room_samples=5)
+SITES = {"hq": "square-3m", "lab": "square-4m"}
+SEED = 13
+
+
+@pytest.fixture(scope="module")
+def service():
+    svc = LocalizationService.from_specs(SITES, protocol=PROTOCOL, seed=SEED)
+    svc.warm()
+    return svc
+
+
+@pytest.fixture(scope="module")
+def traces(service):
+    out = {}
+    for index, site in enumerate(service.sites()):
+        scenario = service.pipeline(site).collector.scenario
+        cells = list(range(0, scenario.deployment.cell_count, 3))
+        out[site] = RssCollector(
+            scenario, PROTOCOL, seed=90 + index
+        ).live_trace(0.0, cells)
+    return out
+
+
+@pytest.fixture(scope="module")
+def http_client(service):
+    with HttpFrontend(service) as frontend:
+        with ServiceClient(frontend.address) as client:
+            yield client
+
+
+@pytest.fixture(scope="module")
+def unix_client(service, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("sock") / "serve.sock")
+    with UnixFrontend(service, path) as frontend:
+        with ServiceClient(frontend.address) as client:
+            yield client
+
+
+class TestProtocolDispatch:
+    def test_unknown_method_is_404(self, service):
+        status, body = dispatch(service, "teleport", {})
+        assert status == 404
+        assert body["error"] == "KeyError"
+
+    def test_missing_params_is_400(self, service):
+        status, body = dispatch(service, "query", {"site": "hq"})
+        assert status == 400
+        assert "missing required param" in body["message"]
+
+    def test_non_dict_params_is_400(self, service):
+        status, body = dispatch(service, "sites", [1, 2])
+        assert status == 400
+
+    def test_error_status_mapping_order(self):
+        # KeyError is a LookupError subclass; the mapping must branch on
+        # the subclass first.
+        assert error_status(KeyError("x")) == 404
+        assert error_status(LookupError("x")) == 409
+        assert error_status(ValueError("x")) == 400
+        assert error_status(TypeError("x")) == 400
+        assert error_status(RuntimeError("x")) == 503
+        assert error_status(ZeroDivisionError("x")) == 500
+
+    def test_every_method_has_a_handler(self, service):
+        for method in METHODS:
+            status, _ = dispatch(service, method, {})
+            assert status in (200, 400, 503), method
+
+    def test_health_and_sites(self, service):
+        assert dispatch(service, "health", {})[1]["sites"] == 2
+        assert dispatch(service, "sites", {})[1]["sites"] == ["hq", "lab"]
+
+
+@pytest.mark.parametrize("client_fixture", ["http_client", "unix_client"])
+class TestWireIdentity:
+    """The acceptance contract: wire answers == in-process answers, bits."""
+
+    def test_query_batch_bit_identical(
+        self, request, client_fixture, service, traces
+    ):
+        client = request.getfixturevalue(client_fixture)
+        for site, trace in traces.items():
+            wire = client.query_batch(
+                site, trace.rss, 0.0, include_scores=True
+            )
+            reference = service.query_batch(site, trace.rss, 0.0)
+            np.testing.assert_array_equal(wire.cells, reference.cells)
+            np.testing.assert_array_equal(wire.positions, reference.positions)
+            np.testing.assert_array_equal(wire.scores, reference.scores)
+
+    def test_query_trace_bit_identical(
+        self, request, client_fixture, service, traces
+    ):
+        client = request.getfixturevalue(client_fixture)
+        wire = client.query_trace("hq", traces["hq"])
+        reference = service.query_trace("hq", traces["hq"])
+        np.testing.assert_array_equal(wire.cells, reference.cells)
+        np.testing.assert_array_equal(wire.positions, reference.positions)
+
+    def test_single_query_bit_identical(
+        self, request, client_fixture, service, traces
+    ):
+        client = request.getfixturevalue(client_fixture)
+        frame = traces["hq"].rss[0]
+        wire = client.query("hq", frame, 0.0)
+        reference = service.query("hq", frame, 0.0)
+        assert wire.cell == reference.cell
+        assert wire.position == (
+            reference.position.x,
+            reference.position.y,
+        )
+        assert wire.score == reference.scores[reference.cell]
+
+
+@pytest.mark.parametrize("client_fixture", ["http_client", "unix_client"])
+class TestWireErrorContract:
+    """Remote errors arrive as the in-process exception types."""
+
+    def test_unknown_site_keyerror(self, request, client_fixture):
+        client = request.getfixturevalue(client_fixture)
+        with pytest.raises(KeyError, match="unknown site"):
+            client.query("nowhere", [0.0, 0.0], 0.0)
+
+    def test_malformed_rss_valueerror(self, request, client_fixture):
+        client = request.getfixturevalue(client_fixture)
+        with pytest.raises(ValueError, match="shape"):
+            client.query("hq", [0.0, 0.0, 0.0], 0.0)
+
+    def test_pre_epoch_day_lookuperror(self, request, client_fixture):
+        client = request.getfixturevalue(client_fixture)
+        with pytest.raises(LookupError, match="no fingerprint epoch"):
+            client.query_batch("hq", np.zeros((1, 2)), -5.0)
+
+    def test_update_unknown_site_keyerror(self, request, client_fixture):
+        client = request.getfixturevalue(client_fixture)
+        with pytest.raises(KeyError):
+            client.update("nowhere", 10.0)
+
+
+class TestColdUpdateOverTheWire:
+    def test_cold_update_maps_to_503_and_commission_path_works(self):
+        cold_service = LocalizationService.from_specs(
+            {"new-site": "square-3m"}, protocol=PROTOCOL, seed=SEED
+        )
+        with HttpFrontend(cold_service) as frontend:
+            with ServiceClient(frontend.address) as client:
+                with pytest.raises(RuntimeError, match="cold update"):
+                    client.update("new-site", 5.0)
+                body = client.update("new-site", 5.0, cold="commission")
+                assert body["action"] == "commissioned"
+                body = client.update("new-site", 35.0)
+                assert body["action"] == "updated"
+                assert body["savings_factor"] > 1.0
+        system = cold_service.pipeline("new-site")
+        assert system.database.days == [5.0, 35.0]
+
+
+@pytest.mark.parametrize("client_fixture", ["http_client", "unix_client"])
+class TestWireServiceSurface:
+    def test_sites_and_summary(self, request, client_fixture):
+        client = request.getfixturevalue(client_fixture)
+        assert client.sites() == ["hq", "lab"]
+        summary = client.summary()
+        assert [row["site"] for row in summary] == ["hq", "lab"]
+        assert all(row["materialized"] for row in summary)
+
+    def test_site_summary_and_staleness(self, request, client_fixture):
+        client = request.getfixturevalue(client_fixture)
+        row = client.site_summary("hq")
+        assert row["commissioned"] is True
+        assert client.staleness("hq", 12.0) == 12.0
+
+    def test_warm_and_health(self, request, client_fixture):
+        client = request.getfixturevalue(client_fixture)
+        assert client.warm(["hq"]) == ["hq"]
+        assert client.health()["status"] == "ok"
+
+    def test_stats_counts_served_frames(self, request, client_fixture):
+        client = request.getfixturevalue(client_fixture)
+        stats = client.stats()
+        assert stats["frames"] >= 0 and "frames_by_site" in stats
+
+
+class TestHttpSpecifics:
+    def test_get_serves_readonly_methods(self, service):
+        import urllib.request
+
+        with HttpFrontend(service) as frontend:
+            with urllib.request.urlopen(f"{frontend.address}/health") as resp:
+                assert json.loads(resp.read())["status"] == "ok"
+            url = f"{frontend.address}/staleness?site=hq&day=7"
+            with urllib.request.urlopen(url) as resp:
+                assert json.loads(resp.read())["staleness"] == 7.0
+
+    def test_get_on_query_is_404(self, service):
+        import urllib.error
+        import urllib.request
+
+        with HttpFrontend(service) as frontend:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{frontend.address}/query")
+            assert excinfo.value.code == 404
+
+    def test_malformed_json_body_is_400(self, service):
+        import urllib.error
+        import urllib.request
+
+        with HttpFrontend(service) as frontend:
+            request = urllib.request.Request(
+                f"{frontend.address}/sites",
+                data=b"{not json",
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request)
+            assert excinfo.value.code == 400
+
+    def test_ephemeral_port_is_reported(self, service):
+        with HttpFrontend(service) as frontend:
+            assert frontend.port > 0
+            assert frontend.address.startswith("http://127.0.0.1:")
+
+    def test_client_reconnects_after_server_restart(self, service, traces):
+        frontend = HttpFrontend(service).start()
+        client = ServiceClient(frontend.address)
+        assert client.sites() == ["hq", "lab"]
+        frontend.close()
+        revived = HttpFrontend(service, port=frontend.port).start()
+        try:
+            # The kept-alive connection is stale; one retry must recover.
+            assert client.sites() == ["hq", "lab"]
+        finally:
+            client.close()
+            revived.close()
+
+    def test_non_idempotent_calls_are_never_resent(self):
+        """Regression: update/commission must not be transparently
+        re-sent over a failed connection — the first copy may have
+        executed, and a duplicate would append a second epoch. Counted
+        against a server that drops every connection: idempotent methods
+        get exactly two attempts, non-idempotent exactly one."""
+        import socket
+        import threading
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(8)
+        port = listener.getsockname()[1]
+        attempts = []
+        stop = threading.Event()
+
+        def drop_everything():
+            while not stop.is_set():
+                try:
+                    conn, _ = listener.accept()
+                except OSError:
+                    return
+                attempts.append(1)
+                conn.close()
+
+        thread = threading.Thread(target=drop_everything, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(f"http://127.0.0.1:{port}", timeout=5.0)
+            with pytest.raises((ConnectionError, OSError)):
+                client.update("hq", 77.0)
+            assert len(attempts) == 1  # non-idempotent: one try only
+            with pytest.raises((ConnectionError, OSError)):
+                client.sites()
+            assert len(attempts) == 3  # idempotent: original + one retry
+            client.close()
+        finally:
+            stop.set()
+            listener.close()
+            thread.join(timeout=5.0)
+
+    def test_non_object_params_value_is_400(self, service):
+        import urllib.error
+        import urllib.request
+
+        with HttpFrontend(service) as frontend:
+            request = urllib.request.Request(
+                f"{frontend.address}/sites",
+                data=json.dumps({"params": "abc"}).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request)
+            assert excinfo.value.code == 400
+            body = json.loads(excinfo.value.read())
+            assert "params must be a JSON object" in body["message"]
+
+
+class TestClientAddresses:
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unsupported address"):
+            ServiceClient("ftp://127.0.0.1:1")
+
+    def test_http_without_port_rejected(self):
+        with pytest.raises(ValueError, match="http"):
+            ServiceClient("http://localhost")
+
+    def test_empty_unix_path_rejected(self):
+        with pytest.raises(ValueError, match="unix"):
+            ServiceClient("unix://")
+
+
+class TestConcurrentRefresh:
+    """Queries keep answering while updates append epochs (the
+    non-blocking contract the background scheduler relies on)."""
+
+    def test_queries_survive_concurrent_updates(self):
+        import threading
+
+        svc = LocalizationService.from_specs(
+            {"hq": get_scenario_spec("square-3m")},
+            protocol=PROTOCOL,
+            seed=SEED,
+        )
+        svc.warm()
+        scenario = svc.pipeline("hq").collector.scenario
+        trace = RssCollector(scenario, PROTOCOL, seed=77).live_trace(
+            0.0, [0, 1, 2]
+        )
+        stop = threading.Event()
+        errors = []
+
+        def refresher():
+            day = 0.0
+            while not stop.is_set():
+                day += 1.0
+                try:
+                    svc.update("hq", day)
+                except Exception as error:  # pragma: no cover
+                    errors.append(error)
+                    return
+
+        thread = threading.Thread(target=refresher, daemon=True)
+        thread.start()
+        try:
+            for _ in range(200):
+                result = svc.query_batch("hq", trace.rss, 0.0)
+                assert result.frame_count == 3
+        finally:
+            stop.set()
+            thread.join(timeout=10.0)
+        assert not errors

@@ -157,6 +157,73 @@ class TestAttachAndUpdate:
 
     def test_update_appends_epoch(self, manager):
         manager.register("hq", "paper")
+        manager.pipeline("hq")  # warm: materialize + commission
         report = manager.update("hq", 30.0)
         assert report.day == 30.0
+        assert manager.pipeline("hq").database.epoch_count == 2
+
+
+class TestColdUpdateContract:
+    """update() on a never-materialized site must not silently
+    commission-then-update with an ambiguous epoch pair."""
+
+    def test_cold_update_raises_by_default(self, manager):
+        manager.register("hq", "paper")
+        with pytest.raises(RuntimeError, match="cold update"):
+            manager.update("hq", 30.0)
+
+    def test_refused_cold_update_leaves_site_lazy(self, manager):
+        manager.register("hq", "paper")
+        with pytest.raises(RuntimeError, match="cold update"):
+            manager.update("hq", 30.0)
+        assert not manager.materialized("hq")
+        assert manager.stats.pipelines_built == 0
+        # The lazy path still works exactly as before the refusal.
+        assert manager.pipeline("hq").commissioned
+
+    def test_cold_update_can_commission_at_the_update_day(self, manager):
+        manager.register("hq", "paper")
+        report = manager.update("hq", 30.0, cold="commission")
+        assert report is None
+        system = manager.pipeline("hq")
+        # One unambiguous epoch, at the update day — not at commission_day.
+        assert system.database.days == [30.0]
+        assert system.commissioned
+        warm = manager.update("hq", 60.0)
+        assert warm is not None and warm.day == 60.0
+        assert system.database.days == [30.0, 60.0]
+
+    def test_uncommissioned_materialized_site_is_cold(self):
+        manager = SiteManager(
+            protocol=PROTOCOL, auto_commission=False, seed=3
+        )
+        manager.register("hq", "paper")
+        manager.pipeline("hq")  # materialized but not commissioned
+        with pytest.raises(RuntimeError, match="cold update"):
+            manager.update("hq", 30.0)
+
+    def test_invalid_cold_policy_rejected(self, manager):
+        manager.register("hq", "paper")
+        with pytest.raises(ValueError, match="cold"):
+            manager.update("hq", 30.0, cold="panic")
+
+    def test_cold_update_on_unknown_site_raises_keyerror(self, manager):
+        with pytest.raises(KeyError, match="unknown site"):
+            manager.update("branch", 30.0, cold="commission")
+
+    def test_explicit_commission_then_refuses_recommission(self, manager):
+        manager.register("hq", "paper")
+        manager.commission("hq", 10.0)
+        assert manager.pipeline("hq").database.days == [10.0]
+        with pytest.raises(RuntimeError, match="already commissioned"):
+            manager.commission("hq", 20.0)
+
+    def test_shared_spec_site_is_warm_through_its_twin(self, manager):
+        """A site whose spec fingerprint was materialized by another site
+        shares that commissioned pipeline — updating it is a warm update."""
+        manager.register("hq", "paper")
+        manager.register("mirror", get_scenario_spec("paper"))
+        manager.pipeline("hq")
+        report = manager.update("mirror", 30.0)
+        assert report is not None
         assert manager.pipeline("hq").database.epoch_count == 2

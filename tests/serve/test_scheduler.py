@@ -1,0 +1,253 @@
+"""Unit tests for the staleness-driven update scheduler."""
+
+import threading
+
+import pytest
+
+from repro.serve import (
+    LocalizationService,
+    SchedulerConfig,
+    SimClock,
+    UpdateScheduler,
+)
+from repro.sim.collector import CollectionProtocol, RssCollector
+
+PROTOCOL = CollectionProtocol(samples_per_cell=2, empty_room_samples=5)
+SITES = {"hq": "square-3m", "lab": "square-4m", "depot": "square-5m"}
+SEED = 17
+
+
+def fresh_service(warm=True):
+    service = LocalizationService.from_specs(
+        SITES, protocol=PROTOCOL, seed=SEED
+    )
+    if warm:
+        service.warm()
+    return service
+
+
+class TestConfigValidation:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="policy"):
+            SchedulerConfig(policy="vibes")
+
+    def test_rejects_unknown_cold_mode(self):
+        with pytest.raises(ValueError, match="cold"):
+            SchedulerConfig(cold="ignore-forever")
+
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(ValueError, match="interval_days"):
+            SchedulerConfig(interval_days=0.0)
+
+    def test_rejects_zero_budget(self):
+        with pytest.raises(ValueError, match="budget"):
+            SchedulerConfig(budget=0)
+
+
+class TestStaleness:
+    def test_staleness_tracks_epoch_age(self):
+        service = fresh_service()
+        assert service.staleness("hq", 0.0) == 0.0
+        assert service.staleness("hq", 25.0) == 25.0
+        service.update("hq", 20.0)
+        assert service.staleness("hq", 25.0) == 5.0
+
+    def test_cold_site_reports_none(self):
+        service = fresh_service(warm=False)
+        assert service.staleness("hq", 10.0) is None
+
+    def test_unknown_site_raises_keyerror(self):
+        service = fresh_service(warm=False)
+        with pytest.raises(KeyError, match="unknown site"):
+            service.staleness("nowhere", 0.0)
+
+    def test_staleness_never_materializes_a_pipeline(self):
+        service = fresh_service(warm=False)
+        service.staleness("hq", 10.0)
+        assert not service.manager.materialized("hq")
+
+
+class TestIntervalPolicy:
+    def test_nothing_planned_before_threshold(self):
+        service = fresh_service()
+        scheduler = UpdateScheduler(
+            service, SchedulerConfig(interval_days=30.0)
+        )
+        assert scheduler.plan(29.0) == []
+        assert scheduler.tick(29.0) == []
+        assert scheduler.stats.updates == 0
+
+    def test_all_eligible_sites_update_stalest_first(self):
+        service = fresh_service()
+        service.update("hq", 10.0)  # hq is now fresher than lab/depot
+        scheduler = UpdateScheduler(
+            service, SchedulerConfig(interval_days=30.0)
+        )
+        actions = scheduler.tick(45.0)
+        # lab/depot staleness 45 > hq staleness 35; ties break in
+        # registration order.
+        assert [a.site for a in actions] == ["lab", "depot", "hq"]
+        assert all(a.action == "update" for a in actions)
+        assert actions[0].staleness == 45.0
+        assert all(service.staleness(s, 45.0) == 0.0 for s in SITES)
+
+    def test_budget_caps_one_tick(self):
+        service = fresh_service()
+        scheduler = UpdateScheduler(
+            service, SchedulerConfig(interval_days=30.0, budget=2)
+        )
+        assert len(scheduler.tick(40.0)) == 2
+        assert len(scheduler.tick(40.0)) == 1
+        assert scheduler.tick(40.0) == []
+
+    def test_update_reports_are_attached(self):
+        service = fresh_service()
+        scheduler = UpdateScheduler(
+            service, SchedulerConfig(interval_days=10.0, budget=1)
+        )
+        (action,) = scheduler.tick(15.0)
+        assert action.report is not None
+        assert action.report.day == 15.0
+        assert action.report.savings_factor > 1.0
+
+
+class TestColdSites:
+    def test_cold_sites_are_commissioned_first(self):
+        service = fresh_service(warm=False)
+        scheduler = UpdateScheduler(
+            service, SchedulerConfig(interval_days=30.0)
+        )
+        actions = scheduler.tick(45.0)
+        assert {a.site for a in actions} == set(SITES)
+        assert all(a.action == "commission" for a in actions)
+        # Each site got exactly one epoch, at the tick day.
+        for site in SITES:
+            assert service.pipeline(site).database.days == [45.0]
+        # Next tick: everything fresh, nothing to do.
+        assert scheduler.tick(46.0) == []
+        assert scheduler.stats.commissions == len(SITES)
+
+    def test_cold_skip_leaves_sites_alone(self):
+        service = fresh_service(warm=False)
+        scheduler = UpdateScheduler(
+            service,
+            SchedulerConfig(interval_days=30.0, cold="skip"),
+        )
+        assert scheduler.tick(45.0) == []
+        assert not service.manager.materialized("hq")
+
+    def test_cold_raise_surfaces_the_fleet_state(self):
+        service = fresh_service(warm=False)
+        scheduler = UpdateScheduler(
+            service, SchedulerConfig(interval_days=30.0, cold="raise")
+        )
+        with pytest.raises(RuntimeError, match="cold site"):
+            scheduler.plan(45.0)
+
+    def test_commissions_count_against_the_budget(self):
+        service = fresh_service(warm=False)
+        scheduler = UpdateScheduler(
+            service, SchedulerConfig(interval_days=30.0, budget=1)
+        )
+        assert [a.action for a in scheduler.tick(45.0)] == ["commission"]
+        assert [a.action for a in scheduler.tick(45.0)] == ["commission"]
+
+
+class TestRoundRobinPolicy:
+    def test_rotation_is_fair_under_budget(self):
+        service = fresh_service()
+        scheduler = UpdateScheduler(
+            service,
+            SchedulerConfig(
+                policy="round-robin", interval_days=1.0, budget=1
+            ),
+        )
+        # Keep every site permanently stale by ticking far apart; the
+        # budget of 1 must rotate through the fleet, not starve anyone.
+        picked = [scheduler.tick(50.0 * n)[0].site for n in range(1, 7)]
+        assert picked == ["hq", "lab", "depot", "hq", "lab", "depot"]
+
+    def test_rotation_skips_fresh_sites(self):
+        service = fresh_service()
+        scheduler = UpdateScheduler(
+            service,
+            SchedulerConfig(
+                policy="round-robin", interval_days=30.0, budget=2
+            ),
+        )
+        service.update("lab", 90.0)  # lab fresh at the first tick
+        first = scheduler.tick(100.0)
+        assert [a.site for a in first] == ["hq", "depot"]
+
+
+class TestPriorityPolicy:
+    def test_traffic_pressure_orders_the_plan(self):
+        service = fresh_service()
+        scheduler = UpdateScheduler(
+            service,
+            SchedulerConfig(policy="priority", interval_days=30.0, budget=1),
+        )
+        scenario = service.pipeline("lab").collector.scenario
+        trace = RssCollector(scenario, PROTOCOL, seed=5).live_trace(
+            0.0, [0, 1, 2, 3]
+        )
+        for _ in range(3):
+            service.query_batch("lab", trace.rss, 0.0)
+        (action,) = scheduler.tick(40.0)
+        assert action.site == "lab"
+        # lab's pressure is consumed by the refresh; the quiet sites get
+        # the next budget units.
+        assert scheduler.tick(40.0)[0].site == "hq"
+        assert scheduler.tick(40.0)[0].site == "depot"
+
+
+class TestBackgroundDriving:
+    def test_background_thread_ticks_and_stops(self):
+        service = fresh_service()
+        scheduler = UpdateScheduler(
+            service, SchedulerConfig(interval_days=5.0)
+        )
+        clock = SimClock(start_day=0.0, days_per_second=200.0)
+        with scheduler.start(clock, period_seconds=0.05):
+            deadline = threading.Event()
+            for _ in range(100):
+                if scheduler.stats.updates >= len(SITES):
+                    break
+                deadline.wait(0.05)
+        assert scheduler.stats.ticks >= 1
+        assert scheduler.stats.updates >= len(SITES)
+        ticks = scheduler.stats.ticks
+        deadline = threading.Event()
+        deadline.wait(0.2)
+        assert scheduler.stats.ticks == ticks  # stopped means stopped
+
+    def test_double_start_rejected(self):
+        service = fresh_service()
+        scheduler = UpdateScheduler(service)
+        scheduler.start(SimClock(), period_seconds=10.0)
+        try:
+            with pytest.raises(RuntimeError, match="already running"):
+                scheduler.start(SimClock(), period_seconds=10.0)
+        finally:
+            scheduler.stop()
+
+    def test_errors_are_counted_not_fatal(self):
+        class ExplodingService:
+            def sites(self):
+                raise OSError("boom")
+
+        scheduler = UpdateScheduler(ExplodingService())
+        scheduler.start(SimClock(), period_seconds=0.01)
+        try:
+            deadline = threading.Event()
+            for _ in range(100):
+                if scheduler.stats.errors >= 2:
+                    break
+                deadline.wait(0.02)
+        finally:
+            scheduler.stop()
+        assert scheduler.stats.errors >= 2
+
+    def test_sim_clock_maps_wall_time_to_days(self):
+        clock = SimClock(start_day=10.0, days_per_second=0.0)
+        assert clock() == 10.0

@@ -146,6 +146,7 @@ class TestEpochs:
         fresh = LocalizationService.from_specs(
             SITES, protocol=PROTOCOL, seed=7
         )
+        fresh.warm(["hq"])
         fresh.update("hq", 30.0)
         system = fresh.pipeline("hq")
         assert system.database.epoch_count == 2

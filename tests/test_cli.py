@@ -31,6 +31,12 @@ class TestParser:
             ["serve", "--update-days", "30", "60", "--day", "60"],
             ["query", "--day", "45", "--cells", "3", "17"],
             ["query", "--frames", "2", "--update-days", "30"],
+            ["serve", "--listen", "127.0.0.1:0", "--shards", "2"],
+            ["serve", "--listen", "127.0.0.1:8970", "--refresh-policy",
+             "interval", "--refresh-interval-days", "15",
+             "--refresh-budget", "2", "--days-per-second", "10"],
+            ["serve", "--unix", "/tmp/serve.sock", "--max-seconds", "1"],
+            ["query", "--connect", "http://127.0.0.1:8970", "--frames", "2"],
         ],
     )
     def test_commands_parse(self, argv):
@@ -118,6 +124,80 @@ class TestCommands:
         assert "2 site(s)" in out
         assert "paper" in out and "square-3m" in out
         assert "pipelines built: 2" in out
+
+    def test_serve_listen_smoke(self, capsys):
+        assert main(
+            [
+                "serve", "--sites", "square-3m", "--listen", "127.0.0.1:0",
+                "--refresh-policy", "interval", "--days-per-second", "50",
+                "--refresh-period-seconds", "0.05", "--max-seconds", "0.3",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "listening at http://127.0.0.1:" in out
+        assert "refresh scheduler: interval" in out
+        assert "scheduler ran" in out
+
+    def test_serve_listen_sharded_smoke(self, capsys):
+        assert main(
+            [
+                "serve", "--sites", "square-3m", "square-4m", "--shards",
+                "2", "--listen", "127.0.0.1:0", "--max-seconds", "0.2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "across 2 shard worker(s)" in out
+        assert "listening at http://127.0.0.1:" in out
+
+    def test_query_connect_round_trips_through_a_live_server(self):
+        import os
+        import re
+        import subprocess
+        import sys as _sys
+        import time as _time
+        from pathlib import Path
+
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        server = subprocess.Popen(
+            [
+                _sys.executable, "-u", "-m", "repro.cli", "serve",
+                "--sites", "square-3m", "--listen", "127.0.0.1:0",
+                "--max-seconds", "20",
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            address = None
+            deadline = _time.monotonic() + 15.0
+            while _time.monotonic() < deadline:
+                line = server.stdout.readline()
+                match = re.search(r"listening at (http://\S+)", line or "")
+                if match:
+                    address = match.group(1)
+                    break
+            assert address, "server never reported its address"
+            result = subprocess.run(
+                [
+                    _sys.executable, "-m", "repro.cli", "--scenario",
+                    "square-3m", "query", "--connect", address,
+                    "--frames", "2",
+                ],
+                capture_output=True,
+                text=True,
+                timeout=60,
+                env=env,
+            )
+            assert result.returncode == 0, result.stderr
+            assert "median error" in result.stdout
+        finally:
+            server.terminate()
+            server.wait(timeout=10)
 
     def test_serve_with_updates(self, capsys):
         assert main(
