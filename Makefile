@@ -1,14 +1,16 @@
 # Developer entry points. `make test` is the tier-1 gate; `make bench`
-# produces the committed perf-trajectory point (BENCH_PR5.json, which now
-# includes the serving, wire-frontend and shard sections). CI runs
-# `make bench-smoke` (writes BENCH_SMOKE.json — PR-agnostic, never
-# clobbers a committed BENCH_PR*.json) and `make frontend-smoke` (the
-# wire/shard bit-identity gate).
+# produces the committed perf-trajectory point (BENCH_PR6.json, which now
+# includes the serving, wire-frontend, shard, and resilience sections).
+# CI runs `make bench-smoke` (writes BENCH_SMOKE.json — PR-agnostic,
+# never clobbers a committed BENCH_PR*.json), `make frontend-smoke` (the
+# wire/shard bit-identity gate) and `make resilience-smoke` (kill -9 /
+# snapshot-restore / resize gate).
 
 PYTHON ?= python
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench bench-smoke bench-figures frontend-smoke
+.PHONY: test lint bench bench-smoke bench-figures frontend-smoke \
+	resilience-smoke
 
 test:
 	$(PYTHON) -m pytest -q
@@ -19,19 +21,26 @@ lint:
 	ruff format --check .
 
 bench:
-	$(PYTHON) benchmarks/bench_perf.py --out BENCH_PR5.json
+	$(PYTHON) benchmarks/bench_perf.py --out BENCH_PR6.json
 
 # Writes to BENCH_SMOKE.json (gitignored territory) so a local smoke run
-# never clobbers the committed full-bench BENCH_PR5.json; CI uploads the
+# never clobbers the committed full-bench BENCH_PR6.json; CI uploads the
 # same file under the PR-agnostic `bench-smoke` artifact name.
 bench-smoke:
 	$(PYTHON) benchmarks/bench_perf.py --smoke --jobs 2 --out BENCH_SMOKE.json
 
 # Start a wire server + sharded workers at toy scale and assert the
 # answers are bit-identical to the in-process service (CI's guard on the
-# serving front-end).
+# serving front-end). Runs the wire + shard sections only; the fault
+# gates live in resilience-smoke.
 frontend-smoke:
-	$(PYTHONPATH_SRC) $(PYTHON) -m repro.serve.check
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.serve.check --only wire --only shards
+
+# The PR-6 acceptance gate: on a 3-shard R=2 snapshot-backed fleet,
+# kill -9 each worker under load (zero lost queries, bit-identical
+# answers, snapshot-warmed respawn) and resize the fleet live.
+resilience-smoke:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.serve.check --only resilience
 
 bench-figures:
 	$(PYTHON) -m pytest benchmarks -q -p no:cacheprovider

@@ -1,9 +1,9 @@
 #!/usr/bin/env python
-"""Run the performance benchmark and write BENCH_PR5.json.
+"""Run the performance benchmark and write BENCH_PR6.json.
 
 Usage::
 
-    python benchmarks/bench_perf.py [--out BENCH_PR5.json]
+    python benchmarks/bench_perf.py [--out BENCH_PR6.json]
         [--sizes paper square-6m square-12m warehouse ...] [--frames 500]
         [--repeat 3] [--jobs 2] [--scenario paper] [--smoke]
 
@@ -17,10 +17,13 @@ bit-identity check; ``--scenario`` selects the environment), plus the
 multi-site serving layer (cold vs warm, single vs batch, matcher-cache
 speedup, queries/sec across all ``--sizes`` in one process), plus the wire
 front-end and shard layer (HTTP / unix-socket round-trip latency and q/s
-vs in-process, shard fan-out scaling, all bit-identity-gated). ``--smoke``
+vs in-process, shard fan-out scaling, all bit-identity-gated), plus the
+fault-tolerant fleet (failed-query count and tail-latency perturbation
+across a ``kill -9`` under load, recovery time, snapshot-warm vs
+cold-survey restore speedup — R >= 2 must lose zero queries). ``--smoke``
 runs a seconds-scale subset for CI and honors ``--out`` so the workflow can
 upload the JSON as an artifact (the CI convention is ``make bench-smoke``
-→ ``BENCH_SMOKE.json``; the committed full run is ``BENCH_PR5.json``). See
+→ ``BENCH_SMOKE.json``; the committed full run is ``BENCH_PR6.json``). See
 EXPERIMENTS.md for the recorded trajectory and how to read the numbers.
 The file name is intentionally ``bench_*`` (not ``test_*``) so pytest's
 benchmark collection does not pick it up.
@@ -49,7 +52,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out",
         default=None,
-        help="output JSON path (default: BENCH_PR5.json; with --smoke, no "
+        help="output JSON path (default: BENCH_PR6.json; with --smoke, no "
         "file is written unless --out is given)",
     )
     parser.add_argument(
@@ -90,6 +93,9 @@ def main(argv=None) -> int:
             serving_sites=("square-3m", "square-4m"),
             frontend_sites=("square-3m", "square-4m"),
             frontend_shards=(1, 2),
+            resilience_sites=("square-3m", "square-4m"),
+            resilience_shards=2,
+            resilience_replicas=2,
         )
         print(format_bench_report(report))
         engine = report["engine"]
@@ -117,9 +123,22 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 1
+        resilience = report["resilience"]
+        if not (resilience["zero_loss"] and resilience["recovered"]):
+            print(
+                "FAIL: queries lost or worker never recovered under kill -9",
+                file=sys.stderr,
+            )
+            return 1
+        if not resilience["snapshot_warm_bit_identical"]:
+            print(
+                "FAIL: snapshot-warmed fleet answers differ",
+                file=sys.stderr,
+            )
+            return 1
         return 0
 
-    out = args.out or "BENCH_PR5.json"
+    out = args.out or "BENCH_PR6.json"
     report = run_perf_bench(
         sizes=args.sizes,
         frames=args.frames,
@@ -131,6 +150,7 @@ def main(argv=None) -> int:
         engine_scenario=args.scenario,
         serving_sites=tuple(args.sizes),
         frontend_sites=tuple(args.sizes),
+        resilience_sites=("square-3m", "square-4m", "square-5m"),
     )
     print(format_bench_report(report))
     print(f"\nwrote {out}")

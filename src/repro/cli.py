@@ -287,15 +287,37 @@ def _serve_specs(args: argparse.Namespace) -> Dict[str, ScenarioSpec]:
 
 def _serve_listen(args: argparse.Namespace, specs: Dict[str, ScenarioSpec]) -> int:
     """The ``serve --listen`` path: wire front-end(s) over the site fleet."""
+    replicas = getattr(args, "replicas", 1)
+    snapshot_dir = getattr(args, "snapshot_dir", None)
     if args.shards:
-        backend = ShardedService(specs, shards=args.shards, seed=args.seed)
+        backend = ShardedService(
+            specs,
+            shards=args.shards,
+            replicas=replicas,
+            snapshot_dir=snapshot_dir,
+            seed=args.seed,
+        )
     else:
-        backend = LocalizationService.from_specs(specs, seed=args.seed)
+        if replicas > 1:
+            raise SystemExit("--replicas needs --shards >= replicas")
+        kwargs = {}
+        if snapshot_dir is not None:
+            kwargs["snapshot_dir"] = snapshot_dir
+            kwargs["share_pipelines"] = False
+        backend = LocalizationService.from_specs(
+            specs, seed=args.seed, **kwargs
+        )
     start = time.perf_counter()
     backend.warm()
     print(
         f"warmed {len(specs)} site(s) in {time.perf_counter() - start:.2f}s"
-        + (f" across {args.shards} shard worker(s)" if args.shards else "")
+        + (
+            f" across {args.shards} shard worker(s)"
+            + (f", {replicas} replica(s) per site" if replicas > 1 else "")
+            if args.shards
+            else ""
+        )
+        + (f", snapshots in {snapshot_dir}" if snapshot_dir else "")
     )
     for day in args.update_days:
         for site in specs:
@@ -361,7 +383,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     specs = _serve_specs(args)
     if args.listen or args.unix_socket:
         return _serve_listen(args, specs)
-    service = LocalizationService.from_specs(specs, seed=args.seed)
+    kwargs = {}
+    if getattr(args, "snapshot_dir", None) is not None:
+        kwargs["snapshot_dir"] = args.snapshot_dir
+        kwargs["share_pipelines"] = False
+    service = LocalizationService.from_specs(specs, seed=args.seed, **kwargs)
     rows = []
     for site in service.sites():
         start = time.perf_counter()
@@ -617,7 +643,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--shards", type=int, default=0, metavar="N",
         help="partition sites across N worker processes (0 = in-process; "
-        "answers are bit-identical for any value)",
+        "answers are bit-identical for any value). A running sharded "
+        "server resizes live via the wire 'resize' method: POST /resize "
+        "{\"shards\": M} moves only the jump-hash-displaced sites, warms "
+        "them (from snapshots when --snapshot-dir is set) before the "
+        "routing table flips, and keeps answering throughout",
+    )
+    serve.add_argument(
+        "--replicas", type=int, default=1, metavar="R",
+        help="serve every site from R distinct shard workers (needs "
+        "--shards >= R): queries fail over transparently when a worker "
+        "dies or hangs, updates fan out to all R copies; with R >= 2 a "
+        "kill -9 under load loses zero queries",
+    )
+    serve.add_argument(
+        "--snapshot-dir", default=None, metavar="DIR",
+        help="persist commissioned site state (fingerprint epochs + "
+        "collector RNG states, checksummed) under DIR; crashed workers "
+        "respawn warm from these snapshots in milliseconds instead of "
+        "re-surveying, bit-identically",
     )
     serve.add_argument(
         "--refresh-policy", default="off",

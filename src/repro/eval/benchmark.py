@@ -12,11 +12,14 @@ registry names (any registered environment benchmarks directly), and every
 row records its scenario. :func:`bench_serving` additionally measures the
 multi-site serving layer (cold vs warm, single vs batch, matcher-cache
 speedup, queries/sec with many sites in one process). The results feed
-``BENCH_PR4.json`` (committed trajectory point; see ``EXPERIMENTS.md``)
+``BENCH_PR6.json`` (committed trajectory point; see ``EXPERIMENTS.md``)
 and the ``tafloc-repro bench`` CLI command. :func:`bench_frontend` measures
 the wire front-ends (HTTP / unix-socket round-trip latency and queries/sec
 vs in-process calls) and the shard layer's fan-out scaling, all gated on
-bit-identity with the in-process service.
+bit-identity with the in-process service. :func:`bench_resilience`
+measures the fault-tolerant fleet: failed/mismatched query counts and
+tail-latency perturbation across a ``kill -9`` of a worker under load,
+recovery time, and the snapshot-warm vs cold-survey restore speedup.
 
 Run via ``make bench`` or ``python benchmarks/bench_perf.py``.
 """
@@ -52,6 +55,7 @@ from repro.serve import (
     pipeline_seed,
     reconstructor_seed,
 )
+from repro.serve.faults import FaultInjector, FaultSchedule
 from repro.sim.collector import CollectionProtocol, RssCollector
 from repro.sim.deployment import Deployment
 from repro.sim.scenario import Scenario
@@ -643,6 +647,214 @@ def bench_frontend(
     return record
 
 
+def _latency_summary(latencies_s: Sequence[float]) -> Dict[str, float]:
+    if not latencies_s:
+        return {"count": 0}
+    arr = np.asarray(latencies_s, dtype=float) * 1000.0
+    return {
+        "count": int(arr.size),
+        "p50_ms": float(np.percentile(arr, 50)),
+        "p99_ms": float(np.percentile(arr, 99)),
+        "max_ms": float(arr.max()),
+        "mean_ms": float(arr.mean()),
+    }
+
+
+def bench_resilience(
+    *,
+    sites: Sequence[str] = ("square-3m", "square-4m", "square-5m"),
+    shards: int = 3,
+    replicas: int = 2,
+    frames: int = 24,
+    samples_per_cell: int = 2,
+    operations: int = 30,
+    seed: int = _BENCH_SEED,
+    recovery_timeout_s: float = 120.0,
+) -> Dict[str, object]:
+    """Benchmark the fleet's fault tolerance: kill a worker, count losses.
+
+    The measurement behind the PR-6 acceptance claims, all on one
+    snapshot-backed :class:`~repro.serve.shard.ShardedService` fleet
+    (``shards`` workers, R = ``replicas``):
+
+    * **failed / mismatched queries** — a round-robin ``query_batch``
+      workload runs before, immediately after a seed-scheduled
+      (:class:`~repro.serve.faults.FaultSchedule`) ``kill -9`` of a
+      worker, and again after recovery; every answer is checked
+      bit-for-bit against an undisturbed in-process service. With
+      R >= 2 the target is zero failures and zero mismatches in every
+      phase.
+    * **recovery** — wall time from the SIGKILL to the victim answering
+      again, plus how many of its sites the respawn restored from
+      snapshots (vs re-surveying).
+    * **tail latency** — p50/p99 per phase, so the perturbation the
+      failover + background respawn causes is a number, not a vibe.
+    * **warm paths** — ``cold_warm_s`` (first fleet warm: full
+      commissioning surveys) vs ``snapshot_warm_s`` (a second fleet over
+      the same snapshot directory), the restore-vs-rebuild speedup a
+      respawn rides.
+    """
+    protocol = CollectionProtocol(
+        samples_per_cell=samples_per_cell, empty_room_samples=5
+    )
+    specs = {f"site-{name}": bench_spec(name) for name in sites}
+    reference = LocalizationService.from_specs(
+        specs, protocol=protocol, seed=seed, share_pipelines=False
+    )
+    reference.warm()
+    workloads: Dict[str, np.ndarray] = {}
+    for index, (site, spec) in enumerate(specs.items()):
+        scenario = cached_scenario(spec, build_scenario)
+        cells = counter_stream(seed, 500 + index).integers(
+            0, scenario.deployment.cell_count, size=frames
+        )
+        workloads[site] = RssCollector(
+            scenario,
+            protocol,
+            seed=task_key(seed, "resilience-workload", site),
+        ).live_trace(0.0, cells).rss
+    expected = {
+        site: reference.query_batch(site, rss, 0.0)
+        for site, rss in workloads.items()
+    }
+    site_list = list(specs)
+
+    record: Dict[str, object] = {
+        "sites": site_list,
+        "shards": int(shards),
+        "replicas": int(replicas),
+        "frames": int(frames),
+        "operations": int(operations),
+    }
+
+    with tempfile.TemporaryDirectory() as tmp:
+        snapshot_dir = Path(tmp) / "snapshots"
+        fleet = ShardedService(
+            specs,
+            shards=shards,
+            replicas=replicas,
+            snapshot_dir=snapshot_dir,
+            call_timeout=60.0,
+            protocol=protocol,
+            seed=seed,
+        )
+        try:
+            start = time.perf_counter()
+            fleet.warm()
+            record["cold_warm_s"] = time.perf_counter() - start
+
+            def run_phase(count: int) -> Dict[str, object]:
+                latencies: List[float] = []
+                failed = 0
+                mismatched = 0
+                for op in range(count):
+                    site = site_list[op % len(site_list)]
+                    rss = workloads[site]
+                    begin = time.perf_counter()
+                    try:
+                        result = fleet.query_batch(site, rss, 0.0)
+                    except OSError:
+                        failed += 1
+                        continue
+                    latencies.append(time.perf_counter() - begin)
+                    if not (
+                        np.array_equal(result.cells, expected[site].cells)
+                        and np.array_equal(
+                            result.positions, expected[site].positions
+                        )
+                    ):
+                        mismatched += 1
+                return {
+                    "failed_queries": failed,
+                    "mismatched_queries": mismatched,
+                    "latency": _latency_summary(latencies),
+                }
+
+            record["before"] = run_phase(operations)
+
+            schedule = FaultSchedule.generate(
+                seed=seed, operations=operations, shards=shards, faults=1
+            )
+            victim = schedule.events[0].target
+            injector = FaultInjector(fleet)
+            killed_at = time.perf_counter()
+            injector.kill(victim)
+            record["victim_shard"] = int(victim)
+            # Under load straight through the outage: with R >= 2 every
+            # query fails over to a live replica and still answers.
+            record["during"] = run_phase(operations)
+
+            recovered = False
+            deadline = time.monotonic() + recovery_timeout_s
+            while time.monotonic() < deadline:
+                fleet.health()  # the monitoring poll drives the respawn
+                if fleet._shards[victim].alive():
+                    recovered = True
+                    break
+                time.sleep(0.02)
+            record["recovery_s"] = time.perf_counter() - killed_at
+            record["recovered"] = bool(recovered)
+            if recovered:
+                worker_health = fleet._shards[victim].call("health")
+                record["snapshots_restored"] = int(
+                    worker_health["snapshots_restored"]
+                )
+            record["after"] = run_phase(operations)
+            record["router_stats"] = {
+                "failovers": fleet.router_stats.failovers,
+                "timeouts": fleet.router_stats.timeouts,
+                "respawns": fleet.router_stats.respawns,
+                "respawn_failures": fleet.router_stats.respawn_failures,
+            }
+        finally:
+            fleet.close()
+
+        # A second fleet over the same snapshot directory: the warm that a
+        # respawn rides, vs the cold commissioning surveys above.
+        revived = ShardedService(
+            specs,
+            shards=shards,
+            replicas=replicas,
+            snapshot_dir=snapshot_dir,
+            call_timeout=60.0,
+            protocol=protocol,
+            seed=seed,
+        )
+        try:
+            start = time.perf_counter()
+            revived.warm()
+            record["snapshot_warm_s"] = time.perf_counter() - start
+            record["snapshot_warm_restored"] = int(
+                sum(
+                    shard.call("health")["snapshots_restored"]
+                    for shard in revived._shards
+                )
+            )
+            record["snapshot_warm_bit_identical"] = bool(
+                all(
+                    np.array_equal(
+                        revived.query_batch(site, rss, 0.0).cells,
+                        expected[site].cells,
+                    )
+                    for site, rss in workloads.items()
+                )
+            )
+        finally:
+            revived.close()
+
+    cold = record["cold_warm_s"]
+    warm = record["snapshot_warm_s"]
+    record["restore_speedup"] = cold / warm if warm > 0 else float("inf")
+    record["zero_loss"] = bool(
+        all(
+            record[phase]["failed_queries"] == 0
+            and record[phase]["mismatched_queries"] == 0
+            for phase in ("before", "during", "after")
+        )
+    )
+    return record
+
+
 def run_perf_bench(
     *,
     sizes: Sequence[str] = DEFAULT_SIZES,
@@ -656,6 +868,9 @@ def run_perf_bench(
     serving_sites: Optional[Sequence[str]] = None,
     frontend_sites: Optional[Sequence[str]] = None,
     frontend_shards: Sequence[int] = (1, 2),
+    resilience_sites: Optional[Sequence[str]] = None,
+    resilience_replicas: int = 2,
+    resilience_shards: int = 3,
 ) -> Dict[str, object]:
     """Run the benchmark over ``sizes``; optionally write the JSON report.
 
@@ -667,7 +882,10 @@ def run_perf_bench(
     over those scenario names (``None`` skips it). ``frontend_sites``
     additionally runs the wire/shard front-end benchmark
     (:func:`bench_frontend`) over those names with ``frontend_shards``
-    worker counts (``None`` skips it).
+    worker counts (``None`` skips it). ``resilience_sites`` additionally
+    runs the fault-tolerance benchmark (:func:`bench_resilience`) on a
+    ``resilience_shards``-worker, R = ``resilience_replicas`` fleet
+    (``None`` skips it).
     """
     report: Dict[str, object] = {
         "benchmark": "bench_perf",
@@ -707,6 +925,14 @@ def run_perf_bench(
             repeat=repeat,
             seed=seed,
             shard_counts=frontend_shards,
+        )
+    if resilience_sites is not None:
+        report["resilience"] = bench_resilience(
+            sites=resilience_sites,
+            shards=resilience_shards,
+            replicas=resilience_replicas,
+            samples_per_cell=samples_per_cell,
+            seed=seed,
         )
     if out_path is not None:
         Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
@@ -801,4 +1027,30 @@ def format_bench_report(report: Dict[str, object]) -> str:
                 f"{row['fanout_batch_qps']:,.0f} q/s "
                 f"({row['scaling_x']:.2f}x vs 1 worker, {identical})"
             )
+    resilience = report.get("resilience")
+    if resilience:
+        lines.append("")
+        lines.append(
+            f"resilience ({resilience['shards']} shards, "
+            f"R={resilience['replicas']}, kill -9 of shard "
+            f"{resilience.get('victim_shard', '?')} under load):"
+        )
+        for phase in ("before", "during", "after"):
+            row = resilience[phase]
+            latency = row["latency"]
+            lines.append(
+                f"  {phase:<7} failed {row['failed_queries']} | "
+                f"mismatched {row['mismatched_queries']} | "
+                f"p50 {latency.get('p50_ms', float('nan')):.1f} ms | "
+                f"p99 {latency.get('p99_ms', float('nan')):.1f} ms"
+            )
+        restored = resilience.get("snapshots_restored", 0)
+        lines.append(
+            f"  recovery {resilience['recovery_s']:.2f}s "
+            f"({restored} site(s) snapshot-restored) | warm cold "
+            f"{resilience['cold_warm_s']:.2f}s vs snapshot "
+            f"{resilience['snapshot_warm_s']:.2f}s "
+            f"({resilience['restore_speedup']:.1f}x) | "
+            f"{'ZERO LOSS' if resilience['zero_loss'] else 'QUERIES LOST'}"
+        )
     return "\n".join(lines)

@@ -1,8 +1,9 @@
-"""The frontend smoke gate: wire and shard serving must not change bits.
+"""The serving smoke gates: wire identity, shard identity, resilience.
 
-``python -m repro.serve.check`` (CI's ``frontend-smoke`` step, also
-``make frontend-smoke``) stands up the full serving stack at toy scale
-and asserts the one contract everything in this package is built around:
+``python -m repro.serve.check`` (CI's ``frontend-smoke`` and
+``resilience-smoke`` steps, also ``make frontend-smoke`` /
+``make resilience-smoke``) stands up the full serving stack at toy scale
+and asserts the contracts everything in this package is built around:
 
 1. **Wire identity** — a query batch routed through a live HTTP server
    (and through the unix-socket transport) returns cells/positions/scores
@@ -15,20 +16,31 @@ and asserts the one contract everything in this package is built around:
    and to the in-process service.
 3. **Error contract** — a wrong-site query comes back as 404/KeyError
    through the wire, matching the in-process contract.
+4. **Resilience** — with 3 shards and R = 2 replicas over snapshots,
+   ``kill -9`` of *each* worker in turn under query load loses zero
+   queries and changes zero bits; every victim respawns, warms from its
+   snapshots (not a re-survey — asserted via the worker's
+   ``snapshots_restored`` counter), and a live grow/shrink resize keeps
+   answers bit-identical throughout.
 
-Exit code 0 means every identity held; 1 names what broke.
+``--only wire|shards|resilience`` runs a subset (CI splits the fast
+identity gates from the process-killing one). Exit code 0 means every
+check held; 1 names what broke.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import tempfile
+import time
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.eval.engine import cached_scenario
+from repro.serve.faults import FaultInjector
 from repro.serve.frontend import HttpFrontend, ServiceClient, UnixFrontend
 from repro.serve.service import LocalizationService
 from repro.serve.shard import ShardedService
@@ -36,9 +48,11 @@ from repro.sim.collector import CollectionProtocol, RssCollector
 from repro.sim.specs import build_scenario, get_scenario_spec
 from repro.util.rng import counter_stream, task_key
 
-__all__ = ["main", "run_check"]
+__all__ = ["main", "run_check", "run_resilience_check"]
 
 _DEFAULT_SITES = ("square-3m", "square-4m")
+_RESILIENCE_SITES = ("square-3m", "square-4m", "square-5m")
+_SECTIONS = ("wire", "shards", "resilience")
 
 
 def _workloads(
@@ -77,11 +91,27 @@ def run_check(
     shards: int = 2,
     samples_per_cell: int = 2,
     seed: int = 2016,
+    only: Optional[Sequence[str]] = None,
 ) -> List[Tuple[str, bool, str]]:
-    """Run every gate; returns ``(name, passed, detail)`` rows."""
+    """Run the gates; returns ``(name, passed, detail)`` rows.
+
+    ``only`` restricts to a subset of ``("wire", "shards", "resilience")``;
+    ``None`` runs everything.
+    """
+    sections = tuple(only) if only is not None else _SECTIONS
+    for section in sections:
+        if section not in _SECTIONS:
+            raise ValueError(
+                f"unknown section {section!r}; known: {', '.join(_SECTIONS)}"
+            )
     protocol = CollectionProtocol(
         samples_per_cell=samples_per_cell, empty_room_samples=5
     )
+    rows: List[Tuple[str, bool, str]] = []
+    if not ({"wire", "shards"} & set(sections)):
+        if "resilience" in sections:
+            rows.extend(run_resilience_check(seed=seed, frames=frames))
+        return rows
     specs = {name: get_scenario_spec(name) for name in sites}
     service = LocalizationService.from_specs(specs, protocol=protocol, seed=seed)
     service.warm()
@@ -90,30 +120,10 @@ def run_check(
         site: service.query_batch(site, rss, 0.0)
         for site, rss in workloads.items()
     }
-    rows: List[Tuple[str, bool, str]] = []
 
-    # 1. HTTP wire identity (+ error contract through the wire).
-    with HttpFrontend(service) as frontend:
-        with ServiceClient(frontend.address) as client:
-            for site, rss in workloads.items():
-                wire = client.query_batch(site, rss, 0.0, include_scores=True)
-                rows.append(
-                    (
-                        f"http:{site}",
-                        _identical(wire, reference[site]),
-                        f"{frontend.address} {wire.frame_count} frames",
-                    )
-                )
-            try:
-                client.query_batch("nowhere", workloads[sites[0]], 0.0)
-                rows.append(("http:error-contract", False, "no KeyError"))
-            except KeyError:
-                rows.append(("http:error-contract", True, "404 -> KeyError"))
-
-    # 2. Unix-socket wire identity.
-    with tempfile.TemporaryDirectory() as tmp:
-        path = str(Path(tmp) / "serve.sock")
-        with UnixFrontend(service, path) as frontend:
+    if "wire" in sections:
+        # 1. HTTP wire identity (+ error contract through the wire).
+        with HttpFrontend(service) as frontend:
             with ServiceClient(frontend.address) as client:
                 for site, rss in workloads.items():
                     wire = client.query_batch(
@@ -121,46 +131,216 @@ def run_check(
                     )
                     rows.append(
                         (
-                            f"unix:{site}",
+                            f"http:{site}",
                             _identical(wire, reference[site]),
-                            f"{frames} frames",
+                            f"{frontend.address} {wire.frame_count} frames",
+                        )
+                    )
+                try:
+                    client.query_batch("nowhere", workloads[sites[0]], 0.0)
+                    rows.append(("http:error-contract", False, "no KeyError"))
+                except KeyError:
+                    rows.append(
+                        ("http:error-contract", True, "404 -> KeyError")
+                    )
+
+        # 2. Unix-socket wire identity.
+        with tempfile.TemporaryDirectory() as tmp:
+            path = str(Path(tmp) / "serve.sock")
+            with UnixFrontend(service, path) as frontend:
+                with ServiceClient(frontend.address) as client:
+                    for site, rss in workloads.items():
+                        wire = client.query_batch(
+                            site, rss, 0.0, include_scores=True
+                        )
+                        rows.append(
+                            (
+                                f"unix:{site}",
+                                _identical(wire, reference[site]),
+                                f"{frames} frames",
+                            )
+                        )
+
+    if "shards" in sections:
+        # 3. Shard identity: N workers vs one worker vs in-process.
+        for count in sorted({1, shards}):
+            with ShardedService(
+                specs, shards=count, protocol=protocol, seed=seed
+            ) as sharded:
+                sharded.warm()
+                results = sharded.map_query_batch(
+                    [(site, rss, 0.0) for site, rss in workloads.items()]
+                )
+                for (site, _), result in zip(workloads.items(), results):
+                    rows.append(
+                        (
+                            f"shards={count}:{site}",
+                            _identical(result, reference[site]),
+                            "worker process" if count == 1 else "fan-out",
                         )
                     )
 
-    # 3. Shard identity: N workers vs one worker vs in-process.
-    for count in sorted({1, shards}):
+    if "resilience" in sections:
+        rows.extend(run_resilience_check(seed=seed, frames=frames))
+    return rows
+
+
+def run_resilience_check(
+    *,
+    sites: Tuple[str, ...] = _RESILIENCE_SITES,
+    frames: int = 12,
+    samples_per_cell: int = 2,
+    seed: int = 2016,
+    recovery_timeout: float = 60.0,
+) -> List[Tuple[str, bool, str]]:
+    """The fault gate: kill -9 every worker under load, lose nothing.
+
+    A 3-shard, R = 2 fleet over a snapshot directory serves |sites|
+    distinct-scenario sites. For each shard in turn: SIGKILL its worker,
+    immediately push the full query workload (every answer must come back
+    — zero failed queries — and match the undisturbed in-process
+    reference bit for bit), then wait for the background respawn and
+    assert the replacement warmed from snapshots rather than re-surveying
+    (its manager's ``snapshots_restored`` > 0). Finally a live resize up
+    to 4 shards and back down to 2 must keep every answer bit-identical.
+    """
+    protocol = CollectionProtocol(
+        samples_per_cell=samples_per_cell, empty_room_samples=5
+    )
+    specs = {f"site-{name}": get_scenario_spec(name) for name in sites}
+    reference_service = LocalizationService.from_specs(
+        specs, protocol=protocol, seed=seed, share_pipelines=False
+    )
+    reference_service.warm()
+    workloads = _workloads(specs, protocol, frames, seed)
+    reference = {
+        site: reference_service.query_batch(site, rss, 0.0)
+        for site, rss in workloads.items()
+    }
+    rows: List[Tuple[str, bool, str]] = []
+    with tempfile.TemporaryDirectory() as tmp:
         with ShardedService(
-            specs, shards=count, protocol=protocol, seed=seed
-        ) as sharded:
-            sharded.warm()
-            results = sharded.map_query_batch(
-                [(site, rss, 0.0) for site, rss in workloads.items()]
-            )
-            for (site, _), result in zip(workloads.items(), results):
+            specs,
+            shards=3,
+            replicas=2,
+            snapshot_dir=Path(tmp) / "snapshots",
+            call_timeout=30.0,
+            protocol=protocol,
+            seed=seed,
+        ) as fleet:
+            fleet.warm()
+            injector = FaultInjector(fleet)
+            for victim in range(3):
+                injector.kill(victim)
+                failed = 0
+                mismatched = 0
+                for site, rss in workloads.items():
+                    try:
+                        result = fleet.query_batch(site, rss, 0.0)
+                    except Exception:  # noqa: BLE001 - counted, not raised
+                        failed += 1
+                        continue
+                    if not _identical(result, reference[site]):
+                        mismatched += 1
+                started = time.monotonic()
+                deadline = started + recovery_timeout
+                while (
+                    not fleet._shards[victim].alive()
+                    and time.monotonic() < deadline
+                ):
+                    fleet.health()  # the monitoring poll drives recovery
+                    time.sleep(0.05)
+                recovered = fleet._shards[victim].alive()
+                recovery_ms = (time.monotonic() - started) * 1e3
+                restored = 0
+                if recovered:
+                    restored = int(
+                        fleet._shards[victim]
+                        .call("health")
+                        .get("snapshots_restored", 0)
+                    )
                 rows.append(
                     (
-                        f"shards={count}:{site}",
-                        _identical(result, reference[site]),
-                        "worker process" if count == 1 else "fan-out",
+                        f"resilience:kill-shard-{victim}",
+                        failed == 0 and mismatched == 0 and recovered,
+                        f"{failed} failed, {mismatched} mismatched, "
+                        f"respawned in {recovery_ms:.0f} ms",
                     )
                 )
+                rows.append(
+                    (
+                        f"resilience:snapshot-warm-{victim}",
+                        restored > 0,
+                        f"{restored} site(s) restored from snapshots",
+                    )
+                )
+            # Post-recovery identity: the full fleet answers like new.
+            results = fleet.map_query_batch(
+                [(site, rss, 0.0) for site, rss in workloads.items()]
+            )
+            rows.append(
+                (
+                    "resilience:post-recovery-identity",
+                    all(
+                        _identical(result, reference[site])
+                        for (site, _), result in zip(
+                            workloads.items(), results
+                        )
+                    ),
+                    f"{len(results)} sites, "
+                    f"{fleet.router_stats.respawns} respawns",
+                )
+            )
+            # Live resize keeps answering, bit-identically.
+            grown = fleet.resize(4)
+            grow_ok = all(
+                _identical(fleet.query_batch(site, rss, 0.0), reference[site])
+                for site, rss in workloads.items()
+            )
+            shrunk = fleet.resize(2)
+            shrink_ok = all(
+                _identical(fleet.query_batch(site, rss, 0.0), reference[site])
+                for site, rss in workloads.items()
+            )
+            rows.append(
+                (
+                    "resilience:resize",
+                    grow_ok and shrink_ok,
+                    f"3->4 moved {len(grown['moved_sites'])}, "
+                    f"4->2 moved {len(shrunk['moved_sites'])}",
+                )
+            )
     return rows
 
 
 def main(argv=None) -> int:
-    rows = run_check()
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.check",
+        description="Serving smoke gates: wire/shard identity + resilience.",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        choices=_SECTIONS,
+        default=None,
+        help="run only this section (repeatable); default: all sections",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2016, help="workload seed (default 2016)"
+    )
+    args = parser.parse_args(argv)
+    rows = run_check(seed=args.seed, only=args.only)
     width = max(len(name) for name, _, _ in rows)
     for name, passed, detail in rows:
         print(f"{name:<{width}}  {'ok' if passed else 'MISMATCH'}  {detail}")
     failed = [name for name, passed, _ in rows if not passed]
     if failed:
         print(
-            f"FAIL: {len(failed)} identity check(s) broke: "
-            + ", ".join(failed),
+            f"FAIL: {len(failed)} check(s) broke: " + ", ".join(failed),
             file=sys.stderr,
         )
         return 1
-    print(f"frontend smoke: all {len(rows)} identity checks passed")
+    print(f"serve smoke: all {len(rows)} checks passed")
     return 0
 
 

@@ -20,6 +20,17 @@ results come back as numpy arrays that are bit-identical to the
 in-process answers (float64 survives JSON round-trip exactly; the CI
 frontend smoke gate in :mod:`repro.serve.check` asserts it).
 
+**Retry policy lives in the client, not the transports.** Each transport
+makes exactly one attempt per call and poisons its cached connection on
+any failure; :meth:`ServiceClient.call` retries *idempotent* methods with
+capped exponential backoff plus jitter (a thundering herd of clients
+reconnecting to a restarted server should not arrive in lockstep) and
+raises :class:`~repro.serve.protocol.ServiceUnavailable` — chaining the
+last transport error — once the budget is exhausted. ``update`` and
+``commission`` are never re-sent (a duplicate execution would append a
+second epoch), and a ``TimeoutError`` is never retried for *any* method:
+the first copy may still be executing server-side.
+
 Both servers serve requests on handler threads; the backend's warm query
 path is read-only and the matcher cache tolerates a concurrent scheduler
 update (see :meth:`repro.core.pipeline.TafLoc.matcher_for_day`), so
@@ -31,9 +42,12 @@ from __future__ import annotations
 import http.client
 import json
 import os
+import random
 import socket
 import socketserver
 import threading
+import time
+import warnings
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -41,7 +55,14 @@ from urllib.parse import parse_qsl, urlsplit
 
 import numpy as np
 
-from repro.serve.protocol import ERROR_TYPES, decode, dispatch, encode
+from repro.serve.protocol import (
+    ERROR_TYPES,
+    DropResponse,
+    ServiceUnavailable,
+    decode,
+    dispatch,
+    encode,
+)
 from repro.sim.trace import LiveTrace
 
 __all__ = [
@@ -123,7 +144,14 @@ class _HttpHandler(BaseHTTPRequestHandler):
             )
             return
         params.update(body_params)
-        self._respond(*dispatch(self.server.backend, method, params))
+        try:
+            status, body = dispatch(self.server.backend, method, params)
+        except DropResponse:
+            # Fault injection: sever the connection instead of replying —
+            # the client must see a dead socket, not a status code.
+            self.close_connection = True
+            return
+        self._respond(status, body)
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib dispatch-by-name
         method, params = self._method()
@@ -137,7 +165,12 @@ class _HttpHandler(BaseHTTPRequestHandler):
                 },
             )
             return
-        self._respond(*dispatch(self.server.backend, method, params))
+        try:
+            status, body = dispatch(self.server.backend, method, params)
+        except DropResponse:
+            self.close_connection = True
+            return
+        self._respond(status, body)
 
 
 class _HttpServer(ThreadingHTTPServer):
@@ -177,6 +210,15 @@ class _Frontend:
         self._server.shutdown()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
+            if self._thread.is_alive():  # pragma: no cover - defensive
+                # A daemon thread cannot be force-killed; surface the
+                # escalation instead of silently leaking the server.
+                warnings.warn(
+                    f"{type(self).__name__} serve thread did not stop "
+                    "within 5s; it will die with the process",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             self._thread = None
         self._server.server_close()
 
@@ -229,11 +271,14 @@ class _UnixHandler(socketserver.StreamRequestHandler):
                     "message": str(error),
                 }
             else:
-                status, body = dispatch(
-                    self.server.backend,
-                    str(request.get("method", "")),
-                    request.get("params"),
-                )
+                try:
+                    status, body = dispatch(
+                        self.server.backend,
+                        str(request.get("method", "")),
+                        request.get("params"),
+                    )
+                except DropResponse:
+                    return  # fault injection: sever instead of replying
             self.wfile.write(encode({"status": status, "body": body}))
             self.wfile.flush()
 
@@ -317,29 +362,22 @@ class _HttpTransport:
             )
         return self._connection
 
-    def call(
-        self, method: str, params: Dict[str, Any], *, retry: bool
-    ) -> Tuple[int, Dict]:
+    def call(self, method: str, params: Dict[str, Any]) -> Tuple[int, Dict]:
+        """One attempt; any failure poisons the cached connection.
+
+        Retry policy (which failures re-send, how many times, how long
+        between) belongs to :meth:`ServiceClient.call`.
+        """
         payload = json.dumps({"params": params})
         headers = {"Content-Type": "application/json"}
-        for attempt in (0, 1):
-            connection = self._connect()
-            try:
-                connection.request("POST", f"/{method}", payload, headers)
-                response = connection.getresponse()
-                return response.status, json.loads(response.read() or b"{}")
-            except TimeoutError:
-                # The request may still be executing server-side; never
-                # re-send on a timeout, even for idempotent methods.
-                self.close()
-                raise
-            except (http.client.HTTPException, ConnectionError, OSError):
-                # Stale keep-alive connection: reconnect and re-send once,
-                # but only when a duplicate execution is harmless.
-                self.close()
-                if attempt or not retry:
-                    raise
-        raise AssertionError("unreachable")  # pragma: no cover
+        connection = self._connect()
+        try:
+            connection.request("POST", f"/{method}", payload, headers)
+            response = connection.getresponse()
+            return response.status, json.loads(response.read() or b"{}")
+        except BaseException:
+            self.close()  # the keep-alive stream is desynced; re-dial lazily
+            raise
 
     def close(self) -> None:
         if self._connection is not None:
@@ -361,26 +399,19 @@ class _UnixTransport:
             self._file = self._sock.makefile("rb")
         return self._sock, self._file
 
-    def call(
-        self, method: str, params: Dict[str, Any], *, retry: bool
-    ) -> Tuple[int, Dict]:
-        for attempt in (0, 1):
-            sock, reader = self._connect()
-            try:
-                sock.sendall(encode({"method": method, "params": params}))
-                line = reader.readline()
-                if not line:
-                    raise ConnectionError("server closed the connection")
-                response = decode(line)
-                return int(response["status"]), response.get("body", {})
-            except TimeoutError:
-                self.close()  # may still execute server-side: never re-send
-                raise
-            except (ConnectionError, OSError):
-                self.close()
-                if attempt or not retry:
-                    raise
-        raise AssertionError("unreachable")  # pragma: no cover
+    def call(self, method: str, params: Dict[str, Any]) -> Tuple[int, Dict]:
+        """One attempt; see :meth:`_HttpTransport.call` for the contract."""
+        sock, reader = self._connect()
+        try:
+            sock.sendall(encode({"method": method, "params": params}))
+            line = reader.readline()
+            if not line:
+                raise ConnectionError("server closed the connection")
+            response = decode(line)
+            return int(response["status"]), response.get("body", {})
+        except BaseException:
+            self.close()  # the stream is desynced; re-dial lazily
+            raise
 
     def close(self) -> None:
         if self._file is not None:
@@ -402,9 +433,33 @@ class ServiceClient:
     unknown site, ``ValueError`` for malformed RSS, ...), which is what
     makes swapping :class:`~repro.serve.service.LocalizationService` for a
     client a one-line change.
+
+    Args:
+        address: ``http://host:port`` or ``unix:///path``.
+        timeout: Socket timeout per attempt, seconds.
+        retries: Transport-failure *re-sends* for idempotent methods
+            (total attempts = ``retries + 1``). Non-idempotent methods
+            and timeouts never retry regardless.
+        backoff: Base delay before the first re-send; doubles per retry.
+        max_backoff: Ceiling on any single delay. Every delay is
+            jittered to 50–100% of its nominal value so restarted
+            servers are not hit by synchronized client herds.
     """
 
-    def __init__(self, address: str, *, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        address: str,
+        *,
+        timeout: float = 30.0,
+        retries: int = 2,
+        backoff: float = 0.05,
+        max_backoff: float = 1.0,
+    ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.max_backoff = float(max_backoff)
         self.address = str(address)
         parts = urlsplit(self.address)
         if parts.scheme == "http":
@@ -430,22 +485,49 @@ class ServiceClient:
 
     # ------------------------------------------------------------------
     def call(self, method: str, params: Optional[Dict[str, Any]] = None):
-        """One raw protocol round trip; raises mapped contract errors.
+        """One protocol round trip; raises mapped contract errors.
 
-        Read-only/idempotent methods transparently survive one stale
-        keep-alive connection (e.g. a server restart between calls);
-        ``update``/``commission`` never re-send — a duplicate execution
-        would not be harmless — so a transport error there surfaces to
-        the caller, who knows whether repeating is safe.
+        Idempotent methods survive transport failures (stale keep-alive
+        connections, a server restart, an injected drop) through up to
+        ``retries`` re-sends with capped exponential backoff and jitter;
+        exhaustion raises :class:`ServiceUnavailable` chaining the last
+        transport error. ``update``/``commission`` never re-send — a
+        duplicate execution would not be harmless — so a transport error
+        there surfaces raw to the caller, who knows whether repeating is
+        safe. A ``TimeoutError`` is terminal for every method: the first
+        copy may still be executing server-side.
         """
-        with self._lock:
-            status, body = self._transport.call(
-                method, params or {}, retry=method in _IDEMPOTENT_METHODS
-            )
-        if status >= 400:
-            error = ERROR_TYPES.get(body.get("error", ""), RuntimeError)
-            raise error(body.get("message", f"server returned {status}"))
-        return body
+        idempotent = method in _IDEMPOTENT_METHODS
+        attempts = (self.retries + 1) if idempotent else 1
+        last_error: Optional[BaseException] = None
+        for attempt in range(attempts):
+            if attempt:
+                delay = min(
+                    self.backoff * (2 ** (attempt - 1)), self.max_backoff
+                )
+                # 50-100% jitter: wall-clock pacing only, never results.
+                time.sleep(delay * (0.5 + random.random() / 2))
+            try:
+                with self._lock:
+                    status, body = self._transport.call(method, params or {})
+            except TimeoutError:
+                raise  # may still be executing server-side: never re-send
+            except (
+                http.client.HTTPException,
+                ConnectionError,
+                OSError,
+            ) as error:
+                last_error = error
+                if not idempotent:
+                    raise
+                continue
+            if status >= 400:
+                error = ERROR_TYPES.get(body.get("error", ""), RuntimeError)
+                raise error(body.get("message", f"server returned {status}"))
+            return body
+        raise ServiceUnavailable(
+            f"{method} failed after {attempts} attempt(s) to {self.address}"
+        ) from last_error
 
     def close(self) -> None:
         self._transport.close()

@@ -24,16 +24,42 @@ Materialization is deterministic and shared:
   :class:`~repro.core.pipeline.TafLoc` constructed with the same derived
   seeds — the contract the serving tests assert, including for stochastic
   reference-selection strategies.
+
+Two PR-6 additions make the manager the durability layer of the elastic
+fleet:
+
+* ``snapshot_dir`` — every commission/update writes a checksummed
+  :mod:`~repro.serve.snapshot` file, and lazy materialization restores
+  from it when the spec/config/protocol fingerprints match, so a
+  respawned or re-sharded worker warms in milliseconds without
+  re-surveying. Restores apply only to the lazy (auto-commission) path;
+  the explicit :meth:`commission`/:meth:`update` lifecycle entry points
+  always get a virgin pipeline, keeping their contracts unchanged.
+* ``share_pipelines=False`` — pipelines keyed per *site* instead of per
+  spec fingerprint, so a site's stream state depends only on its own
+  call sequence. That is what keeps R-way replicas of a site
+  bit-identical to each other (and to any other layout) no matter which
+  other sites each worker happens to own; the sharded router enables it
+  whenever replication or snapshots are on.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.core.fingerprint import FingerprintMatrix
 from repro.core.pipeline import TafLoc, TafLocConfig, UpdateReport
 from repro.eval.engine import cached_scenario, task_fingerprint
+from repro.serve.snapshot import (
+    SnapshotError,
+    load_snapshot,
+    restore_into,
+    save_snapshot,
+    snapshot_state,
+)
 from repro.sim.collector import CollectionProtocol, RssCollector
 from repro.sim.specs import ScenarioSpec, as_scenario_spec, build_scenario
 from repro.util.rng import task_key
@@ -83,6 +109,9 @@ class SiteManagerStats:
 
     pipelines_built: int = 0
     pipelines_shared: int = 0
+    snapshots_saved: int = 0
+    snapshots_restored: int = 0
+    snapshots_rejected: int = 0
 
 
 class SiteManager:
@@ -101,6 +130,14 @@ class SiteManager:
             commissioned — queries against them raise ``RuntimeError``
             until the caller commissions explicitly (the staged-rollout /
             real-testbed path).
+        snapshot_dir: When set, commissioned state is persisted there
+            (one checksummed file per pipeline) after every
+            commission/update, and lazy materialization restores from a
+            matching snapshot instead of re-surveying.
+        share_pipelines: When ``False``, every site gets its own pipeline
+            (still seeded per spec fingerprint) instead of sharing one per
+            distinct spec — the replica-consistency mode (see module
+            docstring).
 
     Error contract: any site-keyed lookup against an unregistered name
     raises :class:`KeyError`; registering a duplicate name raises
@@ -115,6 +152,8 @@ class SiteManager:
         commission_day: float = 0.0,
         seed: int = 0,
         auto_commission: bool = True,
+        snapshot_dir: Optional[Union[str, Path]] = None,
+        share_pipelines: bool = True,
     ) -> None:
         self.config = config if config is not None else TafLocConfig()
         self.protocol = (
@@ -123,10 +162,14 @@ class SiteManager:
         self.commission_day = float(commission_day)
         self.seed = int(seed)
         self.auto_commission = auto_commission
+        self.snapshot_dir = None if snapshot_dir is None else Path(snapshot_dir)
+        if self.snapshot_dir is not None:
+            self.snapshot_dir.mkdir(parents=True, exist_ok=True)
+        self.share_pipelines = bool(share_pipelines)
         self.stats = SiteManagerStats()
         self._specs: Dict[str, ScenarioSpec] = {}
         self._attached: Dict[str, TafLoc] = {}
-        self._pipelines: Dict[str, TafLoc] = {}  # spec fingerprint -> pipeline
+        self._pipelines: Dict[str, TafLoc] = {}  # pipeline key -> pipeline
         self._by_site: Dict[str, TafLoc] = {}  # resolved site -> pipeline
 
     # ------------------------------------------------------------------
@@ -151,6 +194,27 @@ class SiteManager:
         if site in self._specs or site in self._attached:
             raise ValueError(f"site {site!r} is already registered")
         self._attached[site] = system
+
+    def deregister(self, site: str) -> None:
+        """Drop ``site`` and free its pipeline if no other site shares it.
+
+        The live-resize handoff path: a worker that lost ownership of a
+        site under a new shard layout deregisters it so its memory is
+        reclaimed. Unknown sites raise :class:`KeyError`.
+        """
+        if site not in self:
+            raise KeyError(self._unknown(site))
+        spec = self._specs.pop(site, None)
+        self._attached.pop(site, None)
+        self._by_site.pop(site, None)
+        if spec is not None:
+            key = self._pipeline_key(site, spec)
+            still_used = any(
+                self._pipeline_key(other, other_spec) == key
+                for other, other_spec in self._specs.items()
+            )
+            if not still_used:
+                self._pipelines.pop(key, None)
 
     def sites(self) -> List[str]:
         """Registered site names, in registration order."""
@@ -192,10 +256,10 @@ class SiteManager:
             resolved = self._attached[site]
         elif site in self._specs:
             spec = self._specs[site]
-            key = task_fingerprint(spec)
+            key = self._pipeline_key(site, spec)
             if key not in self._pipelines:
                 self._pipelines[key] = self._materialize(
-                    spec, commission=commission
+                    site, spec, commission=commission
                 )
                 self.stats.pipelines_built += 1
             else:
@@ -206,13 +270,25 @@ class SiteManager:
         self._by_site[site] = resolved
         return resolved
 
+    def _pipeline_key(self, site: str, spec: ScenarioSpec) -> str:
+        """Cache key for the pipeline serving ``site``.
+
+        The spec fingerprint alone in shared mode (twin sites share one
+        pipeline); fingerprint *plus site name* otherwise, so each site's
+        collector stream is private to its own call sequence.
+        """
+        fingerprint = _spec_fingerprint(spec)
+        if self.share_pipelines:
+            return fingerprint
+        return f"{fingerprint}@{site}"
+
     def materialized(self, site: str) -> bool:
         """Whether the site's pipeline has been built (never builds one)."""
         if site in self._attached:
             return True
         if site not in self._specs:
             raise KeyError(self._unknown(site))
-        return task_fingerprint(self._specs[site]) in self._pipelines
+        return self._pipeline_key(site, self._specs[site]) in self._pipelines
 
     def commission(self, site: str, day: float) -> FingerprintMatrix:
         """Run the site's commissioning survey at ``day``, explicitly.
@@ -231,7 +307,9 @@ class SiteManager:
                 f"site {site!r} is already commissioned (epoch days: "
                 f"{system.database.days}); use update() to refresh it"
             )
-        return system.commission(day)
+        fingerprint = system.commission(day)
+        self._save_snapshot_for(site)
+        return fingerprint
 
     def update(
         self, site: str, day: float, *, cold: str = "raise"
@@ -264,7 +342,9 @@ class SiteManager:
         if self.materialized(site):
             system = self.pipeline(site)
             if system.commissioned:
-                return system.update(day)
+                report = system.update(day)
+                self._save_snapshot_for(site)
+                return report
         if cold == "raise":
             # Deliberately does not materialize anything: a refused cold
             # update must leave the site exactly as lazy as it found it.
@@ -275,6 +355,7 @@ class SiteManager:
                 "survey at the update day"
             )
         self._resolve_raw(site).commission(day)
+        self._save_snapshot_for(site)
         return None
 
     # ------------------------------------------------------------------
@@ -288,18 +369,149 @@ class SiteManager:
         return self._resolve(site, commission=False)
 
     def _materialize(
-        self, spec: ScenarioSpec, *, commission: Optional[bool] = None
+        self, site: str, spec: ScenarioSpec, *, commission: Optional[bool] = None
     ) -> TafLoc:
+        want_commission = (
+            self.auto_commission if commission is None else commission
+        )
+        if want_commission and self.snapshot_dir is not None:
+            restored = self._try_restore(site, spec)
+            if restored is not None:
+                return restored
+        system = self._build_raw(spec)
+        if want_commission:
+            system.commission(self.commission_day)
+            self._save_snapshot_system(site, spec, system)
+        return system
+
+    def _build_raw(self, spec: ScenarioSpec) -> TafLoc:
+        """A virgin pipeline for ``spec`` with the manager-derived seeds."""
         scenario = cached_scenario(spec, build_scenario)
-        system = TafLoc(
+        return TafLoc(
             RssCollector(
                 scenario, self.protocol, seed=pipeline_seed(spec, self.seed)
             ),
             self.config,
             seed=reconstructor_seed(spec, self.seed),
         )
-        if self.auto_commission if commission is None else commission:
-            system.commission(self.commission_day)
+
+    # ------------------------------------------------------------------
+    # snapshots (the durability layer; see repro.serve.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_path(self, site: str) -> Path:
+        """Where the site's snapshot lives (requires ``snapshot_dir``)."""
+        if self.snapshot_dir is None:
+            raise RuntimeError(
+                "this manager has no snapshot_dir; construct it with one "
+                "to enable snapshots"
+            )
+        spec = self._specs.get(site)
+        if spec is None:
+            if site in self._attached:
+                raise RuntimeError(
+                    f"site {site!r} is an attached pipeline; snapshots "
+                    "cover spec-backed sites only"
+                )
+            raise KeyError(self._unknown(site))
+        key = self._pipeline_key(site, spec)
+        digest = hashlib.blake2b(
+            f"{key}|{self._seed_key()}".encode("utf-8"), digest_size=16
+        ).hexdigest()
+        safe_name = "".join(
+            ch if ch.isalnum() or ch in "-_" else "-" for ch in spec.name
+        )
+        return self.snapshot_dir / f"{safe_name}-{digest}.snap.npz"
+
+    def snapshot_site(self, site: str) -> Path:
+        """Persist the site's commissioned state now; returns the path."""
+        system = self._by_site.get(site)
+        if system is None or not system.commissioned:
+            raise RuntimeError(
+                f"site {site!r} has no commissioned pipeline to snapshot; "
+                "warm or commission it first"
+            )
+        path = self.snapshot_path(site)  # validates dir + spec-backed
+        spec = self._specs[site]
+        save_snapshot(path, self._capture(site, spec, system))
+        self.stats.snapshots_saved += 1
+        return path
+
+    def snapshot_all(self) -> Dict[str, Path]:
+        """Snapshot every commissioned spec-backed site; ``{site: path}``."""
+        written: Dict[str, Path] = {}
+        for site in self._specs:
+            system = self._by_site.get(site)
+            if system is not None and system.commissioned:
+                written[site] = self.snapshot_site(site)
+        return written
+
+    def _seed_key(self) -> int:
+        return task_key(self.seed, "serve-snapshot")
+
+    def _capture(self, site: str, spec: ScenarioSpec, system: TafLoc):
+        return snapshot_state(
+            system,
+            spec_name=spec.name,
+            spec_fingerprint=_spec_fingerprint(spec),
+            config_fingerprint=task_fingerprint(self.config),
+            protocol_fingerprint=task_fingerprint(self.protocol),
+            seed_key=self._seed_key(),
+        )
+
+    def _save_snapshot_for(self, site: str) -> None:
+        """Best-effort persistence hook behind commission/update."""
+        if self.snapshot_dir is None or site not in self._specs:
+            return
+        system = self._by_site.get(site)
+        if system is None or not system.commissioned:
+            return
+        self._save_snapshot_system(site, self._specs[site], system)
+
+    def _save_snapshot_system(
+        self, site: str, spec: ScenarioSpec, system: TafLoc
+    ) -> None:
+        if self.snapshot_dir is None:
+            return
+        save_snapshot(self.snapshot_path(site), self._capture(site, spec, system))
+        self.stats.snapshots_saved += 1
+
+    def _try_restore(self, site: str, spec: ScenarioSpec) -> Optional[TafLoc]:
+        """Restore ``site`` from its snapshot, or ``None`` to rebuild.
+
+        A missing file is the normal cold path; a present-but-unusable one
+        (corrupt, wrong format version, or written under a different
+        spec/config/protocol) counts as *rejected* and falls back to the
+        survey — a stale snapshot must never win over correctness.
+        """
+        path = self.snapshot_path(site)
+        if not path.exists():
+            return None
+        try:
+            snapshot = load_snapshot(path)
+            expectations = (
+                (snapshot.spec_fingerprint, _spec_fingerprint(spec), "spec"),
+                (
+                    snapshot.config_fingerprint,
+                    task_fingerprint(self.config),
+                    "config",
+                ),
+                (
+                    snapshot.protocol_fingerprint,
+                    task_fingerprint(self.protocol),
+                    "protocol",
+                ),
+            )
+            for stored, expected, label in expectations:
+                if stored != expected:
+                    raise SnapshotError(
+                        f"snapshot {path} was written under a different "
+                        f"{label} (fingerprint {stored!r} != {expected!r})"
+                    )
+            system = restore_into(self._build_raw(spec), snapshot)
+        except SnapshotError:
+            self.stats.snapshots_rejected += 1
+            return None
+        self.stats.snapshots_restored += 1
         return system
 
     def _unknown(self, site: str) -> str:

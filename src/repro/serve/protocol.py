@@ -46,12 +46,38 @@ from repro.sim.trace import LiveTrace
 __all__ = [
     "ERROR_TYPES",
     "METHODS",
+    "DropResponse",
+    "ServiceUnavailable",
     "decode",
     "dispatch",
     "encode",
     "error_body",
     "error_status",
 ]
+
+
+class ServiceUnavailable(ConnectionError):
+    """No live replica (or wire endpoint) could answer.
+
+    Raised by the sharded router when every replica of a site is down, and
+    by :class:`~repro.serve.frontend.ServiceClient` after its retry budget
+    is exhausted. Subclasses :class:`ConnectionError` (hence ``OSError``),
+    so callers that already handled transport failures keep working; over
+    the wire it maps to status 503 and arrives client-side as the same
+    type.
+    """
+
+
+class DropResponse(Exception):
+    """Fault-injection control flow: drop the wire response entirely.
+
+    Raised by :class:`~repro.serve.faults.FlakyService`;
+    :func:`dispatch` deliberately re-raises it (it is not a contract
+    error), and the transport handlers translate it into a severed
+    connection — the client sees a dead socket, not a status code. Never
+    raised in production paths.
+    """
+
 
 #: Methods a front-end accepts, i.e. the service surface that is routable.
 METHODS = (
@@ -67,6 +93,7 @@ METHODS = (
     "staleness",
     "stats",
     "health",
+    "resize",
 )
 
 #: Status → exception type, the client-side inverse of :func:`error_status`.
@@ -77,6 +104,8 @@ ERROR_TYPES = {
     "LookupError": LookupError,
     "IndexError": IndexError,
     "RuntimeError": RuntimeError,
+    "ServiceUnavailable": ServiceUnavailable,
+    "ConnectionError": ServiceUnavailable,
 }
 
 
@@ -89,6 +118,9 @@ def error_status(error: BaseException) -> int:
     if isinstance(error, LookupError):
         return 409
     if isinstance(error, RuntimeError):
+        return 503
+    if isinstance(error, ConnectionError):
+        # The router's "every replica is down" signal: unavailable, not a bug.
         return 503
     return 500
 
@@ -139,6 +171,8 @@ def dispatch(
                 f"params must be a JSON object, got {type(params).__name__}"
             )
         return 200, _HANDLERS[method](backend, params)
+    except DropResponse:
+        raise  # fault injection: the transport must sever the connection
     except Exception as error:  # noqa: BLE001 - the protocol boundary
         return error_status(error), error_body(error)
 
@@ -290,7 +324,26 @@ def _handle_stats(backend, params):
 
 
 def _handle_health(backend, params):
-    return {"status": "ok", "sites": len(backend.sites())}
+    health = getattr(backend, "health", None)
+    if health is None:
+        return {"status": "ok", "sites": len(backend.sites())}
+    # The backend's richer report (per-shard liveness, per-site replica
+    # availability for the sharded router) flows through unchanged.
+    return dict(health())
+
+
+def _handle_resize(backend, params):
+    (shards,) = _require(params, "shards")
+    try:
+        shards = int(shards)
+    except (TypeError, ValueError):
+        raise ValueError(f"shards must be an integer, got {shards!r}") from None
+    resize = getattr(backend, "resize", None)
+    if resize is None:
+        raise RuntimeError(
+            "this backend cannot resize: it is not a sharded service"
+        )
+    return dict(resize(shards))
 
 
 _HANDLERS = {
@@ -306,4 +359,5 @@ _HANDLERS = {
     "staleness": _handle_staleness,
     "stats": _handle_stats,
     "health": _handle_health,
+    "resize": _handle_resize,
 }

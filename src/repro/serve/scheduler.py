@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -293,10 +294,22 @@ class UpdateScheduler:
         return self
 
     def stop(self) -> None:
-        """Stop the background thread (idempotent)."""
+        """Stop the background thread (idempotent).
+
+        A tick stuck in a long survey can outlive the join timeout; the
+        escalation is surfaced as a warning rather than silently leaking
+        the daemon thread.
+        """
         self._stop.set()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
+            if self._thread.is_alive():  # pragma: no cover - defensive
+                warnings.warn(
+                    "UpdateScheduler thread did not stop within 5s "
+                    "(tick still running); it will die with the process",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             self._thread = None
 
     def __enter__(self) -> "UpdateScheduler":

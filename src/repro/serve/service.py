@@ -93,6 +93,14 @@ class LocalizationService:
     def sites(self) -> List[str]:
         return self.manager.sites()
 
+    def register(self, site: str, spec) -> None:
+        """Register a new site on the live service (resize handoff path)."""
+        self.manager.register(site, spec)
+
+    def deregister(self, site: str) -> None:
+        """Drop a site (and its pipeline, when unshared) from the service."""
+        self.manager.deregister(site)
+
     def pipeline(self, site: str) -> TafLoc:
         return self.manager.pipeline(site)
 
@@ -150,6 +158,25 @@ class LocalizationService:
         """The query counters (one method shared with the sharded router,
         whose counters live in its worker processes)."""
         return self.stats
+
+    def health(self) -> Dict[str, object]:
+        """Liveness report (the wire ``health`` method's body).
+
+        The in-process service is trivially "ok" when reachable; the
+        interesting fields are the manager counters — in particular
+        ``snapshots_restored``, which is how the resilience gate proves a
+        respawned worker warmed from disk instead of re-surveying.
+        """
+        stats = self.manager.stats
+        return {
+            "status": "ok",
+            "sites": len(self.manager.sites()),
+            "pipelines_built": stats.pipelines_built,
+            "pipelines_shared": stats.pipelines_shared,
+            "snapshots_saved": stats.snapshots_saved,
+            "snapshots_restored": stats.snapshots_restored,
+            "snapshots_rejected": stats.snapshots_rejected,
+        }
 
     # ------------------------------------------------------------------
     # queries

@@ -19,19 +19,40 @@ added ones (``shard >= n``), never between surviving shards. The
 hypothesis suite (``tests/property/test_shard_routing.py``) pins all
 three properties.
 
+**R-way replication.** :func:`replica_shards` extends the primary
+placement to the first ``R`` *distinct* shards in a salted jump-hash
+probe sequence: probe 0 is :func:`shard_for_site` itself (so ``R=1`` is
+exactly the old layout), and each further probe is an independent jump
+hash, which keeps every individual probe minimally-moving under resize.
+Reads go to the primary and fail over down the replica list when a
+worker is dead or times out; updates and commissions fan out to *every*
+owning replica in the same order, which — together with per-site
+pipelines in the workers (see
+:class:`~repro.serve.manager.SiteManager` ``share_pipelines``) — keeps
+replicas bit-identical.
+
+**Crash recovery, not just crash detection.** A worker that dies (or
+hangs past ``call_timeout``) is marked down, queries fail over to its
+replicas, and a background thread respawns it; with a ``snapshot_dir``
+the replacement warms from checksummed snapshots in milliseconds instead
+of re-surveying. :meth:`ShardedService.resize` grows or shrinks the
+fleet live, handing off only the jump-hash-moved sites while queries
+keep answering. :meth:`ShardedService.health` reports per-shard liveness
+and per-site replica availability through the wire ``health`` method.
+
 **Bit-identity for any shard count.** Worker services derive every
 pipeline seed from ``(manager seed, spec fingerprint)`` — not from the
 shard layout — so the same site answers with the same bits whether it is
 served in-process, by one worker, or by one of sixteen (asserted in
-``tests/serve/test_shard.py`` and the CI frontend smoke gate). Sites
-sharing a spec fingerprint share one pipeline *within* a worker; twins
-split across shards rebuild the same bits independently.
+``tests/serve/test_shard.py`` and the CI frontend smoke gate).
 """
 
 from __future__ import annotations
 
 import threading
+import warnings
 import weakref
+from dataclasses import dataclass
 from typing import (
     Any,
     Dict,
@@ -49,15 +70,50 @@ import numpy as np
 from repro.core.matching import BatchMatchResult, MatchResult
 from repro.core.pipeline import UpdateReport
 from repro.eval.engine import worker_context
+from repro.serve.protocol import ServiceUnavailable
 from repro.serve.service import LocalizationService, ServiceStats
 from repro.sim.specs import ScenarioSpec, as_scenario_spec
 from repro.sim.trace import LiveTrace
 from repro.util.rng import task_key
 
-__all__ = ["ShardedService", "shard_for_site"]
+__all__ = [
+    "RouterStats",
+    "ShardedService",
+    "WorkerTimeout",
+    "replica_shards",
+    "shard_for_site",
+]
 
 _JUMP_LCG = 2862933555777941757
 _MASK64 = (1 << 64) - 1
+
+
+class WorkerTimeout(TimeoutError):
+    """A worker gave no reply within the router's call timeout.
+
+    The pipe is desynchronized once a reply is abandoned (a late reply
+    would be mis-attributed to the next call), so a timed-out worker is
+    treated exactly like a dead one: marked down, failed over, respawned.
+    """
+
+
+class _ShardConnectionError(ConnectionError):
+    """Internal: the pipe to a worker broke (send or receive).
+
+    Distinct from exceptions the worker *returned* (contract errors
+    re-raised verbatim), so the router never mistakes a service-level
+    ``OSError`` for a transport failure.
+    """
+
+
+def _jump(key: int, shard_count: int) -> int:
+    """Jump consistent hash (Lamping & Veach) of a 64-bit key."""
+    shard, candidate = 0, 0
+    while candidate < shard_count:
+        shard = candidate
+        key = (key * _JUMP_LCG + 1) & _MASK64
+        candidate = int((shard + 1) * ((1 << 31) / ((key >> 33) + 1)))
+    return shard
 
 
 def shard_for_site(site: str, shard_count: int) -> int:
@@ -72,13 +128,53 @@ def shard_for_site(site: str, shard_count: int) -> int:
     """
     if shard_count < 1:
         raise ValueError(f"shard_count must be >= 1, got {shard_count}")
-    key = task_key(0, "serve-shard", str(site))
-    shard, candidate = 0, 0
-    while candidate < shard_count:
-        shard = candidate
-        key = (key * _JUMP_LCG + 1) & _MASK64
-        candidate = int((shard + 1) * ((1 << 31) / ((key >> 33) + 1)))
-    return shard
+    return _jump(task_key(0, "serve-shard", str(site)), shard_count)
+
+
+def replica_shards(site: str, shard_count: int, replicas: int) -> Tuple[int, ...]:
+    """The first ``min(replicas, shard_count)`` distinct shards for ``site``.
+
+    Probe 0 is :func:`shard_for_site` (the primary — unchanged from the
+    unreplicated layout); probe ``k >= 1`` is a jump hash of the site key
+    salted with ``("replica", k)``, skipping shards already chosen. Each
+    salted probe is itself a jump consistent hash, so under a resize every
+    replica slot independently either stays put or moves to a shard that
+    could not have held it before — the fleet never reshuffles wholesale.
+    """
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    want = min(int(replicas), int(shard_count))
+    chosen = [shard_for_site(site, shard_count)]
+    salt = 0
+    while len(chosen) < want:
+        salt += 1
+        if salt > 64 * shard_count:  # pragma: no cover - astronomically rare
+            # Deterministic fallback: fill from the lowest unused indices.
+            for index in range(shard_count):
+                if index not in chosen:
+                    chosen.append(index)
+                if len(chosen) == want:
+                    break
+            break
+        candidate = _jump(
+            task_key(0, "serve-shard", str(site), "replica", salt), shard_count
+        )
+        if candidate not in chosen:
+            chosen.append(candidate)
+    return tuple(chosen)
+
+
+@dataclass
+class RouterStats:
+    """Router-side fault accounting (surfaced through ``health``)."""
+
+    failovers: int = 0
+    timeouts: int = 0
+    respawns: int = 0
+    respawn_failures: int = 0
+    resizes: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -91,8 +187,17 @@ def _shard_worker_main(connection, specs: Dict[str, dict], kwargs) -> None:
     ``(True, result)`` or ``(False, exception)`` — the router re-raises
     the exception in the parent, preserving the serving error contract
     across the process boundary.
+
+    ``("__fault__", (action, seconds), {})`` messages are the
+    fault-injection control channel (see :mod:`repro.serve.faults`):
+    ``hang`` stalls the worker before acknowledging (the reply then
+    desyncs the pipe — exactly the failure the router's timeout handling
+    must absorb), ``delay`` adds latency before every later reply.
     """
+    import time as _time
+
     service = LocalizationService.from_specs(specs, **kwargs)
+    reply_delay = 0.0
     while True:
         try:
             message = connection.recv()
@@ -101,8 +206,24 @@ def _shard_worker_main(connection, specs: Dict[str, dict], kwargs) -> None:
         if message is None:
             break
         method, args, call_kwargs = message
+        if method == "__fault__":
+            action = args[0] if args else None
+            seconds = float(args[1]) if len(args) > 1 else 0.0
+            if action == "hang":
+                _time.sleep(seconds)
+                connection.send((True, "hung"))
+            elif action == "delay":
+                reply_delay = seconds
+                connection.send((True, "delayed"))
+            else:
+                connection.send(
+                    (False, ValueError(f"unknown fault action {action!r}"))
+                )
+            continue
         try:
             result = getattr(service, method)(*args, **call_kwargs)
+            if reply_delay > 0.0:
+                _time.sleep(reply_delay)
             connection.send((True, result))
         except Exception as error:  # noqa: BLE001 - forwarded to the router
             connection.send((False, error))
@@ -110,27 +231,76 @@ def _shard_worker_main(connection, specs: Dict[str, dict], kwargs) -> None:
 
 
 class _Shard:
-    """Parent-side handle: one worker process, its pipe, and a call lock."""
+    """Parent-side handle: one worker process, its pipe, and a call lock.
+
+    Unlike the PR-5 handle this one is *restartable*: :meth:`respawn`
+    replaces a dead or hung worker with a fresh process (same sites, same
+    manager kwargs — and therefore, with a snapshot directory, the same
+    state), and :meth:`close` escalates join → terminate → kill and
+    reports which stage finally fired instead of silently falling through
+    the timeout.
+    """
 
     def __init__(
         self, index: int, context, specs: Dict[str, ScenarioSpec], kwargs
     ) -> None:
         self.index = index
-        self.connection, child = context.Pipe()
-        self.sites = list(specs)
-        self.process = context.Process(
+        self._context = context
+        self.specs: Dict[str, ScenarioSpec] = dict(specs)
+        self.kwargs = dict(kwargs)
+        self.lock = threading.Lock()
+        self.respawn_lock = threading.Lock()
+        self.generation = 0
+        self.restarts = 0
+        self.dead = False
+        self.close_stage: Optional[str] = None
+        self._spawn()
+
+    @property
+    def sites(self) -> List[str]:
+        return list(self.specs)
+
+    def _spawn(self) -> None:
+        self.connection, child = self._context.Pipe()
+        self.process = self._context.Process(
             target=_shard_worker_main,
-            args=(child, specs, kwargs),
+            args=(child, dict(self.specs), dict(self.kwargs)),
             daemon=True,
         )
         self.process.start()
         child.close()
-        self.lock = threading.Lock()
+        self.dead = False
 
-    def call(self, method: str, *args, **kwargs) -> Any:
+    def alive(self) -> bool:
+        return not self.dead and self.process.is_alive()
+
+    def call(
+        self, method: str, *args, timeout: Optional[float] = None, **kwargs
+    ) -> Any:
         with self.lock:
-            self.connection.send((method, args, kwargs))
-            ok, result = self.connection.recv()
+            try:
+                self.connection.send((method, args, kwargs))
+                if timeout is not None and not self.connection.poll(timeout):
+                    self.dead = True  # a late reply would desync the pipe
+                    raise WorkerTimeout(
+                        f"shard {self.index} gave no reply to {method!r} "
+                        f"within {timeout:g}s"
+                    )
+                ok, result = self.connection.recv()
+            except (EOFError, BrokenPipeError, ConnectionResetError) as error:
+                self.dead = True
+                raise _ShardConnectionError(
+                    f"shard {self.index} pipe failed during {method!r}: "
+                    f"{error!r}"
+                ) from error
+            except WorkerTimeout:
+                raise
+            except OSError as error:
+                self.dead = True
+                raise _ShardConnectionError(
+                    f"shard {self.index} pipe failed during {method!r}: "
+                    f"{error!r}"
+                ) from error
         if not ok:
             raise result
         return result
@@ -145,21 +315,61 @@ class _Shard:
             raise result
         return result
 
-    def close(self, timeout: float = 5.0) -> None:
+    def respawn(self) -> None:
+        """Replace the worker process (caller must hold :attr:`lock`)."""
+        self._shutdown(timeout=1.0)
+        self._spawn()
+        self.generation += 1
+        self.restarts += 1
+
+    def close(self, timeout: float = 5.0) -> str:
+        """Stop the worker; returns the escalation stage that ended it.
+
+        ``"clean"`` — exited on the shutdown message; ``"terminate"`` —
+        needed SIGTERM; ``"kill"`` — needed SIGKILL; ``"leaked"`` — still
+        alive after all three (surfaced, never silent).
+        """
+        stage = self._shutdown(timeout=timeout)
+        self.close_stage = stage
+        self.dead = True
+        return stage
+
+    def _shutdown(self, timeout: float) -> str:
+        stage = "clean"
         try:
             self.connection.send(None)
         except (BrokenPipeError, OSError):
             pass
         self.process.join(timeout=timeout)
-        if self.process.is_alive():  # pragma: no cover - defensive
+        if self.process.is_alive():
+            stage = "terminate"
             self.process.terminate()
             self.process.join(timeout=timeout)
-        self.connection.close()
+            if self.process.is_alive():  # pragma: no cover - defensive
+                stage = "kill"
+                self.process.kill()
+                self.process.join(timeout=timeout)
+                if self.process.is_alive():
+                    stage = "leaked"
+        try:
+            self.connection.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        return stage
 
 
-def _close_shards(shards: List[_Shard]) -> None:
-    for shard in shards:
-        shard.close()
+def _close_shards(shards: List[_Shard]) -> Dict[int, str]:
+    stages = {shard.index: shard.close() for shard in shards}
+    escalated = {
+        index: stage for index, stage in stages.items() if stage != "clean"
+    }
+    if escalated:
+        warnings.warn(
+            f"shard shutdown escalated past the clean path: {escalated}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return stages
 
 
 class ShardedService:
@@ -172,12 +382,29 @@ class ShardedService:
             worker crashes.
         shards: Worker process count (>= 1). Workers without sites are
             still started — a router is free to re-register later.
+        replicas: Replication factor ``R``: every site is owned by the
+            first ``min(R, shards)`` shards of its probe sequence
+            (:func:`replica_shards`). Reads fail over down the list;
+            updates fan out to all of them.
+        snapshot_dir: Forwarded to every worker's manager: commissioned
+            state persists there and respawned/moved workers warm from it
+            instead of re-surveying (see :mod:`repro.serve.snapshot`).
+        auto_respawn: Respawn crashed or timed-out workers in the
+            background (on by default). The replacement only rejoins the
+            rotation once its sites are warm again.
+        call_timeout: Seconds the router waits for a *query-path* reply
+            before declaring the worker hung (``None`` = wait forever).
+            Mutating calls (warm/update/commission) are never timed out —
+            a slow survey is not a fault.
         mp_context: Multiprocessing context override; defaults to
             :func:`repro.eval.engine.worker_context`.
         **manager_kwargs: Forwarded to every worker's
             :class:`~repro.serve.manager.SiteManager` (``seed``,
             ``protocol``, ``config``, ...) — identical kwargs are what
-            makes the shard layout invisible in the answers.
+            makes the shard layout invisible in the answers. When
+            replication or snapshots are enabled the workers default to
+            ``share_pipelines=False`` so replica streams stay in sync
+            (override explicitly at your own risk).
 
     The router is thread-safe (per-shard pipe locks), so a threaded wire
     front-end can fan queries out to all workers concurrently. For batch
@@ -190,39 +417,192 @@ class ShardedService:
         specs: Mapping[str, Union[ScenarioSpec, dict, str]],
         shards: int = 2,
         *,
+        replicas: int = 1,
+        snapshot_dir=None,
+        auto_respawn: bool = True,
+        call_timeout: Optional[float] = None,
         mp_context=None,
         **manager_kwargs,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
         resolved = {
             site: as_scenario_spec(spec) for site, spec in specs.items()
         }
         self.shard_count = int(shards)
+        self.replica_count = int(replicas)
+        self.auto_respawn = bool(auto_respawn)
+        self.call_timeout = call_timeout
+        self.router_stats = RouterStats()
+        worker_kwargs = dict(manager_kwargs)
+        if snapshot_dir is not None:
+            worker_kwargs["snapshot_dir"] = str(snapshot_dir)
+        if self.replica_count > 1 or snapshot_dir is not None:
+            # Replica (and restore) consistency needs per-site streams.
+            worker_kwargs.setdefault("share_pipelines", False)
+        self._worker_kwargs = worker_kwargs
+        self._specs = resolved
         self.assignment: Dict[str, int] = {
             site: shard_for_site(site, shards) for site in resolved
         }
+        self.replicas: Dict[str, Tuple[int, ...]] = {
+            site: replica_shards(site, shards, self.replica_count)
+            for site in resolved
+        }
+        self._site_order = list(resolved)
+        self._resize_lock = threading.Lock()
+        self._closed = False
         context = mp_context if mp_context is not None else worker_context()
+        self._context = context
         by_shard: List[Dict[str, ScenarioSpec]] = [{} for _ in range(shards)]
         for site, spec in resolved.items():
-            by_shard[self.assignment[site]][site] = spec
-        self._site_order = list(resolved)
+            for index in self.replicas[site]:
+                by_shard[index][site] = spec
         self._shards = [
-            _Shard(index, context, shard_specs, dict(manager_kwargs))
+            _Shard(index, context, shard_specs, dict(worker_kwargs))
             for index, shard_specs in enumerate(by_shard)
         ]
         self._finalizer = weakref.finalize(self, _close_shards, self._shards)
 
     # ------------------------------------------------------------------
-    def _shard(self, site: str) -> _Shard:
-        shard = self.assignment.get(site)
-        if shard is None:
+    # routing + failover
+    # ------------------------------------------------------------------
+    def _replica_order(self, site: str) -> Tuple[int, ...]:
+        order = self.replicas.get(site)
+        if order is None:
             known = ", ".join(self._site_order) or "<none>"
             raise KeyError(f"unknown site {site!r}; registered: {known}")
-        return self._shards[shard]
+        return order
+
+    def _shard(self, site: str) -> _Shard:
+        """First *live* replica for ``site`` (primary when healthy)."""
+        order = self._replica_order(site)
+        for position, index in enumerate(order):
+            shard = self._shards[index]
+            if shard.alive():
+                if position:
+                    self.router_stats.failovers += 1
+                return shard
+            self._ensure_respawn(shard)
+        raise ServiceUnavailable(
+            f"site {site!r}: all {len(order)} replica shard(s) "
+            f"{list(order)} are down (respawn in progress)"
+        )
+
+    def _call_route(
+        self, site: str, method: str, *args, timeout: Optional[float] = None
+    ) -> Any:
+        """A read call with transparent failover across the replica list."""
+        order = self._replica_order(site)
+        last_error: Optional[BaseException] = None
+        for position, index in enumerate(order):
+            shard = self._shards[index]
+            if not shard.alive():
+                self._ensure_respawn(shard)
+                continue
+            try:
+                if position:
+                    self.router_stats.failovers += 1
+                return shard.call(method, *args, timeout=timeout)
+            except _ShardConnectionError as error:
+                last_error = error
+                self._ensure_respawn(shard)
+            except WorkerTimeout as error:
+                last_error = error
+                self.router_stats.timeouts += 1
+                self._ensure_respawn(shard)
+        raise ServiceUnavailable(
+            f"site {site!r}: all {len(order)} replica shard(s) "
+            f"{list(order)} are unavailable"
+        ) from last_error
+
+    def _call_all_replicas(self, site: str, method: str, *args, **kwargs) -> Any:
+        """A mutating call applied to *every* owning replica, in order.
+
+        Returns the first replica's result. Requires the full replica set
+        to be up: applying an update to a subset would let the missing
+        replica drift (without snapshots, a later respawn could not
+        recover the skipped epochs), so a degraded site refuses refreshes
+        until its respawn completes — the scheduler just retries on its
+        next tick.
+        """
+        order = self._replica_order(site)
+        down = [i for i in order if not self._shards[i].alive()]
+        if down:
+            for index in down:
+                self._ensure_respawn(self._shards[index])
+            raise ServiceUnavailable(
+                f"cannot {method} site {site!r}: replica shard(s) {down} "
+                "are down (respawn in progress); retry once recovered"
+            )
+        result: Any = None
+        for position, index in enumerate(order):
+            shard = self._shards[index]
+            try:
+                out = shard.call(method, *args, **kwargs)
+            except (_ShardConnectionError, WorkerTimeout) as error:
+                self._ensure_respawn(shard)
+                raise ServiceUnavailable(
+                    f"replica shard {index} failed mid-{method} for site "
+                    f"{site!r}; its respawn will restore the last "
+                    f"snapshotted state"
+                ) from error
+            if position == 0:
+                result = out
+        return result
+
+    # ------------------------------------------------------------------
+    # respawn
+    # ------------------------------------------------------------------
+    def _ensure_respawn(self, shard: _Shard) -> None:
+        if not self.auto_respawn or self._closed:
+            return
+        if shard.respawn_lock.acquire(blocking=False):
+            thread = threading.Thread(
+                target=self._respawn_shard,
+                args=(shard,),
+                daemon=True,
+                name=f"shard-{shard.index}-respawn",
+            )
+            thread.start()
+
+    def _respawn_shard(self, shard: _Shard) -> None:
+        """Background recovery: new process, warm it, then rejoin rotation.
+
+        The replacement stays marked down while it warms (queries keep
+        failing over to replicas), and only starts taking traffic once
+        every one of its sites is materialized — from snapshots in
+        milliseconds when a ``snapshot_dir`` is configured, from a
+        re-survey otherwise.
+        """
+        try:
+            if self._closed or shard.alive():
+                return
+            with shard.lock:
+                shard.respawn()
+                shard.dead = True  # not ready until warm
+            try:
+                with shard.lock:
+                    shard.connection.send(("warm", (list(shard.specs),), {}))
+                    ok, result = shard.connection.recv()
+                if not ok:
+                    raise result
+            except Exception:  # noqa: BLE001 - recovery is best-effort
+                self.router_stats.respawn_failures += 1
+                shard.dead = True
+                return
+            shard.dead = False
+            self.router_stats.respawns += 1
+            if self._closed:  # closed while we were warming
+                shard.close(timeout=1.0)
+        finally:
+            shard.respawn_lock.release()
 
     def close(self) -> None:
         """Stop every worker (idempotent; also runs at garbage collection)."""
+        self._closed = True
         if self._finalizer.detach() is not None:
             _close_shards(self._shards)
 
@@ -233,23 +613,141 @@ class ShardedService:
         self.close()
 
     # ------------------------------------------------------------------
+    # elasticity
+    # ------------------------------------------------------------------
+    def resize(self, shards: int) -> Dict[str, object]:
+        """Grow or shrink the fleet to ``shards`` workers, live.
+
+        Jump-consistent placement keeps the move set minimal: only sites
+        whose replica set actually changes are handed off. New workers are
+        spawned and *warmed first* (snapshot restores make this
+        milliseconds), surviving workers register and warm the sites they
+        gain, and only then does the routing table flip — queries keep
+        answering against the old layout for the whole transition. Lost
+        ownership is deregistered after the flip and surplus workers are
+        retired through the escalating close path.
+        """
+        shards = int(shards)
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        with self._resize_lock:
+            if self._closed:
+                raise ServiceUnavailable("service is closed")
+            old_count = self.shard_count
+            if shards == old_count:
+                return {
+                    "shards": shards,
+                    "moved_sites": [],
+                    "spawned": 0,
+                    "retired": 0,
+                }
+            new_replicas = {
+                site: replica_shards(site, shards, self.replica_count)
+                for site in self._specs
+            }
+            new_owned: List[Dict[str, ScenarioSpec]] = [
+                {} for _ in range(shards)
+            ]
+            for site, spec in self._specs.items():
+                for index in new_replicas[site]:
+                    new_owned[index][site] = spec
+            moved = sorted(
+                site
+                for site in self._specs
+                if set(new_replicas[site]) != set(self.replicas[site])
+            )
+            spawned = 0
+            for index in range(old_count, shards):
+                self._shards.append(
+                    _Shard(
+                        index,
+                        self._context,
+                        new_owned[index],
+                        dict(self._worker_kwargs),
+                    )
+                )
+                spawned += 1
+            # Hand moved-in sites to the surviving workers.
+            gained: Dict[int, List[str]] = {}
+            for index in range(min(old_count, shards)):
+                shard = self._shards[index]
+                fresh = [s for s in new_owned[index] if s not in shard.specs]
+                for site in fresh:
+                    shard.call("register", site, self._specs[site])
+                    shard.specs[site] = self._specs[site]
+                if fresh:
+                    gained[index] = fresh
+            # Warm every new ownership before it takes traffic.
+            warm_calls = [
+                (self._shards[index], "warm", (sites,))
+                for index, sites in sorted(gained.items())
+            ] + [
+                (self._shards[index], "warm", (list(new_owned[index]),))
+                for index in range(old_count, shards)
+                if new_owned[index]
+            ]
+            if warm_calls:
+                results, failed, failure = self._pipelined_raw(warm_calls)
+                if failure is not None:
+                    raise failure
+                if failed:
+                    raise ServiceUnavailable(
+                        "resize aborted: a worker died while warming the "
+                        "new layout"
+                    )
+            # Flip the routing table — this is the atomic cutover.
+            self.assignment = {
+                site: new_replicas[site][0] for site in self._specs
+            }
+            self.replicas = new_replicas
+            self.shard_count = shards
+            # Release what moved away, retire surplus workers.
+            for index in range(min(old_count, shards)):
+                shard = self._shards[index]
+                lost = [s for s in list(shard.specs) if s not in new_owned[index]]
+                for site in lost:
+                    try:
+                        shard.call("deregister", site)
+                    except (_ShardConnectionError, WorkerTimeout):
+                        self._ensure_respawn(shard)
+                        break
+                    shard.specs.pop(site, None)
+            retired = 0
+            while len(self._shards) > shards:
+                self._shards.pop().close()
+                retired += 1
+            self.router_stats.resizes += 1
+            return {
+                "shards": shards,
+                "moved_sites": moved,
+                "spawned": spawned,
+                "retired": retired,
+            }
+
+    # ------------------------------------------------------------------
     # the service surface (same names the protocol dispatches on)
     # ------------------------------------------------------------------
     def sites(self) -> List[str]:
         return list(self._site_order)
 
-    def _pipelined(self, calls: Sequence[Tuple[_Shard, str, tuple]]) -> List[Any]:
+    def _pipelined_raw(
+        self, calls: Sequence[Tuple[_Shard, str, tuple]]
+    ) -> Tuple[List[Any], List[int], Optional[BaseException]]:
         """Fan ``(shard, method, args)`` calls out, replies in call order.
 
         The careful part is failure behavior: locks are acquired in shard
         index order (so two concurrent multi-shard fan-outs cannot
         deadlock on lock-order inversion), every request is sent before
         any reply is awaited (shards overlap compute), and when one call
-        fails every *other* healthy reply is still drained before the
-        first failure is raised — otherwise a stale reply would desync
-        the pipe and every later call on that shard would return the
-        previous call's result. A shard whose pipe breaks mid-fan-out is
-        marked dead and skipped for the rest of the round.
+        fails every *other* healthy reply is still drained before
+        returning — otherwise a stale reply would desync the pipe and
+        every later call on that shard would return the previous call's
+        result. A shard whose pipe breaks mid-fan-out is marked dead and
+        skipped for the rest of the round; its call indices come back in
+        the *failed* list so the caller can retry them on replicas (after
+        the locks are released). The first contract error (an exception
+        the worker returned) comes back as *failure* for the caller to
+        re-raise.
         """
         involved = sorted(
             {shard.index: shard for shard, _, _ in calls}.values(),
@@ -260,40 +758,57 @@ class ShardedService:
         try:
             failure: Optional[BaseException] = None
             dead: set = set()
+            failed: List[int] = []
             pending: List[Optional[_Shard]] = []
-            for shard, method, args in calls:
-                if shard.index in dead:
+            for position, (shard, method, args) in enumerate(calls):
+                if shard.index in dead or not shard.alive():
+                    shard.dead = True
+                    dead.add(shard.index)
+                    failed.append(position)
                     pending.append(None)
                     continue
                 try:
                     shard.send(method, *args)
                     pending.append(shard)
-                except OSError as error:
+                except OSError:
+                    shard.dead = True
                     dead.add(shard.index)
-                    failure = failure if failure is not None else error
+                    failed.append(position)
                     pending.append(None)
             results: List[Any] = []
-            for shard in pending:
+            for position, shard in enumerate(pending):
                 if shard is None or shard.index in dead:
                     results.append(None)
+                    if shard is not None and position not in failed:
+                        failed.append(position)
                     continue
                 try:
                     results.append(shard.receive())
-                except (EOFError, OSError) as error:
+                except (EOFError, OSError):
                     # Broken pipe: the shard's remaining replies will
                     # never arrive — stop waiting for them.
+                    shard.dead = True
                     dead.add(shard.index)
-                    failure = failure if failure is not None else error
+                    failed.append(position)
                     results.append(None)
                 except Exception as error:  # noqa: BLE001 - drain first
                     failure = failure if failure is not None else error
                     results.append(None)
-            if failure is not None:
-                raise failure
-            return results
+            return results, sorted(failed), failure
         finally:
             for shard in involved:
                 shard.lock.release()
+
+    def _pipelined(self, calls: Sequence[Tuple[_Shard, str, tuple]]) -> List[Any]:
+        """Strict fan-out: any failure (transport or contract) raises."""
+        results, failed, failure = self._pipelined_raw(calls)
+        if failure is not None:
+            raise failure
+        if failed:
+            raise ServiceUnavailable(
+                f"worker died mid-fan-out; {len(failed)} call(s) lost"
+            )
+        return results
 
     def warm(self, sites: Optional[Iterable[str]] = None) -> List[str]:
         """Materialize pipelines on every owning worker, concurrently.
@@ -301,13 +816,14 @@ class ShardedService:
         Requests are pipelined — each shard commissions its own sites
         while the others do the same — so warm-up wall time scales with
         the busiest shard, not the site count (the shard scaling lever
-        the benchmark measures).
+        the benchmark measures). With replication every owning worker
+        warms its copy.
         """
         names = list(sites) if sites is not None else self.sites()
         per_shard: Dict[int, List[str]] = {}
         for site in names:
-            shard = self._shard(site)  # raises KeyError for unknown sites
-            per_shard.setdefault(shard.index, []).append(site)
+            for index in self._replica_order(site):  # KeyError when unknown
+                per_shard.setdefault(index, []).append(site)
         self._pipelined(
             [
                 (self._shards[index], "warm", (batch,))
@@ -317,15 +833,21 @@ class ShardedService:
         return names
 
     def query(self, site: str, live_rss: np.ndarray, day: float) -> MatchResult:
-        return self._shard(site).call("query", site, live_rss, day)
+        return self._call_route(
+            site, "query", site, live_rss, day, timeout=self.call_timeout
+        )
 
     def query_batch(
         self, site: str, frames: np.ndarray, day: float
     ) -> BatchMatchResult:
-        return self._shard(site).call("query_batch", site, frames, day)
+        return self._call_route(
+            site, "query_batch", site, frames, day, timeout=self.call_timeout
+        )
 
     def query_trace(self, site: str, trace: LiveTrace) -> BatchMatchResult:
-        return self._shard(site).call("query_trace", site, trace)
+        return self._call_route(
+            site, "query_trace", site, trace, timeout=self.call_timeout
+        )
 
     def map_query_batch(
         self, requests: Sequence[Tuple[str, np.ndarray, float]]
@@ -336,37 +858,66 @@ class ShardedService:
         awaited, so shards overlap their compute; within one shard,
         requests keep their relative order. Results come back in request
         order. One bad request raises after every shard has drained (see
-        :meth:`_pipelined`), so the pipes stay in sync.
+        :meth:`_pipelined_raw`), so the pipes stay in sync. Requests lost
+        to a worker crash mid-fan-out are retried on the site's replicas
+        instead of raising — with ``R >= 2`` a ``kill -9`` in the middle
+        of a fan-out costs latency, not answers.
         """
-        return self._pipelined(
-            [
-                (self._shard(site), "query_batch", (site, frames, day))
-                for site, frames, day in requests
-            ]
-        )
+        requests = list(requests)
+        calls = [
+            (self._shard(site), "query_batch", (site, frames, day))
+            for site, frames, day in requests
+        ]
+        results, failed, failure = self._pipelined_raw(calls)
+        if failure is not None:
+            raise failure
+        for position in failed:
+            site, frames, day = requests[position]
+            self.router_stats.failovers += 1
+            results[position] = self._call_route(
+                site, "query_batch", site, frames, day,
+                timeout=self.call_timeout,
+            )
+        return results
 
     def update(
         self, site: str, day: float, *, cold: str = "raise"
     ) -> Optional[UpdateReport]:
-        return self._shard(site).call("update", site, day, cold=cold)
+        return self._call_all_replicas(site, "update", site, day, cold=cold)
 
     def commission(self, site: str, day: float) -> None:
-        return self._shard(site).call("commission", site, day)
+        return self._call_all_replicas(site, "commission", site, day)
 
     def staleness(self, site: str, day: float) -> Optional[float]:
-        return self._shard(site).call("staleness", site, day)
+        return self._call_route(
+            site, "staleness", site, day, timeout=self.call_timeout
+        )
 
     def site_summary(self, site: str) -> Dict[str, object]:
-        return self._shard(site).call("site_summary", site)
+        return self._call_route(
+            site, "site_summary", site, timeout=self.call_timeout
+        )
 
     def summary(self) -> List[Dict[str, object]]:
         return [self.site_summary(site) for site in self.sites()]
 
     def service_stats(self) -> ServiceStats:
-        """Aggregated query counters across every worker."""
+        """Aggregated query counters across every *reachable* worker.
+
+        A down worker's counters are simply absent from the aggregate (it
+        cannot be asked); degraded numbers beat an exception here because
+        schedulers poll this to rank refresh priorities.
+        """
         totals = ServiceStats()
         for shard in self._shards:
-            stats = shard.call("service_stats")
+            if not shard.alive():
+                self._ensure_respawn(shard)
+                continue
+            try:
+                stats = shard.call("service_stats", timeout=self.call_timeout)
+            except (_ShardConnectionError, WorkerTimeout):
+                self._ensure_respawn(shard)
+                continue
             totals.queries += stats.queries
             totals.frames += stats.frames
             for site, frames in stats.frames_by_site.items():
@@ -374,3 +925,64 @@ class ShardedService:
                     totals.frames_by_site.get(site, 0) + frames
                 )
         return totals
+
+    def health(self) -> Dict[str, object]:
+        """Fleet liveness: per-shard status and per-site replica cover.
+
+        ``status`` is ``"ok"`` when every worker is up, ``"degraded"``
+        when some are down but every site still has a live replica, and
+        ``"unavailable"`` when at least one site has none. The body is
+        JSON-plain and flows through the wire ``health`` method unchanged.
+        """
+        shard_rows = []
+        for shard in self._shards:
+            if not shard.alive():
+                # Monitoring drives recovery: a crashed *secondary* is
+                # invisible to the read path (reads stop at the first
+                # live replica), so the health poll is what notices it.
+                self._ensure_respawn(shard)
+            shard_rows.append(
+                {
+                    "index": shard.index,
+                    "alive": shard.alive(),
+                    "sites": len(shard.specs),
+                    "generation": shard.generation,
+                    "restarts": shard.restarts,
+                }
+            )
+        down = [row["index"] for row in shard_rows if not row["alive"]]
+        site_rows: Dict[str, Dict[str, object]] = {}
+        uncovered = 0
+        for site in self._site_order:
+            order = self.replicas[site]
+            available = sum(
+                1 for index in order if self._shards[index].alive()
+            )
+            uncovered += available == 0
+            site_rows[site] = {
+                "primary": self.assignment[site],
+                "replicas": list(order),
+                "available": available,
+            }
+        status = "ok"
+        if uncovered:
+            status = "unavailable"
+        elif down:
+            status = "degraded"
+        stats = self.router_stats
+        return {
+            "status": status,
+            "sites": len(self._site_order),
+            "shard_count": self.shard_count,
+            "replicas": self.replica_count,
+            "down_shards": down,
+            "shards": shard_rows,
+            "site_replicas": site_rows,
+            "router": {
+                "failovers": stats.failovers,
+                "timeouts": stats.timeouts,
+                "respawns": stats.respawns,
+                "respawn_failures": stats.respawn_failures,
+                "resizes": stats.resizes,
+            },
+        }

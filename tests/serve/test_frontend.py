@@ -11,7 +11,12 @@ from repro.serve import (
     ServiceClient,
     UnixFrontend,
 )
-from repro.serve.protocol import METHODS, dispatch, error_status
+from repro.serve.protocol import (
+    METHODS,
+    ServiceUnavailable,
+    dispatch,
+    error_status,
+)
 from repro.sim.collector import CollectionProtocol, RssCollector
 from repro.sim.specs import get_scenario_spec
 
@@ -256,7 +261,8 @@ class TestHttpSpecifics:
         re-sent over a failed connection — the first copy may have
         executed, and a duplicate would append a second epoch. Counted
         against a server that drops every connection: idempotent methods
-        get exactly two attempts, non-idempotent exactly one."""
+        get their full retry budget (retries + 1 attempts), non-idempotent
+        exactly one attempt and the raw transport error."""
         import socket
         import threading
 
@@ -279,13 +285,60 @@ class TestHttpSpecifics:
         thread = threading.Thread(target=drop_everything, daemon=True)
         thread.start()
         try:
-            client = ServiceClient(f"http://127.0.0.1:{port}", timeout=5.0)
+            client = ServiceClient(
+                f"http://127.0.0.1:{port}",
+                timeout=5.0,
+                retries=2,
+                backoff=0.01,
+            )
             with pytest.raises((ConnectionError, OSError)):
                 client.update("hq", 77.0)
             assert len(attempts) == 1  # non-idempotent: one try only
-            with pytest.raises((ConnectionError, OSError)):
+            with pytest.raises(ServiceUnavailable) as excinfo:
                 client.sites()
-            assert len(attempts) == 3  # idempotent: original + one retry
+            # idempotent: original + retries re-sends, each on a fresh
+            # connection, then a clear exhaustion error chaining the
+            # last transport failure.
+            assert len(attempts) == 1 + 3
+            assert "3 attempt(s)" in str(excinfo.value)
+            assert excinfo.value.__cause__ is not None
+            client.close()
+        finally:
+            stop.set()
+            listener.close()
+            thread.join(timeout=5.0)
+
+    def test_retries_zero_makes_idempotent_single_attempt(self):
+        """The retry budget is honest: retries=0 means one attempt even
+        for idempotent methods (still wrapped as ServiceUnavailable)."""
+        import socket
+        import threading
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(8)
+        port = listener.getsockname()[1]
+        attempts = []
+        stop = threading.Event()
+
+        def drop_everything():
+            while not stop.is_set():
+                try:
+                    conn, _ = listener.accept()
+                except OSError:
+                    return
+                attempts.append(1)
+                conn.close()
+
+        thread = threading.Thread(target=drop_everything, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(
+                f"http://127.0.0.1:{port}", timeout=5.0, retries=0
+            )
+            with pytest.raises(ServiceUnavailable):
+                client.sites()
+            assert len(attempts) == 1
             client.close()
         finally:
             stop.set()

@@ -1,0 +1,242 @@
+"""Snapshot round-trip gates: restore must change nothing, ever.
+
+The contracts under test, per the module docstring of
+:mod:`repro.serve.snapshot`:
+
+* restore-vs-original bit-identity — database epochs, query answers, and
+  *future updates* (the RNG-state part) — across every registered
+  scenario, including the interference-bearing ones;
+* corruption, version skew, and context mismatches (spec, protocol,
+  manager seed) are *rejected*, falling back to a clean rebuild that
+  still answers bit-identically.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.serve.manager import SiteManager
+from repro.serve.snapshot import (
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    load_snapshot,
+    restore_into,
+    save_snapshot,
+    snapshot_state,
+)
+from repro.sim.collector import CollectionProtocol
+from repro.sim.specs import list_scenarios
+from repro.util.rng import counter_stream
+
+PROTOCOL = CollectionProtocol(samples_per_cell=2, empty_room_samples=5)
+SEED = 77
+
+
+def _manager(tmp_path, **overrides):
+    kwargs = dict(
+        protocol=PROTOCOL,
+        seed=SEED,
+        snapshot_dir=tmp_path,
+        share_pipelines=False,
+    )
+    kwargs.update(overrides)
+    return SiteManager(**kwargs)
+
+
+def _frames(system, count=5):
+    links = system.deployment.link_count
+    return counter_stream(SEED, 9).normal(-55.0, 6.0, size=(count, links))
+
+
+def _assert_epochs_identical(left, right):
+    left_epochs, right_epochs = left.database.epochs(), right.database.epochs()
+    assert len(left_epochs) == len(right_epochs)
+    for a, b in zip(left_epochs, right_epochs):
+        assert a.day == b.day
+        assert a.source == b.source
+        assert np.array_equal(a.values, b.values)
+        assert np.array_equal(a.empty_rss, b.empty_rss)
+
+
+class TestRoundTripAcrossScenarios:
+    @pytest.mark.parametrize("name", sorted(list_scenarios()))
+    def test_restore_is_bit_identical_including_future_updates(
+        self, name, tmp_path
+    ):
+        """The full durability contract, per registered scenario: a
+        restored pipeline has identical epochs, answers identical
+        queries, and — the RNG-state part — its *next* update draws the
+        same randomness the original would have, producing an identical
+        new epoch."""
+        origin = _manager(tmp_path)
+        origin.register("site", name)
+        system = origin.pipeline("site")  # commission + snapshot
+        origin.update("site", 5.0)  # second epoch + re-snapshot
+
+        revived = _manager(tmp_path)
+        revived.register("site", name)
+        restored = revived.pipeline("site")
+        assert revived.stats.snapshots_restored == 1
+        assert revived.stats.pipelines_built == 1  # built via restore path
+        _assert_epochs_identical(system, restored)
+
+        frames = _frames(system)
+        assert np.array_equal(
+            system.localize_batch(frames, 5.0).cells,
+            restored.localize_batch(frames, 5.0).cells,
+        )
+        assert np.array_equal(
+            system.localize_batch(frames, 5.0).positions,
+            restored.localize_batch(frames, 5.0).positions,
+        )
+
+        original_report = origin.update("site", 9.0)
+        restored_report = revived.update("site", 9.0)
+        assert original_report.samples_taken == restored_report.samples_taken
+        _assert_epochs_identical(system, restored)
+        assert system.collector.samples_taken == restored.collector.samples_taken
+
+
+class TestRejection:
+    def _seed_snapshot(self, tmp_path):
+        origin = _manager(tmp_path)
+        origin.register("site", "square-3m")
+        origin.pipeline("site")
+        return origin.snapshot_path("site")
+
+    def test_truncated_snapshot_is_rejected_then_rebuilt(self, tmp_path):
+        path = self._seed_snapshot(tmp_path)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        revived = _manager(tmp_path)
+        revived.register("site", "square-3m")
+        restored = revived.pipeline("site")
+        assert revived.stats.snapshots_rejected == 1
+        assert revived.stats.snapshots_restored == 0
+        assert restored.commissioned  # rebuilt from a clean survey
+
+    def test_bitflipped_file_is_rejected(self, tmp_path):
+        path = self._seed_snapshot(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF  # corrupt a stored array byte
+        path.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+
+    def test_stale_array_checksum_is_rejected(self, tmp_path):
+        """A well-formed archive whose array bytes no longer match their
+        recorded digest must fail the per-array checksum."""
+        path = self._seed_snapshot(tmp_path)
+        snapshot = load_snapshot(path)
+        tampered = dataclasses.replace(
+            snapshot,
+            epochs=[
+                dataclasses.replace(epoch, values=epoch.values + 1e-9)
+                for epoch in snapshot.epochs
+            ],
+        )
+        # save_snapshot digests the tampered arrays consistently, so write
+        # the tampered arrays under the ORIGINAL meta block instead.
+        save_snapshot(path, tampered)
+        import numpy as _np
+
+        with _np.load(path) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        good = tmp_path / "good.snap.npz"
+        save_snapshot(good, snapshot)
+        with _np.load(good) as archive:
+            arrays["meta"] = archive["meta"]
+        with open(path, "wb") as handle:
+            _np.savez_compressed(handle, **arrays)
+        with pytest.raises(SnapshotError, match="checksum"):
+            load_snapshot(path)
+
+    def test_version_skew_is_rejected(self, tmp_path):
+        path = self._seed_snapshot(tmp_path)
+        snapshot = load_snapshot(path)
+        future = dataclasses.replace(snapshot, version=SNAPSHOT_VERSION + 1)
+        save_snapshot(path, future)
+        with pytest.raises(SnapshotError, match="format version"):
+            load_snapshot(path)
+        revived = _manager(tmp_path)
+        revived.register("site", "square-3m")
+        revived.pipeline("site")
+        assert revived.stats.snapshots_rejected == 1
+
+    def test_protocol_mismatch_is_rejected(self, tmp_path):
+        self._seed_snapshot(tmp_path)
+        other = _manager(
+            tmp_path,
+            protocol=CollectionProtocol(
+                samples_per_cell=3, empty_room_samples=5
+            ),
+        )
+        other.register("site", "square-3m")
+        other.pipeline("site")
+        # Same pipeline key + seed -> same path, but the protocol
+        # fingerprint differs, so the restore must refuse it.
+        assert other.stats.snapshots_rejected == 1
+        assert other.stats.snapshots_restored == 0
+
+    def test_different_seed_never_sees_the_snapshot(self, tmp_path):
+        self._seed_snapshot(tmp_path)
+        other = _manager(tmp_path, seed=SEED + 1)
+        other.register("site", "square-3m")
+        other.pipeline("site")
+        # A different manager seed derives a different snapshot path:
+        # a cold build, neither restored nor rejected.
+        assert other.stats.snapshots_restored == 0
+        assert other.stats.snapshots_rejected == 0
+
+    def test_junk_file_raises_snapshot_error(self, tmp_path):
+        path = tmp_path / "junk.snap.npz"
+        path.write_bytes(b"not a snapshot at all")
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+
+
+class TestExplicitApi:
+    def test_snapshot_site_requires_commissioned_pipeline(self, tmp_path):
+        manager = _manager(tmp_path)
+        manager.register("site", "square-3m")
+        with pytest.raises(RuntimeError, match="no commissioned pipeline"):
+            manager.snapshot_site("site")
+
+    def test_snapshot_all_covers_commissioned_sites_only(self, tmp_path):
+        manager = _manager(tmp_path)
+        manager.register("warm-site", "square-3m")
+        manager.register("cold-site", "square-4m")
+        manager.pipeline("warm-site")
+        written = manager.snapshot_all()
+        assert set(written) == {"warm-site"}
+        assert written["warm-site"].exists()
+
+    def test_snapshot_path_requires_snapshot_dir(self):
+        manager = SiteManager(protocol=PROTOCOL, seed=SEED)
+        manager.register("site", "square-3m")
+        with pytest.raises(RuntimeError, match="snapshot_dir"):
+            manager.snapshot_path("site")
+
+    def test_restore_into_refuses_commissioned_target(self, tmp_path):
+        manager = _manager(tmp_path)
+        manager.register("site", "square-3m")
+        system = manager.pipeline("site")
+        snapshot = load_snapshot(manager.snapshot_path("site"))
+        with pytest.raises(SnapshotError, match="virgin"):
+            restore_into(system, snapshot)
+
+    def test_snapshot_state_refuses_uncommissioned(self, tmp_path):
+        manager = SiteManager(
+            protocol=PROTOCOL, seed=SEED, auto_commission=False
+        )
+        manager.register("site", "square-3m")
+        system = manager.pipeline("site")
+        with pytest.raises(SnapshotError, match="uncommissioned"):
+            snapshot_state(
+                system,
+                spec_name="square-3m",
+                spec_fingerprint="x",
+                config_fingerprint=None,
+                protocol_fingerprint=None,
+                seed_key=0,
+            )
