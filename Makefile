@@ -1,10 +1,13 @@
 # Developer entry points. `make test` is the tier-1 gate; `make bench`
-# produces the committed perf-trajectory point (BENCH_PR6.json, which now
-# includes the serving, wire-frontend, shard, and resilience sections).
-# CI runs `make bench-smoke` (writes BENCH_SMOKE.json — PR-agnostic,
-# never clobbers a committed BENCH_PR*.json), `make frontend-smoke` (the
-# wire/shard bit-identity gate) and `make resilience-smoke` (kill -9 /
-# snapshot-restore / resize gate).
+# produces the committed perf-trajectory point (BENCH_PR7.json, which now
+# includes the serving, wire-frontend, shard, resilience, and trust
+# sections). CI runs `make bench-smoke` (writes BENCH_SMOKE.json —
+# PR-agnostic, never clobbers a committed BENCH_PR*.json), `make
+# frontend-smoke` (the wire/shard bit-identity gate) and `make
+# resilience-smoke` (kill -9 / snapshot-restore / resize gate plus the
+# PR-7 anti-entropy trust gates: quorum read-repair under a corrupted
+# replica, scrub detection of silent corruption, degraded-mode stale
+# serving, snapshot keep-last-K retention).
 
 PYTHON ?= python
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -21,7 +24,7 @@ lint:
 	ruff format --check .
 
 bench:
-	$(PYTHON) benchmarks/bench_perf.py --out BENCH_PR6.json
+	$(PYTHON) benchmarks/bench_perf.py --out BENCH_PR7.json
 
 # Writes to BENCH_SMOKE.json (gitignored territory) so a local smoke run
 # never clobbers the committed full-bench BENCH_PR6.json; CI uploads the
@@ -36,11 +39,18 @@ bench-smoke:
 frontend-smoke:
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.serve.check --only wire --only shards
 
-# The PR-6 acceptance gate: on a 3-shard R=2 snapshot-backed fleet,
-# kill -9 each worker under load (zero lost queries, bit-identical
-# answers, snapshot-warmed respawn) and resize the fleet live.
+# The PR-6 + PR-7 acceptance gate: on a 3-shard R=2 snapshot-backed
+# fleet, kill -9 each worker under load (zero lost queries, bit-identical
+# answers, snapshot-warmed respawn), resize the fleet live, then the
+# anti-entropy episode — corrupt a replica's fingerprint state and prove
+# quorum reads deliver zero mismatched answers while the scrub alarms,
+# quarantines, and read-repairs; degraded mode serves stale-marked
+# snapshot answers when every replica is down; keep-last-K retention
+# holds the snapshot directory bounded. On failure the fault-schedule
+# seed lands in RESILIENCE_SEED.json (CI uploads it) for local replay.
 resilience-smoke:
-	$(PYTHONPATH_SRC) $(PYTHON) -m repro.serve.check --only resilience
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.serve.check --only resilience \
+		--seed-out RESILIENCE_SEED.json
 
 bench-figures:
 	$(PYTHON) -m pytest benchmarks -q -p no:cacheprovider

@@ -1,9 +1,9 @@
 #!/usr/bin/env python
-"""Run the performance benchmark and write BENCH_PR6.json.
+"""Run the performance benchmark and write BENCH_PR7.json.
 
 Usage::
 
-    python benchmarks/bench_perf.py [--out BENCH_PR6.json]
+    python benchmarks/bench_perf.py [--out BENCH_PR7.json]
         [--sizes paper square-6m square-12m warehouse ...] [--frames 500]
         [--repeat 3] [--jobs 2] [--scenario paper] [--smoke]
 
@@ -20,10 +20,13 @@ front-end and shard layer (HTTP / unix-socket round-trip latency and q/s
 vs in-process, shard fan-out scaling, all bit-identity-gated), plus the
 fault-tolerant fleet (failed-query count and tail-latency perturbation
 across a ``kill -9`` under load, recovery time, snapshot-warm vs
-cold-survey restore speedup — R >= 2 must lose zero queries). ``--smoke``
+cold-survey restore speedup — R >= 2 must lose zero queries), plus the
+anti-entropy trust layer (quorum-read overhead vs failover, the corrupt
+fault's detect-and-repair episode with the mismatched-answer count
+clients saw, the keep-last-K snapshot soak, drift-probe cost). ``--smoke``
 runs a seconds-scale subset for CI and honors ``--out`` so the workflow can
 upload the JSON as an artifact (the CI convention is ``make bench-smoke``
-→ ``BENCH_SMOKE.json``; the committed full run is ``BENCH_PR6.json``). See
+→ ``BENCH_SMOKE.json``; the committed full run is ``BENCH_PR7.json``). See
 EXPERIMENTS.md for the recorded trajectory and how to read the numbers.
 The file name is intentionally ``bench_*`` (not ``test_*``) so pytest's
 benchmark collection does not pick it up.
@@ -52,7 +55,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out",
         default=None,
-        help="output JSON path (default: BENCH_PR6.json; with --smoke, no "
+        help="output JSON path (default: BENCH_PR7.json; with --smoke, no "
         "file is written unless --out is given)",
     )
     parser.add_argument(
@@ -96,6 +99,7 @@ def main(argv=None) -> int:
             resilience_sites=("square-3m", "square-4m"),
             resilience_shards=2,
             resilience_replicas=2,
+            trust_sites=("square-3m", "square-4m"),
         )
         print(format_bench_report(report))
         engine = report["engine"]
@@ -136,9 +140,29 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 1
+        trust = report["trust"]
+        episode = trust["corruption_episode"]
+        if (
+            episode["mismatched_queries"] != 0
+            or episode["failed_queries"] != 0
+            or episode["read_divergences"] < 1
+            or episode["repairs"] < 1
+        ):
+            print(
+                "FAIL: corrupted replica leaked to clients or was never "
+                "detected/repaired",
+                file=sys.stderr,
+            )
+            return 1
+        if not trust["snapshot_soak"]["bounded"]:
+            print(
+                "FAIL: snapshot directory grew past keep-last-K",
+                file=sys.stderr,
+            )
+            return 1
         return 0
 
-    out = args.out or "BENCH_PR6.json"
+    out = args.out or "BENCH_PR7.json"
     report = run_perf_bench(
         sizes=args.sizes,
         frames=args.frames,
@@ -151,6 +175,7 @@ def main(argv=None) -> int:
         serving_sites=tuple(args.sizes),
         frontend_sites=tuple(args.sizes),
         resilience_sites=("square-3m", "square-4m", "square-5m"),
+        trust_sites=("square-3m", "square-4m"),
     )
     print(format_bench_report(report))
     print(f"\nwrote {out}")

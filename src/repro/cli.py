@@ -289,21 +289,40 @@ def _serve_listen(args: argparse.Namespace, specs: Dict[str, ScenarioSpec]) -> i
     """The ``serve --listen`` path: wire front-end(s) over the site fleet."""
     replicas = getattr(args, "replicas", 1)
     snapshot_dir = getattr(args, "snapshot_dir", None)
+    snapshot_keep = getattr(args, "snapshot_keep", None)
+    read_mode = getattr(args, "read_mode", "failover")
+    degraded = bool(getattr(args, "degraded_mode", False))
+    scrub_interval = getattr(args, "scrub_interval_seconds", 0.0)
     if args.shards:
+        shard_kwargs = {}
+        if snapshot_keep is not None:
+            shard_kwargs["snapshot_keep"] = snapshot_keep
         backend = ShardedService(
             specs,
             shards=args.shards,
             replicas=replicas,
             snapshot_dir=snapshot_dir,
+            read_mode=read_mode,
+            degraded_mode=degraded,
             seed=args.seed,
+            **shard_kwargs,
         )
     else:
         if replicas > 1:
             raise SystemExit("--replicas needs --shards >= replicas")
+        for flag, value in (
+            ("--read-mode quorum", read_mode != "failover"),
+            ("--degraded-mode", degraded),
+            ("--scrub-interval-seconds", scrub_interval > 0),
+        ):
+            if value:
+                raise SystemExit(f"{flag} needs --shards >= 1")
         kwargs = {}
         if snapshot_dir is not None:
             kwargs["snapshot_dir"] = snapshot_dir
             kwargs["share_pipelines"] = False
+            if snapshot_keep is not None:
+                kwargs["snapshot_keep"] = snapshot_keep
         backend = LocalizationService.from_specs(
             specs, seed=args.seed, **kwargs
         )
@@ -319,6 +338,13 @@ def _serve_listen(args: argparse.Namespace, specs: Dict[str, ScenarioSpec]) -> i
         )
         + (f", snapshots in {snapshot_dir}" if snapshot_dir else "")
     )
+    if args.shards and scrub_interval > 0:
+        backend.start_scrub(interval_seconds=scrub_interval)
+        print(
+            f"anti-entropy scrub every {scrub_interval:g}s, "
+            f"read mode {read_mode}"
+            + (", degraded-mode serving on" if degraded else "")
+        )
     for day in args.update_days:
         for site in specs:
             backend.update(site, float(day))
@@ -338,14 +364,21 @@ def _serve_listen(args: argparse.Namespace, specs: Dict[str, ScenarioSpec]) -> i
                 policy=args.refresh_policy,
                 interval_days=args.refresh_interval_days,
                 budget=args.refresh_budget,
+                drift_threshold_m=args.drift_threshold_m,
+                snapshot_cadence_days=args.snapshot_cadence_days,
             ),
         ).start(
             SimClock(args.day, args.days_per_second),
             period_seconds=args.refresh_period_seconds,
         )
+        threshold = (
+            f"{args.drift_threshold_m:g} m drift"
+            if args.refresh_policy == "drift"
+            else f"{args.refresh_interval_days:g} d"
+        )
         print(
             f"refresh scheduler: {args.refresh_policy}, threshold "
-            f"{args.refresh_interval_days:g} d, budget "
+            f"{threshold}, budget "
             f"{args.refresh_budget or 'unlimited'}, clock "
             f"{args.days_per_second:g} d/s from day {args.day:g}"
         )
@@ -387,6 +420,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if getattr(args, "snapshot_dir", None) is not None:
         kwargs["snapshot_dir"] = args.snapshot_dir
         kwargs["share_pipelines"] = False
+        if getattr(args, "snapshot_keep", None) is not None:
+            kwargs["snapshot_keep"] = args.snapshot_keep
     service = LocalizationService.from_specs(specs, seed=args.seed, **kwargs)
     rows = []
     for site in service.sites():
@@ -664,9 +699,50 @@ def build_parser() -> argparse.ArgumentParser:
         "re-surveying, bit-identically",
     )
     serve.add_argument(
+        "--snapshot-keep", type=int, default=None, metavar="K",
+        help="retain the newest K snapshot versions per site (with "
+        "--snapshot-dir); older versions are pruned by the snapshot "
+        "lifecycle, keeping the directory bounded under daily refresh",
+    )
+    serve.add_argument(
+        "--read-mode", default="failover",
+        choices=["failover", "quorum"],
+        help="with --shards and --replicas >= 2: 'quorum' cross-checks "
+        "every read against all live replicas bit-for-bit, alarms on "
+        "divergence, and quarantines + read-repairs the diverged copy "
+        "before answering (the answer always comes from a verified "
+        "replica); 'failover' asks one replica and only fails over on "
+        "transport errors",
+    )
+    serve.add_argument(
+        "--degraded-mode", action="store_true",
+        help="when every replica of a site is down, answer from the "
+        "last verified snapshot with an explicit stale marker instead "
+        "of returning 503 (needs --snapshot-dir)",
+    )
+    serve.add_argument(
+        "--scrub-interval-seconds", type=float, default=0.0, metavar="S",
+        help="run the background anti-entropy scrub every S seconds "
+        "(0 = off; with --shards): probes every site's replicas with "
+        "identical held-out queries, alarms on any bit divergence, and "
+        "quarantines + repairs the liar from its snapshot",
+    )
+    serve.add_argument(
         "--refresh-policy", default="off",
-        choices=["off", "interval", "round-robin", "priority"],
-        help="background fingerprint refresh policy (with --listen)",
+        choices=["off", "interval", "round-robin", "priority", "drift"],
+        help="background fingerprint refresh policy (with --listen); "
+        "'drift' refreshes on *measured* model degradation (held-out "
+        "probe error vs the live database) instead of epoch age",
+    )
+    serve.add_argument(
+        "--drift-threshold-m", type=float, default=0.75, metavar="M",
+        help="with --refresh-policy drift: refresh a site once its "
+        "measured degradation reaches M meters",
+    )
+    serve.add_argument(
+        "--snapshot-cadence-days", type=float, default=None, metavar="D",
+        help="run the snapshot lifecycle (save + scrub + compact) every "
+        "D simulation days from the refresh scheduler",
     )
     serve.add_argument(
         "--refresh-interval-days", type=float, default=30.0,

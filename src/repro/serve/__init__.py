@@ -11,9 +11,18 @@ deployment pieces:
 * :mod:`repro.serve.frontend` — the wire front-ends (HTTP and unix-socket
   JSON protocol) plus :class:`~repro.serve.frontend.ServiceClient`;
 * :mod:`repro.serve.scheduler` — staleness-driven background fingerprint
-  refresh (interval / round-robin / priority policies);
+  refresh (interval / round-robin / priority / drift policies) plus the
+  snapshot-lifecycle cadence;
+* :mod:`repro.serve.sentinel` — the measured-drift probe (held-out
+  frames scored against the live database, independent of the model
+  being judged);
+* :mod:`repro.serve.snapshot` — the on-disk fingerprint snapshot format
+  and :class:`~repro.serve.snapshot.SnapshotStore` lifecycle (versioned
+  writes, keep-last-K retention, digest-verifying scrub, compaction);
 * :mod:`repro.serve.shard` — site partitioning across worker processes
-  with a pure-routing front-end, bit-identical for any shard count;
+  with a pure-routing front-end, bit-identical for any shard count, plus
+  the anti-entropy trust layer (background scrub, quorum reads,
+  quarantine + read-repair, degraded-mode snapshot serving);
 * :mod:`repro.serve.check` — the CI smoke gate asserting wire and shard
   answers equal the in-process service bit for bit.
 
@@ -40,10 +49,13 @@ from repro.serve.scheduler import (
     UpdateAction,
     UpdateScheduler,
 )
+from repro.serve.sentinel import DriftReading, measure_drift, probe_seed
 from repro.serve.service import LocalizationService, ServiceStats
-from repro.serve.shard import ShardedService, shard_for_site
+from repro.serve.shard import ShardedService, StaleAnswer, shard_for_site
+from repro.serve.snapshot import SnapshotStore, epochs_digest
 
 __all__ = [
+    "DriftReading",
     "HttpFrontend",
     "LocalizationService",
     "RemoteBatchResult",
@@ -55,10 +67,15 @@ __all__ = [
     "SimClock",
     "SiteManager",
     "SiteManagerStats",
+    "SnapshotStore",
+    "StaleAnswer",
     "UnixFrontend",
     "UpdateAction",
     "UpdateScheduler",
+    "epochs_digest",
+    "measure_drift",
     "pipeline_seed",
+    "probe_seed",
     "reconstructor_seed",
     "shard_for_site",
 ]

@@ -22,15 +22,28 @@ and asserts the contracts everything in this package is built around:
    snapshots (not a re-survey — asserted via the worker's
    ``snapshots_restored`` counter), and a live grow/shrink resize keeps
    answers bit-identical throughout.
+5. **Trust (anti-entropy)** — a seed-deterministic ``corrupt`` fault
+   bit-flips one replica's fingerprint state; a quorum-read fleet must
+   deliver **zero mismatched answers** while alarming
+   (``read_divergences``), quarantining, and read-repairing the liar
+   from its snapshot. A corrupted *secondary* (no query traffic touches
+   it) must be found by the background scrub instead. Killing every
+   replica of a site with degraded mode on must answer from the last
+   verified snapshot — bit-identical, marked ``stale`` — rather than
+   raise. Finally a snapshot-lifecycle soak (update + maintenance per
+   day) must keep the snapshot directory bounded by keep-last-K.
 
 ``--only wire|shards|resilience`` runs a subset (CI splits the fast
-identity gates from the process-killing one). Exit code 0 means every
-check held; 1 names what broke.
+identity gates from the process-killing one; ``resilience`` includes the
+trust gates). On failure the workload seed is printed — and written as
+JSON via ``--seed-out`` — so CI uploads the exact fault schedule to
+replay locally. Exit code 0 means every check held; 1 names what broke.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import tempfile
 import time
@@ -48,7 +61,7 @@ from repro.sim.collector import CollectionProtocol, RssCollector
 from repro.sim.specs import build_scenario, get_scenario_spec
 from repro.util.rng import counter_stream, task_key
 
-__all__ = ["main", "run_check", "run_resilience_check"]
+__all__ = ["main", "run_check", "run_resilience_check", "run_trust_check"]
 
 _DEFAULT_SITES = ("square-3m", "square-4m")
 _RESILIENCE_SITES = ("square-3m", "square-4m", "square-5m")
@@ -111,6 +124,7 @@ def run_check(
     if not ({"wire", "shards"} & set(sections)):
         if "resilience" in sections:
             rows.extend(run_resilience_check(seed=seed, frames=frames))
+            rows.extend(run_trust_check(seed=seed, frames=frames))
         return rows
     specs = {name: get_scenario_spec(name) for name in sites}
     service = LocalizationService.from_specs(specs, protocol=protocol, seed=seed)
@@ -182,6 +196,7 @@ def run_check(
 
     if "resilience" in sections:
         rows.extend(run_resilience_check(seed=seed, frames=frames))
+        rows.extend(run_trust_check(seed=seed, frames=frames))
     return rows
 
 
@@ -313,6 +328,179 @@ def run_resilience_check(
     return rows
 
 
+def run_trust_check(
+    *,
+    sites: Tuple[str, ...] = ("square-3m", "square-4m"),
+    frames: int = 12,
+    samples_per_cell: int = 2,
+    seed: int = 2016,
+) -> List[Tuple[str, bool, str]]:
+    """The anti-entropy gate: corruption must never reach a client.
+
+    A 3-shard, R = 2 quorum-read fleet with degraded mode serves two
+    distinct-scenario sites. The episode: bit-flip the *primary*
+    replica's fingerprint state (seed-deterministic ``corrupt`` fault) —
+    every subsequent answer must still match the undisturbed in-process
+    reference bit for bit while the router alarms
+    (``read_divergences``), quarantines the liar, and repairs it from
+    the authoritative snapshot. Then bit-flip a *secondary* replica that
+    no read quorum happens to touch and assert the background scrub —
+    not client traffic — finds and repairs it. Then kill every replica
+    of one site and assert degraded mode answers from the last verified
+    snapshot (bit-identical, ``stale`` marked) instead of raising.
+    Separately, a snapshot-lifecycle soak (update + maintenance per day
+    with keep-last-K retention) must hold the snapshot directory
+    bounded.
+    """
+    protocol = CollectionProtocol(
+        samples_per_cell=samples_per_cell, empty_room_samples=5
+    )
+    specs = {f"site-{name}": get_scenario_spec(name) for name in sites}
+    reference_service = LocalizationService.from_specs(
+        specs, protocol=protocol, seed=seed, share_pipelines=False
+    )
+    reference_service.warm()
+    workloads = _workloads(specs, protocol, frames, seed)
+    reference = {
+        site: reference_service.query_batch(site, rss, 0.0)
+        for site, rss in workloads.items()
+    }
+    rows: List[Tuple[str, bool, str]] = []
+    site_names = sorted(specs)
+    with tempfile.TemporaryDirectory() as tmp:
+        with ShardedService(
+            specs,
+            shards=3,
+            replicas=2,
+            snapshot_dir=Path(tmp) / "snapshots",
+            snapshot_keep=3,
+            read_mode="quorum",
+            degraded_mode=True,
+            call_timeout=30.0,
+            protocol=protocol,
+            seed=seed,
+        ) as fleet:
+            fleet.warm()
+            injector = FaultInjector(fleet)
+            stats = fleet.router_stats
+
+            # 1. Corrupt the primary; quorum reads must hide + repair it.
+            target = site_names[0]
+            injector.corrupt(fleet.replicas[target][0], site=target, seed=seed)
+            failed = mismatched = 0
+            for site, rss in workloads.items():
+                try:
+                    result = fleet.query_batch(site, rss, 0.0)
+                except Exception:  # noqa: BLE001 - counted, not raised
+                    failed += 1
+                    continue
+                if not _identical(result, reference[site]) or getattr(
+                    result, "stale", False
+                ):
+                    mismatched += 1
+            rows.append(
+                (
+                    "trust:quorum-read-repair",
+                    failed == 0
+                    and mismatched == 0
+                    and stats.read_divergences >= 1
+                    and stats.quarantines >= 1
+                    and stats.repairs >= 1,
+                    f"{failed} failed, {mismatched} mismatched, "
+                    f"{stats.read_divergences} divergence(s), "
+                    f"{stats.repairs} repair(s)",
+                )
+            )
+            report = fleet.scrub()
+            rows.append(
+                (
+                    "trust:scrub-clean-after-repair",
+                    not report["divergent_sites"]
+                    and not fleet.quarantined_replicas(),
+                    f"{report['sites_checked']} site(s) checked",
+                )
+            )
+
+            # 2. Corrupt a secondary: only the scrub can see it.
+            other = site_names[1]
+            injector.corrupt(
+                fleet.replicas[other][1], site=other, seed=seed + 1
+            )
+            report = fleet.scrub()
+            rows.append(
+                (
+                    "trust:scrub-detects-silent-corruption",
+                    other in report["divergent_sites"]
+                    and report["repaired"] >= 1,
+                    f"divergent={report['divergent_sites']}, "
+                    f"repaired {report['repaired']}",
+                )
+            )
+            post = fleet.query_batch(other, workloads[other], 0.0)
+            rows.append(
+                (
+                    "trust:post-scrub-identity",
+                    _identical(post, reference[other])
+                    and not getattr(post, "stale", False),
+                    f"{post.frame_count} frames, "
+                    f"{len(fleet.quarantined_replicas())} quarantined",
+                )
+            )
+
+            # 3. Kill every replica of one site: degraded mode must
+            # answer from the last verified snapshot, stale-marked.
+            victim = site_names[0]
+            for index in set(fleet.replicas[victim]):
+                injector.kill(index)
+            try:
+                stale_result = fleet.query_batch(victim, workloads[victim], 0.0)
+            except Exception as error:  # noqa: BLE001 - reported below
+                rows.append(("trust:degraded-stale-answer", False, repr(error)))
+            else:
+                rows.append(
+                    (
+                        "trust:degraded-stale-answer",
+                        bool(getattr(stale_result, "stale", False))
+                        and _identical(stale_result, reference[victim]),
+                        f"stale={getattr(stale_result, 'stale', False)}, "
+                        f"{stats.degraded_answers} degraded answer(s)",
+                    )
+                )
+
+    # 4. Snapshot lifecycle soak: daily update + maintenance with
+    # keep-last-K retention must keep the directory bounded.
+    keep, updates = 2, 6
+    with tempfile.TemporaryDirectory() as tmp:
+        soak = LocalizationService.from_specs(
+            {"soak": get_scenario_spec(sites[0])},
+            protocol=protocol,
+            seed=seed,
+            snapshot_dir=tmp,
+            snapshot_keep=keep,
+        )
+        soak.warm()
+        # update() auto-snapshots, so prune work can land there rather
+        # than in the maintenance pass: measure the store's lifetime
+        # prune counters across the whole soak, not one pass's report.
+        store = soak.manager.snapshot_store
+        counts = []
+        for day in range(1, updates + 1):
+            soak.update("soak", float(day))
+            soak.snapshot_maintenance()
+            counts.append(len(list(Path(tmp).glob("*.snap.npz"))))
+        removed, reclaimed = store.pruned_files, store.pruned_bytes
+        rows.append(
+            (
+                "trust:snapshot-retention",
+                max(counts) <= keep and removed > 0,
+                f"max {max(counts)} file(s) on disk (keep={keep}), "
+                f"{removed} pruned, {reclaimed} bytes reclaimed "
+                f"over {updates} update days",
+            )
+        )
+    return rows
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve.check",
@@ -328,6 +516,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--seed", type=int, default=2016, help="workload seed (default 2016)"
     )
+    parser.add_argument(
+        "--seed-out",
+        default=None,
+        metavar="PATH",
+        help="on failure, write {seed, failed} as JSON here so CI can "
+        "upload the exact fault schedule for a local replay",
+    )
     args = parser.parse_args(argv)
     rows = run_check(seed=args.seed, only=args.only)
     width = max(len(name) for name, _, _ in rows)
@@ -339,8 +534,27 @@ def main(argv=None) -> int:
             f"FAIL: {len(failed)} check(s) broke: " + ", ".join(failed),
             file=sys.stderr,
         )
+        print(
+            f"replay with: python -m repro.serve.check --seed {args.seed}"
+            + "".join(f" --only {s}" for s in (args.only or [])),
+            file=sys.stderr,
+        )
+        if args.seed_out:
+            Path(args.seed_out).write_text(
+                json.dumps(
+                    {
+                        "seed": args.seed,
+                        "only": list(args.only or []),
+                        "failed": failed,
+                    },
+                    indent=2,
+                )
+                + "\n"
+            )
+            print(f"fault-schedule seed written to {args.seed_out}",
+                  file=sys.stderr)
         return 1
-    print(f"serve smoke: all {len(rows)} checks passed")
+    print(f"serve smoke: all {len(rows)} checks passed (seed {args.seed})")
     return 0
 
 

@@ -8,8 +8,11 @@ kills the workers. This module is that something, in three layers:
 * :class:`FaultInjector` attacks a live :class:`ShardedService` at the
   *process* level: ``kill`` (SIGKILL, the disorderly crash), ``hang``
   (the worker stalls mid-protocol, exercising the router's timeout +
-  pipe-desync handling), and ``delay`` (every later reply is slowed,
-  perturbing tail latency without failing anything).
+  pipe-desync handling), ``delay`` (every later reply is slowed,
+  perturbing tail latency without failing anything), and ``corrupt``
+  (a seed-deterministic bit-flip in one replica's live fingerprint
+  state — the worker keeps answering, *wrongly*, which only the
+  anti-entropy scrub / quorum read path can catch).
 * :class:`FlakyService` wraps any service backend at the *wire* level:
   it drops or delays responses per the schedule, raising
   :class:`~repro.serve.protocol.DropResponse` which the transports
@@ -33,7 +36,10 @@ import os
 import signal
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.serve.protocol import DropResponse
 from repro.serve.shard import ShardedService
@@ -44,10 +50,78 @@ __all__ = [
     "FaultInjector",
     "FaultSchedule",
     "FlakyService",
+    "corrupt_pipeline_state",
+    "corrupt_snapshot_file",
 ]
 
 #: Actions a schedule can carry (order fixes the seed→action mapping).
-_ACTIONS = ("kill", "hang", "delay", "drop")
+_ACTIONS = ("kill", "hang", "delay", "drop", "corrupt")
+
+
+def corrupt_pipeline_state(service, site: str, seed: int = 0) -> Dict[str, object]:
+    """Bit-flip one value of the site's *live* fingerprint database.
+
+    Runs inside a worker (via the ``__fault__`` control channel): picks a
+    seed-deterministic ``(epoch, flat index, mantissa bit)`` and XORs that
+    bit of the float64 in place, then bumps the database version so the
+    matcher cache rebuilds and queries actually see the corruption. Flips
+    only mantissa bits (2..51), so the value stays finite and the
+    pipeline keeps answering — plausibly, silently, *wrongly*: exactly the
+    failure the anti-entropy scrub exists to catch. Returns what was
+    flipped so a test can reason about the blast radius.
+    """
+    system = service.pipeline(site)
+    epochs = system.database.epochs()
+    if not epochs:
+        raise RuntimeError(f"site {site!r} has no epochs to corrupt")
+    draws = counter_stream(
+        task_key(int(seed), "corrupt-state", str(site)), 0
+    ).integers(0, 2**62, size=3)
+    epoch_index = int(draws[0] % len(epochs))
+    epoch = epochs[epoch_index]
+    flat = int(draws[1] % epoch.values.size)
+    bit = 2 + int(draws[2] % 50)  # mantissa-only: value stays finite
+    # Index the array in place — the stored matrix may be a
+    # non-contiguous view, where reshape(-1) would flip a silent copy.
+    coords = np.unravel_index(flat, epoch.values.shape)
+    before = float(epoch.values[coords])
+    scratch = np.array([before])
+    scratch.view(np.uint64)[0] ^= np.uint64(1) << np.uint64(bit)
+    epoch.values[coords] = scratch[0]
+    # The database contents changed behind the version counter's back;
+    # bump it so matcher_for_day() drops its cached kernels.
+    system.database._version += 1
+    return {
+        "site": site,
+        "epoch": epoch_index,
+        "day": float(epoch.day),
+        "index": flat,
+        "bit": bit,
+        "before": before,
+        "after": float(epoch.values[coords]),
+    }
+
+
+def corrupt_snapshot_file(path, seed: int = 0) -> Dict[str, object]:
+    """Flip one seed-deterministic bit of a snapshot archive on disk.
+
+    The durable-state counterpart of :func:`corrupt_pipeline_state`: the
+    file keeps existing and keeps its name, but its digest no longer
+    validates — the snapshot store's scrub must detect and quarantine it
+    rather than let a later restore load garbage.
+    """
+    target = Path(path)
+    data = bytearray(target.read_bytes())
+    if not data:
+        raise ValueError(f"snapshot {target} is empty; nothing to corrupt")
+    draws = counter_stream(
+        task_key(int(seed), "corrupt-snapshot", target.name), 0
+    ).integers(0, 2**62, size=2)
+    offset = int(draws[0] % len(data))
+    bit = int(draws[1] % 8)
+    data[offset] ^= 1 << bit
+    target.write_bytes(bytes(data))
+    return {"path": str(target), "offset": offset, "bit": bit}
 
 
 @dataclass(frozen=True)
@@ -200,6 +274,40 @@ class FaultInjector:
         self._log("delay", shard_index, seconds=seconds, applied=applied)
         return applied
 
+    def corrupt(
+        self,
+        shard_index: int,
+        site: Optional[str] = None,
+        seed: int = 0,
+    ) -> Optional[Dict[str, object]]:
+        """Bit-flip one fingerprint value in the worker's live state.
+
+        ``site=None`` picks the shard's first owned site (sorted, so the
+        choice is deterministic). The worker keeps serving — with wrong
+        bits — until the scrub or a quorum read catches it. Returns the
+        worker's flip report, or ``None`` when nothing could be
+        corrupted (dead shard, no sites).
+        """
+        shard = self.service._shards[shard_index]
+        target_site = site
+        if target_site is None:
+            owned = sorted(shard.sites)
+            target_site = owned[0] if owned else None
+        detail: Optional[Dict[str, object]] = None
+        if target_site is not None and shard.alive():
+            try:
+                detail = shard.call("__fault__", "corrupt", target_site, seed)
+            except (OSError, TimeoutError, RuntimeError, KeyError):
+                detail = None  # pragma: no cover - raced with a crash
+        self._log(
+            "corrupt",
+            shard_index,
+            site=target_site,
+            seed=seed,
+            detail=detail,
+        )
+        return detail
+
     def apply(self, event: FaultEvent) -> None:
         """Apply one schedule event (wire-level actions are skipped —
         they belong to :class:`FlakyService`)."""
@@ -209,6 +317,10 @@ class FaultInjector:
             self.hang(event.target, event.seconds)
         elif event.action == "delay":
             self.delay_replies(event.target, event.seconds)
+        elif event.action == "corrupt":
+            # Seed the flip off the operation index so two corrupt events
+            # in one schedule flip different state.
+            self.corrupt(event.target, seed=event.at)
 
 
 class FlakyService:

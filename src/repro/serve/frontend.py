@@ -75,7 +75,7 @@ __all__ = [
 
 #: Methods reachable via GET (no body, optional query-string params).
 _GET_METHODS = ("health", "sites", "summary", "stats", "site_summary",
-                "staleness")
+                "staleness", "drift")
 
 #: Methods the client may transparently re-send after a stale-connection
 #: failure. update/commission are deliberately absent: re-sending one
@@ -93,6 +93,7 @@ _IDEMPOTENT_METHODS = frozenset(
         "staleness",
         "stats",
         "health",
+        "drift",
     }
 )
 
@@ -317,11 +318,19 @@ class UnixFrontend(_Frontend):
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class RemoteMatchResult:
-    """One localization answer received over the wire."""
+    """One localization answer received over the wire.
+
+    ``stale`` mirrors the wire marker a degraded-mode backend attaches
+    when it answered from the last verified snapshot because every live
+    replica of the site was down (see
+    :class:`~repro.serve.shard.StaleAnswer`). Fresh answers omit the
+    marker, so the field defaults to ``False``.
+    """
 
     cell: int
     position: Tuple[float, float]
     score: float
+    stale: bool = False
 
 
 @dataclass(frozen=True)
@@ -337,6 +346,8 @@ class RemoteBatchResult:
     cells: np.ndarray
     positions: np.ndarray
     scores: Optional[np.ndarray] = None
+    #: True when the answer came from a degraded-mode snapshot replica.
+    stale: bool = False
 
     @property
     def frame_count(self) -> int:
@@ -444,6 +455,11 @@ class ServiceClient:
         max_backoff: Ceiling on any single delay. Every delay is
             jittered to 50–100% of its nominal value so restarted
             servers are not hit by synchronized client herds.
+        jitter_seed: Seed for the backoff jitter source. ``None`` (the
+            default) draws from the module-level PRNG — different
+            clients de-synchronize naturally. Pass an int for an exact,
+            reproducible retry schedule (retry-timing tests assert the
+            sleep sequence down to the float).
     """
 
     def __init__(
@@ -454,12 +470,18 @@ class ServiceClient:
         retries: int = 2,
         backoff: float = 0.05,
         max_backoff: float = 1.0,
+        jitter_seed: Optional[int] = None,
     ) -> None:
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
         self.retries = int(retries)
         self.backoff = float(backoff)
         self.max_backoff = float(max_backoff)
+        # A private Random when seeded (deterministic schedules); the
+        # shared module PRNG otherwise (cross-client de-synchronization).
+        self._jitter = (
+            random.Random(jitter_seed) if jitter_seed is not None else random
+        )
         self.address = str(address)
         parts = urlsplit(self.address)
         if parts.scheme == "http":
@@ -506,7 +528,7 @@ class ServiceClient:
                     self.backoff * (2 ** (attempt - 1)), self.max_backoff
                 )
                 # 50-100% jitter: wall-clock pacing only, never results.
-                time.sleep(delay * (0.5 + random.random() / 2))
+                time.sleep(delay * (0.5 + self._jitter.random() / 2))
             try:
                 with self._lock:
                     status, body = self._transport.call(method, params or {})
@@ -552,6 +574,7 @@ class ServiceClient:
             cell=int(body["cell"]),
             position=(body["position"][0], body["position"][1]),
             score=float(body["score"]),
+            stale=bool(body.get("stale", False)),
         )
 
     def _batch(
@@ -574,6 +597,7 @@ class ServiceClient:
                 if "scores" in body
                 else None
             ),
+            stale=bool(body.get("stale", False)),
         )
 
     def query_batch(
@@ -610,6 +634,22 @@ class ServiceClient:
 
     def staleness(self, site: str, day: float) -> Optional[float]:
         return self.call("staleness", {"site": site, "day": day})["staleness"]
+
+    def drift(
+        self, site: str, day: float, frames: int = 32
+    ) -> Optional[Dict[str, float]]:
+        """Measured drift reading for ``site`` at ``day`` (None when cold)."""
+        body = self.call(
+            "drift", {"site": site, "day": day, "frames": frames}
+        )
+        return body.get("drift")
+
+    def scrub(
+        self, sites: Optional[Iterable[str]] = None
+    ) -> Dict[str, Any]:
+        """Run one anti-entropy scrub pass on a sharded backend."""
+        params = {} if sites is None else {"sites": list(sites)}
+        return self.call("scrub", params)
 
     def site_summary(self, site: str) -> Dict[str, Any]:
         return self.call("site_summary", {"site": site})

@@ -55,9 +55,11 @@ from repro.core.pipeline import TafLoc, TafLocConfig, UpdateReport
 from repro.eval.engine import cached_scenario, task_fingerprint
 from repro.serve.snapshot import (
     SnapshotError,
+    SnapshotStore,
+    epochs_digest,
     load_snapshot,
+    read_snapshot_digest,
     restore_into,
-    save_snapshot,
     snapshot_state,
 )
 from repro.sim.collector import CollectionProtocol, RssCollector
@@ -134,6 +136,12 @@ class SiteManager:
             (one checksummed file per pipeline) after every
             commission/update, and lazy materialization restores from a
             matching snapshot instead of re-surveying.
+        snapshot_keep: Retention policy for ``snapshot_dir``: ``None``
+            (default) keeps the single-file-per-site layout, ``K`` makes
+            every save a new version and prunes each site's history to
+            the newest ``K`` (see
+            :class:`~repro.serve.snapshot.SnapshotStore`). Restores try
+            newest-first either way.
         share_pipelines: When ``False``, every site gets its own pipeline
             (still seeded per spec fingerprint) instead of sharing one per
             distinct spec — the replica-consistency mode (see module
@@ -153,6 +161,7 @@ class SiteManager:
         seed: int = 0,
         auto_commission: bool = True,
         snapshot_dir: Optional[Union[str, Path]] = None,
+        snapshot_keep: Optional[int] = None,
         share_pipelines: bool = True,
     ) -> None:
         self.config = config if config is not None else TafLocConfig()
@@ -163,8 +172,12 @@ class SiteManager:
         self.seed = int(seed)
         self.auto_commission = auto_commission
         self.snapshot_dir = None if snapshot_dir is None else Path(snapshot_dir)
+        self._store: Optional[SnapshotStore] = None
         if self.snapshot_dir is not None:
             self.snapshot_dir.mkdir(parents=True, exist_ok=True)
+            self._store = SnapshotStore(self.snapshot_dir, keep_last=snapshot_keep)
+        elif snapshot_keep is not None:
+            raise ValueError("snapshot_keep requires a snapshot_dir")
         self.share_pipelines = bool(share_pipelines)
         self.stats = SiteManagerStats()
         self._specs: Dict[str, ScenarioSpec] = {}
@@ -399,7 +412,12 @@ class SiteManager:
     # snapshots (the durability layer; see repro.serve.snapshot)
     # ------------------------------------------------------------------
     def snapshot_path(self, site: str) -> Path:
-        """Where the site's snapshot lives (requires ``snapshot_dir``)."""
+        """Where the site's snapshot lives (requires ``snapshot_dir``).
+
+        With a retention policy this is the *base* name version files
+        derive from (``<base>.vNNNNNN.snap.npz``); use
+        :attr:`snapshot_store` ``.latest(path)`` for the newest file.
+        """
         if self.snapshot_dir is None:
             raise RuntimeError(
                 "this manager has no snapshot_dir; construct it with one "
@@ -422,8 +440,20 @@ class SiteManager:
         )
         return self.snapshot_dir / f"{safe_name}-{digest}.snap.npz"
 
+    @property
+    def snapshot_store(self) -> Optional[SnapshotStore]:
+        """The lifecycle manager over ``snapshot_dir`` (``None`` without one)."""
+        return self._store
+
     def snapshot_site(self, site: str) -> Path:
-        """Persist the site's commissioned state now; returns the path."""
+        """Persist the site's commissioned state now; returns the path.
+
+        Idempotent by digest: when the newest on-disk snapshot already
+        records byte-identical epochs, the existing file is returned
+        without writing — so R replicas running maintenance over a shared
+        directory don't churn R identical versions per pass through the
+        retention window.
+        """
         system = self._by_site.get(site)
         if system is None or not system.commissioned:
             raise RuntimeError(
@@ -432,9 +462,14 @@ class SiteManager:
             )
         path = self.snapshot_path(site)  # validates dir + spec-backed
         spec = self._specs[site]
-        save_snapshot(path, self._capture(site, spec, system))
+        live = self.live_digest(site)
+        if live is not None and live == self.snapshot_digest(site):
+            latest = self._store.latest(path)
+            if latest is not None:
+                return latest
+        written = self._store.save(path, self._capture(site, spec, system))
         self.stats.snapshots_saved += 1
-        return path
+        return written
 
     def snapshot_all(self) -> Dict[str, Path]:
         """Snapshot every commissioned spec-backed site; ``{site: path}``."""
@@ -472,47 +507,211 @@ class SiteManager:
     ) -> None:
         if self.snapshot_dir is None:
             return
-        save_snapshot(self.snapshot_path(site), self._capture(site, spec, system))
+        self._store.save(self.snapshot_path(site), self._capture(site, spec, system))
         self.stats.snapshots_saved += 1
 
-    def _try_restore(self, site: str, spec: ScenarioSpec) -> Optional[TafLoc]:
-        """Restore ``site`` from its snapshot, or ``None`` to rebuild.
+    def _restore_one(self, path: Path, spec: ScenarioSpec) -> TafLoc:
+        """Restore from one specific file; raises :class:`SnapshotError`."""
+        snapshot = load_snapshot(path)
+        expectations = (
+            (snapshot.spec_fingerprint, _spec_fingerprint(spec), "spec"),
+            (
+                snapshot.config_fingerprint,
+                task_fingerprint(self.config),
+                "config",
+            ),
+            (
+                snapshot.protocol_fingerprint,
+                task_fingerprint(self.protocol),
+                "protocol",
+            ),
+        )
+        for stored, expected, label in expectations:
+            if stored != expected:
+                raise SnapshotError(
+                    f"snapshot {path} was written under a different "
+                    f"{label} (fingerprint {stored!r} != {expected!r})"
+                )
+        return restore_into(self._build_raw(spec), snapshot)
 
-        A missing file is the normal cold path; a present-but-unusable one
-        (corrupt, wrong format version, or written under a different
-        spec/config/protocol) counts as *rejected* and falls back to the
-        survey — a stale snapshot must never win over correctness.
+    def _try_restore(self, site: str, spec: ScenarioSpec) -> Optional[TafLoc]:
+        """Restore ``site`` from its snapshot(s), or ``None`` to rebuild.
+
+        Candidates are tried newest-first (with retention there can be
+        several). A missing file is the normal cold path; a present-but-
+        unusable one (corrupt, wrong format version, or written under a
+        different spec/config/protocol) counts as *rejected* and the next-
+        older version gets its chance — a stale snapshot must never win
+        over correctness, but one bad write should not force a re-survey
+        when a verified predecessor exists.
         """
-        path = self.snapshot_path(site)
-        if not path.exists():
+        for path in self._store.candidates(self.snapshot_path(site)):
+            try:
+                system = self._restore_one(path, spec)
+            except SnapshotError:
+                self.stats.snapshots_rejected += 1
+                continue
+            self.stats.snapshots_restored += 1
+            return system
+        return None
+
+    # ------------------------------------------------------------------
+    # anti-entropy (digest arbitration + read-repair; see serve.snapshot)
+    # ------------------------------------------------------------------
+    def live_digest(self, site: str) -> Optional[str]:
+        """Digest of the site's live fingerprint database, or ``None`` cold.
+
+        Comparable bit-for-bit with :meth:`snapshot_digest` — equal
+        digests mean the live epochs and the snapshotted ones are
+        byte-identical. Never materializes a pipeline.
+        """
+        if not self.materialized(site):  # KeyError for unknown sites
             return None
-        try:
-            snapshot = load_snapshot(path)
-            expectations = (
-                (snapshot.spec_fingerprint, _spec_fingerprint(spec), "spec"),
-                (
-                    snapshot.config_fingerprint,
-                    task_fingerprint(self.config),
-                    "config",
-                ),
-                (
-                    snapshot.protocol_fingerprint,
-                    task_fingerprint(self.protocol),
-                    "protocol",
-                ),
+        system = self.pipeline(site)
+        if not system.commissioned or system.database.epoch_count == 0:
+            return None
+        return epochs_digest(system.database.epochs())
+
+    def snapshot_digest(self, site: str) -> Optional[str]:
+        """Digest recorded by the site's newest *readable* snapshot.
+
+        Walks retention candidates newest-first and returns the first
+        whose meta block validates; ``None`` when the site has no usable
+        snapshot (no directory, never saved, or all copies corrupt).
+        """
+        if self.snapshot_dir is None or site not in self._specs:
+            return None
+        for path in self._store.candidates(self.snapshot_path(site)):
+            try:
+                return read_snapshot_digest(path)
+            except SnapshotError:
+                continue
+        return None
+
+    def has_snapshot(self, site: str) -> bool:
+        """Whether any snapshot file exists for ``site`` (no validation)."""
+        if self.snapshot_dir is None or site not in self._specs:
+            return False
+        return bool(self._store.candidates(self.snapshot_path(site)))
+
+    def restore_site(self, site: str, *, refresh: bool = False) -> TafLoc:
+        """Materialize ``site`` strictly from its snapshot — never survey.
+
+        The degraded-serving path: when every replica of a site is down,
+        the router answers from the last verified snapshot, and answering
+        must not trigger a commissioning survey in the parent process.
+        ``refresh=True`` drops any cached pipeline first so a newer
+        snapshot wins. Raises :class:`SnapshotError` when no usable
+        snapshot exists.
+        """
+        if self.snapshot_dir is None:
+            raise RuntimeError(
+                "this manager has no snapshot_dir; construct it with one "
+                "to enable snapshot restores"
             )
-            for stored, expected, label in expectations:
-                if stored != expected:
-                    raise SnapshotError(
-                        f"snapshot {path} was written under a different "
-                        f"{label} (fingerprint {stored!r} != {expected!r})"
-                    )
-            system = restore_into(self._build_raw(spec), snapshot)
-        except SnapshotError:
-            self.stats.snapshots_rejected += 1
-            return None
-        self.stats.snapshots_restored += 1
-        return system
+        if site in self._attached:
+            raise RuntimeError(
+                f"site {site!r} is an attached pipeline; snapshots cover "
+                "spec-backed sites only"
+            )
+        if site not in self._specs:
+            raise KeyError(self._unknown(site))
+        spec = self._specs[site]
+        key = self._pipeline_key(site, spec)
+        if refresh:
+            self._drop_pipeline(site, spec)
+        cached = self._by_site.get(site)
+        if cached is not None:
+            return cached
+        if key not in self._pipelines:
+            restored = self._try_restore(site, spec)
+            if restored is None:
+                raise SnapshotError(
+                    f"no usable snapshot for site {site!r} in "
+                    f"{self.snapshot_dir}"
+                )
+            self._pipelines[key] = restored
+            self.stats.pipelines_built += 1
+        else:
+            self.stats.pipelines_shared += 1
+        self._by_site[site] = self._pipelines[key]
+        return self._by_site[site]
+
+    def _drop_pipeline(self, site: str, spec: ScenarioSpec) -> None:
+        """Forget the site's pipeline (and its aliases in shared mode)."""
+        key = self._pipeline_key(site, spec)
+        for other, other_spec in self._specs.items():
+            if self._pipeline_key(other, other_spec) == key:
+                self._by_site.pop(other, None)
+        self._pipelines.pop(key, None)
+
+    def repair_site(self, site: str) -> Dict[str, object]:
+        """Rebuild the site's pipeline from authoritative state.
+
+        The read-repair half of the anti-entropy loop: the diverged (e.g.
+        bit-flipped) in-memory pipeline is dropped and the site is
+        re-materialized through the lazy path — restoring from the newest
+        valid snapshot when one exists (milliseconds, and bit-identical to
+        the state the snapshot froze), falling back to a fresh
+        commissioning survey when the snapshots themselves are unusable
+        (correct fingerprints, at the cost of the survey and any epochs
+        recorded since). Returns what happened.
+        """
+        if site in self._attached:
+            raise RuntimeError(
+                f"site {site!r} is an attached pipeline; repair covers "
+                "spec-backed sites only"
+            )
+        if site not in self._specs:
+            raise KeyError(self._unknown(site))
+        spec = self._specs[site]
+        self._drop_pipeline(site, spec)
+        restored_before = self.stats.snapshots_restored
+        system = self.pipeline(site)
+        return {
+            "site": site,
+            "restored": self.stats.snapshots_restored > restored_before,
+            "commissioned": bool(system.commissioned),
+            "epochs": int(system.database.epoch_count),
+        }
+
+    def snapshot_maintenance(self) -> Dict[str, object]:
+        """One lifecycle pass: save, scrub, compact; returns the report.
+
+        The scheduler's snapshot-cadence hook (see
+        ``SchedulerConfig.snapshot_cadence_days``): persists every
+        commissioned site, checksum-verifies the whole directory
+        (quarantining corrupt files out of the restore path), and prunes
+        history per the retention policy. A no-op report without a
+        ``snapshot_dir``.
+        """
+        if self.snapshot_dir is None:
+            return {
+                "enabled": False,
+                "written": 0,
+                "checked": 0,
+                "corrupt": 0,
+                "files_removed": 0,
+                "bytes_reclaimed": 0,
+                "total_bytes": 0,
+            }
+        # Saves prune inline (SnapshotStore.save compacts its own base),
+        # so report the pass's prune work as a delta of the store's
+        # lifetime counters rather than only the final compact's output.
+        pruned_files = self._store.pruned_files
+        pruned_bytes = self._store.pruned_bytes
+        written = self.snapshot_all()
+        scrubbed = self._store.scrub()
+        self._store.compact()
+        return {
+            "enabled": True,
+            "written": len(written),
+            "checked": int(scrubbed["checked"]),
+            "corrupt": int(scrubbed["corrupt"]),
+            "files_removed": self._store.pruned_files - pruned_files,
+            "bytes_reclaimed": self._store.pruned_bytes - pruned_bytes,
+            "total_bytes": self._store.total_bytes(),
+        }
 
     def _unknown(self, site: str) -> str:
         known = ", ".join(self.sites()) or "<none>"

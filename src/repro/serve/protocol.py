@@ -94,6 +94,8 @@ METHODS = (
     "stats",
     "health",
     "resize",
+    "drift",
+    "scrub",
 )
 
 #: Status → exception type, the client-side inverse of :func:`error_status`.
@@ -226,6 +228,10 @@ def _batch_body(site: str, day: float, result, include_scores: bool) -> Dict:
     }
     if include_scores:
         body["scores"] = result.scores.tolist()
+    if getattr(result, "stale", False):
+        # Degraded-mode serving: answered from the last verified snapshot
+        # because no live replica could. Absent on fresh answers.
+        body["stale"] = True
     return body
 
 
@@ -233,13 +239,16 @@ def _handle_query(backend, params):
     site, rss, day = _require(params, "site", "rss", "day")
     result = backend.query(str(site), _as_rss(rss), _as_day(day))
     cell = int(result.cell)
-    return {
+    body = {
         "site": site,
         "day": _as_day(day),
         "cell": cell,
         "position": [float(result.position.x), float(result.position.y)],
         "score": float(result.scores[cell]),
     }
+    if getattr(result, "stale", False):
+        body["stale"] = True
+    return body
 
 
 def _handle_query_batch(backend, params):
@@ -332,6 +341,35 @@ def _handle_health(backend, params):
     return dict(health())
 
 
+def _handle_drift(backend, params):
+    site, day = _require(params, "site", "day")
+    day = _as_day(day)
+    frames = params.get("frames", 32)
+    try:
+        frames = int(frames)
+    except (TypeError, ValueError):
+        raise ValueError(f"frames must be an integer, got {frames!r}") from None
+    drift = getattr(backend, "drift", None)
+    if drift is None:
+        raise RuntimeError("this backend does not measure drift")
+    reading = drift(str(site), day, frames)
+    if reading is None:
+        return {"site": site, "day": day, "drift": None}
+    return {"drift": dict(reading)}
+
+
+def _handle_scrub(backend, params):
+    sites = params.get("sites")
+    if sites is not None and not isinstance(sites, (list, tuple)):
+        raise ValueError("sites must be a list of site names")
+    scrub = getattr(backend, "scrub", None)
+    if scrub is None:
+        raise RuntimeError(
+            "this backend cannot scrub: it is not a sharded service"
+        )
+    return dict(scrub(None if sites is None else [str(s) for s in sites]))
+
+
 def _handle_resize(backend, params):
     (shards,) = _require(params, "shards")
     try:
@@ -360,4 +398,6 @@ _HANDLERS = {
     "stats": _handle_stats,
     "health": _handle_health,
     "resize": _handle_resize,
+    "drift": _handle_drift,
+    "scrub": _handle_scrub,
 }

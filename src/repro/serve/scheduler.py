@@ -15,11 +15,23 @@ makes that policy explicit:
   day)`` — :meth:`UpdateScheduler.plan` — so tests drive it with explicit
   days and get deterministic answers; :meth:`UpdateScheduler.tick`
   executes a plan.
-* Three policies: ``"interval"`` (every site whose staleness crossed the
+* Four policies: ``"interval"`` (every site whose staleness crossed the
   threshold, stalest first), ``"round-robin"`` (budget-limited fair
   rotation over the stale sites), ``"priority"`` (stale sites ranked by
   query traffic since their last refresh — the busiest fingerprints age
-  fastest in user-visible error, so they get the budget first).
+  fastest in user-visible error, so they get the budget first), and
+  ``"drift"`` (refresh on *measured* degradation, not age: each warm
+  site is probed via
+  :meth:`~repro.serve.service.LocalizationService.drift` and becomes
+  eligible when held-out localization error has degraded by at least
+  ``drift_threshold_m`` meters — a volatile site gets refreshed days
+  before an age-only policy would notice, and a quiet one is left
+  alone past its nominal interval).
+* An optional **snapshot cadence**: with ``snapshot_cadence_days`` set,
+  the tick that crosses each cadence boundary also runs one snapshot
+  lifecycle pass (save + digest scrub + keep-last-K compaction) through
+  ``service.snapshot_maintenance()``, so durable state stays fresh and
+  the snapshot directory stays bounded without a second daemon.
 * **Cold sites** (pipeline never materialized/commissioned) cannot be
   *updated* at all — the cold-update contract in
   :meth:`repro.serve.manager.SiteManager.update` — so the scheduler
@@ -48,7 +60,7 @@ from repro.core.pipeline import UpdateReport
 
 __all__ = ["SchedulerConfig", "SimClock", "UpdateAction", "UpdateScheduler"]
 
-_POLICIES = ("interval", "round-robin", "priority")
+_POLICIES = ("interval", "round-robin", "priority", "drift")
 _COLD_MODES = ("commission", "skip", "raise")
 
 
@@ -57,11 +69,14 @@ class SchedulerConfig:
     """Update policy knobs.
 
     Attributes:
-        policy: ``"interval"``, ``"round-robin"`` or ``"priority"``.
+        policy: ``"interval"``, ``"round-robin"``, ``"priority"`` or
+            ``"drift"``.
         interval_days: Staleness threshold (days): a site becomes
             *eligible* for refresh once the epoch serving current queries
-            is at least this old. All three policies share the threshold;
-            they differ in how they order and cap the eligible set.
+            is at least this old. The age-based policies share the
+            threshold; they differ in how they order and cap the eligible
+            set. The ``"drift"`` policy ignores it — eligibility there is
+            measured, not aged.
         budget: Max refresh actions per tick (``None`` = unlimited). This
             is the person-time knob: one budget unit is one walk of a
             site's reference cells (or one commissioning survey for a
@@ -69,12 +84,28 @@ class SchedulerConfig:
         cold: What a tick does with cold sites: ``"commission"`` them at
             the tick day (default — a site registered mid-flight gets its
             survey on the next tick), ``"skip"`` them, or ``"raise"``.
+        drift_threshold_m: ``"drift"`` policy only — a site is eligible
+            once its held-out probe error has degraded by at least this
+            many meters over its fresh-conditions baseline (see
+            :mod:`repro.serve.sentinel`). The 0.75 m default sits between
+            a quiet site's measurement noise (≲0.5 m) and the ≳1 m
+            degradation a genuinely drifted database shows.
+        drift_frames: Probe frames per drift measurement (cost knob; the
+            measurement is a small held-out batch per warm site per
+            plan).
+        snapshot_cadence_days: When set, run one snapshot lifecycle pass
+            (``service.snapshot_maintenance()``) on the first tick at or
+            past each cadence boundary. ``None`` (default) disables the
+            hook. Works with any policy.
     """
 
     policy: str = "interval"
     interval_days: float = 30.0
     budget: Optional[int] = None
     cold: str = "commission"
+    drift_threshold_m: float = 0.75
+    drift_frames: int = 32
+    snapshot_cadence_days: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.policy not in _POLICIES:
@@ -91,11 +122,33 @@ class SchedulerConfig:
             )
         if self.budget is not None and self.budget < 1:
             raise ValueError(f"budget must be >= 1, got {self.budget}")
+        if self.drift_threshold_m <= 0:
+            raise ValueError(
+                f"drift_threshold_m must be > 0, got {self.drift_threshold_m}"
+            )
+        if self.drift_frames < 1:
+            raise ValueError(
+                f"drift_frames must be >= 1, got {self.drift_frames}"
+            )
+        if (
+            self.snapshot_cadence_days is not None
+            and self.snapshot_cadence_days <= 0
+        ):
+            raise ValueError(
+                "snapshot_cadence_days must be > 0, got "
+                f"{self.snapshot_cadence_days}"
+            )
 
 
 @dataclass(frozen=True)
 class UpdateAction:
-    """One executed (or planned) refresh decision."""
+    """One executed (or planned) refresh decision.
+
+    ``staleness`` carries the eligibility metric that triggered the
+    action: days-since-epoch for the age-based policies, measured
+    degradation in meters for ``policy="drift"`` (``None`` for
+    commissions).
+    """
 
     site: str
     day: float
@@ -113,6 +166,10 @@ class SchedulerStats:
     commissions: int = 0
     last_day: Optional[float] = None
     errors: int = 0
+    snapshot_runs: int = 0
+    snapshot_files_removed: int = 0
+    snapshot_bytes_reclaimed: int = 0
+    last_snapshot_day: Optional[float] = None
 
 
 class SimClock:
@@ -159,11 +216,13 @@ class UpdateScheduler:
     def plan(self, day: float) -> List[Tuple[str, str, Optional[float]]]:
         """The refresh actions a tick at ``day`` would run, in order.
 
-        Returns ``(site, action, staleness)`` tuples, ``action`` being
-        ``"update"`` or ``"commission"``. Cold sites come first — an
-        uncommissioned site serves *nothing*, which is strictly worse
-        than any staleness — then eligible stale sites in policy order,
-        the whole list capped by the budget.
+        Returns ``(site, action, metric)`` tuples, ``action`` being
+        ``"update"`` or ``"commission"`` and ``metric`` the eligibility
+        signal (staleness in days, or measured degradation in meters for
+        ``policy="drift"``). Cold sites come first — an uncommissioned
+        site serves *nothing*, which is strictly worse than any
+        staleness — then eligible sites in policy order, the whole list
+        capped by the budget.
         """
         sites = list(self.service.sites())
         staleness = {site: self.service.staleness(site, day) for site in sites}
@@ -181,19 +240,55 @@ class UpdateScheduler:
                     f"cold site(s) at day {day:g}: {', '.join(cold)}; "
                     "commission them or configure cold='commission'/'skip'"
                 )
-        eligible = [
-            site
-            for site in sites
-            if staleness[site] is not None
-            and staleness[site] >= self.config.interval_days
-        ]
-        planned.extend(
-            (site, "update", staleness[site])
-            for site in self._order(eligible, sites, staleness)
-        )
+        if self.config.policy == "drift":
+            planned.extend(self._plan_drift(day, sites, staleness))
+        else:
+            eligible = [
+                site
+                for site in sites
+                if staleness[site] is not None
+                and staleness[site] >= self.config.interval_days
+            ]
+            planned.extend(
+                (site, "update", staleness[site])
+                for site in self._order(eligible, sites, staleness)
+            )
         if self.config.budget is not None:
             planned = planned[: self.config.budget]
         return planned
+
+    def _plan_drift(
+        self,
+        day: float,
+        sites: List[str],
+        staleness: Dict[str, Optional[float]],
+    ) -> List[Tuple[str, str, Optional[float]]]:
+        """Eligibility by *measured* degradation: probe every warm site
+        and refresh the ones whose held-out error grew past the
+        threshold, worst first. Probing reads the service but mutates
+        nothing, so planning stays side-effect free."""
+        degradation: Dict[str, float] = {}
+        for site in sites:
+            if staleness[site] is None:
+                continue  # cold: handled by the cold policy above
+            try:
+                reading = self.service.drift(
+                    site, day, frames=self.config.drift_frames
+                )
+            except LookupError:
+                continue  # every epoch is after `day`: nothing to refresh
+            if reading is not None:
+                degradation[site] = float(reading["degradation_m"])
+        index = {site: rank for rank, site in enumerate(sites)}
+        eligible = sorted(
+            (
+                site
+                for site, worsened in degradation.items()
+                if worsened >= self.config.drift_threshold_m
+            ),
+            key=lambda site: (-degradation[site], index[site]),
+        )
+        return [(site, "update", degradation[site]) for site in eligible]
 
     def _order(
         self,
@@ -259,9 +354,31 @@ class UpdateScheduler:
             last = actions[-1].site
             if last in sites:
                 self._cursor = (sites.index(last) + 1) % len(sites)
+        self._maybe_snapshot(day)
         self.stats.ticks += 1
         self.stats.last_day = float(day)
         return actions
+
+    def _maybe_snapshot(self, day: float) -> None:
+        """Run the snapshot lifecycle pass when the cadence boundary has
+        been crossed (first tick counts as crossing it — durable state
+        should exist as soon as maintenance starts)."""
+        cadence = self.config.snapshot_cadence_days
+        if cadence is None:
+            return
+        last = self.stats.last_snapshot_day
+        if last is not None and float(day) - last < cadence:
+            return
+        maintenance = getattr(self.service, "snapshot_maintenance", None)
+        if maintenance is None:
+            return  # plain service without the lifecycle surface
+        report = maintenance()
+        self.stats.snapshot_runs += 1
+        self.stats.snapshot_files_removed += int(report.get("files_removed", 0))
+        self.stats.snapshot_bytes_reclaimed += int(
+            report.get("bytes_reclaimed", 0)
+        )
+        self.stats.last_snapshot_day = float(day)
 
     # ------------------------------------------------------------------
     # background driving
@@ -293,19 +410,22 @@ class UpdateScheduler:
         self._thread.start()
         return self
 
-    def stop(self) -> None:
+    def stop(self, timeout: float = 5.0) -> None:
         """Stop the background thread (idempotent).
 
-        A tick stuck in a long survey can outlive the join timeout; the
-        escalation is surfaced as a warning rather than silently leaking
-        the daemon thread.
+        Blocks until the in-flight tick (if any) finishes or ``timeout``
+        seconds pass. A tick stuck in a long survey can outlive the join
+        timeout; the escalation is surfaced as a warning rather than
+        silently leaking the daemon thread. A tick that *does* finish is
+        never half-applied: ``stop()`` only interrupts the sleep between
+        ticks, not the epoch appends inside one.
         """
         self._stop.set()
         if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            if self._thread.is_alive():  # pragma: no cover - defensive
+            self._thread.join(timeout=timeout)
+            if self._thread.is_alive():
                 warnings.warn(
-                    "UpdateScheduler thread did not stop within 5s "
+                    f"UpdateScheduler thread did not stop within {timeout:g}s "
                     "(tick still running); it will die with the process",
                     RuntimeWarning,
                     stacklevel=2,

@@ -1,0 +1,128 @@
+"""Drift measured, not assumed: score the live model on held-out probes.
+
+The update scheduler's day-count staleness is a *proxy*: it says how old
+the serving epoch is, not how wrong it has become. This module measures
+the thing itself. :func:`measure_drift` draws a small batch of held-out
+probe frames from the site's environment at the query day, localizes them
+with the live fingerprint database, and compares against the *simulator's
+ground-truth positions* — then repeats the identical draw at the serving
+epoch's own day to get the fresh-conditions baseline. The difference is
+the localization error the fingerprints have accrued purely by aging.
+
+Two design rules keep the measurement honest:
+
+* **The reference is independent of the model being judged.** Probes are
+  scored against ground truth the simulator knows (``true_positions`` of
+  a :class:`~repro.sim.trace.LiveTrace`), never against positions or
+  fingerprints the pipeline itself reconstructed — scoring a model
+  against its own outputs is the circular-reference trap (SNIPPETS.md
+  snippet 1 documents a production system falling into exactly this), and
+  it reports perfect health right up until the answers are garbage.
+* **The probe stream is independent of the serving streams.** Probe
+  randomness derives from ``task_key(seed, "drift-probe", ...)`` — a
+  different stream family than the collector's survey/update draws — so
+  measuring drift never perturbs the pipeline's replayable state, and the
+  same ``(seed, day)`` always draws the same probe frames. Both the
+  probe-day and baseline-day traces replay one identical noise/jitter
+  draw (fresh collectors with the same seed), so the only thing that
+  differs between the two error numbers is the day-dependent channel
+  drift — the quantity being measured.
+
+``LocalizationService.drift`` wraps this per site and the scheduler's
+``policy="drift"`` refreshes on measured degradation instead of age; the
+sharded router forwards ``drift`` to the owning worker like any read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.core.pipeline import TafLoc
+from repro.sim.collector import RssCollector
+from repro.util.rng import counter_stream, task_key
+
+__all__ = ["DriftReading", "measure_drift", "probe_seed"]
+
+
+def probe_seed(seed: int, identity) -> int:
+    """The held-out probe stream's seed, independent of serving streams.
+
+    ``identity`` is whatever names the pipeline (the manager passes the
+    spec fingerprint, mirroring :func:`~repro.serve.manager.pipeline_seed`
+    so twin environments still get distinct probe draws per pipeline key).
+    """
+    return task_key(seed, "drift-probe", identity)
+
+
+@dataclass(frozen=True)
+class DriftReading:
+    """One drift measurement for one pipeline at one day.
+
+    ``degradation_m`` is the headline number: median localization error
+    of held-out probes at ``day`` minus the same probes' error under
+    fresh conditions (drawn at ``epoch_day``, scored by the same serving
+    epoch). Near zero for a just-refreshed site; grows with the channel
+    drift the paper's Fig. 3 quantifies.
+    """
+
+    day: float
+    epoch_day: float
+    frames: int
+    probe_error_m: float
+    baseline_error_m: float
+    degradation_m: float
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-plain form (the wire ``drift`` method's body)."""
+        return asdict(self)
+
+
+def measure_drift(
+    system: TafLoc, day: float, *, frames: int = 32, seed: int = 0
+) -> DriftReading:
+    """Measure how far ``system``'s serving epoch has drifted by ``day``.
+
+    Raises ``RuntimeError`` for an uncommissioned pipeline and
+    ``LookupError`` when no epoch serves ``day`` (the same contract as
+    queries at that day). The pipeline's own RNG streams are untouched.
+    """
+    count = int(frames)
+    if count < 1:
+        raise ValueError(f"frames must be >= 1, got {frames}")
+    if not system.commissioned or system.database.epoch_count == 0:
+        raise RuntimeError(
+            "cannot measure drift: the pipeline is not commissioned"
+        )
+    day = float(day)
+    epoch_day = float(system.database.at(day).day)  # LookupError before t0
+    scenario = system.collector.scenario
+    cells = counter_stream(task_key(int(seed), "drift-cells"), 0).integers(
+        0, scenario.deployment.cell_count, size=count
+    )
+    matcher = system.matcher_for_day(day)
+
+    def probe_error(at_day: float) -> float:
+        # A fresh collector per draw: both days replay the identical
+        # jitter/noise stream, isolating the day-dependent drift term.
+        collector = RssCollector(
+            scenario,
+            system.collector.protocol,
+            seed=task_key(int(seed), "drift-frames"),
+        )
+        trace = collector.live_trace(at_day, cells)
+        deltas = matcher.match_batch(trace.rss).positions - trace.true_positions
+        return float(np.median(np.hypot(deltas[:, 0], deltas[:, 1])))
+
+    probe = probe_error(day)
+    baseline = probe_error(epoch_day)
+    return DriftReading(
+        day=day,
+        epoch_day=epoch_day,
+        frames=count,
+        probe_error_m=probe,
+        baseline_error_m=baseline,
+        degradation_m=probe - baseline,
+    )

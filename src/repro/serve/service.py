@@ -35,7 +35,9 @@ import numpy as np
 
 from repro.core.matching import BatchMatchResult, MatchResult
 from repro.core.pipeline import TafLoc, UpdateReport
+from repro.eval.engine import task_fingerprint
 from repro.serve.manager import SiteManager
+from repro.serve.sentinel import measure_drift, probe_seed
 from repro.sim.specs import ScenarioSpec
 from repro.sim.trace import LiveTrace
 
@@ -154,6 +156,65 @@ class LocalizationService:
         except LookupError:
             return 0.0
 
+    def drift(
+        self, site: str, day: float, frames: int = 32
+    ) -> Optional[Dict[str, float]]:
+        """Measured model drift for ``site`` at ``day``, or ``None`` cold.
+
+        Wraps :func:`~repro.serve.sentinel.measure_drift` with a probe
+        stream derived per pipeline identity (spec fingerprint, mirroring
+        the serving-seed recipe) so the measurement is deterministic,
+        held-out, and independent of the model being judged — see the
+        sentinel module docstring for why that independence matters.
+        ``None`` mirrors :meth:`staleness`: a cold site has nothing to
+        measure, only to commission. The body is JSON-plain (the wire
+        ``drift`` method forwards it unchanged).
+        """
+        if not self.manager.materialized(site):  # KeyError when unknown
+            return None
+        system = self.manager.pipeline(site)
+        if not system.commissioned or system.database.epoch_count == 0:
+            return None
+        spec = self.manager.spec(site)
+        identity = site if spec is None else task_fingerprint(spec)
+        reading = measure_drift(
+            system,
+            day,
+            frames=frames,
+            seed=probe_seed(self.manager.seed, identity),
+        )
+        return {"site": site, **reading.to_dict()}
+
+    def verify_site(self, site: str) -> Dict[str, object]:
+        """Compare the site's live state digest against its snapshot's.
+
+        The arbitration primitive of the anti-entropy scrub: ``matches``
+        is ``True``/``False`` when both digests exist, ``None`` when
+        either side is unavailable (cold site, no snapshot directory, or
+        no readable snapshot). Never materializes a pipeline.
+        """
+        live = self.manager.live_digest(site)
+        snapshot = self.manager.snapshot_digest(site)
+        matches = (
+            None if live is None or snapshot is None else live == snapshot
+        )
+        return {
+            "site": site,
+            "live_digest": live,
+            "snapshot_digest": snapshot,
+            "matches": matches,
+        }
+
+    def repair(self, site: str) -> Dict[str, object]:
+        """Rebuild the site's pipeline from authoritative state (see
+        :meth:`SiteManager.repair_site
+        <repro.serve.manager.SiteManager.repair_site>`)."""
+        return self.manager.repair_site(site)
+
+    def snapshot_maintenance(self) -> Dict[str, object]:
+        """Run one snapshot lifecycle pass (save + scrub + compact)."""
+        return self.manager.snapshot_maintenance()
+
     def service_stats(self) -> ServiceStats:
         """The query counters (one method shared with the sharded router,
         whose counters live in its worker processes)."""
@@ -220,6 +281,10 @@ class LocalizationService:
             record["links"] = system.deployment.link_count
             record["cells"] = system.deployment.cell_count
             record["epochs"] = system.database.epoch_count
+            if system.database.epoch_count:
+                epochs = system.database.epochs()
+                record["first_day"] = float(epochs[0].day)
+                record["last_day"] = float(epochs[-1].day)
         return record
 
     def summary(self) -> List[Dict[str, object]]:

@@ -45,6 +45,34 @@ pipeline seed from ``(manager seed, spec fingerprint)`` — not from the
 shard layout — so the same site answers with the same bits whether it is
 served in-process, by one worker, or by one of sixteen (asserted in
 ``tests/serve/test_shard.py`` and the CI frontend smoke gate).
+
+**Anti-entropy (PR 7): trust, but verify the replicas.** Crash recovery
+handles workers that *stop*; this layer handles workers that keep
+answering with *wrong bits* (a flipped fingerprint value corrupts every
+score it touches, silently). Three defenses, all leaning on the
+bit-identity contract — any two honest replicas of a site answer
+byte-for-byte identically, so a single differing bit is proof of
+divergence, not noise:
+
+* :meth:`ShardedService.scrub` samples registered sites, sends one
+  identical probe batch to *every* live owning replica, and compares the
+  answers bit-for-bit. On divergence it arbitrates via state digests
+  (each replica's live fingerprint digest vs. the authoritative snapshot
+  digest — see :func:`repro.serve.snapshot.epochs_digest`), **quarantines**
+  the diverged replica out of the read rotation, and **read-repairs** it
+  from the snapshot, all surfaced through :class:`RouterStats` and
+  ``health()``. :meth:`ShardedService.start_scrub` runs this on a
+  background cadence.
+* ``read_mode="quorum"`` moves the same cross-check onto the query path:
+  reads fan out to all live replicas and only a bit-agreed (or
+  digest-verified) answer is returned — a diverged replica can be
+  *detected and repaired* without ever serving a wrong answer to a
+  client.
+* ``degraded_mode=True`` (requires ``snapshot_dir``) keeps answering when
+  every replica of a site is down: the router restores the last verified
+  snapshot parent-side and serves from it, wrapping results in
+  :class:`StaleAnswer` (``result.stale`` is ``True``; the wire layer
+  forwards the marker) instead of raising ``ServiceUnavailable``.
 """
 
 from __future__ import annotations
@@ -61,6 +89,7 @@ from typing import (
     Mapping,
     Optional,
     Sequence,
+    Set,
     Tuple,
     Union,
 )
@@ -69,20 +98,26 @@ import numpy as np
 
 from repro.core.matching import BatchMatchResult, MatchResult
 from repro.core.pipeline import UpdateReport
-from repro.eval.engine import worker_context
+from repro.eval.engine import cached_scenario, worker_context
+from repro.serve.manager import SiteManager
 from repro.serve.protocol import ServiceUnavailable
 from repro.serve.service import LocalizationService, ServiceStats
-from repro.sim.specs import ScenarioSpec, as_scenario_spec
+from repro.serve.snapshot import SnapshotError
+from repro.sim.collector import CollectionProtocol, RssCollector
+from repro.sim.specs import ScenarioSpec, as_scenario_spec, build_scenario
 from repro.sim.trace import LiveTrace
-from repro.util.rng import task_key
+from repro.util.rng import counter_stream, task_key
 
 __all__ = [
     "RouterStats",
     "ShardedService",
+    "StaleAnswer",
     "WorkerTimeout",
     "replica_shards",
     "shard_for_site",
 ]
+
+_READ_MODES = ("failover", "quorum")
 
 _JUMP_LCG = 2862933555777941757
 _MASK64 = (1 << 64) - 1
@@ -175,6 +210,46 @@ class RouterStats:
     respawns: int = 0
     respawn_failures: int = 0
     resizes: int = 0
+    scrubs: int = 0
+    scrub_divergences: int = 0
+    scrub_errors: int = 0
+    read_divergences: int = 0
+    quarantines: int = 0
+    repairs: int = 0
+    degraded_answers: int = 0
+
+
+class StaleAnswer:
+    """A query result answered from the last verified snapshot.
+
+    Wraps a :class:`~repro.core.matching.MatchResult` or
+    :class:`~repro.core.matching.BatchMatchResult` transparently
+    (attribute access, indexing, iteration and ``len`` all delegate) and
+    adds ``stale = True`` — the explicit marker degraded-mode serving
+    must carry so a client can tell "fresh answer" from "best effort off
+    the last snapshot". The wire layer forwards the flag as a ``stale``
+    field in the response body.
+    """
+
+    stale = True
+
+    def __init__(self, result: Any) -> None:
+        self._result = result
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._result, name)
+
+    def __len__(self) -> int:
+        return len(self._result)
+
+    def __getitem__(self, index):
+        return self._result[index]
+
+    def __iter__(self):
+        return iter(self._result)
+
+    def __repr__(self) -> str:
+        return f"StaleAnswer({self._result!r})"
 
 
 # ----------------------------------------------------------------------
@@ -208,13 +283,23 @@ def _shard_worker_main(connection, specs: Dict[str, dict], kwargs) -> None:
         method, args, call_kwargs = message
         if method == "__fault__":
             action = args[0] if args else None
-            seconds = float(args[1]) if len(args) > 1 else 0.0
             if action == "hang":
-                _time.sleep(seconds)
+                _time.sleep(float(args[1]) if len(args) > 1 else 0.0)
                 connection.send((True, "hung"))
             elif action == "delay":
-                reply_delay = seconds
+                reply_delay = float(args[1]) if len(args) > 1 else 0.0
                 connection.send((True, "delayed"))
+            elif action == "corrupt":
+                # Lazy import: faults.py imports this module.
+                from repro.serve.faults import corrupt_pipeline_state
+
+                site = args[1] if len(args) > 1 else None
+                fault_seed = int(args[2]) if len(args) > 2 else 0
+                try:
+                    detail = corrupt_pipeline_state(service, site, fault_seed)
+                    connection.send((True, detail))
+                except Exception as error:  # noqa: BLE001 - forwarded
+                    connection.send((False, error))
             else:
                 connection.send(
                     (False, ValueError(f"unknown fault action {action!r}"))
@@ -396,6 +481,19 @@ class ShardedService:
             before declaring the worker hung (``None`` = wait forever).
             Mutating calls (warm/update/commission) are never timed out —
             a slow survey is not a fault.
+        read_mode: ``"failover"`` (default — reads go to the first live
+            replica) or ``"quorum"`` — reads fan out to *every* live
+            owning replica and are compared bit-for-bit before answering;
+            a divergence is arbitrated against the snapshot digest, the
+            diverged replica is quarantined and read-repaired, and only
+            the verified answer reaches the caller. With one live replica
+            quorum degenerates to failover.
+        degraded_mode: Answer for a site whose replicas are *all* down
+            from the last verified snapshot (restored parent-side), with
+            the result wrapped in :class:`StaleAnswer` instead of raising
+            ``ServiceUnavailable``. Requires ``snapshot_dir``.
+        scrub_frames: Probe frames per site per scrub pass (the
+            anti-entropy sampling depth).
         mp_context: Multiprocessing context override; defaults to
             :func:`repro.eval.engine.worker_context`.
         **manager_kwargs: Forwarded to every worker's
@@ -421,6 +519,9 @@ class ShardedService:
         snapshot_dir=None,
         auto_respawn: bool = True,
         call_timeout: Optional[float] = None,
+        read_mode: str = "failover",
+        degraded_mode: bool = False,
+        scrub_frames: int = 8,
         mp_context=None,
         **manager_kwargs,
     ) -> None:
@@ -428,6 +529,16 @@ class ShardedService:
             raise ValueError(f"shards must be >= 1, got {shards}")
         if replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {replicas}")
+        if read_mode not in _READ_MODES:
+            raise ValueError(
+                f"read_mode must be one of {_READ_MODES}, got {read_mode!r}"
+            )
+        if scrub_frames < 1:
+            raise ValueError(f"scrub_frames must be >= 1, got {scrub_frames}")
+        if degraded_mode and snapshot_dir is None:
+            raise ValueError(
+                "degraded_mode answers from snapshots; pass a snapshot_dir"
+            )
         resolved = {
             site: as_scenario_spec(spec) for site, spec in specs.items()
         }
@@ -435,7 +546,18 @@ class ShardedService:
         self.replica_count = int(replicas)
         self.auto_respawn = bool(auto_respawn)
         self.call_timeout = call_timeout
+        self.read_mode = read_mode
+        self.degraded_mode = bool(degraded_mode)
+        self.scrub_frames = int(scrub_frames)
+        self.snapshot_dir = snapshot_dir
         self.router_stats = RouterStats()
+        self._quarantined: Set[Tuple[str, int]] = set()
+        self._quarantine_lock = threading.Lock()
+        self._scrub_thread: Optional[threading.Thread] = None
+        self._scrub_stop = threading.Event()
+        self._stale_lock = threading.Lock()
+        self._stale_manager: Optional[SiteManager] = None
+        self._stale_restored: Dict[str, Tuple[str, int]] = {}
         worker_kwargs = dict(manager_kwargs)
         if snapshot_dir is not None:
             worker_kwargs["snapshot_dir"] = str(snapshot_dir)
@@ -476,31 +598,65 @@ class ShardedService:
             raise KeyError(f"unknown site {site!r}; registered: {known}")
         return order
 
+    # ------------------------------------------------------------------
+    # quarantine bookkeeping (anti-entropy)
+    # ------------------------------------------------------------------
+    def _is_quarantined(self, site: str, index: int) -> bool:
+        with self._quarantine_lock:
+            return (site, index) in self._quarantined
+
+    def _quarantine(self, site: str, index: int) -> bool:
+        """Pull one replica of one site out of the read rotation."""
+        with self._quarantine_lock:
+            if (site, index) in self._quarantined:
+                return False
+            self._quarantined.add((site, index))
+        self.router_stats.quarantines += 1
+        return True
+
+    def _unquarantine(self, site: str, index: int) -> None:
+        with self._quarantine_lock:
+            self._quarantined.discard((site, index))
+
+    def quarantined_replicas(self) -> List[Tuple[str, int]]:
+        """``(site, shard_index)`` pairs currently held out of reads."""
+        with self._quarantine_lock:
+            return sorted(self._quarantined)
+
     def _shard(self, site: str) -> _Shard:
-        """First *live* replica for ``site`` (primary when healthy)."""
+        """First *live, trusted* replica for ``site`` (primary when healthy)."""
         order = self._replica_order(site)
         for position, index in enumerate(order):
             shard = self._shards[index]
-            if shard.alive():
-                if position:
-                    self.router_stats.failovers += 1
-                return shard
-            self._ensure_respawn(shard)
+            if not shard.alive():
+                self._ensure_respawn(shard)
+                continue
+            if self._is_quarantined(site, index):
+                continue
+            if position:
+                self.router_stats.failovers += 1
+            return shard
         raise ServiceUnavailable(
             f"site {site!r}: all {len(order)} replica shard(s) "
-            f"{list(order)} are down (respawn in progress)"
+            f"{list(order)} are down or quarantined (recovery in progress)"
         )
 
     def _call_route(
         self, site: str, method: str, *args, timeout: Optional[float] = None
     ) -> Any:
-        """A read call with transparent failover across the replica list."""
+        """A read call with transparent failover across the replica list.
+
+        Quarantined replicas are skipped — a replica known to have
+        diverged must not serve reads until its repair verifies.
+        """
         order = self._replica_order(site)
         last_error: Optional[BaseException] = None
         for position, index in enumerate(order):
             shard = self._shards[index]
             if not shard.alive():
                 self._ensure_respawn(shard)
+                continue
+            if self._is_quarantined(site, index):
                 continue
             try:
                 if position:
@@ -522,36 +678,50 @@ class ShardedService:
         """A mutating call applied to *every* owning replica, in order.
 
         Returns the first replica's result. Requires the full replica set
-        to be up: applying an update to a subset would let the missing
-        replica drift (without snapshots, a later respawn could not
-        recover the skipped epochs), so a degraded site refuses refreshes
-        until its respawn completes — the scheduler just retries on its
+        to be up and trusted: applying an update to a subset would let
+        the missing replica drift (without snapshots, a later respawn
+        could not recover the skipped epochs), and applying it to a
+        *quarantined* replica would layer a fresh epoch on top of
+        corrupted state — so a degraded site refuses refreshes until its
+        respawn or repair completes; the scheduler just retries on its
         next tick.
+
+        Serialized against :meth:`resize` (shared ``_resize_lock``): a
+        refresh racing a resize could otherwise land on the old replica
+        set and silently miss a shard that just gained the site.
         """
-        order = self._replica_order(site)
-        down = [i for i in order if not self._shards[i].alive()]
-        if down:
-            for index in down:
-                self._ensure_respawn(self._shards[index])
-            raise ServiceUnavailable(
-                f"cannot {method} site {site!r}: replica shard(s) {down} "
-                "are down (respawn in progress); retry once recovered"
-            )
-        result: Any = None
-        for position, index in enumerate(order):
-            shard = self._shards[index]
-            try:
-                out = shard.call(method, *args, **kwargs)
-            except (_ShardConnectionError, WorkerTimeout) as error:
-                self._ensure_respawn(shard)
+        with self._resize_lock:
+            order = self._replica_order(site)
+            down = [i for i in order if not self._shards[i].alive()]
+            if down:
+                for index in down:
+                    self._ensure_respawn(self._shards[index])
                 raise ServiceUnavailable(
-                    f"replica shard {index} failed mid-{method} for site "
-                    f"{site!r}; its respawn will restore the last "
-                    f"snapshotted state"
-                ) from error
-            if position == 0:
-                result = out
-        return result
+                    f"cannot {method} site {site!r}: replica shard(s) {down} "
+                    "are down (respawn in progress); retry once recovered"
+                )
+            held = [i for i in order if self._is_quarantined(site, i)]
+            if held:
+                raise ServiceUnavailable(
+                    f"cannot {method} site {site!r}: replica shard(s) "
+                    f"{held} are quarantined pending read-repair; scrub "
+                    "or repair them first"
+                )
+            result: Any = None
+            for position, index in enumerate(order):
+                shard = self._shards[index]
+                try:
+                    out = shard.call(method, *args, **kwargs)
+                except (_ShardConnectionError, WorkerTimeout) as error:
+                    self._ensure_respawn(shard)
+                    raise ServiceUnavailable(
+                        f"replica shard {index} failed mid-{method} for site "
+                        f"{site!r}; its respawn will restore the last "
+                        f"snapshotted state"
+                    ) from error
+                if position == 0:
+                    result = out
+            return result
 
     # ------------------------------------------------------------------
     # respawn
@@ -603,6 +773,7 @@ class ShardedService:
     def close(self) -> None:
         """Stop every worker (idempotent; also runs at garbage collection)."""
         self._closed = True
+        self.stop_scrub(timeout=1.0)
         if self._finalizer.detach() is not None:
             _close_shards(self._shards)
 
@@ -716,6 +887,14 @@ class ShardedService:
             while len(self._shards) > shards:
                 self._shards.pop().close()
                 retired += 1
+            # Quarantine entries are (site, shard) pairs against the old
+            # layout; drop any that no longer name an owning replica.
+            with self._quarantine_lock:
+                self._quarantined = {
+                    (site, index)
+                    for site, index in self._quarantined
+                    if site in self.replicas and index in self.replicas[site]
+                }
             self.router_stats.resizes += 1
             return {
                 "shards": shards,
@@ -833,21 +1012,246 @@ class ShardedService:
         return names
 
     def query(self, site: str, live_rss: np.ndarray, day: float) -> MatchResult:
-        return self._call_route(
-            site, "query", site, live_rss, day, timeout=self.call_timeout
-        )
+        return self._read(site, "query", (site, live_rss, day))
 
     def query_batch(
         self, site: str, frames: np.ndarray, day: float
     ) -> BatchMatchResult:
-        return self._call_route(
-            site, "query_batch", site, frames, day, timeout=self.call_timeout
-        )
+        return self._read(site, "query_batch", (site, frames, day))
 
     def query_trace(self, site: str, trace: LiveTrace) -> BatchMatchResult:
-        return self._call_route(
-            site, "query_trace", site, trace, timeout=self.call_timeout
+        return self._read(site, "query_trace", (site, trace))
+
+    # ------------------------------------------------------------------
+    # trusted reads: quorum cross-checking + degraded-mode fallback
+    # ------------------------------------------------------------------
+    def _read(self, site: str, method: str, args: tuple) -> Any:
+        """One query through the configured trust policy.
+
+        ``failover``: first live replica answers. ``quorum``: every live
+        replica answers and the bits must agree (divergence is arbitrated
+        and repaired before returning — see :meth:`_resolve_divergence`).
+        Either way, when no replica can answer and ``degraded_mode`` is
+        on, the router falls back to serving from the last snapshot.
+        """
+        try:
+            if self.read_mode == "quorum":
+                return self._quorum_read(site, method, args)
+            return self._call_route(
+                site, method, *args, timeout=self.call_timeout
+            )
+        except ServiceUnavailable:
+            if not self.degraded_mode:
+                raise
+            return self._degraded_answer(site, method, args)
+
+    @staticmethod
+    def _result_signature(result: Any) -> Tuple:
+        """A hashable byte-exact fingerprint of a query result.
+
+        Covers every array/scalar field of ``MatchResult`` and
+        ``BatchMatchResult``; two results compare equal here iff a client
+        could not tell them apart — the comparison quorum reads and the
+        scrub both rely on.
+        """
+        parts = []
+        for name in ("cell", "cells", "position", "positions", "scores"):
+            value = getattr(result, name, None)
+            if value is None:
+                continue
+            array = np.asarray(value)
+            parts.append((name, array.dtype.str, array.shape, array.tobytes()))
+        return tuple(parts)
+
+    def _quorum_read(self, site: str, method: str, args: tuple) -> Any:
+        order = self._replica_order(site)
+        live = [
+            index
+            for index in order
+            if self._shards[index].alive()
+            and not self._is_quarantined(site, index)
+        ]
+        if len(live) <= 1:
+            # Nothing to cross-check against: plain failover semantics
+            # (which also handles the respawn bookkeeping).
+            return self._call_route(
+                site, method, *args, timeout=self.call_timeout
+            )
+        calls = [(self._shards[index], method, args) for index in live]
+        results, failed, failure = self._pipelined_raw(calls)
+        if failure is not None:
+            raise failure  # contract error — identical on honest replicas
+        lost = set(failed)
+        good = [
+            (index, results[position])
+            for position, index in enumerate(live)
+            if position not in lost
+        ]
+        for position in lost:
+            self._ensure_respawn(self._shards[live[position]])
+        if not good:
+            return self._call_route(
+                site, method, *args, timeout=self.call_timeout
+            )
+        signatures = {self._result_signature(result) for _, result in good}
+        if len(signatures) == 1:
+            return good[0][1]
+        return self._resolve_divergence(site, good)
+
+    def _verify_replicas(
+        self, site: str, indices: Iterable[int]
+    ) -> Dict[int, Optional[bool]]:
+        """Each replica's digest verdict (its live state vs. the snapshot)."""
+        verdicts: Dict[int, Optional[bool]] = {}
+        for index in indices:
+            shard = self._shards[index]
+            try:
+                verdict = shard.call(
+                    "verify_site", site, timeout=self.call_timeout
+                )
+                verdicts[index] = verdict.get("matches")
+            except (_ShardConnectionError, WorkerTimeout):
+                self._ensure_respawn(shard)
+                verdicts[index] = None
+        return verdicts
+
+    def _arbitrate(
+        self,
+        good: List[Tuple[int, Any]],
+        verdicts: Dict[int, Optional[bool]],
+    ) -> Tuple[int, Any]:
+        """Pick the authoritative ``(replica, answer)`` among diverged ones.
+
+        A replica whose live digest matches the snapshot digest is
+        trusted outright (the snapshot is checksummed, content-addressed
+        state). Without digest evidence, the largest bit-identical group
+        wins; ties go to the replica earliest in probe order (the
+        primary-most one).
+        """
+        trusted = [
+            (index, result)
+            for index, result in good
+            if verdicts.get(index) is True
+        ]
+        if trusted:
+            return trusted[0]
+        groups: Dict[Tuple, List[int]] = {}
+        for slot, (_, result) in enumerate(good):
+            groups.setdefault(self._result_signature(result), []).append(slot)
+        slots = min(groups.values(), key=lambda group: (-len(group), group[0]))
+        return good[slots[0]]
+
+    def _resolve_divergence(
+        self, site: str, good: List[Tuple[int, Any]]
+    ) -> Any:
+        """Replicas disagreed bit-for-bit: arbitrate, repair, answer true.
+
+        The client always receives the verified (or majority) answer —
+        the divergence costs repair work, never a wrong response. Blame
+        needs evidence: a replica is quarantined only when the chosen
+        answer is digest-verified, when it holds a strict majority, or
+        when the replica's own digest check failed; an unarbitrable tie
+        (two replicas, no snapshot) answers primary-side and alarms only.
+        """
+        self.router_stats.read_divergences += 1
+        verdicts = self._verify_replicas(site, [index for index, _ in good])
+        answer_index, answer = self._arbitrate(good, verdicts)
+        answer_sig = self._result_signature(answer)
+        majority = sum(
+            1
+            for _, result in good
+            if self._result_signature(result) == answer_sig
         )
+        can_blame = (
+            verdicts.get(answer_index) is True or majority * 2 > len(good)
+        )
+        for index, result in good:
+            if index == answer_index:
+                continue
+            diverged = self._result_signature(result) != answer_sig
+            if diverged and (can_blame or verdicts.get(index) is False):
+                self._quarantine(site, index)
+                self._repair_replica(site, index)
+        return answer
+
+    def _repair_replica(self, site: str, index: int) -> bool:
+        """Read-repair one quarantined replica; unquarantine on success.
+
+        The worker rebuilds the site from authoritative state (newest
+        valid snapshot, else a deterministic re-survey) and the repair
+        only counts — and the replica only rejoins the rotation — once
+        its digest re-verifies (or there is no snapshot to verify
+        against, in which case the deterministic rebuild is the best
+        truth available).
+        """
+        shard = self._shards[index]
+        try:
+            shard.call("repair", site)
+            verdict = shard.call("verify_site", site, timeout=self.call_timeout)
+        except (_ShardConnectionError, WorkerTimeout):
+            self._ensure_respawn(shard)
+            return False
+        if verdict.get("matches") is False:
+            return False  # still diverged: stays quarantined for the scrub
+        self._unquarantine(site, index)
+        self.router_stats.repairs += 1
+        return True
+
+    def _degraded_answer(self, site: str, method: str, args: tuple) -> Any:
+        """Serve one query from the last snapshot, marked ``stale``.
+
+        The parent-side stale manager restores the site's newest snapshot
+        (re-restoring whenever the file on disk changes, so a repair or a
+        fresh maintenance pass is picked up) and answers locally. Raises
+        the original ``ServiceUnavailable`` shape when no usable snapshot
+        exists — degraded mode widens availability, it never invents
+        answers.
+        """
+        try:
+            with self._stale_lock:
+                manager = self._stale()
+                store = manager.snapshot_store
+                latest = store.latest(manager.snapshot_path(site))
+                if latest is None:
+                    raise ServiceUnavailable(
+                        f"site {site!r}: every replica is down and no "
+                        "snapshot exists to answer from"
+                    )
+                stamp = (str(latest), latest.stat().st_mtime_ns)
+                if self._stale_restored.get(site) != stamp:
+                    manager.restore_site(site, refresh=True)
+                    self._stale_restored[site] = stamp
+                system = manager.pipeline(site)
+                if method == "query":
+                    _, live_rss, day = args
+                    result = system.localize(live_rss, day)
+                elif method == "query_batch":
+                    _, frames, day = args
+                    result = system.localize_batch(frames, day)
+                else:
+                    _, trace = args
+                    result = system.localize_trace(trace)
+        except SnapshotError as error:
+            raise ServiceUnavailable(
+                f"site {site!r}: every replica is down and its snapshot "
+                f"is unusable ({error})"
+            ) from error
+        self.router_stats.degraded_answers += 1
+        return StaleAnswer(result)
+
+    def _stale(self) -> SiteManager:
+        """The parent-side stale-serving manager (caller holds the lock)."""
+        if self._stale_manager is None:
+            manager = SiteManager(**self._worker_kwargs)
+            for site, spec in self._specs.items():
+                manager.register(site, spec)
+            self._stale_manager = manager
+        else:
+            manager = self._stale_manager
+            for site, spec in self._specs.items():
+                if site not in manager:
+                    manager.register(site, spec)
+        return self._stale_manager
 
     def map_query_batch(
         self, requests: Sequence[Tuple[str, np.ndarray, float]]
@@ -879,6 +1283,282 @@ class ShardedService:
                 timeout=self.call_timeout,
             )
         return results
+
+    # ------------------------------------------------------------------
+    # anti-entropy scrub
+    # ------------------------------------------------------------------
+    def _scrub_workload(
+        self, site: str, day: float, frames: int
+    ) -> np.ndarray:
+        """Deterministic probe frames for ``site`` at ``day``.
+
+        Drawn from a parent-side stream family (``"scrub-*"``) disjoint
+        from every serving stream, so scrubbing never perturbs worker
+        state. The frames don't need to match any survey draw — they only
+        need to be byte-identical across the replicas being compared,
+        which the parent guarantees by sending one array to all of them.
+        """
+        spec = self._specs[site]
+        scenario = cached_scenario(spec, build_scenario)
+        seed = int(self._worker_kwargs.get("seed", 0))
+        protocol = self._worker_kwargs.get("protocol")
+        if protocol is None:
+            protocol = CollectionProtocol()
+        cells = counter_stream(task_key(seed, "scrub-cells", site), 0).integers(
+            0, scenario.deployment.cell_count, size=int(frames)
+        )
+        collector = RssCollector(
+            scenario, protocol, seed=task_key(seed, "scrub-frames", site)
+        )
+        return collector.live_trace(float(day), cells).rss
+
+    def scrub(
+        self,
+        sites: Optional[Iterable[str]] = None,
+        frames: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """One anti-entropy pass: probe, compare, quarantine, repair.
+
+        For every site (or the given subset): send one identical probe
+        batch to each live owning replica, compare the answers
+        bit-for-bit, and digest-check each replica against the
+        authoritative snapshot. Any divergence alarms
+        (``router_stats.scrub_divergences``), quarantines the diverged
+        replica and read-repairs it from the snapshot — then verifies the
+        repair before letting the replica serve again. Sites with no live
+        replica, or not yet commissioned, are reported as skipped (the
+        respawn path owns dead workers; the scrub owns *lying* ones).
+        """
+        names = list(sites) if sites is not None else self.sites()
+        depth = int(frames) if frames is not None else self.scrub_frames
+        report: Dict[str, object] = {
+            "sites_checked": 0,
+            "skipped": [],
+            "divergent_sites": [],
+            "quarantined": 0,
+            "repaired": 0,
+        }
+        for site in names:
+            outcome = self._scrub_site(site, depth)
+            if outcome["status"] == "skipped":
+                report["skipped"].append(site)
+                continue
+            report["sites_checked"] += 1
+            if outcome["status"] == "diverged":
+                report["divergent_sites"].append(site)
+                report["quarantined"] += outcome["quarantined"]
+                report["repaired"] += outcome["repaired"]
+        self.router_stats.scrubs += 1
+        return report
+
+    def _scrub_site(self, site: str, frames: int) -> Dict[str, object]:
+        order = self._replica_order(site)
+        live: List[int] = []
+        for index in order:
+            shard = self._shards[index]
+            if shard.alive():
+                live.append(index)
+            else:
+                self._ensure_respawn(shard)
+        if not live:
+            return {"site": site, "status": "skipped"}
+        try:
+            summary = self._shards[live[0]].call(
+                "site_summary", site, timeout=self.call_timeout
+            )
+        except (_ShardConnectionError, WorkerTimeout):
+            self._ensure_respawn(self._shards[live[0]])
+            return {"site": site, "status": "skipped"}
+        day = summary.get("last_day")
+        if day is None:
+            return {"site": site, "status": "skipped"}  # cold site
+        rss = self._scrub_workload(site, float(day), frames)
+        calls = [
+            (self._shards[index], "query_batch", (site, rss, float(day)))
+            for index in live
+        ]
+        results, failed, failure = self._pipelined_raw(calls)
+        if failure is not None:
+            raise failure
+        lost = set(failed)
+        good = [
+            (live[position], results[position])
+            for position in range(len(live))
+            if position not in lost
+        ]
+        for position in lost:
+            self._ensure_respawn(self._shards[live[position]])
+        if not good:
+            return {"site": site, "status": "skipped"}
+        verdicts = self._verify_replicas(site, [index for index, _ in good])
+        signatures = {self._result_signature(result) for _, result in good}
+        bad_digest = sorted(
+            index for index, verdict in verdicts.items() if verdict is False
+        )
+        if len(signatures) == 1 and not bad_digest:
+            return {"site": site, "status": "clean", "replicas": len(good)}
+        # Divergence: either the answers split, or a replica's state
+        # digest failed even though the probe answers happened to agree
+        # (corruption in state the probe didn't exercise).
+        self.router_stats.scrub_divergences += 1
+        if len(signatures) > 1:
+            answer_index, answer = self._arbitrate(good, verdicts)
+            answer_sig = self._result_signature(answer)
+            majority = sum(
+                1
+                for _, result in good
+                if self._result_signature(result) == answer_sig
+            )
+            can_blame = (
+                verdicts.get(answer_index) is True
+                or majority * 2 > len(good)
+            )
+            suspects = [
+                index
+                for index, result in good
+                if index != answer_index
+                and self._result_signature(result) != answer_sig
+                and (can_blame or verdicts.get(index) is False)
+            ]
+        else:
+            suspects = bad_digest
+        quarantined = repaired = 0
+        for index in suspects:
+            if self._quarantine(site, index):
+                quarantined += 1
+            if self._repair_replica(site, index):
+                repaired += 1
+        return {
+            "site": site,
+            "status": "diverged",
+            "replicas": len(good),
+            "quarantined": quarantined,
+            "repaired": repaired,
+        }
+
+    def start_scrub(
+        self, interval_seconds: float = 30.0
+    ) -> "ShardedService":
+        """Run :meth:`scrub` on a daemon thread every ``interval_seconds``.
+
+        Errors are counted (``router_stats.scrub_errors``) and do not
+        kill the loop — background verification must not take the fleet
+        down with it.
+        """
+        if interval_seconds <= 0:
+            raise ValueError(
+                f"interval_seconds must be > 0, got {interval_seconds}"
+            )
+        if self._scrub_thread is not None:
+            raise RuntimeError("scrub is already running")
+        self._scrub_stop.clear()
+
+        def loop() -> None:
+            while not self._scrub_stop.wait(interval_seconds):
+                try:
+                    self.scrub()
+                except Exception:  # noqa: BLE001 - keep the verifier alive
+                    self.router_stats.scrub_errors += 1
+
+        self._scrub_thread = threading.Thread(
+            target=loop, daemon=True, name="shard-scrub"
+        )
+        self._scrub_thread.start()
+        return self
+
+    def stop_scrub(self, timeout: float = 5.0) -> None:
+        """Stop the background scrub thread (idempotent)."""
+        self._scrub_stop.set()
+        thread = self._scrub_thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+            self._scrub_thread = None
+
+    # ------------------------------------------------------------------
+    # anti-entropy surface (mirrors the in-process service's methods)
+    # ------------------------------------------------------------------
+    def drift(
+        self, site: str, day: float, frames: int = 32
+    ) -> Optional[Dict[str, float]]:
+        """Measured drift for ``site`` (first trusted replica answers)."""
+        return self._call_route(
+            site, "drift", site, day, frames, timeout=self.call_timeout
+        )
+
+    def verify_site(self, site: str) -> Dict[str, object]:
+        """Every live replica's digest verdict for ``site``."""
+        rows: Dict[str, object] = {}
+        for index in self._replica_order(site):
+            shard = self._shards[index]
+            if not shard.alive():
+                self._ensure_respawn(shard)
+                rows[str(index)] = None
+                continue
+            try:
+                rows[str(index)] = shard.call(
+                    "verify_site", site, timeout=self.call_timeout
+                )
+            except (_ShardConnectionError, WorkerTimeout):
+                self._ensure_respawn(shard)
+                rows[str(index)] = None
+        return {"site": site, "replicas": rows}
+
+    def repair(self, site: str) -> Dict[str, object]:
+        """Rebuild ``site`` from authoritative state on every live replica."""
+        rows: Dict[str, object] = {}
+        for index in self._replica_order(site):
+            shard = self._shards[index]
+            if not shard.alive():
+                self._ensure_respawn(shard)
+                continue
+            try:
+                rows[str(index)] = shard.call("repair", site)
+            except (_ShardConnectionError, WorkerTimeout):
+                self._ensure_respawn(shard)
+                continue
+            self._unquarantine(site, index)
+            self.router_stats.repairs += 1
+        return {"site": site, "replicas": rows}
+
+    def snapshot_maintenance(self) -> Dict[str, object]:
+        """One snapshot lifecycle pass across every reachable worker.
+
+        Each worker saves its commissioned sites (digest-idempotent, so
+        replicas sharing the directory don't churn duplicate versions),
+        scrubs the shared directory and compacts per the retention
+        policy; the reports are summed.
+        """
+        totals: Dict[str, object] = {
+            "enabled": False,
+            "written": 0,
+            "checked": 0,
+            "corrupt": 0,
+            "files_removed": 0,
+            "bytes_reclaimed": 0,
+            "total_bytes": 0,
+        }
+        for shard in self._shards:
+            if not shard.alive():
+                self._ensure_respawn(shard)
+                continue
+            try:
+                report = shard.call("snapshot_maintenance")
+            except (_ShardConnectionError, WorkerTimeout):
+                self._ensure_respawn(shard)
+                continue
+            if not report.get("enabled"):
+                continue
+            totals["enabled"] = True
+            for key in (
+                "written",
+                "checked",
+                "corrupt",
+                "files_removed",
+                "bytes_reclaimed",
+            ):
+                totals[key] += int(report[key])
+            totals["total_bytes"] = int(report["total_bytes"])
+        return totals
 
     def update(
         self, site: str, day: float, *, cold: str = "raise"
@@ -951,23 +1631,41 @@ class ShardedService:
                 }
             )
         down = [row["index"] for row in shard_rows if not row["alive"]]
+        quarantined = self.quarantined_replicas()
         site_rows: Dict[str, Dict[str, object]] = {}
-        uncovered = 0
+        uncovered: List[str] = []
         for site in self._site_order:
             order = self.replicas[site]
             available = sum(
-                1 for index in order if self._shards[index].alive()
+                1
+                for index in order
+                if self._shards[index].alive()
+                and not self._is_quarantined(site, index)
             )
-            uncovered += available == 0
+            if available == 0:
+                uncovered.append(site)
             site_rows[site] = {
                 "primary": self.assignment[site],
                 "replicas": list(order),
                 "available": available,
             }
+        # A site with no serving replica can still answer (stale) when
+        # degraded mode is on and a snapshot exists for it.
+        stale_capable: List[str] = []
+        if self.degraded_mode and uncovered:
+            with self._stale_lock:
+                manager = self._stale()
+                stale_capable = [
+                    site for site in uncovered if manager.has_snapshot(site)
+                ]
         status = "ok"
         if uncovered:
-            status = "unavailable"
-        elif down:
+            status = (
+                "degraded"
+                if len(stale_capable) == len(uncovered)
+                else "unavailable"
+            )
+        elif down or quarantined:
             status = "degraded"
         stats = self.router_stats
         return {
@@ -984,5 +1682,20 @@ class ShardedService:
                 "respawns": stats.respawns,
                 "respawn_failures": stats.respawn_failures,
                 "resizes": stats.resizes,
+                "scrubs": stats.scrubs,
+                "scrub_divergences": stats.scrub_divergences,
+                "scrub_errors": stats.scrub_errors,
+                "read_divergences": stats.read_divergences,
+                "quarantines": stats.quarantines,
+                "repairs": stats.repairs,
+                "degraded_answers": stats.degraded_answers,
+            },
+            "anti_entropy": {
+                "read_mode": self.read_mode,
+                "degraded_mode": self.degraded_mode,
+                "quarantined": [
+                    [site, index] for site, index in quarantined
+                ],
+                "stale_capable": stale_capable,
             },
         }

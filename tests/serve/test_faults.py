@@ -22,6 +22,8 @@ from repro.serve.faults import (
     FaultInjector,
     FaultSchedule,
     FlakyService,
+    corrupt_pipeline_state,
+    corrupt_snapshot_file,
 )
 from repro.serve.frontend import HttpFrontend, ServiceClient
 from repro.serve.protocol import DropResponse, ServiceUnavailable
@@ -310,3 +312,102 @@ class TestFlakyWire:
         )
         assert flaky.sites() == list(SITES)  # not filtered, never dropped
         assert flaky.calls == 0
+
+
+class TestCorruptFault:
+    """The seeded corrupt fault: silent, finite, and exactly replayable."""
+
+    def _solo(self):
+        svc = LocalizationService.from_specs(
+            {"hq": "square-3m"},
+            protocol=PROTOCOL,
+            seed=SEED,
+            share_pipelines=False,
+        )
+        svc.warm()
+        return svc
+
+    def test_state_flip_is_seed_deterministic(self):
+        """Twin services, same seed: the identical (epoch, index, bit)
+        is flipped — the whole fault schedule replays from one integer."""
+        first = corrupt_pipeline_state(self._solo(), "hq", seed=4)
+        second = corrupt_pipeline_state(self._solo(), "hq", seed=4)
+        assert first == second
+        other = corrupt_pipeline_state(self._solo(), "hq", seed=5)
+        assert (other["index"], other["bit"]) != (
+            first["index"],
+            first["bit"],
+        )
+
+    def test_flip_is_silent_but_wrong(self, workloads):
+        """The corrupted pipeline keeps answering (finite values, no
+        exception) with changed bits — the failure mode the scrub owns."""
+        service = self._solo()
+        system = service.pipeline("hq")
+        links = system.deployment.link_count
+        rss = counter_stream(SEED, 400).normal(-55.0, 6.0, size=(4, links))
+        before = service.query_batch("hq", rss, 0.0)
+        version = system.database._version
+        detail = corrupt_pipeline_state(service, "hq", seed=4)
+        assert np.isfinite(detail["after"])
+        assert detail["after"] != detail["before"]
+        assert 2 <= detail["bit"] <= 51  # mantissa-only: stays finite
+        assert system.database._version == version + 1  # cache dropped
+        after = service.query_batch("hq", rss, 0.0)
+        assert np.all(np.isfinite(after.scores))
+        assert not np.array_equal(before.scores, after.scores)
+
+    def test_corrupting_a_site_without_epochs_raises(self):
+        class Empty:
+            class database:
+                @staticmethod
+                def epochs():
+                    return []
+
+        class Stub:
+            @staticmethod
+            def pipeline(site):
+                return Empty()
+
+        with pytest.raises(RuntimeError, match="no epochs"):
+            corrupt_pipeline_state(Stub(), "hq", seed=0)
+
+    def test_snapshot_file_flip_is_seed_deterministic(self, tmp_path):
+        payload = bytes(range(256)) * 4
+        first = tmp_path / "a.snap.npz"
+        second = tmp_path / "b.snap.npz"
+        first.write_bytes(payload)
+        second.write_bytes(payload)
+        left = corrupt_snapshot_file(first, seed=3)
+        # Same name + seed on the twin file: identical byte flipped.
+        twin = tmp_path / "twin" / "a.snap.npz"
+        twin.parent.mkdir()
+        twin.write_bytes(payload)
+        right = corrupt_snapshot_file(twin, seed=3)
+        assert (left["offset"], left["bit"]) == (
+            right["offset"],
+            right["bit"],
+        )
+        assert first.read_bytes() == twin.read_bytes() != payload
+        # The draw is keyed on the file *name* too, so sibling archives
+        # corrupt at independent positions.
+        other = corrupt_snapshot_file(second, seed=3)
+        assert (other["offset"], other["bit"]) != (
+            left["offset"],
+            left["bit"],
+        )
+
+    def test_empty_snapshot_file_rejected(self, tmp_path):
+        empty = tmp_path / "empty.snap.npz"
+        empty.write_bytes(b"")
+        with pytest.raises(ValueError, match="nothing to corrupt"):
+            corrupt_snapshot_file(empty, seed=0)
+
+    def test_schedule_can_carry_corrupt_events(self):
+        schedule = FaultSchedule.generate(
+            seed=6, operations=40, shards=3, faults=8, actions=("corrupt",)
+        )
+        assert all(event.action == "corrupt" for event in schedule.events)
+        assert schedule == FaultSchedule.generate(
+            seed=6, operations=40, shards=3, faults=8, actions=("corrupt",)
+        )

@@ -417,3 +417,163 @@ class TestConcurrentRefresh:
             stop.set()
             thread.join(timeout=10.0)
         assert not errors
+
+
+class _FailingTransport:
+    """Every attempt raises: isolates the client's retry policy."""
+
+    def __init__(self, error=ConnectionError("injected")):
+        self.error = error
+        self.calls = 0
+
+    def call(self, method, params):
+        self.calls += 1
+        raise self.error
+
+    def close(self):
+        pass
+
+
+class _CannedTransport:
+    """Answers every call with one fixed (status, body) pair."""
+
+    def __init__(self, body, status=200):
+        self.status, self.body = status, body
+
+    def call(self, method, params):
+        return self.status, self.body
+
+    def close(self):
+        pass
+
+
+def _sleep_recorder(monkeypatch):
+    import repro.serve.frontend as frontend_module
+
+    sleeps = []
+    monkeypatch.setattr(frontend_module.time, "sleep", sleeps.append)
+    return sleeps
+
+
+class TestRetryJitter:
+    """The backoff schedule is exact under a seed — herd pacing is
+    testable down to the float, while unseeded clients de-synchronize."""
+
+    def _client(self, **kwargs):
+        client = ServiceClient("http://127.0.0.1:9", **kwargs)
+        client._transport = _FailingTransport()
+        return client
+
+    def _expected_schedule(self, seed, retries, backoff, max_backoff):
+        import random
+
+        draws = random.Random(seed)
+        out = []
+        for attempt in range(1, retries + 1):
+            delay = min(backoff * (2 ** (attempt - 1)), max_backoff)
+            out.append(delay * (0.5 + draws.random() / 2))
+        return out
+
+    def test_seeded_schedule_is_exact_and_reproducible(self, monkeypatch):
+        sleeps = _sleep_recorder(monkeypatch)
+        client = self._client(
+            retries=3, backoff=0.05, max_backoff=0.08, jitter_seed=42
+        )
+        with pytest.raises(ServiceUnavailable):
+            client.call("health")
+        assert client._transport.calls == 4  # retries + 1
+        assert sleeps == self._expected_schedule(42, 3, 0.05, 0.08)
+        # Exponential growth up to the cap: 0.05, 0.08, 0.08 nominal.
+        assert sleeps[1] > sleeps[0] * 0.5  # cap reached by retry 2
+        # A second client with the same seed replays the same wall-clock
+        # schedule — "deterministic retry timing" is a real contract.
+        replay = _sleep_recorder(monkeypatch)
+        again = self._client(
+            retries=3, backoff=0.05, max_backoff=0.08, jitter_seed=42
+        )
+        with pytest.raises(ServiceUnavailable):
+            again.call("health")
+        assert replay == sleeps
+
+    def test_different_seeds_de_synchronize(self, monkeypatch):
+        schedules = []
+        for seed in (1, 2):
+            sleeps = _sleep_recorder(monkeypatch)
+            client = self._client(retries=2, jitter_seed=seed)
+            with pytest.raises(ServiceUnavailable):
+                client.call("health")
+            schedules.append(list(sleeps))
+        assert schedules[0] != schedules[1]
+
+    def test_every_delay_is_within_the_jitter_band(self, monkeypatch):
+        sleeps = _sleep_recorder(monkeypatch)
+        client = self._client(retries=4, backoff=0.1, max_backoff=0.3)
+        with pytest.raises(ServiceUnavailable):
+            client.call("health")
+        for attempt, slept in enumerate(sleeps, start=1):
+            nominal = min(0.1 * (2 ** (attempt - 1)), 0.3)
+            assert nominal * 0.5 <= slept <= nominal
+
+    def test_non_idempotent_methods_never_retry(self, monkeypatch):
+        sleeps = _sleep_recorder(monkeypatch)
+        client = self._client(retries=5, jitter_seed=0)
+        with pytest.raises(ConnectionError, match="injected"):
+            client.call("update", {"site": "hq", "day": 1.0})
+        assert client._transport.calls == 1
+        assert sleeps == []
+
+    def test_timeouts_are_terminal_for_every_method(self, monkeypatch):
+        sleeps = _sleep_recorder(monkeypatch)
+        client = self._client(retries=5, jitter_seed=0)
+        client._transport = _FailingTransport(TimeoutError("slow"))
+        with pytest.raises(TimeoutError):
+            client.call("health")
+        assert client._transport.calls == 1
+        assert sleeps == []
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries"):
+            ServiceClient("http://127.0.0.1:9", retries=-1)
+
+
+class TestStaleMarker:
+    """The degraded-mode ``stale`` wire marker parses into the remote
+    result types — and its absence means fresh."""
+
+    def test_query_parses_stale_flag(self):
+        client = ServiceClient("http://127.0.0.1:9")
+        client._transport = _CannedTransport(
+            {"cell": 3, "position": [1.5, 2.5], "score": -0.25, "stale": True}
+        )
+        result = client.query("hq", [0.0, 0.0], 0.0)
+        assert result.stale is True
+        assert result.cell == 3 and result.score == -0.25
+
+    def test_batch_parses_stale_flag_and_defaults_false(self):
+        body = {
+            "cells": [1, 2],
+            "positions": [[0.0, 0.0], [1.0, 1.0]],
+            "scores": [-0.1, -0.2],
+        }
+        client = ServiceClient("http://127.0.0.1:9")
+        client._transport = _CannedTransport(dict(body, stale=True))
+        stale = client.query_batch("hq", np.zeros((2, 2)), 0.0)
+        assert stale.stale is True and stale.frame_count == 2
+        client._transport = _CannedTransport(body)
+        fresh = client.query_batch("hq", np.zeros((2, 2)), 0.0)
+        assert fresh.stale is False
+
+
+class TestDriftAndScrubOverTheWire:
+    def test_drift_reading_round_trips_bit_exactly(self, service, http_client):
+        expected = service.drift("hq", 5.0, frames=8)
+        reading = http_client.drift("hq", 5.0, frames=8)
+        assert reading == expected  # JSON float64 round-trip is exact
+
+    def test_drift_for_unknown_site_maps_to_keyerror(self, http_client):
+        with pytest.raises(KeyError, match="unknown site"):
+            http_client.drift("nowhere", 0.0)
+
+    def test_scrub_on_unsharded_backend_is_a_runtime_error(self, http_client):
+        with pytest.raises(RuntimeError, match="not a sharded service"):
+            http_client.scrub()

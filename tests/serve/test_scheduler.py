@@ -251,3 +251,250 @@ class TestBackgroundDriving:
     def test_sim_clock_maps_wall_time_to_days(self):
         clock = SimClock(start_day=10.0, days_per_second=0.0)
         assert clock() == 10.0
+
+
+class TestDriftPolicy:
+    """policy="drift": refresh on measured degradation, not epoch age."""
+
+    def _drift_service(self):
+        from tests.serve.test_sentinel import QUIET, VOLATILE
+
+        service = LocalizationService.from_specs(
+            {"quiet": QUIET, "volatile": VOLATILE},
+            protocol=PROTOCOL,
+            seed=7,
+        )
+        service.warm()
+        return service
+
+    def _drift_config(self, **overrides):
+        kwargs = dict(
+            policy="drift",
+            interval_days=30.0,
+            drift_threshold_m=0.75,
+            drift_frames=64,
+        )
+        kwargs.update(overrides)
+        return SchedulerConfig(**kwargs)
+
+    def test_refreshes_degraded_site_before_age_policy_would(self):
+        """The PR-7 acceptance criterion: at day 5 the volatile site has
+        measurably degraded but is nowhere near the 30-day age
+        threshold — drift plans its refresh, age plans nothing."""
+        service = self._drift_service()
+        drift_plan = UpdateScheduler(service, self._drift_config()).plan(5.0)
+        assert [(site, action) for site, action, _ in drift_plan] == [
+            ("volatile", "update")
+        ]
+        age_plan = UpdateScheduler(
+            service, SchedulerConfig(policy="interval", interval_days=30.0)
+        ).plan(5.0)
+        assert age_plan == []
+
+    def test_staleness_slot_carries_measured_degradation(self):
+        service = self._drift_service()
+        (site, _, degradation), = UpdateScheduler(
+            service, self._drift_config()
+        ).plan(5.0)
+        assert site == "volatile"
+        assert degradation >= 0.75
+
+    def test_refresh_clears_the_drift_signal(self):
+        service = self._drift_service()
+        scheduler = UpdateScheduler(service, self._drift_config())
+        actions = scheduler.tick(5.0)
+        assert [action.site for action in actions] == ["volatile"]
+        assert scheduler.plan(5.0) == []
+        assert scheduler.stats.updates == 1
+
+    def test_cold_sites_are_skipped_not_probed(self):
+        """A cold site is planned for commissioning (the shared cold
+        contract), never probed for drift — no update action appears."""
+        service = self._drift_service()
+        cold = LocalizationService.from_specs(
+            {"quiet": service.manager.spec("quiet")},
+            protocol=PROTOCOL,
+            seed=7,
+        )
+        planned = UpdateScheduler(cold, self._drift_config()).plan(5.0)
+        assert planned == [("quiet", "commission", None)]
+        skip = self._drift_config(cold="skip")
+        assert UpdateScheduler(cold, skip).plan(5.0) == []
+
+    def test_budget_caps_drift_plan(self):
+        service = self._drift_service()
+        config = self._drift_config(drift_threshold_m=1e-9, budget=1)
+        planned = UpdateScheduler(service, config).plan(5.0)
+        assert len(planned) == 1
+        assert planned[0][0] == "volatile"  # most degraded wins the slot
+
+    def test_most_degraded_site_is_planned_first(self):
+        service = self._drift_service()
+        config = self._drift_config(drift_threshold_m=1e-9)
+        planned = UpdateScheduler(service, config).plan(5.0)
+        assert planned[0][0] == "volatile"
+        degradations = [degradation for _, _, degradation in planned]
+        assert degradations == sorted(degradations, reverse=True)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="drift_threshold_m"):
+            SchedulerConfig(policy="drift", drift_threshold_m=0.0)
+        with pytest.raises(ValueError, match="drift_frames"):
+            SchedulerConfig(policy="drift", drift_frames=0)
+
+
+class _MaintenanceStub:
+    """A serving surface with a canned snapshot-lifecycle report."""
+
+    def __init__(self, report=None):
+        self.passes = 0
+        self.report = report or {"files_removed": 2, "bytes_reclaimed": 1024}
+
+    def sites(self):
+        return []
+
+    def staleness(self, site, day):  # pragma: no cover - no sites
+        return None
+
+    def snapshot_maintenance(self):
+        self.passes += 1
+        return dict(self.report)
+
+
+class TestSnapshotCadence:
+    def test_first_tick_snapshots_then_respects_cadence(self):
+        service = _MaintenanceStub()
+        scheduler = UpdateScheduler(
+            service, SchedulerConfig(snapshot_cadence_days=2.0)
+        )
+        scheduler.tick(0.0)
+        assert service.passes == 1
+        assert scheduler.stats.snapshot_runs == 1
+        assert scheduler.stats.last_snapshot_day == 0.0
+        scheduler.tick(1.0)
+        assert service.passes == 1  # within the cadence window
+        scheduler.tick(2.0)
+        assert service.passes == 2
+        assert scheduler.stats.last_snapshot_day == 2.0
+
+    def test_lifecycle_stats_accumulate(self):
+        service = _MaintenanceStub()
+        scheduler = UpdateScheduler(
+            service, SchedulerConfig(snapshot_cadence_days=1.0)
+        )
+        scheduler.tick(0.0)
+        scheduler.tick(1.0)
+        assert scheduler.stats.snapshot_runs == 2
+        assert scheduler.stats.snapshot_files_removed == 4
+        assert scheduler.stats.snapshot_bytes_reclaimed == 2048
+
+    def test_no_cadence_means_no_lifecycle_calls(self):
+        service = _MaintenanceStub()
+        scheduler = UpdateScheduler(service, SchedulerConfig())
+        scheduler.tick(0.0)
+        scheduler.tick(100.0)
+        assert service.passes == 0
+        assert scheduler.stats.snapshot_runs == 0
+
+    def test_backend_without_maintenance_is_tolerated(self):
+        class Bare:
+            def sites(self):
+                return []
+
+        scheduler = UpdateScheduler(
+            Bare(), SchedulerConfig(snapshot_cadence_days=1.0)
+        )
+        scheduler.tick(0.0)  # must not raise
+        assert scheduler.stats.snapshot_runs == 0
+
+    def test_real_service_lifecycle_through_ticks(self, tmp_path):
+        service = LocalizationService.from_specs(
+            {"hq": "square-3m"},
+            protocol=PROTOCOL,
+            seed=SEED,
+            snapshot_dir=tmp_path,
+            snapshot_keep=2,
+        )
+        service.warm()
+        scheduler = UpdateScheduler(
+            service,
+            SchedulerConfig(
+                policy="interval", interval_days=1.0, snapshot_cadence_days=1.0
+            ),
+        )
+        for day in range(5):
+            scheduler.tick(float(day))
+        assert scheduler.stats.snapshot_runs == 5
+        files = service.manager.snapshot_store.files()
+        assert len(files) <= 2
+        assert service.manager.snapshot_store.pruned_files >= 1
+
+    def test_cadence_validation(self):
+        with pytest.raises(ValueError, match="snapshot_cadence_days"):
+            SchedulerConfig(snapshot_cadence_days=0.0)
+
+
+class TestStopMidTick:
+    def test_stop_joins_after_inflight_tick_completes_fully(self):
+        """stop() mid-tick: the in-flight refresh is never half-applied
+        and the thread is joined, not leaked."""
+        service = fresh_service()
+        entered = threading.Event()
+        release = threading.Event()
+        real_update = service.update
+
+        def slow_update(site, day, cold="raise"):
+            entered.set()
+            assert release.wait(10.0), "test deadlock: release never set"
+            return real_update(site, day, cold=cold)
+
+        service.update = slow_update
+        scheduler = UpdateScheduler(
+            service, SchedulerConfig(interval_days=1.0)
+        )
+        scheduler.start(
+            SimClock(start_day=30.0, days_per_second=0.0),
+            period_seconds=0.01,
+        )
+        assert entered.wait(10.0)
+        stopper = threading.Thread(target=scheduler.stop)
+        stopper.start()
+        release.set()
+        stopper.join(timeout=10.0)
+        assert not stopper.is_alive()
+        assert scheduler._thread is None
+        # The tick that was in flight applied its epochs completely:
+        # every site it refreshed has a full day-30 epoch and answers.
+        assert scheduler.stats.ticks >= 1
+        for site in SITES:
+            epochs = service.manager.pipeline(site).database.epochs()
+            assert [epoch.day for epoch in epochs] == sorted(
+                epoch.day for epoch in epochs
+            )
+        ticks = scheduler.stats.ticks
+        threading.Event().wait(0.1)
+        assert scheduler.stats.ticks == ticks  # nothing runs after stop
+
+    def test_stop_timeout_warns_about_stuck_tick(self):
+        service = fresh_service(warm=False)
+        entered = threading.Event()
+        release = threading.Event()
+
+        def stuck_update(site, day, cold="raise"):
+            entered.set()
+            release.wait(30.0)
+
+        def stuck_commission(site, day):
+            entered.set()
+            release.wait(30.0)
+
+        service.update = stuck_update
+        service.commission = stuck_commission
+        scheduler = UpdateScheduler(
+            service, SchedulerConfig(interval_days=1.0, cold="commission")
+        )
+        scheduler.start(SimClock(30.0, 0.0), period_seconds=0.01)
+        assert entered.wait(10.0)
+        with pytest.warns(RuntimeWarning, match="did not stop"):
+            scheduler.stop(timeout=0.1)
+        release.set()  # let the daemon finish; it dies with the test

@@ -1,0 +1,309 @@
+"""Anti-entropy e2e: quorum read-repair, scrub, degraded-mode serving.
+
+The trust contracts, per :class:`repro.serve.shard.ShardedService`:
+
+* a corrupted replica under ``read_mode="quorum"`` never changes a
+  client answer — the divergence is alarmed (``read_divergences``),
+  the liar quarantined and read-repaired from the authoritative
+  snapshot, all inside the read;
+* corruption in a replica that no read touches is found by the scrub
+  (``scrub_divergences``) and repaired the same way;
+* when every replica of a site is down and ``degraded_mode`` is on,
+  the fleet answers from the last verified snapshot with an explicit
+  ``stale`` marker instead of raising ServiceUnavailable;
+* background refresh racing a live resize leaves the fleet scrub-clean
+  (replica bit-agreement is the proof that no epoch was half-applied).
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    LocalizationService,
+    ShardedService,
+    SimClock,
+    StaleAnswer,
+    UpdateScheduler,
+)
+from repro.serve.faults import FaultInjector
+from repro.serve.protocol import ServiceUnavailable
+from repro.serve.scheduler import SchedulerConfig
+from repro.sim.collector import CollectionProtocol
+from repro.util.rng import counter_stream
+
+PROTOCOL = CollectionProtocol(samples_per_cell=2, empty_room_samples=5)
+SITES = {"hq": "square-3m", "lab": "square-4m"}
+SEED = 2016
+
+
+@pytest.fixture(scope="module")
+def reference():
+    svc = LocalizationService.from_specs(
+        SITES, protocol=PROTOCOL, seed=SEED, share_pipelines=False
+    )
+    svc.warm()
+    return svc
+
+
+@pytest.fixture(scope="module")
+def workloads(reference):
+    out = {}
+    for index, site in enumerate(SITES):
+        links = reference.pipeline(site).deployment.link_count
+        out[site] = counter_stream(SEED, 300 + index).normal(
+            -55.0, 6.0, size=(5, links)
+        )
+    return out
+
+
+@pytest.fixture(scope="module")
+def expected(reference, workloads):
+    return {
+        site: reference.query_batch(site, rss, 0.0)
+        for site, rss in workloads.items()
+    }
+
+
+def make_fleet(tmp_path, **overrides):
+    kwargs = dict(
+        shards=3,
+        replicas=2,
+        snapshot_dir=tmp_path / "snapshots",
+        call_timeout=30.0,
+        read_mode="quorum",
+        degraded_mode=True,
+        protocol=PROTOCOL,
+        seed=SEED,
+    )
+    kwargs.update(overrides)
+    service = ShardedService(SITES, **kwargs)
+    service.warm()
+    return service
+
+
+@pytest.fixture()
+def fleet(tmp_path):
+    service = make_fleet(tmp_path)
+    yield service
+    service.close()
+
+
+def _identical(result, expect):
+    return (
+        np.array_equal(result.cells, expect.cells)
+        and np.array_equal(result.positions, expect.positions)
+        and np.array_equal(result.scores, expect.scores)
+    )
+
+
+class TestValidation:
+    """Constructor contracts reject nonsense before any worker spawns."""
+
+    def test_unknown_read_mode_rejected(self):
+        with pytest.raises(ValueError, match="read_mode"):
+            ShardedService(SITES, read_mode="paxos", protocol=PROTOCOL)
+
+    def test_scrub_frames_must_be_positive(self):
+        with pytest.raises(ValueError, match="scrub_frames"):
+            ShardedService(SITES, scrub_frames=0, protocol=PROTOCOL)
+
+    def test_degraded_mode_requires_snapshot_dir(self):
+        with pytest.raises(ValueError, match="snapshot_dir"):
+            ShardedService(SITES, degraded_mode=True, protocol=PROTOCOL)
+
+
+class TestQuorumReadRepair:
+    def test_corrupt_primary_never_changes_a_client_answer(
+        self, fleet, workloads, expected
+    ):
+        """The headline gate: a lying primary is outvoted, alarmed,
+        quarantined, and repaired — all inside the read path."""
+        injector = FaultInjector(fleet)
+        detail = injector.corrupt(
+            fleet.replicas["hq"][0], site="hq", seed=5
+        )
+        assert detail is not None and detail["before"] != detail["after"]
+        for _ in range(2):
+            for site, rss in workloads.items():
+                result = fleet.query_batch(site, rss, 0.0)
+                assert _identical(result, expected[site])
+                assert not getattr(result, "stale", False)
+        stats = fleet.router_stats
+        assert stats.read_divergences >= 1
+        assert stats.quarantines >= 1
+        assert stats.repairs >= 1
+        # The repair was verified before the replica rejoined: a scrub
+        # right after finds nothing, and nothing is still held out.
+        report = fleet.scrub()
+        assert report["divergent_sites"] == []
+        assert fleet.quarantined_replicas() == []
+
+
+class TestScrub:
+    def test_scrub_finds_silent_secondary_corruption(
+        self, fleet, workloads, expected
+    ):
+        """A corrupted secondary that serves no reads is invisible to
+        clients — only the background scrub can catch it."""
+        injector = FaultInjector(fleet)
+        secondary = fleet.replicas["lab"][1]
+        assert injector.corrupt(secondary, site="lab", seed=9) is not None
+        report = fleet.scrub()
+        assert report["sites_checked"] == len(SITES)
+        assert report["divergent_sites"] == ["lab"]
+        assert report["quarantined"] >= 1
+        assert report["repaired"] >= 1
+        assert fleet.router_stats.scrub_divergences >= 1
+        # Repaired and verified: the next pass is clean and answers are
+        # back to reference bits.
+        assert fleet.scrub()["divergent_sites"] == []
+        assert fleet.quarantined_replicas() == []
+        post = fleet.query_batch("lab", workloads["lab"], 0.0)
+        assert _identical(post, expected["lab"])
+
+    def test_scrub_subset_and_unknown_site(self, fleet):
+        report = fleet.scrub(sites=["hq"])
+        assert report["sites_checked"] == 1
+        with pytest.raises(KeyError, match="unknown site"):
+            fleet.scrub(sites=["nowhere"])
+
+    def test_background_scrub_thread_lifecycle(self, fleet):
+        assert fleet.start_scrub(interval_seconds=0.05) is fleet
+        with pytest.raises(RuntimeError, match="already running"):
+            fleet.start_scrub(interval_seconds=0.05)
+        deadline = time.monotonic() + 10.0
+        while fleet.router_stats.scrubs < 2:
+            assert time.monotonic() < deadline, "scrub thread never ran"
+            time.sleep(0.02)
+        fleet.stop_scrub()
+        assert fleet._scrub_thread is None
+        settled = fleet.router_stats.scrubs
+        time.sleep(0.15)
+        assert fleet.router_stats.scrubs == settled  # really stopped
+        fleet.stop_scrub()  # idempotent
+
+    def test_start_scrub_rejects_non_positive_interval(self, fleet):
+        with pytest.raises(ValueError, match="interval_seconds"):
+            fleet.start_scrub(interval_seconds=0.0)
+
+    def test_health_reports_anti_entropy_section(self, fleet):
+        report = fleet.health()
+        section = report["anti_entropy"]
+        assert section["read_mode"] == "quorum"
+        assert section["degraded_mode"] is True
+        assert section["quarantined"] == []
+        # A held-out replica degrades health until repair clears it.
+        fleet._quarantine("hq", fleet.replicas["hq"][1])
+        report = fleet.health()
+        assert report["status"] == "degraded"
+        assert ["hq", fleet.replicas["hq"][1]] in report["anti_entropy"][
+            "quarantined"
+        ]
+        fleet._unquarantine("hq", fleet.replicas["hq"][1])
+        assert fleet.health()["status"] == "ok"
+
+    def test_quarantined_replica_blocks_updates(self, fleet):
+        """Mutations need the full trusted replica set: a quarantined
+        replica would silently miss the refresh and drift."""
+        fleet._quarantine("hq", fleet.replicas["hq"][1])
+        with pytest.raises(ServiceUnavailable, match="quarantined"):
+            fleet.update("hq", 5.0)
+        fleet._unquarantine("hq", fleet.replicas["hq"][1])
+        report = fleet.update("hq", 5.0)
+        assert report is not None and report.samples_taken > 0
+
+    def test_resize_prunes_quarantine_entries_for_lost_replicas(
+        self, fleet
+    ):
+        """(site, shard) quarantine pairs name the old layout; a resize
+        must drop any that no longer point at an owning replica."""
+        fleet._quarantine("hq", 2)
+        fleet._quarantine("lab", 2)
+        fleet.resize(2)  # shard 2 retired; R=2 over 2 shards owns all
+        for site, index in fleet.quarantined_replicas():
+            assert index in fleet.replicas[site]
+        assert all(
+            index != 2 for _, index in fleet.quarantined_replicas()
+        )
+
+
+class TestDegradedMode:
+    def test_all_replicas_down_serves_stale_snapshot_answer(
+        self, tmp_path, workloads, expected
+    ):
+        """Losing every replica of a site yields the last verified
+        snapshot's bits, explicitly marked stale — not an exception."""
+        service = make_fleet(tmp_path, auto_respawn=False)
+        try:
+            for index in set(service.replicas["hq"]):
+                os.kill(service._shards[index].process.pid, signal.SIGKILL)
+                service._shards[index].process.join(timeout=5.0)
+            result = service.query_batch("hq", workloads["hq"], 0.0)
+            assert isinstance(result, StaleAnswer)
+            assert result.stale is True
+            assert _identical(result, expected["hq"])
+            assert len(result) == workloads["hq"].shape[0]
+            assert service.router_stats.degraded_answers >= 1
+            report = service.health()
+            assert "hq" in report["anti_entropy"]["stale_capable"]
+            assert report["status"] == "degraded"  # stale cover counts
+        finally:
+            service.close()
+
+    def test_without_degraded_mode_the_same_loss_raises(
+        self, tmp_path, workloads
+    ):
+        service = make_fleet(
+            tmp_path,
+            read_mode="failover",
+            degraded_mode=False,
+            auto_respawn=False,
+        )
+        try:
+            for index in set(service.replicas["hq"]):
+                os.kill(service._shards[index].process.pid, signal.SIGKILL)
+                service._shards[index].process.join(timeout=5.0)
+            with pytest.raises(ServiceUnavailable):
+                service.query_batch("hq", workloads["hq"], 0.0)
+        finally:
+            service.close()
+
+
+class TestResizeUnderRefresh:
+    def test_resize_racing_scheduler_updates_stays_scrub_clean(
+        self, fleet, workloads, expected
+    ):
+        """A live resize while the background scheduler refreshes: no
+        leaked threads, and a final scrub proves every replica holds the
+        same bits — no epoch was half-applied across the handoff."""
+        scheduler = UpdateScheduler(
+            fleet,
+            SchedulerConfig(policy="interval", interval_days=0.5),
+        )
+        scheduler.start(
+            SimClock(start_day=0.0, days_per_second=2.0),
+            period_seconds=0.05,
+        )
+        try:
+            for size in (2, 4, 2):
+                fleet.resize(size)
+                for site, rss in workloads.items():
+                    result = fleet.query_batch(site, rss, 0.0)
+                    assert _identical(result, expected[site])
+        finally:
+            scheduler.stop()
+        assert scheduler._thread is None
+        # Replica bit-agreement across every site: whatever refreshes
+        # landed, they landed on the whole replica set or not at all.
+        report = fleet.scrub()
+        assert report["divergent_sites"] == []
+        assert fleet.quarantined_replicas() == []
+        # Day-0 epochs were never touched by later refreshes.
+        for site, rss in workloads.items():
+            assert _identical(
+                fleet.query_batch(site, rss, 0.0), expected[site]
+            )

@@ -1,0 +1,155 @@
+"""Drift sentinel: measured degradation from held-out probes.
+
+The contracts under test, per :mod:`repro.serve.sentinel`:
+
+* probe streams are deterministic and independent of serving streams —
+  measuring drift twice gives the identical reading and perturbs no
+  serving answer by a single bit;
+* the reading *separates* environments: a quiet site (tiny channel
+  drift) reads near-zero degradation while a volatile one reads large,
+  so a threshold between them is a meaningful refresh trigger;
+* the error contract mirrors queries (RuntimeError uncommissioned,
+  LookupError before the first epoch, None/KeyError through the
+  service wrapper for cold/unknown sites).
+
+The quiet/volatile recipe here is the calibrated PR-7 separation point
+(square-5m, day 5, 64 probe frames, threshold 0.75 m) that the
+scheduler's drift-policy tests reuse.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.serve import LocalizationService
+from repro.serve.sentinel import measure_drift, probe_seed
+from repro.sim.collector import CollectionProtocol
+from repro.sim.specs import DriftSpec, get_scenario_spec
+from repro.util.rng import counter_stream
+
+PROTOCOL = CollectionProtocol(samples_per_cell=2, empty_room_samples=5)
+SEED = 7
+PROBE_DAY = 5.0
+PROBE_FRAMES = 64
+
+
+def drift_spec(name, sigma_daily, rho):
+    """A square-5m variant with a custom drift regime (the PR-7 recipe)."""
+    return dataclasses.replace(
+        get_scenario_spec("square-5m"),
+        name=name,
+        drift=DriftSpec(
+            model="gauss-markov", sigma_daily=sigma_daily, rho=rho
+        ),
+    )
+
+
+QUIET = drift_spec("quiet-room", 0.2, 0.988)
+VOLATILE = drift_spec("volatile-room", 5.0, 0.9)
+
+
+def fresh_service(warm=True):
+    service = LocalizationService.from_specs(
+        {"quiet": QUIET, "volatile": VOLATILE}, protocol=PROTOCOL, seed=SEED
+    )
+    if warm:
+        service.warm()
+    return service
+
+
+def probe_frames(system, count=6):
+    links = system.deployment.link_count
+    return counter_stream(SEED, 11).normal(-55.0, 6.0, size=(count, links))
+
+
+class TestProbeSeed:
+    def test_deterministic(self):
+        assert probe_seed(7, "abc") == probe_seed(7, "abc")
+
+    def test_distinct_per_identity_and_seed(self):
+        seeds = {
+            probe_seed(7, "abc"),
+            probe_seed(7, "xyz"),
+            probe_seed(8, "abc"),
+        }
+        assert len(seeds) == 3
+
+
+class TestMeasureDrift:
+    def test_reading_is_deterministic(self):
+        service = fresh_service()
+        first = service.drift("volatile", PROBE_DAY, frames=16)
+        second = service.drift("volatile", PROBE_DAY, frames=16)
+        assert first == second
+
+    def test_reading_fields_are_consistent(self):
+        service = fresh_service()
+        reading = service.drift("volatile", PROBE_DAY, frames=16)
+        assert reading["site"] == "volatile"
+        assert reading["day"] == PROBE_DAY
+        assert reading["epoch_day"] == 0.0
+        assert reading["frames"] == 16
+        assert reading["degradation_m"] == pytest.approx(
+            reading["probe_error_m"] - reading["baseline_error_m"]
+        )
+
+    def test_separates_quiet_from_volatile(self):
+        """The calibrated separation the drift policy's threshold sits in."""
+        service = fresh_service()
+        quiet = service.drift("quiet", PROBE_DAY, frames=PROBE_FRAMES)
+        volatile = service.drift("volatile", PROBE_DAY, frames=PROBE_FRAMES)
+        assert quiet["degradation_m"] < 0.75 < volatile["degradation_m"]
+
+    def test_measurement_never_perturbs_serving_answers(self):
+        service = fresh_service()
+        frames = probe_frames(service.pipeline("quiet"))
+        before = service.query_batch("quiet", frames, 0.0)
+        for _ in range(3):
+            service.drift("quiet", PROBE_DAY, frames=8)
+        after = service.query_batch("quiet", frames, 0.0)
+        assert np.array_equal(before.cells, after.cells)
+        assert np.array_equal(before.positions, after.positions)
+        assert np.array_equal(before.scores, after.scores)
+
+    def test_measurement_never_perturbs_future_updates(self):
+        """The probe stream is disjoint from the collector's streams."""
+        probed = fresh_service()
+        probed.drift("volatile", PROBE_DAY, frames=8)
+        probed.update("volatile", PROBE_DAY)
+        untouched = fresh_service()
+        untouched.update("volatile", PROBE_DAY)
+        left = probed.pipeline("volatile").database.epochs()[-1]
+        right = untouched.pipeline("volatile").database.epochs()[-1]
+        assert np.array_equal(left.values, right.values)
+
+    def test_uncommissioned_pipeline_raises(self):
+        class Cold:
+            commissioned = False
+
+            class database:
+                epoch_count = 0
+
+        with pytest.raises(RuntimeError, match="not commissioned"):
+            measure_drift(Cold(), 0.0, seed=1)
+
+    def test_day_before_first_epoch_raises_lookup(self):
+        service = fresh_service()
+        with pytest.raises(LookupError):
+            service.drift("quiet", -1.0)
+
+    def test_frames_validation(self):
+        service = fresh_service()
+        with pytest.raises(ValueError, match="frames"):
+            measure_drift(service.pipeline("quiet"), 0.0, frames=0, seed=1)
+
+
+class TestServiceWrapper:
+    def test_cold_site_returns_none(self):
+        service = fresh_service(warm=False)
+        assert service.drift("quiet", PROBE_DAY) is None
+
+    def test_unknown_site_raises_keyerror(self):
+        service = fresh_service(warm=False)
+        with pytest.raises(KeyError, match="unknown site"):
+            service.drift("nowhere", PROBE_DAY)

@@ -20,6 +20,7 @@ from repro.serve.manager import SiteManager
 from repro.serve.snapshot import (
     SNAPSHOT_VERSION,
     SnapshotError,
+    SnapshotStore,
     load_snapshot,
     restore_into,
     save_snapshot,
@@ -240,3 +241,118 @@ class TestExplicitApi:
                 protocol_fingerprint=None,
                 seed_key=0,
             )
+
+
+class TestSnapshotStore:
+    """Lifecycle: versioned retention, digest dedupe, scrub quarantine."""
+
+    def _versioned(self, tmp_path, keep=2):
+        manager = _manager(tmp_path, snapshot_keep=keep)
+        manager.register("site", "square-3m")
+        manager.pipeline("site")  # commission writes version 1
+        return manager
+
+    def test_keep_last_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="keep_last"):
+            SnapshotStore(tmp_path, keep_last=0)
+        with pytest.raises(ValueError, match="snapshot_keep"):
+            _manager(None, snapshot_keep=2, snapshot_dir=None)
+
+    def test_retention_bounds_history_and_counts_prunes(self, tmp_path):
+        """Six refresh days through keep-last-2: the directory never
+        holds more than two versions, and the store's lifetime counters
+        record every inline prune."""
+        manager = self._versioned(tmp_path, keep=2)
+        store = manager.snapshot_store
+        max_files = 0
+        for day in range(1, 7):
+            manager.update("site", float(day))  # auto-snapshots inline
+            max_files = max(max_files, len(store.files()))
+        assert max_files <= 2
+        assert store.pruned_files >= 4  # v1..v5 pruned along the way
+        assert store.pruned_bytes > 0
+        # Every surviving file is a versioned name of the one base.
+        base = manager.snapshot_path("site").name.removesuffix(".snap.npz")
+        for path in store.files():
+            assert path.name.startswith(f"{base}.v")
+
+    def test_snapshot_site_dedupes_identical_state_by_digest(self, tmp_path):
+        """Unchanged state re-snapshotted returns the existing file —
+        replicas sharing a directory must not churn identical versions."""
+        manager = self._versioned(tmp_path)
+        first = manager.snapshot_site("site")
+        again = manager.snapshot_site("site")
+        assert again == first
+        assert len(manager.snapshot_store.files()) == 1
+        manager.update("site", 3.0)  # state changed: a new version lands
+        newer = manager.snapshot_site("site")
+        assert newer != first
+
+    def test_scrub_quarantines_corrupt_file_out_of_the_restore_path(
+        self, tmp_path
+    ):
+        """A bit-flipped version is renamed ``.corrupt`` (evidence kept,
+        restore path cleared) and a fresh manager falls back to the
+        surviving older version — bit-identically."""
+        manager = self._versioned(tmp_path, keep=3)
+        manager.update("site", 2.0)
+        store = manager.snapshot_store
+        newest = store.latest(manager.snapshot_path("site"))
+        survivor = store.candidates(manager.snapshot_path("site"))[1]
+        raw = bytearray(newest.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        newest.write_bytes(bytes(raw))
+        report = store.scrub()
+        assert report["corrupt"] == 1
+        assert report["quarantined"] == [newest.name]
+        assert not newest.exists()
+        assert newest.with_name(newest.name + ".corrupt").exists()
+        assert store.latest(manager.snapshot_path("site")) == survivor
+        # The fallback restore answers with the survivor's exact bits.
+        revived = _manager(tmp_path, snapshot_keep=3)
+        revived.register("site", "square-3m")
+        restored = revived.pipeline("site")
+        assert revived.stats.snapshots_restored == 1
+        original = load_snapshot(survivor)
+        for left, right in zip(
+            restored.database.epochs(), original.epochs
+        ):
+            assert np.array_equal(left.values, right.values)
+
+    def test_compact_without_policy_is_a_no_op(self, tmp_path):
+        manager = self._versioned(tmp_path, keep=None)
+        store = manager.snapshot_store
+        manager.update("site", 1.0)
+        report = store.compact()
+        assert report == {"files_removed": 0, "bytes_reclaimed": 0}
+        assert store.pruned_files == 0
+        # Unversioned mode keeps the PR-6 single-file layout intact.
+        assert store.files() == [manager.snapshot_path("site")]
+
+    def test_maintenance_reports_per_pass_deltas(self, tmp_path):
+        """snapshot_maintenance reports the prune work of *its* pass as
+        a delta of the store's lifetime counters — prunes that happened
+        inline between passes stay in the lifetime totals only."""
+        manager = self._versioned(tmp_path, keep=1)
+        store = manager.snapshot_store
+        report = manager.snapshot_maintenance()
+        assert report["enabled"] is True
+        assert report["checked"] == len(store.files())
+        assert report["corrupt"] == 0
+        manager.update("site", 4.0)  # v2 saved, v1 pruned inline
+        inline_prunes = store.pruned_files
+        assert inline_prunes >= 1
+        # Loosen retention, grow history, tighten back: the next pass's
+        # compact does real work and the report must show exactly it.
+        store.keep_last = 3
+        manager.update("site", 5.0)
+        manager.update("site", 6.0)
+        store.keep_last = 1
+        backlog = len(store.files()) - 1
+        assert backlog >= 1
+        follow_up = manager.snapshot_maintenance()
+        assert follow_up["files_removed"] == backlog
+        assert follow_up["bytes_reclaimed"] > 0
+        assert len(store.files()) == 1
+        assert store.pruned_files == inline_prunes + backlog
+        assert follow_up["total_bytes"] == store.total_bytes()
