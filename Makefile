@@ -1,9 +1,10 @@
 # Developer entry points. `make test` is the tier-1 gate; `make bench`
-# produces the committed perf-trajectory point (BENCH_PR7.json, which now
-# includes the serving, wire-frontend, shard, resilience, and trust
-# sections). CI runs `make bench-smoke` (writes BENCH_SMOKE.json —
-# PR-agnostic, never clobbers a committed BENCH_PR*.json), `make
-# frontend-smoke` (the wire/shard bit-identity gate) and `make
+# produces the committed perf-trajectory point (BENCH_PR8.json, which now
+# includes the serving, wire-frontend, shard, asyncio-frontend,
+# resilience, and trust sections). CI runs `make bench-smoke` (writes
+# BENCH_SMOKE.json — PR-agnostic, never clobbers a committed
+# BENCH_PR*.json), `make
+# frontend-smoke` (the wire/shard/aio bit-identity gate) and `make
 # resilience-smoke` (kill -9 / snapshot-restore / resize gate plus the
 # PR-7 anti-entropy trust gates: quorum read-repair under a corrupted
 # replica, scrub detection of silent corruption, degraded-mode stale
@@ -24,7 +25,7 @@ lint:
 	ruff format --check .
 
 bench:
-	$(PYTHON) benchmarks/bench_perf.py --out BENCH_PR7.json
+	$(PYTHON) benchmarks/bench_perf.py --out BENCH_PR8.json
 
 # Writes to BENCH_SMOKE.json (gitignored territory) so a local smoke run
 # never clobbers the committed full-bench BENCH_PR6.json; CI uploads the

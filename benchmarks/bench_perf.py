@@ -1,9 +1,9 @@
 #!/usr/bin/env python
-"""Run the performance benchmark and write BENCH_PR7.json.
+"""Run the performance benchmark and write BENCH_PR8.json.
 
 Usage::
 
-    python benchmarks/bench_perf.py [--out BENCH_PR7.json]
+    python benchmarks/bench_perf.py [--out BENCH_PR8.json]
         [--sizes paper square-6m square-12m warehouse ...] [--frames 500]
         [--repeat 3] [--jobs 2] [--scenario paper] [--smoke]
 
@@ -18,7 +18,10 @@ multi-site serving layer (cold vs warm, single vs batch, matcher-cache
 speedup, queries/sec across all ``--sizes`` in one process), plus the wire
 front-end and shard layer (HTTP / unix-socket round-trip latency and q/s
 vs in-process, shard fan-out scaling, all bit-identity-gated), plus the
-fault-tolerant fleet (failed-query count and tail-latency perturbation
+asyncio front-end (closed-loop pipelined driver over 1/2/4 persistent
+connections with p50/p95/p99 and sustained q/s, the aio-vs-threaded-HTTP
+speedup, and the chunk-streamed ``query_trace`` path gated on bit-identity
+and flat peak per-message buffering), plus the fault-tolerant fleet (failed-query count and tail-latency perturbation
 across a ``kill -9`` under load, recovery time, snapshot-warm vs
 cold-survey restore speedup — R >= 2 must lose zero queries), plus the
 anti-entropy trust layer (quorum-read overhead vs failover, the corrupt
@@ -26,7 +29,7 @@ fault's detect-and-repair episode with the mismatched-answer count
 clients saw, the keep-last-K snapshot soak, drift-probe cost). ``--smoke``
 runs a seconds-scale subset for CI and honors ``--out`` so the workflow can
 upload the JSON as an artifact (the CI convention is ``make bench-smoke``
-→ ``BENCH_SMOKE.json``; the committed full run is ``BENCH_PR7.json``). See
+→ ``BENCH_SMOKE.json``; the committed full run is ``BENCH_PR8.json``). See
 EXPERIMENTS.md for the recorded trajectory and how to read the numbers.
 The file name is intentionally ``bench_*`` (not ``test_*``) so pytest's
 benchmark collection does not pick it up.
@@ -55,7 +58,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out",
         default=None,
-        help="output JSON path (default: BENCH_PR7.json; with --smoke, no "
+        help="output JSON path (default: BENCH_PR8.json; with --smoke, no "
         "file is written unless --out is given)",
     )
     parser.add_argument(
@@ -96,6 +99,8 @@ def main(argv=None) -> int:
             serving_sites=("square-3m", "square-4m"),
             frontend_sites=("square-3m", "square-4m"),
             frontend_shards=(1, 2),
+            frontend_async_sites=("square-3m",),
+            frontend_async_connections=(1, 2),
             resilience_sites=("square-3m", "square-4m"),
             resilience_shards=2,
             resilience_replicas=2,
@@ -124,6 +129,29 @@ def main(argv=None) -> int:
         if not (wire_ok and shard_ok):
             print(
                 "FAIL: wire/shard answers differ from in-process service",
+                file=sys.stderr,
+            )
+            return 1
+        frontend_async = report["frontend_async"]
+        aio_ok = all(
+            row["bit_identical"]
+            for row in frontend_async["per_site"].values()
+        )
+        streaming = frontend_async["trace_streaming"]
+        stream_ok = all(
+            row["bit_identical"] for row in streaming["lengths"].values()
+        )
+        if not (aio_ok and stream_ok):
+            print(
+                "FAIL: asyncio front-end answers differ from in-process "
+                "service",
+                file=sys.stderr,
+            )
+            return 1
+        if not streaming["buffering_flat"]:
+            print(
+                "FAIL: streamed query_trace peak buffering grows with "
+                "trace length",
                 file=sys.stderr,
             )
             return 1
@@ -162,7 +190,7 @@ def main(argv=None) -> int:
             return 1
         return 0
 
-    out = args.out or "BENCH_PR7.json"
+    out = args.out or "BENCH_PR8.json"
     report = run_perf_bench(
         sizes=args.sizes,
         frames=args.frames,
@@ -174,6 +202,7 @@ def main(argv=None) -> int:
         engine_scenario=args.scenario,
         serving_sites=tuple(args.sizes),
         frontend_sites=tuple(args.sizes),
+        frontend_async_sites=tuple(args.sizes),
         resilience_sites=("square-3m", "square-4m", "square-5m"),
         trust_sites=("square-3m", "square-4m"),
     )

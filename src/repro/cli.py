@@ -72,6 +72,7 @@ from repro.eval.experiments import (
 )
 from repro.eval.reporting import format_cdf_table, format_summary, format_table
 from repro.serve import (
+    AioFrontend,
     HttpFrontend,
     LocalizationService,
     SchedulerConfig,
@@ -349,13 +350,25 @@ def _serve_listen(args: argparse.Namespace, specs: Dict[str, ScenarioSpec]) -> i
         for site in specs:
             backend.update(site, float(day))
     frontends = []
-    if args.listen:
-        host, _, port = args.listen.rpartition(":")
+    if getattr(args, "transport", "thread") == "aio":
+        # One event loop serves both endpoints: --listen's host:port as
+        # tcp:// (ephemeral port when only --unix was given) plus the
+        # unix socket. Pipelined NDJSON; see repro.serve.aio.
+        host, port = "127.0.0.1", 0
+        if args.listen:
+            host_text, _, port_text = args.listen.rpartition(":")
+            host, port = host_text or "127.0.0.1", int(port_text)
         frontends.append(
-            HttpFrontend(backend, host or "127.0.0.1", int(port))
+            AioFrontend(backend, host, port, unix_path=args.unix_socket)
         )
-    if args.unix_socket:
-        frontends.append(UnixFrontend(backend, args.unix_socket))
+    else:
+        if args.listen:
+            host, _, port = args.listen.rpartition(":")
+            frontends.append(
+                HttpFrontend(backend, host or "127.0.0.1", int(port))
+            )
+        if args.unix_socket:
+            frontends.append(UnixFrontend(backend, args.unix_socket))
     scheduler = None
     if args.refresh_policy != "off":
         scheduler = UpdateScheduler(
@@ -388,6 +401,8 @@ def _serve_listen(args: argparse.Namespace, specs: Dict[str, ScenarioSpec]) -> i
             # Flushed eagerly: supervisors (and the CLI test) read the
             # address from a pipe while the server is still running.
             print(f"listening at {frontend.address}", flush=True)
+            if getattr(frontend, "unix_address", None):
+                print(f"listening at {frontend.unix_address}", flush=True)
         print("serving (Ctrl-C to stop)", flush=True)
         if args.max_seconds is not None:
             time.sleep(args.max_seconds)
@@ -676,6 +691,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="also (or instead) serve over a unix domain socket",
     )
     serve.add_argument(
+        "--transport", choices=["thread", "aio"], default="thread",
+        help="wire front-end flavor: 'thread' = the threaded HTTP/unix "
+        "servers (one handler thread per request); 'aio' = one asyncio "
+        "event loop serving pipelined NDJSON (many in-flight requests "
+        "per connection, matched by request id, streamed query_trace) "
+        "on --listen's host:port as tcp:// plus --unix when given. "
+        "Answers are bit-identical either way; clients connect with "
+        "tcp://host:port (sync or AsyncServiceClient)",
+    )
+    serve.add_argument(
         "--shards", type=int, default=0, metavar="N",
         help="partition sites across N worker processes (0 = in-process; "
         "answers are bit-identical for any value). A running sharded "
@@ -784,7 +809,8 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--connect", default=None, metavar="URL",
         help="route the batch through a running `serve --listen` server "
-        "(http://host:port or unix:///path) instead of in-process",
+        "(http://host:port, tcp://host:port for --transport aio, or "
+        "unix:///path) instead of in-process",
     )
     return parser
 

@@ -16,7 +16,12 @@ speedup, queries/sec with many sites in one process). The results feed
 and the ``tafloc-repro bench`` CLI command. :func:`bench_frontend` measures
 the wire front-ends (HTTP / unix-socket round-trip latency and queries/sec
 vs in-process calls) and the shard layer's fan-out scaling, all gated on
-bit-identity with the in-process service. :func:`bench_resilience`
+bit-identity with the in-process service. :func:`bench_frontend_async`
+measures the asyncio front-end (persistent pipelined NDJSON connections)
+with a closed-loop multi-connection driver — sustained q/s plus
+p50/p95/p99 latency per connection count, the aio-vs-threaded-HTTP
+speedup on the same host, and the chunk-streamed ``query_trace`` path
+(bit-identity + flat peak per-message buffering). :func:`bench_resilience`
 measures the fault-tolerant fleet: failed/mismatched query counts and
 tail-latency perturbation across a ``kill -9`` of a worker under load,
 recovery time, and the snapshot-warm vs cold-survey restore speedup.
@@ -26,13 +31,15 @@ Run via ``make bench`` or ``python benchmarks/bench_perf.py``.
 
 from __future__ import annotations
 
+import asyncio
 import json
+import os
 import platform
 import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -47,6 +54,8 @@ from repro.eval.experiments import (
     run_fig5_localization,
 )
 from repro.serve import (
+    AioFrontend,
+    AsyncServiceClient,
     HttpFrontend,
     LocalizationService,
     ServiceClient,
@@ -56,7 +65,7 @@ from repro.serve import (
     reconstructor_seed,
 )
 from repro.serve.faults import FaultInjector, FaultSchedule
-from repro.sim.collector import CollectionProtocol, RssCollector
+from repro.sim.collector import CollectionProtocol, LiveTrace, RssCollector
 from repro.sim.deployment import Deployment
 from repro.sim.scenario import Scenario
 from repro.sim.specs import (
@@ -127,6 +136,34 @@ def _best_of(fn: Callable[[], object], repeat: int) -> float:
         fn()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def _host_metadata() -> Dict[str, object]:
+    """Host facts stamped into every benchmark section.
+
+    Throughput numbers from a 1-core CI container and a 16-core
+    workstation are not comparable; recording ``cpu_count`` and the
+    platform string next to every section keeps the committed
+    ``BENCH_*`` trajectory attributable to the host that produced it.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+    }
+
+
+def _timed_singles(
+    call: Callable[[object], object], frames: Sequence[object]
+) -> List[float]:
+    """Per-query wall times for one sequential pass over ``frames``."""
+    latencies: List[float] = []
+    for frame in frames:
+        start = time.perf_counter()
+        call(frame)
+        latencies.append(time.perf_counter() - start)
+    return latencies
 
 
 def bench_size(
@@ -564,12 +601,16 @@ def bench_frontend(
                 lambda: [client.query(site, frame, 0.0) for frame in head],
                 repeat,
             )
+            latencies = _timed_singles(
+                lambda frame: client.query(site, frame, 0.0), head
+            )
             rates[site] = {
                 "batch_qps": frames / batch_s if batch_s > 0 else float("inf"),
                 "single_qps": (
                     len(head) / single_s if single_s > 0 else float("inf")
                 ),
                 "roundtrip_ms": 1000.0 * single_s / len(head),
+                "latency": _latency_summary(latencies),
                 "bit_identical": identical,
             }
         return rates
@@ -589,6 +630,11 @@ def bench_frontend(
             "inproc_single_qps": (
                 len(head) / single_s if single_s > 0 else float("inf")
             ),
+            "inproc_latency": _latency_summary(
+                _timed_singles(
+                    lambda frame: service.query(site, frame, 0.0), head
+                )
+            ),
         }
 
     with HttpFrontend(service) as frontend:
@@ -598,6 +644,7 @@ def bench_frontend(
                 row["http_batch_qps"] = rates["batch_qps"]
                 row["http_single_qps"] = rates["single_qps"]
                 row["http_roundtrip_ms"] = rates["roundtrip_ms"]
+                row["http_latency"] = rates["latency"]
                 row["http_bit_identical"] = rates["bit_identical"]
                 row["wire_overhead_x"] = (
                     row["inproc_single_qps"] / rates["single_qps"]
@@ -613,6 +660,7 @@ def bench_frontend(
                     row["unix_batch_qps"] = rates["batch_qps"]
                     row["unix_single_qps"] = rates["single_qps"]
                     row["unix_roundtrip_ms"] = rates["roundtrip_ms"]
+                    row["unix_latency"] = rates["latency"]
                     row["unix_bit_identical"] = rates["bit_identical"]
 
     # Shard scaling: fan the per-site batches out to n worker processes.
@@ -647,6 +695,264 @@ def bench_frontend(
     return record
 
 
+async def _aio_closed_loop(
+    address: str,
+    site: str,
+    frames: np.ndarray,
+    requests: int,
+    connections: int,
+    depth: int,
+) -> Tuple[List[float], float]:
+    """Closed-loop load driver for the asyncio front-end.
+
+    ``connections`` persistent connections each keep up to ``depth``
+    single queries in flight and issue ``requests`` requests; returns
+    (per-request latencies in seconds, wall seconds). Latency is
+    measured send-to-response per request — queueing behind the depth
+    window is excluded, pipelined server time is not.
+    """
+    rows = [row.tolist() for row in np.asarray(frames, dtype=float)]
+    latencies: List[float] = []
+
+    async def one_connection(offset: int) -> None:
+        async with AsyncServiceClient(address) as client:
+            window = asyncio.Semaphore(depth)
+
+            async def one_request(index: int) -> None:
+                frame = rows[(offset + index) % len(rows)]
+                async with window:
+                    start = time.perf_counter()
+                    await client.query(site, frame, 0.0)
+                    latencies.append(time.perf_counter() - start)
+
+            await asyncio.gather(*(one_request(i) for i in range(requests)))
+
+    start = time.perf_counter()
+    await asyncio.gather(
+        *(one_connection(k * 37) for k in range(max(1, connections)))
+    )
+    return latencies, time.perf_counter() - start
+
+
+async def _aio_pipeline_probe(
+    address: str, site: str, frames: np.ndarray, day: float, depth: int
+) -> List[object]:
+    async with AsyncServiceClient(address) as client:
+        return await client.pipeline_queries(site, frames, day, depth=depth)
+
+
+async def _aio_trace_probe(
+    address: str, site: str, frames: np.ndarray, chunk: int
+) -> Tuple[object, int, float]:
+    """Stream one trace; returns (result, peak message bytes, seconds)."""
+    async with AsyncServiceClient(address) as client:
+        client.reset_peak()
+        start = time.perf_counter()
+        result = await client.query_trace(site, frames, 0.0, chunk=chunk)
+        return result, client.peak_message_bytes, time.perf_counter() - start
+
+
+def bench_frontend_async(
+    *,
+    sites: Sequence[str] = ("paper", "square-6m"),
+    frames: int = 500,
+    samples_per_cell: int = 10,
+    repeat: int = 3,
+    seed: int = _BENCH_SEED,
+    connections: Sequence[int] = (1, 2, 4),
+    depth: int = 16,
+    singles: int = 200,
+    trace_multipliers: Sequence[int] = (1, 8),
+    stream_chunk: int = 32,
+) -> Dict[str, object]:
+    """Benchmark the asyncio front-end (:class:`~repro.serve.aio.AioFrontend`).
+
+    The closed-loop multi-connection driver: for each count ``c`` in
+    ``connections``, ``c`` persistent :class:`AsyncServiceClient`
+    connections each keep ``depth`` single queries in flight against one
+    event-loop server, and every request's send-to-response latency is
+    recorded — so each row reports p50/p95/p99/max alongside the
+    sustained queries/sec (total requests over wall clock), not just a
+    mean round trip. Baselines measured on the same host and workloads:
+    in-process singles, the threaded PR-5 HTTP front-end
+    (``speedup_vs_http_x`` is the PR-8 acceptance ratio), and the sync
+    :class:`ServiceClient` over ``tcp://`` one request at a time (what
+    pipelining alone buys over the shared NDJSON protocol).
+    ``trace_streaming`` pushes a short and an N×-longer ``query_trace``
+    through the chunked NDJSON path, gating bit-identity with the
+    in-process answer and that the client's peak per-message bytes stay
+    flat in trace length (``buffering_flat``).
+    """
+    protocol = CollectionProtocol(
+        samples_per_cell=samples_per_cell, empty_room_samples=10
+    )
+    specs = {name: bench_spec(name) for name in sites}
+    service = LocalizationService.from_specs(
+        specs, protocol=protocol, seed=seed
+    )
+    service.warm()
+    workloads: Dict[str, np.ndarray] = {}
+    for index, (site, spec) in enumerate(specs.items()):
+        scenario = cached_scenario(spec, build_scenario)
+        cells = counter_stream(seed, 300 + index).integers(
+            0, scenario.deployment.cell_count, size=frames
+        )
+        workloads[site] = RssCollector(
+            scenario, protocol, seed=task_key(seed, "frontend-workload", site)
+        ).live_trace(0.0, cells).rss
+    heads = {
+        site: rss[: min(frames, singles)] for site, rss in workloads.items()
+    }
+
+    record: Dict[str, object] = {
+        "sites": list(sites),
+        "frames": int(frames),
+        "singles": int(singles),
+        "depth": int(depth),
+        "connections": [int(count) for count in connections],
+        "per_site": {},
+    }
+
+    # In-process + threaded-HTTP baselines on identical workloads; the
+    # HTTP number is the same-host PR-5 figure the aio speedup is
+    # measured against.
+    for site, head in heads.items():
+        single_s = _best_of(
+            lambda: [service.query(site, frame, 0.0) for frame in head],
+            repeat,
+        )
+        record["per_site"][site] = {
+            "inproc_single_qps": (
+                len(head) / single_s if single_s > 0 else float("inf")
+            ),
+        }
+    with HttpFrontend(service) as frontend:
+        with ServiceClient(frontend.address) as client:
+            for site, head in heads.items():
+                client.query(site, head[0], 0.0)  # warm up the connection
+                single_s = _best_of(
+                    lambda: [client.query(site, frame, 0.0) for frame in head],
+                    repeat,
+                )
+                row = record["per_site"][site]
+                row["http_single_qps"] = (
+                    len(head) / single_s if single_s > 0 else float("inf")
+                )
+                row["http_latency"] = _latency_summary(
+                    _timed_singles(
+                        lambda frame: client.query(site, frame, 0.0), head
+                    )
+                )
+
+    max_sustained = 0.0
+    with AioFrontend(service) as frontend:
+        address = frontend.address
+        # Sync one-at-a-time over the same NDJSON/TCP path: separates
+        # protocol cost from what pipelining buys on top.
+        with ServiceClient(address) as client:
+            for site, head in heads.items():
+                client.query(site, head[0], 0.0)  # warm up the connection
+                single_s = _best_of(
+                    lambda: [client.query(site, frame, 0.0) for frame in head],
+                    repeat,
+                )
+                record["per_site"][site]["aio_sync_single_qps"] = (
+                    len(head) / single_s if single_s > 0 else float("inf")
+                )
+
+        for site, head in heads.items():
+            row = record["per_site"][site]
+            # Identity gate: pipelined answers (out-of-order completion,
+            # matched by request id) equal sequential in-process singles.
+            wire = asyncio.run(
+                _aio_pipeline_probe(address, site, head, 0.0, depth)
+            )
+            singles_ref = [service.query(site, frame, 0.0) for frame in head]
+            row["bit_identical"] = bool(
+                all(
+                    one.cell == int(ref.cell)
+                    and one.position
+                    == (float(ref.position.x), float(ref.position.y))
+                    and one.score == float(ref.scores[ref.cell])
+                    for one, ref in zip(wire, singles_ref)
+                )
+            )
+            row["pipelined"] = {}
+            for count in connections:
+                best_qps, best_latencies = 0.0, [0.0]
+                for _ in range(max(1, repeat)):
+                    latencies, wall = asyncio.run(
+                        _aio_closed_loop(
+                            address, site, head, len(head), count, depth
+                        )
+                    )
+                    qps = len(latencies) / wall if wall > 0 else float("inf")
+                    if qps > best_qps:
+                        best_qps, best_latencies = qps, latencies
+                row["pipelined"][str(count)] = {
+                    "connections": int(count),
+                    "depth": int(depth),
+                    "sustained_qps": best_qps,
+                    "latency": _latency_summary(best_latencies),
+                }
+                max_sustained = max(max_sustained, best_qps)
+            best = max(
+                pipe["sustained_qps"] for pipe in row["pipelined"].values()
+            )
+            row["aio_best_qps"] = best
+            row["speedup_vs_http_x"] = (
+                best / row["http_single_qps"]
+                if row["http_single_qps"] > 0
+                else float("inf")
+            )
+            top = row["pipelined"][str(max(connections))]
+            row["wire_vs_inproc_x"] = (
+                row["inproc_single_qps"] / top["sustained_qps"]
+                if top["sustained_qps"] > 0
+                else float("inf")
+            )
+
+        # Streamed query_trace: bit-identity + flat peak buffering. The
+        # trace is localized in ONE backend call (chunking only the JSON
+        # encoding), so the answer must match in-process exactly.
+        site, rss = next(iter(workloads.items()))
+        lengths: Dict[str, object] = {}
+        peaks: List[int] = []
+        for multiplier in trace_multipliers:
+            trace = np.concatenate([rss] * max(1, multiplier), axis=0)
+            reference = service.query_trace(
+                site, LiveTrace(day=0.0, rss=trace)
+            )
+            streamed, peak, elapsed = asyncio.run(
+                _aio_trace_probe(address, site, trace, stream_chunk)
+            )
+            identical = bool(
+                np.array_equal(streamed.cells, reference.cells)
+                and np.array_equal(streamed.positions, reference.positions)
+            )
+            peaks.append(int(peak))
+            lengths[str(trace.shape[0])] = {
+                "frames": int(trace.shape[0]),
+                "peak_message_bytes": int(peak),
+                "bit_identical": identical,
+                "stream_s": elapsed,
+                "frames_per_s": (
+                    trace.shape[0] / elapsed if elapsed > 0 else float("inf")
+                ),
+            }
+        record["trace_streaming"] = {
+            "site": site,
+            "chunk": int(stream_chunk),
+            "lengths": lengths,
+            # Flat buffering: peak per-message bytes is set by the chunk
+            # size, not the trace length.
+            "buffering_flat": bool(max(peaks) <= 2 * min(peaks)),
+        }
+
+    record["max_sustained_qps"] = max_sustained
+    return record
+
+
 def _latency_summary(latencies_s: Sequence[float]) -> Dict[str, float]:
     if not latencies_s:
         return {"count": 0}
@@ -654,6 +960,7 @@ def _latency_summary(latencies_s: Sequence[float]) -> Dict[str, float]:
     return {
         "count": int(arr.size),
         "p50_ms": float(np.percentile(arr, 50)),
+        "p95_ms": float(np.percentile(arr, 95)),
         "p99_ms": float(np.percentile(arr, 99)),
         "max_ms": float(arr.max()),
         "mean_ms": float(arr.mean()),
@@ -1042,6 +1349,8 @@ def run_perf_bench(
     serving_sites: Optional[Sequence[str]] = None,
     frontend_sites: Optional[Sequence[str]] = None,
     frontend_shards: Sequence[int] = (1, 2),
+    frontend_async_sites: Optional[Sequence[str]] = None,
+    frontend_async_connections: Sequence[int] = (1, 2, 4),
     resilience_sites: Optional[Sequence[str]] = None,
     resilience_replicas: int = 2,
     resilience_shards: int = 3,
@@ -1057,7 +1366,14 @@ def run_perf_bench(
     over those scenario names (``None`` skips it). ``frontend_sites``
     additionally runs the wire/shard front-end benchmark
     (:func:`bench_frontend`) over those names with ``frontend_shards``
-    worker counts (``None`` skips it). ``resilience_sites`` additionally
+    worker counts (``None`` skips it). ``frontend_async_sites``
+    additionally runs the asyncio front-end benchmark
+    (:func:`bench_frontend_async`): the closed-loop pipelined driver
+    over ``frontend_async_connections`` connection counts plus the
+    streamed-``query_trace`` gates (``None`` skips it). Every section
+    of the report carries the :func:`_host_metadata` stamp
+    (``cpu_count``, platform) so committed numbers stay attributable
+    to the host that produced them. ``resilience_sites`` additionally
     runs the fault-tolerance benchmark (:func:`bench_resilience`) on a
     ``resilience_shards``-worker, R = ``resilience_replicas`` fleet
     (``None`` skips it). ``trust_sites`` additionally runs the
@@ -1066,14 +1382,11 @@ def run_perf_bench(
     retention soak, and the drift-sentinel probe cost (``None`` skips
     it).
     """
+    host = _host_metadata()
     report: Dict[str, object] = {
         "benchmark": "bench_perf",
         "seed": int(seed),
-        "environment": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-        },
+        "environment": dict(host, numpy=np.__version__),
         "sizes": {},
     }
     for size in sizes:
@@ -1105,6 +1418,15 @@ def run_perf_bench(
             seed=seed,
             shard_counts=frontend_shards,
         )
+    if frontend_async_sites is not None:
+        report["frontend_async"] = bench_frontend_async(
+            sites=frontend_async_sites,
+            frames=frames,
+            samples_per_cell=samples_per_cell,
+            repeat=repeat,
+            seed=seed,
+            connections=frontend_async_connections,
+        )
     if resilience_sites is not None:
         report["resilience"] = bench_resilience(
             sites=resilience_sites,
@@ -1119,6 +1441,21 @@ def run_perf_bench(
             samples_per_cell=samples_per_cell,
             seed=seed,
         )
+    # Stamp host facts into every section (satellite of PR-8): each
+    # section may end up compared across machines, so each carries its
+    # own provenance, not just the top-level environment.
+    for size_record in report["sizes"].values():
+        size_record["host"] = dict(host)
+    for section in (
+        "engine",
+        "serving",
+        "frontend",
+        "frontend_async",
+        "resilience",
+        "trust",
+    ):
+        if section in report:
+            report[section]["host"] = dict(host)
     if out_path is not None:
         Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
     return report
@@ -1197,10 +1534,13 @@ def format_bench_report(report: Dict[str, object]) -> str:
                 and row.get("unix_bit_identical")
                 else "MISMATCH"
             )
+            latency = row.get("http_latency", {})
             lines.append(
                 f"  {site:<12} in-proc {row['inproc_single_qps']:,.0f} q/s | "
                 f"http {row['http_single_qps']:,.0f} q/s "
-                f"({row['http_roundtrip_ms']:.2f} ms/rt, "
+                f"(p50/p95/p99 {latency.get('p50_ms', float('nan')):.2f}/"
+                f"{latency.get('p95_ms', float('nan')):.2f}/"
+                f"{latency.get('p99_ms', float('nan')):.2f} ms, "
                 f"{row['wire_overhead_x']:.1f}x overhead) | "
                 f"unix {row['unix_single_qps']:,.0f} q/s | "
                 f"http batch {row['http_batch_qps']:,.0f} q/s ({identical})"
@@ -1211,6 +1551,46 @@ def format_bench_report(report: Dict[str, object]) -> str:
                 f"  shards={count}: warm {row['warm_s']:.2f}s | fan-out "
                 f"{row['fanout_batch_qps']:,.0f} q/s "
                 f"({row['scaling_x']:.2f}x vs 1 worker, {identical})"
+            )
+    frontend_async = report.get("frontend_async")
+    if frontend_async:
+        lines.append("")
+        lines.append(
+            f"asyncio front-end ({len(frontend_async['sites'])} site(s), "
+            f"pipeline depth {frontend_async['depth']}, closed-loop "
+            f"{frontend_async['singles']} singles/connection):"
+        )
+        for site, row in frontend_async["per_site"].items():
+            identical = (
+                "bit-identical" if row.get("bit_identical") else "MISMATCH"
+            )
+            lines.append(
+                f"  {site:<12} in-proc {row['inproc_single_qps']:,.0f} q/s | "
+                f"http {row['http_single_qps']:,.0f} q/s | "
+                f"aio sync {row['aio_sync_single_qps']:,.0f} q/s | "
+                f"aio best {row['aio_best_qps']:,.0f} q/s "
+                f"({row['speedup_vs_http_x']:.1f}x vs http, "
+                f"{row['wire_vs_inproc_x']:.1f}x off in-proc, {identical})"
+            )
+            for count, pipe in row["pipelined"].items():
+                latency = pipe["latency"]
+                lines.append(
+                    f"    conns={count}: {pipe['sustained_qps']:,.0f} q/s | "
+                    f"p50/p95/p99 {latency.get('p50_ms', float('nan')):.2f}/"
+                    f"{latency.get('p95_ms', float('nan')):.2f}/"
+                    f"{latency.get('p99_ms', float('nan')):.2f} ms"
+                )
+        streaming = frontend_async.get("trace_streaming")
+        if streaming:
+            parts = " | ".join(
+                f"{row['frames']} frames: peak {row['peak_message_bytes']} B, "
+                f"{'ok' if row['bit_identical'] else 'MISMATCH'}"
+                for row in streaming["lengths"].values()
+            )
+            flat = "FLAT" if streaming["buffering_flat"] else "GROWING"
+            lines.append(
+                f"  streamed trace ({streaming['site']}, chunk "
+                f"{streaming['chunk']}): {parts} -> buffering {flat}"
             )
     resilience = report.get("resilience")
     if resilience:

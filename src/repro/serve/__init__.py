@@ -8,8 +8,13 @@ per distinct scenario spec (shared by fingerprint);
 the batch matching kernels. On top of the in-process service sit the
 deployment pieces:
 
-* :mod:`repro.serve.frontend` — the wire front-ends (HTTP and unix-socket
-  JSON protocol) plus :class:`~repro.serve.frontend.ServiceClient`;
+* :mod:`repro.serve.frontend` — the threaded wire front-ends (HTTP and
+  unix-socket JSON protocol) plus :class:`~repro.serve.frontend.
+  ServiceClient` (``http://``, ``tcp://``, ``unix://``);
+* :mod:`repro.serve.aio` — the asyncio front-end: one event loop,
+  persistent pipelined NDJSON connections over TCP/unix, streamed
+  ``query_trace``, plus :class:`~repro.serve.aio.AsyncServiceClient`
+  (N requests in flight per connection);
 * :mod:`repro.serve.scheduler` — staleness-driven background fingerprint
   refresh (interval / round-robin / priority / drift policies) plus the
   snapshot-lifecycle cadence;
@@ -30,6 +35,7 @@ See ``tafloc-repro serve --listen`` / ``query --connect`` for the CLI
 surface and ``benchmarks/bench_perf.py`` for throughput numbers.
 """
 
+from repro.serve.aio import AioFrontend, AsyncServiceClient
 from repro.serve.frontend import (
     HttpFrontend,
     RemoteBatchResult,
@@ -55,6 +61,8 @@ from repro.serve.shard import ShardedService, StaleAnswer, shard_for_site
 from repro.serve.snapshot import SnapshotStore, epochs_digest
 
 __all__ = [
+    "AioFrontend",
+    "AsyncServiceClient",
     "DriftReading",
     "HttpFrontend",
     "LocalizationService",

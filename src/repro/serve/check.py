@@ -6,7 +6,10 @@
 and asserts the contracts everything in this package is built around:
 
 1. **Wire identity** — a query batch routed through a live HTTP server
-   (and through the unix-socket transport) returns cells/positions/scores
+   (and through the unix-socket transport, and through the asyncio
+   front-end: one-at-a-time over ``tcp://``, pipelined singles, and the
+   chunk-streamed ``query_trace`` — whose peak per-message bytes must
+   also stay flat in trace length) returns cells/positions/scores
    bit-identical to an in-process
    :class:`~repro.serve.service.LocalizationService` built with the same
    seeds. JSON floats round-trip exactly; this gate notices if that, the
@@ -43,6 +46,7 @@ replay locally. Exit code 0 means every check held; 1 names what broke.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 import tempfile
@@ -53,12 +57,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.eval.engine import cached_scenario
+from repro.serve.aio import AioFrontend, AsyncServiceClient
 from repro.serve.faults import FaultInjector
 from repro.serve.frontend import HttpFrontend, ServiceClient, UnixFrontend
 from repro.serve.service import LocalizationService
 from repro.serve.shard import ShardedService
 from repro.sim.collector import CollectionProtocol, RssCollector
 from repro.sim.specs import build_scenario, get_scenario_spec
+from repro.sim.trace import LiveTrace
 from repro.util.rng import counter_stream, task_key
 
 __all__ = ["main", "run_check", "run_resilience_check", "run_trust_check"]
@@ -95,6 +101,68 @@ def _identical(wire, reference) -> bool:
             or np.array_equal(wire.scores, reference.scores)
         )
     )
+
+
+async def _aio_pipeline_rows(
+    address: str,
+    service: LocalizationService,
+    workloads: Dict[str, np.ndarray],
+    reference: Dict[str, object],
+) -> List[Tuple[str, bool, str]]:
+    """Async-client gates: pipelined singles + streamed-trace identity.
+
+    Pipelined single queries (8 in flight, responses matched by id, may
+    complete out of order) must each equal the sequential in-process
+    single query; a chunk-streamed ``query_trace`` must reassemble
+    bit-identically to the in-process answer, with the client's peak
+    per-message bytes flat between a short trace and one 8x longer.
+    """
+    rows: List[Tuple[str, bool, str]] = []
+    async with AsyncServiceClient(address) as client:
+        for site, rss in workloads.items():
+            results = await client.pipeline_queries(site, rss, 0.0, depth=8)
+            singles = [service.query(site, row, 0.0) for row in rss]
+            ok = all(
+                wire.cell == int(one.cell)
+                and wire.position
+                == (float(one.position.x), float(one.position.y))
+                and wire.score == float(one.scores[one.cell])
+                for wire, one in zip(results, singles)
+            )
+            rows.append(
+                (
+                    f"aio-pipelined:{site}",
+                    ok,
+                    f"{len(results)} singles, depth 8",
+                )
+            )
+        site, rss = next(iter(workloads.items()))
+        long_rss = np.concatenate([rss] * 8, axis=0)
+        trace_reference = service.query_trace(
+            site, LiveTrace(day=0.0, rss=long_rss)
+        )
+        client.reset_peak()
+        streamed = await client.query_trace(site, long_rss, 0.0, chunk=16)
+        long_peak = client.peak_message_bytes
+        client.reset_peak()
+        await client.query_trace(site, rss, 0.0, chunk=16)
+        short_peak = client.peak_message_bytes
+        identical = bool(
+            np.array_equal(streamed.cells, trace_reference.cells)
+            and np.array_equal(streamed.positions, trace_reference.positions)
+        )
+        # Flat buffering: peak per-message bytes is set by the chunk
+        # size, so an 8x longer trace must not (meaningfully) grow it.
+        flat = long_peak <= 2 * short_peak
+        rows.append(
+            (
+                f"aio-stream-trace:{site}",
+                identical and flat,
+                f"{long_rss.shape[0]} frames, peak msg {long_peak} B "
+                f"(vs {short_peak} B for {rss.shape[0]} frames)",
+            )
+        )
+    return rows
 
 
 def run_check(
@@ -174,6 +242,38 @@ def run_check(
                                 f"{frames} frames",
                             )
                         )
+
+        # 3. Asyncio front-end: the same protocol on an event loop. The
+        # sync client (tcp://) covers one-at-a-time identity plus the
+        # error contract; the async client covers pipelined singles and
+        # the chunk-streamed trace (identity + flat peak buffering).
+        with AioFrontend(service) as frontend:
+            with ServiceClient(frontend.address) as client:
+                for site, rss in workloads.items():
+                    wire = client.query_batch(
+                        site, rss, 0.0, include_scores=True
+                    )
+                    rows.append(
+                        (
+                            f"aio:{site}",
+                            _identical(wire, reference[site]),
+                            f"{frontend.address} {wire.frame_count} frames",
+                        )
+                    )
+                try:
+                    client.query_batch("nowhere", workloads[sites[0]], 0.0)
+                    rows.append(("aio:error-contract", False, "no KeyError"))
+                except KeyError:
+                    rows.append(
+                        ("aio:error-contract", True, "404 -> KeyError")
+                    )
+            rows.extend(
+                asyncio.run(
+                    _aio_pipeline_rows(
+                        frontend.address, service, workloads, reference
+                    )
+                )
+            )
 
     if "shards" in sections:
         # 3. Shard identity: N workers vs one worker vs in-process.

@@ -12,8 +12,22 @@ Two transports carry the JSON protocol of :mod:`repro.serve.protocol`:
   socket: one ``{"method", "params"}`` line in, one ``{"status", "body"}``
   line out, persistent connections. The lower-overhead local transport.
 
-:class:`ServiceClient` speaks both (``http://host:port`` or
-``unix:///path``) and reverses the status mapping, so remote errors arrive
+A third transport lives in :mod:`repro.serve.aio`: an asyncio event-loop
+server speaking the same NDJSON framing over TCP and unix sockets, with
+request pipelining and streamed ``query_trace``. Its sync-client face is
+the ``tcp://host:port`` scheme below — the NDJSON line transport over a
+TCP socket with ``TCP_NODELAY``.
+
+Both servers bound the bytes they will buffer for one request
+(``max_request_bytes``, default 16 MiB): the HTTP front-end refuses an
+oversized ``Content-Length`` with 400 before reading the body, and the
+unix front-end answers 400 and severs when a request line exceeds the
+cap (the stream is mid-line and cannot resync). A misbehaving client
+cannot make a handler thread buffer unbounded bytes.
+
+:class:`ServiceClient` speaks all three (``http://host:port``,
+``unix:///path``, ``tcp://host:port``) and reverses the status mapping,
+so remote errors arrive
 as the same exception types the in-process
 :class:`~repro.serve.service.LocalizationService` raises, and batch
 results come back as numpy arrays that are bit-identical to the
@@ -66,12 +80,18 @@ from repro.serve.protocol import (
 from repro.sim.trace import LiveTrace
 
 __all__ = [
+    "DEFAULT_MAX_REQUEST_BYTES",
     "HttpFrontend",
     "RemoteBatchResult",
     "RemoteMatchResult",
     "ServiceClient",
     "UnixFrontend",
 ]
+
+#: Largest request body (HTTP) / request line (NDJSON) a front-end will
+#: buffer, bytes. Generous — a 16 MiB JSON body is ~200k frames — but
+#: finite, so a misbehaving client cannot exhaust server memory.
+DEFAULT_MAX_REQUEST_BYTES = 16 * 1024 * 1024
 
 #: Methods reachable via GET (no body, optional query-string params).
 _GET_METHODS = ("health", "sites", "summary", "stats", "site_summary",
@@ -127,6 +147,20 @@ class _HttpHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - stdlib dispatch-by-name
         method, params = self._method()
         length = int(self.headers.get("Content-Length") or 0)
+        cap = self.server.max_request_bytes
+        if length > cap:
+            # Refuse before reading a single body byte, and drop the
+            # connection: the unread body would desync keep-alive.
+            self.close_connection = True
+            self._respond(
+                400,
+                {
+                    "error": "ValueError",
+                    "message": f"request body of {length} bytes exceeds "
+                    f"the {cap}-byte limit",
+                },
+            )
+            return
         raw = self.rfile.read(length) if length else b"{}"
         try:
             body = decode(raw) if raw.strip() else {}
@@ -178,9 +212,10 @@ class _HttpServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address, backend) -> None:
+    def __init__(self, address, backend, max_request_bytes) -> None:
         super().__init__(address, _HttpHandler)
         self.backend = backend
+        self.max_request_bytes = int(max_request_bytes)
 
 
 class _Frontend:
@@ -239,9 +274,16 @@ class HttpFrontend(_Frontend):
     :meth:`serve_forever` to donate the calling thread (the CLI).
     """
 
-    def __init__(self, backend, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        backend,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+    ) -> None:
         super().__init__()
-        self._server = _HttpServer((host, port), backend)
+        self._server = _HttpServer((host, port), backend, max_request_bytes)
 
     @property
     def host(self) -> str:
@@ -261,7 +303,29 @@ class HttpFrontend(_Frontend):
 # ----------------------------------------------------------------------
 class _UnixHandler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
-        for line in self.rfile:
+        cap = self.server.max_request_bytes
+        while True:
+            # Bounded read: a request line longer than the cap gets a 400
+            # and a severed connection (the stream is mid-line, so it
+            # cannot resync), never an unbounded buffer.
+            line = self.rfile.readline(cap + 1)
+            if not line:
+                return
+            if len(line) > cap:
+                self.wfile.write(
+                    encode(
+                        {
+                            "status": 400,
+                            "body": {
+                                "error": "ValueError",
+                                "message": "request line exceeds the "
+                                f"{cap}-byte limit",
+                            },
+                        }
+                    )
+                )
+                self.wfile.flush()
+                return
             if not line.strip():
                 continue
             try:
@@ -287,7 +351,13 @@ class _UnixHandler(socketserver.StreamRequestHandler):
 class UnixFrontend(_Frontend):
     """Unix-domain-socket front-end: NDJSON requests over ``path``."""
 
-    def __init__(self, backend, path: str) -> None:
+    def __init__(
+        self,
+        backend,
+        path: str,
+        *,
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+    ) -> None:
         if not hasattr(socketserver, "ThreadingUnixStreamServer"):
             raise RuntimeError(
                 "unix-socket serving requires AF_UNIX support (POSIX)"
@@ -302,6 +372,7 @@ class UnixFrontend(_Frontend):
 
         self._server = _Server(self.path, _UnixHandler)
         self._server.backend = backend
+        self._server.max_request_bytes = int(max_request_bytes)
 
     @property
     def address(self) -> str:
@@ -396,17 +467,29 @@ class _HttpTransport:
             self._connection = None
 
 
-class _UnixTransport:
-    def __init__(self, path: str, timeout: float) -> None:
-        self._path, self._timeout = path, timeout
+class _LineTransport:
+    """NDJSON request/response over a stream socket.
+
+    The shared body of the ``unix://`` and ``tcp://`` transports — one
+    ``{"method", "params"}`` line out, one ``{"status", "body"}`` line
+    back, persistent connection, poison-on-failure. Subclasses supply
+    :meth:`_dial`. (The aio server also echoes a request ``"id"`` when
+    one is sent; this one-at-a-time transport never sends one, so
+    responses arrive strictly in request order.)
+    """
+
+    def __init__(self, timeout: float) -> None:
+        self._timeout = timeout
         self._sock: Optional[socket.socket] = None
         self._file = None
 
+    def _dial(self) -> socket.socket:
+        raise NotImplementedError
+
     def _connect(self):
         if self._sock is None:
-            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock = self._dial()
             self._sock.settimeout(self._timeout)
-            self._sock.connect(self._path)
             self._file = self._sock.makefile("rb")
         return self._sock, self._file
 
@@ -433,10 +516,40 @@ class _UnixTransport:
             self._sock = None
 
 
+class _UnixTransport(_LineTransport):
+    def __init__(self, path: str, timeout: float) -> None:
+        super().__init__(timeout)
+        self._path = path
+
+    def _dial(self) -> socket.socket:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self._timeout)
+        sock.connect(self._path)
+        return sock
+
+
+class _TcpTransport(_LineTransport):
+    """The sync-client face of the aio front-end: NDJSON over TCP."""
+
+    def __init__(self, host: str, port: int, timeout: float) -> None:
+        super().__init__(timeout)
+        self._host, self._port = host, port
+
+    def _dial(self) -> socket.socket:
+        sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        # Same Nagle/delayed-ACK reasoning as the HTTP transport: small
+        # request/response pairs stall ~40 ms without TCP_NODELAY.
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+
 class ServiceClient:
     """Client for a serving front-end; mirrors the in-process contract.
 
-    ``address`` is ``"http://host:port"`` or ``"unix:///path"``. The
+    ``address`` is ``"http://host:port"``, ``"tcp://host:port"`` (the
+    aio front-end's NDJSON port), or ``"unix:///path"``. The
     connection is persistent (keep-alive / stream) and guarded by a lock,
     so one client may be shared across threads; per-thread clients avoid
     the lock when throughput matters. Contract errors raised by the remote
@@ -446,7 +559,8 @@ class ServiceClient:
     client a one-line change.
 
     Args:
-        address: ``http://host:port`` or ``unix:///path``.
+        address: ``http://host:port``, ``tcp://host:port``, or
+            ``unix:///path``.
         timeout: Socket timeout per attempt, seconds.
         retries: Transport-failure *re-sends* for idempotent methods
             (total attempts = ``retries + 1``). Non-idempotent methods
@@ -492,6 +606,12 @@ class ServiceClient:
             self._transport = _HttpTransport(
                 parts.hostname, parts.port, timeout
             )
+        elif parts.scheme == "tcp":
+            if parts.hostname is None or parts.port is None:
+                raise ValueError(
+                    f"tcp address must be tcp://host:port, got {address!r}"
+                )
+            self._transport = _TcpTransport(parts.hostname, parts.port, timeout)
         elif parts.scheme == "unix":
             path = parts.path or parts.netloc
             if not path:
@@ -501,7 +621,8 @@ class ServiceClient:
             self._transport = _UnixTransport(path, timeout)
         else:
             raise ValueError(
-                f"unsupported address {address!r} (use http:// or unix://)"
+                f"unsupported address {address!r} "
+                "(use http://, tcp://, or unix://)"
             )
         self._lock = threading.Lock()
 

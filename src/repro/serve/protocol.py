@@ -32,12 +32,34 @@ Clients reverse the mapping (:data:`ERROR_TYPES`), so an exception thrown
 by a remote service arrives as the *same type* the in-process service
 would raise — code written against the in-process contract works unchanged
 against :class:`~repro.serve.frontend.ServiceClient`.
+
+**Request ids + pipelining.** A request may carry an ``"id"`` (any JSON
+scalar); the response echoes it. Ids exist so a pipelined connection —
+many requests in flight at once on the asyncio front-end
+(:mod:`repro.serve.aio`) — can match responses that complete out of
+order. Requests without an id are answered strictly in request order,
+which is what keeps the PR-5 one-at-a-time transports compatible with
+the aio server without changes.
+
+**Streaming ``query_trace``.** A long trace would otherwise buffer one
+giant JSON array on both ends. A streaming request
+(``"stream": true``) makes the server compute the trace in **one**
+backend call — chunking the *compute* would change BLAS reduction order
+and could break exact-distance ties differently, violating bit-identity
+— and then emit the result as a header line, ``seq``-numbered chunk
+lines of at most ``chunk`` frames each, and an ``{"end": true}``
+terminator (:func:`iter_trace_stream`). The client reassembles with
+:func:`merge_trace_stream`; the merged body is byte-identical to the
+non-streaming body, so bit-identity checks need no special casing.
+Uploads stream symmetrically: ``"frames_follow": true`` announces that
+``{"id", "frames": [...]}`` continuation lines and an ``{"id", "end":
+true}`` line will follow instead of inline ``params["frames"]``.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -46,6 +68,7 @@ from repro.sim.trace import LiveTrace
 __all__ = [
     "ERROR_TYPES",
     "METHODS",
+    "STREAM_CHUNK_FRAMES",
     "DropResponse",
     "ServiceUnavailable",
     "decode",
@@ -53,6 +76,8 @@ __all__ = [
     "encode",
     "error_body",
     "error_status",
+    "iter_trace_stream",
+    "merge_trace_stream",
 ]
 
 
@@ -235,6 +260,33 @@ def _batch_body(site: str, day: float, result, include_scores: bool) -> Dict:
     return body
 
 
+def _per_frame_batch_body(backend, site: str, frames, day: float) -> Dict:
+    cells: List[int] = []
+    positions: List[List[float]] = []
+    best: List[float] = []
+    stale = False
+    for frame in np.asarray(frames, dtype=float):
+        result = backend.query(site, frame, day)
+        cell = int(result.cell)
+        cells.append(cell)
+        positions.append(
+            [float(result.position.x), float(result.position.y)]
+        )
+        best.append(float(result.scores[cell]))
+        stale = stale or bool(getattr(result, "stale", False))
+    body = {
+        "site": site,
+        "day": day,
+        "frame_count": len(cells),
+        "cells": cells,
+        "positions": positions,
+        "best": best,
+    }
+    if stale:
+        body["stale"] = True
+    return body
+
+
 def _handle_query(backend, params):
     site, rss, day = _require(params, "site", "rss", "day")
     result = backend.query(str(site), _as_rss(rss), _as_day(day))
@@ -254,8 +306,25 @@ def _handle_query(backend, params):
 def _handle_query_batch(backend, params):
     site, frames, day = _require(params, "site", "frames", "day")
     day = _as_day(day)
+    if params.get("per_frame"):
+        # Transparent client-side micro-batching rides on this: each frame
+        # goes through the exact single-query code path (batch-of-one GEMM)
+        # so the answers are bit-identical to N separate ``query`` calls.
+        # A true batched GEMM uses a different BLAS reduction order and can
+        # flip the last mantissa bits at realistic link/cell counts.
+        return _per_frame_batch_body(backend, str(site), _as_frames(frames), day)
     result = backend.query_batch(str(site), _as_frames(frames), day)
-    return _batch_body(site, day, result, bool(params.get("include_scores")))
+    body = _batch_body(site, day, result, bool(params.get("include_scores")))
+    if params.get("best_scores") and result.scores is not None:
+        # Per-frame matched score (``scores[i, cells[i]]``) without the
+        # full N x cells matrix — what a transparently-batched single
+        # query needs to reconstruct its ``score`` field bit-exactly.
+        scores = np.asarray(result.scores)
+        body["best"] = [
+            float(scores[index, cell])
+            for index, cell in enumerate(result.cells)
+        ]
+    return body
 
 
 def _handle_query_trace(backend, params):
@@ -382,6 +451,84 @@ def _handle_resize(backend, params):
             "this backend cannot resize: it is not a sharded service"
         )
     return dict(resize(shards))
+
+
+# ----------------------------------------------------------------------
+# query_trace streaming (chunked encoding of one already-computed result)
+# ----------------------------------------------------------------------
+#: Default frames per streamed chunk line. Chosen so one chunk line is a
+#: few KiB — small enough that peak per-message buffering is flat in
+#: trace length, large enough that framing overhead stays negligible.
+STREAM_CHUNK_FRAMES = 64
+
+#: Body keys that are per-frame columns (chunked); everything else is
+#: scalar metadata and rides in the stream header.
+_STREAM_COLUMNS = ("cells", "positions", "scores")
+
+
+def iter_trace_stream(body: Dict[str, Any], chunk: int = STREAM_CHUNK_FRAMES):
+    """Yield the stream messages encoding one ``query_trace`` body.
+
+    The first message is the header (scalar metadata + ``"stream": true``
+    + ``frame_count``), then ``seq``-numbered chunk messages carrying at
+    most ``chunk`` frames of each per-frame column, then ``{"end": true}``.
+    The *compute* is already done — this chunks only the JSON encoding,
+    which is what preserves bit-identity (batch-of-N vs batch-of-1 BLAS
+    reductions may break exact-distance ties differently).
+    """
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    header = {
+        key: value
+        for key, value in body.items()
+        if key not in _STREAM_COLUMNS
+    }
+    header["stream"] = True
+    yield header
+    columns = [
+        (key, body[key]) for key in _STREAM_COLUMNS if key in body
+    ]
+    frame_count = len(body.get("cells", ()))
+    for seq, start in enumerate(range(0, frame_count, chunk)):
+        part: Dict[str, Any] = {"seq": seq}
+        for key, column in columns:
+            part[key] = column[start : start + chunk]
+        yield part
+    yield {"end": True}
+
+
+def merge_trace_stream(
+    header: Dict[str, Any], parts: Iterable[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Client-side inverse of :func:`iter_trace_stream`.
+
+    Reassembles the full response body from the header and the chunk
+    messages (transport framing keys — ``id``/``status``/``stream``/
+    ``seq``/``end`` — are dropped). The result is exactly the body a
+    non-streaming ``query_trace`` response would have carried.
+    """
+    body = {
+        key: value
+        for key, value in header.items()
+        if key not in ("id", "status", "stream")
+    }
+    columns: Dict[str, list] = {}
+    expected_seq = 0
+    for part in parts:
+        if part.get("end"):
+            break
+        seq = part.get("seq")
+        if seq != expected_seq:
+            raise ValueError(
+                f"stream chunk out of order: expected seq {expected_seq}, "
+                f"got {seq!r}"
+            )
+        expected_seq += 1
+        for key in _STREAM_COLUMNS:
+            if key in part:
+                columns.setdefault(key, []).extend(part[key])
+    body.update(columns)
+    return body
 
 
 _HANDLERS = {

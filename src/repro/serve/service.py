@@ -69,6 +69,13 @@ class LocalizationService:
     :class:`~repro.core.pipeline.TafLoc` directly.
     """
 
+    #: Hint for event-loop front-ends (:mod:`repro.serve.aio`): warm
+    #: queries against this backend are µs-scale numpy calls that never
+    #: block on I/O, so dispatching inline on the loop is cheaper than a
+    #: thread-pool handoff. Anything that can park a call on a pipe or
+    #: lock (the sharded router) must say ``"offload"`` instead.
+    wire_dispatch = "inline"
+
     def __init__(self, manager: Optional[SiteManager] = None, **manager_kwargs) -> None:
         if manager is not None and manager_kwargs:
             raise ValueError(

@@ -510,6 +510,12 @@ class ShardedService:
     every shard computes while the others do.
     """
 
+    #: Hint for event-loop front-ends (:mod:`repro.serve.aio`): every
+    #: routed call can park on a worker pipe (and its per-shard lock), so
+    #: an event loop must dispatch through a thread pool — running it
+    #: inline would stall every pipelined request behind one worker.
+    wire_dispatch = "offload"
+
     def __init__(
         self,
         specs: Mapping[str, Union[ScenarioSpec, dict, str]],

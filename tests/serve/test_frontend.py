@@ -363,6 +363,134 @@ class TestHttpSpecifics:
             assert "params must be a JSON object" in body["message"]
 
 
+class TestKeepAliveDesyncRecovery:
+    """Satellite (PR-8): a server that drops the connection mid-response
+    desyncs the client's keep-alive stream. The transport must poison
+    its cached connection, re-dial lazily, and the idempotent retry
+    must succeed — exactly two dials, no error to the caller."""
+
+    @staticmethod
+    def _read_http_request(conn):
+        data = b""
+        while b"\r\n\r\n" not in data:
+            chunk = conn.recv(4096)
+            if not chunk:
+                return None
+            data += chunk
+        head, _, body = data.partition(b"\r\n\r\n")
+        length = 0
+        for line in head.split(b"\r\n"):
+            if line.lower().startswith(b"content-length:"):
+                length = int(line.split(b":", 1)[1])
+        while len(body) < length:
+            body += conn.recv(4096)
+        return body
+
+    def test_truncated_keepalive_response_recovers(self):
+        import socket
+        import threading
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(8)
+        port = listener.getsockname()[1]
+        dials = []
+        payload = b'{"sites": ["hq"]}'
+        full = (
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+            b"Content-Length: %d\r\n\r\n%s" % (len(payload), payload)
+        )
+
+        def serve():
+            # Connection 1: one good keep-alive response, then a
+            # truncated one (Content-Length promises 100 bytes, the
+            # connection dies after 5) — the classic mid-response drop.
+            conn, _ = listener.accept()
+            dials.append(1)
+            self._read_http_request(conn)
+            conn.sendall(full)
+            self._read_http_request(conn)
+            conn.sendall(b"HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\n{\"si")
+            conn.shutdown(socket.SHUT_RDWR)
+            conn.close()
+            # Connection 2: behave.
+            conn, _ = listener.accept()
+            dials.append(1)
+            self._read_http_request(conn)
+            conn.sendall(full)
+            self._read_http_request(conn)  # wait for client close
+            conn.close()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(
+                f"http://127.0.0.1:{port}",
+                timeout=5.0,
+                retries=2,
+                backoff=0.01,
+            )
+            assert client.sites() == ["hq"]
+            # The truncated response surfaces as http.client.
+            # IncompleteRead (an HTTPException): retryable for an
+            # idempotent method, and the poisoned connection re-dials.
+            assert client.sites() == ["hq"]
+            assert len(dials) == 2
+            client.close()
+        finally:
+            listener.close()
+            thread.join(timeout=5.0)
+
+
+class TestRequestBodyCaps:
+    """Satellite (PR-8): both threaded front-ends refuse oversized
+    request bodies with a 400 instead of buffering them."""
+
+    def test_http_oversized_body_is_400(self, service):
+        import urllib.error
+        import urllib.request
+
+        with HttpFrontend(service, max_request_bytes=256) as frontend:
+            request = urllib.request.Request(
+                f"{frontend.address}/sites",
+                data=b'{"params": {"pad": "' + b"x" * 1024 + b'"}}',
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request)
+            assert excinfo.value.code == 400
+            body = json.loads(excinfo.value.read())
+            assert "exceeds" in body["message"]
+
+    def test_http_within_cap_still_served(self, service):
+        with HttpFrontend(service, max_request_bytes=4096) as frontend:
+            with ServiceClient(frontend.address) as client:
+                assert client.sites() == ["hq", "lab"]
+
+    def test_unix_oversized_line_is_400_and_severed(self, service, tmp_path):
+        import socket
+
+        path = str(tmp_path / "capped.sock")
+        with UnixFrontend(service, path, max_request_bytes=256):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(5.0)
+            sock.connect(path)
+            try:
+                sock.sendall(
+                    b'{"method": "sites", "params": {"pad": "'
+                    + b"x" * 1024
+                    + b'"}}\n'
+                )
+                reader = sock.makefile("rb")
+                response = json.loads(reader.readline())
+                assert response["status"] == 400
+                assert "exceeds" in response["body"]["message"]
+                assert reader.readline() == b""  # severed
+            finally:
+                sock.close()
+
+
 class TestClientAddresses:
     def test_bad_scheme_rejected(self):
         with pytest.raises(ValueError, match="unsupported address"):
