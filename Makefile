@@ -13,8 +13,8 @@
 PYTHON ?= python
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench bench-smoke bench-figures frontend-smoke \
-	resilience-smoke
+.PHONY: test lint typecheck analyze bench bench-smoke bench-figures \
+	frontend-smoke resilience-smoke
 
 test:
 	$(PYTHON) -m pytest -q
@@ -23,6 +23,21 @@ test:
 lint:
 	ruff check .
 	ruff format --check .
+
+# Static type gate (requires mypy): strict on util/, serve/protocol.py and
+# the analysis/ package, permissive elsewhere (config in pyproject.toml).
+typecheck:
+	mypy src/repro
+
+# repro-lint: AST-based invariant checks (determinism RL-D*, lock
+# discipline RL-C*, wire contract RL-W*) over src/repro. Fails on any
+# finding not suppressed inline or grandfathered (with a reason) in
+# analysis-baseline.json; always writes the full JSON report to
+# ANALYSIS_FINDINGS.json (CI uploads it on failure). Needs only the
+# stdlib + the repo itself — no third-party deps.
+analyze:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis --format text \
+		--out ANALYSIS_FINDINGS.json
 
 bench:
 	$(PYTHON) benchmarks/bench_perf.py --out BENCH_PR8.json

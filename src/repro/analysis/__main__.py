@@ -1,0 +1,223 @@
+"""CLI for repro-lint: ``python -m repro.analysis`` / ``tafloc-repro analyze``.
+
+Exit status is the CI contract: 0 when every finding is suppressed or
+baselined, 1 when any live finding remains, 2 on usage/configuration
+errors. ``--out`` always writes the full JSON report (findings,
+suppressed, baselined, stale baseline entries) so CI can upload it as an
+artifact on failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.engine import Engine, Report, load_project
+from repro.analysis.rules import all_rules
+
+
+def _default_root() -> Path:
+    """The installed ``repro`` package directory (works from any cwd)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def _default_baseline(root: Path) -> Optional[Path]:
+    """``analysis-baseline.json`` beside the source tree, if present.
+
+    For the in-repo layout (``src/repro``) that is the repository root;
+    for an installed package there is usually no baseline, which is
+    equivalent to an empty one.
+    """
+    for candidate in (
+        root.parent.parent / "analysis-baseline.json",
+        root / "analysis-baseline.json",
+    ):
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant checker: determinism, lock discipline, "
+            "and wire-contract conformance for the repro tree"
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="package directory to analyze (default: the repro package)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=(
+            "baseline JSON of grandfathered findings "
+            "(default: analysis-baseline.json beside the tree; 'none' "
+            "disables)"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format on stdout (default: text)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="also write the full JSON report to this file",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="RL-XXX",
+        help="run only the named rule(s) (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule id, title, and rationale, then exit",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="REASON",
+        default=None,
+        help=(
+            "write all current findings to the baseline file with REASON "
+            "and exit 0 (for bootstrapping; prefer fixing code)"
+        ),
+    )
+    return parser
+
+
+def _print_text(report: Report, stream: Any) -> None:
+    for finding in report.findings:
+        print(
+            f"{finding.location()}: {finding.rule}: {finding.message}",
+            file=stream,
+        )
+    if report.baselined:
+        print(
+            f"note: {len(report.baselined)} baselined finding(s) "
+            "(see analysis-baseline.json)",
+            file=stream,
+        )
+    if report.stale_baseline:
+        for fingerprint in report.stale_baseline:
+            print(
+                "note: stale baseline entry (no longer fires): "
+                f"{fingerprint.rule} {fingerprint.path} {fingerprint.key}",
+                file=stream,
+            )
+    verdict = "clean" if report.ok else f"{len(report.findings)} finding(s)"
+    print(
+        f"repro-lint: {report.files_checked} file(s), "
+        f"{len(report.rules_run)} rule(s): {verdict}",
+        file=stream,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.title}")
+            rationale = rule.rationale()
+            if rationale:
+                for line in rationale.splitlines():
+                    print(f"    {line.rstrip()}")
+            print()
+        return 0
+
+    root = (args.root or _default_root()).resolve()
+    if not root.is_dir():
+        print(f"repro-lint: no such directory: {root}", file=sys.stderr)
+        return 2
+
+    try:
+        project = load_project(root)
+    except SyntaxError as error:
+        print(f"repro-lint: cannot parse tree: {error}", file=sys.stderr)
+        return 2
+
+    engine = Engine()
+    known = {rule.id for rule in engine.rules}
+    only: Optional[List[str]] = None
+    if args.rules:
+        only = [rule.upper() for rule in args.rules]
+        unknown = sorted(set(only) - known)
+        if unknown:
+            print(
+                f"repro-lint: unknown rule(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})",
+                file=sys.stderr,
+            )
+            return 2
+
+    baseline_path: Optional[Path]
+    if args.baseline is not None and str(args.baseline) == "none":
+        baseline_path = None
+    elif args.baseline is not None:
+        baseline_path = args.baseline
+        if not baseline_path.is_file():
+            print(
+                f"repro-lint: no such baseline: {baseline_path}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        baseline_path = _default_baseline(root)
+
+    if args.write_baseline is not None:
+        report = engine.run(project, baseline=None, only=only)
+        target = baseline_path or (
+            root.parent.parent / "analysis-baseline.json"
+        )
+        Baseline.from_findings(
+            report.findings, reason=args.write_baseline
+        ).save(target)
+        print(
+            f"repro-lint: wrote {len(report.findings)} finding(s) to "
+            f"{target} — replace the shared reason with per-entry "
+            "justifications before committing"
+        )
+        return 0
+
+    baseline = Baseline.empty()
+    if baseline_path is not None:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except BaselineError as error:
+            print(f"repro-lint: {error}", file=sys.stderr)
+            return 2
+
+    report = engine.run(project, baseline=baseline, only=only)
+
+    if args.out is not None:
+        args.out.write_text(
+            json.dumps(report.to_json(), indent=2) + "\n", encoding="utf-8"
+        )
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        _print_text(report, sys.stdout)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""The repro-lint baseline: grandfathered findings, each with a reason.
+
+The baseline is a checked-in JSON file whose entries match findings by
+line-independent fingerprint (``rule`` + ``path`` + semantic ``key``).
+It exists so the analyzer can gate CI from day one without first fixing
+every historical finding — but every grandfathered entry **must** carry
+a human-written reason string, so the file reads as a list of conscious
+decisions, not a dumping ground. Loading rejects reason-less entries.
+
+Workflow:
+
+* ``make analyze`` fails on any finding not in the baseline;
+* fix the code, or (for provably-intentional behavior) add an entry with
+  a reason;
+* entries whose finding no longer fires are reported as *stale* so the
+  file only shrinks once code is fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Set, Union
+
+from repro.analysis.findings import Finding, Fingerprint
+
+#: Schema version of the baseline file.
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding plus why it is allowed to stand."""
+
+    rule: str
+    path: str
+    key: str
+    reason: str
+
+    def fingerprint(self) -> Fingerprint:
+        return Fingerprint(self.rule, self.path, self.key)
+
+    def to_json(self) -> Dict[str, str]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "key": self.key,
+            "reason": self.reason,
+        }
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed (bad JSON, missing reason, ...)."""
+
+
+@dataclass
+class Baseline:
+    """An in-memory baseline: a set of fingerprints with reasons."""
+
+    entries: List[BaselineEntry]
+
+    def __post_init__(self) -> None:
+        self._index: Set[Fingerprint] = {
+            entry.fingerprint() for entry in self.entries
+        }
+
+    def covers(self, fingerprint: Fingerprint) -> bool:
+        return fingerprint in self._index
+
+    @staticmethod
+    def empty() -> "Baseline":
+        return Baseline(entries=[])
+
+    @staticmethod
+    def from_findings(
+        findings: Iterable[Finding], reason: str
+    ) -> "Baseline":
+        """Baseline covering ``findings``, stamped with one shared reason."""
+        if not reason.strip():
+            raise BaselineError("a baseline reason must not be empty")
+        entries = []
+        seen: Set[Fingerprint] = set()
+        for finding in findings:
+            fingerprint = finding.fingerprint()
+            if fingerprint in seen:
+                continue
+            seen.add(fingerprint)
+            entries.append(
+                BaselineEntry(
+                    rule=fingerprint.rule,
+                    path=fingerprint.path,
+                    key=fingerprint.key,
+                    reason=reason.strip(),
+                )
+            )
+        return Baseline(entries=entries)
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "Baseline":
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise BaselineError(
+                f"baseline {path} is not valid JSON: {error}"
+            ) from None
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise BaselineError(
+                f"baseline {path} must be an object with an 'entries' list"
+            )
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise BaselineError(
+                f"baseline {path} has version {version!r}; "
+                f"this tool reads version {BASELINE_VERSION}"
+            )
+        entries: List[BaselineEntry] = []
+        raw_entries = payload["entries"]
+        if not isinstance(raw_entries, list):
+            raise BaselineError(f"baseline {path}: 'entries' must be a list")
+        for position, raw in enumerate(raw_entries):
+            if not isinstance(raw, dict):
+                raise BaselineError(
+                    f"baseline {path}: entry #{position} must be an object"
+                )
+            missing = [
+                name
+                for name in ("rule", "path", "key", "reason")
+                if not str(raw.get(name, "")).strip()
+            ]
+            if missing:
+                raise BaselineError(
+                    f"baseline {path}: entry #{position} is missing "
+                    f"{', '.join(missing)} — every grandfathered finding "
+                    "needs a non-empty reason"
+                )
+            entries.append(
+                BaselineEntry(
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    key=str(raw["key"]),
+                    reason=str(raw["reason"]),
+                )
+            )
+        return Baseline(entries=entries)
+
+    def save(self, path: Union[str, Path]) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                entry.to_json()
+                for entry in sorted(
+                    self.entries, key=lambda e: (e.path, e.rule, e.key)
+                )
+            ],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )

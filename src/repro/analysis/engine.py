@@ -1,0 +1,387 @@
+"""repro-lint engine: parse the tree once, run every rule, apply policy.
+
+The pipeline is deliberately boring::
+
+    load_project(root)  ->  Project (one ast.Module per file, parent links,
+                            suppression-comment map)
+    Engine().run(...)   ->  Report (violations minus suppressions minus
+                            baseline, plus the bookkeeping of both)
+
+Rules never read files themselves: they receive the whole
+:class:`Project` so cross-file invariants (wire-surface parity, the
+protocol error contract) are as easy to express as single-file ones.
+
+**Suppressions.** A source line may carry
+``# repro-lint: disable=RL-C01 <reason>`` (comma-separate several ids).
+The comment silences matching findings reported *on its own line*, or —
+when the comment stands alone — on the next code line below it. A
+suppression **must** carry a reason; a bare ``disable=`` is itself
+reported as :data:`SUPPRESSION_RULE_ID` so undocumented escapes cannot
+accumulate.
+
+**Baseline.** Grandfathered findings live in a checked-in JSON file
+(:mod:`repro.analysis.baseline`), matched by line-independent
+fingerprint. Baselined findings do not fail the run; baseline entries
+that no longer fire are surfaced as *stale* so the file shrinks over
+time instead of fossilizing.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding, Fingerprint
+
+#: Pseudo-rule id for malformed / reason-less suppression comments.
+SUPPRESSION_RULE_ID = "RL-S00"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Za-z0-9\-,\s]*?)"
+    r"(?:\s+(?P<reason>\S.*))?$"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro-lint: disable=...`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+    #: True when the comment is alone on its line (applies to the next
+    #: code line as well as its own).
+    standalone: bool
+
+    def covers(self, rule: str) -> bool:
+        return rule in self.rules
+
+
+@dataclass
+class SourceFile:
+    """One parsed module plus everything rules need to inspect it."""
+
+    rel: str
+    path: Path
+    text: str
+    tree: ast.Module
+    suppressions: List[Suppression] = field(default_factory=list)
+    #: Findings produced while *loading* (bad suppression comments).
+    load_findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def lines(self) -> List[str]:
+        return self.text.splitlines()
+
+
+@dataclass
+class Project:
+    """Every parsed source file under one package root, keyed by relpath."""
+
+    root: Path
+    files: Dict[str, SourceFile] = field(default_factory=dict)
+
+    def get(self, rel: str) -> Optional[SourceFile]:
+        return self.files.get(rel)
+
+    def walk(self, prefix: str = "") -> Iterator[SourceFile]:
+        for rel in sorted(self.files):
+            if rel.startswith(prefix):
+                yield self.files[rel]
+
+
+@dataclass
+class Report:
+    """Outcome of one engine run over one project."""
+
+    findings: List[Finding]
+    suppressed: List[Finding]
+    baselined: List[Finding]
+    stale_baseline: List[Fingerprint]
+    files_checked: int
+    rules_run: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "rules_run": list(self.rules_run),
+            "findings": [f.to_json() for f in self.findings],
+            "suppressed": [f.to_json() for f in self.suppressed],
+            "baselined": [f.to_json() for f in self.baselined],
+            "stale_baseline": [fp.to_json() for fp in self.stale_baseline],
+        }
+
+
+# ----------------------------------------------------------------------
+# loading
+# ----------------------------------------------------------------------
+def _parse_suppressions(
+    rel: str, text: str
+) -> Tuple[List[Suppression], List[Finding]]:
+    suppressions: List[Suppression] = []
+    findings: List[Finding] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return suppressions, findings
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        # Only the directive marker counts; prose that merely mentions
+        # repro-lint (docs, rationale comments) is not a directive.
+        if re.search(r"repro-lint\s*:", token.string) is None:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        line = token.start[0]
+        col = token.start[1]
+        if match is None:
+            findings.append(
+                Finding(
+                    path=rel,
+                    line=line,
+                    col=col,
+                    rule=SUPPRESSION_RULE_ID,
+                    message=(
+                        "malformed repro-lint comment (expected "
+                        "'# repro-lint: disable=RL-XXX <reason>'): "
+                        f"{token.string.strip()!r}"
+                    ),
+                    key=f"malformed:L{line}",
+                )
+            )
+            continue
+        rules = tuple(
+            part.strip().upper()
+            for part in match.group("rules").split(",")
+            if part.strip()
+        )
+        reason = (match.group("reason") or "").strip()
+        if not rules or not reason:
+            findings.append(
+                Finding(
+                    path=rel,
+                    line=line,
+                    col=col,
+                    rule=SUPPRESSION_RULE_ID,
+                    message=(
+                        "suppression must name rule id(s) and carry a "
+                        "reason: '# repro-lint: disable=RL-XXX <reason>'"
+                    ),
+                    key=f"bare:L{line}",
+                )
+            )
+            continue
+        standalone = token.line.strip().startswith("#")
+        suppressions.append(
+            Suppression(
+                line=line, rules=rules, reason=reason, standalone=standalone
+            )
+        )
+    return suppressions, findings
+
+
+def _link_parents(tree: ast.Module) -> None:
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            setattr(child, "_rl_parent", node)
+
+
+def load_source(rel: str, path: Path, text: str) -> SourceFile:
+    """Parse one module into a :class:`SourceFile` (raises on syntax errors)."""
+    tree = ast.parse(text, filename=str(path))
+    _link_parents(tree)
+    suppressions, load_findings = _parse_suppressions(rel, text)
+    return SourceFile(
+        rel=rel,
+        path=path,
+        text=text,
+        tree=tree,
+        suppressions=suppressions,
+        load_findings=load_findings,
+    )
+
+
+def load_project(root: Path) -> Project:
+    """Parse every ``*.py`` under ``root`` (the package directory)."""
+    root = Path(root).resolve()
+    project = Project(root=root)
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        rel = path.relative_to(root).as_posix()
+        text = path.read_text(encoding="utf-8")
+        project.files[rel] = load_source(rel, path, text)
+    return project
+
+
+# ----------------------------------------------------------------------
+# AST helpers shared by rules
+# ----------------------------------------------------------------------
+def parent(node: ast.AST) -> Optional[ast.AST]:
+    """The syntactic parent installed by :func:`load_source`."""
+    return getattr(node, "_rl_parent", None)
+
+
+def enclosing_function(node: ast.AST) -> Optional[ast.AST]:
+    """Nearest enclosing ``def`` / ``async def``, if any."""
+    cursor = parent(node)
+    while cursor is not None:
+        if isinstance(cursor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return cursor
+        cursor = parent(cursor)
+    return None
+
+
+def qualname(node: ast.AST) -> str:
+    """Dotted path of enclosing class/function scopes (for baseline keys)."""
+    names: List[str] = []
+    cursor: Optional[ast.AST] = node
+    while cursor is not None:
+        if isinstance(
+            cursor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            names.append(cursor.name)
+        cursor = parent(cursor)
+    return ".".join(reversed(names)) or "<module>"
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    cursor: ast.AST = node
+    while isinstance(cursor, ast.Attribute):
+        parts.append(cursor.attr)
+        cursor = cursor.value
+    if isinstance(cursor, ast.Name):
+        parts.append(cursor.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+# ----------------------------------------------------------------------
+# rules
+# ----------------------------------------------------------------------
+class Rule:
+    """Base class every RL-* rule subclasses.
+
+    Subclasses set :attr:`id` / :attr:`title` and implement
+    :meth:`check`, yielding :class:`Finding` records. The class docstring
+    is the rule's *rationale* — `--list-rules` prints it, so keep it an
+    explanation of why the invariant matters, not a restatement of the
+    title.
+    """
+
+    id: str = ""
+    title: str = ""
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def rationale(self) -> str:
+        import inspect
+
+        return inspect.cleandoc(self.__doc__ or "")
+
+
+# ----------------------------------------------------------------------
+# engine
+# ----------------------------------------------------------------------
+def _suppressed_by(
+    finding: Finding, suppressions: Sequence[Suppression]
+) -> bool:
+    for suppression in suppressions:
+        if not suppression.covers(finding.rule):
+            continue
+        if finding.line == suppression.line:
+            return True
+        if suppression.standalone and finding.line == suppression.line + 1:
+            return True
+    return False
+
+
+class Engine:
+    """Run a rule set over a project and fold in suppressions + baseline."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None) -> None:
+        if rules is None:
+            from repro.analysis.rules import all_rules
+
+            rules = all_rules()
+        self.rules: Tuple[Rule, ...] = tuple(rules)
+        seen: Set[str] = set()
+        for rule in self.rules:
+            if not rule.id or not rule.title:
+                raise ValueError(
+                    f"rule {type(rule).__name__} must declare id and title"
+                )
+            if rule.id in seen:
+                raise ValueError(f"duplicate rule id {rule.id}")
+            seen.add(rule.id)
+
+    def run(
+        self,
+        project: Project,
+        baseline: Optional[Baseline] = None,
+        only: Optional[Iterable[str]] = None,
+    ) -> Report:
+        wanted = {r.upper() for r in only} if only is not None else None
+        raw: List[Finding] = []
+        rules_run: List[str] = []
+        for source in project.walk():
+            raw.extend(source.load_findings)
+        for rule in self.rules:
+            if wanted is not None and rule.id not in wanted:
+                continue
+            rules_run.append(rule.id)
+            raw.extend(rule.check(project))
+        raw.sort()
+
+        live: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in raw:
+            source = project.get(finding.path)
+            if source is not None and _suppressed_by(
+                finding, source.suppressions
+            ):
+                suppressed.append(finding)
+            else:
+                live.append(finding)
+
+        baselined: List[Finding] = []
+        stale: List[Fingerprint] = []
+        if baseline is not None:
+            matched: Set[Fingerprint] = set()
+            remaining: List[Finding] = []
+            for finding in live:
+                fingerprint = finding.fingerprint()
+                if baseline.covers(fingerprint):
+                    matched.add(fingerprint)
+                    baselined.append(finding)
+                else:
+                    remaining.append(finding)
+            live = remaining
+            stale = [
+                entry.fingerprint()
+                for entry in baseline.entries
+                if entry.fingerprint() not in matched
+            ]
+
+        return Report(
+            findings=live,
+            suppressed=suppressed,
+            baselined=baselined,
+            stale_baseline=stale,
+            files_checked=len(project.files),
+            rules_run=tuple(rules_run),
+        )

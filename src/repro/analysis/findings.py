@@ -1,0 +1,60 @@
+"""Finding records: what a repro-lint rule reports and how it is keyed.
+
+A :class:`Finding` is one violation of one invariant rule at one source
+location. Findings carry two identities:
+
+* the *location* (``path:line:col``) — what a human jumps to; and
+* the *fingerprint* (``rule`` + ``path`` + ``key``) — what the baseline
+  and suppression machinery match on. ``key`` is a **semantic** handle
+  chosen by the rule (an enclosing function qualname, a lock-order edge
+  like ``ShardedService:_resize_lock->lock``, a wire method name), so a
+  grandfathered finding stays grandfathered when unrelated edits shift
+  its line number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    #: Semantic baseline key; defaults to the line anchor when a rule has
+    #: nothing more stable to offer.
+    key: str = field(default="", compare=False)
+
+    def fingerprint(self) -> "Fingerprint":
+        return Fingerprint(self.rule, self.path, self.key or f"L{self.line}")
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "key": self.key or f"L{self.line}",
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True, order=True)
+class Fingerprint:
+    """Line-independent identity of a finding (baseline match unit)."""
+
+    rule: str
+    path: str
+    key: str
+
+    def to_json(self) -> Dict[str, str]:
+        return {"rule": self.rule, "path": self.path, "key": self.key}

@@ -1,0 +1,33 @@
+"""The repro-lint rule registry.
+
+Rules self-register with :func:`register` at import time;
+:func:`all_rules` imports every rule module and returns one instance per
+registered rule, in registration order. Adding a rule family is one new
+module here plus an import below — the engine, CLI, baseline, and
+suppression machinery pick it up unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.analysis.engine import Rule
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding one rule to the registry (id must be unique)."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} must set an id")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """One instance of every registered rule, importing rule modules lazily."""
+    from repro.analysis.rules import concurrency, determinism, wire  # noqa: F401
+
+    return [cls() for cls in _REGISTRY.values()]

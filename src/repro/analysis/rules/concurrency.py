@@ -1,0 +1,562 @@
+"""Concurrency rules (RL-C*): lock discipline and event-loop hygiene.
+
+``serve/`` is the one layer of this codebase with real threads, worker
+processes, and an event loop. Its deadlock-freedom rests on unwritten
+conventions — until now. RL-C01 derives each class's lock-acquisition
+graph from the AST and checks it against a **declared** order
+(``_LOCK_ORDER`` class attribute), RL-C02 keeps blocking calls off the
+asyncio loop, RL-C03 keeps every thread accounted for (named, and
+daemonized or joined).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.engine import (
+    Project,
+    Rule,
+    SourceFile,
+    dotted_name,
+    qualname,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.rules import register
+
+#: Only the serving layer runs threads against shared mutable state.
+LOCK_SCOPE_PREFIX = "serve/"
+
+#: Class attribute declaring the permitted nesting order, outermost
+#: first. A nested acquisition A -> B is legal iff A precedes B here.
+LOCK_ORDER_ATTR = "_LOCK_ORDER"
+
+_LOCK_FACTORIES = {
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "asyncio.Lock",
+    "asyncio.Condition",
+}
+
+
+def _lock_token(node: ast.AST) -> Optional[str]:
+    """Canonical lock name for an acquired expression, if lock-like.
+
+    ``self._resize_lock`` -> ``_resize_lock``; ``shard.lock`` ->
+    ``lock``; a bare ``lock`` parameter -> ``lock``. Identity is by
+    *attribute name*, deliberately: every instance of ``shard.lock``
+    belongs to one rank in the declared order.
+    """
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    else:
+        return None
+    lowered = name.lower()
+    if lowered == "lock" or lowered.endswith("_lock"):
+        return name
+    return None
+
+
+@dataclass
+class _MethodFacts:
+    """What one method does with locks, gathered in a single AST pass."""
+
+    name: str
+    #: Locks acquired anywhere in the method body.
+    acquires: Set[str] = field(default_factory=set)
+    #: (held-snapshot, acquired, line) for every nested acquisition.
+    edges: List[Tuple[Tuple[str, ...], str, int]] = field(
+        default_factory=list
+    )
+    #: (held-snapshot, callee, line) for self-method calls under a lock.
+    calls_while_held: List[Tuple[Tuple[str, ...], str, int]] = field(
+        default_factory=list
+    )
+    #: Every direct ``self.method()`` call (held or not) — closure fuel.
+    self_calls: Set[str] = field(default_factory=set)
+
+
+class _LockWalker:
+    """Statement-ordered walk of one method, tracking the held-lock stack.
+
+    ``with``/``async with`` holds span their bodies exactly; bare
+    ``.acquire()`` holds span from the call to a matching ``.release()``
+    in the same statement sequence, else to the end of the method — a
+    sound over-approximation for lint purposes.
+    """
+
+    def __init__(self, facts: _MethodFacts) -> None:
+        self.facts = facts
+        self.held: List[str] = []
+
+    def walk(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._statement(stmt)
+
+    def _statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            acquired: List[str] = []
+            for item in stmt.items:
+                token = _lock_token(item.context_expr)
+                if token is not None:
+                    self._acquire(token, stmt.lineno)
+                    acquired.append(token)
+                else:
+                    self._scan_expr(item.context_expr)
+            self.walk(stmt.body)
+            for token in reversed(acquired):
+                self._release(token)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested defs run on their own stack/time
+        for node in ast.iter_child_nodes(stmt):
+            if isinstance(node, ast.stmt):
+                continue
+            self._scan_expr(node)
+        for attr in ("body", "orelse", "finalbody"):
+            child = getattr(stmt, attr, None)
+            if isinstance(child, list) and child and isinstance(
+                child[0], ast.stmt
+            ):
+                self.walk(child)
+        handlers = getattr(stmt, "handlers", None)
+        if handlers:
+            for handler in handlers:
+                self.walk(handler.body)
+
+    def _scan_expr(self, node: ast.AST) -> None:
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            func = call.func
+            if isinstance(func, ast.Attribute):
+                if func.attr == "acquire":
+                    token = _lock_token(func.value)
+                    if token is not None:
+                        self._acquire(token, call.lineno)
+                        continue
+                if func.attr == "release":
+                    token = _lock_token(func.value)
+                    if token is not None:
+                        self._release(token)
+                        continue
+                if (
+                    isinstance(func.value, ast.Name)
+                    and func.value.id == "self"
+                ):
+                    self.facts.self_calls.add(func.attr)
+                    if self.held:
+                        self.facts.calls_while_held.append(
+                            (tuple(self.held), func.attr, call.lineno)
+                        )
+
+    def _acquire(self, token: str, line: int) -> None:
+        self.facts.acquires.add(token)
+        if self.held:
+            self.facts.edges.append((tuple(self.held), token, line))
+        self.held.append(token)
+
+    def _release(self, token: str) -> None:
+        if token in self.held:
+            # Remove the innermost matching hold.
+            for index in range(len(self.held) - 1, -1, -1):
+                if self.held[index] == token:
+                    del self.held[index]
+                    break
+
+
+def _declared_order(cls: ast.ClassDef) -> Optional[Tuple[str, ...]]:
+    for stmt in cls.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+            value = stmt.value
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == LOCK_ORDER_ATTR
+                and isinstance(value, (ast.Tuple, ast.List))
+            ):
+                names: List[str] = []
+                for element in value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(
+                        element.value, str
+                    ):
+                        names.append(element.value)
+                return tuple(names)
+    return None
+
+
+def _lock_attrs(cls: ast.ClassDef) -> Dict[str, str]:
+    """``self.X = threading.Lock()`` assignments: attr name -> factory."""
+    attrs: Dict[str, str] = {}
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not isinstance(node.value, ast.Call):
+            continue
+        factory = dotted_name(node.value.func)
+        if factory not in _LOCK_FACTORIES:
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                attrs[target.attr] = factory
+    return attrs
+
+
+@register
+class LockOrderDiscipline(Rule):
+    """RL-C01: nested lock acquisitions must follow a declared order.
+
+    Deadlocks need two threads and two locks taken in opposite orders —
+    a bug no unit test reliably reproduces. This rule rebuilds each
+    serving class's lock-acquisition graph (``with`` nesting, bare
+    ``acquire``/``release``, plus one level of ``self.method()``
+    expansion) and requires classes that nest distinct locks to declare
+    their order in a ``_LOCK_ORDER`` class attribute, outermost first.
+    Every observed edge must then run forward along the declaration;
+    same-name self-nesting (two instances of ``shard.lock``) is flagged
+    for an explicit suppression naming the runtime ordering argument.
+    """
+
+    id = "RL-C01"
+    title = "undeclared or out-of-order nested lock acquisition"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project.walk(LOCK_SCOPE_PREFIX):
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.ClassDef):
+                    yield from self._check_class(source, node)
+
+    def _check_class(
+        self, source: SourceFile, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        methods: Dict[str, _MethodFacts] = {}
+        for stmt in cls.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                facts = _MethodFacts(name=stmt.name)
+                _LockWalker(facts).walk(stmt.body)
+                methods[stmt.name] = facts
+        if not methods:
+            return
+
+        # Transitive closure of per-method acquisitions through direct
+        # self-calls, so ``resize() -> self._pipelined()`` sees the shard
+        # locks the callee takes.
+        closure: Dict[str, Set[str]] = {
+            name: set(facts.acquires) for name, facts in methods.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for name, facts in methods.items():
+                for callee in facts.self_calls:
+                    extra = closure.get(callee, set()) - closure[name]
+                    if extra:
+                        closure[name] |= extra
+                        changed = True
+
+        edges: Dict[Tuple[str, str], Tuple[int, str]] = {}
+        for facts in methods.values():
+            for held, token, line in facts.edges:
+                for holder in held:
+                    edges.setdefault((holder, token), (line, facts.name))
+            for held, callee, line in facts.calls_while_held:
+                for token in closure.get(callee, ()):  # indirect edges
+                    for holder in held:
+                        edges.setdefault(
+                            (holder, token),
+                            (line, f"{facts.name}->{callee}"),
+                        )
+        if not edges:
+            return
+
+        order = _declared_order(cls)
+        distinct = {a for a, b in edges} | {b for a, b in edges}
+        if order is None:
+            if any(a != b for a, b in edges):
+                line = min(line for line, _ in edges.values())
+                yield Finding(
+                    path=source.rel,
+                    line=line,
+                    col=0,
+                    rule=self.id,
+                    message=(
+                        f"class {cls.name} nests locks "
+                        f"({', '.join(sorted(distinct))}) but declares no "
+                        f"{LOCK_ORDER_ATTR}; declare the permitted order, "
+                        "outermost first"
+                    ),
+                    key=f"{cls.name}:no-order",
+                )
+            order = ()
+
+        rank = {name: index for index, name in enumerate(order)}
+        for (holder, token), (line, via) in sorted(edges.items()):
+            if holder == token:
+                yield Finding(
+                    path=source.rel,
+                    line=line,
+                    col=0,
+                    rule=self.id,
+                    message=(
+                        f"{cls.name}.{via}: acquires {token!r} while "
+                        f"already holding {holder!r} (same lock name); if "
+                        "these are distinct instances taken in a stable "
+                        "order, suppress with the ordering argument"
+                    ),
+                    key=f"{cls.name}:{holder}->{token}",
+                )
+                continue
+            if not order:
+                continue
+            if holder not in rank or token not in rank:
+                missing = [
+                    name for name in (holder, token) if name not in rank
+                ]
+                yield Finding(
+                    path=source.rel,
+                    line=line,
+                    col=0,
+                    rule=self.id,
+                    message=(
+                        f"{cls.name}.{via}: nested acquisition "
+                        f"{holder} -> {token} involves lock(s) not in "
+                        f"{LOCK_ORDER_ATTR}: {', '.join(missing)}"
+                    ),
+                    key=f"{cls.name}:{holder}->{token}",
+                )
+            elif rank[holder] > rank[token]:
+                yield Finding(
+                    path=source.rel,
+                    line=line,
+                    col=0,
+                    rule=self.id,
+                    message=(
+                        f"{cls.name}.{via}: acquires {token!r} while "
+                        f"holding {holder!r}, against the declared "
+                        f"{LOCK_ORDER_ATTR} ({' > '.join(order)})"
+                    ),
+                    key=f"{cls.name}:{holder}->{token}",
+                )
+
+
+#: Calls that block the calling thread — poison inside ``async def``.
+_BLOCKING_DOTTED_PREFIXES = ("subprocess.", "requests.", "urllib.request.")
+_BLOCKING_DOTTED = {
+    "time.sleep",
+    "os.system",
+    "os.popen",
+    "socket.create_connection",
+    "socket.getaddrinfo",
+}
+
+
+@register
+class BlockingCallOnEventLoop(Rule):
+    """RL-C02: no blocking calls inside ``async def`` bodies.
+
+    One synchronous ``time.sleep`` or subprocess wait inside a coroutine
+    stalls *every* connection multiplexed on the event loop — the
+    pipelined front-end's whole value proposition. Blocking work must go
+    through ``run_in_executor`` (the ``wire_dispatch`` offload hint) or
+    ``asyncio.to_thread``. Nested synchronous ``def``s are exempt: they
+    are the executor targets.
+    """
+
+    id = "RL-C02"
+    title = "blocking call inside an async def"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project.walk(LOCK_SCOPE_PREFIX):
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.AsyncFunctionDef):
+                    yield from self._check_coroutine(source, node)
+
+    def _check_coroutine(
+        self, source: SourceFile, func: ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        for node in self._loop_nodes(func.body):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            blocking = name in _BLOCKING_DOTTED or any(
+                name.startswith(prefix)
+                for prefix in _BLOCKING_DOTTED_PREFIXES
+            )
+            if not blocking:
+                continue
+            yield Finding(
+                path=source.rel,
+                line=node.lineno,
+                col=node.col_offset,
+                rule=self.id,
+                message=(
+                    f"{name}() blocks the event loop inside async def "
+                    f"{func.name}; use run_in_executor / asyncio.to_thread"
+                ),
+                key=f"{qualname(node)}:{name}",
+            )
+
+    def _loop_nodes(self, body: Sequence[ast.stmt]) -> Iterator[ast.AST]:
+        """Every node that runs on the loop (skips nested function bodies)."""
+        stack: List[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class ThreadAccounting(Rule):
+    """RL-C03: every thread is named, and daemonized or joined.
+
+    An anonymous thread is invisible in stack dumps and leak reports
+    (the tests/serve leak sanitizer identifies threads by name); a
+    non-daemon thread that nobody joins outlives its owner and hangs
+    interpreter shutdown. Requiring ``name=`` plus either
+    ``daemon=True`` or a visible ``.join()`` on the stored handle keeps
+    the fleet's thread population auditable.
+    """
+
+    id = "RL-C03"
+    title = "thread without a name, neither daemon nor joined"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project.walk():
+            thread_aliases = {"threading.Thread"}
+            for alias in _thread_import_aliases(source.tree):
+                thread_aliases.add(alias)
+            joined = _joined_names(source.tree)
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func)
+                if name not in thread_aliases:
+                    continue
+                yield from self._check_thread(source, node, joined)
+
+    def _check_thread(
+        self, source: SourceFile, call: ast.Call, joined: Set[str]
+    ) -> Iterator[Finding]:
+        kwargs = {k.arg: k.value for k in call.keywords if k.arg}
+        scope = qualname(call)
+        target = _assign_target(call)
+        if "name" not in kwargs:
+            yield Finding(
+                path=source.rel,
+                line=call.lineno,
+                col=call.col_offset,
+                rule=self.id,
+                message=(
+                    "threading.Thread without name=: anonymous threads "
+                    "are unattributable in dumps and leak reports"
+                ),
+                key=f"{scope}:{target or 'thread'}:name",
+            )
+        daemon = kwargs.get("daemon")
+        is_daemon = (
+            isinstance(daemon, ast.Constant) and daemon.value is True
+        )
+        if is_daemon:
+            return
+        if target is not None and (
+            target in joined or _daemon_assigned(source.tree, target)
+        ):
+            return
+        yield Finding(
+            path=source.rel,
+            line=call.lineno,
+            col=call.col_offset,
+            rule=self.id,
+            message=(
+                "thread is neither daemon=True nor visibly joined "
+                "(no <handle>.join() in this module); it can outlive its "
+                "owner and hang shutdown"
+            ),
+            key=f"{scope}:{target or 'thread'}:daemon-or-join",
+        )
+
+
+def _thread_import_aliases(tree: ast.Module) -> Iterator[str]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "threading":
+            for alias in node.names:
+                if alias.name == "Thread":
+                    yield alias.asname or alias.name
+
+
+def _assign_target(call: ast.Call) -> Optional[str]:
+    """Name/attr the Thread() result is bound to, if directly assigned."""
+    from repro.analysis.engine import parent
+
+    enclosing = parent(call)
+    if isinstance(enclosing, ast.Assign) and len(enclosing.targets) == 1:
+        target = enclosing.targets[0]
+        if isinstance(target, ast.Name):
+            return target.id
+        if isinstance(target, ast.Attribute):
+            return target.attr
+    return None
+
+
+def _joined_names(tree: ast.Module) -> Set[str]:
+    """Every X in ``X.join()`` / ``self.X.join()`` calls in the module."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+        ):
+            base = node.func.value
+            if isinstance(base, ast.Name):
+                names.add(base.id)
+            elif isinstance(base, ast.Attribute):
+                names.add(base.attr)
+    return names
+
+
+def _daemon_assigned(tree: ast.Module, target: str) -> bool:
+    """True when ``<target>.daemon = True`` appears anywhere in the module."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not (
+            isinstance(node.value, ast.Constant) and node.value.value is True
+        ):
+            continue
+        for assign_target in node.targets:
+            if (
+                isinstance(assign_target, ast.Attribute)
+                and assign_target.attr == "daemon"
+            ):
+                base = assign_target.value
+                base_name = (
+                    base.id
+                    if isinstance(base, ast.Name)
+                    else base.attr
+                    if isinstance(base, ast.Attribute)
+                    else None
+                )
+                if base_name == target:
+                    return True
+    return False

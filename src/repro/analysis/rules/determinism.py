@@ -1,0 +1,348 @@
+"""Determinism rules (RL-D*): keep the bit-identity contract analyzable.
+
+Every identity gate in this repo (wire vs in-process, parallel vs
+serial, replica vs replica) assumes that *all* randomness flows through
+the seeded plumbing in ``util/rng.py`` and that deterministic modules
+never read wall clocks. These rules make those assumptions mechanical:
+an unseeded generator or a clock read in a deterministic path is caught
+at analysis time, not as a flaky identity-gate failure at bench scale.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.engine import (
+    Project,
+    Rule,
+    SourceFile,
+    dotted_name,
+    parent,
+    qualname,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.rules import register
+
+#: The one module allowed to construct generators however it likes.
+RNG_MODULE = "util/rng.py"
+
+#: Modules whose task functions must be wall-clock free. Timing belongs
+#: in the benchmark / serving layers, never in the code whose outputs
+#: the identity gates compare.
+DETERMINISTIC_PREFIXES = ("sim/", "core/")
+DETERMINISTIC_FILES = ("eval/engine.py",)
+
+#: Legacy global-state numpy draws (np.random.<fn>), all forbidden.
+_NUMPY_GLOBAL_FNS = {
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "seed",
+    "choice",
+    "shuffle",
+    "permutation",
+    "uniform",
+    "normal",
+    "standard_normal",
+}
+
+_WALL_CLOCK_DOTTED = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+}
+
+#: ``<something>.now()`` / ``.today()`` / ``.utcnow()`` tails that mean a
+#: wall-clock read no matter how datetime was imported.
+_WALL_CLOCK_TAILS = (
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+)
+
+
+def _module_imports(tree: ast.Module) -> Set[str]:
+    """Top-level module names imported as-is (``import random`` -> random)."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+    return names
+
+
+def _from_imports(tree: ast.Module, module: str) -> Set[str]:
+    """Names imported ``from <module> import name`` (local binding names)."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+    return names
+
+
+def _is_unseeded_call(call: ast.Call) -> bool:
+    """No positional seed and no seed-like kwarg => unseeded."""
+    if call.args and not (
+        isinstance(call.args[0], ast.Constant) and call.args[0].value is None
+    ):
+        return False
+    if any(k.arg in ("seed", "key") for k in call.keywords):
+        return False
+    return True
+
+
+@register
+class UnseededRandomness(Rule):
+    """RL-D01: all randomness must flow through ``util/rng.py``.
+
+    An unseeded ``np.random.default_rng()``, any legacy global-state
+    ``np.random.<fn>`` draw, or the stdlib ``random`` module's shared
+    global generator produces values that depend on process history —
+    the exact property the parallel engine's counter-addressed Philox
+    streams exist to rule out. One stray call turns "bit-identical for
+    any --jobs" into "usually identical", which is undetectable in unit
+    tests and fatal at bench scale.
+    """
+
+    id = "RL-D01"
+    title = "unseeded or global-state RNG outside util/rng.py"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project.walk():
+            if source.rel == RNG_MODULE:
+                continue
+            yield from self._check_file(source)
+
+    def _check_file(self, source: SourceFile) -> Iterator[Finding]:
+        modules = _module_imports(source.tree)
+        random_names = _from_imports(source.tree, "random")
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(source, node, random_names)
+            elif isinstance(node, ast.Name) and "random" in modules:
+                yield from self._check_bare_module(source, node)
+
+    def _check_call(
+        self, source: SourceFile, call: ast.Call, random_names: Set[str]
+    ) -> Iterator[Finding]:
+        name = dotted_name(call.func)
+        if name is None:
+            # ``from random import random`` style bare calls.
+            if (
+                isinstance(call.func, ast.Name)
+                and call.func.id in random_names
+            ):
+                yield self._finding(
+                    source,
+                    call,
+                    f"stdlib random.{call.func.id} uses the process-global "
+                    "generator; use util.rng (seeded) instead",
+                    call.func.id,
+                )
+            return
+        parts = name.split(".")
+        tail = parts[-1]
+        if tail == "default_rng" and _is_unseeded_call(call):
+            yield self._finding(
+                source,
+                call,
+                "unseeded default_rng(): results depend on OS entropy; "
+                "derive a seed via util.rng (task_key/derive_seed)",
+                name,
+            )
+        elif (
+            len(parts) >= 2
+            and parts[-2] == "random"
+            and parts[0] in ("np", "numpy")
+            and tail in _NUMPY_GLOBAL_FNS
+        ):
+            yield self._finding(
+                source,
+                call,
+                f"legacy global-state numpy draw np.random.{tail}(); "
+                "use a Generator from util.rng",
+                name,
+            )
+        elif parts[0] == "random" and len(parts) == 2:
+            if tail == "Random" and not _is_unseeded_call(call):
+                return  # random.Random(seed) is an isolated, seeded stream
+            yield self._finding(
+                source,
+                call,
+                f"stdlib random.{tail} draws from (or is) unseeded global "
+                "state; seed it or route through util.rng",
+                name,
+            )
+
+    def _check_bare_module(
+        self, source: SourceFile, node: ast.Name
+    ) -> Iterator[Finding]:
+        if node.id != "random" or not isinstance(node.ctx, ast.Load):
+            return
+        enclosing = parent(node)
+        # ``random.<attr>`` is handled as a call; flag the module object
+        # itself being passed around as a generator.
+        if isinstance(enclosing, ast.Attribute):
+            return
+        if isinstance(enclosing, (ast.Import, ast.ImportFrom)):
+            return
+        yield self._finding(
+            source,
+            node,
+            "the bare 'random' module used as a generator shares global "
+            "state across the whole process; use a private random.Random",
+            "random-module",
+        )
+
+    def _finding(
+        self, source: SourceFile, node: ast.AST, message: str, callee: str
+    ) -> Finding:
+        return Finding(
+            path=source.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.id,
+            message=message,
+            key=f"{qualname(node)}:{callee}",
+        )
+
+
+@register
+class WallClockInDeterministicModule(Rule):
+    """RL-D02: no wall-clock reads in ``sim/``, ``core/``, ``eval/engine.py``.
+
+    The outputs of these modules are compared bit-for-bit across
+    processes, transports, and replicas. A ``time.time()`` or
+    ``datetime.now()`` read anywhere in them either leaks into results
+    (breaking identity) or silently couples behavior to scheduling
+    (breaking replayability). Timing measurements belong in the
+    benchmark and serving layers, which are excluded by construction.
+    """
+
+    id = "RL-D02"
+    title = "wall-clock read in a deterministic module"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project.walk():
+            if not self._in_scope(source.rel):
+                continue
+            time_names = _from_imports(source.tree, "time")
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func)
+                flagged: Optional[str] = None
+                if name in _WALL_CLOCK_DOTTED:
+                    flagged = name
+                elif name is not None and any(
+                    name == tail or name.endswith("." + tail)
+                    for tail in _WALL_CLOCK_TAILS
+                ):
+                    flagged = name
+                elif (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in time_names
+                ):
+                    flagged = f"time.{node.func.id}"
+                if flagged is None:
+                    continue
+                yield Finding(
+                    path=source.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.id,
+                    message=(
+                        f"{flagged}() in deterministic module: timing "
+                        "belongs in benchmark/serve layers, clock values "
+                        "must never feed deterministic outputs"
+                    ),
+                    key=f"{qualname(node)}:{flagged}",
+                )
+
+    @staticmethod
+    def _in_scope(rel: str) -> bool:
+        return rel.startswith(DETERMINISTIC_PREFIXES) or (
+            rel in DETERMINISTIC_FILES
+        )
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name in ("set", "frozenset")
+    return False
+
+
+@register
+class SetIterationAccumulation(Rule):
+    """RL-D03: no numeric accumulation over ``set`` iteration order.
+
+    Python set iteration order depends on insertion history and hash
+    randomization of the values involved; floating-point addition is not
+    associative, so ``sum`` (or ``+=`` in a loop) over a set can differ
+    in the last mantissa bits between two runs that contain identical
+    elements. That is precisely the failure mode the identity gates
+    exist to catch — sort the elements (or iterate a list/tuple) before
+    accumulating.
+    """
+
+    id = "RL-D03"
+    title = "numeric accumulation over set iteration order"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project.walk():
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.For) and _is_set_expr(node.iter):
+                    if self._accumulates(node.body):
+                        yield self._finding(source, node, "for-loop")
+                elif isinstance(node, ast.Call):
+                    name = dotted_name(node.func)
+                    if name != "sum" or not node.args:
+                        continue
+                    arg = node.args[0]
+                    if _is_set_expr(arg):
+                        yield self._finding(source, node, "sum")
+                    elif isinstance(
+                        arg, (ast.GeneratorExp, ast.ListComp)
+                    ) and any(
+                        _is_set_expr(gen.iter) for gen in arg.generators
+                    ):
+                        yield self._finding(source, node, "sum-comp")
+
+    @staticmethod
+    def _accumulates(body: List[ast.stmt]) -> bool:
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.AugAssign) and isinstance(
+                    node.op, (ast.Add, ast.Sub, ast.Mult)
+                ):
+                    return True
+        return False
+
+    def _finding(
+        self, source: SourceFile, node: ast.AST, kind: str
+    ) -> Finding:
+        return Finding(
+            path=source.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.id,
+            message=(
+                "numeric accumulation over set iteration order is "
+                "non-deterministic (float addition is not associative); "
+                "sort the elements first"
+            ),
+            key=f"{qualname(node)}:{kind}:L{getattr(node, 'lineno', 1)}",
+        )

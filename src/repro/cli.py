@@ -653,6 +653,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--describe", action="store_true", help="print full descriptions"
     )
 
+    analyze = sub.add_parser(
+        "analyze",
+        help="repro-lint: AST invariant checks (determinism, locks, wire)",
+    )
+    analyze.add_argument("--root", default=None, help="tree to analyze")
+    analyze.add_argument("--baseline", default=None, help="baseline JSON")
+    analyze.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    analyze.add_argument("--out", default=None, help="write JSON report here")
+    analyze.add_argument(
+        "--rule", action="append", dest="rules", metavar="RL-XXX"
+    )
+    analyze.add_argument("--list-rules", action="store_true")
+
     bench = sub.add_parser("bench", help="batch-vs-loop performance benchmark")
     bench.add_argument(
         "--sizes", nargs="+", default=list(DEFAULT_SIZES),
@@ -815,6 +830,23 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.__main__ import main as analysis_main
+
+    forwarded: List[str] = ["--format", args.format]
+    if args.root is not None:
+        forwarded += ["--root", args.root]
+    if args.baseline is not None:
+        forwarded += ["--baseline", args.baseline]
+    if args.out is not None:
+        forwarded += ["--out", args.out]
+    for rule in args.rules or ():
+        forwarded += ["--rule", rule]
+    if args.list_rules:
+        forwarded += ["--list-rules"]
+    return analysis_main(forwarded)
+
+
 _COMMANDS = {
     "quickstart": _cmd_quickstart,
     "drift": _cmd_drift,
@@ -823,6 +855,7 @@ _COMMANDS = {
     "fig5": _cmd_fig5,
     "floorplan": _cmd_floorplan,
     "scenarios": _cmd_scenarios,
+    "analyze": _cmd_analyze,
     "bench": _cmd_bench,
     "serve": _cmd_serve,
     "query": _cmd_query,

@@ -968,3 +968,45 @@ class AsyncServiceClient:
 
     async def stats(self) -> Dict[str, Any]:
         return await self.call("stats")
+
+    # Same wrapper-per-wire-method surface as the sync ServiceClient
+    # (RL-W02 parity): code written against one client runs against the
+    # other by swapping awaits in.
+    async def update(
+        self, site: str, day: float, *, cold: str = "raise"
+    ) -> Dict[str, Any]:
+        return await self.call(
+            "update", {"site": site, "day": day, "cold": cold}
+        )
+
+    async def commission(self, site: str, day: float) -> Dict[str, Any]:
+        return await self.call("commission", {"site": site, "day": day})
+
+    async def staleness(self, site: str, day: float) -> Optional[float]:
+        body = await self.call("staleness", {"site": site, "day": day})
+        return body["staleness"]
+
+    async def drift(
+        self, site: str, day: float, frames: int = 32
+    ) -> Optional[Dict[str, float]]:
+        """Measured drift reading for ``site`` at ``day`` (None when cold)."""
+        body = await self.call(
+            "drift", {"site": site, "day": day, "frames": frames}
+        )
+        return body.get("drift")
+
+    async def scrub(self, sites=None) -> Dict[str, Any]:
+        """Run one anti-entropy scrub pass on a sharded backend."""
+        params = {} if sites is None else {"sites": list(sites)}
+        return await self.call("scrub", params)
+
+    async def site_summary(self, site: str) -> Dict[str, Any]:
+        return await self.call("site_summary", {"site": site})
+
+    async def summary(self) -> List[Dict[str, Any]]:
+        return (await self.call("summary"))["sites"]
+
+    async def resize(self, shards: int) -> Dict[str, Any]:
+        """Resize a sharded backend to ``shards`` workers (moved sites in
+        the returned body). Non-idempotent: never auto-retried."""
+        return await self.call("resize", {"shards": shards})

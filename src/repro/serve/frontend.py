@@ -570,10 +570,11 @@ class ServiceClient:
             jittered to 50–100% of its nominal value so restarted
             servers are not hit by synchronized client herds.
         jitter_seed: Seed for the backoff jitter source. ``None`` (the
-            default) draws from the module-level PRNG — different
-            clients de-synchronize naturally. Pass an int for an exact,
-            reproducible retry schedule (retry-timing tests assert the
-            sleep sequence down to the float).
+            default) seeds a private PRNG from OS entropy — different
+            clients de-synchronize naturally without sharing global
+            state. Pass an int for an exact, reproducible retry
+            schedule (retry-timing tests assert the sleep sequence down
+            to the float).
     """
 
     def __init__(
@@ -591,10 +592,12 @@ class ServiceClient:
         self.retries = int(retries)
         self.backoff = float(backoff)
         self.max_backoff = float(max_backoff)
-        # A private Random when seeded (deterministic schedules); the
-        # shared module PRNG otherwise (cross-client de-synchronization).
-        self._jitter = (
-            random.Random(jitter_seed) if jitter_seed is not None else random
+        # Always a private Random instance: seeded for deterministic
+        # schedules, entropy-seeded otherwise (cross-client
+        # de-synchronization without sharing the module-global PRNG,
+        # whose draw interleaving would couple concurrent clients).
+        self._jitter = random.Random(
+            jitter_seed if jitter_seed is not None else os.urandom(8)
         )
         self.address = str(address)
         parts = urlsplit(self.address)
@@ -786,3 +789,8 @@ class ServiceClient:
 
     def health(self) -> Dict[str, Any]:
         return self.call("health")
+
+    def resize(self, shards: int) -> Dict[str, Any]:
+        """Resize a sharded backend to ``shards`` workers (moved sites in
+        the returned body). Non-idempotent: never auto-retried."""
+        return self.call("resize", {"shards": shards})

@@ -59,7 +59,7 @@ true}`` line will follow instead of inline ``params["frames"]``.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -177,7 +177,7 @@ def decode(data: bytes) -> Dict[str, Any]:
 
 
 def dispatch(
-    backend, method: str, params: Optional[Dict[str, Any]]
+    backend: Any, method: str, params: Optional[Dict[str, Any]]
 ) -> Tuple[int, Dict[str, Any]]:
     """Apply one wire request to ``backend``; returns ``(status, body)``.
 
@@ -243,7 +243,9 @@ def _as_rss(value: Any) -> np.ndarray:
     return rss
 
 
-def _batch_body(site: str, day: float, result, include_scores: bool) -> Dict:
+def _batch_body(
+    site: str, day: float, result: Any, include_scores: bool
+) -> Dict[str, Any]:
     body = {
         "site": site,
         "day": day,
@@ -260,7 +262,9 @@ def _batch_body(site: str, day: float, result, include_scores: bool) -> Dict:
     return body
 
 
-def _per_frame_batch_body(backend, site: str, frames, day: float) -> Dict:
+def _per_frame_batch_body(
+    backend: Any, site: str, frames: Any, day: float
+) -> Dict[str, Any]:
     cells: List[int] = []
     positions: List[List[float]] = []
     best: List[float] = []
@@ -287,7 +291,12 @@ def _per_frame_batch_body(backend, site: str, frames, day: float) -> Dict:
     return body
 
 
-def _handle_query(backend, params):
+def _handle_query(backend: Any, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Localize one RSS frame.
+
+    Errors: 400 (malformed params/RSS), 404 (unknown site), 409 (no
+    epoch serving that day), 503 (not commissioned / no live replica).
+    """
     site, rss, day = _require(params, "site", "rss", "day")
     result = backend.query(str(site), _as_rss(rss), _as_day(day))
     cell = int(result.cell)
@@ -303,7 +312,14 @@ def _handle_query(backend, params):
     return body
 
 
-def _handle_query_batch(backend, params):
+def _handle_query_batch(
+    backend: Any, params: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Localize a batch of frames (optionally per-frame for bit-identity).
+
+    Errors: 400 (malformed params/frames), 404 (unknown site), 409 (no
+    epoch serving that day), 503 (not commissioned / no live replica).
+    """
     site, frames, day = _require(params, "site", "frames", "day")
     day = _as_day(day)
     if params.get("per_frame"):
@@ -327,7 +343,14 @@ def _handle_query_batch(backend, params):
     return body
 
 
-def _handle_query_trace(backend, params):
+def _handle_query_trace(
+    backend: Any, params: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Localize a live trace in one backend call (streamable encoding).
+
+    Errors: 400 (malformed params/frames), 404 (unknown site), 409 (no
+    epoch serving that day), 503 (not commissioned / no live replica).
+    """
     site, frames, day = _require(params, "site", "frames", "day")
     day = _as_day(day)
     trace = LiveTrace(day=day, rss=_as_frames(frames))
@@ -335,20 +358,38 @@ def _handle_query_trace(backend, params):
     return _batch_body(site, day, result, bool(params.get("include_scores")))
 
 
-def _handle_site_summary(backend, params):
+def _handle_site_summary(
+    backend: Any, params: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Per-site serving metadata.
+
+    Errors: 400 (missing site param), 404 (unknown site).
+    """
     (site,) = _require(params, "site")
     return dict(backend.site_summary(str(site)))
 
 
-def _handle_summary(backend, params):
+def _handle_summary(backend: Any, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Summary rows for every registered site.
+
+    Errors: none.
+    """
     return {"sites": [dict(row) for row in backend.summary()]}
 
 
-def _handle_sites(backend, params):
+def _handle_sites(backend: Any, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Registered site names.
+
+    Errors: none.
+    """
     return {"sites": list(backend.sites())}
 
 
-def _handle_warm(backend, params):
+def _handle_warm(backend: Any, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Materialize (and commission) the named sites, or all of them.
+
+    Errors: 400 (sites not a list), 404 (unknown site).
+    """
     sites = params.get("sites")
     if sites is not None and not isinstance(sites, (list, tuple)):
         raise ValueError("sites must be a list of site names")
@@ -356,7 +397,13 @@ def _handle_warm(backend, params):
     return {"warmed": list(warmed)}
 
 
-def _handle_update(backend, params):
+def _handle_update(backend: Any, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one fingerprint update at ``day`` (never auto-retried).
+
+    Errors: 400 (malformed params / bad cold policy), 404 (unknown
+    site), 503 (cold site with cold="raise", or a replica down during
+    fan-out).
+    """
     site, day = _require(params, "site", "day")
     day = _as_day(day)
     cold = str(params.get("cold", "raise"))
@@ -374,14 +421,27 @@ def _handle_update(backend, params):
     }
 
 
-def _handle_commission(backend, params):
+def _handle_commission(
+    backend: Any, params: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Survey and commission a site at ``day`` (never auto-retried).
+
+    Errors: 400 (malformed params), 404 (unknown site), 503 (already
+    commissioned, or a replica down during fan-out).
+    """
     site, day = _require(params, "site", "day")
     day = _as_day(day)
     backend.commission(str(site), day)
     return {"site": site, "day": day, "action": "commissioned"}
 
 
-def _handle_staleness(backend, params):
+def _handle_staleness(
+    backend: Any, params: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Days since the serving epoch (null for a cold site).
+
+    Errors: 400 (malformed params), 404 (unknown site).
+    """
     site, day = _require(params, "site", "day")
     day = _as_day(day)
     staleness = backend.staleness(str(site), day)
@@ -392,7 +452,11 @@ def _handle_staleness(backend, params):
     }
 
 
-def _handle_stats(backend, params):
+def _handle_stats(backend: Any, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Service-level query/frame counters.
+
+    Errors: none.
+    """
     stats = backend.service_stats()
     return {
         "queries": int(stats.queries),
@@ -401,7 +465,11 @@ def _handle_stats(backend, params):
     }
 
 
-def _handle_health(backend, params):
+def _handle_health(backend: Any, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Liveness report (per-shard/per-replica when the backend is sharded).
+
+    Errors: none.
+    """
     health = getattr(backend, "health", None)
     if health is None:
         return {"status": "ok", "sites": len(backend.sites())}
@@ -410,7 +478,12 @@ def _handle_health(backend, params):
     return dict(health())
 
 
-def _handle_drift(backend, params):
+def _handle_drift(backend: Any, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Measured drift of the serving fingerprints against a fresh probe.
+
+    Errors: 400 (malformed params), 404 (unknown site), 503 (backend
+    does not measure drift).
+    """
     site, day = _require(params, "site", "day")
     day = _as_day(day)
     frames = params.get("frames", 32)
@@ -427,7 +500,12 @@ def _handle_drift(backend, params):
     return {"drift": dict(reading)}
 
 
-def _handle_scrub(backend, params):
+def _handle_scrub(backend: Any, params: Dict[str, Any]) -> Dict[str, Any]:
+    """One synchronous anti-entropy scrub pass.
+
+    Errors: 400 (sites not a list), 404 (unknown site), 503 (backend is
+    not a sharded service).
+    """
     sites = params.get("sites")
     if sites is not None and not isinstance(sites, (list, tuple)):
         raise ValueError("sites must be a list of site names")
@@ -439,7 +517,12 @@ def _handle_scrub(backend, params):
     return dict(scrub(None if sites is None else [str(s) for s in sites]))
 
 
-def _handle_resize(backend, params):
+def _handle_resize(backend: Any, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Live-resize the worker fleet (never auto-retried).
+
+    Errors: 400 (shards not a positive integer), 503 (backend is not a
+    sharded service, or a replica down during the move).
+    """
     (shards,) = _require(params, "shards")
     try:
         shards = int(shards)
@@ -466,7 +549,9 @@ STREAM_CHUNK_FRAMES = 64
 _STREAM_COLUMNS = ("cells", "positions", "scores")
 
 
-def iter_trace_stream(body: Dict[str, Any], chunk: int = STREAM_CHUNK_FRAMES):
+def iter_trace_stream(
+    body: Dict[str, Any], chunk: int = STREAM_CHUNK_FRAMES
+) -> Iterator[Dict[str, Any]]:
     """Yield the stream messages encoding one ``query_trace`` body.
 
     The first message is the header (scalar metadata + ``"stream": true``

@@ -516,6 +516,24 @@ class ShardedService:
     #: inline would stall every pipelined request behind one worker.
     wire_dispatch = "offload"
 
+    #: Declared lock-acquisition order, outermost first (enforced by
+    #: repro-lint RL-C01): a thread may acquire a lock only while holding
+    #: locks that appear *earlier* in this tuple. ``_resize_lock``
+    #: serializes topology changes and is always outermost;
+    #: ``respawn_lock`` (per ``_Shard``) gates one respawner at a time;
+    #: ``_quarantine_lock`` guards the quarantined-replica set; ``lock``
+    #: is the per-``_Shard`` pipe lock (multiple instances are only ever
+    #: taken together in ascending shard-index order, see
+    #: ``_pipelined``); ``_stale_lock`` guards the degraded-mode manager
+    #: and is a leaf.
+    _LOCK_ORDER = (
+        "_resize_lock",
+        "respawn_lock",
+        "_quarantine_lock",
+        "lock",
+        "_stale_lock",
+    )
+
     def __init__(
         self,
         specs: Mapping[str, Union[ScenarioSpec, dict, str]],

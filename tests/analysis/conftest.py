@@ -1,0 +1,29 @@
+"""Helpers for exercising repro-lint rules against in-memory snippets."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import Dict, List
+
+from repro.analysis.engine import Engine, Project, Report, load_source
+from repro.analysis.findings import Finding
+
+
+def make_project(files: Dict[str, str]) -> Project:
+    """Build a :class:`Project` from ``{relpath: source}`` without disk I/O."""
+    project = Project(root=Path("/virtual"))
+    for rel, text in files.items():
+        source = textwrap.dedent(text)
+        project.files[rel] = load_source(rel, Path("/virtual") / rel, source)
+    return project
+
+
+def run_rules(files: Dict[str, str], *rule_ids: str) -> Report:
+    """Run only ``rule_ids`` (plus load-time findings) over ``files``."""
+    project = make_project(files)
+    return Engine().run(project, baseline=None, only=list(rule_ids))
+
+
+def findings_for(files: Dict[str, str], rule_id: str) -> List[Finding]:
+    return run_rules(files, rule_id).findings

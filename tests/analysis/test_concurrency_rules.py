@@ -1,0 +1,276 @@
+"""RL-C* concurrency rules: trigger and pass fixtures for each."""
+
+from tests.analysis.conftest import findings_for
+
+
+class TestLockOrderDiscipline:
+    RULE = "RL-C01"
+
+    def test_nested_locks_without_declared_order_flagged(self):
+        findings = findings_for(
+            {
+                "serve/fleet.py": """
+                import threading
+
+                class Fleet:
+                    def __init__(self):
+                        self._resize_lock = threading.Lock()
+                        self.lock = threading.Lock()
+
+                    def resize(self):
+                        with self._resize_lock:
+                            with self.lock:
+                                pass
+                """
+            },
+            self.RULE,
+        )
+        assert len(findings) == 1
+        assert "_LOCK_ORDER" in findings[0].message
+        assert findings[0].key == "Fleet:no-order"
+
+    def test_declared_order_respected_passes(self):
+        files = {
+            "serve/fleet.py": """
+            import threading
+
+            class Fleet:
+                _LOCK_ORDER = ("_resize_lock", "lock")
+
+                def __init__(self):
+                    self._resize_lock = threading.Lock()
+                    self.lock = threading.Lock()
+
+                def resize(self):
+                    with self._resize_lock:
+                        with self.lock:
+                            pass
+            """
+        }
+        assert findings_for(files, self.RULE) == []
+
+    def test_acquisition_against_declared_order_flagged(self):
+        findings = findings_for(
+            {
+                "serve/fleet.py": """
+                import threading
+
+                class Fleet:
+                    _LOCK_ORDER = ("lock", "_resize_lock")
+
+                    def __init__(self):
+                        self._resize_lock = threading.Lock()
+                        self.lock = threading.Lock()
+
+                    def resize(self):
+                        with self._resize_lock:
+                            with self.lock:
+                                pass
+                """
+            },
+            self.RULE,
+        )
+        assert len(findings) == 1
+        assert "against the declared" in findings[0].message
+        assert findings[0].key == "Fleet:_resize_lock->lock"
+
+    def test_indirect_acquisition_through_self_call_flagged(self):
+        # resize() never touches shard locks directly; the edge only
+        # exists through one level of self-method expansion.
+        findings = findings_for(
+            {
+                "serve/fleet.py": """
+                import threading
+
+                class Fleet:
+                    _LOCK_ORDER = ("lock", "_resize_lock")
+
+                    def __init__(self):
+                        self._resize_lock = threading.Lock()
+                        self.lock = threading.Lock()
+
+                    def resize(self):
+                        with self._resize_lock:
+                            self._drain()
+
+                    def _drain(self):
+                        with self.lock:
+                            pass
+                """
+            },
+            self.RULE,
+        )
+        assert len(findings) == 1
+        assert findings[0].key == "Fleet:_resize_lock->lock"
+
+    def test_same_name_nesting_flagged_for_explicit_suppression(self):
+        findings = findings_for(
+            {
+                "serve/fleet.py": """
+                class Fleet:
+                    _LOCK_ORDER = ("lock",)
+
+                    def swap(self, a, b):
+                        with a.lock:
+                            with b.lock:
+                                pass
+                """
+            },
+            self.RULE,
+        )
+        assert len(findings) == 1
+        assert "same lock name" in findings[0].message
+
+    def test_non_serve_files_out_of_scope(self):
+        files = {
+            "core/solver.py": """
+            import threading
+
+            class Solver:
+                def run(self):
+                    with self.a_lock:
+                        with self.b_lock:
+                            pass
+            """
+        }
+        assert findings_for(files, self.RULE) == []
+
+
+class TestBlockingCallOnEventLoop:
+    RULE = "RL-C02"
+
+    def test_time_sleep_in_coroutine_flagged(self):
+        findings = findings_for(
+            {
+                "serve/aio.py": """
+                import time
+
+                async def handler(request):
+                    time.sleep(0.1)
+                    return request
+                """
+            },
+            self.RULE,
+        )
+        assert len(findings) == 1
+        assert "time.sleep" in findings[0].message
+
+    def test_run_in_executor_passes(self):
+        files = {
+            "serve/aio.py": """
+            import asyncio
+            import time
+
+            async def handler(loop, request):
+                await loop.run_in_executor(None, time.sleep, 0.1)
+                return request
+            """
+        }
+        assert findings_for(files, self.RULE) == []
+
+    def test_nested_sync_def_is_exempt(self):
+        # The nested def is the executor target; it runs off-loop.
+        files = {
+            "serve/aio.py": """
+            import subprocess
+
+            async def handler(loop):
+                def work():
+                    return subprocess.run(["true"])
+                return await loop.run_in_executor(None, work)
+            """
+        }
+        assert findings_for(files, self.RULE) == []
+
+    def test_subprocess_in_coroutine_flagged(self):
+        findings = findings_for(
+            {
+                "serve/aio.py": """
+                import subprocess
+
+                async def handler():
+                    return subprocess.run(["true"])
+                """
+            },
+            self.RULE,
+        )
+        assert len(findings) == 1
+
+
+class TestThreadAccounting:
+    RULE = "RL-C03"
+
+    def test_anonymous_undisposed_thread_flagged_twice(self):
+        findings = findings_for(
+            {
+                "serve/manager.py": """
+                import threading
+
+                def start(fn):
+                    t = threading.Thread(target=fn)
+                    t.start()
+                    return t
+                """
+            },
+            self.RULE,
+        )
+        keys = {f.key for f in findings}
+        assert len(findings) == 2
+        assert any(k.endswith(":name") for k in keys)
+        assert any(k.endswith(":daemon-or-join") for k in keys)
+
+    def test_named_daemon_thread_passes(self):
+        files = {
+            "serve/manager.py": """
+            import threading
+
+            def start(fn):
+                t = threading.Thread(target=fn, name="worker", daemon=True)
+                t.start()
+                return t
+            """
+        }
+        assert findings_for(files, self.RULE) == []
+
+    def test_named_joined_thread_passes(self):
+        files = {
+            "serve/manager.py": """
+            import threading
+
+            def run(fn):
+                t = threading.Thread(target=fn, name="worker")
+                t.start()
+                t.join()
+            """
+        }
+        assert findings_for(files, self.RULE) == []
+
+    def test_daemon_assigned_after_construction_passes(self):
+        files = {
+            "serve/manager.py": """
+            import threading
+
+            def start(fn):
+                t = threading.Thread(target=fn, name="worker")
+                t.daemon = True
+                t.start()
+                return t
+            """
+        }
+        assert findings_for(files, self.RULE) == []
+
+    def test_thread_import_alias_is_tracked(self):
+        findings = findings_for(
+            {
+                "serve/manager.py": """
+                from threading import Thread as T
+
+                def start(fn):
+                    t = T(target=fn)
+                    t.start()
+                    return t
+                """
+            },
+            self.RULE,
+        )
+        assert len(findings) == 2

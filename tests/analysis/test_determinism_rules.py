@@ -1,0 +1,246 @@
+"""RL-D* determinism rules: trigger and pass fixtures for each."""
+
+from tests.analysis.conftest import findings_for
+
+
+class TestUnseededRandomness:
+    RULE = "RL-D01"
+
+    def test_unseeded_default_rng_flagged(self):
+        findings = findings_for(
+            {
+                "core/model.py": """
+                import numpy as np
+
+                def draw():
+                    rng = np.random.default_rng()
+                    return rng.normal()
+                """
+            },
+            self.RULE,
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == self.RULE
+        assert "default_rng" in findings[0].message
+        assert findings[0].key.startswith("draw:")
+
+    def test_seeded_default_rng_passes(self):
+        files = {
+            "core/model.py": """
+            import numpy as np
+
+            def draw(seed):
+                a = np.random.default_rng(seed)
+                b = np.random.default_rng(seed=seed)
+                return a, b
+            """
+        }
+        assert findings_for(files, self.RULE) == []
+
+    def test_legacy_global_numpy_draw_flagged(self):
+        findings = findings_for(
+            {
+                "core/model.py": """
+                import numpy as np
+
+                def draw():
+                    return np.random.normal(size=3)
+                """
+            },
+            self.RULE,
+        )
+        assert len(findings) == 1
+        assert "np.random.normal" in findings[0].message
+
+    def test_stdlib_random_global_flagged(self):
+        findings = findings_for(
+            {
+                "serve/util.py": """
+                import random
+
+                def jitter():
+                    return random.uniform(0.5, 1.0)
+                """
+            },
+            self.RULE,
+        )
+        assert len(findings) == 1
+        assert "random.uniform" in findings[0].message
+
+    def test_seeded_private_random_instance_passes(self):
+        files = {
+            "serve/util.py": """
+            import random
+
+            def jitter(seed):
+                return random.Random(seed).uniform(0.5, 1.0)
+            """
+        }
+        assert findings_for(files, self.RULE) == []
+
+    def test_unseeded_random_instance_flagged(self):
+        findings = findings_for(
+            {
+                "serve/util.py": """
+                import random
+
+                def jitter():
+                    return random.Random().uniform(0.5, 1.0)
+                """
+            },
+            self.RULE,
+        )
+        assert len(findings) == 1
+
+    def test_bare_module_as_generator_flagged(self):
+        findings = findings_for(
+            {
+                "core/model.py": """
+                import random
+
+                def shuffled(items, shuffle):
+                    shuffle(items, random)
+                    return items
+                """
+            },
+            self.RULE,
+        )
+        assert len(findings) == 1
+        assert "bare 'random' module" in findings[0].message
+
+    def test_rng_module_is_exempt(self):
+        files = {
+            "util/rng.py": """
+            import numpy as np
+
+            def entropy_generator():
+                return np.random.default_rng()
+            """
+        }
+        assert findings_for(files, self.RULE) == []
+
+
+class TestWallClockInDeterministicModule:
+    RULE = "RL-D02"
+
+    def test_time_call_in_sim_flagged(self):
+        findings = findings_for(
+            {
+                "sim/collector.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+                """
+            },
+            self.RULE,
+        )
+        assert len(findings) == 1
+        assert "time.time" in findings[0].message
+
+    def test_from_import_alias_flagged(self):
+        findings = findings_for(
+            {
+                "core/solver.py": """
+                from time import perf_counter
+
+                def solve():
+                    start = perf_counter()
+                    return start
+                """
+            },
+            self.RULE,
+        )
+        assert len(findings) == 1
+
+    def test_datetime_now_flagged(self):
+        findings = findings_for(
+            {
+                "eval/engine.py": """
+                import datetime
+
+                def stamp():
+                    return datetime.datetime.now()
+                """
+            },
+            self.RULE,
+        )
+        assert len(findings) == 1
+
+    def test_serve_layer_out_of_scope(self):
+        files = {
+            "serve/frontend.py": """
+            import time
+
+            def deadline():
+                return time.monotonic() + 5.0
+            """
+        }
+        assert findings_for(files, self.RULE) == []
+
+
+class TestSetIterationAccumulation:
+    RULE = "RL-D03"
+
+    def test_for_over_set_literal_accumulating_flagged(self):
+        findings = findings_for(
+            {
+                "core/scores.py": """
+                def total(values):
+                    acc = 0.0
+                    for v in {1.0, 2.0, 3.0}:
+                        acc += v
+                    return acc
+                """
+            },
+            self.RULE,
+        )
+        assert len(findings) == 1
+
+    def test_sum_over_set_call_flagged(self):
+        findings = findings_for(
+            {
+                "core/scores.py": """
+                def total(values):
+                    return sum(set(values))
+                """
+            },
+            self.RULE,
+        )
+        assert len(findings) == 1
+
+    def test_sum_comprehension_over_set_flagged(self):
+        findings = findings_for(
+            {
+                "core/scores.py": """
+                def total(values):
+                    return sum(v * v for v in set(values))
+                """
+            },
+            self.RULE,
+        )
+        assert len(findings) == 1
+
+    def test_sorted_iteration_passes(self):
+        files = {
+            "core/scores.py": """
+            def total(values):
+                acc = 0.0
+                for v in sorted(set(values)):
+                    acc += v
+                return acc + sum(sorted(set(values)))
+            """
+        }
+        assert findings_for(files, self.RULE) == []
+
+    def test_non_numeric_set_loop_passes(self):
+        files = {
+            "core/scores.py": """
+            def collect(values):
+                out = []
+                for v in set(values):
+                    out.append(v)
+                return out
+            """
+        }
+        assert findings_for(files, self.RULE) == []

@@ -1,0 +1,190 @@
+"""Engine policy: suppression comments, RL-S00, and the baseline cycle."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.engine import SUPPRESSION_RULE_ID, Engine
+from tests.analysis.conftest import make_project, run_rules
+
+VIOLATION = """
+import numpy as np
+
+def draw():
+    return np.random.default_rng()
+"""
+
+
+class TestSuppressions:
+    def test_same_line_suppression_silences_finding(self):
+        report = run_rules(
+            {
+                "core/model.py": (
+                    "import numpy as np\n"
+                    "\n"
+                    "def draw():\n"
+                    "    return np.random.default_rng()"
+                    "  # repro-lint: disable=RL-D01 entropy probe only\n"
+                )
+            },
+            "RL-D01",
+        )
+        assert report.ok
+        assert len(report.suppressed) == 1
+        assert report.suppressed[0].rule == "RL-D01"
+
+    def test_standalone_comment_covers_next_line(self):
+        report = run_rules(
+            {
+                "core/model.py": (
+                    "import numpy as np\n"
+                    "\n"
+                    "def draw():\n"
+                    "    # repro-lint: disable=RL-D01 entropy probe only\n"
+                    "    return np.random.default_rng()\n"
+                )
+            },
+            "RL-D01",
+        )
+        assert report.ok
+        assert len(report.suppressed) == 1
+
+    def test_suppression_only_covers_named_rule(self):
+        report = run_rules(
+            {
+                "core/model.py": (
+                    "import numpy as np\n"
+                    "\n"
+                    "def draw():\n"
+                    "    # repro-lint: disable=RL-D03 wrong rule id\n"
+                    "    return np.random.default_rng()\n"
+                )
+            },
+            "RL-D01",
+        )
+        assert not report.ok
+        assert report.suppressed == []
+
+    def test_bare_suppression_is_itself_a_finding(self):
+        report = run_rules(
+            {
+                "core/model.py": (
+                    "X = 1  # repro-lint: disable=\n"
+                )
+            },
+            "RL-D01",
+        )
+        assert [f.rule for f in report.findings] == [SUPPRESSION_RULE_ID]
+
+    def test_suppression_without_reason_is_a_finding(self):
+        report = run_rules(
+            {
+                "core/model.py": (
+                    "X = 1  # repro-lint: disable=RL-D01\n"
+                )
+            },
+            "RL-D01",
+        )
+        assert [f.rule for f in report.findings] == [SUPPRESSION_RULE_ID]
+
+    def test_malformed_directive_is_a_finding(self):
+        report = run_rules(
+            {
+                "core/model.py": (
+                    "X = 1  # repro-lint: enable=RL-D01 nope\n"
+                )
+            },
+            "RL-D01",
+        )
+        assert [f.rule for f in report.findings] == [SUPPRESSION_RULE_ID]
+        assert "malformed" in report.findings[0].message
+
+    def test_prose_mentioning_repro_lint_is_not_a_directive(self):
+        report = run_rules(
+            {
+                "core/model.py": (
+                    "# The repro-lint engine checks this module.\n"
+                    "X = 1\n"
+                )
+            },
+            "RL-D01",
+        )
+        assert report.ok
+        assert report.findings == []
+
+
+class TestBaseline:
+    def test_round_trip_covers_findings(self, tmp_path):
+        project = make_project({"core/model.py": VIOLATION})
+        engine = Engine()
+        first = engine.run(project, baseline=None, only=["RL-D01"])
+        assert len(first.findings) == 1
+
+        baseline = Baseline.from_findings(
+            first.findings, reason="grandfathered for the round-trip test"
+        )
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+
+        second = engine.run(project, baseline=loaded, only=["RL-D01"])
+        assert second.ok
+        assert len(second.baselined) == 1
+        assert second.stale_baseline == []
+
+    def test_fixed_finding_reports_stale_entry(self, tmp_path):
+        project = make_project({"core/model.py": VIOLATION})
+        engine = Engine()
+        first = engine.run(project, baseline=None, only=["RL-D01"])
+        baseline = Baseline.from_findings(
+            first.findings, reason="grandfathered"
+        )
+
+        fixed = make_project(
+            {
+                "core/model.py": """
+                import numpy as np
+
+                def draw(seed):
+                    return np.random.default_rng(seed)
+                """
+            }
+        )
+        report = engine.run(fixed, baseline=baseline, only=["RL-D01"])
+        assert report.ok
+        assert len(report.stale_baseline) == 1
+        assert report.stale_baseline[0].rule == "RL-D01"
+
+    def test_baseline_fingerprint_is_line_independent(self, tmp_path):
+        project = make_project({"core/model.py": VIOLATION})
+        engine = Engine()
+        first = engine.run(project, baseline=None, only=["RL-D01"])
+        baseline = Baseline.from_findings(first.findings, reason="pinned")
+
+        shifted = make_project(
+            {"core/model.py": "\n\n\n\n" + VIOLATION}
+        )
+        report = engine.run(shifted, baseline=baseline, only=["RL-D01"])
+        assert report.ok
+        assert len(report.baselined) == 1
+
+    def test_load_rejects_entry_without_reason(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [
+                        {
+                            "rule": "RL-D01",
+                            "path": "core/model.py",
+                            "key": "draw:np.random.default_rng",
+                            "reason": "",
+                        }
+                    ],
+                }
+            )
+        )
+        with pytest.raises(BaselineError):
+            Baseline.load(path)

@@ -1,0 +1,118 @@
+"""Per-test resource-leak sanitizer for the serving suite.
+
+Every test in ``tests/serve/`` runs under an autouse fixture that
+snapshots the live non-daemon threads, multiprocessing children, and
+open socket file descriptors *before* the test body, and asserts the
+test left none of its own behind afterwards. The serving stack spawns
+real worker processes, wire listeners, and watchdog threads; a test
+that forgets ``close()``/``join()`` poisons every test after it (port
+exhaustion, stray respawns answering a later test's queries), and such
+leaks are exactly the bugs that only reproduce in full-suite runs.
+
+Scoping makes this compose with shared fixtures for free: a
+module-scoped server fixture instantiates before the function-scoped
+sanitizer takes its baseline, so its threads/processes/sockets are
+baseline state, not leaks. Only resources created *during* the test
+body and still alive after it count.
+
+Opt out per-test with ``@pytest.mark.allow_resource_leaks("reason")``
+when a test intentionally abandons a resource (e.g. asserting the
+fleet survives an unjoined crash); the marker requires a reason so
+escapes stay documented.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from typing import List, Set, Tuple
+
+import pytest
+
+#: Post-test settle budget: worker teardown is asynchronous (a joined
+#: process's reaper thread, a closing socket in TIME_WAIT handoff), so
+#: the check retries until clean or this many seconds elapse.
+_GRACE_SECONDS = 5.0
+_POLL_SECONDS = 0.05
+
+LEAK_MARKER = "allow_resource_leaks"
+
+
+def _live_nondaemon_threads() -> Set[Tuple[int, str]]:
+    return {
+        (t.ident or 0, t.name)
+        for t in threading.enumerate()
+        if t.is_alive() and not t.daemon and t is not threading.main_thread()
+    }
+
+
+def _live_children() -> Set[int]:
+    return {p.pid for p in multiprocessing.active_children() if p.pid}
+
+
+def _open_socket_fds() -> Set[Tuple[int, str]]:
+    """(fd, socket-inode) pairs from /proc/self/fd; empty off procfs."""
+    fds: Set[Tuple[int, str]] = set()
+    fd_dir = "/proc/self/fd"
+    if not os.path.isdir(fd_dir):
+        return fds
+    try:
+        entries = os.listdir(fd_dir)
+    except OSError:
+        return fds
+    for entry in entries:
+        try:
+            target = os.readlink(os.path.join(fd_dir, entry))
+        except OSError:
+            continue
+        if target.startswith("socket:"):
+            fds.add((int(entry), target))
+    return fds
+
+
+def _leaks_after(
+    base_threads: Set[Tuple[int, str]],
+    base_children: Set[int],
+    base_sockets: Set[Tuple[int, str]],
+) -> List[str]:
+    problems: List[str] = []
+    for ident, name in sorted(_live_nondaemon_threads() - base_threads):
+        problems.append(f"non-daemon thread {name!r} (ident={ident})")
+    for pid in sorted(_live_children() - base_children):
+        problems.append(f"child process pid={pid}")
+    for fd, inode in sorted(_open_socket_fds() - base_sockets):
+        problems.append(f"open socket fd={fd} ({inode})")
+    return problems
+
+
+@pytest.fixture(autouse=True)
+def _leak_sanitizer(request: pytest.FixtureRequest):
+    marker = request.node.get_closest_marker(LEAK_MARKER)
+    if marker is not None:
+        if not marker.args or not str(marker.args[0]).strip():
+            pytest.fail(
+                f"@pytest.mark.{LEAK_MARKER} requires a reason argument"
+            )
+        yield
+        return
+
+    base_threads = _live_nondaemon_threads()
+    base_children = _live_children()
+    base_sockets = _open_socket_fds()
+    yield
+    deadline = time.monotonic() + _GRACE_SECONDS
+    problems = _leaks_after(base_threads, base_children, base_sockets)
+    while problems and time.monotonic() < deadline:
+        time.sleep(_POLL_SECONDS)
+        problems = _leaks_after(base_threads, base_children, base_sockets)
+    if problems:
+        listing = "\n  ".join(problems)
+        pytest.fail(
+            f"test leaked resources (still live {_GRACE_SECONDS:.0f}s after "
+            f"teardown):\n  {listing}\n"
+            f"Close servers/clients and join threads in the test, or mark "
+            f"it @pytest.mark.{LEAK_MARKER}('<reason>') if intentional.",
+            pytrace=False,
+        )

@@ -59,6 +59,19 @@ def unix_client(service, tmp_path_factory):
             yield client
 
 
+@pytest.fixture(scope="module", autouse=True)
+def _eager_clients(http_client, unix_client):
+    # The tests below select a client lazily via getfixturevalue; force
+    # both module-scoped servers up-front so their listener sockets are
+    # baseline state for the per-test leak sanitizer (conftest.py), not
+    # mid-test arrivals flagged as leaks on whichever test runs first.
+    # One throwaway request per client opens its persistent keep-alive
+    # connection (and the server's accepted side) before any baseline.
+    http_client.health()
+    unix_client.health()
+    yield
+
+
 class TestProtocolDispatch:
     def test_unknown_method_is_404(self, service):
         status, body = dispatch(service, "teleport", {})
@@ -223,6 +236,9 @@ class TestHttpSpecifics:
             with pytest.raises(urllib.error.HTTPError) as excinfo:
                 urllib.request.urlopen(f"{frontend.address}/query")
             assert excinfo.value.code == 404
+            # HTTPError is itself an open response; close its socket so
+            # the traceback kept by pytest doesn't pin it past teardown.
+            excinfo.value.close()
 
     def test_malformed_json_body_is_400(self, service):
         import urllib.error
@@ -237,6 +253,7 @@ class TestHttpSpecifics:
             with pytest.raises(urllib.error.HTTPError) as excinfo:
                 urllib.request.urlopen(request)
             assert excinfo.value.code == 400
+            excinfo.value.close()
 
     def test_ephemeral_port_is_reported(self, service):
         with HttpFrontend(service) as frontend:
@@ -361,6 +378,7 @@ class TestHttpSpecifics:
             assert excinfo.value.code == 400
             body = json.loads(excinfo.value.read())
             assert "params must be a JSON object" in body["message"]
+            excinfo.value.close()
 
 
 class TestKeepAliveDesyncRecovery:
@@ -462,6 +480,7 @@ class TestRequestBodyCaps:
             assert excinfo.value.code == 400
             body = json.loads(excinfo.value.read())
             assert "exceeds" in body["message"]
+            excinfo.value.close()
 
     def test_http_within_cap_still_served(self, service):
         with HttpFrontend(service, max_request_bytes=4096) as frontend:
