@@ -1,20 +1,23 @@
 # Developer entry points. `make test` is the tier-1 gate; `make bench`
-# produces the committed perf-trajectory point (BENCH_PR8.json, which now
-# includes the serving, wire-frontend, shard, asyncio-frontend,
-# resilience, and trust sections). CI runs `make bench-smoke` (writes
-# BENCH_SMOKE.json — PR-agnostic, never clobbers a committed
-# BENCH_PR*.json), `make
-# frontend-smoke` (the wire/shard/aio bit-identity gate) and `make
-# resilience-smoke` (kill -9 / snapshot-restore / resize gate plus the
-# PR-7 anti-entropy trust gates: quorum read-repair under a corrupted
-# replica, scrub detection of silent corruption, degraded-mode stale
-# serving, snapshot keep-last-K retention).
+# produces the committed perf-trajectory point (BENCH_PR10.json — every
+# registered bench section: solve, engine, serving, frontend,
+# frontend_async, resilience, trust, loadgen; narrow a run with
+# `make bench BENCH_ONLY="--only loadgen"`). CI runs `make bench-smoke`
+# (writes BENCH_SMOKE.json — PR-agnostic, never clobbers a committed
+# BENCH_PR*.json), `make frontend-smoke` (the wire/shard/aio
+# bit-identity gate), `make resilience-smoke` (kill -9 /
+# snapshot-restore / resize gate plus the PR-7 anti-entropy trust gates:
+# quorum read-repair under a corrupted replica, scrub detection of
+# silent corruption, degraded-mode stale serving, snapshot keep-last-K
+# retention) and `make loadgen-smoke` (the PR-10 load-generator gate:
+# open-loop SLO saturation search with bit-for-bit answer checks,
+# plan determinism, the 200-site registration soak).
 
 PYTHON ?= python
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test lint typecheck analyze bench bench-smoke bench-figures \
-	frontend-smoke resilience-smoke
+	frontend-smoke resilience-smoke loadgen-smoke
 
 test:
 	$(PYTHON) -m pytest -q
@@ -40,7 +43,7 @@ analyze:
 		--out ANALYSIS_FINDINGS.json
 
 bench:
-	$(PYTHON) benchmarks/bench_perf.py --out BENCH_PR8.json
+	$(PYTHON) benchmarks/bench_perf.py --out BENCH_PR10.json $(BENCH_ONLY)
 
 # Writes to BENCH_SMOKE.json (gitignored territory) so a local smoke run
 # never clobbers the committed full-bench BENCH_PR6.json; CI uploads the
@@ -67,6 +70,16 @@ frontend-smoke:
 resilience-smoke:
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.serve.check --only resilience \
 		--seed-out RESILIENCE_SEED.json
+
+# The PR-10 load-generator gate: a seconds-scale open-loop SLO
+# saturation search over the http front-end with every answer checked
+# bit-for-bit, a closed-loop comparison, the same-seed plan-determinism
+# check, and a 200-site registration soak (one shared spec must dedupe
+# to ONE pipeline). The gates are the `loadgen` bench section's own
+# smoke gates via the section registry; the full record always lands in
+# LOADGEN_SMOKE.json (CI uploads it on failure).
+loadgen-smoke:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.loadgen.check --out LOADGEN_SMOKE.json
 
 bench-figures:
 	$(PYTHON) -m pytest benchmarks -q -p no:cacheprovider

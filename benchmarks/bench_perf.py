@@ -1,38 +1,31 @@
 #!/usr/bin/env python
-"""Run the performance benchmark and write BENCH_PR8.json.
+"""Run the performance benchmark and write BENCH_PR10.json.
 
 Usage::
 
-    python benchmarks/bench_perf.py [--out BENCH_PR8.json]
+    python benchmarks/bench_perf.py [--out BENCH_PR10.json]
         [--sizes paper square-6m square-12m warehouse ...] [--frames 500]
         [--repeat 3] [--jobs 2] [--scenario paper] [--smoke]
+        [--only SECTION [--only SECTION ...]]
 
-Times commissioning surveys, LoLi-IR updates (legacy matrix-free CG vs the
-Gram fast path, cold vs warm-started, PCG vs cached-splu coupled backend)
-and trace-level matching on several deployment sizes — ``--sizes`` accepts
-any scenario registry name, and every row records its scenario — plus the
-Fig. 3/Fig. 5 experiments end-to-end through the parallel experiment engine
-(one persistent pool shared across both figures, with a serial-vs-parallel
-bit-identity check; ``--scenario`` selects the environment), plus the
-multi-site serving layer (cold vs warm, single vs batch, matcher-cache
-speedup, queries/sec across all ``--sizes`` in one process), plus the wire
-front-end and shard layer (HTTP / unix-socket round-trip latency and q/s
-vs in-process, shard fan-out scaling, all bit-identity-gated), plus the
-asyncio front-end (closed-loop pipelined driver over 1/2/4 persistent
-connections with p50/p95/p99 and sustained q/s, the aio-vs-threaded-HTTP
-speedup, and the chunk-streamed ``query_trace`` path gated on bit-identity
-and flat peak per-message buffering), plus the fault-tolerant fleet (failed-query count and tail-latency perturbation
-across a ``kill -9`` under load, recovery time, snapshot-warm vs
-cold-survey restore speedup — R >= 2 must lose zero queries), plus the
-anti-entropy trust layer (quorum-read overhead vs failover, the corrupt
-fault's detect-and-repair episode with the mismatched-answer count
-clients saw, the keep-last-K snapshot soak, drift-probe cost). ``--smoke``
-runs a seconds-scale subset for CI and honors ``--out`` so the workflow can
+A thin driver over the :mod:`repro.eval.bench` section registry. Each
+registered section — ``solve`` (surveys / LoLi-IR updates / matching),
+``engine`` (Fig. 3/5 end-to-end through the parallel engine), ``serving``
+(multi-site in-process service), ``frontend`` (HTTP/unix wire + shard
+fan-out), ``frontend_async`` (pipelined asyncio NDJSON), ``resilience``
+(kill -9 under load), ``trust`` (quorum reads, corruption repair,
+snapshot soak), ``loadgen`` (open/closed-loop load generation with the
+SLO saturation search and the many-site soak) — owns its measurement,
+its block of the printed report, and its ``--smoke`` CI gates.
+``--only`` narrows a run to the named section(s); the default run emits
+every section, key-for-key identical to the pre-registry reports.
+``--smoke`` runs a seconds-scale subset and exits non-zero on any
+registered smoke-gate failure; it honors ``--out`` so the workflow can
 upload the JSON as an artifact (the CI convention is ``make bench-smoke``
-→ ``BENCH_SMOKE.json``; the committed full run is ``BENCH_PR8.json``). See
-EXPERIMENTS.md for the recorded trajectory and how to read the numbers.
-The file name is intentionally ``bench_*`` (not ``test_*``) so pytest's
-benchmark collection does not pick it up.
+→ ``BENCH_SMOKE.json``; the committed full run is ``BENCH_PR10.json``).
+See EXPERIMENTS.md for the recorded trajectory and how to read the
+numbers. The file name is intentionally ``bench_*`` (not ``test_*``) so
+pytest's benchmark collection does not pick it up.
 """
 
 from __future__ import annotations
@@ -46,10 +39,12 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if _SRC.is_dir() and str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from repro.eval.benchmark import (  # noqa: E402
+from repro.eval.bench import (  # noqa: E402
     DEFAULT_SIZES,
     format_bench_report,
     run_perf_bench,
+    section_names,
+    smoke_failures,
 )
 
 
@@ -58,7 +53,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out",
         default=None,
-        help="output JSON path (default: BENCH_PR8.json; with --smoke, no "
+        help="output JSON path (default: BENCH_PR10.json; with --smoke, no "
         "file is written unless --out is given)",
     )
     parser.add_argument(
@@ -80,9 +75,18 @@ def main(argv=None) -> int:
         help="scenario for the engine benchmark section",
     )
     parser.add_argument(
+        "--only",
+        action="append",
+        choices=section_names(),
+        default=None,
+        metavar="SECTION",
+        help="run only the named section(s); repeatable "
+        f"(registered: {', '.join(section_names())})",
+    )
+    parser.add_argument(
         "--smoke", action="store_true",
-        help="seconds-scale subset for CI: one tiny size (JSON still "
-        "written to --out when given)",
+        help="seconds-scale subset for CI: one tiny size, every section's "
+        "smoke gates enforced (JSON still written to --out when given)",
     )
     args = parser.parse_args(argv)
 
@@ -105,92 +109,22 @@ def main(argv=None) -> int:
             resilience_shards=2,
             resilience_replicas=2,
             trust_sites=("square-3m", "square-4m"),
+            loadgen_sites=("square-3m",),
+            loadgen_transports=("http", "aio"),
+            loadgen_shards=(1,),
+            loadgen_requests=60,
+            loadgen_start_qps=50.0,
+            loadgen_max_qps=2000.0,
+            loadgen_soak_sites=200,
+            only=args.only,
         )
         print(format_bench_report(report))
-        engine = report["engine"]
-        if not all(engine[f]["bit_identical"] for f in ("fig3", "fig5")):
-            print("FAIL: parallel results differ from serial", file=sys.stderr)
-            return 1
-        serving = report["serving"]["per_site"]
-        if not all(row["bit_identical"] for row in serving.values()):
-            print(
-                "FAIL: serving answers differ from direct TafLoc calls",
-                file=sys.stderr,
-            )
-            return 1
-        frontend = report["frontend"]
-        wire_ok = all(
-            row["http_bit_identical"] and row["unix_bit_identical"]
-            for row in frontend["per_site"].values()
-        )
-        shard_ok = all(
-            row["bit_identical"] for row in frontend["shards"].values()
-        )
-        if not (wire_ok and shard_ok):
-            print(
-                "FAIL: wire/shard answers differ from in-process service",
-                file=sys.stderr,
-            )
-            return 1
-        frontend_async = report["frontend_async"]
-        aio_ok = all(
-            row["bit_identical"]
-            for row in frontend_async["per_site"].values()
-        )
-        streaming = frontend_async["trace_streaming"]
-        stream_ok = all(
-            row["bit_identical"] for row in streaming["lengths"].values()
-        )
-        if not (aio_ok and stream_ok):
-            print(
-                "FAIL: asyncio front-end answers differ from in-process "
-                "service",
-                file=sys.stderr,
-            )
-            return 1
-        if not streaming["buffering_flat"]:
-            print(
-                "FAIL: streamed query_trace peak buffering grows with "
-                "trace length",
-                file=sys.stderr,
-            )
-            return 1
-        resilience = report["resilience"]
-        if not (resilience["zero_loss"] and resilience["recovered"]):
-            print(
-                "FAIL: queries lost or worker never recovered under kill -9",
-                file=sys.stderr,
-            )
-            return 1
-        if not resilience["snapshot_warm_bit_identical"]:
-            print(
-                "FAIL: snapshot-warmed fleet answers differ",
-                file=sys.stderr,
-            )
-            return 1
-        trust = report["trust"]
-        episode = trust["corruption_episode"]
-        if (
-            episode["mismatched_queries"] != 0
-            or episode["failed_queries"] != 0
-            or episode["read_divergences"] < 1
-            or episode["repairs"] < 1
-        ):
-            print(
-                "FAIL: corrupted replica leaked to clients or was never "
-                "detected/repaired",
-                file=sys.stderr,
-            )
-            return 1
-        if not trust["snapshot_soak"]["bounded"]:
-            print(
-                "FAIL: snapshot directory grew past keep-last-K",
-                file=sys.stderr,
-            )
-            return 1
-        return 0
+        failures = smoke_failures(report)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
 
-    out = args.out or "BENCH_PR8.json"
+    out = args.out or "BENCH_PR10.json"
     report = run_perf_bench(
         sizes=args.sizes,
         frames=args.frames,
@@ -205,6 +139,11 @@ def main(argv=None) -> int:
         frontend_async_sites=tuple(args.sizes),
         resilience_sites=("square-3m", "square-4m", "square-5m"),
         trust_sites=("square-3m", "square-4m"),
+        loadgen_sites=("square-3m", "square-4m"),
+        loadgen_transports=("http", "aio"),
+        loadgen_shards=(1, 2),
+        loadgen_soak_sites=1000,
+        only=args.only,
     )
     print(format_bench_report(report))
     print(f"\nwrote {out}")

@@ -12,6 +12,18 @@ Usage (after ``pip install -e .``)::
     tafloc-repro bench                 # batch-vs-loop performance benchmark
     tafloc-repro serve ...             # multi-site serving demo + throughput
     tafloc-repro query ...             # route one query batch through serving
+    tafloc-repro loadgen ...           # generated load + SLO saturation search
+
+``loadgen`` drives a front-end with deterministic generated load — seeded
+open-loop (Poisson/uniform, coordinated-omission-free) or closed-loop
+arrivals, Zipf site-popularity skew over ``--sites N`` registered sites,
+per-query latency percentiles with bit-for-bit answer checking — and,
+with ``--slo-ms``, searches for the max sustained q/s whose tail
+percentile stays under the SLO::
+
+    tafloc-repro loadgen --transport http --rate 500 --requests 400
+    tafloc-repro loadgen --transport aio --slo-ms 50 --sites 16 --zipf-s 1.1
+    tafloc-repro loadgen --arrival closed --clients 8 --think-s 0.001
 
 Serving (the multi-site layer in :mod:`repro.serve`): ``serve`` stands up a
 :class:`~repro.serve.service.LocalizationService` over several sites in one
@@ -56,7 +68,9 @@ from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
 import time
+from pathlib import Path
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -71,6 +85,15 @@ from repro.eval.experiments import (
     run_intext_drift,
 )
 from repro.eval.reporting import format_cdf_table, format_summary, format_table
+from repro.loadgen import (
+    closed_loop_plan,
+    find_max_sustained_qps,
+    open_loop_plan,
+    run_closed_loop,
+    run_open_loop,
+    run_open_loop_aio,
+)
+from repro.loadgen.driver import expected_answers
 from repro.serve import (
     AioFrontend,
     HttpFrontend,
@@ -552,6 +575,173 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+class _InprocTarget:
+    """Query-only view of a backend for the load drivers.
+
+    The drivers call ``close()`` on whatever ``connect()`` returned; when
+    the target is the shared in-process backend itself, that must not
+    tear the backend down mid-run.
+    """
+
+    def __init__(self, backend) -> None:
+        self._backend = backend
+
+    def query(self, site, rss, day):
+        return self._backend.query(site, rss, day)
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    spec = _spec(args)
+    site_names = [f"site-{index:04d}" for index in range(args.sites)]
+    specs = {name: spec for name in site_names}
+    reference = LocalizationService.from_specs(specs, seed=args.seed)
+    start = time.perf_counter()
+    reference.warm()
+    warm_s = time.perf_counter() - start
+    scenario = cached_scenario(spec, build_scenario)
+    cells = np.random.default_rng(
+        _sub_seed(args.seed, "loadgen-cells")
+    ).integers(0, scenario.deployment.cell_count, size=args.frames)
+    trace = RssCollector(
+        scenario, seed=_sub_seed(args.seed, "loadgen-trace")
+    ).live_trace(0.0, cells)
+    workloads = {site: trace.rss for site in site_names}
+    # All sites share one spec → one deduped pipeline → identical answers;
+    # compute the reference once and fan it out.
+    first = expected_answers(
+        reference, {site_names[0]: trace.rss}, 0.0
+    )[site_names[0]]
+    expected = {site: first for site in site_names}
+    print(
+        f"loadgen: {args.sites} site(s) sharing scenario {spec.name!r} "
+        f"({reference.manager.stats.pipelines_built} pipeline(s), "
+        f"warm {warm_s:.2f}s), transport {args.transport}, "
+        f"arrival {args.arrival}, zipf_s={args.zipf_s:g}"
+    )
+
+    if args.shards:
+        backend = ShardedService(specs, shards=args.shards, seed=args.seed)
+        backend.warm()
+    else:
+        backend = reference
+
+    def open_plan(rate: float):
+        return open_loop_plan(
+            sites=site_names,
+            seed=args.seed,
+            rate_qps=rate,
+            requests=args.requests,
+            process=args.process,
+            zipf_s=args.zipf_s,
+            clients=args.clients,
+        )
+
+    def report(summary: Dict[str, object]) -> None:
+        latency = summary["latency"]
+        print(
+            f"  {summary['arrival']}/{summary['transport']}: offered "
+            f"{summary['offered_qps']:,.0f} q/s, achieved "
+            f"{summary['achieved_qps']:,.0f} q/s | p50/p95/p99 "
+            f"{latency.get('p50_ms', float('nan')):.2f}/"
+            f"{latency.get('p95_ms', float('nan')):.2f}/"
+            f"{latency.get('p99_ms', float('nan')):.2f} ms | failed "
+            f"{summary['failed_queries']}, mismatched "
+            f"{summary['mismatched_queries']}"
+        )
+
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            frontend = None
+            if args.transport == "http":
+                frontend = HttpFrontend(backend).start()
+            elif args.transport == "unix":
+                frontend = UnixFrontend(
+                    backend, str(Path(tmp) / "loadgen.sock")
+                ).start()
+            elif args.transport == "aio":
+                frontend = AioFrontend(backend).start()
+            try:
+                address = frontend.address if frontend is not None else None
+
+                def run_open(rate: float) -> Dict[str, object]:
+                    plan = open_plan(rate)
+                    if args.transport == "aio":
+                        result = run_open_loop_aio(
+                            plan, address, workloads, expected=expected,
+                            connections=2,
+                        )
+                    elif args.transport == "inproc":
+                        result = run_open_loop(
+                            plan, lambda: _InprocTarget(backend), workloads,
+                            expected=expected, transport="inproc",
+                        )
+                    else:
+                        result = run_open_loop(
+                            plan,
+                            lambda: ServiceClient(address, retries=0),
+                            workloads, expected=expected,
+                            transport=args.transport,
+                        )
+                    return result.summary()
+
+                if args.arrival == "closed":
+                    plan = closed_loop_plan(
+                        sites=site_names,
+                        seed=args.seed,
+                        clients=args.clients,
+                        requests_per_client=max(
+                            1, args.requests // args.clients
+                        ),
+                        think_s=args.think_s,
+                        zipf_s=args.zipf_s,
+                    )
+                    print(f"  plan fingerprint {plan.fingerprint()[:16]}…")
+                    if args.transport == "inproc":
+                        connect = lambda: _InprocTarget(backend)  # noqa: E731
+                    else:
+                        # The sync client speaks http://, unix:// and (for
+                        # the aio front-end) tcp:// alike.
+                        connect = lambda: ServiceClient(  # noqa: E731
+                            address, retries=0
+                        )
+                    report(
+                        run_closed_loop(
+                            plan, connect, workloads, expected=expected,
+                            transport=args.transport,
+                        ).summary()
+                    )
+                elif args.slo_ms > 0:
+                    print(
+                        f"  SLO search: {args.percentile} <= "
+                        f"{args.slo_ms:g} ms from {args.rate:g} q/s"
+                    )
+                    search = find_max_sustained_qps(
+                        run_open,
+                        slo_ms=args.slo_ms,
+                        percentile=args.percentile,
+                        start_qps=args.rate,
+                        max_qps=args.max_qps,
+                    )
+                    for probe in search.probes:
+                        report(probe)
+                    print(
+                        f"  max sustained under SLO: "
+                        f"{search.max_sustained_qps:,.0f} q/s "
+                        f"({len(search.probes)} probe(s))"
+                    )
+                else:
+                    plan = open_plan(args.rate)
+                    print(f"  plan fingerprint {plan.fingerprint()[:16]}…")
+                    report(run_open(args.rate))
+            finally:
+                if frontend is not None:
+                    frontend.close()
+    finally:
+        if backend is not reference:
+            backend.close()
+    return 0
+
+
 def _cmd_floorplan(args: argparse.Namespace) -> int:
     spec = _spec(args)
     deployment = build_deployment(spec.geometry)
@@ -805,6 +995,78 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop serving after this many seconds (smoke tests/demos)",
     )
 
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a front-end with generated load: open/closed-loop "
+        "arrivals, Zipf site skew, latency percentiles, SLO search",
+    )
+    loadgen.add_argument(
+        "--arrival", choices=["open", "closed"], default="open",
+        help="'open' schedules arrivals independent of completions "
+        "(coordinated-omission-free: latency is measured from the "
+        "PLANNED send time); 'closed' runs N clients in "
+        "request-think-request loops",
+    )
+    loadgen.add_argument(
+        "--process", choices=["poisson", "uniform"], default="poisson",
+        help="open-loop inter-arrival process (seeded, bit-reproducible)",
+    )
+    loadgen.add_argument(
+        "--rate", type=float, default=200.0,
+        help="open-loop offered rate in q/s (with --slo-ms: the search's "
+        "starting rate)",
+    )
+    loadgen.add_argument(
+        "--requests", type=int, default=200,
+        help="total requests per run (closed loop: split across clients)",
+    )
+    loadgen.add_argument(
+        "--clients", type=int, default=4,
+        help="worker threads (open) / closed-loop clients",
+    )
+    loadgen.add_argument(
+        "--think-s", type=float, default=0.0,
+        help="closed-loop think time between a reply and the next request",
+    )
+    loadgen.add_argument(
+        "--zipf-s", type=float, default=1.1,
+        help="Zipf exponent for site popularity (0 = uniform)",
+    )
+    loadgen.add_argument(
+        "--slo-ms", type=float, default=0.0,
+        help="latency SLO bound in ms; > 0 runs the saturation search "
+        "for the max sustained rate whose --percentile stays under it",
+    )
+    loadgen.add_argument(
+        "--percentile", default="p99_ms",
+        choices=["p50_ms", "p95_ms", "p99_ms", "p999_ms"],
+        help="which latency percentile the SLO bounds",
+    )
+    loadgen.add_argument(
+        "--max-qps", type=float, default=50_000.0,
+        help="saturation-search rate ceiling",
+    )
+    loadgen.add_argument(
+        "--sites", type=int, default=4,
+        help="registered sites sharing the --scenario environment "
+        "(pipelines dedupe by fingerprint; queries spread by --zipf-s)",
+    )
+    loadgen.add_argument(
+        "--transport", default="http",
+        choices=["inproc", "http", "unix", "aio"],
+        help="target: in-process service, threaded HTTP/unix front-end, "
+        "or the pipelined asyncio NDJSON front-end",
+    )
+    loadgen.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="back the front-end with N shard worker processes "
+        "(0 = in-process backend)",
+    )
+    loadgen.add_argument(
+        "--frames", type=int, default=16,
+        help="distinct query frames in the shared workload trace",
+    )
+
     query = sub.add_parser(
         "query", help="route a live query batch through the serving layer"
     )
@@ -857,6 +1119,7 @@ _COMMANDS = {
     "scenarios": _cmd_scenarios,
     "analyze": _cmd_analyze,
     "bench": _cmd_bench,
+    "loadgen": _cmd_loadgen,
     "serve": _cmd_serve,
     "query": _cmd_query,
 }

@@ -1,0 +1,269 @@
+"""The ``trust`` bench section: quorum reads, corruption repair, soak."""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.eval.bench.common import BENCH_SEED, BenchConfig, bench_spec
+from repro.eval.bench.registry import BenchSection, register
+from repro.eval.engine import cached_scenario
+from repro.serve import LocalizationService, ShardedService
+from repro.serve.faults import FaultInjector
+from repro.sim.collector import CollectionProtocol, RssCollector
+from repro.sim.specs import build_scenario
+from repro.util.rng import counter_stream, task_key
+from repro.util.stats import latency_summary
+
+__all__ = ["bench_trust"]
+
+
+def bench_trust(
+    *,
+    sites: Sequence[str] = ("square-3m", "square-4m"),
+    shards: int = 3,
+    replicas: int = 2,
+    frames: int = 24,
+    operations: int = 20,
+    samples_per_cell: int = 2,
+    soak_days: int = 8,
+    snapshot_keep: int = 2,
+    seed: int = BENCH_SEED,
+) -> Dict[str, object]:
+    """Benchmark the anti-entropy trust layer (the PR-7 sections).
+
+    * **quorum overhead** — the same workload through a failover fleet
+      and a quorum fleet over identical snapshots: what cross-checking
+      every read against all replicas costs in p50/p99 and q/s.
+    * **corruption episode** — a seed-deterministic bit flip in one
+      replica's fingerprint state, then the workload: wall time until
+      the divergence is detected and the liar repaired, with the
+      mismatched-answer count clients saw (the target is zero), plus a
+      clean-scrub pass time for scale.
+    * **snapshot soak** — ``soak_days`` of daily update + lifecycle
+      maintenance under keep-last-``snapshot_keep``: max files on disk,
+      prune totals, final directory bytes — the boundedness record the
+      PR-7 acceptance criterion points at.
+    * **drift sentinel** — one measured-drift probe per site: reading
+      and wall time (what a ``policy="drift"`` scheduler tick pays).
+    """
+    protocol = CollectionProtocol(
+        samples_per_cell=samples_per_cell, empty_room_samples=5
+    )
+    specs = {f"site-{name}": bench_spec(name) for name in sites}
+    reference = LocalizationService.from_specs(
+        specs, protocol=protocol, seed=seed, share_pipelines=False
+    )
+    reference.warm()
+    workloads: Dict[str, np.ndarray] = {}
+    for index, (site, spec) in enumerate(specs.items()):
+        scenario = cached_scenario(spec, build_scenario)
+        cells = counter_stream(seed, 700 + index).integers(
+            0, scenario.deployment.cell_count, size=frames
+        )
+        workloads[site] = RssCollector(
+            scenario,
+            protocol,
+            seed=task_key(seed, "trust-workload", site),
+        ).live_trace(0.0, cells).rss
+    expected = {
+        site: reference.query_batch(site, rss, 0.0)
+        for site, rss in workloads.items()
+    }
+    site_list = list(specs)
+
+    record: Dict[str, object] = {
+        "sites": site_list,
+        "shards": int(shards),
+        "replicas": int(replicas),
+        "frames": int(frames),
+        "operations": int(operations),
+    }
+
+    def run_phase(fleet: ShardedService, count: int) -> Dict[str, object]:
+        latencies: List[float] = []
+        failed = 0
+        mismatched = 0
+        for op in range(count):
+            site = site_list[op % len(site_list)]
+            rss = workloads[site]
+            begin = time.perf_counter()
+            try:
+                result = fleet.query_batch(site, rss, 0.0)
+            except OSError:
+                failed += 1
+                continue
+            latencies.append(time.perf_counter() - begin)
+            if not (
+                np.array_equal(result.cells, expected[site].cells)
+                and np.array_equal(
+                    result.positions, expected[site].positions
+                )
+            ):
+                mismatched += 1
+        return {
+            "failed_queries": failed,
+            "mismatched_queries": mismatched,
+            "latency": latency_summary(latencies),
+        }
+
+    for read_mode in ("failover", "quorum"):
+        with tempfile.TemporaryDirectory() as tmp:
+            fleet = ShardedService(
+                specs,
+                shards=shards,
+                replicas=replicas,
+                snapshot_dir=Path(tmp) / "snapshots",
+                read_mode=read_mode,
+                call_timeout=60.0,
+                protocol=protocol,
+                seed=seed,
+            )
+            try:
+                fleet.warm()
+                record[read_mode] = run_phase(fleet, operations)
+                if read_mode == "quorum":
+                    # The corruption episode, on the quorum fleet.
+                    injector = FaultInjector(fleet)
+                    target = site_list[0]
+                    begin = time.perf_counter()
+                    injector.corrupt(
+                        fleet.replicas[target][0], site=target, seed=seed
+                    )
+                    episode = run_phase(fleet, operations)
+                    record["corruption_episode"] = {
+                        **episode,
+                        "detect_and_repair_s": time.perf_counter() - begin,
+                        "read_divergences": fleet.router_stats.read_divergences,
+                        "quarantines": fleet.router_stats.quarantines,
+                        "repairs": fleet.router_stats.repairs,
+                    }
+                    begin = time.perf_counter()
+                    scrub = fleet.scrub()
+                    record["scrub"] = {
+                        "pass_s": time.perf_counter() - begin,
+                        "sites_checked": scrub["sites_checked"],
+                        "divergent_sites": scrub["divergent_sites"],
+                    }
+            finally:
+                fleet.close()
+    failover_p50 = record["failover"]["latency"].get("p50_ms", 0.0)
+    quorum_p50 = record["quorum"]["latency"].get("p50_ms", 0.0)
+    record["quorum_overhead_x"] = (
+        quorum_p50 / failover_p50 if failover_p50 > 0 else float("inf")
+    )
+
+    # Snapshot-lifecycle soak: the directory must stay bounded.
+    with tempfile.TemporaryDirectory() as tmp:
+        soak = LocalizationService.from_specs(
+            {site_list[0]: specs[site_list[0]]},
+            protocol=protocol,
+            seed=seed,
+            snapshot_dir=tmp,
+            snapshot_keep=snapshot_keep,
+        )
+        soak.warm()
+        store = soak.manager.snapshot_store
+        max_files = 0
+        for day in range(1, soak_days + 1):
+            soak.update(site_list[0], float(day))
+            maintenance = soak.manager.snapshot_maintenance()
+            max_files = max(max_files, len(store.files()))
+        record["snapshot_soak"] = {
+            "days": int(soak_days),
+            "keep_last": int(snapshot_keep),
+            "max_files_on_disk": int(max_files),
+            "files_pruned": int(store.pruned_files),
+            "bytes_reclaimed": int(store.pruned_bytes),
+            "final_bytes": int(maintenance["total_bytes"]),
+            "bounded": bool(max_files <= snapshot_keep),
+        }
+
+    # Drift sentinel: the cost and reading of one measured-drift probe.
+    drift: Dict[str, object] = {}
+    for site in site_list:
+        begin = time.perf_counter()
+        reading = reference.drift(site, 0.0, frames=frames)
+        drift[site] = {
+            "probe_s": time.perf_counter() - begin,
+            "degradation_m": float(reading["degradation_m"]),
+        }
+    record["drift"] = drift
+    return record
+
+
+def _run(config: BenchConfig) -> Optional[Dict[str, object]]:
+    if config.trust_sites is None:
+        return None
+    return bench_trust(
+        sites=config.trust_sites,
+        samples_per_cell=config.samples_per_cell,
+        seed=config.seed,
+    )
+
+
+def _format(record: Dict[str, object]) -> List[str]:
+    lines = [""]
+    lines.append(
+        f"trust ({record['shards']} shards, R={record['replicas']}, "
+        "anti-entropy):"
+    )
+    for mode in ("failover", "quorum"):
+        latency = record[mode]["latency"]
+        lines.append(
+            f"  {mode:<8} p50 "
+            f"{latency.get('p50_ms', float('nan')):.1f} ms | p99 "
+            f"{latency.get('p99_ms', float('nan')):.1f} ms | "
+            f"mismatched {record[mode]['mismatched_queries']}"
+        )
+    episode = record["corruption_episode"]
+    lines.append(
+        f"  corrupt   quorum overhead {record['quorum_overhead_x']:.2f}x"
+        f" | episode {episode['detect_and_repair_s']:.2f}s | "
+        f"{episode['read_divergences']} divergence(s), "
+        f"{episode['repairs']} repair(s) | mismatched "
+        f"{episode['mismatched_queries']}"
+    )
+    soak = record["snapshot_soak"]
+    lines.append(
+        f"  soak      {soak['days']} d, keep {soak['keep_last']}: "
+        f"max {soak['max_files_on_disk']} file(s), "
+        f"{soak['files_pruned']} pruned, "
+        f"{soak['final_bytes']} B final | "
+        f"{'BOUNDED' if soak['bounded'] else 'UNBOUNDED'}"
+    )
+    probes = ", ".join(
+        f"{site} {row['degradation_m']:.2f} m in {row['probe_s']:.2f}s"
+        for site, row in record["drift"].items()
+    )
+    lines.append(f"  drift     {probes}")
+    return lines
+
+
+def _smoke_gates(record: Dict[str, object]) -> List[str]:
+    failures: List[str] = []
+    episode = record["corruption_episode"]
+    if episode["mismatched_queries"] != 0 or episode["failed_queries"] != 0:
+        failures.append(
+            "trust: corruption episode leaked wrong or failed answers"
+        )
+    if episode["read_divergences"] < 1 or episode["repairs"] < 1:
+        failures.append("trust: corruption was not detected and repaired")
+    if not record["snapshot_soak"]["bounded"]:
+        failures.append("trust: snapshot directory growth is unbounded")
+    return failures
+
+
+register(
+    BenchSection(
+        name="trust",
+        run=_run,
+        format=_format,
+        smoke_gates=_smoke_gates,
+        report_key="trust",
+    )
+)

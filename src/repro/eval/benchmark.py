@@ -1,1657 +1,53 @@
-"""Performance benchmark harness for the batched hot paths.
+"""Compatibility facade over the bench-section registry.
 
-Times the three production-critical operations — commissioning survey
-(simulation), LoLi-IR solve (reconstruction), and trace-level matching
-(serving) — on several deployment sizes, comparing the fast implementations
-against their reference counterparts (per-frame/per-cell loops; the
-matrix-free CG solver; the cached-splu coupled backend), plus the figure
-experiments end-to-end through the parallel experiment engine (legacy solver
-+ serial loop vs fast solver with ``--jobs`` workers sharing one persistent
-pool, with a serial-vs-parallel bit-identity check). Sizes are scenario
-registry names (any registered environment benchmarks directly), and every
-row records its scenario. :func:`bench_serving` additionally measures the
-multi-site serving layer (cold vs warm, single vs batch, matcher-cache
-speedup, queries/sec with many sites in one process). The results feed
-``BENCH_PR6.json`` (committed trajectory point; see ``EXPERIMENTS.md``)
-and the ``tafloc-repro bench`` CLI command. :func:`bench_frontend` measures
-the wire front-ends (HTTP / unix-socket round-trip latency and queries/sec
-vs in-process calls) and the shard layer's fan-out scaling, all gated on
-bit-identity with the in-process service. :func:`bench_frontend_async`
-measures the asyncio front-end (persistent pipelined NDJSON connections)
-with a closed-loop multi-connection driver — sustained q/s plus
-p50/p95/p99 latency per connection count, the aio-vs-threaded-HTTP
-speedup on the same host, and the chunk-streamed ``query_trace`` path
-(bit-identity + flat peak per-message buffering). :func:`bench_resilience`
-measures the fault-tolerant fleet: failed/mismatched query counts and
-tail-latency perturbation across a ``kill -9`` of a worker under load,
-recovery time, and the snapshot-warm vs cold-survey restore speedup.
-
-Run via ``make bench`` or ``python benchmarks/bench_perf.py``.
+The 1600-line monolith this module used to be now lives in
+:mod:`repro.eval.bench` as one module per registered section (``solve``,
+``engine``, ``serving``, ``frontend``, ``frontend_async``,
+``resilience``, ``trust``, ``loadgen``) over a shared
+:class:`~repro.eval.bench.registry.BenchSection` registry.
+Every public name keeps its historical import path —
+``from repro.eval.benchmark import run_perf_bench`` et al. work
+unchanged, and :func:`run_perf_bench`'s keyword surface (including the
+``None``-skips contract) is preserved verbatim. New code should import
+from :mod:`repro.eval.bench` directly.
 """
 
 from __future__ import annotations
 
-import asyncio
-import json
-import os
-import platform
-import tempfile
-import time
-from dataclasses import dataclass
-from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
-
-import numpy as np
-
-from repro.core.fingerprint import FingerprintMatrix
-from repro.core.loli_ir import LoliIrConfig
-from repro.core.matching import KnnMatcher
-from repro.core.pipeline import TafLoc, TafLocConfig
-from repro.core.reconstruction import ReconstructionConfig
-from repro.eval.engine import ExperimentEngine, cached_scenario
-from repro.eval.experiments import (
-    run_fig3_reconstruction_error,
-    run_fig5_localization,
-)
-from repro.serve import (
-    AioFrontend,
-    AsyncServiceClient,
-    HttpFrontend,
-    LocalizationService,
-    ServiceClient,
-    ShardedService,
-    UnixFrontend,
-    pipeline_seed,
-    reconstructor_seed,
-)
-from repro.serve.faults import FaultInjector, FaultSchedule
-from repro.sim.collector import CollectionProtocol, LiveTrace, RssCollector
-from repro.sim.deployment import Deployment
-from repro.sim.scenario import Scenario
-from repro.sim.specs import (
-    ScenarioSpec,
-    build_deployment,
-    build_scenario,
-    get_scenario_spec,
-)
-from repro.util.rng import counter_stream, task_key
-
-#: The PR-1 solver configuration: matrix-free CG half-steps, no outer
-#: extrapolation, tight inner tolerance — the baseline every fast-path
-#: speedup in the committed benchmarks is measured against.
-LEGACY_SOLVER = LoliIrConfig(
-    method="cg", accelerate=False, cg_tol=1e-9, tol=1e-7
+from repro.eval.bench import (
+    BENCH_SEED,
+    DEFAULT_SIZES,
+    LEGACY_SOLVER,
+    StageTiming,
+    bench_engine,
+    bench_frontend,
+    bench_frontend_async,
+    bench_loadgen,
+    bench_resilience,
+    bench_serving,
+    bench_size,
+    bench_spec,
+    bench_trust,
+    build_bench_deployment,
+    format_bench_report,
+    run_perf_bench,
 )
 
-#: Deployment sizes benchmarked by default; the 6 m square is the 100-cell
-#: grid of the PR-1 acceptance criterion.
-DEFAULT_SIZES = ("paper", "square-6m", "square-12m")
-
-_BENCH_SEED = 2016
-
-
-@dataclass(frozen=True)
-class StageTiming:
-    """Batch-vs-loop wall time of one benchmark stage."""
-
-    batch_s: float
-    loop_s: float
-
-    @property
-    def speedup(self) -> float:
-        if self.batch_s <= 0:
-            return float("inf")
-        return self.loop_s / self.batch_s
-
-    def as_dict(self) -> Dict[str, float]:
-        return {
-            "batch_s": self.batch_s,
-            "loop_s": self.loop_s,
-            "speedup": self.speedup,
-        }
-
-
-def bench_spec(size: str) -> ScenarioSpec:
-    """Scenario spec for a named benchmark size.
-
-    Any registered scenario name works (``warehouse``, ``atrium``, …), plus
-    the generic ``square-<edge>m`` pattern — the bench rows carry the
-    resolved scenario name so cross-environment runs stay attributable.
-    """
-    try:
-        return get_scenario_spec(size)
-    except KeyError as error:
-        raise ValueError(str(error)) from None
-
-
-def build_bench_deployment(size: str) -> Deployment:
-    """Deployment for a named benchmark size."""
-    return build_deployment(bench_spec(size).geometry)
-
-
-def _best_of(fn: Callable[[], object], repeat: int) -> float:
-    best = float("inf")
-    for _ in range(max(1, repeat)):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
-def _host_metadata() -> Dict[str, object]:
-    """Host facts stamped into every benchmark section.
-
-    Throughput numbers from a 1-core CI container and a 16-core
-    workstation are not comparable; recording ``cpu_count`` and the
-    platform string next to every section keeps the committed
-    ``BENCH_*`` trajectory attributable to the host that produced it.
-    """
-    return {
-        "cpu_count": os.cpu_count(),
-        "platform": platform.platform(),
-        "machine": platform.machine(),
-        "python": platform.python_version(),
-    }
-
-
-def _timed_singles(
-    call: Callable[[object], object], frames: Sequence[object]
-) -> List[float]:
-    """Per-query wall times for one sequential pass over ``frames``."""
-    latencies: List[float] = []
-    for frame in frames:
-        start = time.perf_counter()
-        call(frame)
-        latencies.append(time.perf_counter() - start)
-    return latencies
-
-
-def bench_size(
-    size: str,
-    *,
-    frames: int = 500,
-    samples_per_cell: int = 10,
-    repeat: int = 3,
-    seed: int = _BENCH_SEED,
-) -> Dict[str, object]:
-    """Benchmark one scenario/size; returns a plain-data record."""
-    spec = bench_spec(size)
-    scenario: Scenario = build_scenario(spec.with_seed(seed))
-    deployment = scenario.deployment
-    protocol = CollectionProtocol(
-        samples_per_cell=samples_per_cell, empty_room_samples=10
-    )
-
-    # --- simulation: full commissioning survey, batch vs per-cell loop ---
-    # Both sides get the same best-of treatment so warm-up noise cannot
-    # inflate the reported speedup.
-    survey = StageTiming(
-        batch_s=_best_of(
-            lambda: RssCollector(
-                scenario, protocol, seed=1, vectorized=True
-            ).collect_full_survey(0.0),
-            repeat,
-        ),
-        loop_s=_best_of(
-            lambda: RssCollector(
-                scenario, protocol, seed=1, vectorized=False
-            ).collect_full_survey(0.0),
-            repeat,
-        ),
-    )
-
-    # --- reconstruction: LoLi-IR update, legacy vs fast, cold vs warm ---
-    def updates(warm_start: bool, solver: Optional[LoliIrConfig] = None) -> List[int]:
-        config = TafLocConfig(
-            reconstruction=ReconstructionConfig(
-                warm_start=warm_start,
-                solver=solver if solver is not None else LoliIrConfig(),
-            )
-        )
-        system = TafLoc(
-            RssCollector(scenario, protocol, seed=2), config, seed=3
-        )
-        system.commission(0.0)
-        iterations = []
-        # A high-frequency refresh loop: 6-hourly updates, the regime the
-        # warm start is built for.
-        for step in range(4):
-            report = system.update(30.0 + 0.25 * step)
-            iterations.append(report.reconstruction.solver_result.iterations)
-        return iterations
-
-    start = time.perf_counter()
-    legacy_iterations = updates(False, LEGACY_SOLVER)
-    legacy_cold_s = time.perf_counter() - start
-    start = time.perf_counter()
-    cold_iterations = updates(False)
-    cold_s = time.perf_counter() - start
-    start = time.perf_counter()
-    warm_iterations = updates(True)
-    warm_s = time.perf_counter() - start
-    # Coupled-solver cross-check: the cached-splu direct backend vs the
-    # default PCG on the same refresh loop (the PR-3 measurement that
-    # settled "auto" on PCG — keep recording both so a future structural
-    # change that flips the balance shows up in the committed numbers).
-    start = time.perf_counter()
-    updates(False, LoliIrConfig(coupled_solver="direct"))
-    direct_cold_s = time.perf_counter() - start
-
-    # --- serving: trace-level matching, batch vs per-frame loop ---------
-    workload_rng = counter_stream(seed, 1)
-    cells = workload_rng.integers(0, deployment.cell_count, size=frames)
-    collector = RssCollector(scenario, protocol, seed=4)
-    result = collector.collect_full_survey(0.0)
-    fingerprint = FingerprintMatrix(
-        values=result.survey.matrix, empty_rss=result.survey.empty_rss
-    )
-    trace = collector.live_trace(0.0, cells)
-    matcher = KnnMatcher(fingerprint, deployment.grid)
-    batch_out = matcher.match_batch(trace.rss)
-    loop_out = [matcher.match(frame) for frame in trace.rss]
-    for index, single in enumerate(loop_out):
-        if int(batch_out.cells[index]) == single.cell:
-            continue
-        # Quantized RSS makes exact distance ties possible; batch-of-N and
-        # batch-of-1 BLAS rounding may break such a tie differently. Either
-        # winner is correct — only a genuine score gap is a disagreement.
-        gap = abs(
-            batch_out.scores[index][int(batch_out.cells[index])]
-            - batch_out.scores[index][single.cell]
-        )
-        if gap > 1e-6:
-            raise AssertionError(
-                f"batch and per-frame matching disagree on frame {index}"
-            )
-    matching = StageTiming(
-        batch_s=_best_of(lambda: matcher.match_batch(trace.rss), repeat),
-        loop_s=_best_of(
-            lambda: [matcher.match(frame) for frame in trace.rss], repeat
-        ),
-    )
-
-    return {
-        "scenario": spec.name,
-        "links": deployment.link_count,
-        "cells": deployment.cell_count,
-        "frames": int(frames),
-        "samples_per_cell": int(samples_per_cell),
-        "survey": survey.as_dict(),
-        "solve": {
-            "cold_s": cold_s,
-            "warm_s": warm_s,
-            "legacy_cold_s": legacy_cold_s,
-            "coupled_direct_s": direct_cold_s,
-            "speedup": legacy_cold_s / cold_s if cold_s > 0 else float("inf"),
-            "cold_iterations": cold_iterations,
-            "warm_iterations": warm_iterations,
-            "legacy_iterations": legacy_iterations,
-            "warm_le_cold": all(
-                w <= c for w, c in zip(warm_iterations, cold_iterations)
-            ),
-        },
-        "match_trace": matching.as_dict(),
-    }
-
-
-def _fig3_identical(a, b) -> bool:
-    return all(
-        x.day == y.day
-        and np.array_equal(x.errors, y.errors)
-        and x.mean_error == y.mean_error
-        and x.stale_mean_error == y.stale_mean_error
-        and x.oracle_mean_error == y.oracle_mean_error
-        for x, y in zip(a, b)
-    )
-
-
-def _fig5_identical(a, b) -> bool:
-    return set(a.errors) == set(b.errors) and all(
-        np.array_equal(a.errors[name], b.errors[name]) for name in a.errors
-    )
-
-
-def bench_engine(
-    *,
-    jobs: int = 2,
-    seed: int = _BENCH_SEED,
-    fig3_days: Sequence[float] = (3.0, 15.0, 45.0, 90.0),
-    fig5_day: float = 90.0,
-    scenario: Union[str, ScenarioSpec] = "paper",
-) -> Dict[str, object]:
-    """Benchmark the figure experiments end-to-end through the engine.
-
-    Three configurations per figure, on ``scenario`` (a registry name or a
-    :class:`~repro.sim.specs.ScenarioSpec`, e.g. one loaded from a user's
-    ``--scenario-file``):
-
-    * ``legacy_s`` — the PR-1 code path: matrix-free CG solver, serial loop.
-    * ``serial_s`` — fast solver, engine with ``jobs=1``.
-    * ``parallel_s`` — fast solver, engine with ``jobs`` workers. One
-      persistent engine serves *both* figures, so the pool starts once and
-      the second figure measures the amortized regime; on a single-core
-      host this is serial time plus residual overhead, on a multi-core
-      host it scales with the core count.
-
-    ``speedup`` is what a PR-1 user gains by upgrading and passing
-    ``--jobs``: ``legacy_s / parallel_s``. ``bit_identical`` asserts the
-    acceptance contract that parallel results equal serial results exactly.
-    Caching is disabled so every configuration does full work.
-    """
-    legacy_config = TafLocConfig(
-        reconstruction=ReconstructionConfig(solver=LEGACY_SOLVER)
-    )
-
-    def run_fig3(engine, config=None):
-        return run_fig3_reconstruction_error(
-            days=fig3_days, seed=seed, config=config, engine=engine,
-            scenario_spec=scenario,
-        )
-
-    def run_fig5(engine, config=None):
-        return run_fig5_localization(
-            day=fig5_day, seed=seed, config=config, engine=engine,
-            scenario_spec=scenario,
-        )
-
-    scenario_name = (
-        scenario if isinstance(scenario, str) else scenario.name
-    )
-    record: Dict[str, object] = {"jobs": int(jobs), "scenario": scenario_name}
-    with ExperimentEngine(jobs=jobs, cache=False) as parallel_engine:
-        for name, runner, legacy_kwargs, identical in (
-            ("fig3", run_fig3, {"config": legacy_config}, _fig3_identical),
-            ("fig5", run_fig5, {"config": legacy_config}, _fig5_identical),
-        ):
-            start = time.perf_counter()
-            runner(ExperimentEngine(jobs=1, cache=False), **legacy_kwargs)
-            legacy_s = time.perf_counter() - start
-            start = time.perf_counter()
-            serial = runner(ExperimentEngine(jobs=1, cache=False))
-            serial_s = time.perf_counter() - start
-            start = time.perf_counter()
-            parallel = runner(parallel_engine)
-            parallel_s = time.perf_counter() - start
-            record[name] = {
-                "legacy_s": legacy_s,
-                "serial_s": serial_s,
-                "parallel_s": parallel_s,
-                "speedup": legacy_s / parallel_s if parallel_s > 0 else float("inf"),
-                "bit_identical": bool(identical(serial, parallel)),
-            }
-        record["pools_created"] = parallel_engine.stats.pools_created
-    return record
-
-
-def bench_serving(
-    *,
-    sites: Sequence[str] = DEFAULT_SIZES,
-    frames: int = 500,
-    samples_per_cell: int = 10,
-    repeat: int = 3,
-    seed: int = _BENCH_SEED,
-) -> Dict[str, object]:
-    """Benchmark the multi-site serving layer (queries/sec).
-
-    One :class:`~repro.serve.service.LocalizationService` holds every site.
-    Per site:
-
-    * ``cold_first_query_s`` — a fresh service answering its first query:
-      pipeline materialization + commissioning survey + matcher build.
-    * ``warm_batch_qps`` / ``warm_single_qps`` — steady-state throughput of
-      the batch entry point and of the per-query path (which rides the
-      epoch-keyed matcher cache).
-    * ``rebuild_single_qps`` — the per-query path with
-      ``matcher_for_day(refresh=True)``, i.e. the pre-PR4 behavior of
-      rebuilding the matcher on every call; ``matcher_cache_speedup`` is
-      what the cache bugfix buys on the warm single-query path.
-    * ``bit_identical`` — service answers equal a standalone
-      :class:`~repro.core.pipeline.TafLoc` built with the same derived
-      seeds (:func:`repro.serve.manager.pipeline_seed` /
-      :func:`~repro.serve.manager.reconstructor_seed`).
-
-    ``multi_site`` then measures one process serving *all* sites: a
-    round-robin single-query mix and per-site batches back to back.
-    """
-    protocol = CollectionProtocol(
-        samples_per_cell=samples_per_cell, empty_room_samples=10
-    )
-    specs = {name: bench_spec(name) for name in sites}
-    service = LocalizationService.from_specs(
-        specs, protocol=protocol, seed=seed
-    )
-    record: Dict[str, object] = {
-        "sites": list(sites),
-        "frames": int(frames),
-        "samples_per_cell": int(samples_per_cell),
-        "per_site": {},
-    }
-    traces = {}
-    for index, (site, spec) in enumerate(specs.items()):
-        # Cold start: a fresh single-site service timed through its first
-        # query (materialize + commission + matcher build).
-        fresh = LocalizationService.from_specs(
-            {site: spec}, protocol=protocol, seed=seed
-        )
-        scenario = cached_scenario(spec, build_scenario)
-        workload_cells = counter_stream(seed, 100 + index).integers(
-            0, scenario.deployment.cell_count, size=frames
-        )
-        trace = RssCollector(
-            scenario, protocol, seed=task_key(seed, "serving-workload", site)
-        ).live_trace(0.0, workload_cells)
-        traces[site] = trace
-        start = time.perf_counter()
-        fresh.query(site, trace.rss[0], 0.0)
-        cold_first_query_s = time.perf_counter() - start
-
-        service.warm([site])
-        system = service.pipeline(site)
-        direct = TafLoc(
-            RssCollector(
-                cached_scenario(spec, build_scenario),
-                protocol,
-                seed=pipeline_seed(spec, seed),
-            ),
-            seed=reconstructor_seed(spec, seed),
-        )
-        direct.commission(0.0)
-        served = service.query_batch(site, trace.rss, 0.0)
-        reference = direct.localize_trace(trace)
-        bit_identical = bool(
-            np.array_equal(served.cells, reference.cells)
-            and np.array_equal(served.positions, reference.positions)
-        )
-
-        batch_s = _best_of(
-            lambda: service.query_batch(site, trace.rss, 0.0), repeat
-        )
-        singles = trace.rss[: min(frames, 200)]
-        single_s = _best_of(
-            lambda: [service.query(site, frame, 0.0) for frame in singles],
-            repeat,
-        )
-        rebuild_s = _best_of(
-            lambda: [
-                system.matcher_for_day(0.0, refresh=True).match(frame)
-                for frame in singles
-            ],
-            repeat,
-        )
-        record["per_site"][site] = {
-            "scenario": spec.name,
-            "links": scenario.deployment.link_count,
-            "cells": scenario.deployment.cell_count,
-            "cold_first_query_s": cold_first_query_s,
-            "warm_batch_qps": frames / batch_s if batch_s > 0 else float("inf"),
-            "warm_single_qps": (
-                len(singles) / single_s if single_s > 0 else float("inf")
-            ),
-            "rebuild_single_qps": (
-                len(singles) / rebuild_s if rebuild_s > 0 else float("inf")
-            ),
-            "matcher_cache_speedup": (
-                rebuild_s / single_s if single_s > 0 else float("inf")
-            ),
-            "bit_identical": bit_identical,
-        }
-
-    # One process, every site: round-robin singles and back-to-back batches.
-    site_list = list(specs)
-    mix = []
-    for index in range(min(frames, 200)):
-        site = site_list[index % len(site_list)]
-        trace = traces[site]
-        mix.append((site, trace.rss[index % trace.frame_count]))
-    mixed_s = _best_of(
-        lambda: [service.query(site, frame, 0.0) for site, frame in mix],
-        repeat,
-    )
-    batches_s = _best_of(
-        lambda: [
-            service.query_batch(site, traces[site].rss, 0.0)
-            for site in site_list
-        ],
-        repeat,
-    )
-    total_frames = sum(traces[site].frame_count for site in site_list)
-    record["multi_site"] = {
-        "interleaved_single_qps": (
-            len(mix) / mixed_s if mixed_s > 0 else float("inf")
-        ),
-        "batch_qps": total_frames / batches_s if batches_s > 0 else float("inf"),
-        "pipelines_built": service.manager.stats.pipelines_built,
-    }
-    return record
-
-
-def bench_frontend(
-    *,
-    sites: Sequence[str] = ("paper", "square-6m"),
-    frames: int = 500,
-    samples_per_cell: int = 10,
-    repeat: int = 3,
-    seed: int = _BENCH_SEED,
-    shard_counts: Sequence[int] = (1, 2),
-    singles: int = 100,
-) -> Dict[str, object]:
-    """Benchmark the wire front-end and the shard layer.
-
-    Three comparisons, all on the same per-site workloads:
-
-    * **wire vs in-process** — the HTTP and unix-socket transports answer
-      the same single queries and batches as direct
-      :class:`~repro.serve.service.LocalizationService` calls;
-      ``wire_overhead_x`` is in-process single-query throughput over HTTP
-      single-query throughput (i.e. what one JSON round trip costs), and
-      ``http_roundtrip_ms`` is the measured per-query wire latency.
-    * **shard scaling** — a :class:`~repro.serve.shard.ShardedService`
-      fans per-site batches out to ``n`` worker processes
-      (:meth:`~repro.serve.shard.ShardedService.map_query_batch`);
-      ``scaling_x`` is the fan-out throughput of ``n`` workers over 1
-      worker (≈1 on a single core, → min(shards, cores, sites) on a
-      multi-core host because workers own disjoint site sets).
-    * **bit-identity** — every transport and every shard count must
-      reproduce the in-process answers exactly; the smoke run gates CI
-      on these flags.
-    """
-    protocol = CollectionProtocol(
-        samples_per_cell=samples_per_cell, empty_room_samples=10
-    )
-    specs = {name: bench_spec(name) for name in sites}
-    service = LocalizationService.from_specs(
-        specs, protocol=protocol, seed=seed
-    )
-    service.warm()
-    workloads: Dict[str, np.ndarray] = {}
-    for index, (site, spec) in enumerate(specs.items()):
-        scenario = cached_scenario(spec, build_scenario)
-        cells = counter_stream(seed, 300 + index).integers(
-            0, scenario.deployment.cell_count, size=frames
-        )
-        workloads[site] = RssCollector(
-            scenario, protocol, seed=task_key(seed, "frontend-workload", site)
-        ).live_trace(0.0, cells).rss
-    reference = {
-        site: service.query_batch(site, rss, 0.0)
-        for site, rss in workloads.items()
-    }
-
-    record: Dict[str, object] = {
-        "sites": list(sites),
-        "frames": int(frames),
-        "singles": int(singles),
-        "per_site": {},
-        "shards": {},
-    }
-
-    def wire_rates(client) -> Dict[str, Dict[str, float]]:
-        rates: Dict[str, Dict[str, float]] = {}
-        for site, rss in workloads.items():
-            wire = client.query_batch(site, rss, 0.0)  # warm-up + identity
-            identical = bool(
-                np.array_equal(wire.cells, reference[site].cells)
-                and np.array_equal(wire.positions, reference[site].positions)
-            )
-            batch_s = _best_of(
-                lambda: client.query_batch(site, rss, 0.0), repeat
-            )
-            head = rss[: min(frames, singles)]
-            single_s = _best_of(
-                lambda: [client.query(site, frame, 0.0) for frame in head],
-                repeat,
-            )
-            latencies = _timed_singles(
-                lambda frame: client.query(site, frame, 0.0), head
-            )
-            rates[site] = {
-                "batch_qps": frames / batch_s if batch_s > 0 else float("inf"),
-                "single_qps": (
-                    len(head) / single_s if single_s > 0 else float("inf")
-                ),
-                "roundtrip_ms": 1000.0 * single_s / len(head),
-                "latency": _latency_summary(latencies),
-                "bit_identical": identical,
-            }
-        return rates
-
-    # In-process baseline on identical workloads.
-    for site, rss in workloads.items():
-        batch_s = _best_of(lambda: service.query_batch(site, rss, 0.0), repeat)
-        head = rss[: min(frames, singles)]
-        single_s = _best_of(
-            lambda: [service.query(site, frame, 0.0) for frame in head],
-            repeat,
-        )
-        record["per_site"][site] = {
-            "inproc_batch_qps": (
-                frames / batch_s if batch_s > 0 else float("inf")
-            ),
-            "inproc_single_qps": (
-                len(head) / single_s if single_s > 0 else float("inf")
-            ),
-            "inproc_latency": _latency_summary(
-                _timed_singles(
-                    lambda frame: service.query(site, frame, 0.0), head
-                )
-            ),
-        }
-
-    with HttpFrontend(service) as frontend:
-        with ServiceClient(frontend.address) as client:
-            for site, rates in wire_rates(client).items():
-                row = record["per_site"][site]
-                row["http_batch_qps"] = rates["batch_qps"]
-                row["http_single_qps"] = rates["single_qps"]
-                row["http_roundtrip_ms"] = rates["roundtrip_ms"]
-                row["http_latency"] = rates["latency"]
-                row["http_bit_identical"] = rates["bit_identical"]
-                row["wire_overhead_x"] = (
-                    row["inproc_single_qps"] / rates["single_qps"]
-                    if rates["single_qps"] > 0
-                    else float("inf")
-                )
-
-    with tempfile.TemporaryDirectory() as tmp:
-        with UnixFrontend(service, str(Path(tmp) / "bench.sock")) as frontend:
-            with ServiceClient(frontend.address) as client:
-                for site, rates in wire_rates(client).items():
-                    row = record["per_site"][site]
-                    row["unix_batch_qps"] = rates["batch_qps"]
-                    row["unix_single_qps"] = rates["single_qps"]
-                    row["unix_roundtrip_ms"] = rates["roundtrip_ms"]
-                    row["unix_latency"] = rates["latency"]
-                    row["unix_bit_identical"] = rates["bit_identical"]
-
-    # Shard scaling: fan the per-site batches out to n worker processes.
-    requests = [(site, rss, 0.0) for site, rss in workloads.items()]
-    total_frames = frames * len(workloads)
-    base_qps: Optional[float] = None
-    for count in shard_counts:
-        with ShardedService(
-            specs, shards=count, protocol=protocol, seed=seed
-        ) as sharded:
-            start = time.perf_counter()
-            sharded.warm()
-            warm_s = time.perf_counter() - start
-            results = sharded.map_query_batch(requests)  # warm-up + identity
-            identical = all(
-                np.array_equal(result.cells, reference[site].cells)
-                and np.array_equal(result.positions, reference[site].positions)
-                for (site, _, _), result in zip(requests, results)
-            )
-            fanout_s = _best_of(
-                lambda: sharded.map_query_batch(requests), repeat
-            )
-            qps = total_frames / fanout_s if fanout_s > 0 else float("inf")
-            if base_qps is None:
-                base_qps = qps
-            record["shards"][str(count)] = {
-                "warm_s": warm_s,
-                "fanout_batch_qps": qps,
-                "scaling_x": qps / base_qps if base_qps > 0 else float("inf"),
-                "bit_identical": bool(identical),
-            }
-    return record
-
-
-async def _aio_closed_loop(
-    address: str,
-    site: str,
-    frames: np.ndarray,
-    requests: int,
-    connections: int,
-    depth: int,
-) -> Tuple[List[float], float]:
-    """Closed-loop load driver for the asyncio front-end.
-
-    ``connections`` persistent connections each keep up to ``depth``
-    single queries in flight and issue ``requests`` requests; returns
-    (per-request latencies in seconds, wall seconds). Latency is
-    measured send-to-response per request — queueing behind the depth
-    window is excluded, pipelined server time is not.
-    """
-    rows = [row.tolist() for row in np.asarray(frames, dtype=float)]
-    latencies: List[float] = []
-
-    async def one_connection(offset: int) -> None:
-        async with AsyncServiceClient(address) as client:
-            window = asyncio.Semaphore(depth)
-
-            async def one_request(index: int) -> None:
-                frame = rows[(offset + index) % len(rows)]
-                async with window:
-                    start = time.perf_counter()
-                    await client.query(site, frame, 0.0)
-                    latencies.append(time.perf_counter() - start)
-
-            await asyncio.gather(*(one_request(i) for i in range(requests)))
-
-    start = time.perf_counter()
-    await asyncio.gather(
-        *(one_connection(k * 37) for k in range(max(1, connections)))
-    )
-    return latencies, time.perf_counter() - start
-
-
-async def _aio_pipeline_probe(
-    address: str, site: str, frames: np.ndarray, day: float, depth: int
-) -> List[object]:
-    async with AsyncServiceClient(address) as client:
-        return await client.pipeline_queries(site, frames, day, depth=depth)
-
-
-async def _aio_trace_probe(
-    address: str, site: str, frames: np.ndarray, chunk: int
-) -> Tuple[object, int, float]:
-    """Stream one trace; returns (result, peak message bytes, seconds)."""
-    async with AsyncServiceClient(address) as client:
-        client.reset_peak()
-        start = time.perf_counter()
-        result = await client.query_trace(site, frames, 0.0, chunk=chunk)
-        return result, client.peak_message_bytes, time.perf_counter() - start
-
-
-def bench_frontend_async(
-    *,
-    sites: Sequence[str] = ("paper", "square-6m"),
-    frames: int = 500,
-    samples_per_cell: int = 10,
-    repeat: int = 3,
-    seed: int = _BENCH_SEED,
-    connections: Sequence[int] = (1, 2, 4),
-    depth: int = 16,
-    singles: int = 200,
-    trace_multipliers: Sequence[int] = (1, 8),
-    stream_chunk: int = 32,
-) -> Dict[str, object]:
-    """Benchmark the asyncio front-end (:class:`~repro.serve.aio.AioFrontend`).
-
-    The closed-loop multi-connection driver: for each count ``c`` in
-    ``connections``, ``c`` persistent :class:`AsyncServiceClient`
-    connections each keep ``depth`` single queries in flight against one
-    event-loop server, and every request's send-to-response latency is
-    recorded — so each row reports p50/p95/p99/max alongside the
-    sustained queries/sec (total requests over wall clock), not just a
-    mean round trip. Baselines measured on the same host and workloads:
-    in-process singles, the threaded PR-5 HTTP front-end
-    (``speedup_vs_http_x`` is the PR-8 acceptance ratio), and the sync
-    :class:`ServiceClient` over ``tcp://`` one request at a time (what
-    pipelining alone buys over the shared NDJSON protocol).
-    ``trace_streaming`` pushes a short and an N×-longer ``query_trace``
-    through the chunked NDJSON path, gating bit-identity with the
-    in-process answer and that the client's peak per-message bytes stay
-    flat in trace length (``buffering_flat``).
-    """
-    protocol = CollectionProtocol(
-        samples_per_cell=samples_per_cell, empty_room_samples=10
-    )
-    specs = {name: bench_spec(name) for name in sites}
-    service = LocalizationService.from_specs(
-        specs, protocol=protocol, seed=seed
-    )
-    service.warm()
-    workloads: Dict[str, np.ndarray] = {}
-    for index, (site, spec) in enumerate(specs.items()):
-        scenario = cached_scenario(spec, build_scenario)
-        cells = counter_stream(seed, 300 + index).integers(
-            0, scenario.deployment.cell_count, size=frames
-        )
-        workloads[site] = RssCollector(
-            scenario, protocol, seed=task_key(seed, "frontend-workload", site)
-        ).live_trace(0.0, cells).rss
-    heads = {
-        site: rss[: min(frames, singles)] for site, rss in workloads.items()
-    }
-
-    record: Dict[str, object] = {
-        "sites": list(sites),
-        "frames": int(frames),
-        "singles": int(singles),
-        "depth": int(depth),
-        "connections": [int(count) for count in connections],
-        "per_site": {},
-    }
-
-    # In-process + threaded-HTTP baselines on identical workloads; the
-    # HTTP number is the same-host PR-5 figure the aio speedup is
-    # measured against.
-    for site, head in heads.items():
-        single_s = _best_of(
-            lambda: [service.query(site, frame, 0.0) for frame in head],
-            repeat,
-        )
-        record["per_site"][site] = {
-            "inproc_single_qps": (
-                len(head) / single_s if single_s > 0 else float("inf")
-            ),
-        }
-    with HttpFrontend(service) as frontend:
-        with ServiceClient(frontend.address) as client:
-            for site, head in heads.items():
-                client.query(site, head[0], 0.0)  # warm up the connection
-                single_s = _best_of(
-                    lambda: [client.query(site, frame, 0.0) for frame in head],
-                    repeat,
-                )
-                row = record["per_site"][site]
-                row["http_single_qps"] = (
-                    len(head) / single_s if single_s > 0 else float("inf")
-                )
-                row["http_latency"] = _latency_summary(
-                    _timed_singles(
-                        lambda frame: client.query(site, frame, 0.0), head
-                    )
-                )
-
-    max_sustained = 0.0
-    with AioFrontend(service) as frontend:
-        address = frontend.address
-        # Sync one-at-a-time over the same NDJSON/TCP path: separates
-        # protocol cost from what pipelining buys on top.
-        with ServiceClient(address) as client:
-            for site, head in heads.items():
-                client.query(site, head[0], 0.0)  # warm up the connection
-                single_s = _best_of(
-                    lambda: [client.query(site, frame, 0.0) for frame in head],
-                    repeat,
-                )
-                record["per_site"][site]["aio_sync_single_qps"] = (
-                    len(head) / single_s if single_s > 0 else float("inf")
-                )
-
-        for site, head in heads.items():
-            row = record["per_site"][site]
-            # Identity gate: pipelined answers (out-of-order completion,
-            # matched by request id) equal sequential in-process singles.
-            wire = asyncio.run(
-                _aio_pipeline_probe(address, site, head, 0.0, depth)
-            )
-            singles_ref = [service.query(site, frame, 0.0) for frame in head]
-            row["bit_identical"] = bool(
-                all(
-                    one.cell == int(ref.cell)
-                    and one.position
-                    == (float(ref.position.x), float(ref.position.y))
-                    and one.score == float(ref.scores[ref.cell])
-                    for one, ref in zip(wire, singles_ref)
-                )
-            )
-            row["pipelined"] = {}
-            for count in connections:
-                best_qps, best_latencies = 0.0, [0.0]
-                for _ in range(max(1, repeat)):
-                    latencies, wall = asyncio.run(
-                        _aio_closed_loop(
-                            address, site, head, len(head), count, depth
-                        )
-                    )
-                    qps = len(latencies) / wall if wall > 0 else float("inf")
-                    if qps > best_qps:
-                        best_qps, best_latencies = qps, latencies
-                row["pipelined"][str(count)] = {
-                    "connections": int(count),
-                    "depth": int(depth),
-                    "sustained_qps": best_qps,
-                    "latency": _latency_summary(best_latencies),
-                }
-                max_sustained = max(max_sustained, best_qps)
-            best = max(
-                pipe["sustained_qps"] for pipe in row["pipelined"].values()
-            )
-            row["aio_best_qps"] = best
-            row["speedup_vs_http_x"] = (
-                best / row["http_single_qps"]
-                if row["http_single_qps"] > 0
-                else float("inf")
-            )
-            top = row["pipelined"][str(max(connections))]
-            row["wire_vs_inproc_x"] = (
-                row["inproc_single_qps"] / top["sustained_qps"]
-                if top["sustained_qps"] > 0
-                else float("inf")
-            )
-
-        # Streamed query_trace: bit-identity + flat peak buffering. The
-        # trace is localized in ONE backend call (chunking only the JSON
-        # encoding), so the answer must match in-process exactly.
-        site, rss = next(iter(workloads.items()))
-        lengths: Dict[str, object] = {}
-        peaks: List[int] = []
-        for multiplier in trace_multipliers:
-            trace = np.concatenate([rss] * max(1, multiplier), axis=0)
-            reference = service.query_trace(
-                site, LiveTrace(day=0.0, rss=trace)
-            )
-            streamed, peak, elapsed = asyncio.run(
-                _aio_trace_probe(address, site, trace, stream_chunk)
-            )
-            identical = bool(
-                np.array_equal(streamed.cells, reference.cells)
-                and np.array_equal(streamed.positions, reference.positions)
-            )
-            peaks.append(int(peak))
-            lengths[str(trace.shape[0])] = {
-                "frames": int(trace.shape[0]),
-                "peak_message_bytes": int(peak),
-                "bit_identical": identical,
-                "stream_s": elapsed,
-                "frames_per_s": (
-                    trace.shape[0] / elapsed if elapsed > 0 else float("inf")
-                ),
-            }
-        record["trace_streaming"] = {
-            "site": site,
-            "chunk": int(stream_chunk),
-            "lengths": lengths,
-            # Flat buffering: peak per-message bytes is set by the chunk
-            # size, not the trace length.
-            "buffering_flat": bool(max(peaks) <= 2 * min(peaks)),
-        }
-
-    record["max_sustained_qps"] = max_sustained
-    return record
-
-
-def _latency_summary(latencies_s: Sequence[float]) -> Dict[str, float]:
-    if not latencies_s:
-        return {"count": 0}
-    arr = np.asarray(latencies_s, dtype=float) * 1000.0
-    return {
-        "count": int(arr.size),
-        "p50_ms": float(np.percentile(arr, 50)),
-        "p95_ms": float(np.percentile(arr, 95)),
-        "p99_ms": float(np.percentile(arr, 99)),
-        "max_ms": float(arr.max()),
-        "mean_ms": float(arr.mean()),
-    }
-
-
-def bench_resilience(
-    *,
-    sites: Sequence[str] = ("square-3m", "square-4m", "square-5m"),
-    shards: int = 3,
-    replicas: int = 2,
-    frames: int = 24,
-    samples_per_cell: int = 2,
-    operations: int = 30,
-    seed: int = _BENCH_SEED,
-    recovery_timeout_s: float = 120.0,
-) -> Dict[str, object]:
-    """Benchmark the fleet's fault tolerance: kill a worker, count losses.
-
-    The measurement behind the PR-6 acceptance claims, all on one
-    snapshot-backed :class:`~repro.serve.shard.ShardedService` fleet
-    (``shards`` workers, R = ``replicas``):
-
-    * **failed / mismatched queries** — a round-robin ``query_batch``
-      workload runs before, immediately after a seed-scheduled
-      (:class:`~repro.serve.faults.FaultSchedule`) ``kill -9`` of a
-      worker, and again after recovery; every answer is checked
-      bit-for-bit against an undisturbed in-process service. With
-      R >= 2 the target is zero failures and zero mismatches in every
-      phase.
-    * **recovery** — wall time from the SIGKILL to the victim answering
-      again, plus how many of its sites the respawn restored from
-      snapshots (vs re-surveying).
-    * **tail latency** — p50/p99 per phase, so the perturbation the
-      failover + background respawn causes is a number, not a vibe.
-    * **warm paths** — ``cold_warm_s`` (first fleet warm: full
-      commissioning surveys) vs ``snapshot_warm_s`` (a second fleet over
-      the same snapshot directory), the restore-vs-rebuild speedup a
-      respawn rides.
-    """
-    protocol = CollectionProtocol(
-        samples_per_cell=samples_per_cell, empty_room_samples=5
-    )
-    specs = {f"site-{name}": bench_spec(name) for name in sites}
-    reference = LocalizationService.from_specs(
-        specs, protocol=protocol, seed=seed, share_pipelines=False
-    )
-    reference.warm()
-    workloads: Dict[str, np.ndarray] = {}
-    for index, (site, spec) in enumerate(specs.items()):
-        scenario = cached_scenario(spec, build_scenario)
-        cells = counter_stream(seed, 500 + index).integers(
-            0, scenario.deployment.cell_count, size=frames
-        )
-        workloads[site] = RssCollector(
-            scenario,
-            protocol,
-            seed=task_key(seed, "resilience-workload", site),
-        ).live_trace(0.0, cells).rss
-    expected = {
-        site: reference.query_batch(site, rss, 0.0)
-        for site, rss in workloads.items()
-    }
-    site_list = list(specs)
-
-    record: Dict[str, object] = {
-        "sites": site_list,
-        "shards": int(shards),
-        "replicas": int(replicas),
-        "frames": int(frames),
-        "operations": int(operations),
-    }
-
-    with tempfile.TemporaryDirectory() as tmp:
-        snapshot_dir = Path(tmp) / "snapshots"
-        fleet = ShardedService(
-            specs,
-            shards=shards,
-            replicas=replicas,
-            snapshot_dir=snapshot_dir,
-            call_timeout=60.0,
-            protocol=protocol,
-            seed=seed,
-        )
-        try:
-            start = time.perf_counter()
-            fleet.warm()
-            record["cold_warm_s"] = time.perf_counter() - start
-
-            def run_phase(count: int) -> Dict[str, object]:
-                latencies: List[float] = []
-                failed = 0
-                mismatched = 0
-                for op in range(count):
-                    site = site_list[op % len(site_list)]
-                    rss = workloads[site]
-                    begin = time.perf_counter()
-                    try:
-                        result = fleet.query_batch(site, rss, 0.0)
-                    except OSError:
-                        failed += 1
-                        continue
-                    latencies.append(time.perf_counter() - begin)
-                    if not (
-                        np.array_equal(result.cells, expected[site].cells)
-                        and np.array_equal(
-                            result.positions, expected[site].positions
-                        )
-                    ):
-                        mismatched += 1
-                return {
-                    "failed_queries": failed,
-                    "mismatched_queries": mismatched,
-                    "latency": _latency_summary(latencies),
-                }
-
-            record["before"] = run_phase(operations)
-
-            schedule = FaultSchedule.generate(
-                seed=seed, operations=operations, shards=shards, faults=1
-            )
-            victim = schedule.events[0].target
-            injector = FaultInjector(fleet)
-            killed_at = time.perf_counter()
-            injector.kill(victim)
-            record["victim_shard"] = int(victim)
-            # Under load straight through the outage: with R >= 2 every
-            # query fails over to a live replica and still answers.
-            record["during"] = run_phase(operations)
-
-            recovered = False
-            deadline = time.monotonic() + recovery_timeout_s
-            while time.monotonic() < deadline:
-                fleet.health()  # the monitoring poll drives the respawn
-                if fleet._shards[victim].alive():
-                    recovered = True
-                    break
-                time.sleep(0.02)
-            record["recovery_s"] = time.perf_counter() - killed_at
-            record["recovered"] = bool(recovered)
-            if recovered:
-                worker_health = fleet._shards[victim].call("health")
-                record["snapshots_restored"] = int(
-                    worker_health["snapshots_restored"]
-                )
-            record["after"] = run_phase(operations)
-            record["router_stats"] = {
-                "failovers": fleet.router_stats.failovers,
-                "timeouts": fleet.router_stats.timeouts,
-                "respawns": fleet.router_stats.respawns,
-                "respawn_failures": fleet.router_stats.respawn_failures,
-            }
-        finally:
-            fleet.close()
-
-        # A second fleet over the same snapshot directory: the warm that a
-        # respawn rides, vs the cold commissioning surveys above.
-        revived = ShardedService(
-            specs,
-            shards=shards,
-            replicas=replicas,
-            snapshot_dir=snapshot_dir,
-            call_timeout=60.0,
-            protocol=protocol,
-            seed=seed,
-        )
-        try:
-            start = time.perf_counter()
-            revived.warm()
-            record["snapshot_warm_s"] = time.perf_counter() - start
-            record["snapshot_warm_restored"] = int(
-                sum(
-                    shard.call("health")["snapshots_restored"]
-                    for shard in revived._shards
-                )
-            )
-            record["snapshot_warm_bit_identical"] = bool(
-                all(
-                    np.array_equal(
-                        revived.query_batch(site, rss, 0.0).cells,
-                        expected[site].cells,
-                    )
-                    for site, rss in workloads.items()
-                )
-            )
-        finally:
-            revived.close()
-
-    cold = record["cold_warm_s"]
-    warm = record["snapshot_warm_s"]
-    record["restore_speedup"] = cold / warm if warm > 0 else float("inf")
-    record["zero_loss"] = bool(
-        all(
-            record[phase]["failed_queries"] == 0
-            and record[phase]["mismatched_queries"] == 0
-            for phase in ("before", "during", "after")
-        )
-    )
-    return record
-
-
-def bench_trust(
-    *,
-    sites: Sequence[str] = ("square-3m", "square-4m"),
-    shards: int = 3,
-    replicas: int = 2,
-    frames: int = 24,
-    operations: int = 20,
-    samples_per_cell: int = 2,
-    soak_days: int = 8,
-    snapshot_keep: int = 2,
-    seed: int = _BENCH_SEED,
-) -> Dict[str, object]:
-    """Benchmark the anti-entropy trust layer (the PR-7 sections).
-
-    * **quorum overhead** — the same workload through a failover fleet
-      and a quorum fleet over identical snapshots: what cross-checking
-      every read against all replicas costs in p50/p99 and q/s.
-    * **corruption episode** — a seed-deterministic bit flip in one
-      replica's fingerprint state, then the workload: wall time until
-      the divergence is detected and the liar repaired, with the
-      mismatched-answer count clients saw (the target is zero), plus a
-      clean-scrub pass time for scale.
-    * **snapshot soak** — ``soak_days`` of daily update + lifecycle
-      maintenance under keep-last-``snapshot_keep``: max files on disk,
-      prune totals, final directory bytes — the boundedness record the
-      PR-7 acceptance criterion points at.
-    * **drift sentinel** — one measured-drift probe per site: reading
-      and wall time (what a ``policy="drift"`` scheduler tick pays).
-    """
-    protocol = CollectionProtocol(
-        samples_per_cell=samples_per_cell, empty_room_samples=5
-    )
-    specs = {f"site-{name}": bench_spec(name) for name in sites}
-    reference = LocalizationService.from_specs(
-        specs, protocol=protocol, seed=seed, share_pipelines=False
-    )
-    reference.warm()
-    workloads: Dict[str, np.ndarray] = {}
-    for index, (site, spec) in enumerate(specs.items()):
-        scenario = cached_scenario(spec, build_scenario)
-        cells = counter_stream(seed, 700 + index).integers(
-            0, scenario.deployment.cell_count, size=frames
-        )
-        workloads[site] = RssCollector(
-            scenario,
-            protocol,
-            seed=task_key(seed, "trust-workload", site),
-        ).live_trace(0.0, cells).rss
-    expected = {
-        site: reference.query_batch(site, rss, 0.0)
-        for site, rss in workloads.items()
-    }
-    site_list = list(specs)
-
-    record: Dict[str, object] = {
-        "sites": site_list,
-        "shards": int(shards),
-        "replicas": int(replicas),
-        "frames": int(frames),
-        "operations": int(operations),
-    }
-
-    def run_phase(fleet: ShardedService, count: int) -> Dict[str, object]:
-        latencies: List[float] = []
-        failed = 0
-        mismatched = 0
-        for op in range(count):
-            site = site_list[op % len(site_list)]
-            rss = workloads[site]
-            begin = time.perf_counter()
-            try:
-                result = fleet.query_batch(site, rss, 0.0)
-            except OSError:
-                failed += 1
-                continue
-            latencies.append(time.perf_counter() - begin)
-            if not (
-                np.array_equal(result.cells, expected[site].cells)
-                and np.array_equal(
-                    result.positions, expected[site].positions
-                )
-            ):
-                mismatched += 1
-        return {
-            "failed_queries": failed,
-            "mismatched_queries": mismatched,
-            "latency": _latency_summary(latencies),
-        }
-
-    for read_mode in ("failover", "quorum"):
-        with tempfile.TemporaryDirectory() as tmp:
-            fleet = ShardedService(
-                specs,
-                shards=shards,
-                replicas=replicas,
-                snapshot_dir=Path(tmp) / "snapshots",
-                read_mode=read_mode,
-                call_timeout=60.0,
-                protocol=protocol,
-                seed=seed,
-            )
-            try:
-                fleet.warm()
-                record[read_mode] = run_phase(fleet, operations)
-                if read_mode == "quorum":
-                    # The corruption episode, on the quorum fleet.
-                    injector = FaultInjector(fleet)
-                    target = site_list[0]
-                    begin = time.perf_counter()
-                    injector.corrupt(
-                        fleet.replicas[target][0], site=target, seed=seed
-                    )
-                    episode = run_phase(fleet, operations)
-                    record["corruption_episode"] = {
-                        **episode,
-                        "detect_and_repair_s": time.perf_counter() - begin,
-                        "read_divergences": fleet.router_stats.read_divergences,
-                        "quarantines": fleet.router_stats.quarantines,
-                        "repairs": fleet.router_stats.repairs,
-                    }
-                    begin = time.perf_counter()
-                    scrub = fleet.scrub()
-                    record["scrub"] = {
-                        "pass_s": time.perf_counter() - begin,
-                        "sites_checked": scrub["sites_checked"],
-                        "divergent_sites": scrub["divergent_sites"],
-                    }
-            finally:
-                fleet.close()
-    failover_p50 = record["failover"]["latency"].get("p50_ms", 0.0)
-    quorum_p50 = record["quorum"]["latency"].get("p50_ms", 0.0)
-    record["quorum_overhead_x"] = (
-        quorum_p50 / failover_p50 if failover_p50 > 0 else float("inf")
-    )
-
-    # Snapshot-lifecycle soak: the directory must stay bounded.
-    with tempfile.TemporaryDirectory() as tmp:
-        soak = LocalizationService.from_specs(
-            {site_list[0]: specs[site_list[0]]},
-            protocol=protocol,
-            seed=seed,
-            snapshot_dir=tmp,
-            snapshot_keep=snapshot_keep,
-        )
-        soak.warm()
-        store = soak.manager.snapshot_store
-        max_files = 0
-        for day in range(1, soak_days + 1):
-            soak.update(site_list[0], float(day))
-            maintenance = soak.manager.snapshot_maintenance()
-            max_files = max(max_files, len(store.files()))
-        record["snapshot_soak"] = {
-            "days": int(soak_days),
-            "keep_last": int(snapshot_keep),
-            "max_files_on_disk": int(max_files),
-            "files_pruned": int(store.pruned_files),
-            "bytes_reclaimed": int(store.pruned_bytes),
-            "final_bytes": int(maintenance["total_bytes"]),
-            "bounded": bool(max_files <= snapshot_keep),
-        }
-
-    # Drift sentinel: the cost and reading of one measured-drift probe.
-    drift: Dict[str, object] = {}
-    for site in site_list:
-        begin = time.perf_counter()
-        reading = reference.drift(site, 0.0, frames=frames)
-        drift[site] = {
-            "probe_s": time.perf_counter() - begin,
-            "degradation_m": float(reading["degradation_m"]),
-        }
-    record["drift"] = drift
-    return record
-
-
-def run_perf_bench(
-    *,
-    sizes: Sequence[str] = DEFAULT_SIZES,
-    frames: int = 500,
-    samples_per_cell: int = 10,
-    repeat: int = 3,
-    seed: int = _BENCH_SEED,
-    out_path: Optional[Union[str, Path]] = None,
-    engine_jobs: Optional[int] = None,
-    engine_scenario: Union[str, ScenarioSpec] = "paper",
-    serving_sites: Optional[Sequence[str]] = None,
-    frontend_sites: Optional[Sequence[str]] = None,
-    frontend_shards: Sequence[int] = (1, 2),
-    frontend_async_sites: Optional[Sequence[str]] = None,
-    frontend_async_connections: Sequence[int] = (1, 2, 4),
-    resilience_sites: Optional[Sequence[str]] = None,
-    resilience_replicas: int = 2,
-    resilience_shards: int = 3,
-    trust_sites: Optional[Sequence[str]] = None,
-) -> Dict[str, object]:
-    """Run the benchmark over ``sizes``; optionally write the JSON report.
-
-    ``sizes`` accepts any registered scenario name (plus ``square-<edge>m``),
-    and each row records the resolved scenario. ``engine_jobs`` additionally
-    runs the end-to-end figure/engine benchmark with that worker count on
-    ``engine_scenario`` (``None`` skips it — the unit-test path).
-    ``serving_sites`` additionally runs the multi-site serving benchmark
-    over those scenario names (``None`` skips it). ``frontend_sites``
-    additionally runs the wire/shard front-end benchmark
-    (:func:`bench_frontend`) over those names with ``frontend_shards``
-    worker counts (``None`` skips it). ``frontend_async_sites``
-    additionally runs the asyncio front-end benchmark
-    (:func:`bench_frontend_async`): the closed-loop pipelined driver
-    over ``frontend_async_connections`` connection counts plus the
-    streamed-``query_trace`` gates (``None`` skips it). Every section
-    of the report carries the :func:`_host_metadata` stamp
-    (``cpu_count``, platform) so committed numbers stay attributable
-    to the host that produced them. ``resilience_sites`` additionally
-    runs the fault-tolerance benchmark (:func:`bench_resilience`) on a
-    ``resilience_shards``-worker, R = ``resilience_replicas`` fleet
-    (``None`` skips it). ``trust_sites`` additionally runs the
-    anti-entropy trust benchmark (:func:`bench_trust`): quorum-read
-    overhead, the corruption detect-and-repair episode, the snapshot
-    retention soak, and the drift-sentinel probe cost (``None`` skips
-    it).
-    """
-    host = _host_metadata()
-    report: Dict[str, object] = {
-        "benchmark": "bench_perf",
-        "seed": int(seed),
-        "environment": dict(host, numpy=np.__version__),
-        "sizes": {},
-    }
-    for size in sizes:
-        report["sizes"][size] = bench_size(
-            size,
-            frames=frames,
-            samples_per_cell=samples_per_cell,
-            repeat=repeat,
-            seed=seed,
-        )
-    if engine_jobs is not None:
-        report["engine"] = bench_engine(
-            jobs=engine_jobs, seed=seed, scenario=engine_scenario
-        )
-    if serving_sites is not None:
-        report["serving"] = bench_serving(
-            sites=serving_sites,
-            frames=frames,
-            samples_per_cell=samples_per_cell,
-            repeat=repeat,
-            seed=seed,
-        )
-    if frontend_sites is not None:
-        report["frontend"] = bench_frontend(
-            sites=frontend_sites,
-            frames=frames,
-            samples_per_cell=samples_per_cell,
-            repeat=repeat,
-            seed=seed,
-            shard_counts=frontend_shards,
-        )
-    if frontend_async_sites is not None:
-        report["frontend_async"] = bench_frontend_async(
-            sites=frontend_async_sites,
-            frames=frames,
-            samples_per_cell=samples_per_cell,
-            repeat=repeat,
-            seed=seed,
-            connections=frontend_async_connections,
-        )
-    if resilience_sites is not None:
-        report["resilience"] = bench_resilience(
-            sites=resilience_sites,
-            shards=resilience_shards,
-            replicas=resilience_replicas,
-            samples_per_cell=samples_per_cell,
-            seed=seed,
-        )
-    if trust_sites is not None:
-        report["trust"] = bench_trust(
-            sites=trust_sites,
-            samples_per_cell=samples_per_cell,
-            seed=seed,
-        )
-    # Stamp host facts into every section (satellite of PR-8): each
-    # section may end up compared across machines, so each carries its
-    # own provenance, not just the top-level environment.
-    for size_record in report["sizes"].values():
-        size_record["host"] = dict(host)
-    for section in (
-        "engine",
-        "serving",
-        "frontend",
-        "frontend_async",
-        "resilience",
-        "trust",
-    ):
-        if section in report:
-            report[section]["host"] = dict(host)
-    if out_path is not None:
-        Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
-    return report
-
-
-def format_bench_report(report: Dict[str, object]) -> str:
-    """Human-readable summary of a :func:`run_perf_bench` report."""
-    lines = ["bench_perf: fast vs reference wall time (best-of runs)"]
-    header = (
-        f"{'size':<12} {'links':>5} {'cells':>6} "
-        f"{'survey x':>9} {'match x':>8} {'solve x':>8} "
-        f"{'cold/warm [s]':>14}"
-    )
-    lines.append(header)
-    lines.append("-" * len(header))
-    for size, record in report["sizes"].items():
-        survey = record["survey"]
-        match = record["match_trace"]
-        solve = record["solve"]
-        lines.append(
-            f"{size:<12} {record['links']:>5} {record['cells']:>6} "
-            f"{survey['speedup']:>9.1f} {match['speedup']:>8.1f} "
-            f"{solve.get('speedup', float('nan')):>8.1f} "
-            f"{solve['cold_s']:>7.2f}/{solve['warm_s']:.2f}"
-        )
-    engine = report.get("engine")
-    if engine:
-        lines.append("")
-        lines.append(
-            f"figure experiments through the engine (jobs={engine['jobs']}, "
-            f"scenario={engine.get('scenario', 'paper')}, one shared pool):"
-        )
-        for name in ("fig3", "fig5"):
-            record = engine[name]
-            identical = "bit-identical" if record["bit_identical"] else "MISMATCH"
-            lines.append(
-                f"  {name}: legacy {record['legacy_s']:.2f}s -> serial "
-                f"{record['serial_s']:.2f}s -> parallel {record['parallel_s']:.2f}s "
-                f"({record['speedup']:.1f}x vs legacy, {identical})"
-            )
-    serving = report.get("serving")
-    if serving:
-        lines.append("")
-        lines.append(
-            f"serving layer ({len(serving['sites'])} site(s), "
-            f"{serving['frames']} frames/site, warm queries/sec):"
-        )
-        for site, row in serving["per_site"].items():
-            identical = "bit-identical" if row["bit_identical"] else "MISMATCH"
-            lines.append(
-                f"  {site:<12} cold {row['cold_first_query_s']:.2f}s | "
-                f"batch {row['warm_batch_qps']:,.0f} q/s | "
-                f"single {row['warm_single_qps']:,.0f} q/s "
-                f"(rebuild {row['rebuild_single_qps']:,.0f} q/s, "
-                f"cache {row['matcher_cache_speedup']:.1f}x, {identical})"
-            )
-        multi = serving["multi_site"]
-        lines.append(
-            f"  all sites, one process: interleaved "
-            f"{multi['interleaved_single_qps']:,.0f} q/s | batch "
-            f"{multi['batch_qps']:,.0f} q/s "
-            f"({multi['pipelines_built']} pipeline(s) built)"
-        )
-    frontend = report.get("frontend")
-    if frontend:
-        lines.append("")
-        lines.append(
-            f"wire front-end ({len(frontend['sites'])} site(s), "
-            f"{frontend['frames']} frames/batch, "
-            f"{frontend['singles']} single round trips):"
-        )
-        for site, row in frontend["per_site"].items():
-            identical = (
-                "bit-identical"
-                if row.get("http_bit_identical")
-                and row.get("unix_bit_identical")
-                else "MISMATCH"
-            )
-            latency = row.get("http_latency", {})
-            lines.append(
-                f"  {site:<12} in-proc {row['inproc_single_qps']:,.0f} q/s | "
-                f"http {row['http_single_qps']:,.0f} q/s "
-                f"(p50/p95/p99 {latency.get('p50_ms', float('nan')):.2f}/"
-                f"{latency.get('p95_ms', float('nan')):.2f}/"
-                f"{latency.get('p99_ms', float('nan')):.2f} ms, "
-                f"{row['wire_overhead_x']:.1f}x overhead) | "
-                f"unix {row['unix_single_qps']:,.0f} q/s | "
-                f"http batch {row['http_batch_qps']:,.0f} q/s ({identical})"
-            )
-        for count, row in frontend["shards"].items():
-            identical = "bit-identical" if row["bit_identical"] else "MISMATCH"
-            lines.append(
-                f"  shards={count}: warm {row['warm_s']:.2f}s | fan-out "
-                f"{row['fanout_batch_qps']:,.0f} q/s "
-                f"({row['scaling_x']:.2f}x vs 1 worker, {identical})"
-            )
-    frontend_async = report.get("frontend_async")
-    if frontend_async:
-        lines.append("")
-        lines.append(
-            f"asyncio front-end ({len(frontend_async['sites'])} site(s), "
-            f"pipeline depth {frontend_async['depth']}, closed-loop "
-            f"{frontend_async['singles']} singles/connection):"
-        )
-        for site, row in frontend_async["per_site"].items():
-            identical = (
-                "bit-identical" if row.get("bit_identical") else "MISMATCH"
-            )
-            lines.append(
-                f"  {site:<12} in-proc {row['inproc_single_qps']:,.0f} q/s | "
-                f"http {row['http_single_qps']:,.0f} q/s | "
-                f"aio sync {row['aio_sync_single_qps']:,.0f} q/s | "
-                f"aio best {row['aio_best_qps']:,.0f} q/s "
-                f"({row['speedup_vs_http_x']:.1f}x vs http, "
-                f"{row['wire_vs_inproc_x']:.1f}x off in-proc, {identical})"
-            )
-            for count, pipe in row["pipelined"].items():
-                latency = pipe["latency"]
-                lines.append(
-                    f"    conns={count}: {pipe['sustained_qps']:,.0f} q/s | "
-                    f"p50/p95/p99 {latency.get('p50_ms', float('nan')):.2f}/"
-                    f"{latency.get('p95_ms', float('nan')):.2f}/"
-                    f"{latency.get('p99_ms', float('nan')):.2f} ms"
-                )
-        streaming = frontend_async.get("trace_streaming")
-        if streaming:
-            parts = " | ".join(
-                f"{row['frames']} frames: peak {row['peak_message_bytes']} B, "
-                f"{'ok' if row['bit_identical'] else 'MISMATCH'}"
-                for row in streaming["lengths"].values()
-            )
-            flat = "FLAT" if streaming["buffering_flat"] else "GROWING"
-            lines.append(
-                f"  streamed trace ({streaming['site']}, chunk "
-                f"{streaming['chunk']}): {parts} -> buffering {flat}"
-            )
-    resilience = report.get("resilience")
-    if resilience:
-        lines.append("")
-        lines.append(
-            f"resilience ({resilience['shards']} shards, "
-            f"R={resilience['replicas']}, kill -9 of shard "
-            f"{resilience.get('victim_shard', '?')} under load):"
-        )
-        for phase in ("before", "during", "after"):
-            row = resilience[phase]
-            latency = row["latency"]
-            lines.append(
-                f"  {phase:<7} failed {row['failed_queries']} | "
-                f"mismatched {row['mismatched_queries']} | "
-                f"p50 {latency.get('p50_ms', float('nan')):.1f} ms | "
-                f"p99 {latency.get('p99_ms', float('nan')):.1f} ms"
-            )
-        restored = resilience.get("snapshots_restored", 0)
-        lines.append(
-            f"  recovery {resilience['recovery_s']:.2f}s "
-            f"({restored} site(s) snapshot-restored) | warm cold "
-            f"{resilience['cold_warm_s']:.2f}s vs snapshot "
-            f"{resilience['snapshot_warm_s']:.2f}s "
-            f"({resilience['restore_speedup']:.1f}x) | "
-            f"{'ZERO LOSS' if resilience['zero_loss'] else 'QUERIES LOST'}"
-        )
-    trust = report.get("trust")
-    if trust:
-        lines.append("")
-        lines.append(
-            f"trust ({trust['shards']} shards, R={trust['replicas']}, "
-            "anti-entropy):"
-        )
-        for mode in ("failover", "quorum"):
-            latency = trust[mode]["latency"]
-            lines.append(
-                f"  {mode:<8} p50 "
-                f"{latency.get('p50_ms', float('nan')):.1f} ms | p99 "
-                f"{latency.get('p99_ms', float('nan')):.1f} ms | "
-                f"mismatched {trust[mode]['mismatched_queries']}"
-            )
-        episode = trust["corruption_episode"]
-        lines.append(
-            f"  corrupt   quorum overhead {trust['quorum_overhead_x']:.2f}x"
-            f" | episode {episode['detect_and_repair_s']:.2f}s | "
-            f"{episode['read_divergences']} divergence(s), "
-            f"{episode['repairs']} repair(s) | mismatched "
-            f"{episode['mismatched_queries']}"
-        )
-        soak = trust["snapshot_soak"]
-        lines.append(
-            f"  soak      {soak['days']} d, keep {soak['keep_last']}: "
-            f"max {soak['max_files_on_disk']} file(s), "
-            f"{soak['files_pruned']} pruned, "
-            f"{soak['final_bytes']} B final | "
-            f"{'BOUNDED' if soak['bounded'] else 'UNBOUNDED'}"
-        )
-        probes = ", ".join(
-            f"{site} {row['degradation_m']:.2f} m in {row['probe_s']:.2f}s"
-            for site, row in trust["drift"].items()
-        )
-        lines.append(f"  drift     {probes}")
-    return "\n".join(lines)
+__all__ = [
+    "BENCH_SEED",
+    "DEFAULT_SIZES",
+    "LEGACY_SOLVER",
+    "StageTiming",
+    "bench_engine",
+    "bench_frontend",
+    "bench_frontend_async",
+    "bench_loadgen",
+    "bench_resilience",
+    "bench_serving",
+    "bench_size",
+    "bench_spec",
+    "bench_trust",
+    "build_bench_deployment",
+    "format_bench_report",
+    "run_perf_bench",
+]

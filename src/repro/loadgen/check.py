@@ -1,0 +1,108 @@
+"""The ``loadgen-smoke`` gate: ``python -m repro.loadgen.check``.
+
+A seconds-scale end-to-end exercise of the load-generation subsystem,
+run by CI (``make loadgen-smoke``) on every change:
+
+* a short open-loop SLO saturation search over the http front-end (the
+  PR-5 wire path), with every answer checked bit-for-bit against the
+  in-process service;
+* a closed-loop comparison run;
+* a 200-site registration soak (one shared ``square-3m`` spec — the
+  fingerprint dedupe must build exactly ONE pipeline);
+* the plan-determinism gate (same seed → bit-identical schedule) and
+  the report-schema validation from :mod:`repro.loadgen.schema`.
+
+The gates are the ``loadgen`` bench section's own smoke gates — this
+check IS that section at tiny scale, through the registry API, so the
+CI gate and the committed benchmark can never drift apart. The full
+record always lands in ``--out`` (default ``LOADGEN_SMOKE.json``) so a
+failing CI run uploads the evidence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.eval.bench import get_section
+from repro.eval.bench.loadgen import bench_loadgen
+
+__all__ = ["main", "run_loadgen_smoke"]
+
+
+def run_loadgen_smoke(
+    *,
+    seed: int = 2016,
+    soak_sites: int = 200,
+    requests: int = 60,
+    start_qps: float = 50.0,
+    max_qps: float = 2000.0,
+) -> dict:
+    """The smoke-scale loadgen record (the bench section, tiny knobs)."""
+    return bench_loadgen(
+        sites=("square-3m",),
+        seed=seed,
+        transports=("http",),
+        shard_counts=(1,),
+        slo_ms=50.0,
+        requests=requests,
+        start_qps=start_qps,
+        max_qps=max_qps,
+        frames=8,
+        samples_per_cell=2,
+        soak_sites=soak_sites,
+        perturb=False,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument(
+        "--soak-sites", type=int, default=200,
+        help="registered-site count for the soak block",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=60,
+        help="requests per saturation probe",
+    )
+    parser.add_argument(
+        "--out", default="LOADGEN_SMOKE.json",
+        help="where the full JSON record is written (always, pass or fail)",
+    )
+    args = parser.parse_args(argv)
+
+    record = run_loadgen_smoke(
+        seed=args.seed, soak_sites=args.soak_sites, requests=args.requests
+    )
+    Path(args.out).write_text(json.dumps(record, indent=2) + "\n")
+
+    failures: List[str] = get_section("loadgen").smoke_gates(record)
+    for key, result in record["saturation"].items():
+        print(
+            f"loadgen-smoke: {key} max sustained "
+            f"{result['max_sustained_qps']:,.0f} q/s "
+            f"({len(result['probes'])} probe(s))"
+        )
+    soak = record["soak"]
+    if soak:
+        print(
+            f"loadgen-smoke: soak {soak['sites']} sites, "
+            f"{soak['pipelines_built']} pipeline(s), "
+            f"{soak['query_phase']['completed']} queries, "
+            f"{soak['query_phase']['failed_queries']} failed"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        print(f"loadgen-smoke: report in {args.out}", file=sys.stderr)
+        return 1
+    print(f"loadgen-smoke: PASS (report in {args.out})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,254 @@
+"""Seeded load plans: *what* to send and *when*, fixed before any I/O.
+
+A :class:`LoadPlan` is the full request schedule of one load-generation
+run — per-request send offsets, Zipf-skewed site choices, and (for the
+closed loop) per-client think delays — materialized up front as numpy
+arrays from ``util/rng`` counter streams. Separating the plan from the
+driver is what makes the benchmark honest and reproducible at once:
+
+* **Reproducible** — the plan is a pure function of
+  ``(seed, knobs)``; the same seed yields a bit-identical schedule
+  (``fingerprint()`` hashes the raw array bytes, and the smoke gate
+  asserts two builds agree) no matter how the run itself is scheduled
+  by the OS.
+* **Honest** — an open-loop driver measures each query from its
+  *planned* send time, so a saturated server shows up as queue delay in
+  the recorded tail instead of silently throttling the generator (the
+  coordinated-omission trap of closed-loop-only benchmarks).
+
+No wall clocks here: plans are timeless data. The driver owns the clock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.rng import counter_stream, task_key, zipf_sample
+
+__all__ = ["LoadPlan", "closed_loop_plan", "open_loop_plan"]
+
+_ARRIVALS = ("open", "closed")
+_PROCESSES = ("poisson", "uniform")
+
+
+@dataclass(frozen=True)
+class LoadPlan:
+    """One run's complete request schedule.
+
+    Attributes:
+        arrival: ``"open"`` (rate-driven) or ``"closed"`` (client-driven).
+        process: Arrival process — ``"poisson"`` or ``"uniform"`` for the
+            open loop; the closed loop records ``"closed"``.
+        seed: The root seed every stream was derived from.
+        sites: Site names the plan draws over (rank 0 = most popular).
+        zipf_s: Popularity skew exponent (0 = uniform).
+        rate_qps: Offered rate (open loop; 0.0 for closed plans).
+        clients: Concurrent client count (closed loop; worker hint for
+            open plans).
+        send_offset_s: Per-request planned send time, seconds from run
+            start (open loop; zeros for closed plans, where the schedule
+            is think-time driven).
+        site_index: Per-request index into ``sites``.
+        client_index: Per-request issuing client (round-robin for open
+            plans — a worker *hint*, not a constraint).
+        think_delay_s: Per-request post-response think delay (closed
+            loop; zeros for open plans).
+    """
+
+    arrival: str
+    process: str
+    seed: int
+    sites: Tuple[str, ...]
+    zipf_s: float
+    rate_qps: float
+    clients: int
+    send_offset_s: np.ndarray = field(repr=False)
+    site_index: np.ndarray = field(repr=False)
+    client_index: np.ndarray = field(repr=False)
+    think_delay_s: np.ndarray = field(repr=False)
+
+    @property
+    def requests(self) -> int:
+        return int(self.site_index.size)
+
+    @property
+    def duration_s(self) -> float:
+        """Planned span of the open-loop schedule (0 for closed plans)."""
+        if self.send_offset_s.size == 0:
+            return 0.0
+        return float(self.send_offset_s[-1])
+
+    def site_name(self, request: int) -> str:
+        return self.sites[int(self.site_index[request])]
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the raw schedule bytes and identifying metadata.
+
+        Two plans with the same fingerprint are bit-identical: same
+        arrival times, same site sequence, same client assignment, same
+        think delays. The smoke gate builds the plan twice and compares.
+        """
+        digest = hashlib.sha256()
+        digest.update(
+            "|".join(
+                [
+                    self.arrival,
+                    self.process,
+                    str(self.seed),
+                    ",".join(self.sites),
+                    repr(self.zipf_s),
+                    repr(self.rate_qps),
+                    str(self.clients),
+                ]
+            ).encode()
+        )
+        for array in (
+            self.send_offset_s,
+            self.site_index,
+            self.client_index,
+            self.think_delay_s,
+        ):
+            digest.update(np.ascontiguousarray(array).tobytes())
+        return digest.hexdigest()
+
+    def describe(self) -> Dict[str, object]:
+        """Plain-data summary for reports."""
+        return {
+            "arrival": self.arrival,
+            "process": self.process,
+            "seed": int(self.seed),
+            "sites": len(self.sites),
+            "zipf_s": float(self.zipf_s),
+            "rate_qps": float(self.rate_qps),
+            "clients": int(self.clients),
+            "requests": self.requests,
+            "duration_s": self.duration_s,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+def open_loop_plan(
+    *,
+    sites: Sequence[str],
+    seed: int,
+    rate_qps: float,
+    requests: int,
+    process: str = "poisson",
+    zipf_s: float = 0.0,
+    clients: int = 4,
+) -> LoadPlan:
+    """Schedule ``requests`` arrivals at offered rate ``rate_qps``.
+
+    ``"poisson"`` draws exponential inter-arrival gaps (memoryless
+    arrivals, the standard open-loop traffic model); ``"uniform"`` spaces
+    requests exactly ``1/rate`` apart (a pure pacing probe). Both use
+    counter streams keyed by ``task_key(seed, "loadgen", ...)`` so the
+    schedule is independent of anything else drawing randomness.
+    """
+    if not sites:
+        raise ValueError("need at least one site")
+    if rate_qps <= 0:
+        raise ValueError(f"rate_qps must be > 0, got {rate_qps}")
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    if process not in _PROCESSES:
+        raise ValueError(f"process must be one of {_PROCESSES}, got {process!r}")
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    if process == "poisson":
+        gaps = counter_stream(
+            task_key(seed, "loadgen", "arrivals", process)
+        ).exponential(1.0 / rate_qps, size=requests)
+        offsets = np.cumsum(gaps)
+    else:
+        offsets = (np.arange(requests, dtype=np.float64) + 1.0) / rate_qps
+    site_index = zipf_sample(
+        counter_stream(task_key(seed, "loadgen", "sites")),
+        len(sites),
+        zipf_s,
+        requests,
+    )
+    return LoadPlan(
+        arrival="open",
+        process=process,
+        seed=int(seed),
+        sites=tuple(str(site) for site in sites),
+        zipf_s=float(zipf_s),
+        rate_qps=float(rate_qps),
+        clients=int(clients),
+        send_offset_s=offsets.astype(np.float64),
+        site_index=site_index,
+        client_index=np.arange(requests, dtype=np.int64) % int(clients),
+        think_delay_s=np.zeros(requests, dtype=np.float64),
+    )
+
+
+def closed_loop_plan(
+    *,
+    sites: Sequence[str],
+    seed: int,
+    clients: int,
+    requests_per_client: int,
+    think_s: float = 0.0,
+    zipf_s: float = 0.0,
+) -> LoadPlan:
+    """Schedule ``clients`` concurrent clients, each issuing
+    ``requests_per_client`` queries back to back.
+
+    Each client's site sequence and think delays come from its own
+    counter stream (keyed by the client index), so adding clients never
+    perturbs existing ones. ``think_s > 0`` draws exponential think
+    delays with that mean after each response — the classic closed-loop
+    user model; 0 means tight-loop clients.
+    """
+    if not sites:
+        raise ValueError("need at least one site")
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    if requests_per_client < 1:
+        raise ValueError(
+            f"requests_per_client must be >= 1, got {requests_per_client}"
+        )
+    if think_s < 0:
+        raise ValueError(f"think_s must be >= 0, got {think_s}")
+    site_chunks = []
+    think_chunks = []
+    client_chunks = []
+    for client in range(clients):
+        site_chunks.append(
+            zipf_sample(
+                counter_stream(task_key(seed, "loadgen", "client-sites", client)),
+                len(sites),
+                zipf_s,
+                requests_per_client,
+            )
+        )
+        if think_s > 0:
+            think_chunks.append(
+                counter_stream(
+                    task_key(seed, "loadgen", "client-think", client)
+                ).exponential(think_s, size=requests_per_client)
+            )
+        else:
+            think_chunks.append(np.zeros(requests_per_client, dtype=np.float64))
+        client_chunks.append(
+            np.full(requests_per_client, client, dtype=np.int64)
+        )
+    total = clients * requests_per_client
+    return LoadPlan(
+        arrival="closed",
+        process="closed",
+        seed=int(seed),
+        sites=tuple(str(site) for site in sites),
+        zipf_s=float(zipf_s),
+        rate_qps=0.0,
+        clients=int(clients),
+        send_offset_s=np.zeros(total, dtype=np.float64),
+        site_index=np.concatenate(site_chunks),
+        client_index=np.concatenate(client_chunks),
+        think_delay_s=np.concatenate(think_chunks),
+    )

@@ -1,0 +1,150 @@
+"""SLO saturation search: the max offered rate a target sustains.
+
+``max-sustained-q/s-under-SLO`` is the headline serving number the
+ROADMAP asks for: the highest *offered* (open-loop) rate at which the
+target still answers every query correctly with tail latency inside the
+SLO, while actually keeping up with the offered rate. The search is a
+geometric ramp (double the rate until the target breaks) followed by a
+bisection refinement between the last sustained and first failed rates —
+O(log) runs instead of a linear sweep.
+
+The search itself is pure control flow over a caller-supplied
+``run_at(rate) -> summary`` callable (the bench layer binds it to a real
+driver + transport; tests bind it to a synthetic latency model), which
+is what makes the monotonicity contract testable: with runs memoized per
+rate, a looser SLO can only enlarge the set of passing rates, so the
+found maximum is non-decreasing in the SLO bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+__all__ = ["SloSearchResult", "find_max_sustained_qps", "sustains_slo"]
+
+
+def sustains_slo(
+    summary: Mapping[str, object],
+    *,
+    slo_ms: float,
+    percentile: str = "p99_ms",
+    achieved_fraction: float = 0.9,
+) -> bool:
+    """Does one run summary satisfy the SLO pass criterion?
+
+    Four conditions, all required: zero failed queries, zero mismatched
+    answers, the chosen latency percentile within ``slo_ms``, and the
+    achieved rate at least ``achieved_fraction`` of the offered rate
+    (a driver that cannot even *send* at the offered rate is not
+    sustaining it, whatever its latency says).
+    """
+    if int(summary.get("failed_queries", 0)) != 0:
+        return False
+    if int(summary.get("mismatched_queries", 0)) != 0:
+        return False
+    latency = summary.get("latency", {})
+    if not isinstance(latency, Mapping) or percentile not in latency:
+        return False
+    if float(latency[percentile]) > slo_ms:  # type: ignore[arg-type]
+        return False
+    offered = float(summary.get("offered_qps", 0.0))
+    achieved = float(summary.get("achieved_qps", 0.0))
+    return achieved >= achieved_fraction * offered
+
+
+@dataclass
+class SloSearchResult:
+    """Outcome of one saturation search."""
+
+    slo_ms: float
+    percentile: str
+    max_sustained_qps: float
+    sustained_summary: Optional[Dict[str, object]]
+    probes: List[Dict[str, object]] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "slo_ms": float(self.slo_ms),
+            "percentile": self.percentile,
+            "max_sustained_qps": float(self.max_sustained_qps),
+            "sustained": self.sustained_summary,
+            "probes": self.probes,
+        }
+
+
+def find_max_sustained_qps(
+    run_at: Callable[[float], Mapping[str, object]],
+    *,
+    slo_ms: float,
+    percentile: str = "p99_ms",
+    start_qps: float = 50.0,
+    max_qps: float = 1_000_000.0,
+    achieved_fraction: float = 0.9,
+    refine_steps: int = 3,
+) -> SloSearchResult:
+    """Find the highest offered rate ``run_at`` sustains under the SLO.
+
+    Ramp: probe ``start_qps``, doubling while the target passes
+    (:func:`sustains_slo`), up to ``max_qps``. If even ``start_qps``
+    fails, the answer is 0. Otherwise bisect ``refine_steps`` times
+    between the last passing and first failing rates. Every probe's
+    summary is kept in ``probes`` (tagged with its verdict) so a report
+    shows the whole saturation curve, not just the answer.
+    """
+    if slo_ms <= 0:
+        raise ValueError(f"slo_ms must be > 0, got {slo_ms}")
+    if start_qps <= 0:
+        raise ValueError(f"start_qps must be > 0, got {start_qps}")
+    if max_qps < start_qps:
+        raise ValueError(
+            f"max_qps ({max_qps}) must be >= start_qps ({start_qps})"
+        )
+    probes: List[Dict[str, object]] = []
+    summaries: Dict[float, Mapping[str, object]] = {}
+
+    def probe(rate: float) -> bool:
+        summary = summaries.get(rate)
+        if summary is None:
+            summary = run_at(rate)
+            summaries[rate] = summary
+            probes.append(dict(summary))
+        verdict = sustains_slo(
+            summary,
+            slo_ms=slo_ms,
+            percentile=percentile,
+            achieved_fraction=achieved_fraction,
+        )
+        for row in probes:
+            if row.get("offered_qps") == float(summary.get("offered_qps", rate)):
+                row["sustained"] = bool(verdict)
+        return verdict
+
+    best = 0.0
+    rate = float(start_qps)
+    first_bad: Optional[float] = None
+    while rate <= max_qps:
+        if probe(rate):
+            best = rate
+            rate *= 2.0
+        else:
+            first_bad = rate
+            break
+    if best > 0.0 and first_bad is not None:
+        low, high = best, first_bad
+        for _ in range(max(0, refine_steps)):
+            mid = (low + high) / 2.0
+            if probe(mid):
+                low = mid
+            else:
+                high = mid
+        best = low
+    best = min(best, float(max_qps))
+    sustained = summaries.get(best)
+    return SloSearchResult(
+        slo_ms=float(slo_ms),
+        percentile=percentile,
+        max_sustained_qps=best,
+        sustained_summary=dict(sustained) if sustained is not None else None,
+        probes=probes,
+    )

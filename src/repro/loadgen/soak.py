@@ -1,0 +1,166 @@
+"""Many-site registration soak: memory and routing at fleet scale.
+
+The ROADMAP's "millions of users" story implies thousands of registered
+sites, but nothing had ever held more than a handful in one process.
+:func:`run_site_soak` registers 1k–10k sites on one
+:class:`~repro.serve.service.LocalizationService` and records what that
+actually costs:
+
+* **memory** — ``VmRSS`` sampled at baseline, after registration, after
+  warm, and after the query phase. All soak sites share one cheap
+  ``square-<edge>m`` spec, so the manager's fingerprint dedupe should
+  commission exactly **one** pipeline for the whole fleet
+  (``pipelines_built`` is recorded and gated in the smoke check) — the
+  per-site marginal cost is routing metadata, not survey state.
+* **query mix** — a Zipf-skewed single-query sweep across the whole
+  fleet (every request a different site name through the routing path),
+  with latency, throughput, and failure counts.
+* **routing tables** — the jump-hash shard distribution of the full
+  site population at several shard counts (pure
+  :func:`~repro.serve.shard.shard_for_site` math — no worker processes
+  are spawned), reporting min/max/imbalance so placement skew at fleet
+  scale is a recorded number.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.loadgen.plan import open_loop_plan
+from repro.serve import LocalizationService, shard_for_site
+from repro.sim.collector import CollectionProtocol, RssCollector
+from repro.sim.specs import build_scenario, get_scenario_spec
+from repro.util.rng import counter_stream, task_key
+from repro.util.stats import LatencyHistogram
+
+__all__ = ["run_site_soak", "vm_rss_kb"]
+
+
+def vm_rss_kb() -> Optional[int]:
+    """Resident set size in kB from ``/proc/self/status`` (None off Linux)."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+def _routing_stats(
+    sites: Sequence[str], shard_counts: Sequence[int]
+) -> Dict[str, Dict[str, float]]:
+    stats: Dict[str, Dict[str, float]] = {}
+    for count in shard_counts:
+        loads = np.bincount(
+            [shard_for_site(site, count) for site in sites], minlength=count
+        )
+        mean = float(loads.mean())
+        stats[str(count)] = {
+            "shards": int(count),
+            "min_sites": int(loads.min()),
+            "max_sites": int(loads.max()),
+            "mean_sites": mean,
+            "imbalance_x": float(loads.max() / mean) if mean > 0 else 0.0,
+        }
+    return stats
+
+
+def run_site_soak(
+    *,
+    sites: int,
+    spec: str = "square-3m",
+    seed: int = 2016,
+    queries: int = 500,
+    zipf_s: float = 1.1,
+    frames: int = 16,
+    samples_per_cell: int = 2,
+    shard_counts: Sequence[int] = (1, 2, 4, 8),
+) -> Dict[str, object]:
+    """Register ``sites`` sites on one service; measure memory + routing.
+
+    Returns a plain-data record (the ``soak`` block of the loadgen bench
+    section). The query phase drives Zipf-ranked site names through
+    ``service.query`` one request at a time, so every request exercises
+    the site-routing path with a real localization underneath.
+    """
+    if sites < 1:
+        raise ValueError(f"sites must be >= 1, got {sites}")
+    scenario_spec = get_scenario_spec(spec)
+    site_names = [f"soak-{index:05d}" for index in range(sites)]
+    protocol = CollectionProtocol(
+        samples_per_cell=samples_per_cell, empty_room_samples=5
+    )
+
+    record: Dict[str, object] = {
+        "sites": int(sites),
+        "spec": scenario_spec.name,
+        "zipf_s": float(zipf_s),
+        "queries": int(queries),
+        "rss_kb": {"baseline": vm_rss_kb()},
+    }
+
+    service = LocalizationService(protocol=protocol, seed=seed)
+    start = time.perf_counter()
+    for name in site_names:
+        service.register(name, scenario_spec)
+    record["register_s"] = time.perf_counter() - start
+    record["rss_kb"]["registered"] = vm_rss_kb()
+
+    # All sites share one spec fingerprint: warming the whole fleet runs
+    # ONE commissioning survey (the dedupe that makes this soak cheap).
+    start = time.perf_counter()
+    service.warm()
+    record["warm_s"] = time.perf_counter() - start
+    record["rss_kb"]["warm"] = vm_rss_kb()
+    record["pipelines_built"] = int(service.manager.stats.pipelines_built)
+
+    scenario = build_scenario(scenario_spec.with_seed(seed))
+    cells = counter_stream(task_key(seed, "soak-cells")).integers(
+        0, scenario.deployment.cell_count, size=frames
+    )
+    trace = RssCollector(
+        scenario, protocol, seed=task_key(seed, "soak-workload")
+    ).live_trace(0.0, cells)
+
+    plan = open_loop_plan(
+        sites=site_names,
+        seed=seed,
+        rate_qps=max(1.0, float(queries)),  # pacing-free: offsets unused here
+        requests=queries,
+        process="uniform",
+        zipf_s=zipf_s,
+    )
+    histogram = LatencyHistogram()
+    failed = 0
+    start = time.perf_counter()
+    for index in range(plan.requests):
+        site = plan.site_name(index)
+        frame = trace.rss[index % frames]
+        begin = time.perf_counter()
+        try:
+            service.query(site, frame, 0.0)
+        except Exception:
+            failed += 1
+            continue
+        histogram.record(time.perf_counter() - begin)
+    wall_s = time.perf_counter() - start
+    record["rss_kb"]["queried"] = vm_rss_kb()
+    distinct: List[int] = np.unique(plan.site_index).tolist()
+    record["query_phase"] = {
+        "failed_queries": int(failed),
+        "completed": int(histogram.count),
+        "qps": histogram.count / wall_s if wall_s > 0 else float("inf"),
+        "distinct_sites_hit": len(distinct),
+        "latency": histogram.summary(),
+    }
+    baseline = record["rss_kb"]["baseline"]
+    warm = record["rss_kb"]["warm"]
+    if baseline is not None and warm is not None:
+        record["rss_per_site_kb"] = (warm - baseline) / sites
+    record["routing"] = _routing_stats(site_names, shard_counts)
+    return record

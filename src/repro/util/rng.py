@@ -157,6 +157,41 @@ def _splitmix64(value: int) -> int:
     return value ^ (value >> 31)
 
 
+def zipf_weights(n: int, s: float) -> np.ndarray:
+    """Normalized Zipf(s) probabilities over ranks ``1..n``.
+
+    ``weights[k] ∝ (k + 1) ** -s``; ``s = 0`` degenerates to uniform.
+    Pure function of ``(n, s)`` — no randomness — so popularity layouts
+    are identical across processes and runs.
+    """
+    if n < 1:
+        raise ValueError(f"population must be >= 1, got {n}")
+    if s < 0.0:
+        raise ValueError(f"zipf exponent must be >= 0, got {s}")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks**-s
+    return weights / weights.sum()
+
+
+def zipf_sample(
+    rng: np.random.Generator, n: int, s: float, size: int
+) -> np.ndarray:
+    """Draw ``size`` Zipf(s)-distributed ranks in ``[0, n)``.
+
+    Inverse-CDF sampling: one uniform draw per sample searched against
+    the cumulative :func:`zipf_weights`, so the output is a pure function
+    of the generator's stream position — pass a :func:`counter_stream`
+    generator to make site-popularity sequences addressable by task key.
+    Rank 0 is the most popular.
+    """
+    if size < 0:
+        raise ValueError(f"size must be non-negative, got {size}")
+    cdf = np.cumsum(zipf_weights(n, s))
+    cdf[-1] = 1.0
+    uniforms = rng.random(size)
+    return np.searchsorted(cdf, uniforms, side="right").astype(np.int64)
+
+
 def permutation_without_replacement(
     rng: np.random.Generator, population: int, size: Optional[int] = None
 ) -> np.ndarray:

@@ -1,0 +1,11 @@
+"""Loadgen suite fixtures: the serve leak sanitizer, re-applied.
+
+The load drivers spawn worker threads, wire clients, and (in the soak)
+a many-site service; a leaked thread or socket here poisons later tests
+exactly as in ``tests/serve``, so the same autouse sanitizer guards
+this suite.
+"""
+
+from __future__ import annotations
+
+from tests.serve.conftest import _leak_sanitizer  # noqa: F401

@@ -1,0 +1,163 @@
+"""Load plans: determinism, schedule shape, and validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.loadgen.plan import closed_loop_plan, open_loop_plan
+
+SITES = ("site-a", "site-b", "site-c")
+
+
+class TestOpenLoopPlan:
+    def test_same_seed_is_bit_identical(self):
+        kwargs = dict(
+            sites=SITES, seed=7, rate_qps=200.0, requests=64,
+            process="poisson", zipf_s=1.1, clients=4,
+        )
+        first = open_loop_plan(**kwargs)
+        second = open_loop_plan(**kwargs)
+        assert first.fingerprint() == second.fingerprint()
+        np.testing.assert_array_equal(first.send_offset_s, second.send_offset_s)
+        np.testing.assert_array_equal(first.site_index, second.site_index)
+        np.testing.assert_array_equal(first.client_index, second.client_index)
+
+    def test_different_seed_changes_schedule(self):
+        kwargs = dict(sites=SITES, rate_qps=200.0, requests=64, zipf_s=1.1)
+        assert (
+            open_loop_plan(seed=7, **kwargs).fingerprint()
+            != open_loop_plan(seed=8, **kwargs).fingerprint()
+        )
+
+    def test_rate_changes_fingerprint(self):
+        kwargs = dict(sites=SITES, seed=7, requests=64)
+        assert (
+            open_loop_plan(rate_qps=100.0, **kwargs).fingerprint()
+            != open_loop_plan(rate_qps=200.0, **kwargs).fingerprint()
+        )
+
+    def test_uniform_process_paces_exactly(self):
+        plan = open_loop_plan(
+            sites=SITES, seed=7, rate_qps=100.0, requests=10,
+            process="uniform",
+        )
+        np.testing.assert_allclose(
+            np.diff(plan.send_offset_s), np.full(9, 0.01)
+        )
+        assert plan.duration_s == pytest.approx(0.1)
+
+    def test_poisson_offsets_increase_and_average_to_rate(self):
+        plan = open_loop_plan(
+            sites=SITES, seed=7, rate_qps=1000.0, requests=2000,
+            process="poisson",
+        )
+        assert np.all(np.diff(plan.send_offset_s) >= 0)
+        # Mean inter-arrival gap ~ 1/rate (law of large numbers budget).
+        assert plan.duration_s / plan.requests == pytest.approx(
+            1e-3, rel=0.15
+        )
+
+    def test_zipf_skew_prefers_rank_zero(self):
+        plan = open_loop_plan(
+            sites=SITES, seed=7, rate_qps=100.0, requests=3000, zipf_s=1.5
+        )
+        counts = np.bincount(plan.site_index, minlength=len(SITES))
+        assert counts[0] > counts[1] > counts[2]
+        assert plan.site_name(0) in SITES
+
+    def test_zero_zipf_is_roughly_uniform(self):
+        plan = open_loop_plan(
+            sites=SITES, seed=7, rate_qps=100.0, requests=3000, zipf_s=0.0
+        )
+        counts = np.bincount(plan.site_index, minlength=len(SITES))
+        assert counts.min() > 0.8 * counts.max()
+
+    def test_clients_round_robin(self):
+        plan = open_loop_plan(
+            sites=SITES, seed=7, rate_qps=100.0, requests=8, clients=3
+        )
+        np.testing.assert_array_equal(
+            plan.client_index, np.arange(8) % 3
+        )
+
+    def test_describe_round_trips_the_fingerprint(self):
+        plan = open_loop_plan(
+            sites=SITES, seed=7, rate_qps=100.0, requests=8
+        )
+        description = plan.describe()
+        assert description["fingerprint"] == plan.fingerprint()
+        assert description["arrival"] == "open"
+        assert description["requests"] == 8
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(sites=(), seed=7, rate_qps=100.0, requests=8),
+            dict(sites=SITES, seed=7, rate_qps=0.0, requests=8),
+            dict(sites=SITES, seed=7, rate_qps=100.0, requests=0),
+            dict(sites=SITES, seed=7, rate_qps=100.0, requests=8, clients=0),
+            dict(
+                sites=SITES, seed=7, rate_qps=100.0, requests=8,
+                process="burst",
+            ),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            open_loop_plan(**kwargs)
+
+
+class TestClosedLoopPlan:
+    def test_same_seed_is_bit_identical(self):
+        kwargs = dict(
+            sites=SITES, seed=7, clients=3, requests_per_client=16,
+            think_s=0.002, zipf_s=1.1,
+        )
+        assert (
+            closed_loop_plan(**kwargs).fingerprint()
+            == closed_loop_plan(**kwargs).fingerprint()
+        )
+
+    def test_adding_clients_keeps_existing_sequences(self):
+        small = closed_loop_plan(
+            sites=SITES, seed=7, clients=2, requests_per_client=16, zipf_s=1.1
+        )
+        large = closed_loop_plan(
+            sites=SITES, seed=7, clients=3, requests_per_client=16, zipf_s=1.1
+        )
+        # Per-client counter streams: client k's draw is independent of
+        # the client count, so growing the fleet never reshuffles load.
+        np.testing.assert_array_equal(
+            small.site_index, large.site_index[:32]
+        )
+
+    def test_shape_and_think(self):
+        plan = closed_loop_plan(
+            sites=SITES, seed=7, clients=3, requests_per_client=16,
+            think_s=0.002,
+        )
+        assert plan.arrival == "closed"
+        assert plan.requests == 48
+        assert plan.rate_qps == 0.0
+        assert plan.duration_s == 0.0
+        assert np.all(plan.think_delay_s > 0)
+        np.testing.assert_array_equal(
+            plan.client_index, np.repeat(np.arange(3), 16)
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(sites=(), seed=7, clients=2, requests_per_client=4),
+            dict(sites=SITES, seed=7, clients=0, requests_per_client=4),
+            dict(sites=SITES, seed=7, clients=2, requests_per_client=0),
+            dict(
+                sites=SITES, seed=7, clients=2, requests_per_client=4,
+                think_s=-1.0,
+            ),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            closed_loop_plan(**kwargs)

@@ -1,0 +1,124 @@
+"""SLO saturation search: pass criterion, convergence, monotonicity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loadgen.slo import find_max_sustained_qps, sustains_slo
+
+
+def synthetic_target(knee_qps: float, *, fail_above: float = float("inf")):
+    """A latency model: flat 2 ms below the knee, then queueing blow-up.
+
+    Deterministic and instant, so the search's control flow is tested
+    against known ground truth instead of a noisy real server.
+    """
+
+    def run_at(rate: float) -> dict:
+        if rate <= knee_qps:
+            p99 = 2.0
+        else:
+            p99 = 2.0 + (rate - knee_qps) * 0.5
+        return {
+            "arrival": "open",
+            "transport": "synthetic",
+            "offered_qps": float(rate),
+            "achieved_qps": float(min(rate, fail_above)),
+            "failed_queries": 0 if rate <= fail_above else int(rate),
+            "mismatched_queries": 0,
+            "latency": {"p50_ms": 1.0, "p99_ms": p99},
+        }
+
+    return run_at
+
+
+class TestSustainsSlo:
+    def test_passing_summary(self):
+        summary = synthetic_target(500.0)(100.0)
+        assert sustains_slo(summary, slo_ms=50.0)
+
+    def test_failed_queries_fail(self):
+        summary = dict(synthetic_target(500.0)(100.0), failed_queries=1)
+        assert not sustains_slo(summary, slo_ms=50.0)
+
+    def test_mismatched_queries_fail(self):
+        summary = dict(synthetic_target(500.0)(100.0), mismatched_queries=1)
+        assert not sustains_slo(summary, slo_ms=50.0)
+
+    def test_latency_over_bound_fails(self):
+        summary = synthetic_target(500.0)(100.0)
+        assert not sustains_slo(summary, slo_ms=1.0)
+
+    def test_missing_percentile_fails(self):
+        summary = synthetic_target(500.0)(100.0)
+        assert not sustains_slo(summary, slo_ms=50.0, percentile="p999_ms")
+
+    def test_lagging_achieved_rate_fails(self):
+        summary = dict(synthetic_target(500.0)(100.0), achieved_qps=50.0)
+        assert not sustains_slo(summary, slo_ms=50.0)
+
+
+class TestSearch:
+    def test_finds_the_knee(self):
+        # knee at 500: p99 crosses 10 ms at 516. The search must land in
+        # (last sustained, first failed] after the bisection refinement.
+        search = find_max_sustained_qps(
+            synthetic_target(500.0), slo_ms=10.0, start_qps=100.0
+        )
+        assert 400.0 <= search.max_sustained_qps <= 516.0
+        assert search.sustained_summary is not None
+        assert search.probes  # the whole curve is recorded
+
+    def test_start_rate_failing_means_zero(self):
+        search = find_max_sustained_qps(
+            synthetic_target(10.0), slo_ms=3.0, start_qps=100.0
+        )
+        assert search.max_sustained_qps == 0.0
+        assert search.sustained_summary is None
+
+    def test_capped_by_max_qps(self):
+        search = find_max_sustained_qps(
+            synthetic_target(float("inf")),
+            slo_ms=10.0,
+            start_qps=100.0,
+            max_qps=800.0,
+        )
+        assert search.max_sustained_qps == 800.0
+
+    def test_monotone_in_slo_bound(self):
+        # A looser SLO can only enlarge the passing set, so the found
+        # maximum must be non-decreasing in slo_ms.
+        target = synthetic_target(500.0)
+        results = [
+            find_max_sustained_qps(
+                target, slo_ms=slo, start_qps=50.0
+            ).max_sustained_qps
+            for slo in (3.0, 10.0, 50.0, 200.0)
+        ]
+        assert results == sorted(results)
+
+    def test_probes_tagged_with_verdict(self):
+        search = find_max_sustained_qps(
+            synthetic_target(500.0), slo_ms=10.0, start_qps=100.0
+        )
+        assert all(isinstance(row["sustained"], bool) for row in search.probes)
+
+    def test_as_dict_schema(self):
+        result = find_max_sustained_qps(
+            synthetic_target(500.0), slo_ms=10.0, start_qps=100.0
+        ).as_dict()
+        assert set(result) == {
+            "slo_ms", "percentile", "max_sustained_qps", "sustained", "probes",
+        }
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(slo_ms=0.0),
+            dict(slo_ms=10.0, start_qps=0.0),
+            dict(slo_ms=10.0, start_qps=100.0, max_qps=50.0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            find_max_sustained_qps(synthetic_target(500.0), **kwargs)

@@ -1,0 +1,56 @@
+"""The registered-site soak: pipeline dedupe, routing math, no leaks.
+
+The module runs under the autouse leak sanitizer from
+``tests/serve/conftest`` (re-exported by this suite's conftest), so a
+soak that left threads, processes, or sockets behind fails here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loadgen.soak import run_site_soak, vm_rss_kb
+
+
+@pytest.fixture(scope="module")
+def soak_record():
+    return run_site_soak(sites=200, seed=2016, queries=200, frames=8)
+
+
+def test_one_spec_builds_one_pipeline(soak_record):
+    # 200 sites share one square-3m spec: the fingerprint dedupe must
+    # commission exactly one survey for the whole fleet.
+    assert soak_record["sites"] == 200
+    assert soak_record["pipelines_built"] == 1
+
+
+def test_query_phase_is_clean(soak_record):
+    phase = soak_record["query_phase"]
+    assert phase["failed_queries"] == 0
+    assert phase["completed"] == 200
+    assert phase["distinct_sites_hit"] > 1
+    assert phase["latency"]["p50_ms"] <= phase["latency"]["p99_ms"]
+
+
+def test_routing_tables_cover_requested_shard_counts(soak_record):
+    routing = soak_record["routing"]
+    assert set(routing) == {"1", "2", "4", "8"}
+    for stats in routing.values():
+        assert (
+            stats["min_sites"] <= stats["mean_sites"] <= stats["max_sites"]
+        )
+        assert stats["imbalance_x"] >= 1.0
+    # Every site lands somewhere: shard loads sum to the fleet size.
+    assert routing["1"]["max_sites"] == 200
+
+
+def test_memory_samples_recorded(soak_record):
+    rss = soak_record["rss_kb"]
+    assert set(rss) == {"baseline", "registered", "warm", "queried"}
+    if vm_rss_kb() is not None:  # Linux: per-site marginal cost recorded
+        assert soak_record["rss_per_site_kb"] >= 0.0
+
+
+def test_sites_must_be_positive():
+    with pytest.raises(ValueError):
+        run_site_soak(sites=0)

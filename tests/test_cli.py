@@ -37,6 +37,10 @@ class TestParser:
              "--refresh-budget", "2", "--days-per-second", "10"],
             ["serve", "--unix", "/tmp/serve.sock", "--max-seconds", "1"],
             ["query", "--connect", "http://127.0.0.1:8970", "--frames", "2"],
+            ["loadgen", "--transport", "http", "--rate", "500",
+             "--slo-ms", "50", "--sites", "8", "--zipf-s", "1.2"],
+            ["loadgen", "--arrival", "closed", "--clients", "4",
+             "--think-s", "0.001", "--transport", "aio"],
         ],
     )
     def test_commands_parse(self, argv):
@@ -148,6 +152,32 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "across 2 shard worker(s)" in out
         assert "listening at http://127.0.0.1:" in out
+
+    def test_loadgen_open_inproc(self, capsys):
+        assert main(
+            [
+                "--scenario", "square-3m", "loadgen", "--transport",
+                "inproc", "--rate", "400", "--requests", "40",
+                "--sites", "2", "--frames", "4",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 site(s)" in out
+        assert "1 pipeline(s)" in out
+        assert "plan fingerprint" in out
+        assert "failed 0, mismatched 0" in out
+
+    def test_loadgen_closed_http(self, capsys):
+        assert main(
+            [
+                "--scenario", "square-3m", "loadgen", "--arrival", "closed",
+                "--transport", "http", "--clients", "2", "--requests", "16",
+                "--sites", "2", "--frames", "4",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "closed/http" in out
+        assert "failed 0, mismatched 0" in out
 
     def test_query_connect_round_trips_through_a_live_server(self):
         import os

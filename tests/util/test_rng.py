@@ -5,10 +5,14 @@ import pytest
 
 from repro.util.rng import (
     as_generator,
+    counter_stream,
     derive_seed,
     hash_label,
     permutation_without_replacement,
     spawn_children,
+    task_key,
+    zipf_sample,
+    zipf_weights,
 )
 
 
@@ -77,6 +81,47 @@ class TestHashLabel:
 
     def test_distinct_labels_distinct_hashes(self):
         assert hash_label("link-0") != hash_label("link-1")
+
+
+class TestZipf:
+    def test_weights_normalized_and_monotone(self):
+        w = zipf_weights(100, 1.1)
+        assert w.shape == (100,)
+        assert abs(w.sum() - 1.0) < 1e-12
+        assert np.all(np.diff(w) < 0)
+
+    def test_zero_exponent_is_uniform(self):
+        w = zipf_weights(8, 0.0)
+        np.testing.assert_allclose(w, np.full(8, 1.0 / 8))
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, -0.5)
+        rng = counter_stream(task_key(1, "zipf"))
+        with pytest.raises(ValueError):
+            zipf_sample(rng, 5, 1.0, -1)
+
+    def test_same_counter_stream_bit_identical(self):
+        key = task_key(2016, "loadgen", "sites")
+        a = zipf_sample(counter_stream(key), 500, 1.2, 1000)
+        b = zipf_sample(counter_stream(key), 500, 1.2, 1000)
+        np.testing.assert_array_equal(a, b)
+        assert a.dtype == np.int64
+
+    def test_ranks_in_range_and_skewed(self):
+        key = task_key(7, "zipf-skew")
+        draws = zipf_sample(counter_stream(key), 50, 1.5, 5000)
+        assert draws.min() >= 0
+        assert draws.max() < 50
+        # Rank 0 must dominate any mid-tail rank under strong skew.
+        counts = np.bincount(draws, minlength=50)
+        assert counts[0] > counts[10] > 0
+
+    def test_empty_draw(self):
+        key = task_key(7, "zipf-empty")
+        assert zipf_sample(counter_stream(key), 10, 1.0, 0).shape == (0,)
 
 
 class TestPermutation:
